@@ -1,0 +1,434 @@
+//! The ANNODA terminal interface — the "application user interface" box
+//! of Figure 1 as a line-oriented REPL.
+//!
+//! ```sh
+//! cargo run -p annoda --bin annoda-cli -- --loci 60 --seed 42
+//! ```
+//!
+//! then type `help`. Works non-interactively too:
+//!
+//! ```sh
+//! printf 'ask function=require disease=exclude\nsummary\nquit\n' \
+//!   | cargo run -p annoda --bin annoda-cli
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use annoda::reorganize::{self, GroupKey, SortKey};
+use annoda::{render_integrated_view, render_object_view, Annoda};
+use annoda_mediator::decompose::{AspectClause, Combination, GeneQuestion};
+use annoda_mediator::IntegratedGene;
+use annoda_oem::text as oem_text;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn main() {
+    let config = corpus_config_from_args(std::env::args().skip(1));
+    println!(
+        "ANNODA — integrating molecular-biological annotation data\n\
+         corpus: {} loci / {} GO terms / {} OMIM entries (seed {})\n\
+         type `help` for commands\n",
+        config.loci, config.go_terms, config.omim_entries, config.seed
+    );
+    let corpus = Corpus::generate(config);
+    let (mut annoda, reports) =
+        Annoda::over_sources(corpus.locuslink, corpus.go, corpus.omim);
+    for r in &reports {
+        println!(
+            "plugged {:<10} {} rules (mean score {:.2})",
+            r.source, r.matched, r.mean_score
+        );
+    }
+    println!();
+
+    let stdin = io::stdin();
+    let mut last_answer: Vec<IntegratedGene> = Vec::new();
+    let mut last_conflicts: Vec<String> = Vec::new();
+    loop {
+        print!("annoda> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "quit" | "exit" => break,
+            "help" => print!("{}", HELP),
+            "policy" => {
+                use annoda_mediator::ReconcilePolicy;
+                let policy = match rest.trim() {
+                    "union" => Some(ReconcilePolicy::Union),
+                    "intersection" => Some(ReconcilePolicy::Intersection),
+                    "vote" => Some(ReconcilePolicy::Vote),
+                    s if s.starts_with("evidence:") => s["evidence:".len()..]
+                        .parse::<u8>()
+                        .ok()
+                        .map(ReconcilePolicy::MinEvidence),
+                    s if s.starts_with("precedence:") => Some(ReconcilePolicy::Precedence(
+                        s["precedence:".len()..]
+                            .split(',')
+                            .map(|x| x.trim().to_string())
+                            .collect(),
+                    )),
+                    "" => {
+                        println!(
+                            "current policy: {:?}",
+                            annoda.registry().mediator().policy
+                        );
+                        continue;
+                    }
+                    other => {
+                        println!("unknown policy `{other}` (union|intersection|vote|evidence:<n>|precedence:<s1,s2,..>)");
+                        continue;
+                    }
+                };
+                if let Some(p) = policy {
+                    annoda.registry_mut().mediator_mut().policy = p;
+                    println!("policy set");
+                }
+            }
+            "optimizer" => {
+                let med = annoda.registry_mut().mediator_mut();
+                match rest.trim() {
+                    "" => println!("{:?}", med.optimizer),
+                    "pushdown" => {
+                        med.optimizer.pushdown = !med.optimizer.pushdown;
+                        println!("pushdown = {}", med.optimizer.pushdown);
+                    }
+                    "selection" => {
+                        med.optimizer.source_selection = !med.optimizer.source_selection;
+                        println!("source_selection = {}", med.optimizer.source_selection);
+                    }
+                    "bindjoin" => {
+                        med.optimizer.bind_join = !med.optimizer.bind_join;
+                        println!("bind_join = {}", med.optimizer.bind_join);
+                    }
+                    "cache" => {
+                        med.enable_cache();
+                        println!("subquery cache enabled");
+                    }
+                    other => println!("unknown switch `{other}` (pushdown|selection|bindjoin|cache)"),
+                }
+            }
+            "sources" => {
+                for d in annoda.registry().sources() {
+                    println!("  {:<14} {}  [{}]", d.name, d.content, d.base_url);
+                }
+            }
+            "ask" | "plan" => match parse_question(rest) {
+                Ok(question) => {
+                    println!("question: {question}");
+                    if cmd == "plan" {
+                        print!("{}", annoda.mediator().plan(&question).describe());
+                        continue;
+                    }
+                    match annoda.ask(&question) {
+                        Ok(answer) => {
+                            print!("{}", render_integrated_view(&answer.fused.genes));
+                            println!(
+                                "({} conflicts reconciled, {} requests, {:.1} simulated ms total / {:.1} parallel)",
+                                answer.fused.conflicts.len(),
+                                answer.cost.requests,
+                                answer.cost.virtual_ms(),
+                                answer.critical_path_us as f64 / 1000.0
+                            );
+                            for (src, c) in &answer.per_source_cost {
+                                println!(
+                                    "    {src}: {} requests, {} records, {:.1} ms",
+                                    c.requests,
+                                    c.records,
+                                    c.virtual_ms()
+                                );
+                            }
+                            for (src, err) in &answer.failed_sources {
+                                println!("    {src}: FAILED ({err})");
+                            }
+                            last_conflicts = answer
+                                .fused
+                                .conflicts
+                                .iter()
+                                .map(|c| c.to_string())
+                                .collect();
+                            last_answer = answer.fused.genes;
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "lorel" => match annoda.lorel(rest) {
+                Ok((gml, outcome, _)) => {
+                    print!("{}", oem_text::write_rooted(&gml, "answer", outcome.answer));
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "view" => {
+                let nav = annoda.navigator();
+                let view = match rest.split_once(' ') {
+                    Some(("gene", key)) => nav.gene_view(key.trim()),
+                    Some(("function", key)) => nav.function_view(key.trim()),
+                    Some(("disease", key)) => nav.disease_view(key.trim()),
+                    Some(("publication", key)) => nav.publication_view(key.trim()),
+                    _ => {
+                        println!("usage: view gene|function|disease|publication <key>");
+                        continue;
+                    }
+                };
+                match view {
+                    Some(v) => print!("{}", render_object_view(&v)),
+                    None => println!("no such object"),
+                }
+            }
+            "group" => {
+                let key = match rest.trim() {
+                    "organism" => GroupKey::Organism,
+                    "chromosome" => GroupKey::Chromosome,
+                    "namespace" => GroupKey::GoNamespace,
+                    "inheritance" => GroupKey::Inheritance,
+                    other => {
+                        println!("unknown group key `{other}` (organism|chromosome|namespace|inheritance)");
+                        continue;
+                    }
+                };
+                for (k, genes) in reorganize::group_genes(&last_answer, key) {
+                    println!(
+                        "  {:<24} {:>4}  {}",
+                        k,
+                        genes.len(),
+                        genes
+                            .iter()
+                            .take(8)
+                            .map(|g| g.symbol.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+            "sort" => {
+                let mut parts = rest.split_whitespace();
+                let key = match parts.next() {
+                    Some("symbol") => SortKey::Symbol,
+                    Some("locus") => SortKey::LocusId,
+                    Some("functions") => SortKey::FunctionCount,
+                    Some("diseases") => SortKey::DiseaseCount,
+                    _ => {
+                        println!("usage: sort symbol|locus|functions|diseases [desc]");
+                        continue;
+                    }
+                };
+                let desc = parts.next() == Some("desc");
+                reorganize::sort_genes(&mut last_answer, key, desc);
+                for g in &last_answer {
+                    println!(
+                        "  {:<10} id={:<6} fn={} dis={}",
+                        g.symbol,
+                        g.gene_id.unwrap_or(-1),
+                        g.functions.len(),
+                        g.diseases.len()
+                    );
+                }
+            }
+            "tsv" => print!("{}", reorganize::to_tsv(&last_answer)),
+            "export" => {
+                let path = rest.trim();
+                if path.is_empty() {
+                    println!("usage: export <file.tsv>");
+                    continue;
+                }
+                match std::fs::write(path, reorganize::to_tsv(&last_answer)) {
+                    Ok(()) => println!("wrote {} genes to {path}", last_answer.len()),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "save" => {
+                let path = rest.trim();
+                if path.is_empty() {
+                    println!("usage: save <file.oem>   (materialised ANNODA-GML)");
+                    continue;
+                }
+                match annoda.mediator().materialize_gml() {
+                    Ok((gml, _cost)) => {
+                        match oem_text::save_to_file(&gml, std::path::Path::new(path)) {
+                            Ok(()) => println!("saved {} objects to {path}", gml.len()),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "conflicts" => {
+                if last_conflicts.is_empty() {
+                    println!("  (no conflicts in the last answer)");
+                }
+                for c in &last_conflicts {
+                    println!("  {c}");
+                }
+            }
+            "summary" => {
+                let s = reorganize::summarize(&last_answer);
+                println!(
+                    "  genes {}  functions {} (mean {:.2})  diseases {} (mean {:.2})  conflicts {}",
+                    s.genes,
+                    s.functions_total,
+                    s.functions_mean,
+                    s.diseases_total,
+                    s.diseases_mean,
+                    last_conflicts.len()
+                );
+                for (org, n) in &s.per_organism {
+                    println!("    {org}: {n}");
+                }
+            }
+            other => println!("unknown command `{other}` — try `help`"),
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  sources                      list plugged annotation sources
+  ask <clauses>                answer a biological question; clauses:
+                                 organism=<name>  symbol=<like-pattern>
+                                 function=require|exclude[:<pattern>]
+                                 disease=require|exclude[:<pattern>]
+                                 publication=require|exclude[:<pattern>]
+                                 combine=all|any
+  plan <clauses>               show the decomposed execution plan only
+  lorel <query>                run a Lorel query against ANNODA-GML
+  view gene|function|disease|publication <key>
+                               individual object view (Figure 5c)
+  group organism|chromosome|namespace|inheritance
+                               re-organise the last answer
+  sort symbol|locus|functions|diseases [desc]
+  tsv                          print the last answer as a table
+  export <file.tsv>            write the last answer to a file
+  save <file.oem>              save the materialised ANNODA-GML to disk
+  summary                      statistics of the last answer
+  conflicts                    list conflicts reconciled in the last answer
+  policy [union|intersection|vote|evidence:<n>|precedence:<s1,s2>]
+                               show or set the reconciliation policy
+  optimizer [pushdown|selection|bindjoin|cache]
+                               show the optimizer config or toggle a switch
+  quit
+";
+
+/// Parses `ask` clause syntax into a question.
+fn parse_question(rest: &str) -> Result<GeneQuestion, String> {
+    let mut q = GeneQuestion::default();
+    for clause in rest.split_whitespace() {
+        let (key, value) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("clause `{clause}` is not key=value"))?;
+        match key {
+            "organism" => q.organism = Some(value.replace('_', " ")),
+            "symbol" => q.symbol_like = Some(value.to_string()),
+            "function" | "disease" | "publication" => {
+                let (mode, pattern) = match value.split_once(':') {
+                    Some((m, p)) => (m, Some(p.to_string())),
+                    None => (value, None),
+                };
+                let aspect = match mode {
+                    "require" => AspectClause::Require(pattern),
+                    "exclude" => AspectClause::Exclude(pattern),
+                    "ignore" => AspectClause::Ignore,
+                    other => return Err(format!("unknown mode `{other}`")),
+                };
+                match key {
+                    "function" => q.function = aspect,
+                    "disease" => q.disease = aspect,
+                    _ => q.publication = aspect,
+                }
+            }
+            "combine" => {
+                q.combine = match value {
+                    "all" => Combination::All,
+                    "any" => Combination::Any,
+                    other => return Err(format!("unknown combination `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown clause key `{other}`")),
+        }
+    }
+    Ok(q)
+}
+
+/// Parses `--loci N --seed S --inconsistency F` style arguments.
+fn corpus_config_from_args(args: impl Iterator<Item = String>) -> CorpusConfig {
+    let mut config = CorpusConfig {
+        loci: 60,
+        go_terms: 40,
+        omim_entries: 25,
+        seed: 42,
+        inconsistency_rate: 0.1,
+    };
+    let args: Vec<String> = args.collect();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--loci" => {
+                if let Ok(n) = args[i + 1].parse() {
+                    config.loci = n;
+                }
+            }
+            "--seed" => {
+                if let Ok(n) = args[i + 1].parse() {
+                    config.seed = n;
+                }
+            }
+            "--inconsistency" => {
+                if let Ok(f) = args[i + 1].parse() {
+                    config.inconsistency_rate = f;
+                }
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_clause_parsing() {
+        let q = parse_question(
+            "organism=Homo_sapiens symbol=TP% function=require:%kinase% disease=exclude combine=any",
+        )
+        .unwrap();
+        assert_eq!(q.organism.as_deref(), Some("Homo sapiens"));
+        assert_eq!(q.symbol_like.as_deref(), Some("TP%"));
+        assert_eq!(q.function, AspectClause::Require(Some("%kinase%".into())));
+        assert_eq!(q.disease, AspectClause::Exclude(None));
+        assert_eq!(q.combine, Combination::Any);
+        let q = parse_question("publication=exclude:%cancer%").unwrap();
+        assert_eq!(q.publication, AspectClause::Exclude(Some("%cancer%".into())));
+        assert!(parse_question("nonsense").is_err());
+        assert!(parse_question("function=maybe").is_err());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let cfg = corpus_config_from_args(
+            ["--loci", "99", "--seed", "7", "--inconsistency", "0.5"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cfg.loci, 99);
+        assert_eq!(cfg.seed, 7);
+        assert!((cfg.inconsistency_rate - 0.5).abs() < 1e-9);
+        // Unknown args are skipped, defaults survive.
+        let cfg = corpus_config_from_args(["--wat", "x"].iter().map(|s| s.to_string()));
+        assert_eq!(cfg.loci, 60);
+    }
+}

@@ -1,0 +1,43 @@
+//! # annoda — the ANNODA system façade
+//!
+//! ANNODA integrates molecular-biological annotation data behind a single
+//! access point. This crate assembles the substrates into the tool the
+//! paper demonstrates:
+//!
+//! * [`registry`] — the plug-in procedure for participating sources: wrap
+//!   a native database, match its OML against the global model with MDSM,
+//!   install the mapping rules, and create the mediator interface — "a
+//!   new annotation data source should be plugged in as it comes into
+//!   existence";
+//! * [`question`] — the biological-question interface of Figure 5a: users
+//!   select sources to include/exclude, a combination method, and search
+//!   conditions — no SQL knowledge required — and the builder compiles
+//!   the form into the Lorel query the mediator executes;
+//! * [`navigate`] — interactive navigation (Figure 5c): every object in
+//!   an integrated view carries web-links; following a link renders the
+//!   individual object view;
+//! * [`render`] — the textual renderings of the integrated annotation
+//!   view (Figure 5b) and the individual object view (Figure 5c);
+//! * [`reorganize`] — re-organisation of retrieved results (grouping,
+//!   sorting, tabular export, summaries), the paper's future-work item
+//!   and the feed for automated large-scale analysis;
+//! * [`system`] — [`Annoda`], the single-access-point façade tying
+//!   registry, mediator, question interface, and navigation together. It
+//!   also implements the `IntegrationSystem` probe surface indirectly via
+//!   the mediator (see `annoda-baselines`).
+
+pub mod navigate;
+pub mod question;
+pub mod registry;
+pub mod render;
+pub mod reorganize;
+pub mod system;
+
+pub use navigate::{Navigator, ObjectView};
+pub use question::{AspectClause, Combination, Condition, GeneQuestion, QuestionBuilder};
+pub use registry::{PlugReport, SourceRegistry};
+pub use render::{render_integrated_view, render_object_view};
+pub use reorganize::{
+    chromosome_of, group_genes, sort_genes, summarize, to_tsv, GroupKey, SortKey, ViewSummary,
+};
+pub use system::{Annoda, AnnodaError};

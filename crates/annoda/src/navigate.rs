@@ -1,0 +1,276 @@
+//! Interactive navigation over web-links (Figure 5c).
+//!
+//! Every object in an integrated view carries web-links. External links
+//! point back into the originating source's web interface; internal
+//! `annoda://` links resolve — through the [`Navigator`] — to the
+//! *individual object view* of Figure 5c.
+
+use annoda_mediator::decompose::GeneQuestion;
+use annoda_mediator::{Mediator, WebLink};
+use annoda_wrap::Cost;
+
+/// An individual object view: the attributes of one integrated object
+/// plus onward links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectView {
+    /// Object kind (`gene`, `function`, `disease`).
+    pub kind: String,
+    /// The object's key (symbol, GO accession, MIM number).
+    pub key: String,
+    /// `(attribute, value)` pairs in display order.
+    pub attributes: Vec<(String, String)>,
+    /// Onward navigation links.
+    pub links: Vec<WebLink>,
+}
+
+/// Resolves web-links to object views against the mediator.
+pub struct Navigator<'a> {
+    mediator: &'a Mediator,
+}
+
+impl<'a> Navigator<'a> {
+    /// A navigator over the given mediator.
+    pub fn new(mediator: &'a Mediator) -> Self {
+        Navigator { mediator }
+    }
+
+    /// Follows a link: internal links resolve to object views; external
+    /// links are returned as a one-attribute view describing the target.
+    pub fn follow(&self, link: &WebLink) -> Option<ObjectView> {
+        match link.internal_target() {
+            Some(("gene", key)) => self.gene_view(key),
+            Some(("function", key)) => self.function_view(key),
+            Some(("disease", key)) => self.disease_view(key),
+            Some(("publication", key)) => self.publication_view(key),
+            Some((kind, key)) => Some(ObjectView {
+                kind: kind.to_string(),
+                key: key.to_string(),
+                attributes: vec![("error".into(), "unknown object kind".into())],
+                links: Vec::new(),
+            }),
+            None => Some(ObjectView {
+                kind: "external".into(),
+                key: link.url.clone(),
+                attributes: vec![("url".into(), link.url.clone())],
+                links: Vec::new(),
+            }),
+        }
+    }
+
+    /// The individual gene view: the gene's integrated record.
+    pub fn gene_view(&self, symbol: &str) -> Option<ObjectView> {
+        let q = GeneQuestion {
+            symbol_like: Some(symbol.to_string()),
+            fetch_aspects: true,
+            ..GeneQuestion::default()
+        };
+        let answer = self.mediator.answer(&q).ok()?;
+        let gene = answer.fused.genes.into_iter().find(|g| g.symbol == symbol)?;
+        let mut attributes = vec![("Symbol".to_string(), gene.symbol.clone())];
+        if let Some(id) = gene.gene_id {
+            attributes.push(("LocusID".into(), id.to_string()));
+        }
+        for (k, v) in [
+            ("Organism", &gene.organism),
+            ("Description", &gene.description),
+            ("Position", &gene.position),
+        ] {
+            if let Some(v) = v {
+                attributes.push((k.to_string(), v.clone()));
+            }
+        }
+        let mut links = gene.links.clone();
+        for f in &gene.functions {
+            attributes.push((
+                "Function".into(),
+                match &f.name {
+                    Some(n) => format!("{} ({n})", f.id),
+                    None => f.id.clone(),
+                },
+            ));
+            links.push(WebLink::internal("function", &f.id));
+        }
+        for d in &gene.diseases {
+            attributes.push((
+                "Disease".into(),
+                match &d.name {
+                    Some(n) => format!("{} ({n})", d.id),
+                    None => d.id.clone(),
+                },
+            ));
+            links.push(WebLink::internal("disease", &d.id));
+        }
+        for p in &gene.publications {
+            attributes.push((
+                "Publication".into(),
+                match &p.title {
+                    Some(t) => format!("PMID {} ({t})", p.id),
+                    None => format!("PMID {}", p.id),
+                },
+            ));
+            links.push(WebLink::internal("publication", &p.id));
+        }
+        Some(ObjectView {
+            kind: "gene".into(),
+            key: symbol.to_string(),
+            attributes,
+            links,
+        })
+    }
+
+    /// The individual function (GO term) view, fetched from the function
+    /// provider.
+    pub fn function_view(&self, id: &str) -> Option<ObjectView> {
+        self.entity_view("Function", "FunctionID", id, "function")
+    }
+
+    /// The individual disease (OMIM entry) view.
+    pub fn disease_view(&self, id: &str) -> Option<ObjectView> {
+        self.entity_view("Disease", "DiseaseID", id, "disease")
+    }
+
+    /// The individual publication (citation) view.
+    pub fn publication_view(&self, id: &str) -> Option<ObjectView> {
+        self.entity_view("Publication", "PublicationID", id, "publication")
+    }
+
+    fn entity_view(
+        &self,
+        entity: &str,
+        key_attr: &str,
+        key: &str,
+        kind: &str,
+    ) -> Option<ObjectView> {
+        let (source, mapping) = self.mediator.model().providers_of(entity).pop()?;
+        let wrapper = self.mediator.wrapper(source)?;
+        let select: Vec<String> = mapping
+            .attributes
+            .iter()
+            .map(|(local, global)| format!("X.{local} as {global}"))
+            .collect();
+        let local_key = mapping
+            .attributes
+            .iter()
+            .find(|(_, g)| g == key_attr)
+            .map(|(l, _)| l.clone())?;
+        let lorel = format!(
+            "select {} from {source}.{} X where X.{local_key} = \"{key}\"",
+            select.join(", "),
+            mapping.source_entity
+        );
+        let mut cost = Cost::new();
+        let result = wrapper.subquery(&lorel, &mut cost).ok()?;
+        let row = result.row_oids().into_iter().next()?;
+        let mut attributes = Vec::new();
+        let mut links = Vec::new();
+        for (_, global) in &mapping.attributes {
+            for child in result.store.children(row, global) {
+                if let Some(v) = result.store.value_of(child) {
+                    if global == "Link" {
+                        links.push(WebLink::external(source, v.as_text()));
+                    } else {
+                        attributes.push((global.clone(), v.as_text()));
+                    }
+                }
+            }
+        }
+        Some(ObjectView {
+            kind: kind.to_string(),
+            key: key.to_string(),
+            attributes,
+            links,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_sources::{Corpus, CorpusConfig};
+    use annoda_wrap::{GoWrapper, LocusLinkWrapper, OmimWrapper};
+
+    fn mediator(corpus: &Corpus) -> Mediator {
+        let mut m = Mediator::new();
+        m.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        m.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        m.register(Box::new(OmimWrapper::new(corpus.omim.clone())));
+        m
+    }
+
+    #[test]
+    fn gene_view_lists_attributes_and_onward_links() {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let m = mediator(&c);
+        let nav = Navigator::new(&m);
+        let rec = c
+            .locuslink
+            .scan()
+            .find(|r| !r.go_ids.is_empty())
+            .expect("some annotated gene");
+        let view = nav.gene_view(&rec.symbol).unwrap();
+        assert_eq!(view.kind, "gene");
+        assert!(view.attributes.iter().any(|(k, _)| k == "Organism"));
+        assert!(view.attributes.iter().any(|(k, _)| k == "Function"));
+        assert!(view.links.iter().any(|l| l.is_internal()));
+        assert!(view.links.iter().any(|l| !l.is_internal()));
+    }
+
+    #[test]
+    fn follow_resolves_internal_links_recursively() {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let m = mediator(&c);
+        let nav = Navigator::new(&m);
+        let rec = c
+            .locuslink
+            .scan()
+            .find(|r| !r.go_ids.is_empty())
+            .unwrap();
+        let gene = nav.gene_view(&rec.symbol).unwrap();
+        let fn_link = gene
+            .links
+            .iter()
+            .find(|l| l.internal_target().map(|(k, _)| k) == Some("function"))
+            .unwrap();
+        let fview = nav.follow(fn_link).unwrap();
+        assert_eq!(fview.kind, "function");
+        assert!(fview.attributes.iter().any(|(k, _)| k == "Name"));
+        assert!(fview
+            .attributes
+            .iter()
+            .any(|(k, v)| k == "FunctionID" && v.starts_with("GO:")));
+    }
+
+    #[test]
+    fn disease_view_resolves_by_mim() {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let m = mediator(&c);
+        let nav = Navigator::new(&m);
+        let entry = c.omim.scan().next().unwrap();
+        let view = nav.disease_view(&entry.mim_number.to_string()).unwrap();
+        assert_eq!(view.kind, "disease");
+        assert!(view
+            .attributes
+            .iter()
+            .any(|(k, v)| k == "Name" && v == &entry.title));
+    }
+
+    #[test]
+    fn unknown_objects_resolve_to_none() {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let m = mediator(&c);
+        let nav = Navigator::new(&m);
+        assert!(nav.gene_view("NO_SUCH_GENE").is_none());
+        assert!(nav.function_view("GO:9999999").is_none());
+    }
+
+    #[test]
+    fn external_links_pass_through() {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let m = mediator(&c);
+        let nav = Navigator::new(&m);
+        let link = WebLink::external("OMIM", "http://example/omim/1");
+        let view = nav.follow(&link).unwrap();
+        assert_eq!(view.kind, "external");
+        assert_eq!(view.key, "http://example/omim/1");
+    }
+}

@@ -1,0 +1,250 @@
+//! The biological-question interface (Figure 5a).
+//!
+//! "To use the system, users do not need detailed knowledge of computing
+//! and data management. Users can describe a query in biological
+//! question, not in SQL." The [`QuestionBuilder`] is that form: include
+//! or exclude annotation aspects from the available sources, pick the
+//! combination method, and add search conditions to narrow the result.
+
+pub use annoda_mediator::decompose::{AspectClause, Combination, GeneQuestion};
+
+/// A search condition the form accepts (Figure 5a, third panel).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Restrict to one organism.
+    Organism(String),
+    /// `like`-pattern on the gene symbol (`%` / `_` wildcards).
+    SymbolLike(String),
+    /// `like`-pattern on GO function names.
+    FunctionNameLike(String),
+    /// `like`-pattern on OMIM disease titles.
+    DiseaseNameLike(String),
+    /// `like`-pattern on publication titles (fourth-source extension).
+    PublicationTitleLike(String),
+}
+
+/// Fluent builder compiling the Figure 5a form into a [`GeneQuestion`].
+///
+/// ```
+/// use annoda::question::QuestionBuilder;
+///
+/// // The paper's running example.
+/// let q = QuestionBuilder::new()
+///     .require_go_function()
+///     .exclude_omim_disease()
+///     .build();
+/// assert!(q.to_string().contains("annotated with some GO functions"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuestionBuilder {
+    question: GeneQuestion,
+    /// Patterns staged by [`QuestionBuilder::with`] before the aspect
+    /// clause is chosen.
+    function_pattern: Option<String>,
+    disease_pattern: Option<String>,
+    publication_pattern: Option<String>,
+}
+
+impl QuestionBuilder {
+    /// An empty form.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Include genes annotated with some GO function.
+    pub fn require_go_function(mut self) -> Self {
+        self.question.function = AspectClause::Require(self.function_pattern.clone());
+        self
+    }
+
+    /// Exclude genes annotated with any GO function.
+    pub fn exclude_go_function(mut self) -> Self {
+        self.question.function = AspectClause::Exclude(self.function_pattern.clone());
+        self
+    }
+
+    /// Include genes associated with some OMIM disease.
+    pub fn require_omim_disease(mut self) -> Self {
+        self.question.disease = AspectClause::Require(self.disease_pattern.clone());
+        self
+    }
+
+    /// Exclude genes associated with some OMIM disease — the negation of
+    /// the Figure 5b question.
+    pub fn exclude_omim_disease(mut self) -> Self {
+        self.question.disease = AspectClause::Exclude(self.disease_pattern.clone());
+        self
+    }
+
+    /// Include genes cited in some publication (requires a plugged-in
+    /// literature source).
+    pub fn require_pubmed_citation(mut self) -> Self {
+        self.question.publication = AspectClause::Require(self.publication_pattern.clone());
+        self
+    }
+
+    /// Exclude genes cited in any publication — e.g. to find unstudied
+    /// candidates.
+    pub fn exclude_pubmed_citation(mut self) -> Self {
+        self.question.publication = AspectClause::Exclude(self.publication_pattern.clone());
+        self
+    }
+
+    /// Adds a search condition.
+    pub fn with(mut self, condition: Condition) -> Self {
+        match condition {
+            Condition::Organism(o) => self.question.organism = Some(o),
+            Condition::SymbolLike(p) => self.question.symbol_like = Some(p),
+            Condition::FunctionNameLike(p) => {
+                self.function_pattern = Some(p.clone());
+                // Re-apply to an already-chosen clause.
+                self.question.function = match self.question.function {
+                    AspectClause::Require(_) => AspectClause::Require(Some(p)),
+                    AspectClause::Exclude(_) => AspectClause::Exclude(Some(p)),
+                    AspectClause::Ignore => AspectClause::Ignore,
+                };
+            }
+            Condition::DiseaseNameLike(p) => {
+                self.disease_pattern = Some(p.clone());
+                self.question.disease = match self.question.disease {
+                    AspectClause::Require(_) => AspectClause::Require(Some(p)),
+                    AspectClause::Exclude(_) => AspectClause::Exclude(Some(p)),
+                    AspectClause::Ignore => AspectClause::Ignore,
+                };
+            }
+            Condition::PublicationTitleLike(p) => {
+                self.publication_pattern = Some(p.clone());
+                self.question.publication = match self.question.publication {
+                    AspectClause::Require(_) => AspectClause::Require(Some(p)),
+                    AspectClause::Exclude(_) => AspectClause::Exclude(Some(p)),
+                    AspectClause::Ignore => AspectClause::Ignore,
+                };
+            }
+        }
+        self
+    }
+
+    /// Require-clauses combine with intersection (the default).
+    pub fn combine_all(mut self) -> Self {
+        self.question.combine = Combination::All;
+        self
+    }
+
+    /// Require-clauses combine with union.
+    pub fn combine_any(mut self) -> Self {
+        self.question.combine = Combination::Any;
+        self
+    }
+
+    /// The compiled question.
+    pub fn build(self) -> GeneQuestion {
+        self.question
+    }
+
+    /// Renders the filled form, Figure 5a style.
+    pub fn render_form(&self) -> String {
+        let clause = |c: &AspectClause| match c {
+            AspectClause::Ignore => "( ) include  ( ) exclude  (x) ignore".to_string(),
+            AspectClause::Require(p) => format!(
+                "(x) include  ( ) exclude  ( ) ignore{}",
+                p.as_deref()
+                    .map(|p| format!("   name like \"{p}\""))
+                    .unwrap_or_default()
+            ),
+            AspectClause::Exclude(p) => format!(
+                "( ) include  (x) exclude  ( ) ignore{}",
+                p.as_deref()
+                    .map(|p| format!("   name like \"{p}\""))
+                    .unwrap_or_default()
+            ),
+        };
+        let mut out = String::new();
+        out.push_str("+--------------- ANNODA query interface ---------------+\n");
+        out.push_str("| Target of interest (per source):                      |\n");
+        out.push_str(&format!("|   GO functions:   {}\n", clause(&self.question.function)));
+        out.push_str(&format!("|   OMIM diseases:  {}\n", clause(&self.question.disease)));
+        if self.question.publication.is_active() {
+            out.push_str(&format!(
+                "|   publications:   {}\n",
+                clause(&self.question.publication)
+            ));
+        }
+        out.push_str(&format!(
+            "| Combination method: {}\n",
+            match self.question.combine {
+                Combination::All => "(x) all conditions  ( ) any condition",
+                Combination::Any => "( ) all conditions  (x) any condition",
+            }
+        ));
+        out.push_str("| Search conditions:                                    |\n");
+        out.push_str(&format!(
+            "|   organism  = {}\n",
+            self.question.organism.as_deref().unwrap_or("<any>")
+        ));
+        out.push_str(&format!(
+            "|   symbol    like {}\n",
+            self.question.symbol_like.as_deref().unwrap_or("<any>")
+        ));
+        out.push_str("+-------------------------------------------------------+\n");
+        out.push_str(&format!("Biological question: {}\n", self.question));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_question_via_builder() {
+        let q = QuestionBuilder::new()
+            .require_go_function()
+            .exclude_omim_disease()
+            .build();
+        assert_eq!(q, GeneQuestion::figure5());
+    }
+
+    #[test]
+    fn conditions_attach_to_clauses() {
+        let q = QuestionBuilder::new()
+            .require_go_function()
+            .with(Condition::FunctionNameLike("%kinase%".into()))
+            .with(Condition::Organism("Homo sapiens".into()))
+            .with(Condition::SymbolLike("TP%".into()))
+            .build();
+        assert_eq!(q.function, AspectClause::Require(Some("%kinase%".into())));
+        assert_eq!(q.organism.as_deref(), Some("Homo sapiens"));
+        assert_eq!(q.symbol_like.as_deref(), Some("TP%"));
+    }
+
+    #[test]
+    fn pattern_before_clause_also_works() {
+        let q = QuestionBuilder::new()
+            .with(Condition::DiseaseNameLike("%SYNDROME%".into()))
+            .exclude_omim_disease()
+            .build();
+        assert_eq!(q.disease, AspectClause::Exclude(Some("%SYNDROME%".into())));
+    }
+
+    #[test]
+    fn combination_switches() {
+        let q = QuestionBuilder::new()
+            .require_go_function()
+            .require_omim_disease()
+            .combine_any()
+            .build();
+        assert_eq!(q.combine, Combination::Any);
+    }
+
+    #[test]
+    fn form_rendering_shows_choices() {
+        let form = QuestionBuilder::new()
+            .require_go_function()
+            .exclude_omim_disease()
+            .render_form();
+        assert!(form.contains("ANNODA query interface"));
+        assert!(form.contains("GO functions:   (x) include"));
+        assert!(form.contains("OMIM diseases:  ( ) include  (x) exclude"));
+        assert!(form.contains("Biological question: Find a set of LocusLink genes"));
+    }
+}

@@ -1,0 +1,122 @@
+//! The source registry and the plug-in procedure.
+//!
+//! "A new relevant data source should be wrapped and plugged in as it
+//! comes into existence." Plugging a source in performs the paper's two
+//! steps: (1) map the new OML to the ANNODA global schema — MDSM runs
+//! here — and (2) create the mediator interface (install the wrapper).
+
+use annoda_mediator::Mediator;
+use annoda_wrap::{SourceDescription, Wrapper};
+
+/// What a plug-in produced: the matching quality and the discovered
+/// entity mappings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlugReport {
+    /// The plugged source's name.
+    pub source: String,
+    /// Accepted mapping rules.
+    pub matched: usize,
+    /// Mean rule score.
+    pub mean_score: f64,
+    /// `(local entity, global entity)` anchors MDSM discovered.
+    pub entities: Vec<(String, String)>,
+    /// Attribute correspondences installed across all entities.
+    pub attributes: usize,
+}
+
+/// The registry of participating annotation sources.
+///
+/// Owns the mediator; [`crate::Annoda`] builds on it.
+#[derive(Default)]
+pub struct SourceRegistry {
+    mediator: Mediator,
+}
+
+impl SourceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plugs in a wrapped source (the two-step procedure) and reports
+    /// the discovered mappings.
+    pub fn plug(&mut self, wrapper: Box<dyn Wrapper>) -> PlugReport {
+        let name = wrapper.name().to_string();
+        let report = self.mediator.register(wrapper);
+        let entities: Vec<(String, String)> = self
+            .mediator
+            .model()
+            .entities_of(&name)
+            .iter()
+            .map(|e| (e.source_entity.clone(), e.global_entity.clone()))
+            .collect();
+        let attributes = self
+            .mediator
+            .model()
+            .entities_of(&name)
+            .iter()
+            .map(|e| e.attributes.len())
+            .sum();
+        PlugReport {
+            source: name,
+            matched: report.matched,
+            mean_score: report.mean_score,
+            entities,
+            attributes,
+        }
+    }
+
+    /// Unplugs a source. Returns whether it was registered.
+    pub fn unplug(&mut self, name: &str) -> bool {
+        self.mediator.unregister(name)
+    }
+
+    /// Registered source descriptions.
+    pub fn sources(&self) -> Vec<&SourceDescription> {
+        self.mediator.sources()
+    }
+
+    /// The mediator behind the registry.
+    pub fn mediator(&self) -> &Mediator {
+        &self.mediator
+    }
+
+    /// Mutable mediator access (optimiser/policy switches, refresh).
+    pub fn mediator_mut(&mut self) -> &mut Mediator {
+        &mut self.mediator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_sources::{Corpus, CorpusConfig};
+    use annoda_wrap::{GoWrapper, LocusLinkWrapper, OmimWrapper};
+
+    #[test]
+    fn plug_reports_discovered_mappings() {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let mut reg = SourceRegistry::new();
+        let r = reg.plug(Box::new(LocusLinkWrapper::new(c.locuslink.clone())));
+        assert_eq!(r.source, "LocusLink");
+        assert!(r
+            .entities
+            .contains(&("Locus".to_string(), "Gene".to_string())));
+        assert!(r.attributes >= 5);
+        assert!(r.mean_score > 0.5);
+
+        let r = reg.plug(Box::new(GoWrapper::new(c.go.clone())));
+        assert!(r.entities.contains(&("Term".to_string(), "Function".to_string())));
+        assert!(r
+            .entities
+            .contains(&("Annotation".to_string(), "Annotation".to_string())));
+
+        let r = reg.plug(Box::new(OmimWrapper::new(c.omim.clone())));
+        assert!(r.entities.contains(&("Entry".to_string(), "Disease".to_string())));
+
+        assert_eq!(reg.sources().len(), 3);
+        assert!(reg.unplug("GO"));
+        assert_eq!(reg.sources().len(), 2);
+        assert!(!reg.unplug("GO"));
+    }
+}

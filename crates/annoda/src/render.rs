@@ -1,0 +1,163 @@
+//! Textual renderings of the Figure 5 screens.
+//!
+//! The paper's UI is a web application; the claims it supports —
+//! single access point, integrated views, web-link navigation — are
+//! semantics, not pixels, so this reproduction renders the same screens
+//! as text: the integrated annotation view (Figure 5b) and the
+//! individual object view (Figure 5c).
+
+use std::fmt::Write as _;
+
+use annoda_mediator::fusion::IntegratedGene;
+
+use crate::navigate::ObjectView;
+
+/// Renders the integrated annotation view (Figure 5b): one block per
+/// gene with its reconciled functions, diseases, and web-links.
+pub fn render_integrated_view(genes: &[IntegratedGene]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Annotation integrated view ({} genes) ===",
+        genes.len()
+    );
+    for g in genes {
+        let _ = writeln!(
+            out,
+            "\n{}  [LocusID {}]  {}  {}",
+            g.symbol,
+            g.gene_id.map(|i| i.to_string()).unwrap_or_else(|| "?".into()),
+            g.organism.as_deref().unwrap_or("?"),
+            g.position.as_deref().unwrap_or("?"),
+        );
+        if let Some(d) = &g.description {
+            let _ = writeln!(out, "  {d}");
+        }
+        for f in &g.functions {
+            let _ = writeln!(
+                out,
+                "  GO  {}  {}{}  {}",
+                f.id,
+                f.name.as_deref().unwrap_or("<unnamed>"),
+                f.evidence
+                    .as_deref()
+                    .map(|e| format!(" [{e}]"))
+                    .unwrap_or_default(),
+                f.link
+            );
+        }
+        for d in &g.diseases {
+            let _ = writeln!(
+                out,
+                "  OMIM {}  {}  {}",
+                d.id,
+                d.name.as_deref().unwrap_or("<untitled>"),
+                d.link
+            );
+        }
+        for p in &g.publications {
+            let _ = writeln!(
+                out,
+                "  PMID {}  {} ({}{})  {}",
+                p.id,
+                p.title.as_deref().unwrap_or("<untitled>"),
+                p.journal.as_deref().unwrap_or("?"),
+                p.year.as_deref().map(|y| format!(", {y}")).unwrap_or_default(),
+                p.link
+            );
+        }
+        for l in &g.links {
+            let _ = writeln!(out, "  link {l}");
+        }
+    }
+    out
+}
+
+/// Renders an individual object view (Figure 5c).
+pub fn render_object_view(view: &ObjectView) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Individual object view: {} {} ===", view.kind, view.key);
+    let width = view
+        .attributes
+        .iter()
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(0);
+    for (k, v) in &view.attributes {
+        let _ = writeln!(out, "  {k:width$}  {v}");
+    }
+    if !view.links.is_empty() {
+        let _ = writeln!(out, "  links:");
+        for l in &view.links {
+            let _ = writeln!(out, "    {l}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_mediator::fusion::{DiseaseInfo, FunctionInfo};
+    use annoda_mediator::WebLink;
+
+    fn sample_gene() -> IntegratedGene {
+        IntegratedGene {
+            symbol: "TP53".into(),
+            gene_id: Some(7157),
+            organism: Some("Homo sapiens".into()),
+            description: Some("tumor protein p53".into()),
+            position: Some("17p13.1".into()),
+            functions: vec![FunctionInfo {
+                id: "GO:0003700".into(),
+                name: Some("transcription factor".into()),
+                namespace: Some("molecular_function".into()),
+                evidence: Some("IDA".into()),
+                sources: vec!["LocusLink".into(), "GO".into()],
+                link: WebLink::external("GO", "http://go/GO:0003700"),
+            }],
+            diseases: vec![DiseaseInfo {
+                id: "151623".into(),
+                name: Some("LI-FRAUMENI SYNDROME 1".into()),
+                inheritance: Some("Autosomal dominant".into()),
+                sources: vec!["OMIM".into()],
+                link: WebLink::external("OMIM", "http://omim/151623"),
+            }],
+            publications: Vec::new(),
+            links: vec![WebLink::internal("gene", "TP53")],
+        }
+    }
+
+    #[test]
+    fn integrated_view_lists_everything() {
+        let text = render_integrated_view(&[sample_gene()]);
+        assert!(text.contains("1 genes"));
+        assert!(text.contains("TP53  [LocusID 7157]"));
+        assert!(text.contains("GO  GO:0003700  transcription factor [IDA]"));
+        assert!(text.contains("OMIM 151623  LI-FRAUMENI SYNDROME 1"));
+        assert!(text.contains("annoda://object/gene/TP53"));
+    }
+
+    #[test]
+    fn object_view_aligns_attributes() {
+        let view = ObjectView {
+            kind: "gene".into(),
+            key: "TP53".into(),
+            attributes: vec![
+                ("Symbol".into(), "TP53".into()),
+                ("Organism".into(), "Homo sapiens".into()),
+            ],
+            links: vec![WebLink::external("LocusLink", "http://ll/7157")],
+        };
+        let text = render_object_view(&view);
+        assert!(text.contains("Individual object view: gene TP53"));
+        assert!(text.contains("Symbol"));
+        assert!(text.contains("http://ll/7157"));
+    }
+
+    #[test]
+    fn empty_view_renders() {
+        let text = render_integrated_view(&[]);
+        assert!(text.contains("0 genes"));
+    }
+}

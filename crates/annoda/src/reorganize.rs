@@ -1,0 +1,316 @@
+//! Re-organisation of retrieved results.
+//!
+//! The paper lists this twice: Table 1 credits every compared system
+//! with "re-organization of result possible", and the future-work
+//! section promises to focus on re-organising retrieved results "to
+//! facilitate the further analysis". This module provides those
+//! operations over the integrated view: grouping, sorting, tabular
+//! export, and summary statistics — the "new operations on integrated
+//! view data" and the feed for "automated large-scale analysis tasks".
+
+use std::collections::BTreeMap;
+
+use annoda_mediator::fusion::IntegratedGene;
+
+/// Grouping dimensions over integrated genes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKey {
+    /// By source organism.
+    Organism,
+    /// By chromosome (parsed from the cytogenetic position).
+    Chromosome,
+    /// By GO namespace of any attached function (a gene with functions
+    /// in two namespaces appears in both groups).
+    GoNamespace,
+    /// By inheritance mode of any associated disease.
+    Inheritance,
+}
+
+/// Sorting keys over integrated genes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortKey {
+    /// Official symbol, lexicographic.
+    Symbol,
+    /// LocusID, numeric (missing ids sort last).
+    LocusId,
+    /// Number of reconciled function annotations.
+    FunctionCount,
+    /// Number of reconciled disease associations.
+    DiseaseCount,
+}
+
+/// The chromosome of a cytogenetic position (`17p13.1` → `17`,
+/// `Xq2.2` → `X`).
+pub fn chromosome_of(position: &str) -> Option<&str> {
+    let end = position.find(['p', 'q'])?;
+    let chr = &position[..end];
+    if chr.is_empty() {
+        None
+    } else {
+        Some(chr)
+    }
+}
+
+/// Groups genes under the chosen key. A gene lacking the key's attribute
+/// lands in the `"<unknown>"` group; multi-valued keys (namespaces,
+/// inheritance) file the gene under every value it carries.
+pub fn group_genes(
+    genes: &[IntegratedGene],
+    key: GroupKey,
+) -> BTreeMap<String, Vec<&IntegratedGene>> {
+    let mut groups: BTreeMap<String, Vec<&IntegratedGene>> = BTreeMap::new();
+    for g in genes {
+        let mut keys: Vec<String> = match key {
+            GroupKey::Organism => vec![g.organism.clone().unwrap_or_default()],
+            GroupKey::Chromosome => vec![g
+                .position
+                .as_deref()
+                .and_then(chromosome_of)
+                .unwrap_or_default()
+                .to_string()],
+            GroupKey::GoNamespace => {
+                let mut ns: Vec<String> = g
+                    .functions
+                    .iter()
+                    .filter_map(|f| f.namespace.clone())
+                    .collect();
+                ns.sort();
+                ns.dedup();
+                ns
+            }
+            GroupKey::Inheritance => {
+                let mut inh: Vec<String> = g
+                    .diseases
+                    .iter()
+                    .filter_map(|d| d.inheritance.clone())
+                    .collect();
+                inh.sort();
+                inh.dedup();
+                inh
+            }
+        };
+        keys.retain(|k| !k.is_empty());
+        if keys.is_empty() {
+            keys.push("<unknown>".to_string());
+        }
+        for k in keys {
+            groups.entry(k).or_default().push(g);
+        }
+    }
+    groups
+}
+
+/// Sorts genes in place by the chosen key.
+pub fn sort_genes(genes: &mut [IntegratedGene], key: SortKey, descending: bool) {
+    genes.sort_by(|a, b| {
+        let ord = match key {
+            SortKey::Symbol => a.symbol.cmp(&b.symbol),
+            SortKey::LocusId => a
+                .gene_id
+                .map(|x| (0, x))
+                .unwrap_or((1, 0))
+                .cmp(&b.gene_id.map(|x| (0, x)).unwrap_or((1, 0))),
+            SortKey::FunctionCount => a.functions.len().cmp(&b.functions.len()),
+            SortKey::DiseaseCount => a.diseases.len().cmp(&b.diseases.len()),
+        };
+        let ord = ord.then_with(|| a.symbol.cmp(&b.symbol));
+        if descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+}
+
+/// Exports the integrated view as a tab-separated table — the machine
+/// interface that "supports automated large-scale analysis tasks".
+/// Multi-valued columns are `;`-joined.
+pub fn to_tsv(genes: &[IntegratedGene]) -> String {
+    let mut out = String::from(
+        "symbol\tlocus_id\torganism\tposition\tdescription\tgo_ids\tmim_numbers\tlinks\n",
+    );
+    for g in genes {
+        let join = |items: Vec<String>| items.join(";");
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            g.symbol,
+            g.gene_id.map(|i| i.to_string()).unwrap_or_default(),
+            g.organism.clone().unwrap_or_default(),
+            g.position.clone().unwrap_or_default(),
+            g.description.clone().unwrap_or_default().replace('\t', " "),
+            join(g.functions.iter().map(|f| f.id.clone()).collect()),
+            join(g.diseases.iter().map(|d| d.id.clone()).collect()),
+            join(g.links.iter().map(|l| l.url.clone()).collect()),
+        ));
+    }
+    out
+}
+
+/// Summary statistics of an integrated view.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ViewSummary {
+    /// Number of genes in the view.
+    pub genes: usize,
+    /// Total function annotations across the view.
+    pub functions_total: usize,
+    /// Mean function annotations per gene.
+    pub functions_mean: f64,
+    /// Total disease associations across the view.
+    pub diseases_total: usize,
+    /// Mean disease associations per gene.
+    pub diseases_mean: f64,
+    /// Gene counts per organism.
+    pub per_organism: BTreeMap<String, usize>,
+}
+
+/// Computes a [`ViewSummary`].
+pub fn summarize(genes: &[IntegratedGene]) -> ViewSummary {
+    let functions_total: usize = genes.iter().map(|g| g.functions.len()).sum();
+    let diseases_total: usize = genes.iter().map(|g| g.diseases.len()).sum();
+    let mut per_organism: BTreeMap<String, usize> = BTreeMap::new();
+    for g in genes {
+        *per_organism
+            .entry(g.organism.clone().unwrap_or_else(|| "<unknown>".into()))
+            .or_default() += 1;
+    }
+    let n = genes.len().max(1) as f64;
+    ViewSummary {
+        genes: genes.len(),
+        functions_total,
+        functions_mean: functions_total as f64 / n,
+        diseases_total,
+        diseases_mean: diseases_total as f64 / n,
+        per_organism,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_mediator::fusion::{DiseaseInfo, FunctionInfo};
+    use annoda_mediator::WebLink;
+
+    fn gene(symbol: &str, id: i64, organism: &str, position: &str, nfn: usize, ndis: usize) -> IntegratedGene {
+        IntegratedGene {
+            symbol: symbol.into(),
+            gene_id: Some(id),
+            organism: Some(organism.into()),
+            description: Some(format!("{symbol} description")),
+            position: Some(position.into()),
+            functions: (0..nfn)
+                .map(|i| FunctionInfo {
+                    id: format!("GO:{i:07}"),
+                    name: Some(format!("fn {i}")),
+                    namespace: Some(
+                        if i % 2 == 0 { "molecular_function" } else { "biological_process" }
+                            .into(),
+                    ),
+                    evidence: None,
+                    sources: vec![],
+                    link: WebLink::internal("function", &format!("GO:{i:07}")),
+                })
+                .collect(),
+            diseases: (0..ndis)
+                .map(|i| DiseaseInfo {
+                    id: format!("{}", 100000 + i),
+                    name: Some(format!("disease {i}")),
+                    inheritance: Some("Autosomal dominant".into()),
+                    sources: vec![],
+                    link: WebLink::internal("disease", "x"),
+                })
+                .collect(),
+            publications: Vec::new(),
+            links: vec![WebLink::external("LocusLink", "http://x")],
+        }
+    }
+
+    #[test]
+    fn chromosome_parsing() {
+        assert_eq!(chromosome_of("17p13.1"), Some("17"));
+        assert_eq!(chromosome_of("Xq2.2"), Some("X"));
+        assert_eq!(chromosome_of("p1"), None);
+        assert_eq!(chromosome_of("nonsense"), None);
+    }
+
+    #[test]
+    fn grouping_by_organism_and_chromosome() {
+        let genes = vec![
+            gene("A", 1, "Homo sapiens", "17p13.1", 1, 0),
+            gene("B", 2, "Homo sapiens", "Xq2.2", 0, 1),
+            gene("C", 3, "Mus musculus", "17q1.1", 2, 0),
+        ];
+        let by_org = group_genes(&genes, GroupKey::Organism);
+        assert_eq!(by_org["Homo sapiens"].len(), 2);
+        assert_eq!(by_org["Mus musculus"].len(), 1);
+        let by_chr = group_genes(&genes, GroupKey::Chromosome);
+        assert_eq!(by_chr["17"].len(), 2);
+        assert_eq!(by_chr["X"].len(), 1);
+    }
+
+    #[test]
+    fn multivalued_grouping_files_under_every_value() {
+        let genes = vec![gene("A", 1, "Homo sapiens", "1p1.1", 2, 0)];
+        let by_ns = group_genes(&genes, GroupKey::GoNamespace);
+        assert_eq!(by_ns.len(), 2, "{by_ns:?}");
+        assert!(by_ns.contains_key("molecular_function"));
+        assert!(by_ns.contains_key("biological_process"));
+        // A gene with no diseases groups under <unknown> for inheritance.
+        let by_inh = group_genes(&genes, GroupKey::Inheritance);
+        assert!(by_inh.contains_key("<unknown>"));
+    }
+
+    #[test]
+    fn sorting_is_stable_and_reversible() {
+        let mut genes = vec![
+            gene("C", 3, "x", "1p1", 0, 2),
+            gene("A", 1, "x", "1p1", 2, 0),
+            gene("B", 2, "x", "1p1", 1, 1),
+        ];
+        sort_genes(&mut genes, SortKey::Symbol, false);
+        assert_eq!(genes[0].symbol, "A");
+        sort_genes(&mut genes, SortKey::FunctionCount, true);
+        assert_eq!(genes[0].symbol, "A");
+        assert_eq!(genes[2].symbol, "C");
+        sort_genes(&mut genes, SortKey::DiseaseCount, false);
+        assert_eq!(genes[0].symbol, "A");
+        sort_genes(&mut genes, SortKey::LocusId, true);
+        assert_eq!(genes[0].gene_id, Some(3));
+    }
+
+    #[test]
+    fn missing_locus_ids_sort_last() {
+        let mut genes = vec![gene("A", 1, "x", "1p1", 0, 0), gene("B", 2, "x", "1p1", 0, 0)];
+        genes[0].gene_id = None;
+        sort_genes(&mut genes, SortKey::LocusId, false);
+        assert_eq!(genes[0].symbol, "B");
+        assert_eq!(genes[1].gene_id, None);
+    }
+
+    #[test]
+    fn tsv_export_has_header_and_rows() {
+        let genes = vec![gene("TP53", 7157, "Homo sapiens", "17p13.1", 2, 1)];
+        let tsv = to_tsv(&genes);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("symbol\tlocus_id"));
+        assert!(lines[1].contains("TP53\t7157\tHomo sapiens"));
+        assert!(lines[1].contains("GO:0000000;GO:0000001"));
+        assert!(lines[1].contains("100000"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let genes = vec![
+            gene("A", 1, "Homo sapiens", "1p1", 2, 1),
+            gene("B", 2, "Mus musculus", "2q1", 0, 1),
+        ];
+        let s = summarize(&genes);
+        assert_eq!(s.genes, 2);
+        assert_eq!(s.functions_total, 2);
+        assert!((s.functions_mean - 1.0).abs() < 1e-9);
+        assert_eq!(s.diseases_total, 2);
+        assert_eq!(s.per_organism["Homo sapiens"], 1);
+        // Empty views are safe.
+        assert_eq!(summarize(&[]).genes, 0);
+    }
+}

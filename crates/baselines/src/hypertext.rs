@@ -1,0 +1,240 @@
+//! Hypertext navigation (SRS / Entrez style).
+//!
+//! The indexed-data-sources approach: the user queries one member
+//! database, gets a page of results with cross-reference links, and
+//! interactively follows links into the other databases. Integration is
+//! achieved "with minimal effort", but there is no global schema, no
+//! automated joins, and every link followed is a round trip.
+//!
+//! [`HypertextSystem::answer`] emulates a user mechanically clicking
+//! through the question — one request per page view — which is exactly
+//! why this architecture "does not support automated large-scale
+//! analysis tasks": the request count scales with genes × links.
+
+use annoda_mediator::fusion::{passes_question, DiseaseInfo, FunctionInfo, IntegratedGene};
+use annoda_mediator::WebLink;
+use annoda_sources::{GoDb, LocusLinkDb, LocusRecord, OmimDb};
+use annoda_wrap::{Cost, LatencyModel};
+
+use crate::system::{
+    GeneQuestion, IntegrationSystem, InterfaceKind, Reconciliation, SystemAnswer, SystemError,
+};
+
+/// Genes listed per index page (pagination of the keyword search).
+const PAGE_SIZE: usize = 20;
+
+/// The SRS/Entrez-style link-navigation system.
+pub struct HypertextSystem {
+    locuslink: LocusLinkDb,
+    go: GoDb,
+    omim: OmimDb,
+    latency: LatencyModel,
+}
+
+impl HypertextSystem {
+    /// Builds the system over the native databases (hypertext systems
+    /// index the sources directly; there is no wrapper layer).
+    pub fn new(locuslink: LocusLinkDb, go: GoDb, omim: OmimDb) -> Self {
+        HypertextSystem {
+            locuslink,
+            go,
+            omim,
+            latency: LatencyModel::remote(),
+        }
+    }
+
+    /// One page view: the gene report for `symbol`, with its outgoing
+    /// links. Charges a request.
+    pub fn gene_page(&self, symbol: &str, cost: &mut Cost) -> Option<(LocusRecord, Vec<WebLink>)> {
+        cost.charge(&self.latency, 1);
+        let rec = self.locuslink.by_symbol(symbol)?.clone();
+        let mut links = vec![WebLink::external("LocusLink", rec.url())];
+        for g in &rec.go_ids {
+            links.push(WebLink::external(
+                "GO",
+                format!("http://www.geneontology.org/term/{g}"),
+            ));
+        }
+        for &m in &rec.omim_ids {
+            links.push(WebLink::external(
+                "OMIM",
+                format!("http://www.ncbi.nlm.nih.gov/omim/{m}"),
+            ));
+        }
+        Some((rec, links))
+    }
+
+    /// Follows a link to a GO term page. Charges a request.
+    pub fn go_page(&self, term_id: &str, cost: &mut Cost) -> Option<FunctionInfo> {
+        cost.charge(&self.latency, 1);
+        let term = self.go.term(term_id)?;
+        Some(FunctionInfo {
+            id: term.id.clone(),
+            name: Some(term.name.clone()),
+            namespace: Some(term.namespace.as_str().to_string()),
+            evidence: None,
+            sources: vec!["GO".to_string()],
+            link: WebLink::external("GO", term.url()),
+        })
+    }
+
+    /// Follows a link to an OMIM entry page. Charges a request.
+    pub fn omim_page(&self, mim: u32, cost: &mut Cost) -> Option<DiseaseInfo> {
+        cost.charge(&self.latency, 1);
+        let e = self.omim.by_mim(mim)?;
+        Some(DiseaseInfo {
+            id: mim.to_string(),
+            name: Some(e.title.clone()),
+            inheritance: e.inheritance.map(|i| i.as_str().to_string()),
+            sources: vec!["OMIM".to_string()],
+            link: WebLink::external("OMIM", e.url()),
+        })
+    }
+}
+
+impl IntegrationSystem for HypertextSystem {
+    fn name(&self) -> &str {
+        "SRS/Entrez (hypertext)"
+    }
+
+    fn architecture(&self) -> &'static str {
+        "hypertext navigation"
+    }
+
+    fn data_model(&self) -> &'static str {
+        "Indexed flat files with cross-reference links; no global schema"
+    }
+
+    fn interface(&self) -> InterfaceKind {
+        InterfaceKind::QueryLanguage("keyword search + manual link navigation")
+    }
+
+    fn reconciliation(&self) -> Reconciliation {
+        Reconciliation::None
+    }
+
+    /// Emulates the user clicking through the whole corpus: page through
+    /// the gene index, open every gene report, follow every GO and OMIM
+    /// link, and keep the genes whose pages satisfy the question. The
+    /// cost is the point: requests ≈ genes × (1 + links).
+    fn answer(&mut self, question: &GeneQuestion) -> Result<SystemAnswer, SystemError> {
+        let mut cost = Cost::new();
+        let symbols: Vec<String> = self.locuslink.scan().map(|r| r.symbol.clone()).collect();
+        // Index pages.
+        for _ in symbols.chunks(PAGE_SIZE) {
+            cost.charge(&self.latency, PAGE_SIZE as u64);
+        }
+        let mut genes = Vec::new();
+        for symbol in &symbols {
+            let Some((rec, _links)) = self.gene_page(symbol, &mut cost) else {
+                continue;
+            };
+            let mut functions = Vec::new();
+            for g in &rec.go_ids {
+                if let Some(f) = self.go_page(g, &mut cost) {
+                    functions.push(f);
+                }
+            }
+            let mut diseases = Vec::new();
+            for &m in &rec.omim_ids {
+                if let Some(d) = self.omim_page(m, &mut cost) {
+                    diseases.push(d);
+                }
+            }
+            let gene = IntegratedGene {
+                symbol: rec.symbol.clone(),
+                gene_id: Some(rec.locus_id as i64),
+                organism: Some(rec.organism.clone()),
+                description: Some(rec.description.clone()),
+                position: Some(rec.position.clone()),
+                functions,
+                diseases,
+                publications: Vec::new(), // link navigation / the expert
+                                          // program do not consult PubMed
+                links: vec![WebLink::external("LocusLink", rec.url())],
+            };
+            // The "user" applies the conditions by reading the pages.
+            if passes_question(question, &gene) {
+                genes.push(gene);
+            }
+        }
+        genes.sort_by(|a, b| a.symbol.cmp(&b.symbol));
+        Ok(SystemAnswer {
+            genes,
+            conflicts: 0, // link navigation cannot see disagreements
+            cost,
+        })
+    }
+
+    fn refresh(&mut self) -> usize {
+        // Hypertext reads the live sources; nothing is cached.
+        self.locuslink.len() + self.go.term_count() + self.omim.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_mediator::decompose::AspectClause;
+    use annoda_sources::{Corpus, CorpusConfig};
+
+    fn system() -> HypertextSystem {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        HypertextSystem::new(c.locuslink, c.go, c.omim)
+    }
+
+    #[test]
+    fn page_views_charge_requests() {
+        let s = system();
+        let mut cost = Cost::new();
+        let symbol = s.locuslink.scan().next().unwrap().symbol.clone();
+        let (rec, links) = s.gene_page(&symbol, &mut cost).unwrap();
+        assert_eq!(cost.requests, 1);
+        assert_eq!(rec.symbol, symbol);
+        assert!(!links.is_empty());
+        assert!(s.gene_page("NO_SUCH_GENE", &mut cost).is_none());
+    }
+
+    #[test]
+    fn answer_cost_scales_with_navigation() {
+        let mut s = system();
+        let q = GeneQuestion::figure5();
+        let ans = s.answer(&q).unwrap();
+        // Every gene page was opened plus every cross link followed.
+        let min_requests = s.locuslink.len() as u64;
+        assert!(
+            ans.cost.requests > min_requests,
+            "navigation must dominate: {} requests",
+            ans.cost.requests
+        );
+        assert_eq!(ans.conflicts, 0);
+    }
+
+    #[test]
+    fn figure5_semantics_match_the_gene_side_of_the_data() {
+        // Hypertext only sees the locus record's own links, so the
+        // answer is: genes with GO links and no OMIM links.
+        let mut s = system();
+        let ans = s.answer(&GeneQuestion::figure5()).unwrap();
+        for g in &ans.genes {
+            assert!(!g.functions.is_empty());
+            assert!(g.diseases.is_empty());
+        }
+        // And it misses GO-side-only annotations by construction: a gene
+        // whose only GO evidence lives in GO's annotation table is not
+        // reachable by link navigation from the locus page.
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let from_pages = s.answer(&q).unwrap().genes.len();
+        let with_go_side = s
+            .locuslink
+            .scan()
+            .filter(|r| {
+                !r.go_ids.is_empty() || s.go.annotations_of_gene(&r.symbol).next().is_some()
+            })
+            .count();
+        assert!(from_pages <= with_go_side);
+    }
+}

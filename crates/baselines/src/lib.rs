@@ -1,0 +1,45 @@
+//! # annoda-baselines — the rival integration architectures
+//!
+//! Section 2 of the paper classifies bioinformatics database
+//! interoperation into four approaches; Section 5 compares ANNODA against
+//! the three systems closest to it (K2/Kleisli, DiscoveryLink, GUS). To
+//! regenerate Table 1 and to quantify the architectural trade-offs, this
+//! crate implements each approach as a *runnable system over the same
+//! wrapped sources*:
+//!
+//! * [`hypertext`] — indexed link navigation (SRS / Entrez style): query
+//!   one source, then follow cross-reference links interactively; no
+//!   global schema, no automated joins;
+//! * [`multidb`] — unmediated multidatabase queries (CPL/Kleisli style):
+//!   the user writes one subquery **per source in the source's own
+//!   vocabulary** and combines results in user code; format/access
+//!   transparency without schema transparency;
+//! * [`middleware`] — SQL-middleware federation (DiscoveryLink style):
+//!   global schema and single access point, but **no reconciliation** of
+//!   inconsistent results and no semi-structured self-description;
+//! * [`warehouse`] — materialised integration (GUS style): an ETL pass
+//!   translates every source into one warehouse store; queries are local
+//!   and fast, data is reconciled at load, but results go **stale**
+//!   between refreshes;
+//! * [`probe`] — the capability probes behind each Table 1 row, executed
+//!   against any [`IntegrationSystem`].
+//!
+//! All systems implement [`IntegrationSystem`], so the Table 1 harness
+//! and the architecture benchmarks drive them uniformly.
+
+pub mod hypertext;
+pub mod middleware;
+pub mod multidb;
+pub mod probe;
+pub mod system;
+pub mod warehouse;
+
+pub use hypertext::HypertextSystem;
+pub use middleware::MiddlewareSystem;
+pub use multidb::MultiDbSystem;
+pub use probe::{probe_all, probe_row, Capability, ProbeOutcome, TABLE1_ROWS};
+pub use system::{
+    EvalFn, GeneQuestion, IntegrationSystem, InterfaceKind, QueryStats, Reconciliation,
+    SystemAnswer, SystemError,
+};
+pub use warehouse::WarehouseSystem;

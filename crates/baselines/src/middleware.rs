@@ -1,0 +1,152 @@
+//! SQL-middleware federation (DiscoveryLink style).
+//!
+//! A global schema, source wrappers, and a single access point — the
+//! same skeleton as ANNODA — but queries are SQL against an
+//! object-relational global schema, and the integrator performs **no
+//! reconciliation of results**: rows from different sources are unioned
+//! and disagreements pass through silently. There is also no
+//! self-describing data model, no user annotations, and no runtime
+//! plug-in of self-generated data (drivers are installed by DBAs, not
+//! end users).
+//!
+//! Implementation note: the data path deliberately reuses the mediator
+//! (wrappers + global schema + pushdown) so that the *architectural*
+//! deltas — reconciliation, interface, extensibility — are the only
+//! differences the probes and benchmarks observe.
+
+use annoda_mediator::{GeneQuestion as MQ, Mediator, ReconcilePolicy};
+use annoda_sources::{GoDb, LocusLinkDb, OmimDb};
+use annoda_wrap::{GoWrapper, LocusLinkWrapper, OmimWrapper};
+
+use crate::system::{
+    GeneQuestion, IntegrationSystem, InterfaceKind, Reconciliation, SystemAnswer, SystemError,
+};
+
+/// The DiscoveryLink-style SQL middleware system.
+pub struct MiddlewareSystem {
+    mediator: Mediator,
+}
+
+impl MiddlewareSystem {
+    /// Builds the middleware over the three sources.
+    pub fn new(locuslink: LocusLinkDb, go: GoDb, omim: OmimDb) -> Self {
+        let mut mediator = Mediator::new();
+        mediator.policy = ReconcilePolicy::Union;
+        mediator.register(Box::new(LocusLinkWrapper::new(locuslink)));
+        mediator.register(Box::new(GoWrapper::new(go)));
+        mediator.register(Box::new(OmimWrapper::new(omim)));
+        MiddlewareSystem { mediator }
+    }
+
+    /// The SQL text a user would submit for a question — middleware
+    /// users write SQL, they do not fill biological forms.
+    pub fn sql_for(question: &GeneQuestion) -> String {
+        let mut sql = String::from("SELECT g.* FROM gene g");
+        let mut wheres: Vec<String> = Vec::new();
+        if question.function.is_active() {
+            sql.push_str(" LEFT JOIN annotation a ON a.symbol = g.symbol");
+        }
+        if question.disease.is_active() {
+            sql.push_str(" LEFT JOIN disease d ON d.symbol = g.symbol");
+        }
+        if let Some(o) = &question.organism {
+            wheres.push(format!("g.organism = '{o}'"));
+        }
+        if let Some(p) = &question.symbol_like {
+            wheres.push(format!("g.symbol LIKE '{p}'"));
+        }
+        if question.function.is_active() {
+            wheres.push("a.function_id IS NOT NULL".into());
+        }
+        if question.disease.is_active() {
+            wheres.push("d.disease_id IS NULL".into());
+        }
+        if !wheres.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&wheres.join(" AND "));
+        }
+        sql
+    }
+}
+
+impl IntegrationSystem for MiddlewareSystem {
+    fn name(&self) -> &str {
+        "DiscoveryLink (SQL middleware)"
+    }
+
+    fn architecture(&self) -> &'static str {
+        "SQL middleware federation"
+    }
+
+    fn data_model(&self) -> &'static str {
+        "Global schema using object-oriented model"
+    }
+
+    fn interface(&self) -> InterfaceKind {
+        InterfaceKind::QueryLanguage("SQL")
+    }
+
+    fn reconciliation(&self) -> Reconciliation {
+        Reconciliation::None
+    }
+
+    fn answer(&mut self, question: &GeneQuestion) -> Result<SystemAnswer, SystemError> {
+        let q: &MQ = question;
+        let answer = self
+            .mediator
+            .answer(q)
+            .map_err(|e| SystemError::Internal(e.to_string()))?;
+        Ok(SystemAnswer {
+            genes: answer.fused.genes,
+            // The union result ships as-is; no conflict report exists in
+            // this architecture.
+            conflicts: 0,
+            cost: answer.cost,
+        })
+    }
+
+    fn refresh(&mut self) -> usize {
+        self.mediator.refresh_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_sources::{Corpus, CorpusConfig};
+
+    fn system() -> MiddlewareSystem {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        MiddlewareSystem::new(c.locuslink, c.go, c.omim)
+    }
+
+    #[test]
+    fn answers_like_a_federation_but_reports_no_conflicts() {
+        let mut s = system();
+        let ans = s.answer(&GeneQuestion::figure5()).unwrap();
+        assert_eq!(ans.conflicts, 0);
+        assert!(ans.cost.requests >= 3);
+    }
+
+    #[test]
+    fn sql_rendering_reflects_the_question() {
+        let sql = MiddlewareSystem::sql_for(&GeneQuestion::figure5());
+        assert!(sql.contains("LEFT JOIN annotation"));
+        assert!(sql.contains("d.disease_id IS NULL"));
+        let sql2 = MiddlewareSystem::sql_for(&GeneQuestion {
+            organism: Some("Homo sapiens".into()),
+            ..GeneQuestion::default()
+        });
+        assert!(sql2.contains("g.organism = 'Homo sapiens'"));
+    }
+
+    #[test]
+    fn no_annoda_extensions() {
+        let mut s = system();
+        assert!(!s.annotate("X", "note"));
+        assert!(s.self_describe("X").is_none());
+        assert!(!s.plug_user_source("mine", &[]));
+        assert!(s.archive().is_none());
+        assert!(s.eval("f", "X").is_none());
+    }
+}

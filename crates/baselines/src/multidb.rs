@@ -1,0 +1,334 @@
+//! Unmediated multidatabase queries (CPL/Kleisli style).
+//!
+//! The user constructs complex queries that are evaluated against
+//! multiple heterogeneous databases — but **there is no integrated
+//! schema**: the user addresses each source in its own vocabulary and
+//! combines results in user code. This module plays that expert user:
+//! [`MultiDbSystem::answer`] runs a canned program whose subqueries
+//! hard-code the LocusLink/GO/OMIM vocabularies (`Locus.GOID`,
+//! `Annotation.Accession`, `Entry.MimNumber`, …) and joins by hand.
+//!
+//! Consequences the probes observe: format and access transparency, but
+//! no schema transparency, no reconciliation (disagreements are silently
+//! unioned), and no plug-in extensibility (a new source means a new
+//! user program).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use annoda_mediator::fusion::{passes_question, DiseaseInfo, FunctionInfo, IntegratedGene};
+use annoda_mediator::WebLink;
+use annoda_sources::{GoDb, LocusLinkDb, OmimDb};
+use annoda_wrap::{Cost, GoWrapper, LocusLinkWrapper, OmimWrapper, Wrapper};
+
+use crate::system::{
+    GeneQuestion, IntegrationSystem, InterfaceKind, Reconciliation, SystemAnswer, SystemError,
+};
+
+/// `(name, namespace-or-inheritance, url)` detail columns keyed by id.
+type DetailMap = HashMap<String, (Option<String>, Option<String>, Option<String>)>;
+
+/// The K2/Kleisli-style unmediated multidatabase system.
+pub struct MultiDbSystem {
+    locuslink: LocusLinkWrapper,
+    go: GoWrapper,
+    omim: OmimWrapper,
+}
+
+impl MultiDbSystem {
+    /// Builds the system over the three sources (each behind a driver,
+    /// i.e. our wrapper, but with no mapping layer above).
+    pub fn new(locuslink: LocusLinkDb, go: GoDb, omim: OmimDb) -> Self {
+        MultiDbSystem {
+            locuslink: LocusLinkWrapper::new(locuslink),
+            go: GoWrapper::new(go),
+            omim: OmimWrapper::new(omim),
+        }
+    }
+
+    /// Runs one user-written subquery against a named source. This is
+    /// the CPL-level interface: the user must know each source's schema.
+    pub fn run_subquery(
+        &self,
+        source: &str,
+        lorel: &str,
+        cost: &mut Cost,
+    ) -> Result<annoda_wrap::SubqueryResult, SystemError> {
+        let wrapper: &dyn Wrapper = match source {
+            "LocusLink" => &self.locuslink,
+            "GO" => &self.go,
+            "OMIM" => &self.omim,
+            other => return Err(SystemError::Internal(format!("unknown source {other}"))),
+        };
+        wrapper
+            .subquery(lorel, cost)
+            .map_err(|e| SystemError::Internal(e.to_string()))
+    }
+}
+
+impl IntegrationSystem for MultiDbSystem {
+    fn name(&self) -> &str {
+        "K2/Kleisli (unmediated multidatabase)"
+    }
+
+    fn architecture(&self) -> &'static str {
+        "unmediated multidatabase queries"
+    }
+
+    fn data_model(&self) -> &'static str {
+        "Global schema using object-oriented model"
+    }
+
+    fn interface(&self) -> InterfaceKind {
+        InterfaceKind::QueryLanguage("CPL/OQL")
+    }
+
+    fn reconciliation(&self) -> Reconciliation {
+        Reconciliation::None
+    }
+
+    /// The canned expert program. Note every subquery spells out the
+    /// *source* vocabulary — the defining property of the approach.
+    fn answer(&mut self, question: &GeneQuestion) -> Result<SystemAnswer, SystemError> {
+        let mut cost = Cost::new();
+
+        // Q1: loci, in LocusLink's vocabulary (the expert pushes the
+        // organism filter down by hand).
+        let mut q1 = "select L.Symbol, L.LocusID, L.Organism, L.Description, L.Position, \
+                      L.GOID, L.MIM from LocusLink.Locus L"
+            .to_string();
+        if let Some(o) = &question.organism {
+            q1.push_str(&format!(r#" where L.Organism = "{o}""#));
+        }
+        let loci = self.run_subquery("LocusLink", &q1, &mut cost)?;
+
+        // Q2: GO annotations, in GO's vocabulary.
+        let anns = self.run_subquery(
+            "GO",
+            "select A.Gene, A.Accession, A.EvidenceCode from GO.Annotation A",
+            &mut cost,
+        )?;
+
+        // Q3: GO term names (for patterns / display).
+        let terms = self.run_subquery(
+            "GO",
+            "select T.Accession, T.TermName, T.Ontology, T.Url from GO.Term T",
+            &mut cost,
+        )?;
+
+        // Q4: OMIM entries, in OMIM's vocabulary.
+        let entries = self.run_subquery(
+            "OMIM",
+            "select E.MimNumber, E.Title, E.GeneSymbol, E.Inheritance, E.Url from OMIM.Entry E",
+            &mut cost,
+        )?;
+
+        // User code combines the four result sets. Union semantics, no
+        // conflict detection.
+        let term_name: DetailMap = terms
+            .row_oids()
+            .into_iter()
+            .filter_map(|r| {
+                let s = &terms.store;
+                let acc = s.child_value(r, "Accession")?.as_text();
+                Some((
+                    acc,
+                    (
+                        s.child_value(r, "TermName").map(|v| v.as_text()),
+                        s.child_value(r, "Ontology").map(|v| v.as_text()),
+                        s.child_value(r, "Url").map(|v| v.as_text()),
+                    ),
+                ))
+            })
+            .collect();
+
+        let mut go_of_gene: BTreeMap<String, BTreeMap<String, Option<String>>> = BTreeMap::new();
+        for r in anns.row_oids() {
+            let s = &anns.store;
+            let (Some(g), Some(a)) = (s.child_value(r, "Gene"), s.child_value(r, "Accession"))
+            else {
+                continue;
+            };
+            go_of_gene
+                .entry(g.as_text())
+                .or_default()
+                .insert(a.as_text(), s.child_value(r, "EvidenceCode").map(|v| v.as_text()));
+        }
+
+        let mut dis_of_gene: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut dis_detail: DetailMap = HashMap::new();
+        for r in entries.row_oids() {
+            let s = &entries.store;
+            let Some(mim) = s.child_value(r, "MimNumber") else {
+                continue;
+            };
+            let mim = mim.as_text();
+            dis_detail.insert(
+                mim.clone(),
+                (
+                    s.child_value(r, "Title").map(|v| v.as_text()),
+                    s.child_value(r, "Inheritance").map(|v| v.as_text()),
+                    s.child_value(r, "Url").map(|v| v.as_text()),
+                ),
+            );
+            for sym in s.children(r, "GeneSymbol") {
+                if let Some(v) = s.value_of(sym) {
+                    dis_of_gene.entry(v.as_text()).or_default().insert(mim.clone());
+                }
+            }
+        }
+
+        let mut genes = Vec::new();
+        for r in loci.row_oids() {
+            let s = &loci.store;
+            let Some(symbol) = s.child_value(r, "Symbol").map(|v| v.as_text()) else {
+                continue;
+            };
+            // Union of both sides, blindly (no reconciliation).
+            let mut fids: BTreeSet<String> = s
+                .children(r, "GOID")
+                .filter_map(|o| s.value_of(o).map(|v| v.as_text()))
+                .collect();
+            let empty = BTreeMap::new();
+            let go_side = go_of_gene.get(&symbol).unwrap_or(&empty);
+            fids.extend(go_side.keys().cloned());
+            let functions: Vec<FunctionInfo> = fids
+                .into_iter()
+                .map(|fid| {
+                    let (name, namespace, url) =
+                        term_name.get(&fid).cloned().unwrap_or((None, None, None));
+                    FunctionInfo {
+                        link: match url {
+                            Some(u) => WebLink::external("GO", u),
+                            None => WebLink::internal("function", &fid),
+                        },
+                        evidence: go_side.get(&fid).cloned().flatten(),
+                        sources: vec![],
+                        id: fid,
+                        name,
+                        namespace,
+                    }
+                })
+                .collect();
+
+            let mut dids: BTreeSet<String> = s
+                .children(r, "MIM")
+                .filter_map(|o| s.value_of(o).map(|v| v.as_text()))
+                .collect();
+            if let Some(more) = dis_of_gene.get(&symbol) {
+                dids.extend(more.iter().cloned());
+            }
+            let diseases: Vec<DiseaseInfo> = dids
+                .into_iter()
+                .map(|did| {
+                    let (name, inheritance, url) =
+                        dis_detail.get(&did).cloned().unwrap_or((None, None, None));
+                    DiseaseInfo {
+                        link: match url {
+                            Some(u) => WebLink::external("OMIM", u),
+                            None => WebLink::internal("disease", &did),
+                        },
+                        sources: vec![],
+                        id: did,
+                        name,
+                        inheritance,
+                    }
+                })
+                .collect();
+
+            let gene = IntegratedGene {
+                gene_id: s
+                    .child_value(r, "LocusID")
+                    .and_then(|v| v.as_text().parse().ok()),
+                organism: s.child_value(r, "Organism").map(|v| v.as_text()),
+                description: s.child_value(r, "Description").map(|v| v.as_text()),
+                position: s.child_value(r, "Position").map(|v| v.as_text()),
+                functions,
+                diseases,
+                publications: Vec::new(), // link navigation / the expert
+                                          // program do not consult PubMed
+                links: Vec::new(),
+                symbol,
+            };
+            if passes_question(question, &gene) {
+                genes.push(gene);
+            }
+        }
+        genes.sort_by(|a, b| a.symbol.cmp(&b.symbol));
+        Ok(SystemAnswer {
+            genes,
+            conflicts: 0, // silently unioned
+            cost,
+        })
+    }
+
+    fn refresh(&mut self) -> usize {
+        self.locuslink.refresh() + self.go.refresh() + self.omim.refresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_sources::{Corpus, CorpusConfig};
+
+    fn system() -> (MultiDbSystem, Corpus) {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        (
+            MultiDbSystem::new(c.locuslink.clone(), c.go.clone(), c.omim.clone()),
+            c,
+        )
+    }
+
+    #[test]
+    fn expert_program_answers_figure5() {
+        let (mut s, corpus) = system();
+        let ans = s.answer(&GeneQuestion::figure5()).unwrap();
+        // Same gene set as the corpus ground truth under union semantics.
+        let mut expected: Vec<String> = corpus
+            .locuslink
+            .scan()
+            .filter(|r| {
+                let has_fn = !r.go_ids.is_empty()
+                    || corpus.go.annotations_of_gene(&r.symbol).next().is_some();
+                let has_dis = !r.omim_ids.is_empty()
+                    || corpus.omim.by_gene(&r.symbol).next().is_some();
+                has_fn && !has_dis
+            })
+            .map(|r| r.symbol.clone())
+            .collect();
+        expected.sort();
+        let got: Vec<String> = ans.genes.iter().map(|g| g.symbol.clone()).collect();
+        assert_eq!(got, expected);
+        // …but the user is never told about disagreements.
+        assert_eq!(ans.conflicts, 0);
+    }
+
+    #[test]
+    fn subqueries_are_in_source_vocabulary() {
+        let (s, _) = system();
+        let mut cost = Cost::new();
+        // The schema-transparency gap: the same concept needs three
+        // spellings.
+        assert!(s
+            .run_subquery("LocusLink", "select L.Symbol from LocusLink.Locus L", &mut cost)
+            .is_ok());
+        assert!(s
+            .run_subquery("GO", "select A.Gene from GO.Annotation A", &mut cost)
+            .is_ok());
+        assert!(s
+            .run_subquery("OMIM", "select E.GeneSymbol from OMIM.Entry E", &mut cost)
+            .is_ok());
+        assert!(s
+            .run_subquery("Nowhere", "select X from Y X", &mut cost)
+            .is_err());
+    }
+
+    #[test]
+    fn no_extensibility_hooks() {
+        let (mut s, _) = system();
+        assert!(!s.plug_user_source("mine", &[("TP53".into(), "note".into())]));
+        assert!(!s.annotate("TP53", "note"));
+        assert!(s.self_describe("TP53").is_none());
+        assert!(s.archive().is_none());
+    }
+}

@@ -1,0 +1,207 @@
+//! The common surface every integration architecture implements.
+//!
+//! The Table 1 probes and the quantitative benchmarks drive all systems
+//! through this trait. Methods default to "not supported" so each
+//! architecture only implements what it genuinely offers — the probes
+//! then *observe* the differences rather than reading a feature list.
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use annoda_mediator::decompose::GeneQuestion;
+use annoda_mediator::IntegratedGene;
+use annoda_wrap::Cost;
+
+/// How the user expresses queries against the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterfaceKind {
+    /// Structured biological questions (no query-language knowledge).
+    BiologicalForm,
+    /// A query language the user must know (SQL, OQL, CPL).
+    QueryLanguage(&'static str),
+}
+
+impl fmt::Display for InterfaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterfaceKind::BiologicalForm => {
+                write!(
+                    f,
+                    "Require Biological terms and knowledge; No require knowledge of SQL"
+                )
+            }
+            InterfaceKind::QueryLanguage(l) => write!(f, "Require knowledge of {l}"),
+        }
+    }
+}
+
+/// When (if ever) the system reconciles inconsistent sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reconciliation {
+    /// Results are shipped as-is; disagreements pass through silently.
+    None,
+    /// Data is reconciled and cleansed when loaded into the repository.
+    AtLoad,
+    /// Results are reconciled at query time, with conflicts reported.
+    AtQuery,
+}
+
+/// An answer from any system, in the common integrated form.
+#[derive(Debug, Clone)]
+pub struct SystemAnswer {
+    /// Integrated genes passing the question.
+    pub genes: Vec<IntegratedGene>,
+    /// Conflicts the system *detected* (0 for non-reconciling systems
+    /// even when the data disagrees — that is the point of row 8).
+    pub conflicts: usize,
+    /// Simulated source-access cost of producing the answer.
+    pub cost: Cost,
+}
+
+/// Errors a system may raise while answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// The architecture cannot answer this automatically.
+    Unsupported(String),
+    /// An internal failure (wrapper, query, …).
+    Internal(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Unsupported(what) => write!(f, "not supported: {what}"),
+            SystemError::Internal(what) => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// A user-registered specialty evaluation function over integrated genes
+/// (Table 1 row 14).
+pub type EvalFn = Arc<dyn Fn(&IntegratedGene) -> f64 + Send + Sync>;
+
+/// Statistics for one query run, used by the architecture benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Genes returned.
+    pub genes: usize,
+    /// Conflicts detected.
+    pub conflicts: usize,
+    /// Source requests issued.
+    pub requests: u64,
+    /// Records shipped.
+    pub records: u64,
+    /// Simulated microseconds.
+    pub virtual_us: u64,
+}
+
+impl QueryStats {
+    /// Derives stats from an answer.
+    pub fn of(answer: &SystemAnswer) -> Self {
+        QueryStats {
+            genes: answer.genes.len(),
+            conflicts: answer.conflicts,
+            requests: answer.cost.requests,
+            records: answer.cost.records,
+            virtual_us: answer.cost.virtual_us,
+        }
+    }
+}
+
+/// One integration architecture over the wrapped annotation sources.
+pub trait IntegrationSystem {
+    /// Display name (`ANNODA`, `K2/Kleisli`, …).
+    fn name(&self) -> &str;
+
+    /// The architecture class (`federated`, `warehouse`, …).
+    fn architecture(&self) -> &'static str;
+
+    /// The global data-model answer for Table 1 row 2.
+    fn data_model(&self) -> &'static str;
+
+    /// How users pose queries (row 4).
+    fn interface(&self) -> InterfaceKind;
+
+    /// When the system reconciles (row 8) — verified behaviourally by
+    /// the probe against the conflicts the answer reports.
+    fn reconciliation(&self) -> Reconciliation;
+
+    /// Answers a biological question through the architecture's own
+    /// machinery (for query-language systems this runs the equivalent
+    /// canned expert program).
+    fn answer(&mut self, question: &GeneQuestion) -> Result<SystemAnswer, SystemError>;
+
+    /// Propagates native-source updates into the system (re-export /
+    /// re-ETL). Returns the number of objects now visible.
+    fn refresh(&mut self) -> usize;
+
+    /// Attaches a user annotation to an integrated object (row 11).
+    fn annotate(&mut self, _symbol: &str, _note: &str) -> bool {
+        false
+    }
+
+    /// User annotations previously attached (row 11).
+    fn annotations_of(&self, _symbol: &str) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The self-describing (OEM textual) form of one integrated object
+    /// (row 12).
+    fn self_describe(&mut self, _symbol: &str) -> Option<String> {
+        None
+    }
+
+    /// Plugs in a self-generated data source at runtime (row 13).
+    fn plug_user_source(&mut self, _name: &str, _items: &[(String, String)]) -> bool {
+        false
+    }
+
+    /// Registers a specialty evaluation function (row 14).
+    fn register_eval_fn(&mut self, _name: &str, _f: EvalFn) -> bool {
+        false
+    }
+
+    /// Evaluates a registered function over a symbol's integrated record
+    /// (row 14).
+    fn eval(&mut self, _fn_name: &str, _symbol: &str) -> Option<f64> {
+        None
+    }
+
+    /// Takes an archival snapshot; returns the number of archived
+    /// objects (row 15).
+    fn archive(&mut self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_kind_displays() {
+        assert!(InterfaceKind::BiologicalForm.to_string().contains("Biological"));
+        assert!(!InterfaceKind::BiologicalForm.to_string().contains("SQL\""));
+        assert!(InterfaceKind::QueryLanguage("SQL").to_string().contains("SQL"));
+    }
+
+    #[test]
+    fn stats_derive_from_answer() {
+        let a = SystemAnswer {
+            genes: vec![],
+            conflicts: 3,
+            cost: Cost {
+                requests: 2,
+                records: 10,
+                virtual_us: 999,
+            },
+        };
+        let s = QueryStats::of(&a);
+        assert_eq!(s.conflicts, 3);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.virtual_us, 999);
+        assert_eq!(s.genes, 0);
+    }
+}

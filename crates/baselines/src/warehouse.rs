@@ -1,0 +1,374 @@
+//! Data warehousing (GUS style).
+//!
+//! An ETL pass extracts every source, translates it into the warehouse
+//! schema, reconciles and cleanses it, and loads one materialised store.
+//! Queries then run locally — fast and with integrated results — but
+//! the warehouse goes **stale** between refreshes, and every refresh
+//! repeats the full extraction cost. GUS-style systems additionally
+//! support user annotations on warehouse rows, integration of
+//! self-generated data, and archival snapshots; Table 1 credits them for
+//! exactly those rows.
+
+use std::collections::HashMap;
+
+use annoda_mediator::fusion::passes_question;
+use annoda_oem::OemStore;
+use annoda_mediator::{
+    GeneQuestion as MQ, IntegratedGene, Mediator, OptimizerConfig, ReconcilePolicy,
+};
+use annoda_sources::{GoDb, LocusLinkDb, OmimDb};
+use annoda_wrap::{Cost, GoWrapper, LatencyModel, LocusLinkWrapper, OmimWrapper};
+
+use crate::system::{
+    GeneQuestion, IntegrationSystem, InterfaceKind, Reconciliation, SystemAnswer, SystemError,
+};
+
+/// The GUS-style warehouse.
+pub struct WarehouseSystem {
+    /// Used only at ETL time (extraction from the remote sources).
+    mediator: Mediator,
+    /// The materialised, reconciled store.
+    store: Vec<IntegratedGene>,
+    /// Conflicts cleansed during the last load.
+    cleansed_at_load: usize,
+    /// Cumulative ETL cost (extraction is the expensive part).
+    etl_cost: Cost,
+    /// User annotations on warehouse rows.
+    annotations: HashMap<String, Vec<String>>,
+    /// Archived snapshots: (version, genes archived).
+    archives: Vec<(usize, usize)>,
+    version: usize,
+    local: LatencyModel,
+    /// Per-source OML snapshots taken at the last load, for the
+    /// diff-driven incremental refresh.
+    oml_snapshots: HashMap<String, OemStore>,
+}
+
+impl WarehouseSystem {
+    /// Builds the warehouse and runs the initial ETL load.
+    pub fn new(locuslink: LocusLinkDb, go: GoDb, omim: OmimDb) -> Self {
+        let mut mediator = Mediator::new();
+        mediator.policy = ReconcilePolicy::Union;
+        // ETL extracts everything; no pushdown, no source selection.
+        mediator.optimizer = OptimizerConfig {
+            pushdown: false,
+            source_selection: false,
+            bind_join: false,
+        };
+        mediator.register(Box::new(LocusLinkWrapper::new(locuslink)));
+        mediator.register(Box::new(GoWrapper::new(go)));
+        mediator.register(Box::new(OmimWrapper::new(omim)));
+        let mut wh = WarehouseSystem {
+            mediator,
+            store: Vec::new(),
+            cleansed_at_load: 0,
+            etl_cost: Cost::new(),
+            annotations: HashMap::new(),
+            archives: Vec::new(),
+            version: 0,
+            local: LatencyModel::local(),
+            oml_snapshots: HashMap::new(),
+        };
+        wh.load();
+        wh
+    }
+
+    /// The ETL pass: extract all sources, reconcile, materialise.
+    pub fn load(&mut self) -> usize {
+        let answer = self
+            .mediator
+            .answer(&MQ::default())
+            .expect("ETL over registered sources");
+        self.etl_cost += answer.cost;
+        self.cleansed_at_load = answer.fused.conflicts.len();
+        self.store = answer.fused.genes;
+        self.version += 1;
+        // Snapshot the OMLs so the next refresh can detect change.
+        self.oml_snapshots = self
+            .mediator
+            .sources()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|name| {
+                self.mediator
+                    .wrapper(&name)
+                    .map(|w| (name.clone(), w.oml().clone()))
+            })
+            .collect();
+        self.store.len()
+    }
+
+    /// Diff-driven incremental refresh: re-export every OML and compare
+    /// it structurally against the snapshot taken at the last load; run
+    /// the expensive ETL only when some source actually changed.
+    /// Returns the number of sources that changed.
+    pub fn refresh_incremental(&mut self) -> usize {
+        self.mediator.refresh_all();
+        let names: Vec<String> = self
+            .mediator
+            .sources()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        let mut changed = 0usize;
+        for name in names {
+            let Some(wrapper) = self.mediator.wrapper(&name) else {
+                continue;
+            };
+            let fresh = wrapper.oml();
+            let unchanged = match self.oml_snapshots.get(&name) {
+                Some(old) => match (old.named(&name), fresh.named(&name)) {
+                    (Some(ra), Some(rb)) => {
+                        annoda_oem::graph::diff(old, ra, fresh, rb).is_empty()
+                    }
+                    _ => false,
+                },
+                None => false,
+            };
+            if !unchanged {
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.load();
+        }
+        changed
+    }
+
+    /// Conflicts reconciled and cleansed during the last load.
+    pub fn cleansed_at_load(&self) -> usize {
+        self.cleansed_at_load
+    }
+
+    /// Cumulative extraction cost across loads.
+    pub fn etl_cost(&self) -> Cost {
+        self.etl_cost
+    }
+
+    /// The current warehouse version (increments per load).
+    pub fn version(&self) -> usize {
+        self.version
+    }
+
+    /// Mutable access to the underlying mediator's wrappers — the
+    /// freshness experiment updates the native sources through this.
+    pub fn mediator_mut(&mut self) -> &mut Mediator {
+        &mut self.mediator
+    }
+}
+
+impl IntegrationSystem for WarehouseSystem {
+    fn name(&self) -> &str {
+        "GUS (data warehouse)"
+    }
+
+    fn architecture(&self) -> &'static str {
+        "data warehouse"
+    }
+
+    fn data_model(&self) -> &'static str {
+        "GUS schema based on relational model; OO views"
+    }
+
+    fn interface(&self) -> InterfaceKind {
+        InterfaceKind::QueryLanguage("SQL")
+    }
+
+    fn reconciliation(&self) -> Reconciliation {
+        Reconciliation::AtLoad
+    }
+
+    /// Queries run against the local materialised store: one local
+    /// "request" scanning the warehouse — no source round trips.
+    fn answer(&mut self, question: &GeneQuestion) -> Result<SystemAnswer, SystemError> {
+        let mut cost = Cost::new();
+        cost.charge(&self.local, self.store.len() as u64);
+        let genes: Vec<IntegratedGene> = self
+            .store
+            .iter()
+            .filter(|g| passes_question(question, g))
+            .cloned()
+            .collect();
+        Ok(SystemAnswer {
+            genes,
+            conflicts: 0, // already cleansed at load
+            cost,
+        })
+    }
+
+    /// Refresh = full re-ETL (the expensive warehouse maintenance).
+    fn refresh(&mut self) -> usize {
+        self.mediator.refresh_all();
+        self.load()
+    }
+
+    fn annotate(&mut self, symbol: &str, note: &str) -> bool {
+        if self.store.iter().any(|g| g.symbol == symbol) {
+            self.annotations
+                .entry(symbol.to_string())
+                .or_default()
+                .push(note.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn annotations_of(&self, symbol: &str) -> Vec<String> {
+        self.annotations.get(symbol).cloned().unwrap_or_default()
+    }
+
+    fn plug_user_source(&mut self, name: &str, items: &[(String, String)]) -> bool {
+        // Self-generated data is loaded into the warehouse like any
+        // other extraction: notes land on the matching rows.
+        let mut loaded = false;
+        for (symbol, note) in items {
+            if self.store.iter().any(|g| &g.symbol == symbol) {
+                self.annotations
+                    .entry(symbol.clone())
+                    .or_default()
+                    .push(format!("[{name}] {note}"));
+                loaded = true;
+            }
+        }
+        loaded
+    }
+
+    fn archive(&mut self) -> Option<usize> {
+        self.archives.push((self.version, self.store.len()));
+        Some(self.store.len())
+    }
+
+    fn self_describe(&mut self, _symbol: &str) -> Option<String> {
+        None // relational rows are not self-describing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_sources::{Corpus, CorpusConfig};
+    use annoda_wrap::Wrapper;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig::tiny(42))
+    }
+
+    fn system() -> WarehouseSystem {
+        let c = corpus();
+        WarehouseSystem::new(c.locuslink, c.go, c.omim)
+    }
+
+    #[test]
+    fn queries_are_local_after_load() {
+        let mut s = system();
+        let etl = s.etl_cost();
+        assert!(etl.requests >= 3, "load contacted every source");
+        let ans = s.answer(&GeneQuestion::figure5()).unwrap();
+        assert_eq!(ans.cost.requests, 1, "one local scan");
+        assert!(
+            ans.cost.virtual_us < etl.virtual_us,
+            "query {} must be far cheaper than ETL {}",
+            ans.cost.virtual_us,
+            etl.virtual_us
+        );
+    }
+
+    #[test]
+    fn conflicts_are_cleansed_at_load_not_at_query() {
+        let c = Corpus::generate(CorpusConfig {
+            loci: 60,
+            go_terms: 30,
+            omim_entries: 20,
+            seed: 9,
+            inconsistency_rate: 0.5,
+        });
+        let mut s = WarehouseSystem::new(c.locuslink, c.go, c.omim);
+        assert!(s.cleansed_at_load() > 0);
+        let ans = s.answer(&GeneQuestion::default()).unwrap();
+        assert_eq!(ans.conflicts, 0);
+    }
+
+    #[test]
+    fn staleness_until_refresh() {
+        let mut s = system();
+        // Update a native source through the mediator's wrapper.
+        let symbol = s.store[0].symbol.clone();
+        {
+            let w = s
+                .mediator_mut()
+                .wrapper_mut("LocusLink")
+                .unwrap()
+                .as_any_mut()
+                .downcast_mut::<annoda_wrap::LocusLinkWrapper>()
+                .unwrap();
+            let id = w.db().by_symbol(&symbol).unwrap().locus_id;
+            w.db_mut().by_id_mut(id).unwrap().description = "FRESH DESCRIPTION".into();
+            w.refresh();
+        }
+        // The warehouse still serves the stale row…
+        let stale = s.answer(&GeneQuestion::default()).unwrap();
+        let row = stale.genes.iter().find(|g| g.symbol == symbol).unwrap();
+        assert_ne!(row.description.as_deref(), Some("FRESH DESCRIPTION"));
+        // …until the ETL re-runs.
+        let v = s.version();
+        s.refresh();
+        assert_eq!(s.version(), v + 1);
+        let fresh = s.answer(&GeneQuestion::default()).unwrap();
+        let row = fresh.genes.iter().find(|g| g.symbol == symbol).unwrap();
+        assert_eq!(row.description.as_deref(), Some("FRESH DESCRIPTION"));
+    }
+
+    #[test]
+    fn incremental_refresh_skips_unchanged_sources() {
+        let mut s = system();
+        let etl_before = s.etl_cost();
+        let v = s.version();
+        // Nothing changed: no re-ETL.
+        assert_eq!(s.refresh_incremental(), 0);
+        assert_eq!(s.version(), v);
+        assert_eq!(s.etl_cost(), etl_before, "no extraction cost paid");
+
+        // Change one native source: exactly one source reports change
+        // and the warehouse reloads.
+        let symbol = s.store[0].symbol.clone();
+        {
+            let w = s
+                .mediator_mut()
+                .wrapper_mut("LocusLink")
+                .unwrap()
+                .as_any_mut()
+                .downcast_mut::<annoda_wrap::LocusLinkWrapper>()
+                .unwrap();
+            let id = w.db().by_symbol(&symbol).unwrap().locus_id;
+            w.db_mut().by_id_mut(id).unwrap().description = "CHANGED".into();
+        }
+        assert_eq!(s.refresh_incremental(), 1);
+        assert_eq!(s.version(), v + 1);
+        assert!(s.etl_cost().virtual_us > etl_before.virtual_us);
+        let row = s
+            .answer(&GeneQuestion::default())
+            .unwrap()
+            .genes
+            .into_iter()
+            .find(|g| g.symbol == symbol)
+            .unwrap();
+        assert_eq!(row.description.as_deref(), Some("CHANGED"));
+    }
+
+    #[test]
+    fn gus_features_annotations_plugin_archive() {
+        let mut s = system();
+        let symbol = s.store[0].symbol.clone();
+        assert!(s.annotate(&symbol, "my observation"));
+        assert!(!s.annotate("NO_SUCH", "x"));
+        assert_eq!(s.annotations_of(&symbol), vec!["my observation"]);
+        assert!(s.plug_user_source("lab-data", &[(symbol.clone(), "expr high".into())]));
+        assert_eq!(s.annotations_of(&symbol).len(), 2);
+        assert_eq!(s.archive(), Some(s.store.len()));
+        // But no self-describing model.
+        assert!(s.self_describe(&symbol).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Access-path comparison: the wrappers' index-backed point lookup vs
+//! the generic scan for the same subquery. The navigator's object views
+//! and the bind join issue exactly these lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use annoda_bench::workload;
+use annoda_wrap::{Cost, CustomWrapper, GoWrapper, SourceDescription, Wrapper};
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let corpus = workload::corpus_of(2000, 7);
+    let indexed = GoWrapper::new(corpus.go.clone());
+    // The same OML behind a wrapper with no indexes: the scan path.
+    let plain = CustomWrapper::new(
+        SourceDescription::remote("GO", "unindexed GO", "http://go"),
+        indexed.oml().clone(),
+    );
+    let symbol = corpus
+        .go
+        .annotations()
+        .next()
+        .map(|a| a.gene_symbol.clone())
+        .expect("annotations exist");
+    let query = format!(
+        r#"select A.Accession, A.EvidenceCode from GO.Annotation A where A.Gene = "{symbol}""#
+    );
+
+    let mut group = c.benchmark_group("point_lookup_annotation_by_gene");
+    group.bench_with_input(BenchmarkId::from_parameter("indexed"), &query, |b, q| {
+        b.iter(|| {
+            let mut cost = Cost::new();
+            let r = indexed.subquery(q, &mut cost).unwrap();
+            assert!(r.used_index);
+            black_box(r.rows)
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("scan"), &query, |b, q| {
+        b.iter(|| {
+            let mut cost = Cost::new();
+            let r = plain.subquery(q, &mut cost).unwrap();
+            assert!(!r.used_index);
+            black_box(r.rows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_lookup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! B1 — wall-time query latency of the four integration architectures
+//! (plus the hypertext baseline) on the Figure 5b question, across
+//! corpus sizes. The virtual-latency table lives in
+//! `cargo run --bin bench_report`; this bench measures the real
+//! in-process execution cost, whose *shape* across architectures should
+//! match (warehouse ≪ federated ≪ hypertext).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use annoda_bench::workload;
+use annoda_mediator::decompose::GeneQuestion;
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arch_latency_fig5");
+    group.sample_size(10);
+    for loci in [100usize, 400] {
+        let corpus = workload::corpus_of(loci, 7);
+        for mut sys in workload::all_systems(&corpus) {
+            let name = sys.name().to_string();
+            group.bench_with_input(
+                BenchmarkId::new(name, loci),
+                &loci,
+                |b, _| {
+                    b.iter(|| {
+                        let ans = sys.answer(&GeneQuestion::figure5()).unwrap();
+                        black_box(ans.genes.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures);
+criterion_main!(benches);

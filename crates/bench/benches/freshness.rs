@@ -1,0 +1,56 @@
+//! B4 — the maintenance side of the freshness trade-off: what a
+//! federated refresh (per-wrapper OML re-export) costs versus a full
+//! warehouse re-ETL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use annoda_baselines::{IntegrationSystem, WarehouseSystem};
+use annoda_bench::workload;
+use annoda_mediator::decompose::GeneQuestion;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn bench_refresh(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        loci: 200,
+        go_terms: 100,
+        omim_entries: 60,
+        seed: 5,
+        inconsistency_rate: 0.0,
+    });
+
+    let mut group = c.benchmark_group("freshness");
+    group.sample_size(10);
+
+    let mut annoda = workload::annoda_over(&corpus);
+    group.bench_function("federated_refresh_and_query", |b| {
+        b.iter(|| {
+            annoda.registry_mut().mediator_mut().refresh_all();
+            let ans = annoda.ask(&GeneQuestion::default()).unwrap();
+            black_box(ans.fused.genes.len())
+        })
+    });
+
+    let mut warehouse = WarehouseSystem::new(
+        corpus.locuslink.clone(),
+        corpus.go.clone(),
+        corpus.omim.clone(),
+    );
+    group.bench_function("warehouse_reetl_and_query", |b| {
+        b.iter(|| {
+            warehouse.refresh();
+            let ans = warehouse.answer(&GeneQuestion::default()).unwrap();
+            black_box(ans.genes.len())
+        })
+    });
+    group.bench_function("warehouse_stale_query_only", |b| {
+        b.iter(|| {
+            let ans = warehouse.answer(&GeneQuestion::default()).unwrap();
+            black_box(ans.genes.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the Lorel front end and evaluator: parsing,
+//! simple selection, a two-variable join, and the general path
+//! expression (`#`) that forces a reachability scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use annoda_lorel::{eval_rows, parse};
+use annoda_oem::{AtomicValue, OemStore};
+
+fn gene_store(n: usize) -> OemStore {
+    let mut db = OemStore::new();
+    let root = db.new_complex();
+    for i in 0..n {
+        let g = db.add_complex_child(root, "Gene").unwrap();
+        db.add_atomic_child(g, "Symbol", format!("G{i}")).unwrap();
+        db.add_atomic_child(g, "Id", AtomicValue::Int(i as i64)).unwrap();
+        let links = db.add_complex_child(g, "Links").unwrap();
+        db.add_atomic_child(links, "Url", AtomicValue::Url(format!("http://x/{i}")))
+            .unwrap();
+    }
+    db.set_name("DB", root).unwrap();
+    db
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let text = r#"select G.Symbol as sym, count(G.Links) from DB.Gene G, G.Links L
+                  where (G.Symbol like "G1%" and exists L.Url) or G.Id < 100
+                  group by G.Symbol order by G.Id desc"#;
+    c.bench_function("lorel_parse_complex_query", |b| {
+        b.iter(|| black_box(parse(text).unwrap()))
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lorel_eval");
+    for n in [100usize, 1000] {
+        let store = gene_store(n);
+        let selection = parse(r#"select G.Symbol from DB.Gene G where G.Symbol like "G1%""#)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("selection", n), &n, |b, _| {
+            b.iter(|| black_box(eval_rows(&store, &selection).unwrap().len()))
+        });
+        let join = parse("select G from DB.Gene G, G.Links L where exists L.Url").unwrap();
+        group.bench_with_input(BenchmarkId::new("join", n), &n, |b, _| {
+            b.iter(|| black_box(eval_rows(&store, &join).unwrap().len()))
+        });
+        let wild = parse("select X from DB.#.Url X").unwrap();
+        group.bench_with_input(BenchmarkId::new("general_path", n), &n, |b, _| {
+            b.iter(|| black_box(eval_rows(&store, &wild).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! B3 — the MDSM matcher: Hungarian vs greedy assignment over growing
+//! similarity matrices, plus a full end-to-end MDSM match of a real OML
+//! against the GML exemplar.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use annoda_match::{greedy_assignment, hungarian_max, Mdsm};
+use annoda_mediator::GmlBuilder;
+use annoda_sources::{Corpus, CorpusConfig};
+use annoda_wrap::{LocusLinkWrapper, Wrapper};
+
+fn matrix(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.6 + 0.4 * next() } else { 0.5 * next() })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    for n in [32usize, 128] {
+        let score = matrix(n, 7);
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &score, |b, s| {
+            b.iter(|| black_box(hungarian_max(s).total))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &score, |b, s| {
+            b.iter(|| black_box(greedy_assignment(s).total))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mdsm_end_to_end(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::tiny(42));
+    let wrapper = LocusLinkWrapper::new(corpus.locuslink.clone());
+    let exemplar = GmlBuilder::exemplar();
+    let mdsm = Mdsm::default();
+    c.bench_function("mdsm_match_locuslink_oml", |b| {
+        b.iter(|| {
+            let (rules, _) =
+                mdsm.match_stores(wrapper.oml(), "LocusLink", &exemplar, "ANNODA-GML");
+            black_box(rules.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_assignment, bench_mdsm_end_to_end);
+criterion_main!(benches);

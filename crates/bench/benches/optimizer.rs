@@ -1,0 +1,44 @@
+//! B5 — optimizer ablation: the wall-time effect of predicate pushdown
+//! and source selection on the mediator's question path. The simulated
+//! cost table lives in `cargo run --bin bench_report`; real wall time
+//! shows the same ordering because less data is shipped and joined.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use annoda_bench::workload;
+use annoda_mediator::decompose::{AspectClause, GeneQuestion};
+use annoda_mediator::OptimizerConfig;
+
+fn bench_ablation(c: &mut Criterion) {
+    let corpus = workload::corpus_of(300, 7);
+    let question = GeneQuestion {
+        organism: Some("Homo sapiens".into()),
+        function: AspectClause::Require(None),
+        disease: AspectClause::Exclude(None),
+        ..GeneQuestion::default()
+    };
+    let configs = [
+        ("both_on", OptimizerConfig { pushdown: true, source_selection: true, bind_join: false }),
+        ("bind_join", OptimizerConfig { pushdown: true, source_selection: true, bind_join: true }),
+        ("pushdown_off", OptimizerConfig { pushdown: false, source_selection: true, bind_join: false }),
+        ("selection_off", OptimizerConfig { pushdown: true, source_selection: false, bind_join: false }),
+        ("both_off", OptimizerConfig { pushdown: false, source_selection: false, bind_join: false }),
+    ];
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    for (name, cfg) in configs {
+        let mut annoda = workload::annoda_over(&corpus);
+        annoda.registry_mut().mediator_mut().optimizer = cfg;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, _| {
+            b.iter(|| {
+                let ans = annoda.ask(&question).unwrap();
+                black_box(ans.fused.genes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! B2 — cost of plugging a new source in at runtime (one MDSM match +
+//! wrapper installation), with few and with many sources already
+//! registered. The paper's requirement 2: "a new annotation data source
+//! should be plugged in as it comes into existence".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use annoda_bench::workload;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn bench_plug(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::tiny(42));
+    let mut group = c.benchmark_group("plugin");
+    group.sample_size(20);
+    for preregistered in [0usize, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("plug_one_source", 3 + preregistered),
+            &preregistered,
+            |b, &pre| {
+                b.iter_batched(
+                    || {
+                        let mut annoda = workload::annoda_over(&corpus);
+                        for k in 0..pre {
+                            annoda.plug(Box::new(workload::extra_source(k + 100, 20)));
+                        }
+                        annoda
+                    },
+                    |mut annoda| {
+                        let report = annoda.plug(Box::new(workload::extra_source(999, 50)));
+                        black_box(report.matched)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plug);
+criterion_main!(benches);

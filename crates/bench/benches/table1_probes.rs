@@ -1,0 +1,44 @@
+//! T1 — wall-time cost of regenerating Table 1: every capability probe
+//! against every compared system. Complements `cargo run --bin table1`,
+//! which prints the matrix itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use annoda_baselines::{probe_row, TABLE1_ROWS};
+use annoda_bench::workload;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn bench_probes(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        inconsistency_rate: 0.15,
+        ..CorpusConfig::tiny(42)
+    });
+    let sample = corpus
+        .locuslink
+        .scan()
+        .find(|r| !r.go_ids.is_empty())
+        .map(|r| r.symbol.clone())
+        .unwrap();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("probe_all_four_systems", |b| {
+        b.iter(|| {
+            let mut systems = workload::all_systems(&corpus);
+            systems.truncate(4);
+            let mut cells = 0usize;
+            for cap in TABLE1_ROWS {
+                for sys in systems.iter_mut() {
+                    let cell = probe_row(cap.row, sys.as_mut(), &sample);
+                    cells += cell.len();
+                }
+            }
+            black_box(cells)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probes);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerates **Figure 5**: (a) the ANNODA query interface, (b) the
+//! annotation integrated view for the paper's example question, and
+//! (c) the individual object view reached by following a web-link.
+
+use annoda::{render_integrated_view, render_object_view, QuestionBuilder};
+use annoda_bench::workload;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig {
+        loci: 60,
+        go_terms: 40,
+        omim_entries: 25,
+        seed: 42,
+        inconsistency_rate: 0.1,
+    });
+    let annoda = workload::annoda_over(&corpus);
+
+    // (a) the query interface.
+    let builder = QuestionBuilder::new()
+        .require_go_function()
+        .exclude_omim_disease();
+    println!("FIGURE 5(a) — ANNODA query interface\n");
+    print!("{}", builder.render_form());
+
+    // The executed plan (query manager view).
+    let question = builder.build();
+    let plan = annoda.mediator().plan(&question);
+    println!("\nDecomposed execution plan:\n{}", plan.describe());
+
+    // (b) the integrated view.
+    let answer = annoda.ask(&question).unwrap();
+    println!("FIGURE 5(b) — Annotation integrated view\n");
+    print!("{}", render_integrated_view(&answer.fused.genes));
+    if !answer.fused.conflicts.is_empty() {
+        println!("\nreconciled conflicts:");
+        for c in answer.fused.conflicts.iter().take(5) {
+            println!("  {c}");
+        }
+        if answer.fused.conflicts.len() > 5 {
+            println!("  … and {} more", answer.fused.conflicts.len() - 5);
+        }
+    }
+    println!(
+        "\ncost: {} source requests, {} records shipped, {:.1} virtual ms",
+        answer.cost.requests,
+        answer.cost.records,
+        answer.cost.virtual_ms()
+    );
+
+    // (c) follow a web-link into an individual object view.
+    println!("\nFIGURE 5(c) — Individual object view (following a web-link)\n");
+    let nav = annoda.navigator();
+    if let Some(first) = answer.fused.genes.first() {
+        let link = first
+            .links
+            .iter()
+            .find(|l| l.is_internal())
+            .expect("internal link present");
+        println!("following {link} …\n");
+        let view = nav.follow(link).expect("link resolves");
+        print!("{}", render_object_view(&view));
+        // And one hop further, into a function view.
+        if let Some(fl) = view
+            .links
+            .iter()
+            .find(|l| l.internal_target().map(|(k, _)| k) == Some("function"))
+        {
+            println!("\nfollowing {fl} …\n");
+            if let Some(fview) = nav.follow(fl) {
+                print!("{}", render_object_view(&fview));
+            }
+        }
+    } else {
+        println!("(no gene satisfied the question in this corpus)");
+    }
+}

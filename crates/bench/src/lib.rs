@@ -1,0 +1,18 @@
+//! # annoda-bench — harnesses regenerating the paper's tables and figures
+//!
+//! Binaries (run with `cargo run --release -p annoda-bench --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — capability matrix across the four systems |
+//! | `fig1`   | Figure 1 — architecture wiring smoke report |
+//! | `fig3`   | Figures 2–3 — OEM representation of a LocusLink record |
+//! | `fig4`   | Figure 4 — the ANNODA-GML global model |
+//! | `fig5`   | Figure 5 — query interface, integrated view, object view |
+//! | `fig_q1` | §4.1 — the example query and its `&442` answer object |
+//! | `bench_report` | B1–B5 — quantitative architecture comparison tables |
+//!
+//! Criterion benches live in `benches/` (see `Cargo.toml` for targets).
+//! Shared workload builders are in [`workload`].
+
+pub mod workload;

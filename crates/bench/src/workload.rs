@@ -1,0 +1,171 @@
+//! Shared workload builders for the harness binaries and Criterion
+//! benches.
+
+use annoda::Annoda;
+use annoda_baselines::{
+    HypertextSystem, IntegrationSystem, MiddlewareSystem, MultiDbSystem, WarehouseSystem,
+};
+use annoda_mediator::decompose::{AspectClause, GeneQuestion};
+use annoda_oem::{AtomicValue, OemStore};
+use annoda_sources::{Corpus, CorpusConfig};
+use annoda_wrap::{CustomWrapper, SourceDescription};
+
+/// The default experiment corpus (DESIGN.md §4: 500 loci, 300 GO terms,
+/// 200 OMIM entries, 5 % injected inconsistency).
+pub fn default_corpus() -> Corpus {
+    Corpus::generate(CorpusConfig::default())
+}
+
+/// A corpus scaled to `loci` gene records (GO/OMIM scale along).
+pub fn corpus_of(loci: usize, seed: u64) -> Corpus {
+    let base = CorpusConfig::default();
+    let factor = loci as f64 / base.loci as f64;
+    Corpus::generate(CorpusConfig {
+        seed,
+        ..base.scaled(factor)
+    })
+}
+
+/// ANNODA over a corpus.
+pub fn annoda_over(corpus: &Corpus) -> Annoda {
+    let (annoda, _) = Annoda::over_sources(
+        corpus.locuslink.clone(),
+        corpus.go.clone(),
+        corpus.omim.clone(),
+    );
+    annoda
+}
+
+/// ANNODA with the fourth (PubMed) source plugged in as well.
+pub fn annoda_four_sources(corpus: &Corpus) -> Annoda {
+    let mut annoda = annoda_over(corpus);
+    annoda.plug(Box::new(annoda_wrap::PubmedWrapper::new(
+        corpus.pubmed.clone(),
+    )));
+    annoda
+}
+
+/// All five systems over one corpus, in Table 1 column order
+/// (K2/Kleisli, DiscoveryLink, GUS, ANNODA) plus the hypertext baseline.
+pub fn all_systems(corpus: &Corpus) -> Vec<Box<dyn IntegrationSystem>> {
+    vec![
+        Box::new(MultiDbSystem::new(
+            corpus.locuslink.clone(),
+            corpus.go.clone(),
+            corpus.omim.clone(),
+        )),
+        Box::new(MiddlewareSystem::new(
+            corpus.locuslink.clone(),
+            corpus.go.clone(),
+            corpus.omim.clone(),
+        )),
+        Box::new(WarehouseSystem::new(
+            corpus.locuslink.clone(),
+            corpus.go.clone(),
+            corpus.omim.clone(),
+        )),
+        Box::new(annoda_over(corpus)),
+        Box::new(HypertextSystem::new(
+            corpus.locuslink.clone(),
+            corpus.go.clone(),
+            corpus.omim.clone(),
+        )),
+    ]
+}
+
+/// The question classes of experiment B1.
+pub fn question_classes() -> Vec<(&'static str, GeneQuestion)> {
+    vec![
+        (
+            "point lookup (symbol)",
+            GeneQuestion {
+                symbol_like: Some("T%".into()),
+                ..GeneQuestion::default()
+            },
+        ),
+        (
+            "1-source filter (organism)",
+            GeneQuestion {
+                organism: Some("Homo sapiens".into()),
+                ..GeneQuestion::default()
+            },
+        ),
+        (
+            "2-source join (genes with GO functions)",
+            GeneQuestion {
+                function: AspectClause::Require(None),
+                ..GeneQuestion::default()
+            },
+        ),
+        (
+            "3-source join with negation (Figure 5b)",
+            GeneQuestion::figure5(),
+        ),
+        (
+            "selective semijoin (symbol T% with functions)",
+            GeneQuestion {
+                symbol_like: Some("T%".into()),
+                function: AspectClause::Require(None),
+                ..GeneQuestion::default()
+            },
+        ),
+    ]
+}
+
+/// Builds a synthetic extra annotation source (disease-registry shaped)
+/// for the plug-in scaling experiment, with `entries` records.
+pub fn extra_source(index: usize, entries: usize) -> CustomWrapper {
+    let name = format!("Registry{index}");
+    let mut oml = OemStore::new();
+    let root = oml.new_complex();
+    for k in 0..entries {
+        let e = oml.add_complex_child(root, "Entry").expect("complex");
+        oml.add_atomic_child(e, "MimNumber", AtomicValue::Int((900_000 + k) as i64))
+            .expect("complex");
+        oml.add_atomic_child(e, "Title", format!("REGISTRY-{index} DISORDER {k}"))
+            .expect("complex");
+        oml.add_atomic_child(e, "GeneSymbol", format!("GENE{k}"))
+            .expect("complex");
+        oml.add_atomic_child(
+            e,
+            "Url",
+            AtomicValue::Url(format!("http://registry{index}.example/{k}")),
+        )
+        .expect("complex");
+    }
+    oml.set_name(&name, root).expect("fresh store");
+    CustomWrapper::new(
+        SourceDescription::remote(&name, "synthetic disease registry", "http://registry"),
+        oml,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_scaling() {
+        let c = corpus_of(50, 1);
+        assert_eq!(c.locuslink.len(), 50);
+    }
+
+    #[test]
+    fn all_systems_answer_the_figure5_question() {
+        let corpus = Corpus::generate(CorpusConfig::tiny(42));
+        for mut sys in all_systems(&corpus) {
+            let ans = sys.answer(&GeneQuestion::figure5()).unwrap();
+            let _ = ans.genes.len();
+        }
+    }
+
+    #[test]
+    fn extra_sources_are_pluggable() {
+        let corpus = Corpus::generate(CorpusConfig::tiny(42));
+        let mut annoda = annoda_over(&corpus);
+        let report = annoda.plug(Box::new(extra_source(1, 10)));
+        assert!(report
+            .entities
+            .contains(&("Entry".to_string(), "Disease".to_string())));
+    }
+}

@@ -1,0 +1,300 @@
+//! Abstract syntax of Lorel queries.
+
+use std::fmt;
+
+use annoda_oem::{AtomicValue, PathExpr};
+
+/// A complete select-from-where query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The projection list.
+    pub select: Vec<SelectItem>,
+    /// Range-variable bindings, evaluated left to right.
+    pub from: Vec<FromItem>,
+    /// Optional filter; `None` keeps every binding.
+    pub where_: Option<Cond>,
+    /// Optional grouping expression: rows with equal (textual) values of
+    /// this expression form one group; aggregates in the select list are
+    /// computed per group. An OQL-flavoured extension to core Lorel.
+    pub group_by: Option<Expr>,
+    /// Optional ordering of result rows.
+    pub order_by: Vec<OrderKey>,
+    /// Optional answer name (`select … into MyView from …`): the answer
+    /// object is registered under this root name instead of `answer`,
+    /// so later queries can range over it — the paper's "new object,
+    /// which can be reused in later queries", made explicit.
+    pub into_name: Option<String>,
+}
+
+/// One projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// The output label, from `AS name` or derived (variable name, last
+    /// path label, or aggregate name).
+    pub label: String,
+}
+
+/// One `from` binding: `path var`. The path's head identifier names either
+/// a store root or a previously bound variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The head identifier (root name or earlier variable).
+    pub head: String,
+    /// The remaining navigation steps.
+    pub path: PathExpr,
+    /// The bound range variable.
+    pub var: String,
+}
+
+/// An ordering key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression (first atomic instance per row).
+    pub expr: Expr,
+    /// Descending when true.
+    pub descending: bool,
+}
+
+/// Boolean conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Both conditions hold.
+    And(Box<Cond>, Box<Cond>),
+    /// Either condition holds.
+    Or(Box<Cond>, Box<Cond>),
+    /// The condition does not hold.
+    Not(Box<Cond>),
+    /// `expr op expr` — existentially quantified over path instances.
+    Cmp(Expr, CompOp, Expr),
+    /// `exists path` — some instance of the path exists.
+    Exists(Expr),
+    /// `expr in path` — some instance of the path has the same oid or an
+    /// equal atomic value.
+    In(Expr, Expr),
+}
+
+/// Comparison operators. `Like` uses SQL `%`/`_` wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // standard comparison operators
+pub enum CompOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Like,
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+            CompOp::Like => "like",
+        })
+    }
+}
+
+/// Value expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(AtomicValue),
+    /// A path rooted at a variable or store root: head + steps.
+    Path {
+        /// The head identifier (variable or root name).
+        head: String,
+        /// The navigation steps following the head.
+        path: PathExpr,
+    },
+    /// An aggregate over the instance set of a path.
+    Aggregate(AggFn, Box<Expr>),
+    /// A call to a registered specialty evaluation function
+    /// (`term_depth(G.GOID)`) — Table 1's "integration of new specialty
+    /// evaluation functions", available inside the query language.
+    Call {
+        /// The registered function name.
+        name: String,
+        /// Argument expressions; each contributes its first atomic
+        /// instance (or none).
+        args: Vec<Expr>,
+    },
+}
+
+/// Aggregate functions over path instance sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // standard aggregate functions
+pub enum AggFn {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFn {
+    /// The derived output label for an unnamed aggregate projection.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Count => "count",
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Avg => "avg",
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => match v {
+                AtomicValue::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+                AtomicValue::Url(u) => write!(f, "\"{u}\""),
+                other => write!(f, "{other}"),
+            },
+            Expr::Path { head, path } => {
+                if path.is_empty() {
+                    write!(f, "{head}")
+                } else {
+                    write!(f, "{head}.{path}")
+                }
+            }
+            Expr::Aggregate(fun, inner) => write!(f, "{}({inner})", fun.name()),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::And(l, r) => write!(f, "({l} and {r})"),
+            Cond::Or(l, r) => write!(f, "({l} or {r})"),
+            Cond::Not(c) => write!(f, "not {c}"),
+            Cond::Cmp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Cond::Exists(e) => write!(f, "exists {e}"),
+            Cond::In(l, r) => write!(f, "{l} in {r}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    /// Unparses the query into valid Lorel that re-parses to an
+    /// equivalent AST (parenthesisation may differ; semantics do not).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", item.expr)?;
+            if item.label != item.expr.default_label() {
+                write!(f, " as {}", item.label)?;
+            }
+        }
+        if let Some(n) = &self.into_name {
+            write!(f, " into {n}")?;
+        }
+        write!(f, " from ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if item.path.is_empty() {
+                write!(f, "{}", item.head)?;
+            } else {
+                write!(f, "{}.{}", item.head, item.path)?;
+            }
+            if item.var != item.head {
+                write!(f, " {}", item.var)?;
+            }
+        }
+        if let Some(cond) = &self.where_ {
+            write!(f, " where {cond}")?;
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " group by {g}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " order by ")?;
+            for (i, key) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", key.expr)?;
+                if key.descending {
+                    write!(f, " desc")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Expr {
+    /// Derives the default projection label for this expression.
+    pub fn default_label(&self) -> String {
+        match self {
+            Expr::Literal(v) => v.as_text(),
+            Expr::Path { head, path } => {
+                // Last concrete label if any, else the head.
+                path.steps()
+                    .iter()
+                    .rev()
+                    .find_map(|s| match s {
+                        annoda_oem::PathStep::Label(l) => Some(l.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| head.clone())
+            }
+            Expr::Aggregate(f, _) => f.name().to_string(),
+            Expr::Call { name, .. } => name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_labels() {
+        let var = Expr::Path {
+            head: "G".into(),
+            path: PathExpr::default(),
+        };
+        assert_eq!(var.default_label(), "G");
+
+        let path = Expr::Path {
+            head: "G".into(),
+            path: PathExpr::parse("Links.Url").unwrap(),
+        };
+        assert_eq!(path.default_label(), "Url");
+
+        let agg = Expr::Aggregate(AggFn::Count, Box::new(var));
+        assert_eq!(agg.default_label(), "count");
+    }
+
+    #[test]
+    fn comp_op_displays() {
+        assert_eq!(CompOp::Le.to_string(), "<=");
+        assert_eq!(CompOp::Like.to_string(), "like");
+    }
+}

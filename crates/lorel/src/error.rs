@@ -1,0 +1,62 @@
+//! Error type shared by the lexer, parser, and evaluator.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, or evaluating a Lorel query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LorelError {
+    /// A character or token could not be lexed.
+    Lex {
+        /// Byte offset of the offending input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The token stream did not match the grammar.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query was well-formed but could not be evaluated
+    /// (unknown root, unbound variable, …).
+    Eval(String),
+}
+
+impl LorelError {
+    pub(crate) fn eval(message: impl Into<String>) -> Self {
+        LorelError::Eval(message.into())
+    }
+}
+
+impl fmt::Display for LorelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LorelError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            LorelError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            LorelError::Eval(message) => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LorelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LorelError::Parse {
+            offset: 12,
+            message: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

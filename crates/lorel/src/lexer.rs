@@ -1,0 +1,494 @@
+//! Tokeniser for Lorel.
+//!
+//! Keywords are case-insensitive (the paper writes `Select … From … Where`).
+//! Identifiers may contain `-` (e.g. `ANNODA-GML`), `_` and digits; path
+//! separators, comparison operators, parentheses, commas, and the OEM
+//! wildcards `%` / `#` are punctuation tokens.
+
+use crate::error::LorelError;
+
+/// A lexical token with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token in the input (for error reporting).
+    pub offset: usize,
+}
+
+/// Token kinds. Keyword variants correspond to the case-insensitive
+/// Lorel keywords of the same name; punctuation variants to the symbol
+/// in their doc comment.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // keyword variants are self-describing
+pub enum TokenKind {
+    // keywords
+    Select,
+    Distinct,
+    From,
+    Where,
+    Order,
+    Group,
+    By,
+    Asc,
+    Desc,
+    And,
+    Or,
+    Not,
+    Exists,
+    Like,
+    As,
+    In,
+    Into,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    True,
+    False,
+    /// An identifier (path head, label, variable, or function name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A real literal.
+    Real(f64),
+    /// A quoted string literal (escapes resolved).
+    Str(String),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `|`
+    Pipe,
+    /// `%` (single-step wildcard)
+    Percent,
+    /// `#` (general path wildcard)
+    Hash,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer {i}"),
+            TokenKind::Real(r) => format!("real {r}"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Eof => "end of query".to_string(),
+            other => format!("{other:?}").to_lowercase(),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    Some(match word.to_ascii_lowercase().as_str() {
+        "select" => TokenKind::Select,
+        "distinct" => TokenKind::Distinct,
+        "from" => TokenKind::From,
+        "where" => TokenKind::Where,
+        "order" => TokenKind::Order,
+        "group" => TokenKind::Group,
+        "by" => TokenKind::By,
+        "asc" => TokenKind::Asc,
+        "desc" => TokenKind::Desc,
+        "and" => TokenKind::And,
+        "or" => TokenKind::Or,
+        "not" => TokenKind::Not,
+        "exists" => TokenKind::Exists,
+        "like" => TokenKind::Like,
+        "as" => TokenKind::As,
+        "in" => TokenKind::In,
+        "into" => TokenKind::Into,
+        "count" => TokenKind::Count,
+        "sum" => TokenKind::Sum,
+        "min" => TokenKind::Min,
+        "max" => TokenKind::Max,
+        "avg" => TokenKind::Avg,
+        "true" => TokenKind::True,
+        "false" => TokenKind::False,
+        _ => return None,
+    })
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenises `input`, appending a trailing [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, LorelError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    // Track byte offsets alongside char indices for error reporting.
+    let mut offsets = Vec::with_capacity(bytes.len() + 1);
+    {
+        let mut off = 0;
+        for c in &bytes {
+            offsets.push(off);
+            off += c.len_utf8();
+        }
+        offsets.push(off);
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let offset = offsets[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset,
+                });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset,
+                });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset,
+                });
+                i += 1;
+            }
+            '#' => {
+                tokens.push(Token {
+                    kind: TokenKind::Hash,
+                    offset,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset,
+                });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    offset,
+                });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            let esc = bytes.get(j + 1).copied();
+                            match esc {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                _ => {
+                                    return Err(LorelError::Lex {
+                                        offset: offsets[j],
+                                        message: "bad escape in string literal".into(),
+                                    })
+                                }
+                            }
+                            j += 2;
+                        }
+                        c => {
+                            s.push(c);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(LorelError::Lex {
+                        offset,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1; // consume sign or first digit
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_real = false;
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_real = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let kind = if is_real {
+                    TokenKind::Real(text.parse().map_err(|_| LorelError::Lex {
+                        offset,
+                        message: format!("bad real literal `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LorelError::Lex {
+                        offset,
+                        message: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                tokens.push(Token { kind, offset });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = keyword(&word).unwrap_or(TokenKind::Ident(word));
+                tokens.push(Token { kind, offset });
+            }
+            other => {
+                return Err(LorelError::Lex {
+                    offset,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("Select FROM wHeRe"),
+            vec![
+                TokenKind::Select,
+                TokenKind::From,
+                TokenKind::Where,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers_lex_whole() {
+        assert_eq!(
+            kinds("ANNODA-GML"),
+            vec![TokenKind::Ident("ANNODA-GML".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn negative_number_vs_hyphen_in_ident() {
+        assert_eq!(
+            kinds("x -5"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Int(-5),
+                TokenKind::Eof
+            ]
+        );
+        // Inside an identifier the hyphen binds to the identifier.
+        assert_eq!(
+            kinds("x-5"),
+            vec![TokenKind::Ident("x-5".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_and_reals() {
+        assert_eq!(
+            kinds("42 3.5 -2.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Real(3.5),
+                TokenKind::Real(-2.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a \"b\"\n""#),
+            vec![TokenKind::Str("a \"b\"\n".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(lex("\"abc"), Err(LorelError::Lex { .. })));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn wildcards_and_punctuation() {
+        assert_eq!(
+            kinds("a.%.#,(b|c)"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Percent,
+                TokenKind::Dot,
+                TokenKind::Hash,
+                TokenKind::Comma,
+                TokenKind::LParen,
+                TokenKind::Ident("b".into()),
+                TokenKind::Pipe,
+                TokenKind::Ident("c".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_reports_offset() {
+        match lex("select ; x") {
+            Err(LorelError::Lex { offset, .. }) => assert_eq!(offset, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_keywords() {
+        assert_eq!(
+            kinds("count(x)"),
+            vec![
+                TokenKind::Count,
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # annoda-lorel — the Lorel query language over OEM
+//!
+//! Lorel is the query language ANNODA uses against both the global model
+//! (ANNODA-GML) and, after decomposition, against per-source local models.
+//! It is an SQL/OQL-flavoured select-from-where language designed for
+//! semi-structured data: path expressions navigate the OEM graph,
+//! comparisons coerce across atomic types, predicates over paths are
+//! existentially quantified, and duplicate elimination is by oid.
+//!
+//! ```
+//! use annoda_oem::OemStore;
+//! use annoda_lorel::run_query;
+//!
+//! let mut db = OemStore::new();
+//! let root = db.new_complex();
+//! let g = db.add_complex_child(root, "Gene").unwrap();
+//! db.add_atomic_child(g, "Symbol", "TP53").unwrap();
+//! db.set_name("DB", root).unwrap();
+//!
+//! let out = run_query(&mut db, r#"select G.Symbol from DB.Gene G where G.Symbol = "TP53""#).unwrap();
+//! assert_eq!(out.rows.len(), 1);
+//! ```
+//!
+//! The paper's example (§4.1):
+//!
+//! ```text
+//! select X from ANNODA-GML where Source.Name = "LocusLink"
+//! ```
+//!
+//! is accepted in its canonical Lorel form
+//! `select S from ANNODA-GML.Source S where S.Name = "LocusLink"` and
+//! produces a *new* answer object (the paper's `&442`) whose references
+//! point at the original database objects — see [`eval::QueryOutcome`].
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CompOp, Cond, Expr, FromItem, OrderKey, Query, SelectItem};
+pub use error::LorelError;
+pub use eval::{
+    eval_rows, eval_rows_with, eval_with, project_row, row_passes, run_query, run_query_with,
+    FunctionRegistry, LorelFn, Projected, QueryOutcome, Row,
+};
+pub use parser::parse;

@@ -1,0 +1,487 @@
+//! Recursive-descent parser for Lorel.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT [DISTINCT] selectList [INTO ident] FROM fromList
+//!               [WHERE cond] [GROUP BY expr] [ORDER BY orderList]
+//! selectList := selectItem (',' selectItem)*
+//! selectItem := expr [AS ident]
+//! fromList   := fromItem (',' fromItem)*
+//! fromItem   := pathRef [ident]          -- variable defaults to the head
+//! pathRef    := ident ('.' step)*
+//! step       := ident | '%' | '#' | '(' ident ('|' ident)* ')'
+//! cond       := andCond (OR andCond)*
+//! andCond    := notCond (AND notCond)*
+//! notCond    := NOT notCond | primary
+//! primary    := '(' cond ')' | EXISTS pathRef
+//!             | expr (cmpOp expr | IN pathRef)
+//! expr       := literal | pathRef | aggFn '(' pathRef ')'
+//!             | ident '(' [expr (',' expr)*] ')'        -- registered fn
+//! ```
+
+use annoda_oem::{PathExpr, PathStep};
+
+use crate::ast::{AggFn, CompOp, Cond, Expr, FromItem, OrderKey, Query, SelectItem};
+use crate::error::LorelError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a query string.
+pub fn parse(input: &str) -> Result<Query, LorelError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+// `from_list`/`from_item` parse the FROM clause; the names mirror the
+// grammar, not a conversion constructor.
+#[allow(clippy::wrong_self_convention)]
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        self.tokens
+            .get(self.pos + 1)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), LorelError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {}", self.peek().describe())))
+        }
+    }
+
+    fn err(&self, message: String) -> LorelError {
+        LorelError::Parse {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), LorelError> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "unexpected trailing input: {}",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LorelError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    // ----- grammar ------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, LorelError> {
+        self.expect(TokenKind::Select, "SELECT")?;
+        self.eat(&TokenKind::Distinct); // duplicates are always oid-eliminated
+        let select = self.select_list()?;
+        let into_name = if self.eat(&TokenKind::Into) {
+            Some(self.ident("answer name after INTO")?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::From, "FROM")?;
+        let from = self.from_list()?;
+        let where_ = if self.eat(&TokenKind::Where) {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat(&TokenKind::Group) {
+            self.expect(TokenKind::By, "BY after GROUP")?;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat(&TokenKind::Order) {
+            self.expect(TokenKind::By, "BY after ORDER")?;
+            self.order_list()?
+        } else {
+            Vec::new()
+        };
+        Ok(Query {
+            select,
+            from,
+            where_,
+            group_by,
+            order_by,
+            into_name,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, LorelError> {
+        let mut items = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, LorelError> {
+        let expr = self.expr()?;
+        let label = if self.eat(&TokenKind::As) {
+            self.ident("label after AS")?
+        } else {
+            expr.default_label()
+        };
+        Ok(SelectItem { expr, label })
+    }
+
+    fn from_list(&mut self) -> Result<Vec<FromItem>, LorelError> {
+        let mut items = vec![self.from_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.from_item()?);
+        }
+        Ok(items)
+    }
+
+    fn from_item(&mut self) -> Result<FromItem, LorelError> {
+        let (head, path) = self.path_ref()?;
+        let var = match self.peek().clone() {
+            TokenKind::Ident(v) => {
+                self.bump();
+                v
+            }
+            // `from ANNODA-GML` without a variable binds the head name
+            // itself as the variable (the paper's style).
+            _ => head.clone(),
+        };
+        Ok(FromItem { head, path, var })
+    }
+
+    fn order_list(&mut self) -> Result<Vec<OrderKey>, LorelError> {
+        let mut keys = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let descending = if self.eat(&TokenKind::Desc) {
+                true
+            } else {
+                self.eat(&TokenKind::Asc);
+                false
+            };
+            keys.push(OrderKey { expr, descending });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(keys)
+    }
+
+    fn cond(&mut self) -> Result<Cond, LorelError> {
+        let mut left = self.and_cond()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.and_cond()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, LorelError> {
+        let mut left = self.not_cond()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.not_cond()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_cond(&mut self) -> Result<Cond, LorelError> {
+        if self.eat(&TokenKind::Not) {
+            Ok(Cond::Not(Box::new(self.not_cond()?)))
+        } else {
+            self.primary_cond()
+        }
+    }
+
+    fn primary_cond(&mut self) -> Result<Cond, LorelError> {
+        if self.eat(&TokenKind::Exists) {
+            let (head, path) = self.path_ref()?;
+            return Ok(Cond::Exists(Expr::Path { head, path }));
+        }
+        if self.peek() == &TokenKind::LParen {
+            // Could be a parenthesised condition or an alternation step at
+            // the start of a path; conditions always start with `(` followed
+            // by something that eventually yields a cmp. Try condition first
+            // by lookahead: a path-ref cannot start with '(' in our grammar,
+            // so '(' here is always a grouped condition.
+            self.bump();
+            let c = self.cond()?;
+            self.expect(TokenKind::RParen, "closing parenthesis")?;
+            return Ok(c);
+        }
+        let left = self.expr()?;
+        if self.eat(&TokenKind::In) {
+            let (head, path) = self.path_ref()?;
+            return Ok(Cond::In(left, Expr::Path { head, path }));
+        }
+        let op = match self.bump() {
+            TokenKind::Eq => CompOp::Eq,
+            TokenKind::Ne => CompOp::Ne,
+            TokenKind::Lt => CompOp::Lt,
+            TokenKind::Le => CompOp::Le,
+            TokenKind::Gt => CompOp::Gt,
+            TokenKind::Ge => CompOp::Ge,
+            TokenKind::Like => CompOp::Like,
+            other => {
+                return Err(self.err(format!(
+                    "expected comparison operator, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let right = self.expr()?;
+        Ok(Cond::Cmp(left, op, right))
+    }
+
+    fn expr(&mut self) -> Result<Expr, LorelError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(annoda_oem::AtomicValue::Int(i)))
+            }
+            TokenKind::Real(r) => {
+                self.bump();
+                Ok(Expr::Literal(annoda_oem::AtomicValue::Real(r)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(annoda_oem::AtomicValue::Str(s)))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Literal(annoda_oem::AtomicValue::Bool(true)))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Literal(annoda_oem::AtomicValue::Bool(false)))
+            }
+            TokenKind::Count | TokenKind::Sum | TokenKind::Min | TokenKind::Max
+            | TokenKind::Avg => {
+                let f = match self.bump() {
+                    TokenKind::Count => AggFn::Count,
+                    TokenKind::Sum => AggFn::Sum,
+                    TokenKind::Min => AggFn::Min,
+                    TokenKind::Max => AggFn::Max,
+                    TokenKind::Avg => AggFn::Avg,
+                    _ => unreachable!("matched aggregate token"),
+                };
+                self.expect(TokenKind::LParen, "( after aggregate")?;
+                let (head, path) = self.path_ref()?;
+                self.expect(TokenKind::RParen, ") after aggregate argument")?;
+                Ok(Expr::Aggregate(f, Box::new(Expr::Path { head, path })))
+            }
+            TokenKind::Ident(_) if self.peek2() == &TokenKind::LParen => {
+                let name = self.ident("function name")?;
+                self.expect(TokenKind::LParen, "( after function name")?;
+                let mut args = Vec::new();
+                if self.peek() != &TokenKind::RParen {
+                    args.push(self.expr()?);
+                    while self.eat(&TokenKind::Comma) {
+                        args.push(self.expr()?);
+                    }
+                }
+                self.expect(TokenKind::RParen, ") after function arguments")?;
+                Ok(Expr::Call { name, args })
+            }
+            TokenKind::Ident(_) => {
+                let (head, path) = self.path_ref()?;
+                Ok(Expr::Path { head, path })
+            }
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+
+    /// Parses `ident ('.' step)*`, returning the head and remaining steps.
+    fn path_ref(&mut self) -> Result<(String, PathExpr), LorelError> {
+        let head = self.ident("path head")?;
+        let mut steps = Vec::new();
+        while self.eat(&TokenKind::Dot) {
+            let step = match self.peek().clone() {
+                TokenKind::Percent => {
+                    self.bump();
+                    PathStep::AnyOne
+                }
+                TokenKind::Hash => {
+                    self.bump();
+                    PathStep::AnyPath
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let mut alts = vec![self.ident("label alternative")?];
+                    while self.eat(&TokenKind::Pipe) {
+                        alts.push(self.ident("label alternative")?);
+                    }
+                    self.expect(TokenKind::RParen, ") after alternation")?;
+                    PathStep::Alt(alts)
+                }
+                TokenKind::Ident(l) => {
+                    self.bump();
+                    PathStep::Label(l)
+                }
+                other => {
+                    return Err(
+                        self.err(format!("expected path step, found {}", other.describe()))
+                    )
+                }
+            };
+            steps.push(step);
+        }
+        Ok((head, PathExpr::new(steps)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse(r#"select S from ANNODA-GML.Source S where S.Name = "LocusLink""#).unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.select[0].label, "S");
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].head, "ANNODA-GML");
+        assert_eq!(q.from[0].var, "S");
+        assert!(q.where_.is_some());
+    }
+
+    #[test]
+    fn from_without_variable_binds_head() {
+        let q = parse("select x from ANNODA-GML").unwrap();
+        assert_eq!(q.from[0].var, "ANNODA-GML");
+        assert!(q.from[0].path.is_empty());
+    }
+
+    #[test]
+    fn multiple_from_items_and_select_items() {
+        let q = parse(
+            "select G.Symbol as sym, count(G.Links) \
+             from DB.Gene G, G.Links L \
+             where G.Symbol like \"TP%\" and exists L.GO",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.select[0].label, "sym");
+        assert_eq!(q.select[1].label, "count");
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[1].head, "G");
+    }
+
+    #[test]
+    fn wildcards_in_paths() {
+        let q = parse("select X from DB.#.Symbol X").unwrap();
+        assert_eq!(q.from[0].path.len(), 2);
+        let q = parse("select X from DB.%.(GO|Go) X").unwrap();
+        assert_eq!(q.from[0].path.len(), 2);
+    }
+
+    #[test]
+    fn condition_precedence_not_and_or() {
+        let q = parse("select x from R x where not x.a = 1 and x.b = 2 or x.c = 3").unwrap();
+        // ((not a=1) and b=2) or c=3
+        match q.where_.unwrap() {
+            Cond::Or(l, _) => match *l {
+                Cond::And(l2, _) => assert!(matches!(*l2, Cond::Not(_))),
+                other => panic!("expected And, got {other:?}"),
+            },
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesised_condition() {
+        let q = parse("select x from R x where x.a = 1 and (x.b = 2 or x.c = 3)").unwrap();
+        match q.where_.unwrap() {
+            Cond::And(_, r) => assert!(matches!(*r, Cond::Or(_, _))),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_with_direction() {
+        let q = parse("select x from R x order by x.Symbol desc, x.LocusID").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+    }
+
+    #[test]
+    fn in_predicate() {
+        let q = parse("select x from R x where x.Symbol in R.Known").unwrap();
+        assert!(matches!(q.where_.unwrap(), Cond::In(_, _)));
+    }
+
+    #[test]
+    fn distinct_is_accepted_and_ignored() {
+        assert!(parse("select distinct x from R x").is_ok());
+    }
+
+    #[test]
+    fn literals_in_select() {
+        let q = parse(r#"select 1, 2.5, "hi", true from R x"#).unwrap();
+        assert_eq!(q.select.len(), 4);
+    }
+
+    #[test]
+    fn errors_report_offsets() {
+        match parse("select from R x") {
+            Err(LorelError::Parse { offset, .. }) => assert_eq!(offset, 7),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("select x").is_err()); // missing FROM
+        assert!(parse("select x from R x where").is_err());
+        assert!(parse("select x from R x extra").is_err());
+    }
+
+    #[test]
+    fn aggregate_forms() {
+        for f in ["count", "sum", "min", "max", "avg"] {
+            let q = parse(&format!("select {f}(x.v) from R x")).unwrap();
+            assert!(matches!(q.select[0].expr, Expr::Aggregate(_, _)));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for Lorel: the front end must never panic on
+//! arbitrary input, and the evaluator must honour its set semantics
+//! (oid-deduplication, double-negation, filter monotonicity).
+
+use proptest::prelude::*;
+
+use annoda_lorel::{eval_rows, parse, run_query};
+use annoda_oem::{AtomicValue, OemStore};
+
+fn arbitrary_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,60}").expect("valid regex")
+}
+
+/// Query-shaped garbage: keywords, identifiers, and punctuation thrown
+/// together — much better at exercising the parser than uniform noise.
+fn query_shaped() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("select".to_string()),
+        Just("from".to_string()),
+        Just("where".to_string()),
+        Just("and".to_string()),
+        Just("not".to_string()),
+        Just("exists".to_string()),
+        Just("order".to_string()),
+        Just("by".to_string()),
+        Just("count".to_string()),
+        Just("like".to_string()),
+        Just("R".to_string()),
+        Just("x".to_string()),
+        Just("x.y".to_string()),
+        Just("\"lit\"".to_string()),
+        Just("42".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just(",".to_string()),
+        Just("=".to_string()),
+        Just("<".to_string()),
+        Just("%".to_string()),
+        Just("#".to_string()),
+        Just(".".to_string()),
+    ];
+    proptest::collection::vec(token, 0..12).prop_map(|v| v.join(" "))
+}
+
+/// A small store of genes with integer ids and string symbols.
+fn gene_store(n: usize) -> OemStore {
+    let mut db = OemStore::new();
+    let root = db.new_complex();
+    for i in 0..n {
+        let g = db.add_complex_child(root, "Gene").unwrap();
+        db.add_atomic_child(g, "Id", AtomicValue::Int(i as i64)).unwrap();
+        db.add_atomic_child(g, "Symbol", format!("G{i}")).unwrap();
+        if i % 3 == 0 {
+            db.add_complex_child(g, "Omim").unwrap();
+        }
+    }
+    db.set_name("R", root).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in arbitrary_text()) {
+        let _ = parse(&input); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_query_shaped_input(input in query_shaped()) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn valid_parses_always_evaluate_or_fail_cleanly(input in query_shaped()) {
+        if let Ok(q) = parse(&input) {
+            let store = gene_store(5);
+            let _ = eval_rows(&store, &q); // may Err (unknown root), not panic
+        }
+    }
+
+    #[test]
+    fn display_unparse_reparses_to_the_same_ast(input in query_shaped()) {
+        if let Ok(q) = parse(&input) {
+            let printed = q.to_string();
+            match parse(&printed) {
+                Ok(q2) => prop_assert_eq!(q, q2, "unparse `{}`", printed),
+                Err(e) => prop_assert!(false, "unparse `{}` failed to parse: {}", printed, e),
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_oid_deduplicated(n in 1usize..12) {
+        let mut store = gene_store(n);
+        let out = run_query(&mut store, "select G from R.Gene G, R.Gene H").unwrap();
+        // The cross product visits each G n times; projection keeps each
+        // gene once.
+        prop_assert_eq!(out.rows.len(), n * n);
+        prop_assert_eq!(out.projected[0].1.len(), n);
+    }
+
+    #[test]
+    fn double_negation_is_identity(n in 0usize..12, threshold in 0i64..12) {
+        let store = gene_store(n);
+        let plain = parse(&format!("select G from R.Gene G where G.Id < {threshold}")).unwrap();
+        let doubled = parse(&format!(
+            "select G from R.Gene G where not not G.Id < {threshold}"
+        ))
+        .unwrap();
+        let a = eval_rows(&store, &plain).unwrap();
+        let b = eval_rows(&store, &doubled).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conjunction_filters_monotonically(n in 0usize..12, threshold in 0i64..12) {
+        let store = gene_store(n);
+        let loose = parse("select G from R.Gene G").unwrap();
+        let tight = parse(&format!(
+            "select G from R.Gene G where G.Id < {threshold} and exists G.Omim"
+        ))
+        .unwrap();
+        let all = eval_rows(&store, &loose).unwrap();
+        let some = eval_rows(&store, &tight).unwrap();
+        prop_assert!(some.len() <= all.len());
+        // Every tight row appears among the loose rows.
+        for row in &some {
+            prop_assert!(all.contains(row));
+        }
+    }
+
+    #[test]
+    fn excluded_middle_partitions_rows(n in 0usize..12, threshold in 0i64..12) {
+        let store = gene_store(n);
+        let pos = parse(&format!("select G from R.Gene G where G.Id < {threshold}")).unwrap();
+        let neg = parse(&format!(
+            "select G from R.Gene G where not G.Id < {threshold}"
+        ))
+        .unwrap();
+        let p = eval_rows(&store, &pos).unwrap().len();
+        let q = eval_rows(&store, &neg).unwrap().len();
+        prop_assert_eq!(p + q, n, "comparisons over total atoms must partition");
+    }
+
+    #[test]
+    fn order_by_is_a_permutation(n in 0usize..12) {
+        let store = gene_store(n);
+        let unordered = parse("select G.Symbol from R.Gene G").unwrap();
+        let ordered = parse("select G.Symbol from R.Gene G order by G.Symbol desc").unwrap();
+        let mut a: Vec<_> = eval_rows(&store, &unordered).unwrap();
+        let mut b: Vec<_> = eval_rows(&store, &ordered).unwrap();
+        a.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+        b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+        prop_assert_eq!(a, b);
+    }
+}

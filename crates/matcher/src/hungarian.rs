@@ -1,0 +1,295 @@
+//! The Kuhn–Munkres (Hungarian) optimal-assignment algorithm.
+//!
+//! MDSM selects schema correspondences by solving the assignment problem
+//! over the similarity matrix: pick at most one global element per source
+//! element (and vice versa) maximising total similarity. The classic
+//! greedy alternative — repeatedly take the highest remaining cell — can
+//! lock itself out of the optimum; `greedy_assignment` is kept as the
+//! ablation baseline for experiment B3.
+//!
+//! The implementation is the `O(n³)` shortest-augmenting-path formulation
+//! with row/column potentials, on the cost matrix `max_score - score`
+//! (converting maximisation to minimisation), padded to square for
+//! rectangular inputs.
+
+/// The result of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Matched `(row, column)` pairs, sorted by row.
+    pub pairs: Vec<(usize, usize)>,
+    /// Total score of the matched pairs.
+    pub total: f64,
+}
+
+impl Assignment {
+    /// The column matched to `row`, if any.
+    pub fn column_of(&self, row: usize) -> Option<usize> {
+        self.pairs
+            .iter()
+            .find(|&&(r, _)| r == row)
+            .map(|&(_, c)| c)
+    }
+}
+
+/// Maximum-score assignment over a dense `rows × cols` score matrix.
+///
+/// Every row of `score` must have the same length. Scores may be any
+/// finite `f64`; negative scores are allowed (they simply count against
+/// the total — callers typically post-filter pairs below a threshold).
+///
+/// ```
+/// use annoda_match::hungarian_max;
+/// // greedy would take 0.9 first and end with 0.9 + 0.1 = 1.0;
+/// // the optimum is 0.8 + 0.7 = 1.5.
+/// let score = vec![vec![0.9, 0.8], vec![0.7, 0.1]];
+/// let a = hungarian_max(&score);
+/// assert_eq!(a.pairs, vec![(0, 1), (1, 0)]);
+/// assert!((a.total - 1.5).abs() < 1e-9);
+/// ```
+pub fn hungarian_max(score: &[Vec<f64>]) -> Assignment {
+    let rows = score.len();
+    let cols = score.first().map_or(0, Vec::len);
+    if rows == 0 || cols == 0 {
+        return Assignment {
+            pairs: Vec::new(),
+            total: 0.0,
+        };
+    }
+    debug_assert!(score.iter().all(|r| r.len() == cols), "ragged matrix");
+
+    let n = rows.max(cols);
+    let max_score = score
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0);
+    // cost[i][j]: padded minimisation matrix.
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            max_score - score[i][j]
+        } else {
+            max_score // dummy cells: equivalent to score 0
+        }
+    };
+
+    // Shortest augmenting path with potentials (1-indexed internals).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut pairs = Vec::new();
+    let mut total = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i - 1 < rows && j - 1 < cols {
+            pairs.push((i - 1, j - 1));
+            total += score[i - 1][j - 1];
+        }
+    }
+    pairs.sort_unstable();
+    Assignment { pairs, total }
+}
+
+/// Greedy best-first assignment (the B3 ablation baseline): repeatedly
+/// matches the highest remaining cell.
+pub fn greedy_assignment(score: &[Vec<f64>]) -> Assignment {
+    let rows = score.len();
+    let cols = score.first().map_or(0, Vec::len);
+    let mut cells: Vec<(usize, usize)> = (0..rows)
+        .flat_map(|i| (0..cols).map(move |j| (i, j)))
+        .collect();
+    cells.sort_by(|&(ai, aj), &(bi, bj)| {
+        score[bi][bj]
+            .partial_cmp(&score[ai][aj])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ai.cmp(&bi))
+            .then(aj.cmp(&bj))
+    });
+    let mut row_used = vec![false; rows];
+    let mut col_used = vec![false; cols];
+    let mut pairs = Vec::new();
+    let mut total = 0.0;
+    for (i, j) in cells {
+        if !row_used[i] && !col_used[j] {
+            row_used[i] = true;
+            col_used[j] = true;
+            pairs.push((i, j));
+            total += score[i][j];
+        }
+    }
+    pairs.sort_unstable();
+    Assignment { pairs, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_max(score: &[Vec<f64>]) -> f64 {
+        // Try all permutations of the smaller dimension.
+        let rows = score.len();
+        let cols = score[0].len();
+        fn rec(score: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if row == score.len() {
+                *best = best.max(acc);
+                return;
+            }
+            // Option: leave this row unmatched.
+            rec(score, row + 1, used, acc, best);
+            for j in 0..used.len() {
+                if !used[j] {
+                    used[j] = true;
+                    rec(score, row + 1, used, acc + score[row][j], best);
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::NEG_INFINITY;
+        let mut used = vec![false; cols];
+        let _ = rows;
+        rec(score, 0, &mut used, 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn beats_greedy_on_the_classic_trap() {
+        let score = vec![vec![0.9, 0.8], vec![0.7, 0.1]];
+        let h = hungarian_max(&score);
+        let g = greedy_assignment(&score);
+        assert!((h.total - 1.5).abs() < 1e-9);
+        assert!((g.total - 1.0).abs() < 1e-9);
+        assert!(h.total > g.total);
+    }
+
+    #[test]
+    fn square_matrix_matches_brute_force() {
+        let score = vec![
+            vec![0.2, 0.7, 0.1, 0.5],
+            vec![0.9, 0.4, 0.3, 0.6],
+            vec![0.5, 0.8, 0.7, 0.2],
+            vec![0.1, 0.3, 0.9, 0.4],
+        ];
+        let h = hungarian_max(&score);
+        assert!((h.total - brute_force_max(&score)).abs() < 1e-9);
+        assert_eq!(h.pairs.len(), 4);
+    }
+
+    #[test]
+    fn rectangular_wide_matrix() {
+        let score = vec![vec![0.1, 0.9, 0.5]];
+        let h = hungarian_max(&score);
+        assert_eq!(h.pairs, vec![(0, 1)]);
+        assert!((h.total - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_tall_matrix() {
+        let score = vec![vec![0.3], vec![0.8], vec![0.5]];
+        let h = hungarian_max(&score);
+        assert_eq!(h.pairs, vec![(1, 0)]);
+        assert!((h.total - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        assert_eq!(hungarian_max(&[]).pairs, vec![]);
+        let empty_cols: Vec<Vec<f64>> = vec![vec![]];
+        assert_eq!(hungarian_max(&empty_cols).pairs, vec![]);
+        assert_eq!(greedy_assignment(&[]).pairs, vec![]);
+    }
+
+    #[test]
+    fn identity_preference() {
+        // Strong diagonal: both algorithms should find it.
+        let n = 6;
+        let score: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.05 }).collect())
+            .collect();
+        let h = hungarian_max(&score);
+        let g = greedy_assignment(&score);
+        let diag: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        assert_eq!(h.pairs, diag);
+        assert_eq!(g.pairs, diag);
+        assert!((h.total - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_of_lookup() {
+        let score = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let h = hungarian_max(&score);
+        assert_eq!(h.column_of(0), Some(0));
+        assert_eq!(h.column_of(1), Some(1));
+        assert_eq!(h.column_of(2), None);
+    }
+
+    #[test]
+    fn randomised_against_brute_force() {
+        // Deterministic pseudo-random matrices (LCG) up to 5×5.
+        let mut state = 0x2545F491_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for n in 2..=5 {
+            for _ in 0..20 {
+                let score: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+                let h = hungarian_max(&score);
+                let bf = brute_force_max(&score);
+                assert!(
+                    (h.total - bf).abs() < 1e-9,
+                    "hungarian {} != brute force {bf} on {score:?}",
+                    h.total
+                );
+            }
+        }
+    }
+}

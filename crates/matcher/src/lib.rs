@@ -1,0 +1,36 @@
+//! # annoda-match — MDSM schema matching with the Hungarian method
+//!
+//! ANNODA resolves semantic conflicts between a new annotation source and
+//! the global model by *schema matching*: compute a similarity matrix
+//! between the elements of the source's OML schema and the elements of the
+//! global GML schema, then select the correspondence set that maximises
+//! total similarity. The paper adopts the authors' MDSM method
+//! ("Microarray Database Schema Matching using Hungarian Method"), i.e.
+//! the optimal assignment is found with the **Kuhn–Munkres (Hungarian)
+//! algorithm** rather than greedy best-first picking.
+//!
+//! The crate provides:
+//!
+//! * [`schema`] — schema elements extracted from OML instance data
+//!   (label paths + value types, via DataGuides);
+//! * [`similarity`] — the matchers MDSM combines: name similarity
+//!   (Levenshtein, n-gram, token), data-type compatibility, and
+//!   structural similarity;
+//! * [`hungarian`] — an `O(n³)` Kuhn–Munkres implementation over a dense
+//!   score matrix (maximisation form), plus the greedy baseline used by
+//!   the B3 ablation;
+//! * [`mdsm`] — the combined pipeline producing [`mdsm::MappingRule`]s
+//!   with scores and a match-quality report.
+
+pub mod hungarian;
+pub mod mdsm;
+pub mod schema;
+pub mod similarity;
+
+pub use hungarian::{greedy_assignment, hungarian_max, Assignment};
+pub use mdsm::{MatchConfig, MappingRule, MatchReport, Mdsm};
+pub use schema::{SchemaElement, SchemaExtract};
+pub use similarity::{
+    child_token_similarity, combined_similarity, levenshtein, name_similarity,
+    ngram_similarity, token_similarity,
+};

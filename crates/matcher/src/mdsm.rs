@@ -1,0 +1,375 @@
+//! The MDSM pipeline: similarity matrix → optimal assignment → mapping
+//! rules.
+
+use annoda_oem::OemStore;
+
+use crate::hungarian::{greedy_assignment, hungarian_max, Assignment};
+use crate::schema::{SchemaElement, SchemaExtract};
+use crate::similarity::combined_similarity;
+
+/// Matching configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchConfig {
+    /// Pairs scoring below this are discarded after assignment.
+    pub threshold: f64,
+    /// Use the greedy baseline instead of the Hungarian method (the B3
+    /// ablation switch).
+    pub greedy: bool,
+    /// Weight of context similarity (the parent path) blended into each
+    /// cell next to the element-name similarity.
+    pub context_weight: f64,
+    /// Maximum path depth extracted from instance data.
+    pub max_depth: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            threshold: 0.35,
+            greedy: false,
+            context_weight: 0.25,
+            // Entities live at depth 1, attributes at depth 2. Deeper
+            // paths (recursive DAG edges like Term.IsA.IsA…) are not
+            // entity classes and only scatter the assignment.
+            max_depth: 2,
+        }
+    }
+}
+
+/// One discovered correspondence between a source schema element and a
+/// global schema element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingRule {
+    /// Dotted source path (`Entry.MimNumber`).
+    pub source_path: String,
+    /// Dotted global path (`Disease.DiseaseID`).
+    pub global_path: String,
+    /// The combined similarity that justified the rule.
+    pub score: f64,
+}
+
+/// Quality statistics for a match run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatchReport {
+    /// Accepted rules (≥ threshold).
+    pub matched: usize,
+    /// Source elements with no accepted correspondence.
+    pub unmatched_source: usize,
+    /// Global elements with no accepted correspondence.
+    pub unmatched_global: usize,
+    /// Mean score of the accepted rules (0 when none).
+    pub mean_score: f64,
+    /// Total assignment score before thresholding.
+    pub assignment_total: f64,
+}
+
+/// The MDSM matcher.
+#[derive(Debug, Clone, Default)]
+pub struct Mdsm {
+    config: MatchConfig,
+}
+
+impl Mdsm {
+    /// A matcher with the given configuration.
+    pub fn new(config: MatchConfig) -> Self {
+        Mdsm { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// Matches two extracted schemas, producing mapping rules.
+    pub fn match_schemas(
+        &self,
+        source: &SchemaExtract,
+        global: &SchemaExtract,
+    ) -> (Vec<MappingRule>, MatchReport) {
+        let src: Vec<&SchemaElement> = source.elements.iter().collect();
+        let glb: Vec<&SchemaElement> = global.elements.iter().collect();
+        if src.is_empty() || glb.is_empty() {
+            return (
+                Vec::new(),
+                MatchReport {
+                    unmatched_source: src.len(),
+                    unmatched_global: glb.len(),
+                    ..MatchReport::default()
+                },
+            );
+        }
+
+        let parent_of = |extract: &'_ SchemaExtract, e: &SchemaElement| -> Option<Vec<String>> {
+            if e.path.len() < 2 {
+                return None;
+            }
+            let parent_path = e.path[..e.path.len() - 1].join(".");
+            extract.get(&parent_path).map(|p| p.children.clone())
+        };
+        let src_parent_children: Vec<Option<Vec<String>>> =
+            src.iter().map(|s| parent_of(source, s)).collect();
+        let glb_parent_children: Vec<Option<Vec<String>>> =
+            glb.iter().map(|g| parent_of(global, g)).collect();
+
+        let score: Vec<Vec<f64>> = src
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                glb.iter()
+                    .enumerate()
+                    .map(|(j, g)| {
+                        self.cell(
+                            s,
+                            g,
+                            src_parent_children[i].as_deref(),
+                            glb_parent_children[j].as_deref(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let assignment: Assignment = if self.config.greedy {
+            greedy_assignment(&score)
+        } else {
+            hungarian_max(&score)
+        };
+
+        let mut rules = Vec::new();
+        for &(i, j) in &assignment.pairs {
+            if score[i][j] >= self.config.threshold {
+                rules.push(MappingRule {
+                    source_path: src[i].dotted(),
+                    global_path: glb[j].dotted(),
+                    score: score[i][j],
+                });
+            }
+        }
+        rules.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mean_score = if rules.is_empty() {
+            0.0
+        } else {
+            rules.iter().map(|r| r.score).sum::<f64>() / rules.len() as f64
+        };
+        let report = MatchReport {
+            matched: rules.len(),
+            unmatched_source: src.len() - rules.len(),
+            unmatched_global: glb.len() - rules.len(),
+            mean_score,
+            assignment_total: assignment.total,
+        };
+        (rules, report)
+    }
+
+    /// Convenience: extract both schemas from stores and match them.
+    pub fn match_stores(
+        &self,
+        source_store: &OemStore,
+        source_root: &str,
+        global_store: &OemStore,
+        global_root: &str,
+    ) -> (Vec<MappingRule>, MatchReport) {
+        let src = SchemaExtract::from_store(source_store, source_root, self.config.max_depth);
+        let glb = SchemaExtract::from_store(global_store, global_root, self.config.max_depth);
+        self.match_schemas(&src, &glb)
+    }
+
+    /// One similarity-matrix cell: element-name similarity blended with
+    /// context (parent) similarity, both type-gated.
+    ///
+    /// Complex (entity-level) pairs additionally use structural
+    /// similarity over their child vocabularies, which rescues pairs
+    /// like `Term` → `Function` whose names share nothing; nested
+    /// complexes (DAG edges like `Term.IsA`, link containers like
+    /// `Locus.Links`) are discouraged from mapping across nesting
+    /// levels. Context compares both the parent labels *and* the parent
+    /// elements' child vocabularies, so `Term.TermName` prefers
+    /// `Function.Name` over `Disease.Name` even though the parent names
+    /// are equally dissimilar.
+    fn cell(
+        &self,
+        s: &SchemaElement,
+        g: &SchemaElement,
+        s_parent_children: Option<&[String]>,
+        g_parent_children: Option<&[String]>,
+    ) -> f64 {
+        let mut name = combined_similarity(s.name(), g.name(), s.ty, g.ty);
+        if matches!(s.ty, annoda_oem::OemType::Complex)
+            && matches!(g.ty, annoda_oem::OemType::Complex)
+        {
+            let structure =
+                crate::similarity::child_token_similarity(&s.children, &g.children);
+            name = name.max(0.4 * name + 0.6 * structure);
+            if s.path.len() != g.path.len() {
+                name *= 0.3;
+            }
+        }
+        let context = {
+            let ps = parent(&s.path);
+            let pg = parent(&g.path);
+            match (ps, pg) {
+                (Some(a), Some(b)) => {
+                    let label_sim = crate::similarity::token_similarity(a, b)
+                        .max(crate::similarity::ngram_similarity(a, b));
+                    let struct_sim = match (s_parent_children, g_parent_children) {
+                        (Some(ca), Some(cb)) => {
+                            crate::similarity::child_token_similarity(ca, cb)
+                        }
+                        _ => 0.0,
+                    };
+                    label_sim.max(struct_sim)
+                }
+                (None, None) => 1.0,
+                _ => 0.0,
+            }
+        };
+        let w = self.config.context_weight;
+        name * (1.0 - w) + context * w * if name > 0.0 { 1.0 } else { 0.0 }
+    }
+}
+
+fn parent(path: &[String]) -> Option<&str> {
+    if path.len() >= 2 {
+        Some(path[path.len() - 2].as_str())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_oem::{AtomicType, OemType};
+
+    fn elem(path: &[&str], ty: OemType, cardinality: usize) -> SchemaElement {
+        SchemaElement {
+            path: path.iter().map(|s| s.to_string()).collect(),
+            ty,
+            cardinality,
+            children: Vec::new(),
+        }
+    }
+
+    fn omim_schema() -> SchemaExtract {
+        let s = OemType::Atomic(AtomicType::Str);
+        let i = OemType::Atomic(AtomicType::Int);
+        SchemaExtract {
+            elements: vec![
+                elem(&["Entry"], OemType::Complex, 10),
+                elem(&["Entry", "MimNumber"], i, 10),
+                elem(&["Entry", "Title"], s, 10),
+                elem(&["Entry", "GeneSymbol"], s, 14),
+                elem(&["Entry", "Inheritance"], s, 7),
+            ],
+        }
+    }
+
+    fn gml_disease_schema() -> SchemaExtract {
+        let s = OemType::Atomic(AtomicType::Str);
+        let i = OemType::Atomic(AtomicType::Int);
+        SchemaExtract {
+            elements: vec![
+                elem(&["Disease"], OemType::Complex, 10),
+                elem(&["Disease", "DiseaseID"], i, 10),
+                elem(&["Disease", "Name"], s, 10),
+                elem(&["Disease", "Symbol"], s, 14),
+                elem(&["Disease", "Inheritance"], s, 7),
+            ],
+        }
+    }
+
+    #[test]
+    fn finds_the_expected_correspondences() {
+        let mdsm = Mdsm::default();
+        let (rules, report) = mdsm.match_schemas(&omim_schema(), &gml_disease_schema());
+        let find = |src: &str| {
+            rules
+                .iter()
+                .find(|r| r.source_path == src)
+                .map(|r| r.global_path.as_str())
+        };
+        assert_eq!(find("Entry.MimNumber"), Some("Disease.DiseaseID"));
+        assert_eq!(find("Entry.Title"), Some("Disease.Name"));
+        assert_eq!(find("Entry.GeneSymbol"), Some("Disease.Symbol"));
+        assert_eq!(find("Entry.Inheritance"), Some("Disease.Inheritance"));
+        assert_eq!(find("Entry"), Some("Disease"));
+        assert_eq!(report.matched, 5);
+        assert_eq!(report.unmatched_source, 0);
+        assert!(report.mean_score > 0.5);
+    }
+
+    #[test]
+    fn one_to_one_constraint_holds() {
+        let mdsm = Mdsm::default();
+        let (rules, _) = mdsm.match_schemas(&omim_schema(), &gml_disease_schema());
+        let mut globals: Vec<&str> = rules.iter().map(|r| r.global_path.as_str()).collect();
+        globals.sort_unstable();
+        globals.dedup();
+        assert_eq!(globals.len(), rules.len(), "no global element matched twice");
+    }
+
+    #[test]
+    fn threshold_prunes_weak_pairs() {
+        let strict = Mdsm::new(MatchConfig {
+            threshold: 0.99,
+            ..MatchConfig::default()
+        });
+        let (rules, report) = strict.match_schemas(&omim_schema(), &gml_disease_schema());
+        // Only near-perfect pairs survive a 0.99 threshold; the fuzzy
+        // MimNumber→DiseaseID pair is pruned.
+        assert!(rules.len() <= 4, "got {rules:?}");
+        assert!(report.unmatched_source >= 1);
+        assert!(!rules.iter().any(|r| r.source_path == "Entry.MimNumber"));
+    }
+
+    #[test]
+    fn greedy_mode_runs_and_reports() {
+        let greedy = Mdsm::new(MatchConfig {
+            greedy: true,
+            ..MatchConfig::default()
+        });
+        let hungarian = Mdsm::default();
+        let (_, rg) = greedy.match_schemas(&omim_schema(), &gml_disease_schema());
+        let (_, rh) = hungarian.match_schemas(&omim_schema(), &gml_disease_schema());
+        assert!(rh.assignment_total >= rg.assignment_total - 1e-9);
+    }
+
+    #[test]
+    fn empty_schemas_are_handled() {
+        let mdsm = Mdsm::default();
+        let (rules, report) = mdsm.match_schemas(&SchemaExtract::default(), &gml_disease_schema());
+        assert!(rules.is_empty());
+        assert_eq!(report.unmatched_global, 5);
+    }
+
+    #[test]
+    fn hungarian_resolves_the_symbol_ambiguity() {
+        // Two source elements compete for `Symbol`: `GeneSymbol` (good)
+        // and `Gene` (weaker, should pair elsewhere or drop).
+        let s = OemType::Atomic(AtomicType::Str);
+        let src = SchemaExtract {
+            elements: vec![
+                elem(&["A", "GeneSymbol"], s, 5),
+                elem(&["A", "Gene"], s, 5),
+            ],
+        };
+        let glb = SchemaExtract {
+            elements: vec![elem(&["G", "Symbol"], s, 5), elem(&["G", "Locus"], s, 5)],
+        };
+        let mdsm = Mdsm::new(MatchConfig {
+            threshold: 0.1,
+            context_weight: 0.0,
+            ..MatchConfig::default()
+        });
+        let (rules, _) = mdsm.match_schemas(&src, &glb);
+        let find = |p: &str| rules.iter().find(|r| r.source_path == p);
+        assert_eq!(find("A.GeneSymbol").unwrap().global_path, "G.Symbol");
+        // `Gene` must take `Locus` (synonym group), not steal `Symbol`.
+        assert_eq!(find("A.Gene").unwrap().global_path, "G.Locus");
+    }
+}

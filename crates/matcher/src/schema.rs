@@ -1,0 +1,170 @@
+//! Schema extraction from OML instance data.
+//!
+//! Semi-structured sources carry no separate schema; MDSM therefore
+//! matches *extracted* schemas: the label paths present in the data (via
+//! a DataGuide) together with the observed value type and cardinality at
+//! each path.
+
+use annoda_oem::dataguide::DataGuide;
+use annoda_oem::{OemStore, OemType, PathExpr, PathStep};
+
+/// One element of an extracted schema: a label path with its observed
+/// type and how many objects it reaches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaElement {
+    /// The label path from the source root, e.g. `["Locus", "Symbol"]`.
+    pub path: Vec<String>,
+    /// The type of the objects the path reaches (first observed object;
+    /// annotation data is homogeneous enough for this to be stable).
+    pub ty: OemType,
+    /// Number of distinct objects the path reaches.
+    pub cardinality: usize,
+    /// For complex elements: the child labels observed below the path
+    /// (sorted). Entity-level matching compares these structurally —
+    /// `Term` and `Function` share no name material but near-identical
+    /// child vocabularies.
+    pub children: Vec<String>,
+}
+
+impl SchemaElement {
+    /// The last label — the element's *name* for string matching.
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// The dotted rendering of the path.
+    pub fn dotted(&self) -> String {
+        self.path.join(".")
+    }
+}
+
+/// An extracted schema for one rooted OEM region.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchemaExtract {
+    /// Elements in lexicographic path order.
+    pub elements: Vec<SchemaElement>,
+}
+
+impl SchemaExtract {
+    /// Extracts the schema of the region under the named root, with
+    /// paths up to `max_depth` labels.
+    pub fn from_store(store: &OemStore, root_name: &str, max_depth: usize) -> Self {
+        let Some(root) = store.named(root_name) else {
+            return SchemaExtract::default();
+        };
+        let guide = DataGuide::build(store, &[root]);
+        let mut elements = Vec::new();
+        for path in guide.paths(max_depth) {
+            let refs: Vec<&str> = path.iter().map(String::as_str).collect();
+            let cardinality = guide.cardinality(&refs);
+            // Observe the type by evaluating the path and looking at the
+            // first object.
+            let expr = PathExpr::new(path.iter().cloned().map(PathStep::Label).collect());
+            let ty = expr
+                .eval(store, root)
+                .first()
+                .and_then(|&o| store.type_of(o))
+                .unwrap_or(OemType::Complex);
+            let children = match guide.lookup(&refs) {
+                Some(node) if ty == OemType::Complex => guide
+                    .out_labels(node)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+                _ => Vec::new(),
+            };
+            elements.push(SchemaElement {
+                path,
+                ty,
+                cardinality,
+                children,
+            });
+        }
+        SchemaExtract { elements }
+    }
+
+    /// Elements whose paths reach atomic objects — the attribute-level
+    /// elements MDSM matches (complex "entity" paths are matched too,
+    /// but most mapping rules live at the attribute level).
+    pub fn atomic_elements(&self) -> impl Iterator<Item = &SchemaElement> {
+        self.elements
+            .iter()
+            .filter(|e| !matches!(e.ty, OemType::Complex))
+    }
+
+    /// Number of extracted elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when nothing was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Looks up an element by its dotted path.
+    pub fn get(&self, dotted: &str) -> Option<&SchemaElement> {
+        self.elements.iter().find(|e| e.dotted() == dotted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_oem::{AtomicType, AtomicValue};
+
+    fn locus_store() -> OemStore {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        for (sym, id) in [("TP53", 7157i64), ("BRCA1", 672)] {
+            let l = db.add_complex_child(root, "Locus").unwrap();
+            db.add_atomic_child(l, "Symbol", sym).unwrap();
+            db.add_atomic_child(l, "LocusID", AtomicValue::Int(id)).unwrap();
+            let links = db.add_complex_child(l, "Links").unwrap();
+            db.add_atomic_child(links, "GO", AtomicValue::Url("http://go".into()))
+                .unwrap();
+        }
+        db.set_name("LocusLink", root).unwrap();
+        db
+    }
+
+    #[test]
+    fn extracts_paths_types_and_cardinalities() {
+        let store = locus_store();
+        let schema = SchemaExtract::from_store(&store, "LocusLink", 3);
+        let sym = schema.get("Locus.Symbol").unwrap();
+        assert_eq!(sym.ty, OemType::Atomic(AtomicType::Str));
+        assert_eq!(sym.cardinality, 2);
+        assert_eq!(sym.name(), "Symbol");
+        let locus = schema.get("Locus").unwrap();
+        assert_eq!(locus.ty, OemType::Complex);
+        let go = schema.get("Locus.Links.GO").unwrap();
+        assert_eq!(go.ty, OemType::Atomic(AtomicType::Url));
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let store = locus_store();
+        let schema = SchemaExtract::from_store(&store, "LocusLink", 2);
+        assert!(schema.get("Locus.Links").is_some());
+        assert!(schema.get("Locus.Links.GO").is_none());
+    }
+
+    #[test]
+    fn atomic_elements_excludes_entities() {
+        let store = locus_store();
+        let schema = SchemaExtract::from_store(&store, "LocusLink", 3);
+        let atoms: Vec<&str> = schema.atomic_elements().map(|e| e.name()).collect();
+        assert!(atoms.contains(&"Symbol"));
+        assert!(!atoms.contains(&"Locus"));
+        assert!(!atoms.contains(&"Links"));
+    }
+
+    #[test]
+    fn missing_root_gives_empty_schema() {
+        let store = locus_store();
+        let schema = SchemaExtract::from_store(&store, "Nope", 3);
+        assert!(schema.is_empty());
+        assert_eq!(schema.len(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! The similarity measures MDSM combines into one matrix.
+//!
+//! Schema element names in annotation databases are short, abbreviated,
+//! and inconsistently cased (`LocusID`, `Accession`, `MimNumber`,
+//! `GeneSymbol`). MDSM therefore blends several string measures — exact
+//! edit distance for typos, n-gram overlap for abbreviations, token
+//! overlap (with a domain synonym table) for compound names — and gates
+//! the result by data-type compatibility.
+
+use annoda_oem::OemType;
+
+/// Levenshtein edit distance (unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Edit-distance similarity in `[0, 1]` over lowercased names.
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let a = a.to_lowercase();
+    let b = b.to_lowercase();
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(&a, &b) as f64 / max_len as f64
+}
+
+/// Dice coefficient over character bigrams of the lowercased names.
+pub fn ngram_similarity(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> Vec<(char, char)> {
+        let chars: Vec<char> = s.to_lowercase().chars().collect();
+        chars.windows(2).map(|w| (w[0], w[1])).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return if a.to_lowercase() == b.to_lowercase() {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut gb_pool = gb.clone();
+    let mut overlap = 0usize;
+    for g in &ga {
+        if let Some(pos) = gb_pool.iter().position(|x| x == g) {
+            gb_pool.swap_remove(pos);
+            overlap += 1;
+        }
+    }
+    2.0 * overlap as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Domain synonym groups for the annotation vocabulary. Tokens in the
+/// same group count as equal during token matching.
+const SYNONYM_GROUPS: &[&[&str]] = &[
+    &["id", "identifier", "accession", "number", "no", "mim", "goid", "pmid"],
+    &["name", "title", "term"],
+    &["gene", "locus", "symbol", "genesymbol"],
+    &["disease", "disorder", "phenotype", "entry"],
+    &["function", "ontology", "namespace", "go"],
+    &["description", "definition", "desc", "def", "text"],
+    &["link", "url", "links"],
+    &["organism", "species", "taxon"],
+    &["position", "map", "location"],
+    &["evidence", "evidencecode"],
+    &["publication", "citation", "article", "paper", "reference"],
+    &["journal", "periodical"],
+];
+
+fn canonical_token(tok: &str) -> &str {
+    for group in SYNONYM_GROUPS {
+        if group.contains(&tok) {
+            return group[0];
+        }
+    }
+    tok
+}
+
+/// Splits a schema name into lowercase tokens on case boundaries, digits,
+/// `_`, `-` and `.`.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for c in name.chars() {
+        if c == '_' || c == '-' || c == '.' || c.is_whitespace() {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            prev_lower = false;
+        } else if c.is_uppercase() && prev_lower {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            cur.push(c.to_ascii_lowercase());
+            prev_lower = false;
+        } else {
+            prev_lower = c.is_lowercase();
+            cur.push(c.to_ascii_lowercase());
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Jaccard overlap of canonicalised token *sets* (synonyms collapse,
+/// repeated tokens count once).
+pub fn token_similarity(a: &str, b: &str) -> f64 {
+    let canon_set = |s: &str| -> std::collections::BTreeSet<String> {
+        tokenize(s)
+            .iter()
+            .map(|t| canonical_token(t).to_string())
+            .collect()
+    };
+    let ta = canon_set(a);
+    let tb = canon_set(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let overlap = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - overlap;
+    overlap as f64 / union as f64
+}
+
+/// Compatibility factor between two OEM value types in `[0, 1]`:
+/// identical types are fully compatible, numeric pairs and textual pairs
+/// are partially compatible, complex never matches atomic.
+pub fn type_compatibility(a: OemType, b: OemType) -> f64 {
+    use annoda_oem::AtomicType::*;
+    match (a, b) {
+        (x, y) if x == y => 1.0,
+        (OemType::Complex, _) | (_, OemType::Complex) => 0.0,
+        (OemType::Atomic(x), OemType::Atomic(y)) => match (x, y) {
+            (Int, Real) | (Real, Int) => 0.8,
+            (Str, Url) | (Url, Str) => 0.8,
+            (Int, Str) | (Str, Int) | (Real, Str) | (Str, Real) => 0.5,
+            _ => 0.1,
+        },
+    }
+}
+
+/// The combined MDSM cell score: the best of the three string measures,
+/// scaled by type compatibility.
+pub fn combined_similarity(name_a: &str, name_b: &str, ty_a: OemType, ty_b: OemType) -> f64 {
+    let s = name_similarity(name_a, name_b)
+        .max(ngram_similarity(name_a, name_b))
+        .max(token_similarity(name_a, name_b));
+    s * type_compatibility(ty_a, ty_b)
+}
+
+/// Structural similarity between two complex schema elements: Jaccard
+/// overlap of the canonicalised token sets of their child labels. `Term`
+/// and `Function` share no name material, but their child vocabularies
+/// (`Accession`/`FunctionID`, `TermName`/`Name`, `Ontology`/`Namespace`,
+/// `Definition`/`Definition`, `Url`/`Link`) collapse to the same tokens.
+pub fn child_token_similarity(a: &[String], b: &[String]) -> f64 {
+    let canon_set = |labels: &[String]| -> std::collections::BTreeSet<String> {
+        labels
+            .iter()
+            .flat_map(|l| tokenize(l))
+            .map(|t| canonical_token(&t).to_string())
+            .collect()
+    };
+    let ta = canon_set(a);
+    let tb = canon_set(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let overlap = ta.intersection(&tb).count();
+    overlap as f64 / (ta.len() + tb.len() - overlap) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_oem::AtomicType;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("symbol", "symbol"), 0);
+    }
+
+    #[test]
+    fn name_similarity_range() {
+        assert!((name_similarity("Symbol", "symbol") - 1.0).abs() < 1e-9);
+        assert_eq!(name_similarity("", ""), 1.0);
+        let s = name_similarity("LocusID", "Accession");
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn ngram_prefers_shared_substrings() {
+        assert!(ngram_similarity("GeneSymbol", "Symbol") > ngram_similarity("GeneSymbol", "Title"));
+        assert!((ngram_similarity("ab", "ab") - 1.0).abs() < 1e-9);
+        assert_eq!(ngram_similarity("a", "b"), 0.0);
+        assert_eq!(ngram_similarity("a", "a"), 1.0);
+    }
+
+    #[test]
+    fn tokenize_splits_camel_and_separators() {
+        assert_eq!(tokenize("GeneSymbol"), vec!["gene", "symbol"]);
+        assert_eq!(tokenize("locus_id"), vec!["locus", "id"]);
+        assert_eq!(tokenize("Mim-Number"), vec!["mim", "number"]);
+        assert_eq!(tokenize("TermName"), vec!["term", "name"]);
+        assert_eq!(tokenize("ID"), vec!["id"]);
+    }
+
+    #[test]
+    fn token_similarity_uses_synonyms() {
+        // MimNumber ~ ID through number≡id, TermName ~ Name through term≡name.
+        assert!(token_similarity("MimNumber", "DiseaseID") > 0.0);
+        assert!(token_similarity("TermName", "Name") > 0.9);
+        assert!(token_similarity("GeneSymbol", "Symbol") > 0.4);
+        assert_eq!(token_similarity("Organism", "Evidence"), 0.0);
+    }
+
+    #[test]
+    fn type_compatibility_matrix() {
+        use OemType::*;
+        assert_eq!(type_compatibility(Complex, Complex), 1.0);
+        assert_eq!(type_compatibility(Complex, Atomic(AtomicType::Int)), 0.0);
+        assert!(
+            type_compatibility(Atomic(AtomicType::Int), Atomic(AtomicType::Real))
+                > type_compatibility(Atomic(AtomicType::Int), Atomic(AtomicType::Str))
+        );
+        assert!(
+            type_compatibility(Atomic(AtomicType::Str), Atomic(AtomicType::Url))
+                > type_compatibility(Atomic(AtomicType::Gif), Atomic(AtomicType::Str))
+        );
+    }
+
+    #[test]
+    fn combined_gates_by_type() {
+        use OemType::*;
+        let same_type = combined_similarity(
+            "Symbol",
+            "GeneSymbol",
+            Atomic(AtomicType::Str),
+            Atomic(AtomicType::Str),
+        );
+        let cross_type = combined_similarity(
+            "Symbol",
+            "GeneSymbol",
+            Atomic(AtomicType::Str),
+            Complex,
+        );
+        assert!(same_type > 0.4);
+        assert_eq!(cross_type, 0.0);
+    }
+
+    #[test]
+    fn the_actual_oml_gml_pairs_score_high() {
+        use OemType::*;
+        let str_t = Atomic(AtomicType::Str);
+        let int_t = Atomic(AtomicType::Int);
+        // The correspondences the mediator needs MDSM to find:
+        assert!(combined_similarity("Symbol", "Symbol", str_t, str_t) > 0.9);
+        // `Gene`, `Locus` and `Symbol` are domain synonyms: GO's
+        // `Annotation.Gene` column carries gene symbols.
+        assert!(combined_similarity("Gene", "Symbol", str_t, str_t) > 0.9);
+        assert!(combined_similarity("GeneSymbol", "Symbol", str_t, str_t) > 0.9);
+        assert!(combined_similarity("Accession", "FunctionID", str_t, str_t) > 0.3);
+        assert!(combined_similarity("MimNumber", "DiseaseID", int_t, int_t) > 0.3);
+        assert!(combined_similarity("TermName", "FunctionName", str_t, str_t) > 0.4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the matcher: the Hungarian algorithm must
+//! produce valid matchings that dominate greedy on every matrix, and
+//! the similarity measures must respect their metric-like contracts.
+
+use proptest::prelude::*;
+
+use annoda_match::{
+    greedy_assignment, hungarian_max, levenshtein, ngram_similarity, token_similarity,
+};
+
+fn score_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(0.0..1.0f64, c..=c), r..=r)
+    })
+}
+
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z_]{0,12}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hungarian_matching_is_valid(score in score_matrix()) {
+        let a = hungarian_max(&score);
+        let rows: Vec<usize> = a.pairs.iter().map(|&(i, _)| i).collect();
+        let cols: Vec<usize> = a.pairs.iter().map(|&(_, j)| j).collect();
+        let mut rs = rows.clone();
+        rs.sort_unstable();
+        rs.dedup();
+        prop_assert_eq!(rs.len(), rows.len(), "row matched twice");
+        let mut cs = cols.clone();
+        cs.sort_unstable();
+        cs.dedup();
+        prop_assert_eq!(cs.len(), cols.len(), "column matched twice");
+        // The reported total is the sum of the matched cells.
+        let sum: f64 = a.pairs.iter().map(|&(i, j)| score[i][j]).sum();
+        prop_assert!((a.total - sum).abs() < 1e-9);
+        // A square-or-smaller dimension is fully matched (non-negative
+        // scores never make leaving a pair unmatched better).
+        prop_assert_eq!(a.pairs.len(), score.len().min(score[0].len()));
+    }
+
+    #[test]
+    fn hungarian_dominates_greedy(score in score_matrix()) {
+        let h = hungarian_max(&score);
+        let g = greedy_assignment(&score);
+        prop_assert!(h.total >= g.total - 1e-9, "hungarian {} < greedy {}", h.total, g.total);
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by the longer string.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn similarities_are_symmetric_and_bounded(a in word(), b in word()) {
+        for f in [ngram_similarity, token_similarity] {
+            let ab = f(&a, &b);
+            let ba = f(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-12, "asymmetry: {} vs {}", ab, ba);
+            prop_assert!((0.0..=1.0).contains(&ab), "out of range: {}", ab);
+        }
+    }
+
+    #[test]
+    fn identical_names_score_one(a in proptest::string::string_regex("[A-Za-z]{1,12}").unwrap()) {
+        prop_assert!((ngram_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((token_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,932 @@
+//! Result fusion: combining per-source subquery results into one
+//! integrated, reconciled answer.
+//!
+//! Fusion joins the shipped fragments on the mapping rules' join keys
+//! (gene symbol, function id, disease id), reconciles membership and
+//! value disagreements through the [`Reconciler`], applies the question's
+//! residual predicates, and produces the integrated annotation view of
+//! Figure 5b.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use annoda_oem::{AtomicValue, Oid, OemStore};
+use annoda_wrap::SubqueryResult;
+
+use crate::decompose::{AspectClause, Combination, GeneQuestion, Purpose};
+use crate::reconcile::{Conflict, ReconcilePolicy, Reconciler};
+use crate::weblink::WebLink;
+
+/// One subquery result tagged with its origin and purpose.
+#[derive(Debug, Clone)]
+pub struct TaggedResult {
+    /// The source that answered.
+    pub source: String,
+    /// What the rows feed.
+    pub purpose: Purpose,
+    /// The shipped fragment.
+    pub result: SubqueryResult,
+}
+
+/// A reconciled gene→function association in the integrated view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionInfo {
+    /// The function id (GO accession).
+    pub id: String,
+    /// Term name, when the Function details were fetched.
+    pub name: Option<String>,
+    /// Namespace, when known.
+    pub namespace: Option<String>,
+    /// Evidence code from the annotation source, when known.
+    pub evidence: Option<String>,
+    /// Sources asserting the association.
+    pub sources: Vec<String>,
+    /// Navigation link.
+    pub link: WebLink,
+}
+
+/// A reconciled gene→disease association in the integrated view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiseaseInfo {
+    /// The disease id (MIM number) as text.
+    pub id: String,
+    /// Entry title, when known.
+    pub name: Option<String>,
+    /// Inheritance mode, when known.
+    pub inheritance: Option<String>,
+    /// Sources asserting the association.
+    pub sources: Vec<String>,
+    /// Navigation link.
+    pub link: WebLink,
+}
+
+/// A literature citation attached to a gene in the integrated view
+/// (the fourth-source extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublicationInfo {
+    /// The publication id (PMID) as text.
+    pub id: String,
+    /// Article title, when known.
+    pub title: Option<String>,
+    /// Publication year, when known.
+    pub year: Option<String>,
+    /// Journal, when known.
+    pub journal: Option<String>,
+    /// Sources asserting the citation.
+    pub sources: Vec<String>,
+    /// Navigation link.
+    pub link: WebLink,
+}
+
+/// One gene of the integrated annotation view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegratedGene {
+    /// Official symbol (the join key).
+    pub symbol: String,
+    /// LocusID, when known.
+    pub gene_id: Option<i64>,
+    /// Organism, when known.
+    pub organism: Option<String>,
+    /// Description, when known.
+    pub description: Option<String>,
+    /// Cytogenetic position, when known.
+    pub position: Option<String>,
+    /// Reconciled function annotations.
+    pub functions: Vec<FunctionInfo>,
+    /// Reconciled disease associations.
+    pub diseases: Vec<DiseaseInfo>,
+    /// Literature citations (when a publication source is plugged in).
+    pub publications: Vec<PublicationInfo>,
+    /// Navigation links (source links + internal object view link).
+    pub links: Vec<WebLink>,
+}
+
+/// Row counts observed during fusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusionStats {
+    /// Gene entity rows consumed.
+    pub gene_rows: usize,
+    /// Gene↔function association rows consumed.
+    pub annotation_rows: usize,
+    /// Function detail rows consumed.
+    pub function_rows: usize,
+    /// Disease rows consumed.
+    pub disease_rows: usize,
+    /// Literature citation rows consumed.
+    pub publication_rows: usize,
+}
+
+/// The fused, reconciled, filtered answer.
+#[derive(Debug, Clone)]
+pub struct FusedAnswer {
+    /// Genes passing the question, sorted by symbol.
+    pub genes: Vec<IntegratedGene>,
+    /// Conflicts detected during reconciliation.
+    pub conflicts: Vec<Conflict>,
+    /// Row counts.
+    pub stats: FusionStats,
+}
+
+impl FusedAnswer {
+    /// Materialises the integrated view as an OEM store (root
+    /// `IntegratedView`) — the Figure 5b structure.
+    pub fn to_store(&self) -> OemStore {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        for g in &self.genes {
+            let gene = db.add_complex_child(root, "Gene").expect("root complex");
+            db.add_atomic_child(gene, "Symbol", g.symbol.as_str())
+                .expect("complex");
+            if let Some(id) = g.gene_id {
+                db.add_atomic_child(gene, "GeneID", AtomicValue::Int(id))
+                    .expect("complex");
+            }
+            for (label, v) in [
+                ("Organism", &g.organism),
+                ("Description", &g.description),
+                ("Position", &g.position),
+            ] {
+                if let Some(v) = v {
+                    db.add_atomic_child(gene, label, v.as_str()).expect("complex");
+                }
+            }
+            for f in &g.functions {
+                let fo = db.add_complex_child(gene, "Function").expect("complex");
+                db.add_atomic_child(fo, "FunctionID", f.id.as_str())
+                    .expect("complex");
+                if let Some(n) = &f.name {
+                    db.add_atomic_child(fo, "Name", n.as_str()).expect("complex");
+                }
+                if let Some(ns) = &f.namespace {
+                    db.add_atomic_child(fo, "Namespace", ns.as_str()).expect("complex");
+                }
+                if let Some(e) = &f.evidence {
+                    db.add_atomic_child(fo, "Evidence", e.as_str()).expect("complex");
+                }
+                db.add_atomic_child(fo, "Link", AtomicValue::Url(f.link.url.clone()))
+                    .expect("complex");
+            }
+            for d in &g.diseases {
+                let dis = db.add_complex_child(gene, "Disease").expect("complex");
+                db.add_atomic_child(dis, "DiseaseID", d.id.as_str()).expect("complex");
+                if let Some(n) = &d.name {
+                    db.add_atomic_child(dis, "Name", n.as_str()).expect("complex");
+                }
+                if let Some(inh) = &d.inheritance {
+                    db.add_atomic_child(dis, "Inheritance", inh.as_str())
+                        .expect("complex");
+                }
+                db.add_atomic_child(dis, "Link", AtomicValue::Url(d.link.url.clone()))
+                    .expect("complex");
+            }
+            for p in &g.publications {
+                let pb = db.add_complex_child(gene, "Publication").expect("complex");
+                db.add_atomic_child(pb, "PublicationID", p.id.as_str()).expect("complex");
+                if let Some(t) = &p.title {
+                    db.add_atomic_child(pb, "Title", t.as_str()).expect("complex");
+                }
+                if let Some(y) = &p.year {
+                    db.add_atomic_child(pb, "Year", y.as_str()).expect("complex");
+                }
+                if let Some(j) = &p.journal {
+                    db.add_atomic_child(pb, "Journal", j.as_str()).expect("complex");
+                }
+                db.add_atomic_child(pb, "Link", AtomicValue::Url(p.link.url.clone()))
+                    .expect("complex");
+            }
+            for l in &g.links {
+                db.add_atomic_child(gene, "Link", AtomicValue::Url(l.url.clone()))
+                    .expect("complex");
+            }
+        }
+        db.set_name_overwrite("IntegratedView", root)
+            .expect("fresh store");
+        db
+    }
+}
+
+/// Evaluates the question's aspect clauses (require/exclude, with
+/// patterns and the combination method) over already-integrated function
+/// and disease lists. An item "matches" a clause pattern when its name is
+/// known and like-matches; with no pattern, any kept item matches. Shared
+/// by query-time fusion and by the warehouse baseline's local filtering.
+pub fn aspect_clauses_pass(
+    question: &GeneQuestion,
+    functions: &[FunctionInfo],
+    diseases: &[DiseaseInfo],
+    publications: &[PublicationInfo],
+) -> bool {
+    let fn_matches = match question.function.pattern() {
+        None => !functions.is_empty(),
+        Some(p) => functions
+            .iter()
+            .any(|f| f.name.as_deref().is_some_and(|n| like(n, p))),
+    };
+    let dis_matches = match question.disease.pattern() {
+        None => !diseases.is_empty(),
+        Some(p) => diseases
+            .iter()
+            .any(|d| d.name.as_deref().is_some_and(|n| like(n, p))),
+    };
+    let pub_matches = match question.publication.pattern() {
+        None => !publications.is_empty(),
+        Some(p) => publications
+            .iter()
+            .any(|pb| pb.title.as_deref().is_some_and(|t| like(t, p))),
+    };
+    let mut requires: Vec<bool> = Vec::new();
+    let mut excludes_ok = true;
+    match &question.function {
+        AspectClause::Require(_) => requires.push(fn_matches),
+        AspectClause::Exclude(_) => excludes_ok &= !fn_matches,
+        AspectClause::Ignore => {}
+    }
+    match &question.disease {
+        AspectClause::Require(_) => requires.push(dis_matches),
+        AspectClause::Exclude(_) => excludes_ok &= !dis_matches,
+        AspectClause::Ignore => {}
+    }
+    match &question.publication {
+        AspectClause::Require(_) => requires.push(pub_matches),
+        AspectClause::Exclude(_) => excludes_ok &= !pub_matches,
+        AspectClause::Ignore => {}
+    }
+    let requires_ok = if requires.is_empty() {
+        true
+    } else {
+        match question.combine {
+            Combination::All => requires.iter().all(|&b| b),
+            Combination::Any => requires.iter().any(|&b| b),
+        }
+    };
+    requires_ok && excludes_ok
+}
+
+/// Full question check over one integrated gene, including the organism
+/// and symbol predicates. Used by the warehouse baseline, which filters
+/// already-materialised genes locally.
+pub fn passes_question(question: &GeneQuestion, gene: &IntegratedGene) -> bool {
+    if let Some(o) = &question.organism {
+        if gene.organism.as_deref() != Some(o.as_str()) {
+            return false;
+        }
+    }
+    if let Some(p) = &question.symbol_like {
+        if !like(&gene.symbol, p) {
+            return false;
+        }
+    }
+    aspect_clauses_pass(
+        question,
+        &gene.functions,
+        &gene.diseases,
+        &gene.publications,
+    )
+}
+
+// ----- row readers --------------------------------------------------------
+
+fn row_texts(res: &SubqueryResult, row: Oid, label: &str) -> Vec<String> {
+    res.store
+        .children(row, label)
+        .filter_map(|o| res.store.value_of(o).map(|v| v.as_text()))
+        .collect()
+}
+
+fn row_first(res: &SubqueryResult, row: Oid, label: &str) -> Option<String> {
+    res.store
+        .children(row, label)
+        .next()
+        .and_then(|o| res.store.value_of(o).map(|v| v.as_text()))
+}
+
+fn like(text: &str, pattern: &str) -> bool {
+    AtomicValue::Str(text.to_string()).lorel_like(pattern)
+}
+
+// ----- intermediate gene record --------------------------------------------
+
+#[derive(Default, Debug)]
+struct GeneDraft {
+    gene_id: Option<i64>,
+    /// attribute → (source, value) pairs, for value reconciliation.
+    attrs: BTreeMap<&'static str, Vec<(String, String)>>,
+    /// (source, claimed function ids) from the gene provider's rows.
+    fn_claims: BTreeMap<String, BTreeSet<String>>,
+    dis_claims: BTreeMap<String, BTreeSet<String>>,
+    links: Vec<WebLink>,
+}
+
+#[derive(Default, Debug, Clone)]
+struct FunctionDetail {
+    name: Option<String>,
+    namespace: Option<String>,
+    link: Option<String>,
+}
+
+#[derive(Default, Debug, Clone)]
+struct DiseaseDetail {
+    name: Option<String>,
+    inheritance: Option<String>,
+    link: Option<String>,
+}
+
+/// Fuses tagged subquery results under `question`, reconciling with
+/// `policy`. The question's predicates are (re-)applied at the mediator,
+/// so results are identical whether or not pushdown ran.
+pub fn fuse(
+    question: &GeneQuestion,
+    results: &[TaggedResult],
+    policy: ReconcilePolicy,
+) -> FusedAnswer {
+    let mut reconciler = Reconciler::new(policy);
+    let mut stats = FusionStats::default();
+
+    // ---- collect gene drafts -------------------------------------------
+    let mut drafts: BTreeMap<String, GeneDraft> = BTreeMap::new();
+    let mut gene_sources: Vec<String> = Vec::new();
+    for tr in results.iter().filter(|t| t.purpose == Purpose::Genes) {
+        if !gene_sources.contains(&tr.source) {
+            gene_sources.push(tr.source.clone());
+        }
+        for row in tr.result.row_oids() {
+            stats.gene_rows += 1;
+            let Some(symbol) = row_first(&tr.result, row, "Symbol") else {
+                continue;
+            };
+            let draft = drafts.entry(symbol.clone()).or_default();
+            if let Some(idt) = row_first(&tr.result, row, "GeneID") {
+                if let Ok(id) = idt.parse::<i64>() {
+                    draft.gene_id = Some(id);
+                }
+            }
+            for attr in ["Organism", "Description", "Position"] {
+                if let Some(v) = row_first(&tr.result, row, attr) {
+                    draft
+                        .attrs
+                        .entry(match attr {
+                            "Organism" => "Organism",
+                            "Description" => "Description",
+                            _ => "Position",
+                        })
+                        .or_default()
+                        .push((tr.source.clone(), v));
+                }
+            }
+            draft
+                .fn_claims
+                .entry(tr.source.clone())
+                .or_default()
+                .extend(row_texts(&tr.result, row, "FunctionID"));
+            draft
+                .dis_claims
+                .entry(tr.source.clone())
+                .or_default()
+                .extend(row_texts(&tr.result, row, "DiseaseID"));
+            for url in row_texts(&tr.result, row, "Link") {
+                let l = WebLink::external(&tr.source, url);
+                if !draft.links.contains(&l) {
+                    draft.links.push(l);
+                }
+            }
+        }
+    }
+
+    // ---- annotations (gene ↔ function, from GO) --------------------------
+    // symbol → fid → (source, evidence)
+    let mut ann_claims: BTreeMap<String, BTreeMap<String, (String, Option<String>)>> =
+        BTreeMap::new();
+    let mut annotation_sources: Vec<String> = Vec::new();
+    for tr in results.iter().filter(|t| t.purpose == Purpose::Annotations) {
+        if !annotation_sources.contains(&tr.source) {
+            annotation_sources.push(tr.source.clone());
+        }
+        for row in tr.result.row_oids() {
+            stats.annotation_rows += 1;
+            let (Some(symbol), Some(fid)) = (
+                row_first(&tr.result, row, "Symbol"),
+                row_first(&tr.result, row, "FunctionID"),
+            ) else {
+                continue;
+            };
+            let evidence = row_first(&tr.result, row, "Evidence");
+            ann_claims
+                .entry(symbol)
+                .or_default()
+                .insert(fid, (tr.source.clone(), evidence));
+        }
+    }
+
+    // ---- function details -------------------------------------------------
+    let mut fn_details: HashMap<String, FunctionDetail> = HashMap::new();
+    for tr in results.iter().filter(|t| t.purpose == Purpose::Functions) {
+        for row in tr.result.row_oids() {
+            stats.function_rows += 1;
+            let Some(fid) = row_first(&tr.result, row, "FunctionID") else {
+                continue;
+            };
+            fn_details.insert(
+                fid,
+                FunctionDetail {
+                    name: row_first(&tr.result, row, "Name"),
+                    namespace: row_first(&tr.result, row, "Namespace"),
+                    link: row_first(&tr.result, row, "Link"),
+                },
+            );
+        }
+    }
+
+    // ---- disease rows -----------------------------------------------------
+    let mut dis_details: HashMap<String, DiseaseDetail> = HashMap::new();
+    // symbol → did set asserted by the disease source.
+    let mut dis_claims: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    let mut disease_sources: Vec<String> = Vec::new();
+    for tr in results.iter().filter(|t| t.purpose == Purpose::Diseases) {
+        if !disease_sources.contains(&tr.source) {
+            disease_sources.push(tr.source.clone());
+        }
+        for row in tr.result.row_oids() {
+            stats.disease_rows += 1;
+            let Some(did) = row_first(&tr.result, row, "DiseaseID") else {
+                continue;
+            };
+            dis_details.insert(
+                did.clone(),
+                DiseaseDetail {
+                    name: row_first(&tr.result, row, "Name"),
+                    inheritance: row_first(&tr.result, row, "Inheritance"),
+                    link: row_first(&tr.result, row, "Link"),
+                },
+            );
+            for symbol in row_texts(&tr.result, row, "Symbol") {
+                dis_claims
+                    .entry(symbol)
+                    .or_default()
+                    .insert(did.clone(), tr.source.clone());
+            }
+        }
+    }
+
+    // ---- publication rows -------------------------------------------------
+    #[derive(Default, Clone)]
+    struct PublicationDetail {
+        title: Option<String>,
+        year: Option<String>,
+        journal: Option<String>,
+        link: Option<String>,
+    }
+    let mut pub_details: HashMap<String, PublicationDetail> = HashMap::new();
+    // symbol → pmid → source
+    let mut pub_claims: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    for tr in results
+        .iter()
+        .filter(|t| t.purpose == Purpose::Publications)
+    {
+        for row in tr.result.row_oids() {
+            stats.publication_rows += 1;
+            let Some(pmid) = row_first(&tr.result, row, "PublicationID") else {
+                continue;
+            };
+            pub_details.insert(
+                pmid.clone(),
+                PublicationDetail {
+                    title: row_first(&tr.result, row, "Title"),
+                    year: row_first(&tr.result, row, "Year"),
+                    journal: row_first(&tr.result, row, "Journal"),
+                    link: row_first(&tr.result, row, "Link"),
+                },
+            );
+            for symbol in row_texts(&tr.result, row, "Symbol") {
+                pub_claims
+                    .entry(symbol)
+                    .or_default()
+                    .insert(pmid.clone(), tr.source.clone());
+            }
+        }
+    }
+
+    // Coverage: a provider's silence counts as denial only when it was
+    // queried without a narrowing pattern.
+    let fn_coverage_complete = !annotation_sources.is_empty();
+    let dis_coverage_complete =
+        !disease_sources.is_empty() && question.disease.pattern().is_none();
+
+    // ---- per-gene reconciliation and filtering ----------------------------
+    let mut genes = Vec::new();
+    for (symbol, draft) in drafts {
+        // Residual predicates (safe to re-apply after pushdown).
+        let organism = draft
+            .attrs
+            .get("Organism")
+            .and_then(|vs| reconciler.value(&symbol, "Organism", vs));
+        if let Some(o) = &question.organism {
+            match &organism {
+                Some(v) if v == o => {}
+                _ => continue,
+            }
+        }
+        if let Some(pat) = &question.symbol_like {
+            if !like(&symbol, pat) {
+                continue;
+            }
+        }
+
+        // Function membership.
+        let gene_fn_sets: Vec<(&String, &BTreeSet<String>)> = draft.fn_claims.iter().collect();
+        let mut candidate_fids: BTreeSet<String> = gene_fn_sets
+            .iter()
+            .flat_map(|(_, s)| s.iter().cloned())
+            .collect();
+        let gene_ann = ann_claims.get(&symbol);
+        if let Some(ann) = gene_ann {
+            candidate_fids.extend(ann.keys().cloned());
+        }
+        let mut functions = Vec::new();
+        for fid in &candidate_fids {
+            let mut opinions: Vec<(String, bool)> = gene_fn_sets
+                .iter()
+                .map(|(src, set)| ((*src).clone(), set.contains(fid)))
+                .collect();
+            let go_claim = gene_ann.and_then(|a| a.get(fid));
+            if let Some((src, evidence)) = go_claim {
+                // Evidence gating (MinEvidence policy): a weakly-backed
+                // annotation-source claim does not assert membership.
+                let asserted = reconciler.evidence_passes(evidence.as_deref());
+                opinions.push((src.clone(), asserted));
+            } else if fn_coverage_complete {
+                for s in &annotation_sources {
+                    opinions.push((s.clone(), false));
+                }
+            }
+            if reconciler.membership(&symbol, fid, &opinions) {
+                let detail = fn_details.get(fid).cloned().unwrap_or_default();
+                functions.push(FunctionInfo {
+                    id: fid.clone(),
+                    name: detail.name,
+                    namespace: detail.namespace,
+                    evidence: go_claim.and_then(|(_, e)| e.clone()),
+                    sources: opinions
+                        .iter()
+                        .filter(|(_, c)| *c)
+                        .map(|(s, _)| s.clone())
+                        .collect(),
+                    link: match detail.link {
+                        Some(url) => WebLink::external("GO", url),
+                        None => WebLink::internal("function", fid),
+                    },
+                });
+            }
+        }
+
+        // Disease membership.
+        let gene_dis_sets: Vec<(&String, &BTreeSet<String>)> = draft.dis_claims.iter().collect();
+        let mut candidate_dids: BTreeSet<String> = gene_dis_sets
+            .iter()
+            .flat_map(|(_, s)| s.iter().cloned())
+            .collect();
+        let gene_dis = dis_claims.get(&symbol);
+        if let Some(d) = gene_dis {
+            candidate_dids.extend(d.keys().cloned());
+        }
+        let mut diseases = Vec::new();
+        for did in &candidate_dids {
+            let mut opinions: Vec<(String, bool)> = gene_dis_sets
+                .iter()
+                .map(|(src, set)| ((*src).clone(), set.contains(did)))
+                .collect();
+            let omim_claim = gene_dis.and_then(|d| d.get(did));
+            if let Some(src) = omim_claim {
+                opinions.push((src.clone(), true));
+            } else if dis_coverage_complete {
+                for s in &disease_sources {
+                    opinions.push((s.clone(), false));
+                }
+            }
+            if reconciler.membership(&symbol, did, &opinions) {
+                let detail = dis_details.get(did).cloned().unwrap_or_default();
+                diseases.push(DiseaseInfo {
+                    id: did.clone(),
+                    name: detail.name,
+                    inheritance: detail.inheritance,
+                    sources: opinions
+                        .iter()
+                        .filter(|(_, c)| *c)
+                        .map(|(s, _)| s.clone())
+                        .collect(),
+                    link: match detail.link {
+                        Some(url) => WebLink::external("OMIM", url),
+                        None => WebLink::internal("disease", did),
+                    },
+                });
+            }
+        }
+
+        // Publications: single-provider claims, no cross-source denial.
+        let mut publications = Vec::new();
+        if let Some(claims) = pub_claims.get(&symbol) {
+            for (pmid, source) in claims {
+                let detail = pub_details.get(pmid).cloned().unwrap_or_default();
+                publications.push(PublicationInfo {
+                    id: pmid.clone(),
+                    title: detail.title,
+                    year: detail.year,
+                    journal: detail.journal,
+                    sources: vec![source.clone()],
+                    link: match detail.link {
+                        Some(url) => WebLink::external("PubMed", url),
+                        None => WebLink::internal("publication", pmid),
+                    },
+                });
+            }
+        }
+
+        if !aspect_clauses_pass(question, &functions, &diseases, &publications) {
+            continue;
+        }
+
+        let description = draft
+            .attrs
+            .get("Description")
+            .and_then(|vs| reconciler.value(&symbol, "Description", vs));
+        let position = draft
+            .attrs
+            .get("Position")
+            .and_then(|vs| reconciler.value(&symbol, "Position", vs));
+        let mut links = draft.links;
+        links.push(WebLink::internal("gene", &symbol));
+        genes.push(IntegratedGene {
+            symbol,
+            gene_id: draft.gene_id,
+            organism,
+            description,
+            position,
+            functions,
+            diseases,
+            publications,
+            links,
+        });
+    }
+
+    FusedAnswer {
+        genes,
+        conflicts: reconciler.into_conflicts(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_wrap::{Cost, SourceDescription, Wrapper};
+    use annoda_oem::OemStore;
+
+    /// A test wrapper whose OML we assemble by hand.
+    struct Fixed {
+        descr: SourceDescription,
+        oml: OemStore,
+    }
+    impl Wrapper for Fixed {
+        fn description(&self) -> &SourceDescription {
+            &self.descr
+        }
+        fn oml(&self) -> &OemStore {
+            &self.oml
+        }
+        fn refresh(&mut self) -> usize {
+            self.oml.len()
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Gene provider rows: TP53 (GO:1 claimed, MIM 100 claimed),
+    /// EGFR (no claims).
+    fn gene_result() -> TaggedResult {
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        let g1 = oml.add_complex_child(root, "Locus").unwrap();
+        oml.add_atomic_child(g1, "Sym", "TP53").unwrap();
+        oml.add_atomic_child(g1, "Id", AtomicValue::Int(7157)).unwrap();
+        oml.add_atomic_child(g1, "Org", "Homo sapiens").unwrap();
+        oml.add_atomic_child(g1, "Go", "GO:1").unwrap();
+        oml.add_atomic_child(g1, "Mim", "100").unwrap();
+        let g2 = oml.add_complex_child(root, "Locus").unwrap();
+        oml.add_atomic_child(g2, "Sym", "EGFR").unwrap();
+        oml.add_atomic_child(g2, "Id", AtomicValue::Int(1956)).unwrap();
+        oml.add_atomic_child(g2, "Org", "Homo sapiens").unwrap();
+        oml.set_name("LL", root).unwrap();
+        let w = Fixed {
+            descr: SourceDescription::remote("LL", "", ""),
+            oml,
+        };
+        let mut cost = Cost::new();
+        let result = w
+            .subquery(
+                "select L.Sym as Symbol, L.Id as GeneID, L.Org as Organism, \
+                 L.Go as FunctionID, L.Mim as DiseaseID from LL.Locus L",
+                &mut cost,
+            )
+            .unwrap();
+        TaggedResult {
+            source: "LL".into(),
+            purpose: Purpose::Genes,
+            result,
+        }
+    }
+
+    /// GO asserts TP53→GO:1 and TP53→GO:2 (GO:2 missing on the gene side
+    /// → conflict).
+    fn annotation_result() -> TaggedResult {
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        for fid in ["GO:1", "GO:2"] {
+            let a = oml.add_complex_child(root, "Ann").unwrap();
+            oml.add_atomic_child(a, "G", "TP53").unwrap();
+            oml.add_atomic_child(a, "F", fid).unwrap();
+            oml.add_atomic_child(a, "E", "IDA").unwrap();
+        }
+        oml.set_name("GO", root).unwrap();
+        let w = Fixed {
+            descr: SourceDescription::remote("GO", "", ""),
+            oml,
+        };
+        let mut cost = Cost::new();
+        let result = w
+            .subquery(
+                "select A.G as Symbol, A.F as FunctionID, A.E as Evidence from GO.Ann A",
+                &mut cost,
+            )
+            .unwrap();
+        TaggedResult {
+            source: "GO".into(),
+            purpose: Purpose::Annotations,
+            result,
+        }
+    }
+
+    fn disease_result() -> TaggedResult {
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        let e = oml.add_complex_child(root, "Entry").unwrap();
+        oml.add_atomic_child(e, "N", "100").unwrap();
+        oml.add_atomic_child(e, "T", "SOME SYNDROME").unwrap();
+        oml.add_atomic_child(e, "S", "TP53").unwrap();
+        oml.set_name("OMIM", root).unwrap();
+        let w = Fixed {
+            descr: SourceDescription::remote("OMIM", "", ""),
+            oml,
+        };
+        let mut cost = Cost::new();
+        let result = w
+            .subquery(
+                "select E.N as DiseaseID, E.T as Name, E.S as Symbol from OMIM.Entry E",
+                &mut cost,
+            )
+            .unwrap();
+        TaggedResult {
+            source: "OMIM".into(),
+            purpose: Purpose::Diseases,
+            result,
+        }
+    }
+
+    #[test]
+    fn figure5_question_keeps_only_function_without_disease() {
+        // TP53: has functions but also a disease → excluded.
+        // EGFR: no functions → fails the require clause.
+        let q = GeneQuestion::figure5();
+        let results = vec![gene_result(), annotation_result(), disease_result()];
+        let ans = fuse(&q, &results, ReconcilePolicy::Union);
+        assert!(ans.genes.is_empty());
+
+        // Without the disease exclusion TP53 passes.
+        let q2 = GeneQuestion {
+            function: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let ans2 = fuse(&q2, &results, ReconcilePolicy::Union);
+        assert_eq!(ans2.genes.len(), 1);
+        assert_eq!(ans2.genes[0].symbol, "TP53");
+    }
+
+    #[test]
+    fn union_keeps_disputed_annotation_and_logs_conflict() {
+        let q = GeneQuestion::default();
+        let results = vec![gene_result(), annotation_result()];
+        let ans = fuse(&q, &results, ReconcilePolicy::Union);
+        let tp53 = ans.genes.iter().find(|g| g.symbol == "TP53").unwrap();
+        let fids: Vec<&str> = tp53.functions.iter().map(|f| f.id.as_str()).collect();
+        assert_eq!(fids, vec!["GO:1", "GO:2"]);
+        // GO:2 is claimed by GO but absent from the locus record.
+        assert_eq!(ans.conflicts.len(), 1);
+        assert_eq!(ans.conflicts[0].item, "GO:2");
+        assert!(ans.conflicts[0].kept);
+    }
+
+    #[test]
+    fn intersection_drops_disputed_annotation() {
+        let q = GeneQuestion::default();
+        let results = vec![gene_result(), annotation_result()];
+        let ans = fuse(&q, &results, ReconcilePolicy::Intersection);
+        let tp53 = ans.genes.iter().find(|g| g.symbol == "TP53").unwrap();
+        let fids: Vec<&str> = tp53.functions.iter().map(|f| f.id.as_str()).collect();
+        assert_eq!(fids, vec!["GO:1"]);
+        assert!(!ans.conflicts[0].kept);
+    }
+
+    #[test]
+    fn evidence_and_sources_are_carried() {
+        let q = GeneQuestion::default();
+        let results = vec![gene_result(), annotation_result()];
+        let ans = fuse(&q, &results, ReconcilePolicy::Union);
+        let tp53 = ans.genes.iter().find(|g| g.symbol == "TP53").unwrap();
+        let f1 = tp53.functions.iter().find(|f| f.id == "GO:1").unwrap();
+        assert_eq!(f1.evidence.as_deref(), Some("IDA"));
+        assert!(f1.sources.contains(&"LL".to_string()));
+        assert!(f1.sources.contains(&"GO".to_string()));
+    }
+
+    #[test]
+    fn organism_and_symbol_filters_apply() {
+        let q = GeneQuestion {
+            organism: Some("Mus musculus".into()),
+            ..GeneQuestion::default()
+        };
+        let ans = fuse(&q, &[gene_result()], ReconcilePolicy::Union);
+        assert!(ans.genes.is_empty());
+
+        let q = GeneQuestion {
+            symbol_like: Some("TP%".into()),
+            ..GeneQuestion::default()
+        };
+        let ans = fuse(&q, &[gene_result()], ReconcilePolicy::Union);
+        assert_eq!(ans.genes.len(), 1);
+        assert_eq!(ans.genes[0].symbol, "TP53");
+    }
+
+    #[test]
+    fn disease_details_join_by_id() {
+        let q = GeneQuestion::default();
+        let results = vec![gene_result(), disease_result()];
+        let ans = fuse(&q, &results, ReconcilePolicy::Union);
+        let tp53 = ans.genes.iter().find(|g| g.symbol == "TP53").unwrap();
+        assert_eq!(tp53.diseases.len(), 1);
+        assert_eq!(tp53.diseases[0].name.as_deref(), Some("SOME SYNDROME"));
+        // Both the gene record and OMIM assert it: no conflict.
+        assert!(ans
+            .conflicts
+            .iter()
+            .all(|c| c.item != "100" || c.subject != "TP53"));
+    }
+
+    #[test]
+    fn combination_any_vs_all() {
+        let results = vec![gene_result(), annotation_result(), disease_result()];
+        // Require functions AND diseases: TP53 has both → kept.
+        let q_all = GeneQuestion {
+            function: AspectClause::Require(None),
+            disease: AspectClause::Require(None),
+            combine: Combination::All,
+            ..GeneQuestion::default()
+        };
+        let ans = fuse(&q_all, &results, ReconcilePolicy::Union);
+        assert_eq!(ans.genes.len(), 1);
+
+        // EGFR has neither; under Any it still fails, under All it fails.
+        let q_any = GeneQuestion {
+            function: AspectClause::Require(None),
+            disease: AspectClause::Require(None),
+            combine: Combination::Any,
+            ..GeneQuestion::default()
+        };
+        let ans = fuse(&q_any, &results, ReconcilePolicy::Union);
+        assert_eq!(ans.genes.len(), 1, "only TP53 satisfies any clause");
+    }
+
+    #[test]
+    fn to_store_materialises_the_view() {
+        let results = vec![gene_result(), annotation_result(), disease_result()];
+        let ans = fuse(&GeneQuestion::default(), &results, ReconcilePolicy::Union);
+        let store = ans.to_store();
+        let root = store.named("IntegratedView").unwrap();
+        assert_eq!(store.children(root, "Gene").count(), 2);
+        let tp53 = store
+            .children(root, "Gene")
+            .find(|&g| {
+                store.child_value(g, "Symbol") == Some(&AtomicValue::Str("TP53".into()))
+            })
+            .unwrap();
+        assert_eq!(store.children(tp53, "Function").count(), 2);
+        assert_eq!(store.children(tp53, "Disease").count(), 1);
+        assert!(store.children(tp53, "Link").count() >= 1);
+    }
+
+    #[test]
+    fn stats_count_rows() {
+        let results = vec![gene_result(), annotation_result(), disease_result()];
+        let ans = fuse(&GeneQuestion::default(), &results, ReconcilePolicy::Union);
+        assert_eq!(ans.stats.gene_rows, 2);
+        assert_eq!(ans.stats.annotation_rows, 2);
+        assert_eq!(ans.stats.disease_rows, 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! The ANNODA-GML global model (Figure 4).
+//!
+//! ANNODA-GML is a *virtual* federated view: it is never bulk-loaded; the
+//! mediator materialises only query answers against it. What exists
+//! statically is (a) the global **schema** — here represented by a small
+//! typed exemplar instance, since OEM schemas are extracted from
+//! instances — and (b) the per-source **mapping rules** that MDSM
+//! produced when the source was plugged in.
+//!
+//! The global entities follow Figure 4: `Source` (the registry of
+//! participating databases, with `SourceID`/`Name`/`Content`/`Structure`
+//! exactly as the §4.1 example query expects), `Gene`, `Function`,
+//! `Disease`, and the gene↔function `Annotation` association.
+
+use std::collections::HashMap;
+
+use annoda_match::{MappingRule, MatchReport, Mdsm};
+use annoda_oem::{AtomicValue, OemStore};
+
+/// Builder for the GML exemplar store.
+#[derive(Debug, Clone, Default)]
+pub struct GmlBuilder;
+
+impl GmlBuilder {
+    /// Builds the typed exemplar instance of the global schema. Every
+    /// global entity occurs once with every attribute populated by a
+    /// representative value, so schema extraction sees the full
+    /// vocabulary with correct types.
+    pub fn exemplar() -> OemStore {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+
+        let source = db.add_complex_child(root, "Source").expect("root complex");
+        db.add_atomic_child(source, "SourceID", AtomicValue::Int(1))
+            .expect("complex");
+        db.add_atomic_child(source, "Name", "ExampleSource").expect("complex");
+        db.add_atomic_child(source, "Content", "example annotation data")
+            .expect("complex");
+        db.add_atomic_child(source, "Structure", "semistructured")
+            .expect("complex");
+
+        let gene = db.add_complex_child(root, "Gene").expect("root complex");
+        db.add_atomic_child(gene, "GeneID", AtomicValue::Int(7157))
+            .expect("complex");
+        db.add_atomic_child(gene, "Symbol", "TP53").expect("complex");
+        db.add_atomic_child(gene, "Organism", "Homo sapiens").expect("complex");
+        db.add_atomic_child(gene, "Description", "tumor protein p53")
+            .expect("complex");
+        db.add_atomic_child(gene, "Position", "17p13.1").expect("complex");
+        db.add_atomic_child(gene, "FunctionID", "GO:0003700").expect("complex");
+        db.add_atomic_child(gene, "DiseaseID", AtomicValue::Int(151623))
+            .expect("complex");
+        db.add_atomic_child(
+            gene,
+            "Link",
+            AtomicValue::Url("http://example/gene".into()),
+        )
+        .expect("complex");
+
+        let function = db.add_complex_child(root, "Function").expect("root complex");
+        db.add_atomic_child(function, "FunctionID", "GO:0003700")
+            .expect("complex");
+        db.add_atomic_child(function, "Name", "transcription factor activity")
+            .expect("complex");
+        db.add_atomic_child(function, "Namespace", "molecular_function")
+            .expect("complex");
+        db.add_atomic_child(function, "Definition", "binds DNA")
+            .expect("complex");
+        db.add_atomic_child(
+            function,
+            "Link",
+            AtomicValue::Url("http://example/function".into()),
+        )
+        .expect("complex");
+
+        let disease = db.add_complex_child(root, "Disease").expect("root complex");
+        db.add_atomic_child(disease, "DiseaseID", AtomicValue::Int(151623))
+            .expect("complex");
+        db.add_atomic_child(disease, "Name", "LI-FRAUMENI SYNDROME")
+            .expect("complex");
+        db.add_atomic_child(disease, "Symbol", "TP53").expect("complex");
+        db.add_atomic_child(disease, "Inheritance", "Autosomal dominant")
+            .expect("complex");
+        db.add_atomic_child(
+            disease,
+            "Link",
+            AtomicValue::Url("http://example/disease".into()),
+        )
+        .expect("complex");
+
+        let publication = db.add_complex_child(root, "Publication").expect("root complex");
+        db.add_atomic_child(publication, "PublicationID", AtomicValue::Int(10_000_001))
+            .expect("complex");
+        db.add_atomic_child(publication, "Title", "p53 mutations in human cancers")
+            .expect("complex");
+        db.add_atomic_child(publication, "Year", AtomicValue::Int(1991))
+            .expect("complex");
+        db.add_atomic_child(publication, "Journal", "Science").expect("complex");
+        db.add_atomic_child(publication, "Symbol", "TP53").expect("complex");
+        db.add_atomic_child(
+            publication,
+            "Link",
+            AtomicValue::Url("http://example/publication".into()),
+        )
+        .expect("complex");
+
+        let ann = db.add_complex_child(root, "Annotation").expect("root complex");
+        db.add_atomic_child(ann, "Symbol", "TP53").expect("complex");
+        db.add_atomic_child(ann, "FunctionID", "GO:0003700").expect("complex");
+        db.add_atomic_child(ann, "Evidence", "IDA").expect("complex");
+
+        db.set_name("ANNODA-GML", root).expect("fresh store");
+        db
+    }
+}
+
+/// The attribute mappings of one source entity into one global entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityMapping {
+    /// Local entity label under the source root (`Locus`, `Term`, `Entry`).
+    pub source_entity: String,
+    /// Global entity label (`Gene`, `Function`, `Disease`, `Annotation`).
+    pub global_entity: String,
+    /// `(local attribute suffix, global attribute name)` pairs, e.g.
+    /// `("MimNumber", "DiseaseID")`.
+    pub attributes: Vec<(String, String)>,
+    /// The entity-level match score.
+    pub score: f64,
+}
+
+/// The global model: exemplar schema + per-source mappings.
+#[derive(Debug, Clone)]
+pub struct GlobalModel {
+    exemplar: OemStore,
+    /// source name → raw MDSM rules.
+    rules: HashMap<String, Vec<MappingRule>>,
+    /// source name → derived entity mappings.
+    entities: HashMap<String, Vec<EntityMapping>>,
+    /// Registration order of sources.
+    source_order: Vec<String>,
+}
+
+impl Default for GlobalModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlobalModel {
+    /// A fresh global model with no sources registered.
+    pub fn new() -> Self {
+        GlobalModel {
+            exemplar: GmlBuilder::exemplar(),
+            rules: HashMap::new(),
+            entities: HashMap::new(),
+            source_order: Vec::new(),
+        }
+    }
+
+    /// The exemplar store (root `ANNODA-GML`).
+    pub fn exemplar(&self) -> &OemStore {
+        &self.exemplar
+    }
+
+    /// Registers a source by matching its OML against the global schema
+    /// with MDSM, deriving entity mappings from the raw rules.
+    pub fn register_source(
+        &mut self,
+        mdsm: &Mdsm,
+        source_name: &str,
+        oml: &OemStore,
+    ) -> MatchReport {
+        let (rules, report) = mdsm.match_stores(oml, source_name, &self.exemplar, "ANNODA-GML");
+        let entities = derive_entity_mappings(&rules);
+        self.rules.insert(source_name.to_string(), rules);
+        self.entities.insert(source_name.to_string(), entities);
+        if !self.source_order.iter().any(|s| s == source_name) {
+            self.source_order.push(source_name.to_string());
+        }
+        report
+    }
+
+    /// Removes a source's mappings.
+    pub fn unregister_source(&mut self, source_name: &str) {
+        self.rules.remove(source_name);
+        self.entities.remove(source_name);
+        self.source_order.retain(|s| s != source_name);
+    }
+
+    /// Registered sources in registration order.
+    pub fn sources(&self) -> &[String] {
+        &self.source_order
+    }
+
+    /// The raw MDSM rules for a source.
+    pub fn rules_of(&self, source: &str) -> &[MappingRule] {
+        self.rules.get(source).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The derived entity mappings for a source.
+    pub fn entities_of(&self, source: &str) -> &[EntityMapping] {
+        self.entities.get(source).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The sources providing a given global entity, with their mappings.
+    pub fn providers_of(&self, global_entity: &str) -> Vec<(&str, &EntityMapping)> {
+        self.source_order
+            .iter()
+            .filter_map(|s| {
+                self.entities_of(s)
+                    .iter()
+                    .find(|e| e.global_entity == global_entity)
+                    .map(|e| (s.as_str(), e))
+            })
+            .collect()
+    }
+}
+
+/// Derives entity mappings from raw rules: every complex→complex rule
+/// anchors an entity; attribute rules whose source path extends the
+/// anchor's source path *and* whose global path extends the anchor's
+/// global entity become the entity's attribute map. Attribute rules whose
+/// global entity disagrees with the anchor are dropped as strays.
+fn derive_entity_mappings(rules: &[MappingRule]) -> Vec<EntityMapping> {
+    // Entity anchors: single-segment source path → single-segment global.
+    let mut mappings = Vec::new();
+    for anchor in rules {
+        let src_is_entity = !anchor.source_path.contains('.');
+        let glb_is_entity = !anchor.global_path.contains('.');
+        if !(src_is_entity && glb_is_entity) {
+            continue;
+        }
+        let mut attributes = Vec::new();
+        let src_prefix = format!("{}.", anchor.source_path);
+        let glb_prefix = format!("{}.", anchor.global_path);
+        for r in rules {
+            if let (Some(suffix), Some(attr)) = (
+                r.source_path.strip_prefix(&src_prefix),
+                r.global_path.strip_prefix(&glb_prefix),
+            ) {
+                // Only one-level attribute suffixes become attribute
+                // mappings; deeper paths (Links.GO) stay out of the
+                // entity map.
+                if !suffix.contains('.') && !attr.contains('.') {
+                    attributes.push((suffix.to_string(), attr.to_string()));
+                }
+            }
+        }
+        mappings.push(EntityMapping {
+            source_entity: anchor.source_path.clone(),
+            global_entity: anchor.global_path.clone(),
+            attributes,
+            score: anchor.score,
+        });
+    }
+    mappings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exemplar_has_the_figure4_entities() {
+        let ex = GmlBuilder::exemplar();
+        let root = ex.named("ANNODA-GML").unwrap();
+        for entity in ["Source", "Gene", "Function", "Disease", "Annotation", "Publication"] {
+            assert!(
+                ex.child(root, entity).is_some(),
+                "missing GML entity {entity}"
+            );
+        }
+        // The §4.1 example query's attributes exist on Source.
+        let source = ex.child(root, "Source").unwrap();
+        for attr in ["SourceID", "Name", "Content", "Structure"] {
+            assert!(ex.child(source, attr).is_some(), "missing {attr}");
+        }
+    }
+
+    #[test]
+    fn derive_entity_mappings_groups_attributes() {
+        let rules = vec![
+            MappingRule {
+                source_path: "Entry".into(),
+                global_path: "Disease".into(),
+                score: 0.9,
+            },
+            MappingRule {
+                source_path: "Entry.MimNumber".into(),
+                global_path: "Disease.DiseaseID".into(),
+                score: 0.6,
+            },
+            MappingRule {
+                source_path: "Entry.Title".into(),
+                global_path: "Disease.Name".into(),
+                score: 0.8,
+            },
+            // Stray: global entity disagrees with the anchor.
+            MappingRule {
+                source_path: "Entry.Text".into(),
+                global_path: "Function.Definition".into(),
+                score: 0.7,
+            },
+        ];
+        let ents = derive_entity_mappings(&rules);
+        assert_eq!(ents.len(), 1);
+        let e = &ents[0];
+        assert_eq!(e.source_entity, "Entry");
+        assert_eq!(e.global_entity, "Disease");
+        assert_eq!(e.attributes.len(), 2);
+        assert!(e
+            .attributes
+            .contains(&("MimNumber".to_string(), "DiseaseID".to_string())));
+        assert!(!e.attributes.iter().any(|(s, _)| s == "Text"));
+    }
+
+    #[test]
+    fn register_and_unregister_sources() {
+        let mut model = GlobalModel::new();
+        let mdsm = Mdsm::default();
+
+        // A toy OML with an Entry entity.
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        let e = oml.add_complex_child(root, "Entry").unwrap();
+        oml.add_atomic_child(e, "MimNumber", AtomicValue::Int(1)).unwrap();
+        oml.add_atomic_child(e, "Title", "X SYNDROME").unwrap();
+        oml.add_atomic_child(e, "GeneSymbol", "TP53").unwrap();
+        oml.set_name("OMIM", root).unwrap();
+
+        let report = model.register_source(&mdsm, "OMIM", &oml);
+        assert!(report.matched >= 3);
+        assert_eq!(model.sources(), &["OMIM".to_string()]);
+        let ents = model.entities_of("OMIM");
+        assert_eq!(ents.len(), 1);
+        assert_eq!(ents[0].global_entity, "Disease");
+        assert_eq!(model.providers_of("Disease").len(), 1);
+        assert!(model.providers_of("Gene").is_empty());
+
+        model.unregister_source("OMIM");
+        assert!(model.sources().is_empty());
+        assert!(model.rules_of("OMIM").is_empty());
+    }
+}

@@ -1,0 +1,1193 @@
+//! The mediator façade: registration, planning, execution, fusion.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use annoda_lorel::{run_query_with, FunctionRegistry, LorelError, QueryOutcome};
+use annoda_match::{MatchReport, Mdsm};
+use annoda_oem::dataguide::DataGuide;
+use annoda_oem::{AtomicValue, AttributeStats, OemStore};
+use annoda_wrap::{Cost, SourceDescription, SubqueryResult, WrapError, Wrapper};
+
+use crate::decompose::{GeneQuestion, Purpose};
+use crate::fusion::{fuse, FusedAnswer, TaggedResult};
+use crate::gml::GlobalModel;
+use crate::optimizer::{plan, ExecutionPlan, OptimizerConfig, SourceInfo};
+use crate::reconcile::ReconcilePolicy;
+
+/// Errors raised by the mediator.
+#[derive(Debug)]
+pub enum MediatorError {
+    /// No registered source provides the `Gene` entity.
+    NoGeneProvider,
+    /// A named source is not registered.
+    UnknownSource(String),
+    /// A wrapper failed to answer its subquery.
+    Wrap(WrapError),
+    /// A global Lorel query failed.
+    Lorel(LorelError),
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::NoGeneProvider => {
+                write!(f, "no registered source provides the Gene entity")
+            }
+            MediatorError::UnknownSource(s) => write!(f, "unknown source `{s}`"),
+            MediatorError::Wrap(e) => write!(f, "wrapper error: {e}"),
+            MediatorError::Lorel(e) => write!(f, "global query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}
+
+impl From<WrapError> for MediatorError {
+    fn from(e: WrapError) -> Self {
+        MediatorError::Wrap(e)
+    }
+}
+
+impl From<LorelError> for MediatorError {
+    fn from(e: LorelError) -> Self {
+        MediatorError::Lorel(e)
+    }
+}
+
+/// An answered question: the fused result plus the plan and cost that
+/// produced it.
+#[derive(Debug)]
+pub struct MediatedAnswer {
+    /// The integrated, reconciled, filtered genes.
+    pub fused: FusedAnswer,
+    /// The plan that was executed.
+    pub plan: ExecutionPlan,
+    /// Simulated source-access cost (total work across all subqueries).
+    pub cost: Cost,
+    /// Simulated wall-clock: subqueries to independent sources run
+    /// concurrently, so each phase costs its *slowest* subquery, not the
+    /// sum — this is the per-phase max, summed over phases.
+    pub critical_path_us: u64,
+    /// Sources that failed during execution, with their errors — only
+    /// populated under [`Mediator::partial_results`]; otherwise a
+    /// failure aborts the whole answer.
+    pub failed_sources: Vec<(String, String)>,
+    /// Per-source cost breakdown (cache hits contribute zero).
+    pub per_source_cost: Vec<(String, Cost)>,
+}
+
+/// The ANNODA mediator of Figure 1.
+pub struct Mediator {
+    wrappers: Vec<Box<dyn Wrapper>>,
+    model: GlobalModel,
+    mdsm: Mdsm,
+    /// Optimiser switches (public: the B5 ablation flips them).
+    pub optimizer: OptimizerConfig,
+    /// Reconciliation policy applied during fusion.
+    pub policy: ReconcilePolicy,
+    /// Degrade gracefully when a source is unreachable: skip its
+    /// contribution and report it in
+    /// [`MediatedAnswer::failed_sources`] instead of failing the whole
+    /// question. Gene providers are mandatory — if every one of them
+    /// fails the answer still errors.
+    pub partial_results: bool,
+    /// Subquery result cache (None = disabled). Keyed by source +
+    /// subquery text; invalidated on registration changes and refresh.
+    cache: Option<Mutex<HashMap<String, SubqueryResult>>>,
+}
+
+impl Default for Mediator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mediator {
+    /// A mediator with default MDSM, optimiser, and policy settings.
+    pub fn new() -> Self {
+        Mediator {
+            wrappers: Vec::new(),
+            model: GlobalModel::new(),
+            mdsm: Mdsm::default(),
+            optimizer: OptimizerConfig::default(),
+            policy: ReconcilePolicy::Union,
+            partial_results: false,
+            cache: None,
+        }
+    }
+
+    /// Enables the subquery result cache: identical subqueries against
+    /// an unchanged source are answered from the mediator without a
+    /// source round trip. Disabled by default so cost accounting stays
+    /// per-question.
+    pub fn enable_cache(&mut self) {
+        self.cache = Some(Mutex::new(HashMap::new()));
+    }
+
+    /// Disables and clears the subquery cache.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn invalidate_cache(&mut self) {
+        if let Some(c) = &self.cache {
+            c.lock().clear();
+        }
+    }
+
+    /// Runs one batch of subqueries concurrently (one thread per
+    /// source round trip), consulting the cache. Returns the results in
+    /// step order, the summed cost, and the batch's critical path (the
+    /// slowest subquery's virtual cost).
+    #[allow(clippy::type_complexity)]
+    fn run_batch(
+        &self,
+        steps: &[&crate::optimizer::PlanStep],
+        overrides: &HashMap<usize, String>,
+    ) -> Result<
+        (
+            Vec<TaggedResult>,
+            Cost,
+            u64,
+            Vec<(String, String)>,
+            Vec<(String, Cost)>,
+        ),
+        MediatorError,
+    > {
+        // Resolve wrappers (and cache hits) up front.
+        enum Job<'a> {
+            Cached(SubqueryResult),
+            Run(&'a dyn Wrapper, String, String),
+        }
+        let mut jobs: Vec<(usize, Job)> = Vec::new();
+        for (i, step) in steps.iter().enumerate() {
+            let lorel = overrides
+                .get(&i)
+                .cloned()
+                .unwrap_or_else(|| step.query.lorel.clone());
+            let key = format!("{}\x01{}", step.query.source, lorel);
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.lock().get(&key) {
+                    jobs.push((i, Job::Cached(hit.clone())));
+                    continue;
+                }
+            }
+            let wrapper = self
+                .wrapper(&step.query.source)
+                .ok_or_else(|| MediatorError::UnknownSource(step.query.source.clone()))?;
+            jobs.push((i, Job::Run(wrapper, lorel, key)));
+        }
+
+        let mut outputs: Vec<(usize, SubqueryResult, Cost, Option<String>)> = Vec::new();
+        let mut failures: Vec<(usize, WrapError)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, job) in jobs {
+                match job {
+                    Job::Cached(result) => outputs.push((i, result, Cost::new(), None)),
+                    Job::Run(wrapper, lorel, key) => {
+                        handles.push((i, key, scope.spawn(move || {
+                            let mut cost = Cost::new();
+                            let result = wrapper.subquery(&lorel, &mut cost);
+                            (result, cost)
+                        })));
+                    }
+                }
+            }
+            for (i, key, handle) in handles {
+                let (result, cost) = handle.join().expect("subquery threads do not panic");
+                match result {
+                    Ok(r) => outputs.push((i, r, cost, Some(key))),
+                    Err(e) => failures.push((i, e)),
+                }
+            }
+        });
+        if !self.partial_results {
+            if let Some((_, e)) = failures.pop() {
+                return Err(e.into());
+            }
+        }
+        let failed: Vec<(String, String)> = failures
+            .iter()
+            .map(|(i, e)| (steps[*i].query.source.clone(), e.to_string()))
+            .collect();
+        outputs.sort_by_key(|(i, ..)| *i);
+
+        let mut tagged = Vec::new();
+        let mut total = Cost::new();
+        let mut critical = 0u64;
+        let mut per_source: Vec<(String, Cost)> = Vec::new();
+        for (i, result, cost, key) in outputs {
+            if let (Some(cache), Some(key)) = (&self.cache, key) {
+                cache.lock().insert(key, result.clone());
+            }
+            total += cost;
+            critical = critical.max(cost.virtual_us);
+            let step = steps[i];
+            match per_source
+                .iter_mut()
+                .find(|(s, _)| s == &step.query.source)
+            {
+                Some((_, c)) => *c += cost,
+                None => per_source.push((step.query.source.clone(), cost)),
+            }
+            tagged.push(TaggedResult {
+                source: step.query.source.clone(),
+                purpose: step.query.purpose,
+                result,
+            });
+        }
+        Ok((tagged, total, critical, failed, per_source))
+    }
+
+    /// Plugs in a new source: matches its OML against the global schema
+    /// (MDSM) and installs the wrapper — the paper's two-step plug-in
+    /// procedure.
+    pub fn register(&mut self, wrapper: Box<dyn Wrapper>) -> MatchReport {
+        let report = self
+            .model
+            .register_source(&self.mdsm, wrapper.name(), wrapper.oml());
+        // Replace an existing wrapper of the same name.
+        self.wrappers.retain(|w| w.name() != wrapper.name());
+        self.wrappers.push(wrapper);
+        self.invalidate_cache();
+        report
+    }
+
+    /// Unplugs a source. Returns whether it was present.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let had = self.wrappers.iter().any(|w| w.name() == name);
+        self.wrappers.retain(|w| w.name() != name);
+        self.model.unregister_source(name);
+        self.invalidate_cache();
+        had
+    }
+
+    /// The registered source descriptions, in registration order.
+    pub fn sources(&self) -> Vec<&SourceDescription> {
+        self.wrappers.iter().map(|w| w.description()).collect()
+    }
+
+    /// The wrapper for a source.
+    pub fn wrapper(&self, name: &str) -> Option<&dyn Wrapper> {
+        self.wrappers
+            .iter()
+            .find(|w| w.name() == name)
+            .map(|w| w.as_ref())
+    }
+
+    /// Mutable wrapper access (the freshness experiment updates native
+    /// databases through this).
+    pub fn wrapper_mut(&mut self, name: &str) -> Option<&mut Box<dyn Wrapper>> {
+        self.wrappers.iter_mut().find(|w| w.name() == name)
+    }
+
+    /// The global model (mappings and exemplar).
+    pub fn model(&self) -> &GlobalModel {
+        &self.model
+    }
+
+    /// Re-exports every OML from its native source. Returns the total
+    /// object count across refreshed models.
+    pub fn refresh_all(&mut self) -> usize {
+        self.invalidate_cache();
+        self.wrappers.iter_mut().map(|w| w.refresh()).sum()
+    }
+
+    /// Gathers planning facts from the wrappers: entity cardinalities
+    /// via DataGuides, and value histograms for every attribute the
+    /// mapping rules cover (so pushdown selectivity is estimated from
+    /// the data rather than guessed).
+    pub fn source_infos(&self) -> Vec<SourceInfo> {
+        self.wrappers
+            .iter()
+            .map(|w| {
+                let oml = w.oml();
+                let mut entity_cardinality = HashMap::new();
+                let mut attr_stats = HashMap::new();
+                if let Some(root) = oml.named(w.name()) {
+                    let guide = DataGuide::build(oml, &[root]);
+                    for label in guide.out_labels(guide.root()) {
+                        entity_cardinality
+                            .insert(label.to_string(), guide.cardinality(&[label]));
+                    }
+                    for mapping in self.model.entities_of(w.name()) {
+                        let parents: Vec<_> =
+                            oml.children(root, &mapping.source_entity).collect();
+                        for (local, _global) in &mapping.attributes {
+                            attr_stats.insert(
+                                format!("{}.{local}", mapping.source_entity),
+                                AttributeStats::collect(oml, &parents, local),
+                            );
+                        }
+                    }
+                }
+                SourceInfo {
+                    name: w.name().to_string(),
+                    capabilities: w.description().capabilities,
+                    latency: w.description().latency,
+                    entity_cardinality,
+                    attr_stats,
+                }
+            })
+            .collect()
+    }
+
+    /// Plans a question without executing it.
+    pub fn plan(&self, question: &GeneQuestion) -> ExecutionPlan {
+        plan(question, &self.model, &self.source_infos(), self.optimizer)
+    }
+
+    /// Answers a biological question: plan → per-source subqueries →
+    /// fusion → reconciliation → filtered integrated view.
+    ///
+    /// With [`OptimizerConfig::bind_join`] enabled, execution is
+    /// two-phase: the gene subqueries run first and, when the qualifying
+    /// gene set is small (≤ [`crate::optimizer::BIND_JOIN_MAX_KEYS`]
+    /// symbols), the observed symbols are pushed into the annotation and
+    /// disease subqueries as a disjunction — a cross-source semijoin.
+    /// Answers are unchanged; shipped volume shrinks.
+    pub fn answer(&self, question: &GeneQuestion) -> Result<MediatedAnswer, MediatorError> {
+        if self.model.providers_of("Gene").is_empty() {
+            return Err(MediatorError::NoGeneProvider);
+        }
+        let plan = self.plan(question);
+        let mut cost = Cost::new();
+        let mut critical_path_us = 0u64;
+
+        // Phase 1: gene steps, concurrently across providers.
+        let gene_steps: Vec<&crate::optimizer::PlanStep> = plan
+            .steps
+            .iter()
+            .filter(|s| s.query.purpose == Purpose::Genes)
+            .collect();
+        let (mut tagged, c1, p1, mut failed_sources, mut per_source_cost) =
+            self.run_batch(&gene_steps, &HashMap::new())?;
+        cost += c1;
+        critical_path_us += p1;
+        if !gene_steps.is_empty() && tagged.is_empty() {
+            // Every gene provider failed: nothing to integrate.
+            return Err(MediatorError::NoGeneProvider);
+        }
+
+        // Bind keys for the second phase.
+        let bind_keys: Option<Vec<String>> = if self.optimizer.bind_join {
+            let mut symbols: std::collections::BTreeSet<String> = Default::default();
+            for tr in &tagged {
+                for row in tr.result.row_oids() {
+                    if let Some(sym) = tr
+                        .result
+                        .store
+                        .child_value(row, "Symbol")
+                        .map(|v| v.as_text())
+                    {
+                        symbols.insert(sym);
+                    }
+                }
+            }
+            let bindable = symbols.len() <= crate::optimizer::BIND_JOIN_MAX_KEYS
+                && symbols
+                    .iter()
+                    .all(|s| !s.contains('"') && !s.contains('\\'));
+            bindable.then(|| symbols.into_iter().collect())
+        } else {
+            None
+        };
+
+        // Phase 2: everything else, concurrently, with symbols bound
+        // where the entity's mapping carries a Symbol attribute.
+        let mut other_steps: Vec<&crate::optimizer::PlanStep> = Vec::new();
+        let mut overrides: HashMap<usize, String> = HashMap::new();
+        for step in plan
+            .steps
+            .iter()
+            .filter(|s| s.query.purpose != Purpose::Genes)
+        {
+            if let Some(keys) = &bind_keys {
+                if let Some(local_symbol) =
+                    self.local_symbol_attr(&step.query.source, step.query.purpose.entity())
+                {
+                    if keys.is_empty() {
+                        // No gene qualified: this step cannot contribute.
+                        continue;
+                    }
+                    let disjunction = keys
+                        .iter()
+                        .map(|k| format!("X.{local_symbol} = \"{k}\""))
+                        .collect::<Vec<_>>()
+                        .join(" or ");
+                    let mut lorel = step.query.lorel.clone();
+                    if lorel.contains(" where ") {
+                        lorel.push_str(&format!(" and ({disjunction})"));
+                    } else {
+                        lorel.push_str(&format!(" where ({disjunction})"));
+                    }
+                    overrides.insert(other_steps.len(), lorel);
+                }
+            }
+            other_steps.push(step);
+        }
+        let (tagged2, c2, p2, failed2, per_source2) =
+            self.run_batch(&other_steps, &overrides)?;
+        tagged.extend(tagged2);
+        cost += c2;
+        critical_path_us += p2;
+        failed_sources.extend(failed2);
+        for (src, c) in per_source2 {
+            match per_source_cost.iter_mut().find(|(s, _)| s == &src) {
+                Some((_, existing)) => *existing += c,
+                None => per_source_cost.push((src, c)),
+            }
+        }
+
+        let fused = fuse(question, &tagged, self.policy.clone());
+        Ok(MediatedAnswer {
+            fused,
+            plan,
+            cost,
+            critical_path_us,
+            failed_sources,
+            per_source_cost,
+        })
+    }
+
+    /// The local attribute a source maps to the given entity's global
+    /// `Symbol`, when present (the bind-join key column).
+    fn local_symbol_attr(&self, source: &str, entity: &str) -> Option<String> {
+        self.model
+            .entities_of(source)
+            .iter()
+            .find(|m| m.global_entity == entity)
+            .and_then(|m| {
+                m.attributes
+                    .iter()
+                    .find(|(_, g)| g == "Symbol")
+                    .map(|(l, _)| l.clone())
+            })
+    }
+
+    /// Materialises the full ANNODA-GML instance: `Source` entries from
+    /// the registry plus `Gene` / `Function` / `Disease` / `Annotation`
+    /// entities fetched from every provider. Used by the general Lorel
+    /// interface; the question path never materialises this.
+    pub fn materialize_gml(&self) -> Result<(OemStore, Cost), MediatorError> {
+        let question = GeneQuestion::default();
+        let infos = self.source_infos();
+        let fetch_all_plan = plan(
+            &question,
+            &self.model,
+            &infos,
+            OptimizerConfig {
+                pushdown: false,
+                source_selection: false,
+                bind_join: false,
+            },
+        );
+        let mut cost = Cost::new();
+        let mut tagged = Vec::new();
+        for step in &fetch_all_plan.steps {
+            let wrapper = self
+                .wrapper(&step.query.source)
+                .ok_or_else(|| MediatorError::UnknownSource(step.query.source.clone()))?;
+            let result = wrapper.subquery(&step.query.lorel, &mut cost)?;
+            tagged.push(TaggedResult {
+                source: step.query.source.clone(),
+                purpose: step.query.purpose,
+                result,
+            });
+        }
+        let fused = fuse(&question, &tagged, self.policy.clone());
+
+        let mut gml = OemStore::new();
+        let root = gml.new_complex();
+        // Source registry entries (SourceID, Name, Content, Structure —
+        // the attributes the §4.1 example reads).
+        for (i, d) in self.sources().iter().enumerate() {
+            let s = gml.add_complex_child(root, "Source").expect("complex");
+            gml.add_atomic_child(s, "SourceID", AtomicValue::Int(i as i64 + 1))
+                .expect("complex");
+            gml.add_atomic_child(s, "Name", d.name.as_str()).expect("complex");
+            gml.add_atomic_child(s, "Content", d.content.as_str())
+                .expect("complex");
+            gml.add_atomic_child(s, "Structure", d.structure.as_str())
+                .expect("complex");
+        }
+        // Gene entities from the fused (unfiltered) integration.
+        for g in &fused.genes {
+            let ge = gml.add_complex_child(root, "Gene").expect("complex");
+            gml.add_atomic_child(ge, "Symbol", g.symbol.as_str()).expect("complex");
+            if let Some(id) = g.gene_id {
+                gml.add_atomic_child(ge, "GeneID", AtomicValue::Int(id))
+                    .expect("complex");
+            }
+            for (label, v) in [
+                ("Organism", &g.organism),
+                ("Description", &g.description),
+                ("Position", &g.position),
+            ] {
+                if let Some(v) = v {
+                    gml.add_atomic_child(ge, label, v.as_str()).expect("complex");
+                }
+            }
+            for f in &g.functions {
+                gml.add_atomic_child(ge, "FunctionID", f.id.as_str())
+                    .expect("complex");
+            }
+            for d in &g.diseases {
+                gml.add_atomic_child(ge, "DiseaseID", d.id.as_str())
+                    .expect("complex");
+            }
+            for l in &g.links {
+                gml.add_atomic_child(ge, "Link", AtomicValue::Url(l.url.clone()))
+                    .expect("complex");
+            }
+        }
+        // Function / Disease / Annotation entities straight from the rows.
+        for tr in &tagged {
+            let labels: &[(&str, &str)] = match tr.purpose {
+                Purpose::Functions => &[
+                    ("FunctionID", "FunctionID"),
+                    ("Name", "Name"),
+                    ("Namespace", "Namespace"),
+                    ("Definition", "Definition"),
+                    ("Link", "Link"),
+                ],
+                Purpose::Diseases => &[
+                    ("DiseaseID", "DiseaseID"),
+                    ("Name", "Name"),
+                    ("Symbol", "Symbol"),
+                    ("Inheritance", "Inheritance"),
+                    ("Link", "Link"),
+                ],
+                Purpose::Annotations => &[
+                    ("Symbol", "Symbol"),
+                    ("FunctionID", "FunctionID"),
+                    ("Evidence", "Evidence"),
+                ],
+                Purpose::Publications => &[
+                    ("PublicationID", "PublicationID"),
+                    ("Title", "Title"),
+                    ("Year", "Year"),
+                    ("Journal", "Journal"),
+                    ("Symbol", "Symbol"),
+                    ("Link", "Link"),
+                ],
+                Purpose::Genes => continue,
+            };
+            let entity = tr.purpose.entity();
+            for row in tr.result.row_oids() {
+                let e = gml.add_complex_child(root, entity).expect("complex");
+                for &(from, to) in labels {
+                    for child in tr.result.store.children(row, from) {
+                        if let Some(v) = tr.result.store.value_of(child) {
+                            gml.add_atomic_child(e, to, v.clone()).expect("complex");
+                        }
+                    }
+                }
+            }
+        }
+        gml.set_name_overwrite("ANNODA-GML", root).expect("fresh root");
+        Ok((gml, cost))
+    }
+
+    /// Runs an arbitrary Lorel query against the (materialised) global
+    /// model — the §4.1 interface. Returns the store the answer lives in.
+    pub fn query_gml(
+        &self,
+        lorel: &str,
+    ) -> Result<(OemStore, QueryOutcome, Cost), MediatorError> {
+        self.query_gml_with(lorel, &FunctionRegistry::standard())
+    }
+
+    /// [`Mediator::query_gml`] with caller-registered specialty
+    /// evaluation functions in scope.
+    pub fn query_gml_with(
+        &self,
+        lorel: &str,
+        functions: &FunctionRegistry,
+    ) -> Result<(OemStore, QueryOutcome, Cost), MediatorError> {
+        let (mut gml, cost) = self.materialize_gml()?;
+        let outcome = run_query_with(&mut gml, lorel, functions)?;
+        Ok((gml, outcome, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::AspectClause;
+    use annoda_sources::{Corpus, CorpusConfig};
+    use annoda_wrap::{GoWrapper, LocusLinkWrapper, OmimWrapper};
+
+    fn mediator_over(corpus: &Corpus) -> Mediator {
+        let mut m = Mediator::new();
+        m.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        m.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        m.register(Box::new(OmimWrapper::new(corpus.omim.clone())));
+        m
+    }
+
+    fn tiny() -> Corpus {
+        Corpus::generate(CorpusConfig::tiny(42))
+    }
+
+    #[test]
+    fn registration_discovers_the_three_entity_mappings() {
+        let m = mediator_over(&tiny());
+        let model = m.model();
+        assert_eq!(model.sources().len(), 3);
+        let gene_providers = model.providers_of("Gene");
+        assert_eq!(gene_providers.len(), 1, "{gene_providers:?}");
+        assert_eq!(gene_providers[0].0, "LocusLink");
+        assert_eq!(gene_providers[0].1.source_entity, "Locus");
+        let fn_providers = model.providers_of("Function");
+        assert_eq!(fn_providers.len(), 1);
+        assert_eq!(fn_providers[0].1.source_entity, "Term");
+        let dis_providers = model.providers_of("Disease");
+        assert_eq!(dis_providers.len(), 1);
+        assert_eq!(dis_providers[0].1.source_entity, "Entry");
+        let ann_providers = model.providers_of("Annotation");
+        assert_eq!(ann_providers.len(), 1);
+        assert_eq!(ann_providers[0].1.source_entity, "Annotation");
+    }
+
+    #[test]
+    fn mapping_covers_the_join_keys() {
+        let m = mediator_over(&tiny());
+        let model = m.model();
+        let gene = &model.providers_of("Gene")[0].1;
+        let has = |local: &str, global: &str| {
+            gene.attributes
+                .iter()
+                .any(|(l, g)| l == local && g == global)
+        };
+        assert!(has("Symbol", "Symbol"), "{:?}", gene.attributes);
+        assert!(has("LocusID", "GeneID"), "{:?}", gene.attributes);
+        assert!(has("GOID", "FunctionID"), "{:?}", gene.attributes);
+        assert!(has("MIM", "DiseaseID"), "{:?}", gene.attributes);
+        assert!(has("Organism", "Organism"), "{:?}", gene.attributes);
+
+        let ann = &model.providers_of("Annotation")[0].1;
+        assert!(
+            ann.attributes.iter().any(|(l, g)| l == "Gene" && g == "Symbol"),
+            "{:?}",
+            ann.attributes
+        );
+        assert!(
+            ann.attributes
+                .iter()
+                .any(|(l, g)| l == "Accession" && g == "FunctionID"),
+            "{:?}",
+            ann.attributes
+        );
+
+        let dis = &model.providers_of("Disease")[0].1;
+        assert!(
+            dis.attributes
+                .iter()
+                .any(|(l, g)| l == "MimNumber" && g == "DiseaseID"),
+            "{:?}",
+            dis.attributes
+        );
+        assert!(
+            dis.attributes
+                .iter()
+                .any(|(l, g)| l == "GeneSymbol" && g == "Symbol"),
+            "{:?}",
+            dis.attributes
+        );
+    }
+
+    #[test]
+    fn figure5_question_end_to_end() {
+        let corpus = tiny();
+        let m = mediator_over(&corpus);
+        let ans = m.answer(&GeneQuestion::figure5()).unwrap();
+        // Expected set computed directly from the corpus: genes with at
+        // least one GO id (either side) and no OMIM association.
+        let mut expected: Vec<String> = corpus
+            .locuslink
+            .scan()
+            .filter(|r| {
+                let has_fn = !r.go_ids.is_empty()
+                    || corpus.go.annotations_of_gene(&r.symbol).next().is_some();
+                let has_dis = !r.omim_ids.is_empty()
+                    || corpus.omim.by_gene(&r.symbol).next().is_some();
+                has_fn && !has_dis
+            })
+            .map(|r| r.symbol.clone())
+            .collect();
+        expected.sort();
+        let got: Vec<String> = ans.fused.genes.iter().map(|g| g.symbol.clone()).collect();
+        assert_eq!(got, expected);
+        assert!(ans.cost.requests >= 3, "all three sources contacted");
+    }
+
+    #[test]
+    fn answers_are_identical_with_and_without_optimisation() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        let q = GeneQuestion {
+            organism: Some("Homo sapiens".into()),
+            function: AspectClause::Require(None),
+            disease: AspectClause::Exclude(None),
+            ..GeneQuestion::default()
+        };
+        let optimised = m.answer(&q).unwrap();
+        m.optimizer = OptimizerConfig {
+            pushdown: false,
+            source_selection: false,
+            bind_join: false,
+        };
+        let naive = m.answer(&q).unwrap();
+        let a: Vec<&str> = optimised.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let b: Vec<&str> = naive.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        assert_eq!(a, b, "optimisation must not change the answer");
+        assert!(
+            optimised.cost.virtual_us <= naive.cost.virtual_us,
+            "optimised {} > naive {}",
+            optimised.cost.virtual_us,
+            naive.cost.virtual_us
+        );
+    }
+
+    #[test]
+    fn pushdown_reduces_shipped_records() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        let q = GeneQuestion {
+            organism: Some("Homo sapiens".into()),
+            ..GeneQuestion::default()
+        };
+        let with = m.answer(&q).unwrap();
+        m.optimizer.pushdown = false;
+        let without = m.answer(&q).unwrap();
+        assert!(with.cost.records < without.cost.records);
+        let a: Vec<&str> = with.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let b: Vec<&str> = without.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conflicts_surface_with_inconsistent_corpus() {
+        let corpus = Corpus::generate(CorpusConfig {
+            loci: 60,
+            go_terms: 30,
+            omim_entries: 20,
+            seed: 9,
+            inconsistency_rate: 0.5,
+        });
+        let m = mediator_over(&corpus);
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let ans = m.answer(&q).unwrap();
+        assert!(
+            !ans.fused.conflicts.is_empty(),
+            "injected inconsistencies must be detected"
+        );
+    }
+
+    #[test]
+    fn paper_query_against_materialised_gml() {
+        let m = mediator_over(&tiny());
+        let (gml, outcome, _cost) = m
+            .query_gml(r#"select S from ANNODA-GML.Source S where S.Name = "LocusLink""#)
+            .unwrap();
+        assert_eq!(outcome.rows.len(), 1);
+        let obj = outcome.sole_result(&gml).unwrap();
+        assert_eq!(
+            gml.child_value(obj, "Name"),
+            Some(&AtomicValue::Str("LocusLink".into()))
+        );
+        // The answer object carries the four Figure-4 Source attributes.
+        let labels: Vec<&str> = gml
+            .edges_of(obj)
+            .iter()
+            .map(|e| gml.label_name(e.label))
+            .collect();
+        assert_eq!(labels, vec!["SourceID", "Name", "Content", "Structure"]);
+    }
+
+    #[test]
+    fn unregister_removes_provider() {
+        let mut m = mediator_over(&tiny());
+        assert!(m.unregister("OMIM"));
+        assert!(!m.unregister("OMIM"));
+        assert_eq!(m.sources().len(), 2);
+        assert!(m.model().providers_of("Disease").is_empty());
+        // Questions ignoring diseases still work.
+        let ans = m.answer(&GeneQuestion::default()).unwrap();
+        assert!(!ans.fused.genes.is_empty());
+    }
+
+    #[test]
+    fn one_mediator_serves_concurrent_questions() {
+        // The single access point is shared: `answer` takes `&self`, so
+        // several users can ask at once (with the cache exercised
+        // underneath).
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        m.enable_cache();
+        let expected_fig5 = m.answer(&GeneQuestion::figure5()).unwrap().fused.genes.len();
+        let expected_all = m.answer(&GeneQuestion::default()).unwrap().fused.genes.len();
+        let m = &m;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move || {
+                        let q = if i % 2 == 0 {
+                            GeneQuestion::figure5()
+                        } else {
+                            GeneQuestion::default()
+                        };
+                        m.answer(&q).unwrap().fused.genes.len()
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                let got = h.join().unwrap();
+                let expected = if i % 2 == 0 { expected_fig5 } else { expected_all };
+                assert_eq!(got, expected);
+            }
+        });
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        assert!(MediatorError::NoGeneProvider.to_string().contains("Gene"));
+        assert!(MediatorError::UnknownSource("X".into())
+            .to_string()
+            .contains("X"));
+        let wrap_err: MediatorError =
+            annoda_wrap::WrapError::Unsupported("down".into()).into();
+        assert!(wrap_err.to_string().contains("down"));
+        let lorel_err: MediatorError = annoda_lorel::LorelError::Eval("bad".into()).into();
+        assert!(lorel_err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn no_gene_provider_is_an_error() {
+        let corpus = tiny();
+        let mut m = Mediator::new();
+        m.register(Box::new(OmimWrapper::new(corpus.omim.clone())));
+        assert!(matches!(
+            m.answer(&GeneQuestion::default()),
+            Err(MediatorError::NoGeneProvider)
+        ));
+    }
+
+    #[test]
+    fn bind_join_preserves_answers_and_ships_less() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        let q = GeneQuestion {
+            symbol_like: Some("B%".into()),
+            function: AspectClause::Require(None),
+            disease: AspectClause::Exclude(None),
+            ..GeneQuestion::default()
+        };
+        let unbound = m.answer(&q).unwrap();
+        m.optimizer.bind_join = true;
+        let bound = m.answer(&q).unwrap();
+        let a: Vec<&str> = unbound.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let b: Vec<&str> = bound.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        assert_eq!(a, b, "bind join must not change the answer");
+        assert!(
+            bound.cost.records < unbound.cost.records,
+            "bound {} >= unbound {}",
+            bound.cost.records,
+            unbound.cost.records
+        );
+    }
+
+    #[test]
+    fn bind_join_with_empty_gene_set_skips_second_phase() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        m.optimizer.bind_join = true;
+        let q = GeneQuestion {
+            symbol_like: Some("ZZZ_NO_MATCH".into()),
+            function: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let ans = m.answer(&q).unwrap();
+        assert!(ans.fused.genes.is_empty());
+        // Gene step + (at most) the Function detail step; the
+        // annotation step was skipped because no symbol qualified.
+        assert!(ans.cost.requests <= 2, "{} requests", ans.cost.requests);
+    }
+
+    #[test]
+    fn fourth_source_publications_end_to_end() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        let report = m.register(Box::new(annoda_wrap::PubmedWrapper::new(
+            corpus.pubmed.clone(),
+        )));
+        assert!(report.matched >= 5, "{report:?}");
+        let providers = m.model().providers_of("Publication");
+        assert_eq!(providers.len(), 1, "{providers:?}");
+        assert_eq!(providers[0].1.source_entity, "Citation");
+        let has = |local: &str, global: &str| {
+            providers[0]
+                .1
+                .attributes
+                .iter()
+                .any(|(l, g)| l == local && g == global)
+        };
+        assert!(has("Pmid", "PublicationID"), "{:?}", providers[0].1.attributes);
+        assert!(has("GeneSymbol", "Symbol"), "{:?}", providers[0].1.attributes);
+        assert!(has("ArticleTitle", "Title"), "{:?}", providers[0].1.attributes);
+        assert!(has("Journal", "Journal"), "{:?}", providers[0].1.attributes);
+
+        // Genes cited in some publication.
+        let q = GeneQuestion {
+            publication: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let ans = m.answer(&q).unwrap();
+        let mut expected: Vec<String> = corpus
+            .locuslink
+            .scan()
+            .filter(|r| corpus.pubmed.by_gene(&r.symbol).next().is_some())
+            .map(|r| r.symbol.clone())
+            .collect();
+        expected.sort();
+        let got: Vec<String> = ans.fused.genes.iter().map(|g| g.symbol.clone()).collect();
+        assert_eq!(got, expected);
+        for g in &ans.fused.genes {
+            assert!(!g.publications.is_empty());
+            assert!(g.publications.iter().all(|p| p.title.is_some()));
+        }
+
+        // And the other three mappings are undisturbed by the larger
+        // global schema.
+        assert_eq!(m.model().providers_of("Gene").len(), 1);
+        assert_eq!(m.model().providers_of("Function").len(), 1);
+        assert_eq!(m.model().providers_of("Disease").len(), 1);
+    }
+
+    #[test]
+    fn publication_clause_ignored_without_provider() {
+        let corpus = tiny();
+        let m = mediator_over(&corpus); // 3 sources only
+        let q = GeneQuestion {
+            publication: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        // No provider: no gene can satisfy the require clause.
+        let ans = m.answer(&q).unwrap();
+        assert!(ans.fused.genes.is_empty());
+    }
+
+    #[test]
+    fn evidence_gated_reconciliation_drops_weak_go_only_claims() {
+        use annoda_sources::{EvidenceCode, GoAnnotation};
+        let mut corpus = tiny();
+        // Give one gene a GO-side-only annotation with weak (IEA)
+        // evidence and another with strong (IDA) evidence.
+        let symbol = corpus.locuslink.scan().next().unwrap().symbol.clone();
+        let term_weak = "GO:0000001".to_string();
+        let term_strong = "GO:0000002".to_string();
+        corpus.go.insert_annotation(GoAnnotation {
+            gene_symbol: symbol.clone(),
+            term_id: term_weak.clone(),
+            evidence: EvidenceCode::Iea,
+        });
+        corpus.go.insert_annotation(GoAnnotation {
+            gene_symbol: symbol.clone(),
+            term_id: term_strong.clone(),
+            evidence: EvidenceCode::Ida,
+        });
+        let mut m = mediator_over(&corpus);
+        m.policy = ReconcilePolicy::MinEvidence(3);
+        let q = GeneQuestion {
+            symbol_like: Some(symbol.clone()),
+            function: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let ans = m.answer(&q).unwrap();
+        let gene = ans
+            .fused
+            .genes
+            .iter()
+            .find(|g| g.symbol == symbol)
+            .expect("gene kept (it has locus-side annotations too)");
+        let fids: Vec<&str> = gene.functions.iter().map(|f| f.id.as_str()).collect();
+        assert!(
+            !fids.contains(&term_weak.as_str()),
+            "IEA-only claim must be dropped: {fids:?}"
+        );
+        assert!(
+            fids.contains(&term_strong.as_str()),
+            "IDA-backed claim must survive: {fids:?}"
+        );
+        // Locus-side claims survive regardless of GO evidence.
+        for locus_fid in &corpus.locuslink.by_symbol(&symbol).unwrap().go_ids {
+            assert!(fids.contains(&locus_fid.as_str()));
+        }
+    }
+
+    #[test]
+    fn partial_results_survive_a_downed_source() {
+        use annoda_wrap::{FailureMode, FlakyWrapper, OmimWrapper};
+        let corpus = tiny();
+        let mut m = Mediator::new();
+        m.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        m.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        m.register(Box::new(FlakyWrapper::new(
+            OmimWrapper::new(corpus.omim.clone()),
+            FailureMode::Always,
+        )));
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            disease: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+
+        // Default: the outage fails the question.
+        assert!(matches!(m.answer(&q), Err(MediatorError::Wrap(_))));
+
+        // Partial results: the question degrades gracefully — OMIM's
+        // contribution is missing (so the disease-require clause can
+        // only be met by locus-side MIM ids) and the failure is
+        // reported.
+        m.partial_results = true;
+        let ans = m.answer(&q).unwrap();
+        assert_eq!(ans.failed_sources.len(), 1);
+        assert_eq!(ans.failed_sources[0].0, "OMIM");
+        assert!(ans.failed_sources[0].1.contains("injected failure"));
+        let expected: Vec<String> = {
+            let mut v: Vec<String> = corpus
+                .locuslink
+                .scan()
+                .filter(|r| {
+                    let has_fn = !r.go_ids.is_empty()
+                        || corpus.go.annotations_of_gene(&r.symbol).next().is_some();
+                    has_fn && !r.omim_ids.is_empty()
+                })
+                .map(|r| r.symbol.clone())
+                .collect();
+            v.sort();
+            v
+        };
+        let got: Vec<String> = ans.fused.genes.iter().map(|g| g.symbol.clone()).collect();
+        assert_eq!(got, expected, "locus-side disease ids still answer");
+    }
+
+    #[test]
+    fn all_gene_providers_down_is_still_an_error() {
+        use annoda_wrap::{FailureMode, FlakyWrapper};
+        let corpus = tiny();
+        let mut m = Mediator::new();
+        m.register(Box::new(FlakyWrapper::new(
+            LocusLinkWrapper::new(corpus.locuslink.clone()),
+            FailureMode::Always,
+        )));
+        m.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        m.partial_results = true;
+        assert!(matches!(
+            m.answer(&GeneQuestion::default()),
+            Err(MediatorError::NoGeneProvider)
+        ));
+    }
+
+    #[test]
+    fn intermittent_failures_heal_between_questions() {
+        use annoda_wrap::{FailureMode, FlakyWrapper, OmimWrapper};
+        let corpus = tiny();
+        let mut m = Mediator::new();
+        m.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        m.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        // Fails every 2nd request to OMIM.
+        m.register(Box::new(FlakyWrapper::new(
+            OmimWrapper::new(corpus.omim.clone()),
+            FailureMode::EveryNth(2),
+        )));
+        m.partial_results = true;
+        let q = GeneQuestion {
+            disease: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let first = m.answer(&q).unwrap(); // OMIM attempt 1: ok
+        assert!(first.failed_sources.is_empty());
+        let second = m.answer(&q).unwrap(); // OMIM attempt 2: fails
+        assert_eq!(second.failed_sources.len(), 1);
+        let third = m.answer(&q).unwrap(); // OMIM attempt 3: ok again
+        assert!(third.failed_sources.is_empty());
+        let a: Vec<&str> = first.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let c: Vec<&str> = third.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cache_eliminates_repeat_round_trips() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        m.enable_cache();
+        let q = GeneQuestion::figure5();
+        let first = m.answer(&q).unwrap();
+        assert!(first.cost.requests > 0);
+        let second = m.answer(&q).unwrap();
+        assert_eq!(second.cost.requests, 0, "all subqueries served from cache");
+        let a: Vec<&str> = first.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let b: Vec<&str> = second.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        assert_eq!(a, b);
+
+        // Refresh invalidates: the next answer pays again.
+        m.refresh_all();
+        let third = m.answer(&q).unwrap();
+        assert!(third.cost.requests > 0);
+
+        // Disabling clears it too.
+        m.disable_cache();
+        let fourth = m.answer(&q).unwrap();
+        assert!(fourth.cost.requests > 0);
+    }
+
+    #[test]
+    fn per_source_costs_sum_to_the_total() {
+        let corpus = tiny();
+        let m = mediator_over(&corpus);
+        let ans = m.answer(&GeneQuestion::figure5()).unwrap();
+        assert_eq!(ans.per_source_cost.len(), 3);
+        let sum: u64 = ans.per_source_cost.iter().map(|(_, c)| c.virtual_us).sum();
+        assert_eq!(sum, ans.cost.virtual_us);
+        assert!(ans
+            .per_source_cost
+            .iter()
+            .all(|(s, c)| !s.is_empty() && c.requests >= 1));
+    }
+
+    #[test]
+    fn critical_path_is_at_most_total_cost() {
+        let corpus = tiny();
+        let m = mediator_over(&corpus);
+        let ans = m.answer(&GeneQuestion::figure5()).unwrap();
+        assert!(ans.critical_path_us > 0);
+        assert!(
+            ans.critical_path_us <= ans.cost.virtual_us,
+            "parallel wall-clock {} must not exceed total work {}",
+            ans.critical_path_us,
+            ans.cost.virtual_us
+        );
+        // With 3+ sources in phase 2 the critical path is strictly
+        // cheaper than serial execution.
+        assert!(ans.critical_path_us < ans.cost.virtual_us);
+    }
+
+    #[test]
+    fn refresh_all_reexports() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        let total = m.refresh_all();
+        assert!(total > 0);
+    }
+}
+
+

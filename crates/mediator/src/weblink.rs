@@ -1,0 +1,80 @@
+//! Web-links for interactive navigation.
+//!
+//! "Unlike the past work …, this database design uses web-links which are
+//! very useful for interactive navigation." Every object in an integrated
+//! view carries links: external `http://` links pointing back at the
+//! originating source record, and internal `annoda://` links that the
+//! navigator resolves to individual object views (Figure 5c).
+
+use std::fmt;
+
+/// One navigable link attached to an integrated object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WebLink {
+    /// The label shown to the user (usually the source name).
+    pub label: String,
+    /// The target URL.
+    pub url: String,
+}
+
+impl WebLink {
+    /// An external link into a source's own web interface.
+    pub fn external(label: &str, url: impl Into<String>) -> Self {
+        WebLink {
+            label: label.to_string(),
+            url: url.into(),
+        }
+    }
+
+    /// An internal link to an ANNODA object view, resolvable by the
+    /// navigator (`annoda://object/<kind>/<key>`).
+    pub fn internal(kind: &str, key: &str) -> Self {
+        WebLink {
+            label: format!("ANNODA {kind}"),
+            url: format!("annoda://object/{kind}/{key}"),
+        }
+    }
+
+    /// True for internal `annoda://` links.
+    pub fn is_internal(&self) -> bool {
+        self.url.starts_with("annoda://")
+    }
+
+    /// For internal links, the `(kind, key)` pair addressed.
+    pub fn internal_target(&self) -> Option<(&str, &str)> {
+        let rest = self.url.strip_prefix("annoda://object/")?;
+        rest.split_once('/')
+    }
+}
+
+impl fmt::Display for WebLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]({})", self.label, self.url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_links_round_trip() {
+        let l = WebLink::internal("gene", "TP53");
+        assert!(l.is_internal());
+        assert_eq!(l.internal_target(), Some(("gene", "TP53")));
+        assert_eq!(l.url, "annoda://object/gene/TP53");
+    }
+
+    #[test]
+    fn external_links_are_not_internal() {
+        let l = WebLink::external("OMIM", "http://www.ncbi.nlm.nih.gov/omim/151623");
+        assert!(!l.is_internal());
+        assert_eq!(l.internal_target(), None);
+    }
+
+    #[test]
+    fn display_is_markdownish() {
+        let l = WebLink::external("GO", "http://go");
+        assert_eq!(l.to_string(), "[GO](http://go)");
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for OEM operations.
+
+use std::fmt;
+
+/// Errors raised by the OEM store and its textual reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OemError {
+    /// An oid did not denote a live object in this store.
+    DanglingOid(String),
+    /// An edge was added from or described on an atomic object.
+    NotComplex(String),
+    /// A named root was registered twice.
+    DuplicateName(String),
+    /// The textual notation could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Disk persistence failed.
+    Io(String),
+}
+
+impl fmt::Display for OemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OemError::DanglingOid(what) => write!(f, "dangling oid: {what}"),
+            OemError::NotComplex(what) => {
+                write!(f, "operation requires a complex object: {what}")
+            }
+            OemError::DuplicateName(name) => {
+                write!(f, "named root registered twice: {name}")
+            }
+            OemError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            OemError::Io(message) => write!(f, "io error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for OemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = OemError::Parse {
+            line: 3,
+            message: "bad oid".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(OemError::DuplicateName("GO".into()).to_string().contains("GO"));
+    }
+}

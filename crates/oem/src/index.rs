@@ -1,0 +1,118 @@
+//! Secondary value indexes over OEM entities.
+//!
+//! Real annotation databases answer key lookups from indexes, not scans;
+//! the wrappers mirror that by indexing their join-key attributes at
+//! export time. A [`ValueIndex`] maps the *textual* form of an
+//! attribute's value to the parent entity objects carrying it.
+//!
+//! Text keying interacts with Lorel's coercing equality: a numeric
+//! literal can match differently-spelled numeric values, which a text
+//! index cannot see. Callers therefore restrict index use to
+//! **non-numeric string keys** (symbols, accessions, organism names),
+//! where text equality and Lorel equality provably coincide for true
+//! matches — residual false positives (e.g. a boolean attribute whose
+//! text happens to equal the key) are removed by re-verifying candidates.
+
+use std::collections::HashMap;
+
+use crate::oid::Oid;
+use crate::store::OemStore;
+
+/// An index over one attribute of one entity set.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    by_text: HashMap<String, Vec<Oid>>,
+    entries: usize,
+}
+
+impl ValueIndex {
+    /// Builds the index of `attr` across the given parent objects. A
+    /// parent appears once per distinct attribute instance (multi-valued
+    /// attributes index the parent under each value).
+    pub fn build(store: &OemStore, parents: &[Oid], attr: &str) -> Self {
+        let mut by_text: HashMap<String, Vec<Oid>> = HashMap::new();
+        let mut entries = 0usize;
+        for &p in parents {
+            for child in store.children(p, attr) {
+                if let Some(v) = store.value_of(child) {
+                    let bucket = by_text.entry(v.as_text()).or_default();
+                    if bucket.last() != Some(&p) {
+                        bucket.push(p);
+                        entries += 1;
+                    }
+                }
+            }
+        }
+        ValueIndex { by_text, entries }
+    }
+
+    /// Parent objects whose attribute text equals `key`.
+    pub fn lookup(&self, key: &str) -> &[Oid] {
+        self.by_text.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of indexed (value, parent) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.by_text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AtomicValue;
+
+    fn store() -> (OemStore, Vec<Oid>) {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        let mut parents = Vec::new();
+        for (sym, extra) in [("TP53", Some("TP53-ALT")), ("BRCA1", None), ("TP53", None)] {
+            let g = db.add_complex_child(root, "Gene").unwrap();
+            db.add_atomic_child(g, "Symbol", sym).unwrap();
+            if let Some(e) = extra {
+                db.add_atomic_child(g, "Symbol", e).unwrap();
+            }
+            parents.push(g);
+        }
+        (db, parents)
+    }
+
+    #[test]
+    fn lookup_finds_all_parents_per_value() {
+        let (db, parents) = store();
+        let idx = ValueIndex::build(&db, &parents, "Symbol");
+        assert_eq!(idx.lookup("TP53"), &[parents[0], parents[2]]);
+        assert_eq!(idx.lookup("BRCA1"), &[parents[1]]);
+        assert_eq!(idx.lookup("TP53-ALT"), &[parents[0]]);
+        assert!(idx.lookup("MISSING").is_empty());
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn numeric_values_index_by_canonical_text() {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        let g = db.add_complex_child(root, "Gene").unwrap();
+        db.add_atomic_child(g, "Id", AtomicValue::Int(7157)).unwrap();
+        let idx = ValueIndex::build(&db, &[g], "Id");
+        assert_eq!(idx.lookup("7157"), &[g]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let db = OemStore::new();
+        let idx = ValueIndex::build(&db, &[], "x");
+        assert!(idx.is_empty());
+    }
+}

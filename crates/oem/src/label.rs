@@ -1,0 +1,123 @@
+//! Interned edge labels.
+//!
+//! OEM edges carry string labels (`LocusID`, `Organism`, `Links`, …). The
+//! same label typically decorates thousands of edges, so the store interns
+//! labels into dense ids and edges carry the 4-byte id.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense id for an interned label, valid within one [`LabelInterner`]
+/// (and therefore within one store).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// Raw index into the interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "label#{}", self.0)
+    }
+}
+
+/// A bidirectional string↔id table for edge labels.
+#[derive(Default, Debug, Clone)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    ids: HashMap<String, Label>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = Label(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned label without inserting.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.ids.get(name).copied()
+    }
+
+    /// The string for an id. Panics on an id from a different interner
+    /// that is out of range.
+    pub fn resolve(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("LocusID");
+        let b = li.intern("LocusID");
+        assert_eq!(a, b);
+        assert_eq!(li.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("Symbol");
+        let b = li.intern("symbol"); // labels are case-sensitive
+        assert_ne!(a, b);
+        assert_eq!(li.resolve(a), "Symbol");
+        assert_eq!(li.resolve(b), "symbol");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut li = LabelInterner::new();
+        assert_eq!(li.get("Organism"), None);
+        let id = li.intern("Organism");
+        assert_eq!(li.get("Organism"), Some(id));
+        assert_eq!(li.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut li = LabelInterner::new();
+        li.intern("a");
+        li.intern("b");
+        let names: Vec<&str> = li.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # annoda-oem — the Object Exchange Model
+//!
+//! The Object Exchange Model (OEM) is the semi-structured data model ANNODA
+//! uses to express both the per-source local models (ANNODA-OML) and the
+//! federated global model (ANNODA-GML). Data in OEM is a rooted, labelled
+//! graph:
+//!
+//! * every entity is an **object** with a unique object identifier
+//!   ([`Oid`]);
+//! * **atomic** objects carry a value from one of the disjoint basic atomic
+//!   types (integer, real, string, boolean, URL, GIF) — the value-type
+//!   extension the ANNODA paper adds to plain OEM;
+//! * **complex** objects hold a set of *object references*, denoted as
+//!   `(label, oid, type)` triples ([`Edge`]).
+//!
+//! The crate provides:
+//!
+//! * [`OemStore`] — an arena-backed graph store with named roots and an
+//!   interned label table;
+//! * [`text`] — the indented textual notation of Figure 3 of the paper
+//!   (`label  &oid  type  value`), both writer and reader;
+//! * [`path`] — Lorel-style path expressions (label sequences, `%` single
+//!   wildcard, `#` arbitrary-path wildcard) evaluated against a store;
+//! * [`dataguide`] — DataGuide structural summaries used by the mediator's
+//!   optimizer for source selection;
+//! * [`graph`] — reachability, garbage collection, structural equality and
+//!   cross-store fragment import (the primitive result fusion builds on).
+
+pub mod dataguide;
+pub mod error;
+pub mod graph;
+pub mod index;
+pub mod label;
+pub mod object;
+pub mod oid;
+pub mod path;
+pub mod stats;
+pub mod store;
+pub mod text;
+pub mod value;
+
+pub use error::OemError;
+pub use label::{Label, LabelInterner};
+pub use object::{Edge, Object, ObjectKind};
+pub use graph::{diff, DiffEntry};
+pub use index::ValueIndex;
+pub use oid::Oid;
+pub use path::{PathExpr, PathStep};
+pub use stats::AttributeStats;
+pub use store::OemStore;
+pub use value::{AtomicType, AtomicValue, OemType};

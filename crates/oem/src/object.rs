@@ -1,0 +1,104 @@
+//! OEM objects and object references.
+
+use crate::label::Label;
+use crate::oid::Oid;
+use crate::value::{AtomicValue, OemType};
+
+/// An object reference held by a complex object.
+///
+/// The paper denotes a complex object's value as a set of
+/// `(label, oid, type)` pairs. The `type` component is derivable from the
+/// target object, so the stored edge carries only label and target; the
+/// store's [`crate::OemStore::edge_type`] recovers the triple form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Edge {
+    /// The interned attribute label on the edge.
+    pub label: Label,
+    /// The referenced object.
+    pub target: Oid,
+}
+
+/// The payload of an object: atomic value or set of references.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ObjectKind {
+    /// An atomic object holding a value of one of the basic atomic types.
+    Atomic(AtomicValue),
+    /// A complex object: an ordered set of object references. Set semantics
+    /// are maintained by the store (no duplicate `(label, target)` pair);
+    /// order is insertion order, which keeps the Figure-3 rendering stable.
+    Complex(Vec<Edge>),
+}
+
+/// A stored OEM object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Object {
+    pub(crate) kind: ObjectKind,
+}
+
+impl Object {
+    /// The object's payload.
+    pub fn kind(&self) -> &ObjectKind {
+        &self.kind
+    }
+
+    /// The object's type (atomic tag or complex).
+    pub fn oem_type(&self) -> OemType {
+        match &self.kind {
+            ObjectKind::Atomic(v) => OemType::Atomic(v.atomic_type()),
+            ObjectKind::Complex(_) => OemType::Complex,
+        }
+    }
+
+    /// The atomic value, if this object is atomic.
+    pub fn value(&self) -> Option<&AtomicValue> {
+        match &self.kind {
+            ObjectKind::Atomic(v) => Some(v),
+            ObjectKind::Complex(_) => None,
+        }
+    }
+
+    /// The outgoing references, empty for atomic objects.
+    pub fn edges(&self) -> &[Edge] {
+        match &self.kind {
+            ObjectKind::Atomic(_) => &[],
+            ObjectKind::Complex(edges) => edges,
+        }
+    }
+
+    /// True when the object is complex.
+    pub fn is_complex(&self) -> bool {
+        matches!(self.kind, ObjectKind::Complex(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AtomicType;
+
+    #[test]
+    fn atomic_object_reports_type_and_value() {
+        let o = Object {
+            kind: ObjectKind::Atomic(AtomicValue::Int(5)),
+        };
+        assert_eq!(o.oem_type(), OemType::Atomic(AtomicType::Int));
+        assert_eq!(o.value(), Some(&AtomicValue::Int(5)));
+        assert!(o.edges().is_empty());
+        assert!(!o.is_complex());
+    }
+
+    #[test]
+    fn complex_object_reports_edges() {
+        let e = Edge {
+            label: Label(0),
+            target: Oid(1),
+        };
+        let o = Object {
+            kind: ObjectKind::Complex(vec![e]),
+        };
+        assert_eq!(o.oem_type(), OemType::Complex);
+        assert_eq!(o.value(), None);
+        assert_eq!(o.edges(), &[e]);
+        assert!(o.is_complex());
+    }
+}

@@ -1,0 +1,57 @@
+//! Object identifiers.
+
+use std::fmt;
+
+/// A unique object identifier within one [`crate::OemStore`].
+///
+/// Oids are dense indices into the store's object arena. In the paper's
+/// textual notation an oid is written `&42`; [`fmt::Display`] follows that
+/// convention.
+///
+/// Oids are only meaningful relative to the store that issued them;
+/// importing a fragment into another store remaps them
+/// (see [`crate::graph::import_fragment`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Oid(pub(crate) u32);
+
+impl Oid {
+    /// Returns the raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an oid from a raw index. Intended for deserialisation; the
+    /// caller is responsible for the index denoting a live object.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Oid(index as u32)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "&{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_ampersand_notation() {
+        assert_eq!(Oid(442).to_string(), "&442");
+    }
+
+    #[test]
+    fn round_trips_through_index() {
+        let oid = Oid(7);
+        assert_eq!(Oid::from_index(oid.index()), oid);
+    }
+
+    #[test]
+    fn ordering_follows_allocation_order() {
+        assert!(Oid(1) < Oid(2));
+    }
+}

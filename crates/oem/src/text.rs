@@ -1,0 +1,656 @@
+//! The indented textual notation of Figure 3.
+//!
+//! Each line shows `label &oid Type ["value"]`. If the object is atomic its
+//! value is given on that line; if it is complex and has not been described
+//! earlier, subsequent indented lines describe its object references. A
+//! complex object that was already described appears as a bare reference
+//! line (label, oid, `Complex`) with no expansion — this is how shared
+//! subobjects and cycles are rendered.
+//!
+//! ```
+//! use annoda_oem::{OemStore, AtomicValue, text};
+//!
+//! let mut db = OemStore::new();
+//! let root = db.new_complex();
+//! db.add_atomic_child(root, "LocusID", AtomicValue::Int(7157)).unwrap();
+//! db.set_name("LocusLink", root).unwrap();
+//!
+//! let rendered = text::write_named(&db, "LocusLink").unwrap();
+//! let (db2, root2) = text::read(&rendered).unwrap();
+//! assert_eq!(db2.named("LocusLink"), Some(root2));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::OemError;
+use crate::object::ObjectKind;
+use crate::oid::Oid;
+use crate::store::OemStore;
+use crate::value::{AtomicType, AtomicValue, OemType};
+
+const INDENT: &str = "    ";
+
+/// Renders the subgraph under the named root in Figure-3 notation.
+pub fn write_named(store: &OemStore, name: &str) -> Result<String, OemError> {
+    let root = store
+        .named(name)
+        .ok_or_else(|| OemError::DanglingOid(format!("named root {name}")))?;
+    Ok(write_rooted(store, name, root))
+}
+
+/// Renders the subgraph under `root`, labelling the top line `label`.
+pub fn write_rooted(store: &OemStore, label: &str, root: Oid) -> String {
+    let mut out = String::new();
+    let mut described: HashMap<Oid, ()> = HashMap::new();
+    write_object(store, label, root, 0, &mut described, &mut out);
+    out
+}
+
+fn write_object(
+    store: &OemStore,
+    label: &str,
+    oid: Oid,
+    depth: usize,
+    described: &mut HashMap<Oid, ()>,
+    out: &mut String,
+) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+    let Some(obj) = store.get(oid) else {
+        let _ = writeln!(out, "{label} {oid} <dangling>");
+        return;
+    };
+    match obj.kind() {
+        ObjectKind::Atomic(v) => {
+            let _ = writeln!(out, "{label} {oid} {} \"{}\"", v.atomic_type(), escape(v));
+        }
+        ObjectKind::Complex(edges) => {
+            let first = described.insert(oid, ()).is_none();
+            let _ = writeln!(out, "{label} {oid} Complex");
+            if first {
+                for e in edges {
+                    write_object(
+                        store,
+                        store.label_name(e.label),
+                        e.target,
+                        depth + 1,
+                        described,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn escape(v: &AtomicValue) -> String {
+    let raw = match v {
+        AtomicValue::Gif(bytes) => hex(bytes),
+        other => other.as_text(),
+    };
+    let mut s = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c => s.push(c),
+        }
+    }
+    s
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn unhex(s: &str, line: usize) -> Result<Vec<u8>, OemError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(OemError::Parse {
+            line,
+            message: "odd-length gif hex".into(),
+        });
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| OemError::Parse {
+                line,
+                message: format!("bad gif hex at byte {i}"),
+            })
+        })
+        .collect()
+}
+
+/// Parses Figure-3 notation back into a fresh store.
+///
+/// Returns the store and the root oid; the root's label becomes a named
+/// root in the new store. File oids are remapped to fresh oids, preserving
+/// sharing (a complex oid re-referenced later resolves to the same object).
+pub fn read(input: &str) -> Result<(OemStore, Oid), OemError> {
+    let mut store = OemStore::new();
+    // Map from file oid number to store oid.
+    let mut remap: HashMap<u64, Oid> = HashMap::new();
+    // Stack of (depth, store oid) for complex parents.
+    let mut stack: Vec<(usize, Oid)> = Vec::new();
+    let mut root: Option<(String, Oid)> = None;
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw_line.trim().is_empty() {
+            continue;
+        }
+        let depth = leading_indent(raw_line, line_no)?;
+        let parsed = parse_line(raw_line.trim_start(), line_no)?;
+
+        while let Some(&(d, _)) = stack.last() {
+            if d >= depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if depth > 0 && stack.is_empty() {
+            return Err(OemError::Parse {
+                line: line_no,
+                message: "indented line without a complex parent".into(),
+            });
+        }
+
+        let is_complex = matches!(parsed.payload_kind(), OemType::Complex);
+        let oid = resolve_parsed(&mut store, &mut remap, parsed.file_oid, parsed.payload, line_no)?;
+
+        if let Some(&(_, parent)) = stack.last() {
+            store.add_edge(parent, &parsed.label, oid)?;
+        } else if root.is_none() {
+            root = Some((parsed.label.clone(), oid));
+        } else {
+            return Err(OemError::Parse {
+                line: line_no,
+                message: "multiple top-level objects".into(),
+            });
+        }
+
+        if is_complex {
+            stack.push((depth, oid));
+        }
+    }
+
+    let (name, root) = root.ok_or(OemError::Parse {
+        line: 0,
+        message: "empty document".into(),
+    })?;
+    store.set_name_overwrite(&name, root)?;
+    Ok((store, root))
+}
+
+/// Serialises the whole store — every named root and the objects
+/// reachable from them — as a multi-root document. Objects shared
+/// between roots are described once; later roots reference them by oid.
+pub fn write_store(store: &OemStore) -> String {
+    let mut out = String::new();
+    let mut described: HashMap<Oid, ()> = HashMap::new();
+    for (name, root) in store.names() {
+        out.push_str(&format!("@root {name}\n"));
+        write_object(store, name, root, 0, &mut described, &mut out);
+    }
+    out
+}
+
+/// Parses a multi-root document produced by [`write_store`].
+pub fn read_store(input: &str) -> Result<OemStore, OemError> {
+    let mut store = OemStore::new();
+    let mut remap: HashMap<u64, Oid> = HashMap::new();
+    let mut stack: Vec<(usize, Oid)> = Vec::new();
+    let mut pending_root: Option<String> = None;
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw_line.trim().is_empty() {
+            continue;
+        }
+        if let Some(name) = raw_line.strip_prefix("@root ") {
+            pending_root = Some(name.trim().to_string());
+            stack.clear();
+            continue;
+        }
+        let depth = leading_indent(raw_line, line_no)?;
+        let parsed = parse_line(raw_line.trim_start(), line_no)?;
+        while let Some(&(d, _)) = stack.last() {
+            if d >= depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if depth > 0 && stack.is_empty() {
+            return Err(OemError::Parse {
+                line: line_no,
+                message: "indented line without a complex parent".into(),
+            });
+        }
+        let is_complex = matches!(parsed.payload_kind(), OemType::Complex);
+        let oid = resolve_parsed(&mut store, &mut remap, parsed.file_oid, parsed.payload, line_no)?;
+        if let Some(&(_, parent)) = stack.last() {
+            store.add_edge(parent, &parsed.label, oid)?;
+        } else if let Some(name) = pending_root.take() {
+            store.set_name_overwrite(&name, oid)?;
+        } else {
+            return Err(OemError::Parse {
+                line: line_no,
+                message: "top-level object without an @root header".into(),
+            });
+        }
+        if is_complex {
+            stack.push((depth, oid));
+        }
+    }
+    Ok(store)
+}
+
+/// Resolves one parsed line's object against the oid remap (shared by
+/// [`read`] and [`read_store`]).
+fn resolve_parsed(
+    store: &mut OemStore,
+    remap: &mut HashMap<u64, Oid>,
+    file_oid: u64,
+    payload: Payload,
+    line_no: usize,
+) -> Result<Oid, OemError> {
+    Ok(match payload {
+        Payload::Atomic(value) => {
+            if let Some(&existing) = remap.get(&file_oid) {
+                match store.value_of(existing) {
+                    Some(v) if *v == value => existing,
+                    _ => {
+                        return Err(OemError::Parse {
+                            line: line_no,
+                            message: format!(
+                                "oid &{file_oid} re-described with a different value"
+                            ),
+                        })
+                    }
+                }
+            } else {
+                let oid = store.new_atomic(value);
+                remap.insert(file_oid, oid);
+                oid
+            }
+        }
+        Payload::Complex => *remap.entry(file_oid).or_insert_with(|| store.new_complex()),
+    })
+}
+
+/// Saves the whole store to a file in the multi-root notation.
+pub fn save_to_file(store: &OemStore, path: &std::path::Path) -> Result<(), OemError> {
+    std::fs::write(path, write_store(store)).map_err(|e| OemError::Io(e.to_string()))
+}
+
+/// Loads a store previously saved with [`save_to_file`].
+pub fn load_from_file(path: &std::path::Path) -> Result<OemStore, OemError> {
+    let text = std::fs::read_to_string(path).map_err(|e| OemError::Io(e.to_string()))?;
+    read_store(&text)
+}
+
+struct ParsedLine {
+    label: String,
+    file_oid: u64,
+    payload: Payload,
+}
+
+enum Payload {
+    Atomic(AtomicValue),
+    Complex,
+}
+
+impl ParsedLine {
+    fn payload_kind(&self) -> OemType {
+        match &self.payload {
+            Payload::Atomic(v) => OemType::Atomic(v.atomic_type()),
+            Payload::Complex => OemType::Complex,
+        }
+    }
+}
+
+fn leading_indent(line: &str, line_no: usize) -> Result<usize, OemError> {
+    let spaces = line.len() - line.trim_start_matches(' ').len();
+    if line.trim_start_matches(' ').starts_with('\t') {
+        return Err(OemError::Parse {
+            line: line_no,
+            message: "tabs are not valid indentation".into(),
+        });
+    }
+    if !spaces.is_multiple_of(INDENT.len()) {
+        return Err(OemError::Parse {
+            line: line_no,
+            message: format!("indent of {spaces} spaces is not a multiple of {}", INDENT.len()),
+        });
+    }
+    Ok(spaces / INDENT.len())
+}
+
+fn parse_line(rest: &str, line_no: usize) -> Result<ParsedLine, OemError> {
+    let err = |message: String| OemError::Parse {
+        line: line_no,
+        message,
+    };
+    let mut parts = rest.splitn(3, ' ');
+    let label = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| err("missing label".into()))?
+        .to_string();
+    let oid_tok = parts.next().ok_or_else(|| err("missing oid".into()))?;
+    let file_oid = oid_tok
+        .strip_prefix('&')
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| err(format!("bad oid token `{oid_tok}`")))?;
+    let tail = parts.next().ok_or_else(|| err("missing type".into()))?;
+    let (type_tok, value_tok) = match tail.split_once(' ') {
+        Some((t, v)) => (t, Some(v)),
+        None => (tail, None),
+    };
+    let ty = OemType::from_name(type_tok)
+        .ok_or_else(|| err(format!("unknown type `{type_tok}`")))?;
+    let payload = match ty {
+        OemType::Complex => {
+            if value_tok.is_some() {
+                return Err(err("complex object cannot carry a value".into()));
+            }
+            Payload::Complex
+        }
+        OemType::Atomic(aty) => {
+            let quoted = value_tok.ok_or_else(|| err("atomic object missing value".into()))?;
+            let text = unquote(quoted, line_no)?;
+            Payload::Atomic(atom_from_text(aty, &text, line_no)?)
+        }
+    };
+    Ok(ParsedLine {
+        label,
+        file_oid,
+        payload,
+    })
+}
+
+fn unquote(tok: &str, line_no: usize) -> Result<String, OemError> {
+    let err = |message: &str| OemError::Parse {
+        line: line_no,
+        message: message.into(),
+    };
+    let inner = tok
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err("value must be quoted"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                _ => return Err(err("bad escape sequence")),
+            }
+        } else if c == '"' {
+            return Err(err("unescaped quote inside value"));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn atom_from_text(ty: AtomicType, text: &str, line_no: usize) -> Result<AtomicValue, OemError> {
+    let err = |message: String| OemError::Parse {
+        line: line_no,
+        message,
+    };
+    Ok(match ty {
+        AtomicType::Int => AtomicValue::Int(
+            text.parse()
+                .map_err(|_| err(format!("bad integer `{text}`")))?,
+        ),
+        AtomicType::Real => AtomicValue::Real(
+            text.parse()
+                .map_err(|_| err(format!("bad real `{text}`")))?,
+        ),
+        AtomicType::Str => AtomicValue::Str(text.to_string()),
+        AtomicType::Bool => AtomicValue::Bool(
+            text.parse()
+                .map_err(|_| err(format!("bad boolean `{text}`")))?,
+        ),
+        AtomicType::Url => AtomicValue::Url(text.to_string()),
+        AtomicType::Gif => AtomicValue::Gif(unhex(text, line_no)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::structural_eq;
+
+    fn locuslink_fragment() -> OemStore {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        db.add_atomic_child(root, "LocusID", AtomicValue::Int(7157))
+            .unwrap();
+        db.add_atomic_child(root, "Organism", "Homo sapiens").unwrap();
+        db.add_atomic_child(root, "Symbol", "TP53").unwrap();
+        db.add_atomic_child(root, "Description", "tumor protein p53")
+            .unwrap();
+        db.add_atomic_child(root, "Position", "17p13.1").unwrap();
+        let links = db.add_complex_child(root, "Links").unwrap();
+        db.add_atomic_child(
+            links,
+            "GO",
+            AtomicValue::Url("http://www.geneontology.org/GO:0003700".into()),
+        )
+        .unwrap();
+        db.set_name("LocusLink", root).unwrap();
+        db
+    }
+
+    #[test]
+    fn writer_matches_figure3_shape() {
+        let db = locuslink_fragment();
+        let out = write_named(&db, "LocusLink").unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "LocusLink &0 Complex");
+        assert!(lines[1].starts_with("    LocusID &1 Integer \"7157\""));
+        assert!(lines.iter().any(|l| l.contains("Links") && l.contains("Complex")));
+        assert!(lines.iter().any(|l| l.contains("Url")));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let db = locuslink_fragment();
+        let out = write_named(&db, "LocusLink").unwrap();
+        let (db2, root2) = read(&out).unwrap();
+        assert!(structural_eq(
+            &db,
+            db.named("LocusLink").unwrap(),
+            &db2,
+            root2
+        ));
+        // And rendering again is a fixpoint.
+        assert_eq!(write_named(&db2, "LocusLink").unwrap(), out);
+    }
+
+    #[test]
+    fn shared_objects_are_described_once() {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        let shared = db.add_complex_child(root, "A").unwrap();
+        db.add_atomic_child(shared, "v", 1i64).unwrap();
+        db.add_edge(root, "B", shared).unwrap();
+        db.set_name("R", root).unwrap();
+        let out = write_named(&db, "R").unwrap();
+        // `v` appears exactly once: the second reference is not expanded.
+        assert_eq!(out.matches("\"1\"").count(), 1);
+        let (db2, root2) = read(&out).unwrap();
+        // Sharing is preserved on read-back: A and B point at the same oid.
+        let a = db2.child(root2, "A").unwrap();
+        let b = db2.child(root2, "B").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cycles_render_and_parse() {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        let child = db.add_complex_child(root, "Child").unwrap();
+        db.add_edge(child, "Parent", root).unwrap();
+        db.set_name("R", root).unwrap();
+        let out = write_named(&db, "R").unwrap();
+        let (db2, root2) = read(&out).unwrap();
+        let child2 = db2.child(root2, "Child").unwrap();
+        assert_eq!(db2.child(child2, "Parent"), Some(root2));
+    }
+
+    #[test]
+    fn values_with_quotes_and_newlines_round_trip() {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        db.add_atomic_child(root, "Desc", "a \"quoted\"\nline\\path")
+            .unwrap();
+        db.set_name("R", root).unwrap();
+        let out = write_named(&db, "R").unwrap();
+        let (db2, root2) = read(&out).unwrap();
+        assert_eq!(
+            db2.child_value(root2, "Desc"),
+            Some(&AtomicValue::Str("a \"quoted\"\nline\\path".into()))
+        );
+    }
+
+    #[test]
+    fn gif_values_round_trip_as_hex() {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        db.add_atomic_child(root, "Image", AtomicValue::Gif(vec![0xde, 0xad, 0xbe, 0xef]))
+            .unwrap();
+        db.set_name("R", root).unwrap();
+        let out = write_named(&db, "R").unwrap();
+        assert!(out.contains("\"deadbeef\""));
+        let (db2, root2) = read(&out).unwrap();
+        assert_eq!(
+            db2.child_value(root2, "Image"),
+            Some(&AtomicValue::Gif(vec![0xde, 0xad, 0xbe, 0xef]))
+        );
+    }
+
+    #[test]
+    fn whole_store_round_trips_with_cross_root_sharing() {
+        let mut db = OemStore::new();
+        let shared = db.new_complex();
+        db.add_atomic_child(shared, "v", 7i64).unwrap();
+        let a = db.new_complex();
+        db.add_edge(a, "S", shared).unwrap();
+        db.add_atomic_child(a, "only", "in A").unwrap();
+        let b = db.new_complex();
+        db.add_edge(b, "S", shared).unwrap();
+        db.set_name("A", a).unwrap();
+        db.set_name("B", b).unwrap();
+
+        let doc = write_store(&db);
+        assert!(doc.contains("@root A"));
+        assert!(doc.contains("@root B"));
+        // The shared object's value is described once.
+        assert_eq!(doc.matches("\"7\"").count(), 1);
+
+        let back = read_store(&doc).unwrap();
+        let ra = back.named("A").unwrap();
+        let rb = back.named("B").unwrap();
+        assert!(crate::graph::structural_eq(&db, a, &back, ra));
+        assert!(crate::graph::structural_eq(&db, b, &back, rb));
+        // Cross-root sharing survives.
+        assert_eq!(back.child(ra, "S"), back.child(rb, "S"));
+    }
+
+    #[test]
+    fn file_save_and_load() {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        db.add_atomic_child(root, "Symbol", "TP53").unwrap();
+        db.set_name("R", root).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "annoda-oem-test-{}.oem",
+            std::process::id()
+        ));
+        save_to_file(&db, &path).unwrap();
+        let back = load_from_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(crate::graph::structural_eq(
+            &db,
+            root,
+            &back,
+            back.named("R").unwrap()
+        ));
+        // Missing files surface as Io errors.
+        assert!(matches!(
+            load_from_file(std::path::Path::new("/no/such/annoda/file")),
+            Err(OemError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn read_store_rejects_headerless_top_level() {
+        assert!(matches!(
+            read_store("Root &0 Complex\n"),
+            Err(OemError::Parse { .. })
+        ));
+        // Empty documents are fine (an empty store).
+        assert!(read_store("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "Root &0 Complex\n    Child &1 Nonsense \"x\"\n";
+        match read(bad) {
+            Err(OemError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_atoms_redescribe_consistently() {
+        // Consistent re-description of a shared atom resolves to ONE
+        // object; an inconsistent one is rejected.
+        let good = "Root &0 Complex\n    A &1 Integer \"1\"\n    B &1 Integer \"1\"\n";
+        let (db, root) = read(good).unwrap();
+        assert_eq!(db.child(root, "A"), db.child(root, "B"));
+        let bad = "Root &0 Complex\n    A &1 Integer \"1\"\n    B &1 Integer \"2\"\n";
+        assert!(read(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_orphan_indent() {
+        let bad = "    A &1 Integer \"1\"\n";
+        assert!(read(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_value_on_complex() {
+        let bad = "Root &0 Complex \"oops\"\n";
+        assert!(read(bad).is_err());
+    }
+
+    #[test]
+    fn real_values_round_trip() {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        db.add_atomic_child(root, "Score", AtomicValue::Real(0.5)).unwrap();
+        db.add_atomic_child(root, "Whole", AtomicValue::Real(3.0)).unwrap();
+        db.set_name("R", root).unwrap();
+        let (db2, root2) = read(&write_named(&db, "R").unwrap()).unwrap();
+        assert_eq!(db2.child_value(root2, "Score"), Some(&AtomicValue::Real(0.5)));
+        assert_eq!(db2.child_value(root2, "Whole"), Some(&AtomicValue::Real(3.0)));
+    }
+}

@@ -1,0 +1,589 @@
+//! Seeded synthetic corpus generation.
+//!
+//! Produces a LocusLink, GO, and OMIM database whose cross-references are
+//! consistent by construction — every GO id a locus cites exists as a GO
+//! term, every MIM number a locus cites exists as an OMIM entry, every
+//! OMIM gene symbol names a generated locus — except for a configurable
+//! fraction of deliberate *inconsistencies* that exercise ANNODA's
+//! reconciliation path (Table 1 row "incorrectness due to inconsistent
+//! and incompatible data").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::go::{EvidenceCode, GoAnnotation, GoDb, GoNamespace, GoTerm};
+use crate::locuslink::{LocusLinkDb, LocusRecord};
+use crate::omim::{Inheritance, OmimDb, OmimEntry, OmimType};
+use crate::pubmed::{Article, PubmedDb};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of LocusLink records.
+    pub loci: usize,
+    /// Number of GO terms (split across the three namespaces).
+    pub go_terms: usize,
+    /// Number of OMIM entries (~70 % phenotypes).
+    pub omim_entries: usize,
+    /// RNG seed; equal configs generate equal corpora.
+    pub seed: u64,
+    /// Fraction of genes with a deliberately inconsistent annotation
+    /// (present in GO's table but missing from the locus record, or vice
+    /// versa) for the reconciliation experiments.
+    pub inconsistency_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            loci: 500,
+            go_terms: 300,
+            omim_entries: 200,
+            seed: 42,
+            inconsistency_rate: 0.05,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small corpus for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        CorpusConfig {
+            loci: 30,
+            go_terms: 25,
+            omim_entries: 15,
+            seed,
+            inconsistency_rate: 0.1,
+        }
+    }
+
+    /// Scales all sizes by `factor`, for the scaling sweeps.
+    pub fn scaled(&self, factor: f64) -> Self {
+        CorpusConfig {
+            loci: ((self.loci as f64) * factor).max(1.0) as usize,
+            go_terms: ((self.go_terms as f64) * factor).max(3.0) as usize,
+            omim_entries: ((self.omim_entries as f64) * factor).max(1.0) as usize,
+            ..self.clone()
+        }
+    }
+}
+
+/// The generated corpus: the paper's three sources plus the PubMed-like
+/// literature source used by the extension experiments.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The gene-locus database.
+    pub locuslink: LocusLinkDb,
+    /// The ontology + annotation database.
+    pub go: GoDb,
+    /// The disease catalogue.
+    pub omim: OmimDb,
+    /// The literature citation database (extension).
+    pub pubmed: PubmedDb,
+    /// The parameters that generated this corpus.
+    pub config: CorpusConfig,
+}
+
+const ORGANISMS: &[(&str, f64)] = &[
+    ("Homo sapiens", 0.6),
+    ("Mus musculus", 0.25),
+    ("Rattus norvegicus", 0.15),
+];
+
+const FUNCTION_WORDS: &[&str] = &[
+    "kinase", "receptor", "transporter", "ligase", "polymerase", "helicase",
+    "phosphatase", "channel", "regulator", "binding protein", "transcription factor",
+    "protease", "chaperone", "oxidoreductase", "synthase",
+];
+
+const PROCESS_WORDS: &[&str] = &[
+    "apoptosis", "cell cycle", "DNA repair", "signal transduction", "metabolism",
+    "transport", "differentiation", "proliferation", "adhesion", "secretion",
+];
+
+const DISEASE_WORDS: &[&str] = &[
+    "SYNDROME", "CARCINOMA", "DEFICIENCY", "DYSTROPHY", "ANEMIA", "ATAXIA",
+    "NEUROPATHY", "MYOPATHY", "DYSPLASIA", "SCLEROSIS",
+];
+
+const JOURNALS: &[&str] = &[
+    "Nature", "Science", "Cell", "Nucleic Acids Research", "Genomics",
+    "Journal of Biological Chemistry", "Human Molecular Genetics",
+];
+
+const DISEASE_QUALIFIERS: &[&str] = &[
+    "FAMILIAL", "CONGENITAL", "JUVENILE", "PROGRESSIVE", "HEREDITARY",
+    "EARLY-ONSET", "ATYPICAL", "SEVERE",
+];
+
+impl Corpus {
+    /// Generates the corpus deterministically from `config`.
+    pub fn generate(config: CorpusConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let go = generate_go(&config, &mut rng);
+        let term_ids: Vec<String> = go.terms().map(|t| t.id.clone()).collect();
+
+        // Gene symbols, unique.
+        let mut symbols: Vec<String> = Vec::with_capacity(config.loci);
+        {
+            let mut seen = std::collections::HashSet::new();
+            while symbols.len() < config.loci {
+                let s = gene_symbol(&mut rng);
+                if seen.insert(s.clone()) {
+                    symbols.push(s);
+                }
+            }
+        }
+
+        // OMIM entries first (loci then reference them).
+        let mut omim_entries: Vec<OmimEntry> = Vec::with_capacity(config.omim_entries);
+        for i in 0..config.omim_entries {
+            let mim_number = 100_000 + (i as u32) * 7 + rng.gen_range(0..5);
+            let phenotype = rng.gen_bool(0.7);
+            let title = format!(
+                "{} {} {}",
+                DISEASE_QUALIFIERS.choose(&mut rng).unwrap(),
+                DISEASE_WORDS.choose(&mut rng).unwrap(),
+                i + 1
+            );
+            omim_entries.push(OmimEntry {
+                mim_number,
+                title,
+                entry_type: if phenotype {
+                    OmimType::Phenotype
+                } else {
+                    OmimType::Gene
+                },
+                gene_symbols: Vec::new(), // filled from the locus side
+                inheritance: if phenotype {
+                    Some(
+                        *[
+                            Inheritance::AutosomalDominant,
+                            Inheritance::AutosomalRecessive,
+                            Inheritance::XLinked,
+                            Inheritance::Mitochondrial,
+                        ]
+                        .choose(&mut rng)
+                        .unwrap(),
+                    )
+                } else {
+                    None
+                },
+                text: format!(
+                    "A disorder involving {}.",
+                    PROCESS_WORDS.choose(&mut rng).unwrap()
+                ),
+            });
+        }
+
+        // Loci with cross-references into GO and OMIM.
+        let mut records: Vec<LocusRecord> = Vec::with_capacity(config.loci);
+        let mut go_annotations: Vec<GoAnnotation> = Vec::new();
+        for (i, symbol) in symbols.iter().enumerate() {
+            let locus_id = 1000 + i as u32;
+            let organism = pick_weighted(&mut rng, ORGANISMS);
+            let n_go = rng.gen_range(0..=4usize.min(term_ids.len()));
+            let mut go_ids: Vec<String> = Vec::with_capacity(n_go);
+            for _ in 0..n_go {
+                let id = term_ids.choose(&mut rng).unwrap().clone();
+                if !go_ids.contains(&id) {
+                    go_ids.push(id);
+                }
+            }
+            let n_omim = if omim_entries.is_empty() {
+                0
+            } else {
+                // ~40 % of genes are disease-associated.
+                if rng.gen_bool(0.4) {
+                    rng.gen_range(1..=2usize.min(omim_entries.len()))
+                } else {
+                    0
+                }
+            };
+            let mut omim_ids = Vec::with_capacity(n_omim);
+            for _ in 0..n_omim {
+                let idx = rng.gen_range(0..omim_entries.len());
+                let mim = omim_entries[idx].mim_number;
+                if !omim_ids.contains(&mim) {
+                    omim_ids.push(mim);
+                    omim_entries[idx].gene_symbols.push(symbol.clone());
+                }
+            }
+            let description = format!(
+                "{} involved in {}",
+                FUNCTION_WORDS.choose(&mut rng).unwrap(),
+                PROCESS_WORDS.choose(&mut rng).unwrap()
+            );
+            let position = cytogenetic_position(&mut rng);
+
+            // Mirror the locus's GO ids into GO's annotation table —
+            // unless this gene is chosen to be inconsistent.
+            let inconsistent = rng.gen_bool(config.inconsistency_rate);
+            for (k, id) in go_ids.iter().enumerate() {
+                if inconsistent && k == 0 {
+                    continue; // locus claims it, GO does not: a contradiction
+                }
+                go_annotations.push(GoAnnotation {
+                    gene_symbol: symbol.clone(),
+                    term_id: id.clone(),
+                    evidence: *[
+                        EvidenceCode::Exp,
+                        EvidenceCode::Ida,
+                        EvidenceCode::Iea,
+                        EvidenceCode::Tas,
+                        EvidenceCode::Iss,
+                    ]
+                    .choose(&mut rng)
+                    .unwrap(),
+                });
+            }
+            if inconsistent && !term_ids.is_empty() {
+                // GO claims an annotation the locus record lacks.
+                go_annotations.push(GoAnnotation {
+                    gene_symbol: symbol.clone(),
+                    term_id: term_ids.choose(&mut rng).unwrap().clone(),
+                    evidence: EvidenceCode::Iea,
+                });
+            }
+
+            let links = vec![
+                (
+                    "GenBank".to_string(),
+                    format!("http://www.ncbi.nlm.nih.gov/nuccore/NM_{:06}", locus_id),
+                ),
+                (
+                    "PubMed".to_string(),
+                    format!("http://www.ncbi.nlm.nih.gov/pubmed?term={symbol}"),
+                ),
+            ];
+            records.push(LocusRecord {
+                locus_id,
+                symbol: symbol.clone(),
+                organism: organism.to_string(),
+                description,
+                position,
+                go_ids,
+                omim_ids,
+                links,
+            });
+        }
+
+        let mut go = go;
+        for a in go_annotations {
+            go.insert_annotation(a);
+        }
+
+        // Literature: ~70 % of genes have 1–3 citations.
+        let mut articles: Vec<Article> = Vec::new();
+        let mut next_pmid = 10_000_000u32;
+        for symbol in &symbols {
+            if !rng.gen_bool(0.7) {
+                continue;
+            }
+            for _ in 0..rng.gen_range(1..=3usize) {
+                next_pmid += rng.gen_range(1..9);
+                articles.push(Article {
+                    pmid: next_pmid,
+                    title: format!(
+                        "{symbol} {} in {}",
+                        FUNCTION_WORDS.choose(&mut rng).unwrap(),
+                        PROCESS_WORDS.choose(&mut rng).unwrap()
+                    ),
+                    year: rng.gen_range(1985..=2004),
+                    journal: JOURNALS.choose(&mut rng).unwrap().to_string(),
+                    gene_symbols: vec![symbol.clone()],
+                });
+            }
+        }
+
+        Corpus {
+            locuslink: LocusLinkDb::from_records(records),
+            go,
+            omim: OmimDb::from_entries(omim_entries),
+            pubmed: PubmedDb::from_articles(articles),
+            config,
+        }
+    }
+
+    /// Applies one random source update (used by the freshness
+    /// experiment): rewrites the description of a random locus. Returns
+    /// the updated LocusID.
+    pub fn apply_random_update(&mut self, rng: &mut StdRng) -> u32 {
+        let n = self.locuslink.len() as u32;
+        assert!(n > 0, "cannot update an empty corpus");
+        let locus_id = 1000 + rng.gen_range(0..n);
+        let new_desc = format!(
+            "{} involved in {} (rev {})",
+            FUNCTION_WORDS.choose(rng).unwrap(),
+            PROCESS_WORDS.choose(rng).unwrap(),
+            rng.gen_range(2..100)
+        );
+        let rec = self
+            .locuslink
+            .by_id_mut(locus_id)
+            .expect("generated ids are dense");
+        rec.description = new_desc;
+        locus_id
+    }
+}
+
+fn generate_go(config: &CorpusConfig, rng: &mut StdRng) -> GoDb {
+    let namespaces = [
+        GoNamespace::MolecularFunction,
+        GoNamespace::BiologicalProcess,
+        GoNamespace::CellularComponent,
+    ];
+    let mut terms: Vec<GoTerm> = Vec::with_capacity(config.go_terms);
+    // One root per namespace first.
+    for (i, ns) in namespaces.iter().enumerate() {
+        terms.push(GoTerm {
+            id: format!("GO:{:07}", i + 1),
+            name: ns.as_str().replace('_', " "),
+            namespace: *ns,
+            definition: format!("Root of the {ns} namespace."),
+            is_a: Vec::new(),
+            part_of: Vec::new(),
+        });
+    }
+    // Remaining terms attach to earlier terms in the same namespace,
+    // guaranteeing an acyclic graph.
+    let mut per_ns: Vec<Vec<usize>> = vec![vec![0], vec![1], vec![2]];
+    for i in namespaces.len()..config.go_terms.max(namespaces.len()) {
+        let ns_idx = rng.gen_range(0..3);
+        let ns = namespaces[ns_idx];
+        let id = format!("GO:{:07}", i + 1);
+        let candidates = &per_ns[ns_idx];
+        let n_parents = if candidates.len() > 1 && rng.gen_bool(0.3) {
+            2
+        } else {
+            1
+        };
+        let mut is_a = Vec::with_capacity(n_parents);
+        for _ in 0..n_parents {
+            let p = terms[*candidates.choose(rng).unwrap()].id.clone();
+            if !is_a.contains(&p) {
+                is_a.push(p);
+            }
+        }
+        let part_of = if candidates.len() > 2 && rng.gen_bool(0.15) {
+            vec![terms[*candidates.choose(rng).unwrap()].id.clone()]
+        } else {
+            Vec::new()
+        };
+        let name = format!(
+            "{} {}",
+            PROCESS_WORDS.choose(rng).unwrap(),
+            FUNCTION_WORDS.choose(rng).unwrap()
+        );
+        terms.push(GoTerm {
+            id,
+            name: name.clone(),
+            namespace: ns,
+            definition: format!("The {name} activity."),
+            is_a,
+            part_of,
+        });
+        per_ns[ns_idx].push(i);
+    }
+    GoDb::from_parts(terms, [])
+}
+
+fn gene_symbol(rng: &mut StdRng) -> String {
+    const CONS: &[char] = &['B', 'C', 'D', 'F', 'G', 'K', 'L', 'M', 'N', 'P', 'R', 'S', 'T'];
+    const VOWELS: &[char] = &['A', 'E', 'I', 'O', 'U'];
+    let syllables = rng.gen_range(1..=2);
+    let mut s = String::new();
+    for _ in 0..syllables {
+        s.push(*CONS.choose(rng).unwrap());
+        s.push(*VOWELS.choose(rng).unwrap());
+    }
+    s.push(*CONS.choose(rng).unwrap());
+    s.push_str(&rng.gen_range(1..100).to_string());
+    s
+}
+
+fn cytogenetic_position(rng: &mut StdRng) -> String {
+    let chromosome = match rng.gen_range(1..=24) {
+        23 => "X".to_string(),
+        24 => "Y".to_string(),
+        n => n.to_string(),
+    };
+    let arm = if rng.gen_bool(0.5) { 'p' } else { 'q' };
+    format!(
+        "{chromosome}{arm}{}.{}",
+        rng.gen_range(1..=3),
+        rng.gen_range(1..=3)
+    )
+}
+
+fn pick_weighted<'a>(rng: &mut StdRng, table: &[(&'a str, f64)]) -> &'a str {
+    let total: f64 = table.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for &(item, w) in table {
+        if x < w {
+            return item;
+        }
+        x -= w;
+    }
+    table.last().expect("non-empty table").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(CorpusConfig::tiny(7));
+        let b = Corpus::generate(CorpusConfig::tiny(7));
+        assert_eq!(a.locuslink.to_flat(), b.locuslink.to_flat());
+        assert_eq!(a.go.terms_to_obo(), b.go.terms_to_obo());
+        assert_eq!(a.omim.to_flat(), b.omim.to_flat());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Corpus::generate(CorpusConfig::tiny(1));
+        let b = Corpus::generate(CorpusConfig::tiny(2));
+        assert_ne!(a.locuslink.to_flat(), b.locuslink.to_flat());
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = CorpusConfig {
+            loci: 40,
+            go_terms: 30,
+            omim_entries: 20,
+            seed: 5,
+            inconsistency_rate: 0.0,
+        };
+        let c = Corpus::generate(cfg);
+        assert_eq!(c.locuslink.len(), 40);
+        assert_eq!(c.go.term_count(), 30);
+        assert_eq!(c.omim.len(), 20);
+    }
+
+    #[test]
+    fn cross_references_are_consistent() {
+        let c = Corpus::generate(CorpusConfig {
+            inconsistency_rate: 0.0,
+            ..CorpusConfig::tiny(11)
+        });
+        let term_ids: HashSet<&str> = c.go.terms().map(|t| t.id.as_str()).collect();
+        let symbols: HashSet<&str> = c.locuslink.scan().map(|r| r.symbol.as_str()).collect();
+        for rec in c.locuslink.scan() {
+            for g in &rec.go_ids {
+                assert!(term_ids.contains(g.as_str()), "dangling GO id {g}");
+            }
+            for &m in &rec.omim_ids {
+                assert!(c.omim.by_mim(m).is_some(), "dangling MIM {m}");
+                assert!(
+                    c.omim
+                        .by_mim(m)
+                        .unwrap()
+                        .gene_symbols
+                        .contains(&rec.symbol),
+                    "OMIM back-reference missing"
+                );
+            }
+        }
+        for ann in c.go.annotations() {
+            assert!(symbols.contains(ann.gene_symbol.as_str()));
+            assert!(term_ids.contains(ann.term_id.as_str()));
+        }
+        // With zero inconsistency every locus GO id also appears in the
+        // annotation table.
+        for rec in c.locuslink.scan() {
+            let annotated: HashSet<&str> = c
+                .go
+                .annotations_of_gene(&rec.symbol)
+                .map(|a| a.term_id.as_str())
+                .collect();
+            for g in &rec.go_ids {
+                assert!(annotated.contains(g.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistencies_are_injected_when_requested() {
+        let c = Corpus::generate(CorpusConfig {
+            loci: 200,
+            go_terms: 50,
+            omim_entries: 30,
+            seed: 3,
+            inconsistency_rate: 0.5,
+        });
+        // Some gene must have a GO-side annotation missing from its locus
+        // record (or vice versa).
+        let mut mismatches = 0;
+        for rec in c.locuslink.scan() {
+            let annotated: HashSet<&str> = c
+                .go
+                .annotations_of_gene(&rec.symbol)
+                .map(|a| a.term_id.as_str())
+                .collect();
+            let listed: HashSet<&str> = rec.go_ids.iter().map(String::as_str).collect();
+            if annotated != listed {
+                mismatches += 1;
+            }
+        }
+        assert!(mismatches > 10, "expected many injected inconsistencies");
+    }
+
+    #[test]
+    fn go_dag_is_acyclic_by_construction() {
+        let c = Corpus::generate(CorpusConfig::tiny(13));
+        for t in c.go.terms() {
+            assert!(
+                !c.go.is_descendant_of(&t.id, &t.id),
+                "cycle through {}",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn go_parents_stay_within_namespace_for_is_a() {
+        let c = Corpus::generate(CorpusConfig::tiny(17));
+        for t in c.go.terms() {
+            for p in &t.is_a {
+                assert_eq!(c.go.term(p).unwrap().namespace, t.namespace);
+            }
+        }
+    }
+
+    #[test]
+    fn random_update_changes_description_deterministically() {
+        let mut a = Corpus::generate(CorpusConfig::tiny(19));
+        let mut b = Corpus::generate(CorpusConfig::tiny(19));
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let ida = a.apply_random_update(&mut rng_a);
+        let idb = b.apply_random_update(&mut rng_b);
+        assert_eq!(ida, idb);
+        assert_eq!(
+            a.locuslink.by_id(ida).unwrap().description,
+            b.locuslink.by_id(idb).unwrap().description
+        );
+        assert!(a
+            .locuslink
+            .by_id(ida)
+            .unwrap()
+            .description
+            .contains("rev"));
+    }
+
+    #[test]
+    fn scaled_config_scales_sizes() {
+        let base = CorpusConfig::default();
+        let double = base.scaled(2.0);
+        assert_eq!(double.loci, 1000);
+        let tiny = base.scaled(0.001);
+        assert!(tiny.loci >= 1);
+        assert!(tiny.go_terms >= 3, "need at least the namespace roots");
+    }
+}

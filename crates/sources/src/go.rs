@@ -1,0 +1,628 @@
+//! A Gene Ontology-style term DAG with gene annotations.
+//!
+//! GO organises terms in three namespaces (molecular function, biological
+//! process, cellular component) connected by `is_a` and `part_of` edges
+//! into a DAG. Genes are annotated with terms, each annotation carrying an
+//! evidence code. The native flat format is OBO-flavoured (`[Term]`
+//! stanzas); annotations use a GAF-like tab-separated format.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::ParseError;
+
+/// The three GO namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the three standard GO namespaces
+pub enum GoNamespace {
+    MolecularFunction,
+    BiologicalProcess,
+    CellularComponent,
+}
+
+impl GoNamespace {
+    /// The OBO spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GoNamespace::MolecularFunction => "molecular_function",
+            GoNamespace::BiologicalProcess => "biological_process",
+            GoNamespace::CellularComponent => "cellular_component",
+        }
+    }
+
+    /// Parses the OBO spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "molecular_function" => GoNamespace::MolecularFunction,
+            "biological_process" => GoNamespace::BiologicalProcess,
+            "cellular_component" => GoNamespace::CellularComponent,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for GoNamespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// GO evidence codes (the subset relevant to annotation integration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvidenceCode {
+    /// Inferred from experiment.
+    Exp,
+    /// Inferred from direct assay.
+    Ida,
+    /// Inferred from electronic annotation (uncurated).
+    Iea,
+    /// Traceable author statement.
+    Tas,
+    /// Inferred from sequence similarity.
+    Iss,
+}
+
+impl EvidenceCode {
+    /// The standard three-letter code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvidenceCode::Exp => "EXP",
+            EvidenceCode::Ida => "IDA",
+            EvidenceCode::Iea => "IEA",
+            EvidenceCode::Tas => "TAS",
+            EvidenceCode::Iss => "ISS",
+        }
+    }
+
+    /// Parses a three-letter code.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "EXP" => EvidenceCode::Exp,
+            "IDA" => EvidenceCode::Ida,
+            "IEA" => EvidenceCode::Iea,
+            "TAS" => EvidenceCode::Tas,
+            "ISS" => EvidenceCode::Iss,
+            _ => return None,
+        })
+    }
+
+    /// Curated evidence outranks electronic annotation; reconciliation
+    /// uses this ordering when two sources disagree.
+    pub fn reliability(self) -> u8 {
+        match self {
+            EvidenceCode::Exp => 5,
+            EvidenceCode::Ida => 4,
+            EvidenceCode::Tas => 3,
+            EvidenceCode::Iss => 2,
+            EvidenceCode::Iea => 1,
+        }
+    }
+}
+
+/// One GO term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoTerm {
+    /// Stable id, `GO:0003700`.
+    pub id: String,
+    /// Term name.
+    pub name: String,
+    /// The namespace the term belongs to.
+    pub namespace: GoNamespace,
+    /// Free-text definition.
+    pub definition: String,
+    /// `is_a` parents (term ids).
+    pub is_a: Vec<String>,
+    /// `part_of` parents (term ids).
+    pub part_of: Vec<String>,
+}
+
+impl GoTerm {
+    /// The canonical navigation URL for the term.
+    pub fn url(&self) -> String {
+        format!("http://www.geneontology.org/term/{}", self.id)
+    }
+}
+
+/// One gene→term annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoAnnotation {
+    /// Annotated gene symbol.
+    pub gene_symbol: String,
+    /// Annotating term id.
+    pub term_id: String,
+    /// Evidence backing the annotation.
+    pub evidence: EvidenceCode,
+}
+
+/// The GO database: term DAG plus annotation table.
+#[derive(Debug, Clone, Default)]
+pub struct GoDb {
+    terms: Vec<GoTerm>,
+    by_id: HashMap<String, usize>,
+    annotations: Vec<GoAnnotation>,
+    by_gene: HashMap<String, Vec<usize>>,
+    by_term: HashMap<String, Vec<usize>>,
+}
+
+impl GoDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from terms and annotations.
+    pub fn from_parts(
+        terms: impl IntoIterator<Item = GoTerm>,
+        annotations: impl IntoIterator<Item = GoAnnotation>,
+    ) -> Self {
+        let mut db = Self::new();
+        for t in terms {
+            db.insert_term(t);
+        }
+        for a in annotations {
+            db.insert_annotation(a);
+        }
+        db
+    }
+
+    /// Inserts or replaces a term by id.
+    pub fn insert_term(&mut self, term: GoTerm) {
+        if let Some(&idx) = self.by_id.get(&term.id) {
+            self.terms[idx] = term;
+        } else {
+            self.by_id.insert(term.id.clone(), self.terms.len());
+            self.terms.push(term);
+        }
+    }
+
+    /// Appends an annotation.
+    pub fn insert_annotation(&mut self, ann: GoAnnotation) {
+        let idx = self.annotations.len();
+        self.by_gene
+            .entry(ann.gene_symbol.clone())
+            .or_default()
+            .push(idx);
+        self.by_term.entry(ann.term_id.clone()).or_default().push(idx);
+        self.annotations.push(ann);
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of annotations.
+    pub fn annotation_count(&self) -> usize {
+        self.annotations.len()
+    }
+
+    /// Native access path: term by id.
+    pub fn term(&self, id: &str) -> Option<&GoTerm> {
+        self.by_id.get(id).map(|&i| &self.terms[i])
+    }
+
+    /// Full term scan in load order.
+    pub fn terms(&self) -> impl Iterator<Item = &GoTerm> {
+        self.terms.iter()
+    }
+
+    /// All annotations in load order.
+    pub fn annotations(&self) -> impl Iterator<Item = &GoAnnotation> {
+        self.annotations.iter()
+    }
+
+    /// Native access path: annotations of one gene.
+    pub fn annotations_of_gene(&self, symbol: &str) -> impl Iterator<Item = &GoAnnotation> {
+        self.by_gene
+            .get(symbol)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.annotations[i])
+    }
+
+    /// Native access path: annotations using one term.
+    pub fn annotations_of_term(&self, term_id: &str) -> impl Iterator<Item = &GoAnnotation> {
+        self.by_term
+            .get(term_id)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.annotations[i])
+    }
+
+    /// Direct parents over both `is_a` and `part_of`.
+    pub fn parents(&self, id: &str) -> Vec<&str> {
+        let Some(t) = self.term(id) else {
+            return Vec::new();
+        };
+        t.is_a
+            .iter()
+            .chain(t.part_of.iter())
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// All ancestors of `id` (excluding itself), DAG-safe.
+    pub fn ancestors(&self, id: &str) -> HashSet<String> {
+        let mut out = HashSet::new();
+        let mut stack: Vec<String> = self.parents(id).iter().map(|s| s.to_string()).collect();
+        while let Some(p) = stack.pop() {
+            if out.insert(p.clone()) {
+                stack.extend(self.parents(&p).iter().map(|s| s.to_string()));
+            }
+        }
+        out
+    }
+
+    /// True when `descendant` is reachable upward to `ancestor`.
+    pub fn is_descendant_of(&self, descendant: &str, ancestor: &str) -> bool {
+        self.ancestors(descendant).contains(ancestor)
+    }
+
+    /// Genes annotated (directly) with `term_id`.
+    pub fn genes_of_term(&self, term_id: &str) -> Vec<&str> {
+        self.annotations_of_term(term_id)
+            .map(|a| a.gene_symbol.as_str())
+            .collect()
+    }
+
+    /// The term's depth: the shortest parent chain to a root (a term
+    /// with no parents). Roots have depth 0; unknown terms yield `None`.
+    pub fn depth(&self, id: &str) -> Option<usize> {
+        self.term(id)?;
+        // BFS upward.
+        let mut frontier = vec![id.to_string()];
+        let mut seen: HashSet<String> = frontier.iter().cloned().collect();
+        let mut depth = 0usize;
+        loop {
+            if frontier
+                .iter()
+                .any(|t| self.parents(t).is_empty())
+            {
+                return Some(depth);
+            }
+            let mut next = Vec::new();
+            for t in &frontier {
+                for p in self.parents(t) {
+                    if seen.insert(p.to_string()) {
+                        next.push(p.to_string());
+                    }
+                }
+            }
+            if next.is_empty() {
+                // Cyclic fragment with no root: treat the cycle entry as
+                // rootless.
+                return Some(depth);
+            }
+            frontier = next;
+            depth += 1;
+        }
+    }
+
+    /// All descendants of `id` (terms from which `id` is reachable
+    /// upward), excluding `id` itself.
+    pub fn descendants(&self, id: &str) -> HashSet<String> {
+        // Reverse index computed on the fly: fine at annotation-database
+        // scale, and keeps the store single-representation.
+        let mut children: HashMap<&str, Vec<&str>> = HashMap::new();
+        for t in &self.terms {
+            for p in t.is_a.iter().chain(t.part_of.iter()) {
+                children.entry(p.as_str()).or_default().push(&t.id);
+            }
+        }
+        let mut out = HashSet::new();
+        let mut stack = vec![id];
+        while let Some(t) = stack.pop() {
+            for &c in children.get(t).into_iter().flatten() {
+                if out.insert(c.to_string()) {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The common ancestors of two terms (both directions of `is_a` /
+    /// `part_of`), excluding the terms themselves.
+    pub fn common_ancestors(&self, a: &str, b: &str) -> HashSet<String> {
+        let aa = self.ancestors(a);
+        let ab = self.ancestors(b);
+        aa.intersection(&ab).cloned().collect()
+    }
+
+    /// Genes annotated with `term_id` **or any of its descendants** — the
+    /// transitive annotation set used by enrichment analyses.
+    pub fn genes_of_term_recursive(&self, term_id: &str) -> HashSet<String> {
+        let mut terms = self.descendants(term_id);
+        terms.insert(term_id.to_string());
+        let mut out = HashSet::new();
+        for t in &terms {
+            for a in self.annotations_of_term(t) {
+                out.insert(a.gene_symbol.clone());
+            }
+        }
+        out
+    }
+
+    // ----- native flat formats -------------------------------------------
+
+    /// Serialises the term DAG as OBO-flavoured stanzas.
+    pub fn terms_to_obo(&self) -> String {
+        let mut out = String::new();
+        for t in &self.terms {
+            let _ = writeln!(out, "[Term]");
+            let _ = writeln!(out, "id: {}", t.id);
+            let _ = writeln!(out, "name: {}", t.name);
+            let _ = writeln!(out, "namespace: {}", t.namespace);
+            let _ = writeln!(out, "def: \"{}\"", t.definition.replace('"', "'"));
+            for p in &t.is_a {
+                let _ = writeln!(out, "is_a: {p}");
+            }
+            for p in &t.part_of {
+                let _ = writeln!(out, "relationship: part_of {p}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Parses the OBO-flavoured stanzas of [`GoDb::terms_to_obo`].
+    pub fn terms_from_obo(input: &str) -> Result<Vec<GoTerm>, ParseError> {
+        let mut terms = Vec::new();
+        let mut current: Option<GoTerm> = None;
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[Term]" {
+                if let Some(t) = current.take() {
+                    terms.push(t);
+                }
+                current = Some(GoTerm {
+                    id: String::new(),
+                    name: String::new(),
+                    namespace: GoNamespace::MolecularFunction,
+                    definition: String::new(),
+                    is_a: Vec::new(),
+                    part_of: Vec::new(),
+                });
+                continue;
+            }
+            let t = current
+                .as_mut()
+                .ok_or_else(|| ParseError::new(line_no, "field before [Term] stanza"))?;
+            let (key, value) = line
+                .split_once(": ")
+                .ok_or_else(|| ParseError::new(line_no, format!("malformed line `{line}`")))?;
+            match key {
+                "id" => t.id = value.to_string(),
+                "name" => t.name = value.to_string(),
+                "namespace" => {
+                    t.namespace = GoNamespace::parse(value).ok_or_else(|| {
+                        ParseError::new(line_no, format!("unknown namespace `{value}`"))
+                    })?
+                }
+                "def" => t.definition = value.trim_matches('"').to_string(),
+                "is_a" => t.is_a.push(value.to_string()),
+                "relationship" => {
+                    let rest = value.strip_prefix("part_of ").ok_or_else(|| {
+                        ParseError::new(line_no, format!("unknown relationship `{value}`"))
+                    })?;
+                    t.part_of.push(rest.to_string());
+                }
+                other => {
+                    return Err(ParseError::new(line_no, format!("unknown key `{other}`")))
+                }
+            }
+        }
+        if let Some(t) = current.take() {
+            terms.push(t);
+        }
+        for (i, t) in terms.iter().enumerate() {
+            if t.id.is_empty() {
+                return Err(ParseError::new(0, format!("stanza {} lacks an id", i + 1)));
+            }
+        }
+        Ok(terms)
+    }
+
+    /// Serialises annotations as GAF-like tab-separated lines.
+    pub fn annotations_to_gaf(&self) -> String {
+        let mut out = String::new();
+        for a in &self.annotations {
+            let _ = writeln!(out, "{}\t{}\t{}", a.gene_symbol, a.term_id, a.evidence.as_str());
+        }
+        out
+    }
+
+    /// Parses the GAF-like lines of [`GoDb::annotations_to_gaf`].
+    pub fn annotations_from_gaf(input: &str) -> Result<Vec<GoAnnotation>, ParseError> {
+        let mut out = Vec::new();
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('!') {
+                continue;
+            }
+            let mut cols = line.split('\t');
+            let gene = cols
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| ParseError::new(line_no, "missing gene column"))?;
+            let term = cols
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| ParseError::new(line_no, "missing term column"))?;
+            let ev = cols
+                .next()
+                .ok_or_else(|| ParseError::new(line_no, "missing evidence column"))?;
+            let evidence = EvidenceCode::parse(ev)
+                .ok_or_else(|| ParseError::new(line_no, format!("unknown evidence `{ev}`")))?;
+            out.push(GoAnnotation {
+                gene_symbol: gene.to_string(),
+                term_id: term.to_string(),
+                evidence,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dag() -> GoDb {
+        let mk = |id: &str, name: &str, is_a: &[&str], part_of: &[&str]| GoTerm {
+            id: id.into(),
+            name: name.into(),
+            namespace: GoNamespace::MolecularFunction,
+            definition: format!("def of {name}"),
+            is_a: is_a.iter().map(|s| s.to_string()).collect(),
+            part_of: part_of.iter().map(|s| s.to_string()).collect(),
+        };
+        GoDb::from_parts(
+            [
+                mk("GO:0003674", "molecular_function", &[], &[]),
+                mk("GO:0003700", "transcription factor", &["GO:0003674"], &[]),
+                mk("GO:0000981", "RNA pol II TF", &["GO:0003700"], &[]),
+                mk("GO:0000982", "proximal TF", &["GO:0000981"], &["GO:0003700"]),
+            ],
+            [
+                GoAnnotation {
+                    gene_symbol: "TP53".into(),
+                    term_id: "GO:0003700".into(),
+                    evidence: EvidenceCode::Ida,
+                },
+                GoAnnotation {
+                    gene_symbol: "TP53".into(),
+                    term_id: "GO:0000981".into(),
+                    evidence: EvidenceCode::Iea,
+                },
+                GoAnnotation {
+                    gene_symbol: "EGFR".into(),
+                    term_id: "GO:0000981".into(),
+                    evidence: EvidenceCode::Tas,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn term_lookup_and_annotations() {
+        let db = small_dag();
+        assert_eq!(db.term_count(), 4);
+        assert_eq!(db.term("GO:0003700").unwrap().name, "transcription factor");
+        assert!(db.term("GO:9999999").is_none());
+        assert_eq!(db.annotations_of_gene("TP53").count(), 2);
+        assert_eq!(db.annotations_of_term("GO:0000981").count(), 2);
+        assert_eq!(db.genes_of_term("GO:0000981"), vec!["TP53", "EGFR"]);
+    }
+
+    #[test]
+    fn ancestors_traverse_both_edge_kinds() {
+        let db = small_dag();
+        let anc = db.ancestors("GO:0000982");
+        assert!(anc.contains("GO:0000981"));
+        assert!(anc.contains("GO:0003700")); // via part_of AND via is_a chain
+        assert!(anc.contains("GO:0003674"));
+        assert!(!anc.contains("GO:0000982"), "a term is not its own ancestor");
+        assert!(db.is_descendant_of("GO:0000982", "GO:0003674"));
+        assert!(!db.is_descendant_of("GO:0003674", "GO:0000982"));
+    }
+
+    #[test]
+    fn obo_round_trip() {
+        let db = small_dag();
+        let obo = db.terms_to_obo();
+        let terms = GoDb::terms_from_obo(&obo).unwrap();
+        assert_eq!(terms.len(), 4);
+        let t = terms.iter().find(|t| t.id == "GO:0000982").unwrap();
+        assert_eq!(t.is_a, vec!["GO:0000981"]);
+        assert_eq!(t.part_of, vec!["GO:0003700"]);
+    }
+
+    #[test]
+    fn gaf_round_trip_with_comments() {
+        let db = small_dag();
+        let gaf = format!("! header comment\n{}", db.annotations_to_gaf());
+        let anns = GoDb::annotations_from_gaf(&gaf).unwrap();
+        assert_eq!(anns.len(), 3);
+        assert_eq!(anns[0].evidence, EvidenceCode::Ida);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(GoDb::terms_from_obo("id: GO:1").is_err()); // before stanza
+        assert!(GoDb::terms_from_obo("[Term]\nnamespace: nope\n").is_err());
+        assert!(GoDb::terms_from_obo("[Term]\nname: x\n").is_err()); // no id
+        assert!(GoDb::annotations_from_gaf("TP53\tGO:1\tZZZ").is_err());
+        assert!(GoDb::annotations_from_gaf("only-one-column").is_err());
+    }
+
+    #[test]
+    fn evidence_reliability_ordering() {
+        assert!(EvidenceCode::Exp.reliability() > EvidenceCode::Iea.reliability());
+        assert!(EvidenceCode::Ida.reliability() > EvidenceCode::Tas.reliability());
+    }
+
+    #[test]
+    fn insert_term_replaces_by_id() {
+        let mut db = small_dag();
+        let mut t = db.term("GO:0003700").unwrap().clone();
+        t.name = "renamed".into();
+        db.insert_term(t);
+        assert_eq!(db.term_count(), 4);
+        assert_eq!(db.term("GO:0003700").unwrap().name, "renamed");
+    }
+
+    #[test]
+    fn depth_descendants_and_recursive_genes() {
+        let db = small_dag();
+        assert_eq!(db.depth("GO:0003674"), Some(0));
+        assert_eq!(db.depth("GO:0003700"), Some(1));
+        assert_eq!(db.depth("GO:0000981"), Some(2));
+        // GO:0000982 has a part_of shortcut to GO:0003700 → depth 2 via
+        // the shortest chain (982 → 3700 → 3674 wait: parents of 982 are
+        // 981 (is_a) and 3700 (part_of); 3700 is depth 1, so 982 is 2).
+        assert_eq!(db.depth("GO:0000982"), Some(2));
+        assert_eq!(db.depth("GO:9999999"), None);
+
+        let desc = db.descendants("GO:0003700");
+        assert!(desc.contains("GO:0000981"));
+        assert!(desc.contains("GO:0000982"));
+        assert!(!desc.contains("GO:0003700"));
+        assert!(db.descendants("GO:0000982").is_empty());
+
+        let common = db.common_ancestors("GO:0000982", "GO:0000981");
+        assert!(common.contains("GO:0003700"));
+        assert!(common.contains("GO:0003674"));
+
+        // TP53 is annotated at 3700 and 981; EGFR at 981. The transitive
+        // set at the root covers both.
+        let genes = db.genes_of_term_recursive("GO:0003674");
+        assert!(genes.contains("TP53"));
+        assert!(genes.contains("EGFR"));
+        // Direct-only at the root is empty.
+        assert!(db.genes_of_term("GO:0003674").is_empty());
+    }
+
+    #[test]
+    fn cyclic_input_does_not_hang_ancestors() {
+        // GO data is a DAG, but the parser cannot guarantee it; the
+        // traversal must still terminate.
+        let mk = |id: &str, is_a: &str| GoTerm {
+            id: id.into(),
+            name: id.into(),
+            namespace: GoNamespace::BiologicalProcess,
+            definition: String::new(),
+            is_a: vec![is_a.into()],
+            part_of: vec![],
+        };
+        let db = GoDb::from_parts([mk("GO:1", "GO:2"), mk("GO:2", "GO:1")], []);
+        let anc = db.ancestors("GO:1");
+        assert_eq!(anc.len(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! # annoda-sources — the annotation databases ANNODA integrates
+//!
+//! The paper experiments with three public annotation sources: LocusLink,
+//! the Gene Ontology (GO), and OMIM. LocusLink was retired by NCBI and
+//! OMIM is licensed, so this crate implements *synthetic but structurally
+//! faithful* stand-ins (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`locuslink`] — gene loci with LocusID, Symbol, Organism,
+//!   Description, cytogenetic Position and cross-links, plus an
+//!   `LL_tmpl`-style flat-file format;
+//! * [`go`] — a DAG of GO terms across the three namespaces with `is_a` /
+//!   `part_of` edges, gene→term annotations with evidence codes, and an
+//!   OBO-flavoured flat format;
+//! * [`omim`] — disease entries with MIM numbers, titles, gene symbol
+//!   associations and inheritance modes, and an OMIM-style `*RECORD*`
+//!   flat format;
+//! * [`pubmed`] — literature citations with PMIDs, titles, journals and
+//!   gene associations, in a MEDLINE-tag flat format (the fourth source
+//!   the paper's future work calls for);
+//! * [`corpus`] — a seeded generator that produces the three databases
+//!   with *consistent cross-references* (every GO id a locus mentions
+//!   exists in the GO database, every MIM number exists in OMIM), at
+//!   configurable sizes for the scaling experiments.
+//!
+//! Each database exposes the narrow native query API a real wrapper would
+//! have (id lookup, symbol lookup, scan) — deliberately *not* a general
+//! query language: heterogeneity of source capabilities is what the
+//! mediator has to bridge.
+
+pub mod corpus;
+pub mod go;
+pub mod locuslink;
+pub mod omim;
+pub mod pubmed;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use go::{EvidenceCode, GoAnnotation, GoDb, GoNamespace, GoTerm};
+pub use locuslink::{LocusLinkDb, LocusRecord};
+pub use omim::{Inheritance, OmimDb, OmimEntry, OmimType};
+pub use pubmed::{Article, PubmedDb};
+
+/// Errors raised by the native flat-file parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flat-file parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,299 @@
+//! A LocusLink-style gene locus database.
+//!
+//! LocusLink (the NCBI predecessor of Entrez Gene) organised curated
+//! information about genetic loci: a numeric LocusID, official Symbol,
+//! Organism, Description, cytogenetic map Position, and cross-links to
+//! other databases. The paper's Figures 2–3 model exactly these six
+//! attributes. The native flat format here mirrors the spirit of NCBI's
+//! `LL_tmpl` dump: a `>>` record separator followed by `KEY: value` lines.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ParseError;
+
+/// One LocusLink record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocusRecord {
+    /// The stable numeric locus identifier.
+    pub locus_id: u32,
+    /// Official gene symbol, e.g. `TP53`.
+    pub symbol: String,
+    /// Source organism, e.g. `Homo sapiens`.
+    pub organism: String,
+    /// Free-text description of the locus.
+    pub description: String,
+    /// Cytogenetic map position, e.g. `17p13.1`.
+    pub position: String,
+    /// GO term ids annotating this locus (`GO:0003700`, …).
+    pub go_ids: Vec<String>,
+    /// MIM numbers of associated OMIM entries.
+    pub omim_ids: Vec<u32>,
+    /// Additional web links as `(database, url)` pairs.
+    pub links: Vec<(String, String)>,
+}
+
+impl LocusRecord {
+    /// The canonical navigation URL for this record (the web-link ANNODA
+    /// attaches for interactive navigation).
+    pub fn url(&self) -> String {
+        format!(
+            "http://www.ncbi.nlm.nih.gov/LocusLink/LocRpt.cgi?l={}",
+            self.locus_id
+        )
+    }
+}
+
+/// The LocusLink database with its native access paths: by LocusID and by
+/// symbol, plus a full scan.
+#[derive(Debug, Clone, Default)]
+pub struct LocusLinkDb {
+    records: Vec<LocusRecord>,
+    by_id: HashMap<u32, usize>,
+    by_symbol: HashMap<String, usize>,
+}
+
+impl LocusLinkDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from records. A later record with a duplicate
+    /// LocusID replaces the earlier one (last-writer-wins, like reloading
+    /// a dump).
+    pub fn from_records(records: impl IntoIterator<Item = LocusRecord>) -> Self {
+        let mut db = Self::new();
+        for r in records {
+            db.upsert(r);
+        }
+        db
+    }
+
+    /// Inserts or replaces the record with the same LocusID.
+    pub fn upsert(&mut self, record: LocusRecord) {
+        if let Some(&idx) = self.by_id.get(&record.locus_id) {
+            self.by_symbol.remove(&self.records[idx].symbol);
+            self.by_symbol.insert(record.symbol.clone(), idx);
+            self.records[idx] = record;
+        } else {
+            let idx = self.records.len();
+            self.by_id.insert(record.locus_id, idx);
+            self.by_symbol.insert(record.symbol.clone(), idx);
+            self.records.push(record);
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the database has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Native access path: lookup by LocusID.
+    pub fn by_id(&self, locus_id: u32) -> Option<&LocusRecord> {
+        self.by_id.get(&locus_id).map(|&i| &self.records[i])
+    }
+
+    /// Native access path: lookup by official symbol (case-sensitive, as
+    /// in the real database).
+    pub fn by_symbol(&self, symbol: &str) -> Option<&LocusRecord> {
+        self.by_symbol.get(symbol).map(|&i| &self.records[i])
+    }
+
+    /// Full scan in load order.
+    pub fn scan(&self) -> impl Iterator<Item = &LocusRecord> {
+        self.records.iter()
+    }
+
+    /// Records for one organism (a supported native filter).
+    pub fn by_organism<'a>(&'a self, organism: &'a str) -> impl Iterator<Item = &'a LocusRecord> {
+        self.records.iter().filter(move |r| r.organism == organism)
+    }
+
+    /// Mutable access for the update stream in the freshness experiment.
+    pub fn by_id_mut(&mut self, locus_id: u32) -> Option<&mut LocusRecord> {
+        let idx = *self.by_id.get(&locus_id)?;
+        Some(&mut self.records[idx])
+    }
+
+    // ----- native flat format -------------------------------------------
+
+    /// Serialises the database in the `LL_tmpl`-style flat format.
+    pub fn to_flat(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, ">>{}", r.locus_id);
+            let _ = writeln!(out, "LOCUSID: {}", r.locus_id);
+            let _ = writeln!(out, "SYMBOL: {}", r.symbol);
+            let _ = writeln!(out, "ORGANISM: {}", r.organism);
+            let _ = writeln!(out, "DESC: {}", r.description);
+            let _ = writeln!(out, "MAP: {}", r.position);
+            for g in &r.go_ids {
+                let _ = writeln!(out, "GO: {g}");
+            }
+            for m in &r.omim_ids {
+                let _ = writeln!(out, "OMIM: {m}");
+            }
+            for (db, url) in &r.links {
+                let _ = writeln!(out, "LINK: {db}|{url}");
+            }
+        }
+        out
+    }
+
+    /// Parses the flat format produced by [`LocusLinkDb::to_flat`].
+    pub fn from_flat(input: &str) -> Result<Self, ParseError> {
+        let mut db = Self::new();
+        let mut current: Option<LocusRecord> = None;
+        for (idx, line) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(id) = line.strip_prefix(">>") {
+                if let Some(rec) = current.take() {
+                    db.upsert(rec);
+                }
+                let locus_id = id
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::new(line_no, format!("bad record id `{id}`")))?;
+                current = Some(LocusRecord {
+                    locus_id,
+                    symbol: String::new(),
+                    organism: String::new(),
+                    description: String::new(),
+                    position: String::new(),
+                    go_ids: Vec::new(),
+                    omim_ids: Vec::new(),
+                    links: Vec::new(),
+                });
+                continue;
+            }
+            let rec = current
+                .as_mut()
+                .ok_or_else(|| ParseError::new(line_no, "field line before `>>` record header"))?;
+            let (key, value) = line
+                .split_once(": ")
+                .or_else(|| line.split_once(':'))
+                .ok_or_else(|| ParseError::new(line_no, format!("malformed field `{line}`")))?;
+            let value = value.trim();
+            match key {
+                "LOCUSID" => {
+                    let v: u32 = value.parse().map_err(|_| {
+                        ParseError::new(line_no, format!("bad LOCUSID `{value}`"))
+                    })?;
+                    if v != rec.locus_id {
+                        return Err(ParseError::new(
+                            line_no,
+                            format!("LOCUSID {v} disagrees with record header {}", rec.locus_id),
+                        ));
+                    }
+                }
+                "SYMBOL" => rec.symbol = value.to_string(),
+                "ORGANISM" => rec.organism = value.to_string(),
+                "DESC" => rec.description = value.to_string(),
+                "MAP" => rec.position = value.to_string(),
+                "GO" => rec.go_ids.push(value.to_string()),
+                "OMIM" => rec.omim_ids.push(value.parse().map_err(|_| {
+                    ParseError::new(line_no, format!("bad OMIM number `{value}`"))
+                })?),
+                "LINK" => {
+                    let (db_name, url) = value.split_once('|').ok_or_else(|| {
+                        ParseError::new(line_no, format!("LINK needs `db|url`, got `{value}`"))
+                    })?;
+                    rec.links.push((db_name.to_string(), url.to_string()));
+                }
+                other => {
+                    return Err(ParseError::new(line_no, format!("unknown field `{other}`")))
+                }
+            }
+        }
+        if let Some(rec) = current.take() {
+            db.upsert(rec);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tp53() -> LocusRecord {
+        LocusRecord {
+            locus_id: 7157,
+            symbol: "TP53".into(),
+            organism: "Homo sapiens".into(),
+            description: "tumor protein p53".into(),
+            position: "17p13.1".into(),
+            go_ids: vec!["GO:0003700".into(), "GO:0006915".into()],
+            omim_ids: vec![191170],
+            links: vec![(
+                "PubMed".into(),
+                "http://www.ncbi.nlm.nih.gov/pubmed?term=TP53".into(),
+            )],
+        }
+    }
+
+    #[test]
+    fn lookup_paths() {
+        let db = LocusLinkDb::from_records([tp53()]);
+        assert_eq!(db.by_id(7157).unwrap().symbol, "TP53");
+        assert_eq!(db.by_symbol("TP53").unwrap().locus_id, 7157);
+        assert!(db.by_id(1).is_none());
+        assert!(db.by_symbol("tp53").is_none(), "symbol lookup is case-sensitive");
+        assert_eq!(db.by_organism("Homo sapiens").count(), 1);
+        assert_eq!(db.by_organism("Mus musculus").count(), 0);
+    }
+
+    #[test]
+    fn upsert_replaces_by_locus_id() {
+        let mut db = LocusLinkDb::from_records([tp53()]);
+        let mut r2 = tp53();
+        r2.symbol = "TP53v2".into();
+        db.upsert(r2);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.by_id(7157).unwrap().symbol, "TP53v2");
+        assert!(db.by_symbol("TP53").is_none());
+        assert!(db.by_symbol("TP53v2").is_some());
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let db = LocusLinkDb::from_records([tp53()]);
+        let flat = db.to_flat();
+        assert!(flat.starts_with(">>7157\n"));
+        assert!(flat.contains("MAP: 17p13.1"));
+        let db2 = LocusLinkDb::from_flat(&flat).unwrap();
+        assert_eq!(db2.by_id(7157), Some(&tp53()));
+    }
+
+    #[test]
+    fn flat_parse_errors() {
+        assert!(LocusLinkDb::from_flat("SYMBOL: X").is_err()); // no header
+        assert!(LocusLinkDb::from_flat(">>abc").is_err()); // bad id
+        let mismatched = ">>1\nLOCUSID: 2\n";
+        let err = LocusLinkDb::from_flat(mismatched).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(LocusLinkDb::from_flat(">>1\nNOPE: x\n").is_err());
+        assert!(LocusLinkDb::from_flat(">>1\nLINK: nourl\n").is_err());
+    }
+
+    #[test]
+    fn url_embeds_locus_id() {
+        assert!(tp53().url().ends_with("l=7157"));
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty_db() {
+        let db = LocusLinkDb::from_flat("").unwrap();
+        assert!(db.is_empty());
+    }
+}

@@ -1,0 +1,403 @@
+//! An OMIM-style catalogue of Mendelian disorders.
+//!
+//! OMIM entries carry a MIM number, a title, an entry type (gene,
+//! phenotype, or both), associated gene symbols, an inheritance mode, and
+//! free text. The native flat format mirrors the classic `omim.txt`
+//! distribution: `*RECORD*` separators with `*FIELD* XX` sections.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::ParseError;
+
+/// The kind of an OMIM entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OmimType {
+    /// A gene description (classic `*` prefix).
+    Gene,
+    /// A phenotype / disease description (classic `#` prefix).
+    Phenotype,
+    /// A combined gene-and-phenotype entry (classic `+` prefix).
+    GenePhenotype,
+}
+
+impl OmimType {
+    /// The classic one-character title prefix.
+    pub fn prefix(self) -> char {
+        match self {
+            OmimType::Gene => '*',
+            OmimType::Phenotype => '#',
+            OmimType::GenePhenotype => '+',
+        }
+    }
+
+    /// Parses the classic prefix.
+    pub fn from_prefix(c: char) -> Option<Self> {
+        Some(match c {
+            '*' => OmimType::Gene,
+            '#' => OmimType::Phenotype,
+            '+' => OmimType::GenePhenotype,
+            _ => return None,
+        })
+    }
+}
+
+/// Mendelian inheritance modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // standard Mendelian inheritance modes
+pub enum Inheritance {
+    AutosomalDominant,
+    AutosomalRecessive,
+    XLinked,
+    Mitochondrial,
+}
+
+impl Inheritance {
+    /// The textual form used in the flat format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Inheritance::AutosomalDominant => "Autosomal dominant",
+            Inheritance::AutosomalRecessive => "Autosomal recessive",
+            Inheritance::XLinked => "X-linked",
+            Inheritance::Mitochondrial => "Mitochondrial",
+        }
+    }
+
+    /// Parses the textual form.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "Autosomal dominant" => Inheritance::AutosomalDominant,
+            "Autosomal recessive" => Inheritance::AutosomalRecessive,
+            "X-linked" => Inheritance::XLinked,
+            "Mitochondrial" => Inheritance::Mitochondrial,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Inheritance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One OMIM entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmimEntry {
+    /// The six-digit MIM number.
+    pub mim_number: u32,
+    /// Entry title (without the type prefix).
+    pub title: String,
+    /// Entry kind.
+    pub entry_type: OmimType,
+    /// Associated gene symbols.
+    pub gene_symbols: Vec<String>,
+    /// Inheritance mode, when established.
+    pub inheritance: Option<Inheritance>,
+    /// Abridged descriptive text.
+    pub text: String,
+}
+
+impl OmimEntry {
+    /// The canonical navigation URL for the entry.
+    pub fn url(&self) -> String {
+        format!("http://www.ncbi.nlm.nih.gov/omim/{}", self.mim_number)
+    }
+}
+
+/// The OMIM database with native access paths by MIM number and by gene
+/// symbol.
+#[derive(Debug, Clone, Default)]
+pub struct OmimDb {
+    entries: Vec<OmimEntry>,
+    by_mim: HashMap<u32, usize>,
+    by_gene: HashMap<String, Vec<usize>>,
+}
+
+impl OmimDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from entries (duplicate MIM numbers replace).
+    pub fn from_entries(entries: impl IntoIterator<Item = OmimEntry>) -> Self {
+        let mut db = Self::new();
+        for e in entries {
+            db.upsert(e);
+        }
+        db
+    }
+
+    /// Inserts or replaces by MIM number.
+    pub fn upsert(&mut self, entry: OmimEntry) {
+        if let Some(&idx) = self.by_mim.get(&entry.mim_number) {
+            // Unindex the old gene symbols.
+            for g in self.entries[idx].gene_symbols.clone() {
+                if let Some(v) = self.by_gene.get_mut(&g) {
+                    v.retain(|&i| i != idx);
+                }
+            }
+            for g in &entry.gene_symbols {
+                self.by_gene.entry(g.clone()).or_default().push(idx);
+            }
+            self.entries[idx] = entry;
+        } else {
+            let idx = self.entries.len();
+            self.by_mim.insert(entry.mim_number, idx);
+            for g in &entry.gene_symbols {
+                self.by_gene.entry(g.clone()).or_default().push(idx);
+            }
+            self.entries.push(entry);
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Native access path: entry by MIM number.
+    pub fn by_mim(&self, mim: u32) -> Option<&OmimEntry> {
+        self.by_mim.get(&mim).map(|&i| &self.entries[i])
+    }
+
+    /// Native access path: entries associated with a gene symbol.
+    pub fn by_gene(&self, symbol: &str) -> impl Iterator<Item = &OmimEntry> {
+        self.by_gene
+            .get(symbol)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.entries[i])
+    }
+
+    /// Full scan in load order.
+    pub fn scan(&self) -> impl Iterator<Item = &OmimEntry> {
+        self.entries.iter()
+    }
+
+    /// Phenotype entries only (diseases).
+    pub fn diseases(&self) -> impl Iterator<Item = &OmimEntry> {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.entry_type, OmimType::Phenotype | OmimType::GenePhenotype))
+    }
+
+    // ----- native flat format -------------------------------------------
+
+    /// Serialises in the classic `omim.txt` style.
+    pub fn to_flat(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "*RECORD*");
+            let _ = writeln!(out, "*FIELD* NO");
+            let _ = writeln!(out, "{}", e.mim_number);
+            let _ = writeln!(out, "*FIELD* TI");
+            let _ = writeln!(out, "{}{} {}", e.entry_type.prefix(), e.mim_number, e.title);
+            if !e.gene_symbols.is_empty() {
+                let _ = writeln!(out, "*FIELD* GS");
+                let _ = writeln!(out, "{}", e.gene_symbols.join(", "));
+            }
+            if let Some(inh) = e.inheritance {
+                let _ = writeln!(out, "*FIELD* IN");
+                let _ = writeln!(out, "{inh}");
+            }
+            if !e.text.is_empty() {
+                let _ = writeln!(out, "*FIELD* TX");
+                let _ = writeln!(out, "{}", e.text);
+            }
+        }
+        out
+    }
+
+    /// Parses the flat format of [`OmimDb::to_flat`].
+    pub fn from_flat(input: &str) -> Result<Self, ParseError> {
+        let mut db = Self::new();
+        let mut current: Option<OmimEntry> = None;
+        let mut field: Option<String> = None;
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim_end();
+            if line == "*RECORD*" {
+                if let Some(e) = current.take() {
+                    db.upsert(e);
+                }
+                current = Some(OmimEntry {
+                    mim_number: 0,
+                    title: String::new(),
+                    entry_type: OmimType::Phenotype,
+                    gene_symbols: Vec::new(),
+                    inheritance: None,
+                    text: String::new(),
+                });
+                field = None;
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("*FIELD* ") {
+                if current.is_none() {
+                    return Err(ParseError::new(line_no, "field before *RECORD*"));
+                }
+                field = Some(name.trim().to_string());
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let entry = current
+                .as_mut()
+                .ok_or_else(|| ParseError::new(line_no, "content before *RECORD*"))?;
+            match field.as_deref() {
+                Some("NO") => {
+                    entry.mim_number = line.trim().parse().map_err(|_| {
+                        ParseError::new(line_no, format!("bad MIM number `{line}`"))
+                    })?
+                }
+                Some("TI") => {
+                    let mut chars = line.chars();
+                    let prefix = chars
+                        .next()
+                        .ok_or_else(|| ParseError::new(line_no, "empty TI line"))?;
+                    entry.entry_type = OmimType::from_prefix(prefix).ok_or_else(|| {
+                        ParseError::new(line_no, format!("unknown TI prefix `{prefix}`"))
+                    })?;
+                    let rest: String = chars.collect();
+                    let (num, title) = rest.split_once(' ').ok_or_else(|| {
+                        ParseError::new(line_no, format!("malformed TI line `{line}`"))
+                    })?;
+                    let num: u32 = num.parse().map_err(|_| {
+                        ParseError::new(line_no, format!("bad TI number `{num}`"))
+                    })?;
+                    if entry.mim_number != 0 && num != entry.mim_number {
+                        return Err(ParseError::new(
+                            line_no,
+                            format!("TI number {num} disagrees with NO {}", entry.mim_number),
+                        ));
+                    }
+                    entry.title = title.to_string();
+                }
+                Some("GS") => {
+                    entry
+                        .gene_symbols
+                        .extend(line.split(", ").map(|s| s.trim().to_string()));
+                }
+                Some("IN") => {
+                    entry.inheritance = Some(Inheritance::parse(line.trim()).ok_or_else(|| {
+                        ParseError::new(line_no, format!("unknown inheritance `{line}`"))
+                    })?)
+                }
+                Some("TX") => {
+                    if !entry.text.is_empty() {
+                        entry.text.push('\n');
+                    }
+                    entry.text.push_str(line);
+                }
+                Some(other) => {
+                    return Err(ParseError::new(line_no, format!("unknown field `{other}`")))
+                }
+                None => return Err(ParseError::new(line_no, "content before any *FIELD*")),
+            }
+        }
+        if let Some(e) = current.take() {
+            db.upsert(e);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li_fraumeni() -> OmimEntry {
+        OmimEntry {
+            mim_number: 151623,
+            title: "LI-FRAUMENI SYNDROME 1".into(),
+            entry_type: OmimType::Phenotype,
+            gene_symbols: vec!["TP53".into()],
+            inheritance: Some(Inheritance::AutosomalDominant),
+            text: "A rare autosomal dominant cancer predisposition syndrome.".into(),
+        }
+    }
+
+    fn tp53_gene() -> OmimEntry {
+        OmimEntry {
+            mim_number: 191170,
+            title: "TUMOR PROTEIN p53".into(),
+            entry_type: OmimType::Gene,
+            gene_symbols: vec!["TP53".into()],
+            inheritance: None,
+            text: String::new(),
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let db = OmimDb::from_entries([li_fraumeni(), tp53_gene()]);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.by_mim(151623).unwrap().title, "LI-FRAUMENI SYNDROME 1");
+        assert_eq!(db.by_gene("TP53").count(), 2);
+        assert_eq!(db.by_gene("BRCA1").count(), 0);
+        assert_eq!(db.diseases().count(), 1);
+    }
+
+    #[test]
+    fn upsert_reindexes_gene_symbols() {
+        let mut db = OmimDb::from_entries([li_fraumeni()]);
+        let mut e = li_fraumeni();
+        e.gene_symbols = vec!["CHEK2".into()];
+        db.upsert(e);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.by_gene("TP53").count(), 0);
+        assert_eq!(db.by_gene("CHEK2").count(), 1);
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let db = OmimDb::from_entries([li_fraumeni(), tp53_gene()]);
+        let flat = db.to_flat();
+        assert!(flat.contains("*FIELD* NO"));
+        assert!(flat.contains("#151623 LI-FRAUMENI SYNDROME 1"));
+        assert!(flat.contains("*191170 TUMOR PROTEIN p53"));
+        let db2 = OmimDb::from_flat(&flat).unwrap();
+        assert_eq!(db2.by_mim(151623), Some(&li_fraumeni()));
+        assert_eq!(db2.by_mim(191170), Some(&tp53_gene()));
+    }
+
+    #[test]
+    fn multiline_text_round_trips() {
+        let mut e = li_fraumeni();
+        e.text = "line one\nline two".into();
+        let db = OmimDb::from_entries([e.clone()]);
+        let db2 = OmimDb::from_flat(&db.to_flat()).unwrap();
+        assert_eq!(db2.by_mim(151623).unwrap().text, "line one\nline two");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(OmimDb::from_flat("*FIELD* NO\n1\n").is_err());
+        assert!(OmimDb::from_flat("*RECORD*\n*FIELD* NO\nabc\n").is_err());
+        assert!(OmimDb::from_flat("*RECORD*\n*FIELD* TI\n?151623 X\n").is_err());
+        assert!(OmimDb::from_flat("*RECORD*\n*FIELD* IN\nSideways\n").is_err());
+        let mismatch = "*RECORD*\n*FIELD* NO\n1\n*FIELD* TI\n#2 TITLE\n";
+        assert!(OmimDb::from_flat(mismatch).is_err());
+    }
+
+    #[test]
+    fn type_prefix_round_trip() {
+        for t in [OmimType::Gene, OmimType::Phenotype, OmimType::GenePhenotype] {
+            assert_eq!(OmimType::from_prefix(t.prefix()), Some(t));
+        }
+        assert_eq!(OmimType::from_prefix('?'), None);
+    }
+
+    #[test]
+    fn url_embeds_mim() {
+        assert!(li_fraumeni().url().ends_with("/151623"));
+    }
+}

@@ -1,0 +1,232 @@
+//! A PubMed-style literature citation database.
+//!
+//! The paper's future work promises that "the larger and more variety of
+//! molecular and biological data models will be integrated to evaluate
+//! our proposed ANNODA". Literature citations are the natural fourth
+//! source: LocusLink itself links every locus to PubMed. Articles carry
+//! a PMID, title, year, journal, and the gene symbols they discuss; the
+//! native flat format follows the MEDLINE tag style (`PMID- `, `TI  - `,
+//! `DP  - `, `JT  - `).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ParseError;
+
+/// One citation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Article {
+    /// PubMed identifier.
+    pub pmid: u32,
+    /// Article title.
+    pub title: String,
+    /// Publication year.
+    pub year: u16,
+    /// Journal title.
+    pub journal: String,
+    /// Gene symbols the article discusses.
+    pub gene_symbols: Vec<String>,
+}
+
+impl Article {
+    /// The canonical navigation URL.
+    pub fn url(&self) -> String {
+        format!("http://www.ncbi.nlm.nih.gov/pubmed/{}", self.pmid)
+    }
+}
+
+/// The citation database with native access paths by PMID and by gene.
+#[derive(Debug, Clone, Default)]
+pub struct PubmedDb {
+    articles: Vec<Article>,
+    by_pmid: HashMap<u32, usize>,
+    by_gene: HashMap<String, Vec<usize>>,
+}
+
+impl PubmedDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from articles (duplicate PMIDs replace).
+    pub fn from_articles(articles: impl IntoIterator<Item = Article>) -> Self {
+        let mut db = Self::new();
+        for a in articles {
+            db.upsert(a);
+        }
+        db
+    }
+
+    /// Inserts or replaces by PMID.
+    pub fn upsert(&mut self, article: Article) {
+        if let Some(&idx) = self.by_pmid.get(&article.pmid) {
+            for g in self.articles[idx].gene_symbols.clone() {
+                if let Some(v) = self.by_gene.get_mut(&g) {
+                    v.retain(|&i| i != idx);
+                }
+            }
+            for g in &article.gene_symbols {
+                self.by_gene.entry(g.clone()).or_default().push(idx);
+            }
+            self.articles[idx] = article;
+        } else {
+            let idx = self.articles.len();
+            self.by_pmid.insert(article.pmid, idx);
+            for g in &article.gene_symbols {
+                self.by_gene.entry(g.clone()).or_default().push(idx);
+            }
+            self.articles.push(article);
+        }
+    }
+
+    /// Number of articles.
+    pub fn len(&self) -> usize {
+        self.articles.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.articles.is_empty()
+    }
+
+    /// Native access path: article by PMID.
+    pub fn by_pmid(&self, pmid: u32) -> Option<&Article> {
+        self.by_pmid.get(&pmid).map(|&i| &self.articles[i])
+    }
+
+    /// Native access path: articles discussing a gene.
+    pub fn by_gene(&self, symbol: &str) -> impl Iterator<Item = &Article> {
+        self.by_gene
+            .get(symbol)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.articles[i])
+    }
+
+    /// Full scan in load order.
+    pub fn scan(&self) -> impl Iterator<Item = &Article> {
+        self.articles.iter()
+    }
+
+    // ----- native flat format (MEDLINE tag style) -------------------------
+
+    /// Serialises in the MEDLINE tag format.
+    pub fn to_flat(&self) -> String {
+        let mut out = String::new();
+        for a in &self.articles {
+            let _ = writeln!(out, "PMID- {}", a.pmid);
+            let _ = writeln!(out, "TI  - {}", a.title);
+            let _ = writeln!(out, "DP  - {}", a.year);
+            let _ = writeln!(out, "JT  - {}", a.journal);
+            for g in &a.gene_symbols {
+                let _ = writeln!(out, "GS  - {g}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Parses the MEDLINE tag format of [`PubmedDb::to_flat`].
+    pub fn from_flat(input: &str) -> Result<Self, ParseError> {
+        let mut db = Self::new();
+        let mut current: Option<Article> = None;
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(v) = line.strip_prefix("PMID- ") {
+                if let Some(a) = current.take() {
+                    db.upsert(a);
+                }
+                current = Some(Article {
+                    pmid: v.trim().parse().map_err(|_| {
+                        ParseError::new(line_no, format!("bad PMID `{v}`"))
+                    })?,
+                    title: String::new(),
+                    year: 0,
+                    journal: String::new(),
+                    gene_symbols: Vec::new(),
+                });
+                continue;
+            }
+            let a = current
+                .as_mut()
+                .ok_or_else(|| ParseError::new(line_no, "field before PMID"))?;
+            if let Some(v) = line.strip_prefix("TI  - ") {
+                a.title = v.to_string();
+            } else if let Some(v) = line.strip_prefix("DP  - ") {
+                a.year = v.trim().parse().map_err(|_| {
+                    ParseError::new(line_no, format!("bad year `{v}`"))
+                })?;
+            } else if let Some(v) = line.strip_prefix("JT  - ") {
+                a.journal = v.to_string();
+            } else if let Some(v) = line.strip_prefix("GS  - ") {
+                a.gene_symbols.push(v.to_string());
+            } else {
+                return Err(ParseError::new(line_no, format!("unknown tag `{line}`")));
+            }
+        }
+        if let Some(a) = current.take() {
+            db.upsert(a);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p53_article() -> Article {
+        Article {
+            pmid: 10_000_001,
+            title: "p53 mutations in human cancers".into(),
+            year: 1991,
+            journal: "Science".into(),
+            gene_symbols: vec!["TP53".into()],
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let db = PubmedDb::from_articles([p53_article()]);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.by_pmid(10_000_001).unwrap().year, 1991);
+        assert_eq!(db.by_gene("TP53").count(), 1);
+        assert_eq!(db.by_gene("BRCA1").count(), 0);
+        assert!(p53_article().url().ends_with("/10000001"));
+    }
+
+    #[test]
+    fn upsert_reindexes() {
+        let mut db = PubmedDb::from_articles([p53_article()]);
+        let mut a = p53_article();
+        a.gene_symbols = vec!["MDM2".into()];
+        db.upsert(a);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.by_gene("TP53").count(), 0);
+        assert_eq!(db.by_gene("MDM2").count(), 1);
+    }
+
+    #[test]
+    fn flat_round_trips() {
+        let db = PubmedDb::from_articles([p53_article()]);
+        let flat = db.to_flat();
+        assert!(flat.contains("PMID- 10000001"));
+        assert!(flat.contains("TI  - p53 mutations"));
+        let parsed = PubmedDb::from_flat(&flat).unwrap();
+        assert_eq!(parsed.by_pmid(10_000_001), Some(&p53_article()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(PubmedDb::from_flat("TI  - orphan").is_err());
+        assert!(PubmedDb::from_flat("PMID- abc").is_err());
+        assert!(PubmedDb::from_flat("PMID- 1\nDP  - not-a-year").is_err());
+        assert!(PubmedDb::from_flat("PMID- 1\nXX  - what").is_err());
+        assert!(PubmedDb::from_flat("").unwrap().is_empty());
+    }
+}

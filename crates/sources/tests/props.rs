@@ -1,0 +1,151 @@
+//! Property-based tests for the annotation sources: native flat formats
+//! must round-trip arbitrary (well-formed) records, and every generated
+//! corpus must satisfy the cross-reference invariants regardless of
+//! seed and size.
+
+use proptest::prelude::*;
+
+use annoda_sources::{
+    Corpus, CorpusConfig, GoDb, Inheritance, LocusLinkDb, LocusRecord, OmimDb, OmimEntry,
+    OmimType,
+};
+
+/// Field text safe for the line-oriented flat formats (no newlines; no
+/// leading/trailing blanks, which the parsers trim).
+fn field() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9][A-Za-z0-9 .:-]{0,18}[A-Za-z0-9]|[A-Za-z0-9]")
+        .expect("valid regex")
+}
+
+fn locus_record() -> impl Strategy<Value = LocusRecord> {
+    (
+        1u32..1_000_000,
+        field(),
+        field(),
+        field(),
+        field(),
+        proptest::collection::vec(field(), 0..4),
+        proptest::collection::vec(100_000u32..999_999, 0..3),
+    )
+        .prop_map(
+            |(locus_id, symbol, organism, description, position, go_ids, omim_ids)| LocusRecord {
+                locus_id,
+                symbol,
+                organism,
+                description,
+                position,
+                go_ids,
+                omim_ids,
+                links: vec![("GenBank".into(), format!("http://x/{locus_id}"))],
+            },
+        )
+}
+
+fn omim_entry() -> impl Strategy<Value = OmimEntry> {
+    (
+        100_000u32..999_999,
+        field(),
+        prop_oneof![
+            Just(OmimType::Gene),
+            Just(OmimType::Phenotype),
+            Just(OmimType::GenePhenotype)
+        ],
+        proptest::collection::vec(field(), 0..3),
+        proptest::option::of(prop_oneof![
+            Just(Inheritance::AutosomalDominant),
+            Just(Inheritance::AutosomalRecessive),
+            Just(Inheritance::XLinked),
+            Just(Inheritance::Mitochondrial),
+        ]),
+        field(),
+    )
+        .prop_map(
+            |(mim_number, title, entry_type, gene_symbols, inheritance, text)| OmimEntry {
+                mim_number,
+                title,
+                entry_type,
+                gene_symbols,
+                inheritance,
+                text,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn locuslink_flat_round_trips(records in proptest::collection::vec(locus_record(), 0..8)) {
+        let db = LocusLinkDb::from_records(records);
+        let parsed = LocusLinkDb::from_flat(&db.to_flat()).unwrap();
+        prop_assert_eq!(parsed.len(), db.len());
+        for rec in db.scan() {
+            prop_assert_eq!(parsed.by_id(rec.locus_id), Some(rec));
+        }
+    }
+
+    #[test]
+    fn omim_flat_round_trips(entries in proptest::collection::vec(omim_entry(), 0..8)) {
+        let db = OmimDb::from_entries(entries);
+        let parsed = OmimDb::from_flat(&db.to_flat()).unwrap();
+        prop_assert_eq!(parsed.len(), db.len());
+        for e in db.scan() {
+            prop_assert_eq!(parsed.by_mim(e.mim_number), Some(e));
+        }
+    }
+
+    #[test]
+    fn corpus_invariants_hold_for_any_seed_and_size(
+        seed in 0u64..10_000,
+        loci in 1usize..60,
+        go_terms in 3usize..40,
+        omim in 0usize..25,
+    ) {
+        let c = Corpus::generate(CorpusConfig {
+            loci,
+            go_terms,
+            omim_entries: omim,
+            seed,
+            inconsistency_rate: 0.2,
+        });
+        prop_assert_eq!(c.locuslink.len(), loci);
+        prop_assert_eq!(c.go.term_count(), go_terms);
+        prop_assert_eq!(c.omim.len(), omim);
+
+        // Referential integrity (inconsistency affects only the
+        // annotation TABLE, never dangling ids).
+        for rec in c.locuslink.scan() {
+            for g in &rec.go_ids {
+                prop_assert!(c.go.term(g).is_some(), "dangling GO id {}", g);
+            }
+            for &m in &rec.omim_ids {
+                prop_assert!(c.omim.by_mim(m).is_some(), "dangling MIM {}", m);
+            }
+        }
+        for ann in c.go.annotations() {
+            prop_assert!(c.locuslink.by_symbol(&ann.gene_symbol).is_some());
+            prop_assert!(c.go.term(&ann.term_id).is_some());
+        }
+        // GO stays acyclic.
+        for t in c.go.terms() {
+            prop_assert!(!c.go.is_descendant_of(&t.id, &t.id));
+        }
+        // The native formats round-trip the whole corpus.
+        let ll = LocusLinkDb::from_flat(&c.locuslink.to_flat()).unwrap();
+        prop_assert_eq!(ll.len(), loci);
+        let terms = GoDb::terms_from_obo(&c.go.terms_to_obo()).unwrap();
+        prop_assert_eq!(terms.len(), go_terms);
+        let anns = GoDb::annotations_from_gaf(&c.go.annotations_to_gaf()).unwrap();
+        prop_assert_eq!(anns.len(), c.go.annotation_count());
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(seed in 0u64..1000) {
+        let cfg = CorpusConfig { seed, ..CorpusConfig::tiny(0) };
+        let a = Corpus::generate(cfg.clone());
+        let b = Corpus::generate(cfg);
+        prop_assert_eq!(a.locuslink.to_flat(), b.locuslink.to_flat());
+        prop_assert_eq!(a.omim.to_flat(), b.omim.to_flat());
+        prop_assert_eq!(a.go.annotations_to_gaf(), b.go.annotations_to_gaf());
+    }
+}

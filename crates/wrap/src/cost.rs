@@ -1,0 +1,118 @@
+//! Simulated source-access cost accounting.
+//!
+//! The paper's sources are remote web databases; this reproduction runs
+//! everything in-process, so network and source-side cost is *modelled*,
+//! not slept. Every wrapper operation charges a [`Cost`] meter according
+//! to the source's [`LatencyModel`]; the architecture benchmarks (B1/B4/
+//! B5) report these virtual microseconds alongside wall time, which keeps
+//! the *shape* of the comparison (who contacts which source how often)
+//! independent of the host machine.
+
+use std::ops::AddAssign;
+
+/// Latency parameters of one (simulated) remote source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed cost per request round-trip, in virtual microseconds.
+    pub per_request_us: u64,
+    /// Marginal cost per record shipped, in virtual microseconds.
+    pub per_record_us: u64,
+}
+
+impl LatencyModel {
+    /// A typical 2005-era web database: ~40 ms round trip, 50 µs/record.
+    pub fn remote() -> Self {
+        LatencyModel {
+            per_request_us: 40_000,
+            per_record_us: 50,
+        }
+    }
+
+    /// A warehouse-local store: no round trip, 1 µs/record.
+    pub fn local() -> Self {
+        LatencyModel {
+            per_request_us: 100,
+            per_record_us: 1,
+        }
+    }
+
+    /// The virtual cost of one request shipping `records` records.
+    pub fn request_cost(&self, records: u64) -> u64 {
+        self.per_request_us + self.per_record_us * records
+    }
+}
+
+/// Accumulated simulated cost of a (multi-source) operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Number of source requests issued.
+    pub requests: u64,
+    /// Number of records shipped from sources.
+    pub records: u64,
+    /// Total virtual microseconds.
+    pub virtual_us: u64,
+}
+
+impl Cost {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one request of `records` records under `model`.
+    pub fn charge(&mut self, model: &LatencyModel, records: u64) {
+        self.requests += 1;
+        self.records += records;
+        self.virtual_us += model.request_cost(records);
+    }
+
+    /// Virtual milliseconds, for reporting.
+    pub fn virtual_ms(&self) -> f64 {
+        self.virtual_us as f64 / 1000.0
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.requests += rhs.requests;
+        self.records += rhs.records;
+        self.virtual_us += rhs.virtual_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut c = Cost::new();
+        let m = LatencyModel {
+            per_request_us: 1000,
+            per_record_us: 10,
+        };
+        c.charge(&m, 5);
+        c.charge(&m, 0);
+        assert_eq!(c.requests, 2);
+        assert_eq!(c.records, 5);
+        assert_eq!(c.virtual_us, 1000 + 50 + 1000);
+        assert!((c.virtual_ms() - 2.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_assign_merges_meters() {
+        let m = LatencyModel::local();
+        let mut a = Cost::new();
+        a.charge(&m, 3);
+        let mut b = Cost::new();
+        b.charge(&m, 7);
+        b += a;
+        assert_eq!(b.requests, 2);
+        assert_eq!(b.records, 10);
+    }
+
+    #[test]
+    fn remote_dominates_local() {
+        assert!(LatencyModel::remote().request_cost(10) > LatencyModel::local().request_cost(10));
+    }
+}

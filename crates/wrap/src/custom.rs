@@ -1,0 +1,118 @@
+//! A wrapper over a caller-supplied OML — the plug-in path for sources
+//! that do not ship with the tool (user labs, new public databases).
+//!
+//! The B2 experiment registers many of these to measure how ANNODA
+//! scales with the number of participating sources, and the
+//! `plug_new_source` example uses one to demonstrate the paper's
+//! "plugged in as it comes into existence" requirement.
+
+use annoda_oem::OemStore;
+
+use crate::descr::SourceDescription;
+use crate::wrapper::Wrapper;
+
+/// A source wrapped from an already-built ANNODA-OML store.
+#[derive(Debug, Clone)]
+pub struct CustomWrapper {
+    descr: SourceDescription,
+    oml: OemStore,
+}
+
+impl CustomWrapper {
+    /// Wraps `oml`, whose named root must equal `descr.name`.
+    ///
+    /// # Panics
+    /// Panics when the root name is missing — a custom OML without its
+    /// root cannot be addressed by subqueries.
+    pub fn new(descr: SourceDescription, oml: OemStore) -> Self {
+        assert!(
+            oml.named(&descr.name).is_some(),
+            "OML must have a root named `{}`",
+            descr.name
+        );
+        CustomWrapper { descr, oml }
+    }
+
+    /// Replaces the OML (the custom source's own refresh path).
+    pub fn set_oml(&mut self, oml: OemStore) {
+        assert!(oml.named(&self.descr.name).is_some());
+        self.oml = oml;
+    }
+}
+
+impl Wrapper for CustomWrapper {
+    fn description(&self) -> &SourceDescription {
+        &self.descr
+    }
+
+    fn oml(&self) -> &OemStore {
+        &self.oml
+    }
+
+    fn refresh(&mut self) -> usize {
+        // A custom OML has no native database behind it; the holder
+        // refreshes it via [`CustomWrapper::set_oml`].
+        self.oml.len()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Cost;
+
+    fn user_oml(name: &str) -> OemStore {
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        let e = oml.add_complex_child(root, "Finding").unwrap();
+        oml.add_atomic_child(e, "GeneSymbol", "TP53").unwrap();
+        oml.add_atomic_child(e, "Note", "overexpressed in sample 7").unwrap();
+        oml.set_name(name, root).unwrap();
+        oml
+    }
+
+    #[test]
+    fn wraps_and_answers_subqueries() {
+        let w = CustomWrapper::new(
+            SourceDescription::remote("LabData", "in-house findings", "http://lab"),
+            user_oml("LabData"),
+        );
+        let mut cost = Cost::new();
+        let res = w
+            .subquery("select F.GeneSymbol from LabData.Finding F", &mut cost)
+            .unwrap();
+        assert_eq!(res.rows, 1);
+        assert_eq!(w.name(), "LabData");
+    }
+
+    #[test]
+    #[should_panic(expected = "root named")]
+    fn rejects_mismatched_root() {
+        CustomWrapper::new(
+            SourceDescription::remote("LabData", "", ""),
+            user_oml("OtherName"),
+        );
+    }
+
+    #[test]
+    fn set_oml_replaces_data() {
+        let mut w = CustomWrapper::new(
+            SourceDescription::remote("LabData", "", ""),
+            user_oml("LabData"),
+        );
+        let mut oml = user_oml("LabData");
+        let root = oml.named("LabData").unwrap();
+        let e = oml.add_complex_child(root, "Finding").unwrap();
+        oml.add_atomic_child(e, "GeneSymbol", "EGFR").unwrap();
+        w.set_oml(oml);
+        let mut cost = Cost::new();
+        let res = w
+            .subquery("select F from LabData.Finding F", &mut cost)
+            .unwrap();
+        assert_eq!(res.rows, 2);
+    }
+}

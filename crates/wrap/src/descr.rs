@@ -1,0 +1,92 @@
+//! Source descriptions — the "annotation database description" of Fig. 1.
+
+use crate::cost::LatencyModel;
+
+/// What a source can answer natively. The mediator consults capabilities
+/// when deciding how much of a decomposed query to push down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Point lookup by primary identifier (LocusID, GO accession, MIM).
+    pub id_lookup: bool,
+    /// Lookup by secondary key (gene symbol).
+    pub key_lookup: bool,
+    /// Full scan of the source.
+    pub full_scan: bool,
+    /// The source can evaluate simple selection predicates itself, so the
+    /// mediator may push filters down instead of shipping everything.
+    pub predicate_pushdown: bool,
+}
+
+impl Capabilities {
+    /// Everything supported — a cooperative source.
+    pub fn full() -> Self {
+        Capabilities {
+            id_lookup: true,
+            key_lookup: true,
+            full_scan: true,
+            predicate_pushdown: true,
+        }
+    }
+
+    /// Scan-only — a dump file behind a URL.
+    pub fn scan_only() -> Self {
+        Capabilities {
+            id_lookup: false,
+            key_lookup: false,
+            full_scan: true,
+            predicate_pushdown: false,
+        }
+    }
+}
+
+/// Metadata the mediator holds about one wrapped source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceDescription {
+    /// Unique source name; doubles as the OML root name (`LocusLink`).
+    pub name: String,
+    /// Human-readable content description.
+    pub content: String,
+    /// Base URL used to mint navigation web-links.
+    pub base_url: String,
+    /// Structural self-description keyword (`semistructured`, `relational`).
+    pub structure: String,
+    /// Native capabilities.
+    pub capabilities: Capabilities,
+    /// Simulated access latency.
+    pub latency: LatencyModel,
+}
+
+impl SourceDescription {
+    /// Convenience constructor with full capabilities and remote latency.
+    pub fn remote(name: &str, content: &str, base_url: &str) -> Self {
+        SourceDescription {
+            name: name.to_string(),
+            content: content.to_string(),
+            base_url: base_url.to_string(),
+            structure: "semistructured".to_string(),
+            capabilities: Capabilities::full(),
+            latency: LatencyModel::remote(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_constructor_defaults() {
+        let d = SourceDescription::remote("GO", "gene ontology", "http://example/go");
+        assert_eq!(d.name, "GO");
+        assert_eq!(d.structure, "semistructured");
+        assert!(d.capabilities.predicate_pushdown);
+        assert_eq!(d.latency, LatencyModel::remote());
+    }
+
+    #[test]
+    fn capability_presets_differ() {
+        assert!(Capabilities::full().id_lookup);
+        assert!(!Capabilities::scan_only().id_lookup);
+        assert!(Capabilities::scan_only().full_scan);
+    }
+}

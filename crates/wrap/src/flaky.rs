@@ -1,0 +1,125 @@
+//! Failure injection for resilience testing.
+//!
+//! Remote annotation sources go down. [`FlakyWrapper`] decorates any
+//! wrapper and fails subqueries according to a deterministic schedule,
+//! so the mediator's partial-results behaviour can be tested and
+//! benchmarked without real outages.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use annoda_oem::OemStore;
+
+use crate::cost::Cost;
+use crate::descr::SourceDescription;
+use crate::wrapper::{SubqueryResult, WrapError, Wrapper};
+
+/// When the decorated source fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Never fails (pass-through).
+    Never,
+    /// Every request fails — the source is down.
+    Always,
+    /// Every `n`-th request fails (1-based: `EveryNth(3)` fails requests
+    /// 3, 6, 9, …).
+    EveryNth(u64),
+}
+
+/// A decorator that injects subquery failures.
+pub struct FlakyWrapper<W> {
+    inner: W,
+    mode: FailureMode,
+    calls: AtomicU64,
+}
+
+impl<W: Wrapper> FlakyWrapper<W> {
+    /// Decorates `inner` with the given failure schedule.
+    pub fn new(inner: W, mode: FailureMode) -> Self {
+        FlakyWrapper {
+            inner,
+            mode,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Subquery attempts seen so far (including failed ones).
+    pub fn attempts(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// The decorated wrapper.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Wrapper> Wrapper for FlakyWrapper<W> {
+    fn description(&self) -> &SourceDescription {
+        self.inner.description()
+    }
+
+    fn oml(&self) -> &OemStore {
+        self.inner.oml()
+    }
+
+    fn refresh(&mut self) -> usize {
+        self.inner.refresh()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn subquery(&self, lorel: &str, cost: &mut Cost) -> Result<SubqueryResult, WrapError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let fail = match self.mode {
+            FailureMode::Never => false,
+            FailureMode::Always => true,
+            FailureMode::EveryNth(k) => k > 0 && n.is_multiple_of(k),
+        };
+        if fail {
+            return Err(WrapError::Unsupported(format!(
+                "{} is unreachable (injected failure, attempt {n})",
+                self.name()
+            )));
+        }
+        self.inner.subquery(lorel, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locuslink::LocusLinkWrapper;
+    use annoda_sources::{LocusLinkDb, LocusRecord};
+
+    fn wrapper(mode: FailureMode) -> FlakyWrapper<LocusLinkWrapper> {
+        let db = LocusLinkDb::from_records([LocusRecord {
+            locus_id: 1,
+            symbol: "X1".into(),
+            organism: "Homo sapiens".into(),
+            description: "d".into(),
+            position: "1p1.1".into(),
+            go_ids: vec![],
+            omim_ids: vec![],
+            links: vec![],
+        }]);
+        FlakyWrapper::new(LocusLinkWrapper::new(db), mode)
+    }
+
+    #[test]
+    fn schedules() {
+        let w = wrapper(FailureMode::EveryNth(2));
+        let mut cost = Cost::new();
+        let q = "select L from LocusLink.Locus L";
+        assert!(w.subquery(q, &mut cost).is_ok());
+        assert!(w.subquery(q, &mut cost).is_err());
+        assert!(w.subquery(q, &mut cost).is_ok());
+        assert_eq!(w.attempts(), 3);
+
+        let down = wrapper(FailureMode::Always);
+        assert!(down.subquery(q, &mut cost).is_err());
+        let up = wrapper(FailureMode::Never);
+        assert!(up.subquery(q, &mut cost).is_ok());
+    }
+}

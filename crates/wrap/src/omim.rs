@@ -1,0 +1,191 @@
+//! The OMIM wrapper.
+
+use annoda_oem::{AtomicValue, OemStore};
+use annoda_sources::{OmimDb, OmimType};
+
+use crate::descr::SourceDescription;
+use crate::wrapper::{AccessIndexes, Wrapper};
+
+/// Wraps an [`OmimDb`] as the `OMIM` ANNODA-OML local model.
+///
+/// Each catalogue entry becomes an `Entry` object with `MimNumber`
+/// (Integer), `Title`, `EntryType`, zero or more `GeneSymbol` atoms, an
+/// optional `Inheritance` atom, `Text`, and a `Url` web-link.
+#[derive(Debug, Clone)]
+pub struct OmimWrapper {
+    descr: SourceDescription,
+    indexes: AccessIndexes,
+    db: OmimDb,
+    oml: OemStore,
+}
+
+impl OmimWrapper {
+    /// Builds the wrapper and exports the initial OML.
+    pub fn new(db: OmimDb) -> Self {
+        let descr = SourceDescription::remote(
+            "OMIM",
+            "mendelian disorders and gene-disease associations",
+            "http://www.ncbi.nlm.nih.gov/omim",
+        );
+        let oml = export(&db);
+        let indexes = AccessIndexes::build(&oml, "OMIM", &[("Entry", "GeneSymbol"), ("Entry", "Title"), ("Entry", "EntryType")]);
+        OmimWrapper {
+            descr,
+            indexes,
+            db,
+            oml,
+        }
+    }
+
+    /// Read access to the native database.
+    pub fn db(&self) -> &OmimDb {
+        &self.db
+    }
+
+    /// Mutable access to the native database.
+    pub fn db_mut(&mut self) -> &mut OmimDb {
+        &mut self.db
+    }
+}
+
+impl Wrapper for OmimWrapper {
+    fn description(&self) -> &SourceDescription {
+        &self.descr
+    }
+
+    fn oml(&self) -> &OemStore {
+        &self.oml
+    }
+
+    fn refresh(&mut self) -> usize {
+        self.oml = export(&self.db);
+        self.indexes = AccessIndexes::build(&self.oml, "OMIM", &[("Entry", "GeneSymbol"), ("Entry", "Title"), ("Entry", "EntryType")]);
+        self.oml.len()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn indexes(&self) -> Option<&AccessIndexes> {
+        Some(&self.indexes)
+    }
+}
+
+fn entry_type_text(t: OmimType) -> &'static str {
+    match t {
+        OmimType::Gene => "gene",
+        OmimType::Phenotype => "phenotype",
+        OmimType::GenePhenotype => "gene/phenotype",
+    }
+}
+
+fn export(db: &OmimDb) -> OemStore {
+    let mut oml = OemStore::new();
+    let root = oml.new_complex();
+    for e in db.scan() {
+        let entry = oml.add_complex_child(root, "Entry").expect("root complex");
+        oml.add_atomic_child(entry, "MimNumber", AtomicValue::Int(e.mim_number as i64))
+            .expect("entry complex");
+        oml.add_atomic_child(entry, "Title", e.title.as_str())
+            .expect("entry complex");
+        oml.add_atomic_child(entry, "EntryType", entry_type_text(e.entry_type))
+            .expect("entry complex");
+        for g in &e.gene_symbols {
+            oml.add_atomic_child(entry, "GeneSymbol", g.as_str())
+                .expect("entry complex");
+        }
+        if let Some(inh) = e.inheritance {
+            oml.add_atomic_child(entry, "Inheritance", inh.as_str())
+                .expect("entry complex");
+        }
+        if !e.text.is_empty() {
+            oml.add_atomic_child(entry, "Text", e.text.as_str())
+                .expect("entry complex");
+        }
+        oml.add_atomic_child(entry, "Url", AtomicValue::Url(e.url()))
+            .expect("entry complex");
+    }
+    oml.set_name("OMIM", root).expect("fresh store");
+    oml
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Cost;
+    use annoda_sources::{Inheritance, OmimEntry};
+
+    fn small_db() -> OmimDb {
+        OmimDb::from_entries([
+            OmimEntry {
+                mim_number: 151623,
+                title: "LI-FRAUMENI SYNDROME 1".into(),
+                entry_type: OmimType::Phenotype,
+                gene_symbols: vec!["TP53".into(), "CHEK2".into()],
+                inheritance: Some(Inheritance::AutosomalDominant),
+                text: "Cancer predisposition.".into(),
+            },
+            OmimEntry {
+                mim_number: 191170,
+                title: "TUMOR PROTEIN p53".into(),
+                entry_type: OmimType::Gene,
+                gene_symbols: vec!["TP53".into()],
+                inheritance: None,
+                text: String::new(),
+            },
+        ])
+    }
+
+    #[test]
+    fn export_shape() {
+        let w = OmimWrapper::new(small_db());
+        let oml = w.oml();
+        let root = oml.named("OMIM").unwrap();
+        let entries: Vec<_> = oml.children(root, "Entry").collect();
+        assert_eq!(entries.len(), 2);
+        let lfs = entries[0];
+        assert_eq!(
+            oml.child_value(lfs, "MimNumber"),
+            Some(&AtomicValue::Int(151623))
+        );
+        assert_eq!(oml.children(lfs, "GeneSymbol").count(), 2);
+        assert_eq!(
+            oml.child_value(lfs, "Inheritance"),
+            Some(&AtomicValue::Str("Autosomal dominant".into()))
+        );
+        // Gene entries have no Inheritance edge at all.
+        let gene = entries[1];
+        assert!(oml.child(gene, "Inheritance").is_none());
+        assert!(oml.child(gene, "Text").is_none(), "empty text omitted");
+    }
+
+    #[test]
+    fn subquery_filters_by_entry_type() {
+        let w = OmimWrapper::new(small_db());
+        let mut cost = Cost::new();
+        let res = w
+            .subquery(
+                r#"select E.Title, E.GeneSymbol from OMIM.Entry E where E.EntryType = "phenotype""#,
+                &mut cost,
+            )
+            .unwrap();
+        assert_eq!(res.rows, 1);
+        // Multi-valued GeneSymbol ships every instance.
+        let rows = res.row_oids();
+        assert_eq!(res.store.children(rows[0], "GeneSymbol").count(), 2);
+    }
+
+    #[test]
+    fn subquery_by_gene_symbol() {
+        let w = OmimWrapper::new(small_db());
+        let mut cost = Cost::new();
+        let res = w
+            .subquery(
+                r#"select E.MimNumber from OMIM.Entry E where E.GeneSymbol = "TP53""#,
+                &mut cost,
+            )
+            .unwrap();
+        assert_eq!(res.rows, 2, "TP53 appears in both entries");
+    }
+}

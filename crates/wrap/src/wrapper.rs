@@ -1,0 +1,544 @@
+//! The `Wrapper` trait and shared subquery machinery.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use annoda_lorel::{
+    eval_rows, parse, project_row, row_passes, FunctionRegistry, LorelError, Projected, Row,
+};
+use annoda_oem::dataguide::DataGuide;
+use annoda_oem::graph::import_fragment_memo;
+use annoda_oem::{Oid, OemStore, ValueIndex};
+
+use crate::cost::Cost;
+use crate::descr::SourceDescription;
+
+/// Errors raised by wrapper operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WrapError {
+    /// The subquery failed to parse or evaluate.
+    Query(LorelError),
+    /// The request needs a capability this source does not offer.
+    Unsupported(String),
+}
+
+impl fmt::Display for WrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapError::Query(e) => write!(f, "subquery failed: {e}"),
+            WrapError::Unsupported(what) => write!(f, "source capability missing: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WrapError {}
+
+impl From<LorelError> for WrapError {
+    fn from(e: LorelError) -> Self {
+        WrapError::Query(e)
+    }
+}
+
+/// Join-key indexes a wrapper builds over its OML at export time,
+/// keyed by `(entity label, attribute label)`.
+#[derive(Debug, Clone, Default)]
+pub struct AccessIndexes {
+    indexes: HashMap<(String, String), ValueIndex>,
+}
+
+impl AccessIndexes {
+    /// Builds indexes for the given `(entity, attribute)` pairs over the
+    /// OML rooted at `root_name`.
+    pub fn build(oml: &OemStore, root_name: &str, specs: &[(&str, &str)]) -> Self {
+        let mut indexes = HashMap::new();
+        let Some(root) = oml.named(root_name) else {
+            return AccessIndexes { indexes };
+        };
+        for &(entity, attr) in specs {
+            let parents: Vec<Oid> = oml.children(root, entity).collect();
+            indexes.insert(
+                (entity.to_string(), attr.to_string()),
+                ValueIndex::build(oml, &parents, attr),
+            );
+        }
+        AccessIndexes { indexes }
+    }
+
+    /// The index for `(entity, attr)`, when built.
+    pub fn get(&self, entity: &str, attr: &str) -> Option<&ValueIndex> {
+        self.indexes.get(&(entity.to_string(), attr.to_string()))
+    }
+
+    /// Number of indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// True when no index was built.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+}
+
+/// The materialised result of one per-source subquery: a fresh OEM store
+/// whose `result` root holds one `row` object per passing binding; each
+/// row object carries the select items under their labels. Selected
+/// complex objects are deep-copied — this models shipping the data from
+/// the source to the integration site.
+#[derive(Debug, Clone)]
+pub struct SubqueryResult {
+    /// The shipped fragment.
+    pub store: OemStore,
+    /// The `result` root inside [`SubqueryResult::store`].
+    pub root: Oid,
+    /// Number of rows shipped.
+    pub rows: usize,
+    /// Whether an index-backed access path answered the subquery.
+    pub used_index: bool,
+}
+
+impl SubqueryResult {
+    /// Iterates the row objects under the result root.
+    pub fn row_oids(&self) -> Vec<Oid> {
+        self.store
+            .children(self.root, "row")
+            .collect()
+    }
+
+    /// Collects, for each row, the atomic text of the first value under
+    /// `label` — a convenience for join-key extraction during fusion.
+    pub fn column_text(&self, label: &str) -> Vec<Option<String>> {
+        self.row_oids()
+            .into_iter()
+            .map(|r| {
+                self.store
+                    .child_value(r, label)
+                    .map(|v| v.as_text())
+            })
+            .collect()
+    }
+}
+
+/// A wrapper around one native annotation database.
+///
+/// The wrapper maintains the source's ANNODA-OML local model (an OEM
+/// store rooted at the source name), answers Lorel subqueries over it,
+/// and publishes the source description the mediator plans with.
+///
+/// `Send + Sync` lets the mediator fan subqueries out to independent
+/// sources concurrently — a federated engine never serialises its
+/// round trips.
+pub trait Wrapper: std::any::Any + Send + Sync {
+    /// The source description (name, capabilities, latency model).
+    fn description(&self) -> &SourceDescription;
+
+    /// Downcasting hook: lets holders of `Box<dyn Wrapper>` reach the
+    /// concrete wrapper (the freshness experiment mutates native
+    /// databases through this).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// The current ANNODA-OML local model. The named root equals
+    /// `description().name`.
+    fn oml(&self) -> &OemStore;
+
+    /// Re-exports the OML from the native database (picking up updates).
+    /// Returns the number of objects in the refreshed model.
+    fn refresh(&mut self) -> usize;
+
+    /// The source name (OML root name).
+    fn name(&self) -> &str {
+        &self.description().name
+    }
+
+    /// Join-key indexes over the OML, when the wrapper maintains them
+    /// (rebuilt on refresh). The default subquery path uses them to
+    /// answer single-equality point lookups without a scan.
+    fn indexes(&self) -> Option<&AccessIndexes> {
+        None
+    }
+
+    /// The label paths present in the OML (depth ≤ 3), extracted from a
+    /// DataGuide — the mediator's source-selection input and the
+    /// matcher's schema input.
+    fn schema_paths(&self) -> Vec<Vec<String>> {
+        let oml = self.oml();
+        let Some(root) = oml.named(self.name()) else {
+            return Vec::new();
+        };
+        DataGuide::build(oml, &[root]).paths(3)
+    }
+
+    /// Executes a Lorel subquery over the local model, charging the
+    /// simulated source cost, and ships the projected rows as a fresh
+    /// OEM fragment.
+    fn subquery(&self, lorel: &str, cost: &mut Cost) -> Result<SubqueryResult, WrapError> {
+        let query = parse(lorel)?;
+        let oml = self.oml();
+
+        // Index-backed access path: `select … from <Src>.<Entity> X
+        // where X.<Attr> = "<non-numeric literal>"`. Text-keyed lookup
+        // is complete for non-numeric string keys (Lorel equality then
+        // requires textual equality); candidates are re-verified against
+        // the full predicate to remove textual false positives.
+        let mut used_index = false;
+        let rows: Vec<Row> = 'rows: {
+            if let Some(indexes) = self.indexes() {
+                if let Some((entity, attr, keys, var)) = key_lookup_shape(&query, self.name()) {
+                    if let Some(index) = indexes.get(&entity, &attr) {
+                        let functions = FunctionRegistry::default();
+                        let mut verified = Vec::new();
+                        let mut seen: std::collections::HashSet<Oid> = Default::default();
+                        for key in &keys {
+                            for &candidate in index.lookup(key) {
+                                if !seen.insert(candidate) {
+                                    continue;
+                                }
+                                let row = Row {
+                                    bindings: vec![(var.clone(), candidate)],
+                                };
+                                if row_passes(oml, &query, &row, &functions)? {
+                                    verified.push(row);
+                                }
+                            }
+                        }
+                        // Preserve the scan path's row order (entity
+                        // declaration order) so results are identical.
+                        verified.sort_by_key(|r| r.bindings[0].1);
+                        used_index = true;
+                        break 'rows verified;
+                    }
+                }
+            }
+            eval_rows(oml, &query)?
+        };
+
+        let mut out = OemStore::new();
+        let root = out.new_complex();
+        out.set_name_overwrite("result", root)
+            .expect("fresh root is live");
+        let mut memo: HashMap<Oid, Oid> = HashMap::new();
+        let mut shipped_records = 0u64;
+        for row in &rows {
+            let row_obj = out.add_complex_child(root, "row").expect("root is complex");
+            for (label, values) in project_row(oml, &query, row)? {
+                for v in values {
+                    shipped_records += 1;
+                    match v {
+                        Projected::Obj(oid) => {
+                            let copied = if let Some(&c) = memo.get(&oid) {
+                                c
+                            } else {
+                                import_fragment_memo(&mut out, oml, oid, &mut memo)
+                            };
+                            out.add_edge(row_obj, &label, copied)
+                                .expect("row object is complex");
+                        }
+                        Projected::Val(v) => {
+                            out.add_atomic_child(row_obj, &label, v)
+                                .expect("row object is complex");
+                        }
+                    }
+                }
+            }
+        }
+        cost.charge(&self.description().latency, shipped_records);
+        Ok(SubqueryResult {
+            store: out,
+            root,
+            rows: rows.len(),
+            used_index,
+        })
+    }
+}
+
+/// Matches the index-friendly shape: one range variable over
+/// `<source>.<Entity>`, no ordering/grouping, and a `where` clause that
+/// is a single equality — or a disjunction of equalities over the SAME
+/// attribute (the bind-join form) — with **non-numeric** string
+/// literals. Returns `(entity, attr, key texts, var)`.
+fn key_lookup_shape(
+    query: &annoda_lorel::Query,
+    source: &str,
+) -> Option<(String, String, Vec<String>, String)> {
+    use annoda_oem::PathStep;
+    if query.from.len() != 1 || !query.order_by.is_empty() || query.group_by.is_some() {
+        return None;
+    }
+    let from = &query.from[0];
+    if from.head != source || from.path.len() != 1 {
+        return None;
+    }
+    let PathStep::Label(entity) = &from.path.steps()[0] else {
+        return None;
+    };
+    let cond = query.where_.as_ref()?;
+    let mut keys = Vec::new();
+    let attr = collect_equality_keys(cond, &from.var, &mut keys)?;
+    Some((entity.clone(), attr, keys, from.var.clone()))
+}
+
+/// Walks an `Or`-tree of `<var>.<Attr> = <non-numeric literal>` leaves,
+/// collecting the keys; all leaves must use the same attribute. Returns
+/// that attribute.
+fn collect_equality_keys(
+    cond: &annoda_lorel::Cond,
+    var: &str,
+    keys: &mut Vec<String>,
+) -> Option<String> {
+    use annoda_lorel::{CompOp, Cond, Expr};
+    use annoda_oem::PathStep;
+    match cond {
+        Cond::Or(l, r) => {
+            let a = collect_equality_keys(l, var, keys)?;
+            let b = collect_equality_keys(r, var, keys)?;
+            (a == b).then_some(a)
+        }
+        Cond::Cmp(Expr::Path { head, path }, CompOp::Eq, Expr::Literal(lit)) => {
+            if head != var || path.len() != 1 {
+                return None;
+            }
+            let PathStep::Label(attr) = &path.steps()[0] else {
+                return None;
+            };
+            // Numeric keys can match differently-spelled values under
+            // Lorel coercion; the text index only serves non-numeric
+            // keys.
+            if lit.as_real().is_some() {
+                return None;
+            }
+            let key = lit.as_text();
+            if key.trim() != key {
+                return None;
+            }
+            keys.push(key);
+            Some(attr.clone())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LatencyModel;
+    use crate::descr::SourceDescription;
+    use annoda_oem::AtomicValue;
+
+    /// A minimal in-test wrapper over a hand-built OML.
+    struct ToyWrapper {
+        descr: SourceDescription,
+        oml: OemStore,
+    }
+
+    fn toy() -> ToyWrapper {
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        for (sym, id) in [("TP53", 7157i64), ("BRCA1", 672)] {
+            let g = oml.add_complex_child(root, "Locus").unwrap();
+            oml.add_atomic_child(g, "Symbol", sym).unwrap();
+            oml.add_atomic_child(g, "LocusID", AtomicValue::Int(id)).unwrap();
+        }
+        oml.set_name("Toy", root).unwrap();
+        ToyWrapper {
+            descr: SourceDescription::remote("Toy", "toy data", "http://toy"),
+            oml,
+        }
+    }
+
+    impl Wrapper for ToyWrapper {
+        fn description(&self) -> &SourceDescription {
+            &self.descr
+        }
+        fn oml(&self) -> &OemStore {
+            &self.oml
+        }
+        fn refresh(&mut self) -> usize {
+            self.oml.len()
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn subquery_ships_rows_and_charges_cost() {
+        let w = toy();
+        let mut cost = Cost::new();
+        let res = w
+            .subquery("select L.Symbol from Toy.Locus L", &mut cost)
+            .unwrap();
+        assert_eq!(res.rows, 2);
+        assert_eq!(cost.requests, 1);
+        assert_eq!(cost.records, 2);
+        assert_eq!(
+            cost.virtual_us,
+            LatencyModel::remote().request_cost(2)
+        );
+        let col = res.column_text("Symbol");
+        assert_eq!(col, vec![Some("TP53".into()), Some("BRCA1".into())]);
+    }
+
+    #[test]
+    fn subquery_result_is_detached_from_oml() {
+        let w = toy();
+        let mut cost = Cost::new();
+        let res = w
+            .subquery("select L from Toy.Locus L", &mut cost)
+            .unwrap();
+        // Mutating the shipped copy is possible without touching the OML.
+        let mut shipped = res.store;
+        let rows = shipped.children(res.root, "row").collect::<Vec<_>>();
+        assert_eq!(rows.len(), 2);
+        let locus = shipped.child(rows[0], "L").unwrap();
+        assert_eq!(
+            shipped.child_value(locus, "Symbol"),
+            Some(&AtomicValue::Str("TP53".into()))
+        );
+        shipped
+            .add_atomic_child(locus, "Annotation", "extra")
+            .unwrap();
+        assert_eq!(w.oml().len(), 7, "OML unchanged");
+    }
+
+    #[test]
+    fn schema_paths_come_from_dataguide() {
+        let w = toy();
+        let paths = w.schema_paths();
+        assert!(paths.contains(&vec!["Locus".to_string(), "Symbol".to_string()]));
+        assert!(paths.contains(&vec!["Locus".to_string()]));
+    }
+
+    #[test]
+    fn bad_subquery_is_a_wrap_error() {
+        let w = toy();
+        let mut cost = Cost::new();
+        assert!(matches!(
+            w.subquery("select", &mut cost),
+            Err(WrapError::Query(_))
+        ));
+        assert!(matches!(
+            w.subquery("select X from Nowhere.Y X", &mut cost),
+            Err(WrapError::Query(_))
+        ));
+        assert_eq!(cost.requests, 0, "failed queries charge nothing");
+    }
+
+    #[test]
+    fn index_fast_path_matches_the_scan_path() {
+        // The same point lookup through an indexed wrapper and a plain
+        // one must produce identical rows; only `used_index` differs.
+        struct Indexed {
+            descr: SourceDescription,
+            oml: OemStore,
+            indexes: AccessIndexes,
+        }
+        impl Wrapper for Indexed {
+            fn description(&self) -> &SourceDescription {
+                &self.descr
+            }
+            fn oml(&self) -> &OemStore {
+                &self.oml
+            }
+            fn refresh(&mut self) -> usize {
+                self.oml.len()
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn indexes(&self) -> Option<&AccessIndexes> {
+                Some(&self.indexes)
+            }
+        }
+        let plain = toy();
+        let indexed = Indexed {
+            descr: plain.descr.clone(),
+            indexes: AccessIndexes::build(&plain.oml, "Toy", &[("Locus", "Symbol")]),
+            oml: plain.oml.clone(),
+        };
+        let q = r#"select L.Symbol, L.LocusID from Toy.Locus L where L.Symbol = "TP53""#;
+        let mut c1 = Cost::new();
+        let scan = plain.subquery(q, &mut c1).unwrap();
+        let mut c2 = Cost::new();
+        let fast = indexed.subquery(q, &mut c2).unwrap();
+        assert!(!scan.used_index);
+        assert!(fast.used_index);
+        assert_eq!(scan.rows, fast.rows);
+        assert_eq!(scan.column_text("Symbol"), fast.column_text("Symbol"));
+        assert_eq!(scan.column_text("LocusID"), fast.column_text("LocusID"));
+
+        // Numeric keys and complex predicates bypass the index.
+        let mut c = Cost::new();
+        let numeric = indexed
+            .subquery("select L from Toy.Locus L where L.LocusID = 7157", &mut c)
+            .unwrap();
+        assert!(!numeric.used_index);
+        assert_eq!(numeric.rows, 1);
+        let compound = indexed
+            .subquery(
+                r#"select L from Toy.Locus L where L.Symbol = "TP53" and L.LocusID = 7157"#,
+                &mut c,
+            )
+            .unwrap();
+        assert!(!compound.used_index);
+        assert_eq!(compound.rows, 1);
+        // Bind-join style OR-chains over one attribute are indexed too.
+        let or_chain = indexed
+            .subquery(
+                r#"select L from Toy.Locus L where (L.Symbol = "TP53" or L.Symbol = "BRCA1" or L.Symbol = "NOPE")"#,
+                &mut c,
+            )
+            .unwrap();
+        assert!(or_chain.used_index);
+        assert_eq!(or_chain.rows, 2);
+        let scan_chain = plain
+            .subquery(
+                r#"select L from Toy.Locus L where (L.Symbol = "TP53" or L.Symbol = "BRCA1" or L.Symbol = "NOPE")"#,
+                &mut c,
+            )
+            .unwrap();
+        assert_eq!(scan_chain.column_text("L").len(), or_chain.column_text("L").len());
+        // Mixed attributes in the chain bypass the index.
+        let mixed = indexed
+            .subquery(
+                r#"select L from Toy.Locus L where (L.Symbol = "TP53" or L.LocusID = "x")"#,
+                &mut c,
+            )
+            .unwrap();
+        assert!(!mixed.used_index);
+
+        // Misses return empty, still via the index.
+        let miss = indexed
+            .subquery(r#"select L from Toy.Locus L where L.Symbol = "NOPE""#, &mut c)
+            .unwrap();
+        assert!(miss.used_index);
+        assert_eq!(miss.rows, 0);
+    }
+
+    #[test]
+    fn shared_objects_ship_once() {
+        // Two rows selecting the same object: the copy is shared.
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        let shared = oml.add_complex_child(root, "Item").unwrap();
+        oml.add_atomic_child(shared, "v", 1i64).unwrap();
+        oml.add_edge(root, "Item", shared).unwrap(); // set semantics: still one edge
+        let other = oml.add_complex_child(root, "Item").unwrap();
+        oml.add_edge(other, "ref", shared).unwrap();
+        oml.set_name("Toy", root).unwrap();
+        let w = ToyWrapper {
+            descr: SourceDescription::remote("Toy", "", ""),
+            oml,
+        };
+        let mut cost = Cost::new();
+        let res = w
+            .subquery("select I from Toy.Item I", &mut cost)
+            .unwrap();
+        assert_eq!(res.rows, 2);
+        // `shared` is shipped as part of row 1 and referenced by row 2's
+        // copy of `other`; the memo must make both point at one object.
+        let rows = res.row_oids();
+        let copy_shared = res.store.child(rows[0], "I").unwrap();
+        let copy_other = res.store.child(rows[1], "I").unwrap();
+        assert_eq!(res.store.child(copy_other, "ref"), Some(copy_shared));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the wrapper layer: the index-backed access path
+//! must be indistinguishable from the scan path on arbitrary data, and
+//! the failure injector must honour its schedule exactly.
+
+use proptest::prelude::*;
+
+use annoda_oem::{AtomicValue, OemStore};
+use annoda_wrap::{
+    AccessIndexes, Cost, CustomWrapper, FailureMode, FlakyWrapper, SourceDescription, Wrapper,
+};
+
+/// Builds an OML of `Entity` objects with a multi-valued `Key` attribute
+/// drawn from a small alphabet, plus a payload.
+fn oml_from(keysets: &[Vec<String>]) -> OemStore {
+    let mut oml = OemStore::new();
+    let root = oml.new_complex();
+    for (i, keys) in keysets.iter().enumerate() {
+        let e = oml.add_complex_child(root, "Entity").unwrap();
+        for k in keys {
+            oml.add_atomic_child(e, "Key", k.as_str()).unwrap();
+        }
+        oml.add_atomic_child(e, "Payload", AtomicValue::Int(i as i64))
+            .unwrap();
+    }
+    oml.set_name("S", root).unwrap();
+    oml
+}
+
+/// An indexed wrapper over the same OML as a plain one.
+struct Indexed {
+    descr: SourceDescription,
+    oml: OemStore,
+    indexes: AccessIndexes,
+}
+impl Wrapper for Indexed {
+    fn description(&self) -> &SourceDescription {
+        &self.descr
+    }
+    fn oml(&self) -> &OemStore {
+        &self.oml
+    }
+    fn refresh(&mut self) -> usize {
+        self.oml.len()
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn indexes(&self) -> Option<&AccessIndexes> {
+        Some(&self.indexes)
+    }
+}
+
+fn key() -> impl Strategy<Value = String> {
+    // Non-numeric keys (letters only) — the domain the index serves.
+    proptest::string::string_regex("[a-d]{1,3}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_subqueries_equal_scans(
+        keysets in proptest::collection::vec(
+            proptest::collection::vec(key(), 0..3),
+            0..10,
+        ),
+        probe in key(),
+        extra in key(),
+    ) {
+        let oml = oml_from(&keysets);
+        let plain = CustomWrapper::new(
+            SourceDescription::remote("S", "scan", "http://s"),
+            oml.clone(),
+        );
+        let indexed = Indexed {
+            descr: SourceDescription::remote("S", "indexed", "http://s"),
+            indexes: AccessIndexes::build(&oml, "S", &[("Entity", "Key")]),
+            oml,
+        };
+        let queries = [
+            format!(r#"select E.Payload from S.Entity E where E.Key = "{probe}""#),
+            format!(
+                r#"select E.Payload from S.Entity E where (E.Key = "{probe}" or E.Key = "{extra}")"#
+            ),
+        ];
+        for q in &queries {
+            let mut c1 = Cost::new();
+            let scan = plain.subquery(q, &mut c1).unwrap();
+            let mut c2 = Cost::new();
+            let fast = indexed.subquery(q, &mut c2).unwrap();
+            prop_assert!(fast.used_index, "fast path not taken for {q}");
+            prop_assert!(!scan.used_index);
+            prop_assert_eq!(scan.rows, fast.rows, "row counts differ for {}", q);
+            prop_assert_eq!(
+                scan.column_text("Payload"),
+                fast.column_text("Payload"),
+                "payloads differ for {}",
+                q
+            );
+            prop_assert_eq!(c1, c2, "identical cost accounting");
+        }
+    }
+
+    #[test]
+    fn flaky_schedule_is_exact(n in 1u64..40, k in 1u64..6) {
+        let oml = oml_from(&[vec!["a".to_string()]]);
+        let w = FlakyWrapper::new(
+            CustomWrapper::new(SourceDescription::remote("S", "", ""), oml),
+            FailureMode::EveryNth(k),
+        );
+        let mut failures = 0u64;
+        let mut cost = Cost::new();
+        for _ in 0..n {
+            if w.subquery("select E from S.Entity E", &mut cost).is_err() {
+                failures += 1;
+            }
+        }
+        prop_assert_eq!(failures, n / k);
+        prop_assert_eq!(w.attempts(), n);
+    }
+}

@@ -1,0 +1,81 @@
+//! The Figure 5 scenario end to end: screen for candidate genes —
+//! annotated with a molecular function of interest but *not* yet
+//! associated with any known disease — then navigate into the object
+//! views over web-links.
+//!
+//! ```sh
+//! cargo run --example gene_disease_screen
+//! ```
+
+use annoda::{render_object_view, Annoda, Condition, QuestionBuilder};
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig {
+        loci: 150,
+        go_terms: 80,
+        omim_entries: 50,
+        seed: 11,
+        inconsistency_rate: 0.05,
+    });
+    let (annoda, _) = Annoda::over_sources(corpus.locuslink, corpus.go, corpus.omim);
+
+    // "Find human genes annotated with a transport-related GO function
+    //  but not associated with any OMIM disease."
+    let builder = QuestionBuilder::new()
+        .require_go_function()
+        .with(Condition::FunctionNameLike("%transport%".into()))
+        .exclude_omim_disease()
+        .with(Condition::Organism("Homo sapiens".into()));
+    let question = builder.clone().build();
+    println!("Question: {question}\n");
+
+    // Inspect the optimized plan before running (query manager view).
+    let plan = annoda.mediator().plan(&question);
+    println!("Execution plan:\n{}", plan.describe());
+
+    let answer = annoda.ask(&question).expect("registered sources");
+    println!(
+        "{} candidate genes ({} source requests, {:.1} simulated ms):\n",
+        answer.fused.genes.len(),
+        answer.cost.requests,
+        answer.cost.virtual_ms()
+    );
+    for g in &answer.fused.genes {
+        println!(
+            "  {:<8} {:<40} functions: {}",
+            g.symbol,
+            g.description.as_deref().unwrap_or(""),
+            g.functions
+                .iter()
+                .map(|f| f.id.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    // Follow a web-link into the individual object view (Figure 5c).
+    if let Some(first) = answer.fused.genes.first() {
+        let nav = annoda.navigator();
+        let view = nav.gene_view(&first.symbol).expect("gene resolves");
+        println!("\n{}", render_object_view(&view));
+        // One more hop: into the first function's term view.
+        if let Some(link) = view
+            .links
+            .iter()
+            .find(|l| l.internal_target().map(|(k, _)| k) == Some("function"))
+        {
+            if let Some(fview) = nav.follow(link) {
+                println!("{}", render_object_view(&fview));
+            }
+        }
+    }
+
+    // Reconciliation report: where the sources disagreed.
+    if !answer.fused.conflicts.is_empty() {
+        println!("source disagreements reconciled during fusion:");
+        for c in answer.fused.conflicts.iter().take(8) {
+            println!("  {c}");
+        }
+    }
+}

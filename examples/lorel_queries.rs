@@ -1,0 +1,74 @@
+//! A tour of the Lorel query language over the materialised ANNODA-GML,
+//! including the paper's §4.1 example and its `&442`-style answer
+//! object.
+//!
+//! ```sh
+//! cargo run --example lorel_queries
+//! ```
+
+use annoda::Annoda;
+use annoda_oem::text;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig::tiny(42));
+    let (annoda, _) = Annoda::over_sources(corpus.locuslink, corpus.go, corpus.omim);
+
+    // The paper's example (§4.1), canonical form.
+    let q1 = r#"select S from ANNODA-GML.Source S where S.Name = "LocusLink""#;
+    println!("Q1 (paper §4.1): {q1}\n");
+    let (gml, outcome, _) = annoda.lorel(q1).unwrap();
+    let answer = outcome.sole_result(&gml).unwrap();
+    print!("{}", text::write_rooted(&gml, "answer", answer));
+
+    // Path expressions with wildcards: every Name anywhere in the model.
+    let q2 = "select X from ANNODA-GML.#.Name X";
+    println!("\nQ2 (general path expression): {q2}");
+    let (_gml, outcome, _) = annoda.lorel(q2).unwrap();
+    println!("  {} distinct Name objects", outcome.projected[0].1.len());
+
+    // Coercion: LocusIDs compare against string literals numerically.
+    let q3 = r#"select G.Symbol from ANNODA-GML.Gene G where G.GeneID < "1005""#;
+    println!("\nQ3 (cross-type coercion): {q3}");
+    let (gml, outcome, _) = annoda.lorel(q3).unwrap();
+    for &oid in &outcome.projected[0].1 {
+        println!("  {}", gml.value_of(oid).unwrap());
+    }
+
+    // Aggregates and ordering.
+    let q4 = "select count(GML.Gene), count(GML.Function), count(GML.Disease) \
+              from ANNODA-GML GML";
+    println!("\nQ4 (aggregates): {q4}");
+    let (gml, outcome, _) = annoda.lorel(q4).unwrap();
+    for (label, oids) in &outcome.projected {
+        println!("  {label} = {}", gml.value_of(oids[0]).unwrap());
+    }
+
+    // Specialty evaluation functions: the standard library (strlen,
+    // upper, lower, abs) is in scope for every ANNODA Lorel query.
+    let q4b = r#"select upper(G.Symbol) as symbol, strlen(G.Description) as desc_len
+                 from ANNODA-GML.Gene G where strlen(G.Symbol) <= 4
+                 order by G.Symbol"#;
+    println!("\nQ4b (specialty evaluation functions): {}", q4b.split_whitespace().collect::<Vec<_>>().join(" "));
+    let (gml, outcome, _) = annoda.lorel(q4b).unwrap();
+    for (sym, len) in outcome.projected[0].1.iter().zip(&outcome.projected[1].1) {
+        println!(
+            "  {:<8} description length {}",
+            gml.value_of(*sym).unwrap(),
+            gml.value_of(*len).unwrap()
+        );
+    }
+
+    // Negation — the Figure 5b question, spelled in raw Lorel.
+    let q5 = "select G.Symbol from ANNODA-GML.Gene G \
+              where exists G.FunctionID and not exists G.DiseaseID \
+              order by G.Symbol";
+    println!("\nQ5 (Figure 5b in raw Lorel): {q5}");
+    let (gml, outcome, _) = annoda.lorel(q5).unwrap();
+    let symbols: Vec<String> = outcome.projected[0]
+        .1
+        .iter()
+        .map(|&o| gml.value_of(o).unwrap().as_text())
+        .collect();
+    println!("  {} genes: {}", symbols.len(), symbols.join(", "));
+}

@@ -1,0 +1,14 @@
+//! Umbrella package for the ANNODA reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! code lives in the `crates/` workspace members.
+
+pub use annoda;
+pub use annoda_baselines as baselines;
+pub use annoda_lorel as lorel;
+pub use annoda_match as matcher;
+pub use annoda_mediator as mediator;
+pub use annoda_oem as oem;
+pub use annoda_sources as sources;
+pub use annoda_wrap as wrap;

@@ -1,0 +1,101 @@
+//! F1 — the Figure 1 architecture, verified end to end: each component
+//! hands off to the next exactly as the diagram wires them.
+
+use annoda::{Annoda, QuestionBuilder};
+use annoda_match::SchemaExtract;
+use annoda_mediator::GmlBuilder;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn corpus() -> Corpus {
+    Corpus::generate(CorpusConfig::tiny(42))
+}
+
+#[test]
+fn wrappers_export_oml_local_models() {
+    let c = corpus();
+    let (annoda, _) = Annoda::over_sources(c.locuslink, c.go, c.omim);
+    for name in ["LocusLink", "GO", "OMIM"] {
+        let w = annoda.mediator().wrapper(name).expect("wrapper registered");
+        let oml = w.oml();
+        assert!(oml.named(name).is_some(), "{name} OML has its root");
+        assert!(oml.len() > 10, "{name} OML is populated");
+        assert!(!w.schema_paths().is_empty());
+    }
+}
+
+#[test]
+fn mapping_module_connects_oml_to_gml() {
+    let c = corpus();
+    let (annoda, reports) = Annoda::over_sources(c.locuslink, c.go, c.omim);
+    // Every source produced rules against the Figure 4 global schema.
+    for r in &reports {
+        assert!(r.matched > 0, "{} matched nothing", r.source);
+        assert!(!r.entities.is_empty());
+    }
+    // And the schema extract of the exemplar is what they matched into.
+    let exemplar = GmlBuilder::exemplar();
+    let glb = SchemaExtract::from_store(&exemplar, "ANNODA-GML", 2);
+    assert!(glb.get("Gene.Symbol").is_some());
+    assert!(glb.get("Disease.DiseaseID").is_some());
+    let _ = annoda;
+}
+
+#[test]
+fn mediator_decomposes_executes_and_fuses() {
+    let c = corpus();
+    let (annoda, _) = Annoda::over_sources(c.locuslink.clone(), c.go.clone(), c.omim.clone());
+    let question = QuestionBuilder::new()
+        .require_go_function()
+        .exclude_omim_disease()
+        .build();
+
+    // Query manager: the plan names each source in its own vocabulary.
+    let plan = annoda.mediator().plan(&question);
+    let sources: Vec<&str> = plan.steps.iter().map(|s| s.query.source.as_str()).collect();
+    assert!(sources.contains(&"LocusLink"));
+    assert!(sources.contains(&"GO"));
+    assert!(sources.contains(&"OMIM"));
+    for step in &plan.steps {
+        assert!(
+            step.query.lorel.contains(&format!("from {}", step.query.source)),
+            "subquery addresses its source: {}",
+            step.query.lorel
+        );
+    }
+
+    // Execution produces the fused, filtered view.
+    let answer = annoda.ask(&question).unwrap();
+    for gene in &answer.fused.genes {
+        assert!(!gene.functions.is_empty());
+        assert!(gene.diseases.is_empty());
+        assert!(gene.links.iter().any(|l| l.is_internal()));
+    }
+    assert!(answer.cost.requests >= 3, "all three sources contacted");
+}
+
+#[test]
+fn user_interface_reaches_the_stack_without_sql() {
+    let c = corpus();
+    let (annoda, _) = Annoda::over_sources(c.locuslink, c.go, c.omim);
+    // The user's artifact is a form, rendered and compiled for them.
+    let builder = QuestionBuilder::new().require_go_function();
+    let form = builder.render_form();
+    assert!(form.contains("ANNODA query interface"));
+    let answer = annoda.ask_form(builder).unwrap();
+    assert!(answer.fused.genes.iter().all(|g| !g.functions.is_empty()));
+}
+
+#[test]
+fn navigation_closes_the_loop() {
+    let c = corpus();
+    let (annoda, _) = Annoda::over_sources(c.locuslink, c.go, c.omim);
+    let answer = annoda
+        .ask(&QuestionBuilder::new().require_go_function().build())
+        .unwrap();
+    let gene = &answer.fused.genes[0];
+    let nav = annoda.navigator();
+    let link = gene.links.iter().find(|l| l.is_internal()).unwrap();
+    let view = nav.follow(link).expect("internal link resolves");
+    assert_eq!(view.kind, "gene");
+    assert_eq!(view.key, gene.symbol);
+}

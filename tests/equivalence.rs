@@ -1,0 +1,188 @@
+//! Cross-system equivalence: on a *consistent* corpus every automated
+//! architecture must return the same gene sets for the same questions
+//! (they integrate the same data); what differs is cost, freshness, and
+//! conflict visibility. Also pins that the optimizer never changes
+//! answers and that reconciliation policies behave monotonically.
+
+use annoda_baselines::IntegrationSystem;
+use annoda_mediator::decompose::{AspectClause, GeneQuestion};
+use annoda_mediator::{OptimizerConfig, ReconcilePolicy};
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn consistent_corpus() -> Corpus {
+    Corpus::generate(CorpusConfig {
+        loci: 80,
+        go_terms: 50,
+        omim_entries: 30,
+        seed: 21,
+        inconsistency_rate: 0.0,
+    })
+}
+
+fn questions() -> Vec<GeneQuestion> {
+    vec![
+        GeneQuestion::default(),
+        GeneQuestion::figure5(),
+        GeneQuestion {
+            organism: Some("Homo sapiens".into()),
+            function: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        },
+        GeneQuestion {
+            disease: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        },
+        GeneQuestion {
+            symbol_like: Some("B%".into()),
+            ..GeneQuestion::default()
+        },
+    ]
+}
+
+fn systems(corpus: &Corpus) -> Vec<Box<dyn IntegrationSystem>> {
+    // The four automated systems (hypertext only sees locus-page links,
+    // so it legitimately misses GO-side-only annotations).
+    let mut all = annoda_bench::workload::all_systems(corpus);
+    all.truncate(4);
+    all
+}
+
+#[test]
+fn all_automated_systems_agree_on_consistent_data() {
+    let corpus = consistent_corpus();
+    for (qi, q) in questions().into_iter().enumerate() {
+        let mut reference: Option<Vec<String>> = None;
+        for mut sys in systems(&corpus) {
+            let mut genes: Vec<String> = sys
+                .answer(&q)
+                .unwrap()
+                .genes
+                .iter()
+                .map(|g| g.symbol.clone())
+                .collect();
+            genes.sort();
+            match &reference {
+                None => reference = Some(genes),
+                Some(r) => assert_eq!(
+                    &genes,
+                    r,
+                    "question #{qi}: {} disagrees",
+                    sys.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn consistent_corpus_yields_zero_conflicts_everywhere() {
+    let corpus = consistent_corpus();
+    for mut sys in systems(&corpus) {
+        let ans = sys.answer(&GeneQuestion::figure5()).unwrap();
+        assert_eq!(ans.conflicts, 0, "{}", sys.name());
+    }
+}
+
+#[test]
+fn optimizer_configs_never_change_answers() {
+    let corpus = consistent_corpus();
+    let configs = [
+        OptimizerConfig { pushdown: true, source_selection: true, bind_join: false },
+        OptimizerConfig { pushdown: true, source_selection: true, bind_join: true },
+        OptimizerConfig { pushdown: true, source_selection: false, bind_join: false },
+        OptimizerConfig { pushdown: false, source_selection: true, bind_join: true },
+        OptimizerConfig { pushdown: false, source_selection: false, bind_join: false },
+    ];
+    for q in questions() {
+        let mut reference: Option<Vec<String>> = None;
+        let mut costs = Vec::new();
+        for cfg in configs {
+            let mut annoda = annoda_bench::workload::annoda_over(&corpus);
+            annoda.registry_mut().mediator_mut().optimizer = cfg;
+            let ans = annoda.ask(&q).unwrap();
+            let mut genes: Vec<String> =
+                ans.fused.genes.iter().map(|g| g.symbol.clone()).collect();
+            genes.sort();
+            costs.push(ans.cost.virtual_us);
+            match &reference {
+                None => reference = Some(genes),
+                Some(r) => assert_eq!(&genes, r, "config {cfg:?} changed the answer"),
+            }
+        }
+        // Full optimisation is never more expensive than none.
+        assert!(costs[0] <= costs[4], "optimised {} > naive {}", costs[0], costs[4]);
+    }
+}
+
+#[test]
+fn reconciliation_policies_are_monotone() {
+    // Intersection ⊆ Vote ⊆ Union on every gene's function set.
+    let corpus = Corpus::generate(CorpusConfig {
+        loci: 80,
+        go_terms: 50,
+        omim_entries: 30,
+        seed: 33,
+        inconsistency_rate: 0.4,
+    });
+    let q = GeneQuestion::default();
+    let function_sets = |policy: ReconcilePolicy| -> Vec<(String, Vec<String>)> {
+        let mut annoda = annoda_bench::workload::annoda_over(&corpus);
+        annoda.registry_mut().mediator_mut().policy = policy;
+        // Functions are integrated only when fetched; require them.
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            ..q.clone()
+        };
+        annoda
+            .ask(&q)
+            .unwrap()
+            .fused
+            .genes
+            .iter()
+            .map(|g| {
+                let mut f: Vec<String> = g.functions.iter().map(|f| f.id.clone()).collect();
+                f.sort();
+                (g.symbol.clone(), f)
+            })
+            .collect()
+    };
+    let union: std::collections::HashMap<_, _> =
+        function_sets(ReconcilePolicy::Union).into_iter().collect();
+    let inter: std::collections::HashMap<_, _> = function_sets(ReconcilePolicy::Intersection)
+        .into_iter()
+        .collect();
+    assert!(!union.is_empty());
+    for (gene, fns) in &inter {
+        let uf = union.get(gene).expect("intersection genes appear under union");
+        for f in fns {
+            assert!(uf.contains(f), "{gene}: {f} in intersection but not union");
+        }
+    }
+    // And the union result is strictly richer somewhere (0.4 inconsistency).
+    let union_total: usize = union.values().map(Vec::len).sum();
+    let inter_total: usize = inter.values().map(Vec::len).sum();
+    assert!(union_total > inter_total);
+}
+
+#[test]
+fn figure5_answer_matches_ground_truth_exactly() {
+    let corpus = consistent_corpus();
+    let mut expected: Vec<String> = corpus
+        .locuslink
+        .scan()
+        .filter(|r| !r.go_ids.is_empty() && r.omim_ids.is_empty())
+        .map(|r| r.symbol.clone())
+        .collect();
+    expected.sort();
+    for mut sys in systems(&corpus) {
+        let mut got: Vec<String> = sys
+            .answer(&GeneQuestion::figure5())
+            .unwrap()
+            .genes
+            .iter()
+            .map(|g| g.symbol.clone())
+            .collect();
+        got.sort();
+        assert_eq!(got, expected, "{}", sys.name());
+    }
+}

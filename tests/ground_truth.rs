@@ -1,0 +1,155 @@
+//! Ground-truth checks across many corpora: for every seed, the
+//! integrated answers must equal sets computed directly from the raw
+//! synthetic databases. This is the end-to-end correctness oracle for
+//! the whole wrapper → matcher → mediator → fusion pipeline.
+
+use std::collections::BTreeSet;
+
+use annoda_bench::workload;
+use annoda_mediator::decompose::{AspectClause, GeneQuestion};
+use annoda_sources::{Corpus, CorpusConfig};
+
+const SEEDS: [u64; 5] = [1, 7, 13, 21, 42];
+
+fn corpus(seed: u64) -> Corpus {
+    Corpus::generate(CorpusConfig {
+        loci: 50,
+        go_terms: 35,
+        omim_entries: 20,
+        seed,
+        inconsistency_rate: 0.1,
+    })
+}
+
+fn answer_symbols(annoda: &annoda::Annoda, q: &GeneQuestion) -> BTreeSet<String> {
+    annoda
+        .ask(q)
+        .unwrap()
+        .fused
+        .genes
+        .iter()
+        .map(|g| g.symbol.clone())
+        .collect()
+}
+
+#[test]
+fn figure5_matches_ground_truth_across_seeds() {
+    for seed in SEEDS {
+        let c = corpus(seed);
+        let annoda = workload::annoda_over(&c);
+        let got = answer_symbols(&annoda, &GeneQuestion::figure5());
+        let expected: BTreeSet<String> = c
+            .locuslink
+            .scan()
+            .filter(|r| {
+                let has_fn = !r.go_ids.is_empty()
+                    || c.go.annotations_of_gene(&r.symbol).next().is_some();
+                let has_dis =
+                    !r.omim_ids.is_empty() || c.omim.by_gene(&r.symbol).next().is_some();
+                has_fn && !has_dis
+            })
+            .map(|r| r.symbol.clone())
+            .collect();
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn organism_filter_matches_ground_truth_across_seeds() {
+    for seed in SEEDS {
+        let c = corpus(seed);
+        let annoda = workload::annoda_over(&c);
+        let q = GeneQuestion {
+            organism: Some("Mus musculus".into()),
+            ..GeneQuestion::default()
+        };
+        let got = answer_symbols(&annoda, &q);
+        let expected: BTreeSet<String> = c
+            .locuslink
+            .by_organism("Mus musculus")
+            .map(|r| r.symbol.clone())
+            .collect();
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn literature_clause_matches_ground_truth_across_seeds() {
+    for seed in SEEDS {
+        let c = corpus(seed);
+        let annoda = workload::annoda_four_sources(&c);
+        let q = GeneQuestion {
+            publication: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let got = answer_symbols(&annoda, &q);
+        let expected: BTreeSet<String> = c
+            .locuslink
+            .scan()
+            .filter(|r| c.pubmed.by_gene(&r.symbol).next().is_some())
+            .map(|r| r.symbol.clone())
+            .collect();
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn disease_pattern_matches_ground_truth_across_seeds() {
+    for seed in SEEDS {
+        let c = corpus(seed);
+        let annoda = workload::annoda_over(&c);
+        let q = GeneQuestion {
+            disease: AspectClause::Require(Some("%SYNDROME%".into())),
+            ..GeneQuestion::default()
+        };
+        let got = answer_symbols(&annoda, &q);
+        let expected: BTreeSet<String> = c
+            .locuslink
+            .scan()
+            .filter(|r| {
+                // Union semantics over both association directions, then
+                // the title pattern.
+                let mut mims: BTreeSet<u32> = r.omim_ids.iter().copied().collect();
+                mims.extend(c.omim.by_gene(&r.symbol).map(|e| e.mim_number));
+                mims.iter().any(|&m| {
+                    c.omim
+                        .by_mim(m)
+                        .is_some_and(|e| e.title.contains("SYNDROME"))
+                })
+            })
+            .map(|r| r.symbol.clone())
+            .collect();
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn conflicts_count_matches_injected_disagreements() {
+    // Every membership conflict the mediator reports corresponds to a
+    // genuine asymmetry between the locus records and GO's annotation
+    // table.
+    for seed in SEEDS {
+        let c = corpus(seed);
+        let annoda = workload::annoda_over(&c);
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let ans = annoda.ask(&q).unwrap();
+        for conflict in &ans.fused.conflicts {
+            let rec = c
+                .locuslink
+                .by_symbol(&conflict.subject)
+                .unwrap_or_else(|| panic!("conflict names unknown gene {}", conflict.subject));
+            let locus_side = rec.go_ids.contains(&conflict.item);
+            let go_side = c
+                .go
+                .annotations_of_gene(&rec.symbol)
+                .any(|a| a.term_id == conflict.item);
+            assert_ne!(
+                locus_side, go_side,
+                "seed {seed}: conflict {conflict:?} is not a real disagreement"
+            );
+        }
+    }
+}

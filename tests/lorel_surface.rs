@@ -1,0 +1,147 @@
+//! Broad Lorel coverage through the public ANNODA surface: every
+//! language feature exercised against the materialised ANNODA-GML of a
+//! real (synthetic) corpus.
+
+use annoda_bench::workload;
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn annoda() -> (annoda::Annoda, Corpus) {
+    let c = Corpus::generate(CorpusConfig::tiny(42));
+    (workload::annoda_four_sources(&c), c)
+}
+
+#[test]
+fn aggregates_match_corpus_counts() {
+    let (a, c) = annoda();
+    let (gml, out, _) = a
+        .lorel(
+            "select count(GML.Gene), count(GML.Function), count(GML.Disease), \
+             count(GML.Publication) from ANNODA-GML GML",
+        )
+        .unwrap();
+    let val = |i: usize| {
+        gml.value_of(out.projected[i].1[0])
+            .unwrap()
+            .as_text()
+            .parse::<usize>()
+            .unwrap()
+    };
+    assert_eq!(val(0), c.locuslink.len());
+    assert_eq!(val(1), c.go.term_count());
+    assert_eq!(val(2), c.omim.len());
+    assert_eq!(val(3), c.pubmed.len());
+}
+
+#[test]
+fn alternation_and_wildcards_navigate_the_gml() {
+    let (a, c) = annoda();
+    // Every FunctionID or DiseaseID reachable from genes.
+    let (_gml, out, _) = a
+        .lorel("select X from ANNODA-GML.Gene.(FunctionID|DiseaseID) X")
+        .unwrap();
+    assert!(!out.projected[0].1.is_empty());
+    // `#` from the root reaches every Name-labelled object.
+    let (_gml, out, _) = a.lorel("select X from ANNODA-GML.#.Name X").unwrap();
+    // Source names + function names + disease names, at least.
+    assert!(out.projected[0].1.len() >= 4 + c.go.term_count().min(1));
+}
+
+#[test]
+fn like_and_multi_key_ordering() {
+    let (a, _c) = annoda();
+    let (gml, out, _) = a
+        .lorel(
+            r#"select G.Symbol, G.Organism from ANNODA-GML.Gene G
+               where G.Organism like "%musculus%"
+               order by G.Organism, G.Symbol desc"#,
+        )
+        .unwrap();
+    let symbols: Vec<String> = out.projected[0]
+        .1
+        .iter()
+        .map(|&o| gml.value_of(o).unwrap().as_text())
+        .collect();
+    let mut sorted = symbols.clone();
+    sorted.sort();
+    sorted.reverse();
+    assert_eq!(symbols, sorted, "desc order on the second key");
+}
+
+#[test]
+fn into_answers_are_queryable_in_the_returned_store() {
+    let (a, _c) = annoda();
+    let (mut gml, out, _) = a
+        .lorel("select G into HumanGenes from ANNODA-GML.Gene G where G.Organism = \"Homo sapiens\"")
+        .unwrap();
+    assert!(gml.named("HumanGenes").is_some());
+    let count = out.projected[0].1.len();
+    // Query the saved answer inside the returned store.
+    let follow = annoda_lorel::run_query(
+        &mut gml,
+        "select count(H.G) from HumanGenes H",
+    )
+    .unwrap();
+    let total: usize = gml
+        .value_of(follow.projected[0].1[0])
+        .unwrap()
+        .as_text()
+        .parse()
+        .unwrap();
+    assert_eq!(total, count);
+}
+
+#[test]
+fn group_by_namespace_counts_functions() {
+    let (a, c) = annoda();
+    let (gml, out, _) = a
+        .lorel("select count(F.FunctionID) from ANNODA-GML.Function F group by F.Namespace")
+        .unwrap();
+    assert!(out.groups.len() <= 3, "at most the three GO namespaces");
+    let total: usize = gml
+        .children(out.answer, "group")
+        .filter_map(|g| gml.child_value(g, "count"))
+        .filter_map(|v| v.as_text().parse::<usize>().ok())
+        .sum();
+    assert_eq!(total, c.go.term_count());
+}
+
+#[test]
+fn standard_functions_compose_with_predicates() {
+    let (a, _c) = annoda();
+    let (gml, out, _) = a
+        .lorel(
+            r#"select lower(S.Name) as n from ANNODA-GML.Source S
+               where strlen(S.Name) > 2 order by S.Name"#,
+        )
+        .unwrap();
+    let names: Vec<String> = out.projected[0]
+        .1
+        .iter()
+        .map(|&o| gml.value_of(o).unwrap().as_text())
+        .collect();
+    assert_eq!(names, vec!["locuslink", "omim", "pubmed"]); // "GO" filtered by strlen
+}
+
+#[test]
+fn every_internal_link_in_a_gene_view_resolves() {
+    let (a, c) = annoda();
+    let nav = a.navigator();
+    let mut followed = 0usize;
+    for rec in c.locuslink.scan().take(10) {
+        let Some(view) = nav.gene_view(&rec.symbol) else {
+            continue;
+        };
+        for link in view.links.iter().filter(|l| l.is_internal()) {
+            let target = nav.follow(link);
+            assert!(
+                target.is_some(),
+                "{}: dangling internal link {link}",
+                rec.symbol
+            );
+            let target = target.unwrap();
+            assert!(!target.attributes.is_empty(), "{link} resolved empty");
+            followed += 1;
+        }
+    }
+    assert!(followed > 0, "some links were followed");
+}
