@@ -30,8 +30,7 @@ fn main() {
         config.loci, config.go_terms, config.omim_entries, config.seed
     );
     let corpus = Corpus::generate(config);
-    let (mut annoda, reports) =
-        Annoda::over_sources(corpus.locuslink, corpus.go, corpus.omim);
+    let (mut annoda, reports) = Annoda::over_sources(corpus.locuslink, corpus.go, corpus.omim);
     for r in &reports {
         println!(
             "plugged {:<10} {} rules (mean score {:.2})",
@@ -77,10 +76,7 @@ fn main() {
                             .collect(),
                     )),
                     "" => {
-                        println!(
-                            "current policy: {:?}",
-                            annoda.registry().mediator().policy
-                        );
+                        println!("current policy: {:?}", annoda.registry().mediator().policy);
                         continue;
                     }
                     other => {
@@ -113,7 +109,9 @@ fn main() {
                         med.enable_cache();
                         println!("subquery cache enabled");
                     }
-                    other => println!("unknown switch `{other}` (pushdown|selection|bindjoin|cache)"),
+                    other => {
+                        println!("unknown switch `{other}` (pushdown|selection|bindjoin|cache)")
+                    }
                 }
             }
             "sources" => {
@@ -412,7 +410,10 @@ mod tests {
         assert_eq!(q.disease, AspectClause::Exclude(None));
         assert_eq!(q.combine, Combination::Any);
         let q = parse_question("publication=exclude:%cancer%").unwrap();
-        assert_eq!(q.publication, AspectClause::Exclude(Some("%cancer%".into())));
+        assert_eq!(
+            q.publication,
+            AspectClause::Exclude(Some("%cancer%".into()))
+        );
         assert!(parse_question("nonsense").is_err());
         assert!(parse_question("function=maybe").is_err());
     }

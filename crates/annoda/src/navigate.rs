@@ -65,7 +65,11 @@ impl<'a> Navigator<'a> {
             ..GeneQuestion::default()
         };
         let answer = self.mediator.answer(&q).ok()?;
-        let gene = answer.fused.genes.into_iter().find(|g| g.symbol == symbol)?;
+        let gene = answer
+            .fused
+            .genes
+            .into_iter()
+            .find(|g| g.symbol == symbol)?;
         let mut attributes = vec![("Symbol".to_string(), gene.symbol.clone())];
         if let Some(id) = gene.gene_id {
             attributes.push(("LocusID".into(), id.to_string()));
@@ -220,11 +224,7 @@ mod tests {
         let c = Corpus::generate(CorpusConfig::tiny(42));
         let m = mediator(&c);
         let nav = Navigator::new(&m);
-        let rec = c
-            .locuslink
-            .scan()
-            .find(|r| !r.go_ids.is_empty())
-            .unwrap();
+        let rec = c.locuslink.scan().find(|r| !r.go_ids.is_empty()).unwrap();
         let gene = nav.gene_view(&rec.symbol).unwrap();
         let fn_link = gene
             .links

@@ -161,8 +161,14 @@ impl QuestionBuilder {
         let mut out = String::new();
         out.push_str("+--------------- ANNODA query interface ---------------+\n");
         out.push_str("| Target of interest (per source):                      |\n");
-        out.push_str(&format!("|   GO functions:   {}\n", clause(&self.question.function)));
-        out.push_str(&format!("|   OMIM diseases:  {}\n", clause(&self.question.disease)));
+        out.push_str(&format!(
+            "|   GO functions:   {}\n",
+            clause(&self.question.function)
+        ));
+        out.push_str(&format!(
+            "|   OMIM diseases:  {}\n",
+            clause(&self.question.disease)
+        ));
         if self.question.publication.is_active() {
             out.push_str(&format!(
                 "|   publications:   {}\n",

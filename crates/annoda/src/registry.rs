@@ -106,13 +106,17 @@ mod tests {
         assert!(r.mean_score > 0.5);
 
         let r = reg.plug(Box::new(GoWrapper::new(c.go.clone())));
-        assert!(r.entities.contains(&("Term".to_string(), "Function".to_string())));
+        assert!(r
+            .entities
+            .contains(&("Term".to_string(), "Function".to_string())));
         assert!(r
             .entities
             .contains(&("Annotation".to_string(), "Annotation".to_string())));
 
         let r = reg.plug(Box::new(OmimWrapper::new(c.omim.clone())));
-        assert!(r.entities.contains(&("Entry".to_string(), "Disease".to_string())));
+        assert!(r
+            .entities
+            .contains(&("Entry".to_string(), "Disease".to_string())));
 
         assert_eq!(reg.sources().len(), 3);
         assert!(reg.unplug("GO"));

@@ -26,7 +26,9 @@ pub fn render_integrated_view(genes: &[IntegratedGene]) -> String {
             out,
             "\n{}  [LocusID {}]  {}  {}",
             g.symbol,
-            g.gene_id.map(|i| i.to_string()).unwrap_or_else(|| "?".into()),
+            g.gene_id
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "?".into()),
             g.organism.as_deref().unwrap_or("?"),
             g.position.as_deref().unwrap_or("?"),
         );
@@ -62,7 +64,10 @@ pub fn render_integrated_view(genes: &[IntegratedGene]) -> String {
                 p.id,
                 p.title.as_deref().unwrap_or("<untitled>"),
                 p.journal.as_deref().unwrap_or("?"),
-                p.year.as_deref().map(|y| format!(", {y}")).unwrap_or_default(),
+                p.year
+                    .as_deref()
+                    .map(|y| format!(", {y}"))
+                    .unwrap_or_default(),
                 p.link
             );
         }
@@ -76,7 +81,11 @@ pub fn render_integrated_view(genes: &[IntegratedGene]) -> String {
 /// Renders an individual object view (Figure 5c).
 pub fn render_object_view(view: &ObjectView) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "=== Individual object view: {} {} ===", view.kind, view.key);
+    let _ = writeln!(
+        out,
+        "=== Individual object view: {} {} ===",
+        view.kind, view.key
+    );
     let width = view
         .attributes
         .iter()

@@ -190,7 +190,14 @@ mod tests {
     use annoda_mediator::fusion::{DiseaseInfo, FunctionInfo};
     use annoda_mediator::WebLink;
 
-    fn gene(symbol: &str, id: i64, organism: &str, position: &str, nfn: usize, ndis: usize) -> IntegratedGene {
+    fn gene(
+        symbol: &str,
+        id: i64,
+        organism: &str,
+        position: &str,
+        nfn: usize,
+        ndis: usize,
+    ) -> IntegratedGene {
         IntegratedGene {
             symbol: symbol.into(),
             gene_id: Some(id),
@@ -202,8 +209,12 @@ mod tests {
                     id: format!("GO:{i:07}"),
                     name: Some(format!("fn {i}")),
                     namespace: Some(
-                        if i % 2 == 0 { "molecular_function" } else { "biological_process" }
-                            .into(),
+                        if i % 2 == 0 {
+                            "molecular_function"
+                        } else {
+                            "biological_process"
+                        }
+                        .into(),
                     ),
                     evidence: None,
                     sources: vec![],
@@ -279,7 +290,10 @@ mod tests {
 
     #[test]
     fn missing_locus_ids_sort_last() {
-        let mut genes = vec![gene("A", 1, "x", "1p1", 0, 0), gene("B", 2, "x", "1p1", 0, 0)];
+        let mut genes = vec![
+            gene("A", 1, "x", "1p1", 0, 0),
+            gene("B", 2, "x", "1p1", 0, 0),
+        ];
         genes[0].gene_id = None;
         sort_genes(&mut genes, SortKey::LocusId, false);
         assert_eq!(genes[0].symbol, "B");

@@ -57,11 +57,7 @@ impl Annoda {
 
     /// Convenience: an instance over the three paper sources, returning
     /// the plug-in reports.
-    pub fn over_sources(
-        locuslink: LocusLinkDb,
-        go: GoDb,
-        omim: OmimDb,
-    ) -> (Self, Vec<PlugReport>) {
+    pub fn over_sources(locuslink: LocusLinkDb, go: GoDb, omim: OmimDb) -> (Self, Vec<PlugReport>) {
         let mut annoda = Annoda::new();
         let reports = vec![
             annoda.plug(Box::new(LocusLinkWrapper::new(locuslink))),
@@ -172,7 +168,11 @@ impl Annoda {
             ..GeneQuestion::default()
         };
         let answer = self.registry.mediator().answer(&q).ok()?;
-        let gene = answer.fused.genes.into_iter().find(|g| g.symbol == symbol)?;
+        let gene = answer
+            .fused
+            .genes
+            .into_iter()
+            .find(|g| g.symbol == symbol)?;
         Some(f(&gene))
     }
 

@@ -150,7 +150,7 @@ impl IntegrationSystem for HypertextSystem {
                 functions,
                 diseases,
                 publications: Vec::new(), // link navigation / the expert
-                                          // program do not consult PubMed
+                // program do not consult PubMed
                 links: vec![WebLink::external("LocusLink", rec.url())],
             };
             // The "user" applies the conditions by reading the pages.

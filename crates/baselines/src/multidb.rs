@@ -148,10 +148,10 @@ impl IntegrationSystem for MultiDbSystem {
             else {
                 continue;
             };
-            go_of_gene
-                .entry(g.as_text())
-                .or_default()
-                .insert(a.as_text(), s.child_value(r, "EvidenceCode").map(|v| v.as_text()));
+            go_of_gene.entry(g.as_text()).or_default().insert(
+                a.as_text(),
+                s.child_value(r, "EvidenceCode").map(|v| v.as_text()),
+            );
         }
 
         let mut dis_of_gene: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
@@ -172,7 +172,10 @@ impl IntegrationSystem for MultiDbSystem {
             );
             for sym in s.children(r, "GeneSymbol") {
                 if let Some(v) = s.value_of(sym) {
-                    dis_of_gene.entry(v.as_text()).or_default().insert(mim.clone());
+                    dis_of_gene
+                        .entry(v.as_text())
+                        .or_default()
+                        .insert(mim.clone());
                 }
             }
         }
@@ -245,7 +248,7 @@ impl IntegrationSystem for MultiDbSystem {
                 functions,
                 diseases,
                 publications: Vec::new(), // link navigation / the expert
-                                          // program do not consult PubMed
+                // program do not consult PubMed
                 links: Vec::new(),
                 symbol,
             };
@@ -290,8 +293,8 @@ mod tests {
             .filter(|r| {
                 let has_fn = !r.go_ids.is_empty()
                     || corpus.go.annotations_of_gene(&r.symbol).next().is_some();
-                let has_dis = !r.omim_ids.is_empty()
-                    || corpus.omim.by_gene(&r.symbol).next().is_some();
+                let has_dis =
+                    !r.omim_ids.is_empty() || corpus.omim.by_gene(&r.symbol).next().is_some();
                 has_fn && !has_dis
             })
             .map(|r| r.symbol.clone())
@@ -310,7 +313,11 @@ mod tests {
         // The schema-transparency gap: the same concept needs three
         // spellings.
         assert!(s
-            .run_subquery("LocusLink", "select L.Symbol from LocusLink.Locus L", &mut cost)
+            .run_subquery(
+                "LocusLink",
+                "select L.Symbol from LocusLink.Locus L",
+                &mut cost
+            )
             .is_ok());
         assert!(s
             .run_subquery("GO", "select A.Gene from GO.Annotation A", &mut cost)

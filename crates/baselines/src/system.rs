@@ -182,9 +182,13 @@ mod tests {
 
     #[test]
     fn interface_kind_displays() {
-        assert!(InterfaceKind::BiologicalForm.to_string().contains("Biological"));
+        assert!(InterfaceKind::BiologicalForm
+            .to_string()
+            .contains("Biological"));
         assert!(!InterfaceKind::BiologicalForm.to_string().contains("SQL\""));
-        assert!(InterfaceKind::QueryLanguage("SQL").to_string().contains("SQL"));
+        assert!(InterfaceKind::QueryLanguage("SQL")
+            .to_string()
+            .contains("SQL"));
     }
 
     #[test]
@@ -196,6 +200,7 @@ mod tests {
                 requests: 2,
                 records: 10,
                 virtual_us: 999,
+                ..Cost::default()
             },
         };
         let s = QueryStats::of(&a);

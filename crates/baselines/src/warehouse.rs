@@ -12,10 +12,10 @@
 use std::collections::HashMap;
 
 use annoda_mediator::fusion::passes_question;
-use annoda_oem::OemStore;
 use annoda_mediator::{
     GeneQuestion as MQ, IntegratedGene, Mediator, OptimizerConfig, ReconcilePolicy,
 };
+use annoda_oem::OemStore;
 use annoda_sources::{GoDb, LocusLinkDb, OmimDb};
 use annoda_wrap::{Cost, GoWrapper, LatencyModel, LocusLinkWrapper, OmimWrapper};
 
@@ -120,9 +120,7 @@ impl WarehouseSystem {
             let fresh = wrapper.oml();
             let unchanged = match self.oml_snapshots.get(&name) {
                 Some(old) => match (old.named(&name), fresh.named(&name)) {
-                    (Some(ra), Some(rb)) => {
-                        annoda_oem::graph::diff(old, ra, fresh, rb).is_empty()
-                    }
+                    (Some(ra), Some(rb)) => annoda_oem::graph::diff(old, ra, fresh, rb).is_empty(),
                     _ => false,
                 },
                 None => false,

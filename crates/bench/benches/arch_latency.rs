@@ -18,16 +18,12 @@ fn bench_architectures(c: &mut Criterion) {
         let corpus = workload::corpus_of(loci, 7);
         for mut sys in workload::all_systems(&corpus) {
             let name = sys.name().to_string();
-            group.bench_with_input(
-                BenchmarkId::new(name, loci),
-                &loci,
-                |b, _| {
-                    b.iter(|| {
-                        let ans = sys.answer(&GeneQuestion::figure5()).unwrap();
-                        black_box(ans.genes.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, loci), &loci, |b, _| {
+                b.iter(|| {
+                    let ans = sys.answer(&GeneQuestion::figure5()).unwrap();
+                    black_box(ans.genes.len())
+                })
+            });
         }
     }
     group.finish();

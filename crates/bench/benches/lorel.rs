@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use annoda_lorel::{eval_rows, parse};
+use annoda_lorel::{eval_rows, eval_rows_naive, parse};
 use annoda_oem::{AtomicValue, OemStore};
 
 fn gene_store(n: usize) -> OemStore {
@@ -14,7 +14,8 @@ fn gene_store(n: usize) -> OemStore {
     for i in 0..n {
         let g = db.add_complex_child(root, "Gene").unwrap();
         db.add_atomic_child(g, "Symbol", format!("G{i}")).unwrap();
-        db.add_atomic_child(g, "Id", AtomicValue::Int(i as i64)).unwrap();
+        db.add_atomic_child(g, "Id", AtomicValue::Int(i as i64))
+            .unwrap();
         let links = db.add_complex_child(g, "Links").unwrap();
         db.add_atomic_child(links, "Url", AtomicValue::Url(format!("http://x/{i}")))
             .unwrap();
@@ -36,8 +37,8 @@ fn bench_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("lorel_eval");
     for n in [100usize, 1000] {
         let store = gene_store(n);
-        let selection = parse(r#"select G.Symbol from DB.Gene G where G.Symbol like "G1%""#)
-            .unwrap();
+        let selection =
+            parse(r#"select G.Symbol from DB.Gene G where G.Symbol like "G1%""#).unwrap();
         group.bench_with_input(BenchmarkId::new("selection", n), &n, |b, _| {
             b.iter(|| black_box(eval_rows(&store, &selection).unwrap().len()))
         });
@@ -53,5 +54,40 @@ fn bench_eval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_eval);
+/// Planned vs naive evaluation on selective equality predicates — the
+/// access paths the query planner's selection pushdown targets. The
+/// planner seeks the store-cached value index (one candidate) where the
+/// naive loop scans every gene; the gap widens with corpus size.
+fn bench_access_path_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lorel_planner");
+    for n in [1000usize, 4000] {
+        let store = gene_store(n);
+        let selective = parse(r#"select G from DB.Gene G where G.Symbol = "G7""#).unwrap();
+        let residual =
+            parse(r#"select G from DB.Gene G where G.Symbol = "G7" and G.Id < 100"#).unwrap();
+        // Warm the value index so the planned numbers measure steady
+        // state, not the one-off index build.
+        eval_rows(&store, &selective).unwrap();
+        group.bench_with_input(BenchmarkId::new("selective_planned", n), &n, |b, _| {
+            b.iter(|| black_box(eval_rows(&store, &selective).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("selective_naive", n), &n, |b, _| {
+            b.iter(|| black_box(eval_rows_naive(&store, &selective).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("residual_planned", n), &n, |b, _| {
+            b.iter(|| black_box(eval_rows(&store, &residual).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("residual_naive", n), &n, |b, _| {
+            b.iter(|| black_box(eval_rows_naive(&store, &residual).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_eval,
+    bench_access_path_selection
+);
 criterion_main!(benches);

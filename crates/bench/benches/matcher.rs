@@ -21,7 +21,13 @@ fn matrix(n: usize, seed: u64) -> Vec<Vec<f64>> {
     (0..n)
         .map(|i| {
             (0..n)
-                .map(|j| if i == j { 0.6 + 0.4 * next() } else { 0.5 * next() })
+                .map(|j| {
+                    if i == j {
+                        0.6 + 0.4 * next()
+                    } else {
+                        0.5 * next()
+                    }
+                })
                 .collect()
         })
         .collect()
@@ -48,8 +54,7 @@ fn bench_mdsm_end_to_end(c: &mut Criterion) {
     let mdsm = Mdsm::default();
     c.bench_function("mdsm_match_locuslink_oml", |b| {
         b.iter(|| {
-            let (rules, _) =
-                mdsm.match_stores(wrapper.oml(), "LocusLink", &exemplar, "ANNODA-GML");
+            let (rules, _) = mdsm.match_stores(wrapper.oml(), "LocusLink", &exemplar, "ANNODA-GML");
             black_box(rules.len())
         })
     });

@@ -19,11 +19,46 @@ fn bench_ablation(c: &mut Criterion) {
         ..GeneQuestion::default()
     };
     let configs = [
-        ("both_on", OptimizerConfig { pushdown: true, source_selection: true, bind_join: false }),
-        ("bind_join", OptimizerConfig { pushdown: true, source_selection: true, bind_join: true }),
-        ("pushdown_off", OptimizerConfig { pushdown: false, source_selection: true, bind_join: false }),
-        ("selection_off", OptimizerConfig { pushdown: true, source_selection: false, bind_join: false }),
-        ("both_off", OptimizerConfig { pushdown: false, source_selection: false, bind_join: false }),
+        (
+            "both_on",
+            OptimizerConfig {
+                pushdown: true,
+                source_selection: true,
+                bind_join: false,
+            },
+        ),
+        (
+            "bind_join",
+            OptimizerConfig {
+                pushdown: true,
+                source_selection: true,
+                bind_join: true,
+            },
+        ),
+        (
+            "pushdown_off",
+            OptimizerConfig {
+                pushdown: false,
+                source_selection: true,
+                bind_join: false,
+            },
+        ),
+        (
+            "selection_off",
+            OptimizerConfig {
+                pushdown: true,
+                source_selection: false,
+                bind_join: false,
+            },
+        ),
+        (
+            "both_off",
+            OptimizerConfig {
+                pushdown: false,
+                source_selection: false,
+                bind_join: false,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("optimizer");
     group.sample_size(10);

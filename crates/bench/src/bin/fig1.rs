@@ -67,7 +67,14 @@ fn main() {
 
     // ANNODA-GML global model.
     println!("\n[ANNODA-GML] global model (virtual; Figure 4):");
-    for entity in ["Source", "Gene", "Function", "Disease", "Annotation", "Publication"] {
+    for entity in [
+        "Source",
+        "Gene",
+        "Function",
+        "Disease",
+        "Annotation",
+        "Publication",
+    ] {
         let providers = annoda.mediator().model().providers_of(entity);
         println!(
             "   {:<10} provided by: {}",

@@ -43,6 +43,10 @@ fn main() {
     let again = text::write_rooted(&parsed, "LocusLink", parsed_root);
     println!(
         "\nround-trip through the reader: {}",
-        if rendered == again { "exact" } else { "MISMATCH" }
+        if rendered == again {
+            "exact"
+        } else {
+            "MISMATCH"
+        }
     );
 }

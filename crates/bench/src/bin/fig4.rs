@@ -18,7 +18,14 @@ fn main() {
     let (gml, cost) = annoda.mediator().materialize_gml().unwrap();
     let root = gml.named("ANNODA-GML").unwrap();
     println!("\nMaterialised instance over the synthetic corpus:");
-    for entity in ["Source", "Gene", "Function", "Disease", "Annotation", "Publication"] {
+    for entity in [
+        "Source",
+        "Gene",
+        "Function",
+        "Disease",
+        "Annotation",
+        "Publication",
+    ] {
         println!(
             "   {:<11} {} objects",
             entity,

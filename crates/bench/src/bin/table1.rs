@@ -15,13 +15,8 @@ use annoda_sources::{Corpus, CorpusConfig};
 fn equivalent(observed: &str, expected: &str) -> bool {
     matches!(
         (observed, expected),
-        (
-            "No archival functionality",
-            "Not supported"
-        ) | (
-            "Require knowledge of CPL/OQL",
-            "Not a use level interface"
-        )
+        ("No archival functionality", "Not supported")
+            | ("Require knowledge of CPL/OQL", "Not a use level interface")
     )
 }
 

@@ -156,7 +156,9 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(v) => match v {
-                AtomicValue::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+                AtomicValue::Str(s) => {
+                    write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+                }
                 AtomicValue::Url(u) => write!(f, "\"{u}\""),
                 other => write!(f, "{other}"),
             },

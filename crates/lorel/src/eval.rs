@@ -22,7 +22,7 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-use annoda_oem::{AtomicValue, Oid, OemStore};
+use annoda_oem::{AtomicValue, OemStore, Oid};
 
 use crate::ast::{AggFn, CompOp, Cond, Expr, Query};
 use crate::error::LorelError;
@@ -110,9 +110,9 @@ impl std::fmt::Debug for FunctionRegistry {
 
 /// Shared evaluation context: the fallback variable for relative paths
 /// plus the registered functions.
-struct Ctx<'a> {
-    default_var: &'a str,
-    functions: &'a FunctionRegistry,
+pub(crate) struct Ctx<'a> {
+    pub(crate) default_var: &'a str,
+    pub(crate) functions: &'a FunctionRegistry,
 }
 
 /// One passing variable assignment.
@@ -195,6 +195,12 @@ pub enum Projected {
 /// Evaluates the query **without mutating the store**: returns the
 /// passing rows only (sorted if the query orders). Wrappers and the
 /// mediator use this to run subqueries against shared local models.
+///
+/// Execution goes through the [planner](crate::plan): eligible queries
+/// use index-backed selection pushdown, filter-as-you-bind pruning, and
+/// selectivity-driven binding order; anything the planner cannot prove
+/// equivalent runs the naive nested loop. Both paths return identical
+/// rows in identical order.
 pub fn eval_rows(store: &OemStore, query: &Query) -> Result<Vec<Row>, LorelError> {
     eval_rows_with(store, query, &FunctionRegistry::default())
 }
@@ -202,6 +208,54 @@ pub fn eval_rows(store: &OemStore, query: &Query) -> Result<Vec<Row>, LorelError
 /// [`eval_rows`] with registered specialty evaluation functions in
 /// scope.
 pub fn eval_rows_with(
+    store: &OemStore,
+    query: &Query,
+    functions: &FunctionRegistry,
+) -> Result<Vec<Row>, LorelError> {
+    eval_rows_explained_with(store, query, functions).map(|(rows, _)| rows)
+}
+
+/// [`eval_rows_with`] that also reports what the planner did (access
+/// path, binding order, probe counters) via a [`crate::plan::PlanExplain`].
+pub fn eval_rows_explained(
+    store: &OemStore,
+    query: &Query,
+) -> Result<(Vec<Row>, crate::plan::PlanExplain), LorelError> {
+    eval_rows_explained_with(store, query, &FunctionRegistry::default())
+}
+
+/// [`eval_rows_explained`] with registered specialty evaluation
+/// functions in scope.
+pub fn eval_rows_explained_with(
+    store: &OemStore,
+    query: &Query,
+    functions: &FunctionRegistry,
+) -> Result<(Vec<Row>, crate::plan::PlanExplain), LorelError> {
+    if let Some(plan) = crate::plan::plan_query(store, query, functions) {
+        let (mut rows, explain) = plan.execute(store, query, functions)?;
+        if !query.order_by.is_empty() {
+            let ctx = Ctx {
+                default_var: &query.from[0].var,
+                functions,
+            };
+            sort_rows(store, query, &mut rows, &ctx);
+        }
+        return Ok((rows, explain));
+    }
+    let rows = eval_rows_naive_with(store, query, functions)?;
+    Ok((rows, crate::plan::PlanExplain::fallback(query)))
+}
+
+/// The reference evaluator: left-to-right nested-loop binding with the
+/// full `where` clause checked per complete row, no planning. Kept
+/// public as the equivalence oracle for planner tests and benchmarks.
+pub fn eval_rows_naive(store: &OemStore, query: &Query) -> Result<Vec<Row>, LorelError> {
+    eval_rows_naive_with(store, query, &FunctionRegistry::default())
+}
+
+/// [`eval_rows_naive`] with registered specialty evaluation functions
+/// in scope.
+pub fn eval_rows_naive_with(
     store: &OemStore,
     query: &Query,
     functions: &FunctionRegistry,
@@ -397,9 +451,7 @@ fn eval_grouped(
                     let mut oids: Vec<Oid> = Vec::new();
                     let mut seen: std::collections::HashSet<Oid> = Default::default();
                     for row in group_rows {
-                        if let Evaled::Oids(os) =
-                            evaluate_expr(store, inner, row, &ctx)?
-                        {
+                        if let Evaled::Oids(os) = evaluate_expr(store, inner, row, &ctx)? {
                             for o in os {
                                 if seen.insert(o) {
                                     oids.push(o);
@@ -511,7 +563,11 @@ fn bind_from(
 }
 
 /// Resolves a path head: bound variable first, then store root name.
-fn resolve_head(store: &OemStore, head: &str, env: &[(String, Oid)]) -> Option<Vec<Oid>> {
+pub(crate) fn resolve_head(
+    store: &OemStore,
+    head: &str,
+    env: &[(String, Oid)],
+) -> Option<Vec<Oid>> {
     if let Some(&(_, oid)) = env.iter().rev().find(|(v, _)| v == head) {
         return Some(vec![oid]);
     }
@@ -557,9 +613,7 @@ fn evaluate_expr(
             let mut arg_values: Vec<Option<AtomicValue>> = Vec::with_capacity(args.len());
             for a in args {
                 let v = match evaluate_expr(store, a, row, ctx)? {
-                    Evaled::Oids(oids) => oids
-                        .into_iter()
-                        .find_map(|o| store.value_of(o).cloned()),
+                    Evaled::Oids(oids) => oids.into_iter().find_map(|o| store.value_of(o).cloned()),
                     Evaled::Value(v) => Some(v),
                     Evaled::None => None,
                 };
@@ -628,9 +682,12 @@ fn aggregate(store: &OemStore, f: AggFn, oids: &[Oid]) -> Evaled {
             } else {
                 sum / nums.len() as f64
             };
-            if out.fract() == 0.0 && f == AggFn::Sum && oids.iter().all(|&o| {
-                matches!(store.value_of(o), Some(AtomicValue::Int(_)))
-            }) {
+            if out.fract() == 0.0
+                && f == AggFn::Sum
+                && oids
+                    .iter()
+                    .all(|&o| matches!(store.value_of(o), Some(AtomicValue::Int(_))))
+            {
                 Evaled::Value(AtomicValue::Int(out as i64))
             } else {
                 Evaled::Value(AtomicValue::Real(out))
@@ -657,21 +714,15 @@ fn aggregate(store: &OemStore, f: AggFn, oids: &[Oid]) -> Evaled {
     }
 }
 
-fn eval_cond(
+pub(crate) fn eval_cond(
     store: &OemStore,
     cond: &Cond,
     row: &Row,
     ctx: &Ctx<'_>,
 ) -> Result<bool, LorelError> {
     Ok(match cond {
-        Cond::And(l, r) => {
-            eval_cond(store, l, row, ctx)?
-                && eval_cond(store, r, row, ctx)?
-        }
-        Cond::Or(l, r) => {
-            eval_cond(store, l, row, ctx)?
-                || eval_cond(store, r, row, ctx)?
-        }
+        Cond::And(l, r) => eval_cond(store, l, row, ctx)? && eval_cond(store, r, row, ctx)?,
+        Cond::Or(l, r) => eval_cond(store, l, row, ctx)? || eval_cond(store, r, row, ctx)?,
         Cond::Not(c) => !eval_cond(store, c, row, ctx)?,
         Cond::Exists(e) => match evaluate_expr(store, e, row, ctx)? {
             Evaled::Oids(o) => !o.is_empty(),
@@ -785,9 +836,7 @@ fn sort_rows(store: &OemStore, query: &Query, rows: &mut [Row], ctx: &Ctx<'_>) {
 
 fn first_atom(store: &OemStore, expr: &Expr, row: &Row, ctx: &Ctx<'_>) -> Option<AtomicValue> {
     match evaluate_expr(store, expr, row, ctx).ok()? {
-        Evaled::Oids(oids) => oids
-            .into_iter()
-            .find_map(|o| store.value_of(o).cloned()),
+        Evaled::Oids(oids) => oids.into_iter().find_map(|o| store.value_of(o).cloned()),
         Evaled::Value(v) => Some(v),
         Evaled::None => None,
     }
@@ -804,11 +853,13 @@ mod tests {
         let root = db.new_complex();
         for (id, name) in [(1, "LocusLink"), (2, "GO"), (3, "OMIM")] {
             let s = db.add_complex_child(root, "Source").unwrap();
-            db.add_atomic_child(s, "SourceID", AtomicValue::Int(id)).unwrap();
+            db.add_atomic_child(s, "SourceID", AtomicValue::Int(id))
+                .unwrap();
             db.add_atomic_child(s, "Name", name).unwrap();
             db.add_atomic_child(s, "Content", format!("{name} annotation data"))
                 .unwrap();
-            db.add_atomic_child(s, "Structure", "semistructured").unwrap();
+            db.add_atomic_child(s, "Structure", "semistructured")
+                .unwrap();
         }
         db.set_name("ANNODA-GML", root).unwrap();
         db
@@ -824,10 +875,12 @@ mod tests {
         ] {
             let g = db.add_complex_child(root, "Gene").unwrap();
             db.add_atomic_child(g, "Symbol", sym).unwrap();
-            db.add_atomic_child(g, "LocusID", AtomicValue::Int(locus)).unwrap();
+            db.add_atomic_child(g, "LocusID", AtomicValue::Int(locus))
+                .unwrap();
             if omim {
                 let d = db.add_complex_child(g, "Omim").unwrap();
-                db.add_atomic_child(d, "Title", format!("{sym} disease")).unwrap();
+                db.add_atomic_child(d, "Title", format!("{sym} disease"))
+                    .unwrap();
             }
         }
         db.set_name("DB", root).unwrap();
@@ -848,7 +901,10 @@ mod tests {
         let original = out.projected[0].1[0];
         assert_ne!(new_obj, original, "coercion must create a new object");
         // …whose references point at the ORIGINAL children.
-        assert_eq!(db.child(new_obj, "SourceID"), db.child(original, "SourceID"));
+        assert_eq!(
+            db.child(new_obj, "SourceID"),
+            db.child(original, "SourceID")
+        );
         assert_eq!(
             db.child_value(new_obj, "Name"),
             Some(&AtomicValue::Str("LocusLink".into()))
@@ -937,7 +993,11 @@ mod tests {
 
         let mut db2 = db.clone();
         let out = run_query(&mut db2, "select I.v from R.Item I").unwrap();
-        assert_eq!(out.projected[0].1.len(), 2, "same oid collapses, equal value does not");
+        assert_eq!(
+            out.projected[0].1.len(),
+            2,
+            "same oid collapses, equal value does not"
+        );
     }
 
     #[test]
@@ -960,7 +1020,10 @@ mod tests {
     fn aggregates_count_sum_avg_min_max() {
         let mut db = gene_store();
         let out = run_query(&mut db, "select count(R.Gene) from DB R").unwrap();
-        assert_eq!(db.value_of(out.projected[0].1[0]), Some(&AtomicValue::Int(3)));
+        assert_eq!(
+            db.value_of(out.projected[0].1[0]),
+            Some(&AtomicValue::Int(3))
+        );
 
         let out = run_query(&mut db, "select sum(R.Gene.LocusID) from DB R").unwrap();
         assert_eq!(
@@ -969,13 +1032,26 @@ mod tests {
         );
 
         let out = run_query(&mut db, "select avg(R.Gene.LocusID) from DB R").unwrap();
-        let v = db.value_of(out.projected[0].1[0]).unwrap().as_real().unwrap();
+        let v = db
+            .value_of(out.projected[0].1[0])
+            .unwrap()
+            .as_real()
+            .unwrap();
         assert!((v - (7157.0 + 672.0 + 1956.0) / 3.0).abs() < 1e-9);
 
-        let out = run_query(&mut db, "select min(R.Gene.LocusID), max(R.Gene.LocusID) from DB R")
-            .unwrap();
-        assert_eq!(db.value_of(out.projected[0].1[0]), Some(&AtomicValue::Int(672)));
-        assert_eq!(db.value_of(out.projected[1].1[0]), Some(&AtomicValue::Int(7157)));
+        let out = run_query(
+            &mut db,
+            "select min(R.Gene.LocusID), max(R.Gene.LocusID) from DB R",
+        )
+        .unwrap();
+        assert_eq!(
+            db.value_of(out.projected[0].1[0]),
+            Some(&AtomicValue::Int(672))
+        );
+        assert_eq!(
+            db.value_of(out.projected[1].1[0]),
+            Some(&AtomicValue::Int(7157))
+        );
     }
 
     #[test]
@@ -992,11 +1068,7 @@ mod tests {
     #[test]
     fn order_by_sorts_rows() {
         let mut db = gene_store();
-        let out = run_query(
-            &mut db,
-            "select G.Symbol from DB.Gene G order by G.Symbol",
-        )
-        .unwrap();
+        let out = run_query(&mut db, "select G.Symbol from DB.Gene G order by G.Symbol").unwrap();
         let syms: Vec<String> = out.projected[0]
             .1
             .iter()
@@ -1038,11 +1110,7 @@ mod tests {
     #[test]
     fn complex_objects_compare_by_oid() {
         let mut db = gene_store();
-        let out = run_query(
-            &mut db,
-            "select G from DB.Gene G, DB.Gene H where G = H",
-        )
-        .unwrap();
+        let out = run_query(&mut db, "select G from DB.Gene G, DB.Gene H where G = H").unwrap();
         assert_eq!(out.rows.len(), 3, "each gene equals only itself");
     }
 
@@ -1108,7 +1176,10 @@ mod tests {
             db.value_of(out.projected[0].1[0]),
             Some(&AtomicValue::Str("BRCA1".into()))
         );
-        assert_eq!(db.value_of(out.projected[1].1[0]), Some(&AtomicValue::Int(5)));
+        assert_eq!(
+            db.value_of(out.projected[1].1[0]),
+            Some(&AtomicValue::Int(5))
+        );
         assert_eq!(
             db.type_of(out.projected[1].1[0]).unwrap(),
             annoda_oem::OemType::Atomic(AtomicType::Int)
@@ -1185,8 +1256,7 @@ mod tests {
         .unwrap();
         assert!(db.named("Flagged").is_some());
         // A later query ranges over the saved answer.
-        let out = run_query(&mut db, "select X.Symbol from Flagged.Symbol X")
-            .unwrap();
+        let out = run_query(&mut db, "select X.Symbol from Flagged.Symbol X").unwrap();
         // The saved answer holds coerced copies labelled by the select
         // item (`G`), so navigate through that label instead:
         let out2 = run_query(&mut db, "select X from Flagged.G.Symbol X").unwrap();
@@ -1259,11 +1329,7 @@ mod tests {
             db.add_edge(g, "V", shared).unwrap();
         }
         db.set_name("DB", root).unwrap();
-        let out = run_query(
-            &mut db,
-            "select count(G.V) from DB.Gene G group by G.Org",
-        )
-        .unwrap();
+        let out = run_query(&mut db, "select count(G.V) from DB.Gene G group by G.Org").unwrap();
         let group = db.children(out.answer, "group").next().unwrap();
         assert_eq!(db.child_value(group, "count"), Some(&AtomicValue::Int(1)));
     }
@@ -1288,11 +1354,7 @@ mod tests {
     #[test]
     fn incomparable_types_make_predicates_false_not_errors() {
         let mut db = gene_store();
-        let out = run_query(
-            &mut db,
-            r#"select G from DB.Gene G where G > 5"#,
-        )
-        .unwrap();
+        let out = run_query(&mut db, r#"select G from DB.Gene G where G > 5"#).unwrap();
         assert_eq!(out.rows.len(), 0);
     }
 }

@@ -299,7 +299,10 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Literal(annoda_oem::AtomicValue::Bool(false)))
             }
-            TokenKind::Count | TokenKind::Sum | TokenKind::Min | TokenKind::Max
+            TokenKind::Count
+            | TokenKind::Sum
+            | TokenKind::Min
+            | TokenKind::Max
             | TokenKind::Avg => {
                 let f = match self.bump() {
                     TokenKind::Count => AggFn::Count,
@@ -363,9 +366,7 @@ impl Parser {
                     PathStep::Label(l)
                 }
                 other => {
-                    return Err(
-                        self.err(format!("expected path step, found {}", other.describe()))
-                    )
+                    return Err(self.err(format!("expected path step, found {}", other.describe())))
                 }
             };
             steps.push(step);

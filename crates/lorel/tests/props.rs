@@ -48,7 +48,8 @@ fn gene_store(n: usize) -> OemStore {
     let root = db.new_complex();
     for i in 0..n {
         let g = db.add_complex_child(root, "Gene").unwrap();
-        db.add_atomic_child(g, "Id", AtomicValue::Int(i as i64)).unwrap();
+        db.add_atomic_child(g, "Id", AtomicValue::Int(i as i64))
+            .unwrap();
         db.add_atomic_child(g, "Symbol", format!("G{i}")).unwrap();
         if i % 3 == 0 {
             db.add_complex_child(g, "Omim").unwrap();

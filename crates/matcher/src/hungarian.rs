@@ -24,10 +24,7 @@ pub struct Assignment {
 impl Assignment {
     /// The column matched to `row`, if any.
     pub fn column_of(&self, row: usize) -> Option<usize> {
-        self.pairs
-            .iter()
-            .find(|&&(r, _)| r == row)
-            .map(|&(_, c)| c)
+        self.pairs.iter().find(|&&(r, _)| r == row).map(|&(_, c)| c)
     }
 }
 
@@ -275,7 +272,9 @@ mod tests {
         // Deterministic pseudo-random matrices (LCG) up to 5×5.
         let mut state = 0x2545F491_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for n in 2..=5 {

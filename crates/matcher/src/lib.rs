@@ -28,9 +28,9 @@ pub mod schema;
 pub mod similarity;
 
 pub use hungarian::{greedy_assignment, hungarian_max, Assignment};
-pub use mdsm::{MatchConfig, MappingRule, MatchReport, Mdsm};
+pub use mdsm::{MappingRule, MatchConfig, MatchReport, Mdsm};
 pub use schema::{SchemaElement, SchemaExtract};
 pub use similarity::{
-    child_token_similarity, combined_similarity, levenshtein, name_similarity,
-    ngram_similarity, token_similarity,
+    child_token_similarity, combined_similarity, levenshtein, name_similarity, ngram_similarity,
+    token_similarity,
 };

@@ -202,8 +202,7 @@ impl Mdsm {
         if matches!(s.ty, annoda_oem::OemType::Complex)
             && matches!(g.ty, annoda_oem::OemType::Complex)
         {
-            let structure =
-                crate::similarity::child_token_similarity(&s.children, &g.children);
+            let structure = crate::similarity::child_token_similarity(&s.children, &g.children);
             name = name.max(0.4 * name + 0.6 * structure);
             if s.path.len() != g.path.len() {
                 name *= 0.3;
@@ -217,9 +216,7 @@ impl Mdsm {
                     let label_sim = crate::similarity::token_similarity(a, b)
                         .max(crate::similarity::ngram_similarity(a, b));
                     let struct_sim = match (s_parent_children, g_parent_children) {
-                        (Some(ca), Some(cb)) => {
-                            crate::similarity::child_token_similarity(ca, cb)
-                        }
+                        (Some(ca), Some(cb)) => crate::similarity::child_token_similarity(ca, cb),
                         _ => 0.0,
                     };
                     label_sim.max(struct_sim)
@@ -310,7 +307,11 @@ mod tests {
         let mut globals: Vec<&str> = rules.iter().map(|r| r.global_path.as_str()).collect();
         globals.sort_unstable();
         globals.dedup();
-        assert_eq!(globals.len(), rules.len(), "no global element matched twice");
+        assert_eq!(
+            globals.len(),
+            rules.len(),
+            "no global element matched twice"
+        );
     }
 
     #[test]
@@ -353,10 +354,7 @@ mod tests {
         // and `Gene` (weaker, should pair elsewhere or drop).
         let s = OemType::Atomic(AtomicType::Str);
         let src = SchemaExtract {
-            elements: vec![
-                elem(&["A", "GeneSymbol"], s, 5),
-                elem(&["A", "Gene"], s, 5),
-            ],
+            elements: vec![elem(&["A", "GeneSymbol"], s, 5), elem(&["A", "Gene"], s, 5)],
         };
         let glb = SchemaExtract {
             elements: vec![elem(&["G", "Symbol"], s, 5), elem(&["G", "Locus"], s, 5)],

@@ -119,7 +119,8 @@ mod tests {
         for (sym, id) in [("TP53", 7157i64), ("BRCA1", 672)] {
             let l = db.add_complex_child(root, "Locus").unwrap();
             db.add_atomic_child(l, "Symbol", sym).unwrap();
-            db.add_atomic_child(l, "LocusID", AtomicValue::Int(id)).unwrap();
+            db.add_atomic_child(l, "LocusID", AtomicValue::Int(id))
+                .unwrap();
             let links = db.add_complex_child(l, "Links").unwrap();
             db.add_atomic_child(links, "GO", AtomicValue::Url("http://go".into()))
                 .unwrap();

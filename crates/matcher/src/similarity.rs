@@ -75,7 +75,16 @@ pub fn ngram_similarity(a: &str, b: &str) -> f64 {
 /// Domain synonym groups for the annotation vocabulary. Tokens in the
 /// same group count as equal during token matching.
 const SYNONYM_GROUPS: &[&[&str]] = &[
-    &["id", "identifier", "accession", "number", "no", "mim", "goid", "pmid"],
+    &[
+        "id",
+        "identifier",
+        "accession",
+        "number",
+        "no",
+        "mim",
+        "goid",
+        "pmid",
+    ],
     &["name", "title", "term"],
     &["gene", "locus", "symbol", "genesymbol"],
     &["disease", "disorder", "phenotype", "entry"],
@@ -266,12 +275,8 @@ mod tests {
             Atomic(AtomicType::Str),
             Atomic(AtomicType::Str),
         );
-        let cross_type = combined_similarity(
-            "Symbol",
-            "GeneSymbol",
-            Atomic(AtomicType::Str),
-            Complex,
-        );
+        let cross_type =
+            combined_similarity("Symbol", "GeneSymbol", Atomic(AtomicType::Str), Complex);
         assert!(same_type > 0.4);
         assert_eq!(cross_type, 0.0);
     }

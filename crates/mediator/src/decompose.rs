@@ -230,7 +230,10 @@ pub fn entity_subquery(
                 where_parts.push(format!("{var}.{local} {op} \"{literal}\""));
                 pushed.push((local.clone(), op.clone(), literal.clone()));
             }
-            None => residual.push(format!("{}.{attr} {op} \"{literal}\"", mapping.global_entity)),
+            None => residual.push(format!(
+                "{}.{attr} {op} \"{literal}\"",
+                mapping.global_entity
+            )),
         }
     }
     let mut lorel = format!(
@@ -349,19 +352,31 @@ mod tests {
 
     #[test]
     fn predicates_push_into_the_source_vocabulary() {
-        let preds = vec![("Name".to_string(), "like".to_string(), "%SYNDROME%".to_string())];
+        let preds = vec![(
+            "Name".to_string(),
+            "like".to_string(),
+            "%SYNDROME%".to_string(),
+        )];
         let (lorel, pushed, residual) = entity_subquery("OMIM", &mapping(), &preds);
         assert!(lorel.ends_with(r#"where X.Title like "%SYNDROME%""#));
         assert_eq!(
             pushed,
-            vec![("Title".to_string(), "like".to_string(), "%SYNDROME%".to_string())]
+            vec![(
+                "Title".to_string(),
+                "like".to_string(),
+                "%SYNDROME%".to_string()
+            )]
         );
         assert!(residual.is_empty());
     }
 
     #[test]
     fn unmapped_predicates_become_residual() {
-        let preds = vec![("Inheritance".to_string(), "=".to_string(), "X-linked".to_string())];
+        let preds = vec![(
+            "Inheritance".to_string(),
+            "=".to_string(),
+            "X-linked".to_string(),
+        )];
         let (lorel, _pushed, residual) = entity_subquery("OMIM", &mapping(), &preds);
         assert!(!lorel.contains("where"));
         assert_eq!(residual, vec![r#"Disease.Inheritance = "X-linked""#]);
@@ -419,7 +434,9 @@ mod tests {
             publication: AspectClause::Require(Some("%cancer%".into())),
             ..GeneQuestion::default()
         };
-        assert!(q.to_string().contains("cited in publications matching \"%cancer%\""));
+        assert!(q
+            .to_string()
+            .contains("cited in publications matching \"%cancer%\""));
     }
 
     #[test]

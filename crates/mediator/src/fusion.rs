@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use annoda_oem::{AtomicValue, Oid, OemStore};
+use annoda_oem::{AtomicValue, OemStore, Oid};
 use annoda_wrap::SubqueryResult;
 
 use crate::decompose::{AspectClause, Combination, GeneQuestion, Purpose};
@@ -146,7 +146,8 @@ impl FusedAnswer {
                 ("Position", &g.position),
             ] {
                 if let Some(v) = v {
-                    db.add_atomic_child(gene, label, v.as_str()).expect("complex");
+                    db.add_atomic_child(gene, label, v.as_str())
+                        .expect("complex");
                 }
             }
             for f in &g.functions {
@@ -154,22 +155,27 @@ impl FusedAnswer {
                 db.add_atomic_child(fo, "FunctionID", f.id.as_str())
                     .expect("complex");
                 if let Some(n) = &f.name {
-                    db.add_atomic_child(fo, "Name", n.as_str()).expect("complex");
+                    db.add_atomic_child(fo, "Name", n.as_str())
+                        .expect("complex");
                 }
                 if let Some(ns) = &f.namespace {
-                    db.add_atomic_child(fo, "Namespace", ns.as_str()).expect("complex");
+                    db.add_atomic_child(fo, "Namespace", ns.as_str())
+                        .expect("complex");
                 }
                 if let Some(e) = &f.evidence {
-                    db.add_atomic_child(fo, "Evidence", e.as_str()).expect("complex");
+                    db.add_atomic_child(fo, "Evidence", e.as_str())
+                        .expect("complex");
                 }
                 db.add_atomic_child(fo, "Link", AtomicValue::Url(f.link.url.clone()))
                     .expect("complex");
             }
             for d in &g.diseases {
                 let dis = db.add_complex_child(gene, "Disease").expect("complex");
-                db.add_atomic_child(dis, "DiseaseID", d.id.as_str()).expect("complex");
+                db.add_atomic_child(dis, "DiseaseID", d.id.as_str())
+                    .expect("complex");
                 if let Some(n) = &d.name {
-                    db.add_atomic_child(dis, "Name", n.as_str()).expect("complex");
+                    db.add_atomic_child(dis, "Name", n.as_str())
+                        .expect("complex");
                 }
                 if let Some(inh) = &d.inheritance {
                     db.add_atomic_child(dis, "Inheritance", inh.as_str())
@@ -180,15 +186,19 @@ impl FusedAnswer {
             }
             for p in &g.publications {
                 let pb = db.add_complex_child(gene, "Publication").expect("complex");
-                db.add_atomic_child(pb, "PublicationID", p.id.as_str()).expect("complex");
+                db.add_atomic_child(pb, "PublicationID", p.id.as_str())
+                    .expect("complex");
                 if let Some(t) = &p.title {
-                    db.add_atomic_child(pb, "Title", t.as_str()).expect("complex");
+                    db.add_atomic_child(pb, "Title", t.as_str())
+                        .expect("complex");
                 }
                 if let Some(y) = &p.year {
-                    db.add_atomic_child(pb, "Year", y.as_str()).expect("complex");
+                    db.add_atomic_child(pb, "Year", y.as_str())
+                        .expect("complex");
                 }
                 if let Some(j) = &p.journal {
-                    db.add_atomic_child(pb, "Journal", j.as_str()).expect("complex");
+                    db.add_atomic_child(pb, "Journal", j.as_str())
+                        .expect("complex");
                 }
                 db.add_atomic_child(pb, "Link", AtomicValue::Url(p.link.url.clone()))
                     .expect("complex");
@@ -507,8 +517,7 @@ pub fn fuse(
     // Coverage: a provider's silence counts as denial only when it was
     // queried without a narrowing pattern.
     let fn_coverage_complete = !annotation_sources.is_empty();
-    let dis_coverage_complete =
-        !disease_sources.is_empty() && question.disease.pattern().is_none();
+    let dis_coverage_complete = !disease_sources.is_empty() && question.disease.pattern().is_none();
 
     // ---- per-gene reconciliation and filtering ----------------------------
     let mut genes = Vec::new();
@@ -676,8 +685,8 @@ pub fn fuse(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use annoda_wrap::{Cost, SourceDescription, Wrapper};
     use annoda_oem::OemStore;
+    use annoda_wrap::{Cost, SourceDescription, Wrapper};
 
     /// A test wrapper whose OML we assemble by hand.
     struct Fixed {
@@ -706,13 +715,15 @@ mod tests {
         let root = oml.new_complex();
         let g1 = oml.add_complex_child(root, "Locus").unwrap();
         oml.add_atomic_child(g1, "Sym", "TP53").unwrap();
-        oml.add_atomic_child(g1, "Id", AtomicValue::Int(7157)).unwrap();
+        oml.add_atomic_child(g1, "Id", AtomicValue::Int(7157))
+            .unwrap();
         oml.add_atomic_child(g1, "Org", "Homo sapiens").unwrap();
         oml.add_atomic_child(g1, "Go", "GO:1").unwrap();
         oml.add_atomic_child(g1, "Mim", "100").unwrap();
         let g2 = oml.add_complex_child(root, "Locus").unwrap();
         oml.add_atomic_child(g2, "Sym", "EGFR").unwrap();
-        oml.add_atomic_child(g2, "Id", AtomicValue::Int(1956)).unwrap();
+        oml.add_atomic_child(g2, "Id", AtomicValue::Int(1956))
+            .unwrap();
         oml.add_atomic_child(g2, "Org", "Homo sapiens").unwrap();
         oml.set_name("LL", root).unwrap();
         let w = Fixed {
@@ -912,9 +923,7 @@ mod tests {
         assert_eq!(store.children(root, "Gene").count(), 2);
         let tp53 = store
             .children(root, "Gene")
-            .find(|&g| {
-                store.child_value(g, "Symbol") == Some(&AtomicValue::Str("TP53".into()))
-            })
+            .find(|&g| store.child_value(g, "Symbol") == Some(&AtomicValue::Str("TP53".into())))
             .unwrap();
         assert_eq!(store.children(tp53, "Function").count(), 2);
         assert_eq!(store.children(tp53, "Disease").count(), 1);

@@ -33,7 +33,8 @@ impl GmlBuilder {
         let source = db.add_complex_child(root, "Source").expect("root complex");
         db.add_atomic_child(source, "SourceID", AtomicValue::Int(1))
             .expect("complex");
-        db.add_atomic_child(source, "Name", "ExampleSource").expect("complex");
+        db.add_atomic_child(source, "Name", "ExampleSource")
+            .expect("complex");
         db.add_atomic_child(source, "Content", "example annotation data")
             .expect("complex");
         db.add_atomic_child(source, "Structure", "semistructured")
@@ -42,22 +43,24 @@ impl GmlBuilder {
         let gene = db.add_complex_child(root, "Gene").expect("root complex");
         db.add_atomic_child(gene, "GeneID", AtomicValue::Int(7157))
             .expect("complex");
-        db.add_atomic_child(gene, "Symbol", "TP53").expect("complex");
-        db.add_atomic_child(gene, "Organism", "Homo sapiens").expect("complex");
+        db.add_atomic_child(gene, "Symbol", "TP53")
+            .expect("complex");
+        db.add_atomic_child(gene, "Organism", "Homo sapiens")
+            .expect("complex");
         db.add_atomic_child(gene, "Description", "tumor protein p53")
             .expect("complex");
-        db.add_atomic_child(gene, "Position", "17p13.1").expect("complex");
-        db.add_atomic_child(gene, "FunctionID", "GO:0003700").expect("complex");
+        db.add_atomic_child(gene, "Position", "17p13.1")
+            .expect("complex");
+        db.add_atomic_child(gene, "FunctionID", "GO:0003700")
+            .expect("complex");
         db.add_atomic_child(gene, "DiseaseID", AtomicValue::Int(151623))
             .expect("complex");
-        db.add_atomic_child(
-            gene,
-            "Link",
-            AtomicValue::Url("http://example/gene".into()),
-        )
-        .expect("complex");
+        db.add_atomic_child(gene, "Link", AtomicValue::Url("http://example/gene".into()))
+            .expect("complex");
 
-        let function = db.add_complex_child(root, "Function").expect("root complex");
+        let function = db
+            .add_complex_child(root, "Function")
+            .expect("root complex");
         db.add_atomic_child(function, "FunctionID", "GO:0003700")
             .expect("complex");
         db.add_atomic_child(function, "Name", "transcription factor activity")
@@ -78,7 +81,8 @@ impl GmlBuilder {
             .expect("complex");
         db.add_atomic_child(disease, "Name", "LI-FRAUMENI SYNDROME")
             .expect("complex");
-        db.add_atomic_child(disease, "Symbol", "TP53").expect("complex");
+        db.add_atomic_child(disease, "Symbol", "TP53")
+            .expect("complex");
         db.add_atomic_child(disease, "Inheritance", "Autosomal dominant")
             .expect("complex");
         db.add_atomic_child(
@@ -88,15 +92,19 @@ impl GmlBuilder {
         )
         .expect("complex");
 
-        let publication = db.add_complex_child(root, "Publication").expect("root complex");
+        let publication = db
+            .add_complex_child(root, "Publication")
+            .expect("root complex");
         db.add_atomic_child(publication, "PublicationID", AtomicValue::Int(10_000_001))
             .expect("complex");
         db.add_atomic_child(publication, "Title", "p53 mutations in human cancers")
             .expect("complex");
         db.add_atomic_child(publication, "Year", AtomicValue::Int(1991))
             .expect("complex");
-        db.add_atomic_child(publication, "Journal", "Science").expect("complex");
-        db.add_atomic_child(publication, "Symbol", "TP53").expect("complex");
+        db.add_atomic_child(publication, "Journal", "Science")
+            .expect("complex");
+        db.add_atomic_child(publication, "Symbol", "TP53")
+            .expect("complex");
         db.add_atomic_child(
             publication,
             "Link",
@@ -104,10 +112,14 @@ impl GmlBuilder {
         )
         .expect("complex");
 
-        let ann = db.add_complex_child(root, "Annotation").expect("root complex");
+        let ann = db
+            .add_complex_child(root, "Annotation")
+            .expect("root complex");
         db.add_atomic_child(ann, "Symbol", "TP53").expect("complex");
-        db.add_atomic_child(ann, "FunctionID", "GO:0003700").expect("complex");
-        db.add_atomic_child(ann, "Evidence", "IDA").expect("complex");
+        db.add_atomic_child(ann, "FunctionID", "GO:0003700")
+            .expect("complex");
+        db.add_atomic_child(ann, "Evidence", "IDA")
+            .expect("complex");
 
         db.set_name("ANNODA-GML", root).expect("fresh store");
         db
@@ -264,7 +276,14 @@ mod tests {
     fn exemplar_has_the_figure4_entities() {
         let ex = GmlBuilder::exemplar();
         let root = ex.named("ANNODA-GML").unwrap();
-        for entity in ["Source", "Gene", "Function", "Disease", "Annotation", "Publication"] {
+        for entity in [
+            "Source",
+            "Gene",
+            "Function",
+            "Disease",
+            "Annotation",
+            "Publication",
+        ] {
             assert!(
                 ex.child(root, entity).is_some(),
                 "missing GML entity {entity}"
@@ -323,7 +342,8 @@ mod tests {
         let mut oml = OemStore::new();
         let root = oml.new_complex();
         let e = oml.add_complex_child(root, "Entry").unwrap();
-        oml.add_atomic_child(e, "MimNumber", AtomicValue::Int(1)).unwrap();
+        oml.add_atomic_child(e, "MimNumber", AtomicValue::Int(1))
+            .unwrap();
         oml.add_atomic_child(e, "Title", "X SYNDROME").unwrap();
         oml.add_atomic_child(e, "GeneSymbol", "TP53").unwrap();
         oml.set_name("OMIM", root).unwrap();

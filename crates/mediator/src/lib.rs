@@ -21,6 +21,7 @@
 //! * [`weblink`] — mints the `annoda://` and `http://` web-links that
 //!   power interactive navigation (Figure 5c).
 
+pub mod cache;
 pub mod decompose;
 pub mod fusion;
 pub mod gml;
@@ -29,6 +30,7 @@ pub mod optimizer;
 pub mod reconcile;
 pub mod weblink;
 
+pub use cache::{CacheStats, SubqueryCache, DEFAULT_CACHE_CAPACITY};
 pub use decompose::{
     decompose, AspectClause, Combination, DecomposedQuery, GeneQuestion, Purpose, SourceQuery,
 };

@@ -3,14 +3,13 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use parking_lot::Mutex;
-
 use annoda_lorel::{run_query_with, FunctionRegistry, LorelError, QueryOutcome};
 use annoda_match::{MatchReport, Mdsm};
 use annoda_oem::dataguide::DataGuide;
 use annoda_oem::{AtomicValue, AttributeStats, OemStore};
 use annoda_wrap::{Cost, SourceDescription, SubqueryResult, WrapError, Wrapper};
 
+use crate::cache::{CacheStats, SubqueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::decompose::{GeneQuestion, Purpose};
 use crate::fusion::{fuse, FusedAnswer, TaggedResult};
 use crate::gml::GlobalModel;
@@ -94,9 +93,18 @@ pub struct Mediator {
     /// question. Gene providers are mandatory — if every one of them
     /// fails the answer still errors.
     pub partial_results: bool,
-    /// Subquery result cache (None = disabled). Keyed by source +
-    /// subquery text; invalidated on registration changes and refresh.
-    cache: Option<Mutex<HashMap<String, SubqueryResult>>>,
+    /// Subquery result cache (None = disabled). Keyed by
+    /// `source\x01lorel`; invalidated on registration changes and
+    /// refresh. The cache is **bounded**: it holds at most the
+    /// configured capacity (see [`Mediator::enable_cache_with_capacity`];
+    /// [`Mediator::enable_cache`] uses
+    /// [`DEFAULT_CACHE_CAPACITY`]), evicting least-recently-used
+    /// entries per shard when full. Entries are spread over
+    /// independently locked shards so concurrent questions do not
+    /// serialise on one lock. Hits charge a zero [`Cost`] with
+    /// `cache_hits = 1`; lifetime hit/miss/eviction counters are
+    /// readable through [`Mediator::cache_stats`].
+    cache: Option<SubqueryCache>,
 }
 
 impl Default for Mediator {
@@ -122,9 +130,17 @@ impl Mediator {
     /// Enables the subquery result cache: identical subqueries against
     /// an unchanged source are answered from the mediator without a
     /// source round trip. Disabled by default so cost accounting stays
-    /// per-question.
+    /// per-question. Holds at most [`DEFAULT_CACHE_CAPACITY`] results.
     pub fn enable_cache(&mut self) {
-        self.cache = Some(Mutex::new(HashMap::new()));
+        self.enable_cache_with_capacity(DEFAULT_CACHE_CAPACITY);
+    }
+
+    /// [`Mediator::enable_cache`] with an explicit total capacity
+    /// (rounded up to a multiple of the shard count). When the cache is
+    /// full, the least-recently-used entry in the affected shard makes
+    /// room.
+    pub fn enable_cache_with_capacity(&mut self, capacity: usize) {
+        self.cache = Some(SubqueryCache::new(capacity));
     }
 
     /// Disables and clears the subquery cache.
@@ -132,9 +148,15 @@ impl Mediator {
         self.cache = None;
     }
 
+    /// Size and lifetime hit/miss/eviction counters of the subquery
+    /// cache, when enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(SubqueryCache::stats)
+    }
+
     fn invalidate_cache(&mut self) {
         if let Some(c) = &self.cache {
-            c.lock().clear();
+            c.clear();
         }
     }
 
@@ -159,7 +181,7 @@ impl Mediator {
     > {
         // Resolve wrappers (and cache hits) up front.
         enum Job<'a> {
-            Cached(SubqueryResult),
+            Cached(Box<SubqueryResult>),
             Run(&'a dyn Wrapper, String, String),
         }
         let mut jobs: Vec<(usize, Job)> = Vec::new();
@@ -170,8 +192,8 @@ impl Mediator {
                 .unwrap_or_else(|| step.query.lorel.clone());
             let key = format!("{}\x01{}", step.query.source, lorel);
             if let Some(cache) = &self.cache {
-                if let Some(hit) = cache.lock().get(&key) {
-                    jobs.push((i, Job::Cached(hit.clone())));
+                if let Some(hit) = cache.get(&key) {
+                    jobs.push((i, Job::Cached(Box::new(hit))));
                     continue;
                 }
             }
@@ -187,27 +209,45 @@ impl Mediator {
             let mut handles = Vec::new();
             for (i, job) in jobs {
                 match job {
-                    Job::Cached(result) => outputs.push((i, result, Cost::new(), None)),
+                    Job::Cached(result) => outputs.push((i, *result, Cost::cache_hit(), None)),
                     Job::Run(wrapper, lorel, key) => {
-                        handles.push((i, key, scope.spawn(move || {
-                            let mut cost = Cost::new();
-                            let result = wrapper.subquery(&lorel, &mut cost);
-                            (result, cost)
-                        })));
+                        handles.push((
+                            i,
+                            key,
+                            scope.spawn(move || {
+                                let mut cost = Cost::new();
+                                let result = wrapper.subquery(&lorel, &mut cost);
+                                (result, cost)
+                            }),
+                        ));
                     }
                 }
             }
             for (i, key, handle) in handles {
-                let (result, cost) = handle.join().expect("subquery threads do not panic");
-                match result {
-                    Ok(r) => outputs.push((i, r, cost, Some(key))),
-                    Err(e) => failures.push((i, e)),
+                match handle.join() {
+                    Ok((Ok(r), cost)) => outputs.push((i, r, cost, Some(key))),
+                    Ok((Err(e), _)) => failures.push((i, e)),
+                    // A panicking wrapper is contained to its own
+                    // source: surface it as that step's failure instead
+                    // of aborting the whole answer.
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "wrapper panicked".to_string());
+                        failures.push((i, WrapError::Unsupported(format!("panic: {msg}"))));
+                    }
                 }
             }
         });
+        // Failures are keyed by step index so the error reported without
+        // partial results is the FIRST failing step in plan order, not
+        // whichever thread finished last.
+        failures.sort_by_key(|(i, _)| *i);
         if !self.partial_results {
-            if let Some((_, e)) = failures.pop() {
-                return Err(e.into());
+            if let Some((_, e)) = failures.first() {
+                return Err(e.clone().into());
             }
         }
         let failed: Vec<(String, String)> = failures
@@ -222,15 +262,12 @@ impl Mediator {
         let mut per_source: Vec<(String, Cost)> = Vec::new();
         for (i, result, cost, key) in outputs {
             if let (Some(cache), Some(key)) = (&self.cache, key) {
-                cache.lock().insert(key, result.clone());
+                cache.insert(key, result.clone());
             }
             total += cost;
             critical = critical.max(cost.virtual_us);
             let step = steps[i];
-            match per_source
-                .iter_mut()
-                .find(|(s, _)| s == &step.query.source)
-            {
+            match per_source.iter_mut().find(|(s, _)| s == &step.query.source) {
                 Some((_, c)) => *c += cost,
                 None => per_source.push((step.query.source.clone(), cost)),
             }
@@ -311,12 +348,10 @@ impl Mediator {
                 if let Some(root) = oml.named(w.name()) {
                     let guide = DataGuide::build(oml, &[root]);
                     for label in guide.out_labels(guide.root()) {
-                        entity_cardinality
-                            .insert(label.to_string(), guide.cardinality(&[label]));
+                        entity_cardinality.insert(label.to_string(), guide.cardinality(&[label]));
                     }
                     for mapping in self.model.entities_of(w.name()) {
-                        let parents: Vec<_> =
-                            oml.children(root, &mapping.source_entity).collect();
+                        let parents: Vec<_> = oml.children(root, &mapping.source_entity).collect();
                         for (local, _global) in &mapping.attributes {
                             attr_stats.insert(
                                 format!("{}.{local}", mapping.source_entity),
@@ -430,8 +465,7 @@ impl Mediator {
             }
             other_steps.push(step);
         }
-        let (tagged2, c2, p2, failed2, per_source2) =
-            self.run_batch(&other_steps, &overrides)?;
+        let (tagged2, c2, p2, failed2, per_source2) = self.run_batch(&other_steps, &overrides)?;
         tagged.extend(tagged2);
         cost += c2;
         critical_path_us += p2;
@@ -509,7 +543,8 @@ impl Mediator {
             let s = gml.add_complex_child(root, "Source").expect("complex");
             gml.add_atomic_child(s, "SourceID", AtomicValue::Int(i as i64 + 1))
                 .expect("complex");
-            gml.add_atomic_child(s, "Name", d.name.as_str()).expect("complex");
+            gml.add_atomic_child(s, "Name", d.name.as_str())
+                .expect("complex");
             gml.add_atomic_child(s, "Content", d.content.as_str())
                 .expect("complex");
             gml.add_atomic_child(s, "Structure", d.structure.as_str())
@@ -518,7 +553,8 @@ impl Mediator {
         // Gene entities from the fused (unfiltered) integration.
         for g in &fused.genes {
             let ge = gml.add_complex_child(root, "Gene").expect("complex");
-            gml.add_atomic_child(ge, "Symbol", g.symbol.as_str()).expect("complex");
+            gml.add_atomic_child(ge, "Symbol", g.symbol.as_str())
+                .expect("complex");
             if let Some(id) = g.gene_id {
                 gml.add_atomic_child(ge, "GeneID", AtomicValue::Int(id))
                     .expect("complex");
@@ -529,7 +565,8 @@ impl Mediator {
                 ("Position", &g.position),
             ] {
                 if let Some(v) = v {
-                    gml.add_atomic_child(ge, label, v.as_str()).expect("complex");
+                    gml.add_atomic_child(ge, label, v.as_str())
+                        .expect("complex");
                 }
             }
             for f in &g.functions {
@@ -589,16 +626,14 @@ impl Mediator {
                 }
             }
         }
-        gml.set_name_overwrite("ANNODA-GML", root).expect("fresh root");
+        gml.set_name_overwrite("ANNODA-GML", root)
+            .expect("fresh root");
         Ok((gml, cost))
     }
 
     /// Runs an arbitrary Lorel query against the (materialised) global
     /// model — the §4.1 interface. Returns the store the answer lives in.
-    pub fn query_gml(
-        &self,
-        lorel: &str,
-    ) -> Result<(OemStore, QueryOutcome, Cost), MediatorError> {
+    pub fn query_gml(&self, lorel: &str) -> Result<(OemStore, QueryOutcome, Cost), MediatorError> {
         self.query_gml_with(lorel, &FunctionRegistry::standard())
     }
 
@@ -672,7 +707,9 @@ mod tests {
 
         let ann = &model.providers_of("Annotation")[0].1;
         assert!(
-            ann.attributes.iter().any(|(l, g)| l == "Gene" && g == "Symbol"),
+            ann.attributes
+                .iter()
+                .any(|(l, g)| l == "Gene" && g == "Symbol"),
             "{:?}",
             ann.attributes
         );
@@ -714,8 +751,8 @@ mod tests {
             .filter(|r| {
                 let has_fn = !r.go_ids.is_empty()
                     || corpus.go.annotations_of_gene(&r.symbol).next().is_some();
-                let has_dis = !r.omim_ids.is_empty()
-                    || corpus.omim.by_gene(&r.symbol).next().is_some();
+                let has_dis =
+                    !r.omim_ids.is_empty() || corpus.omim.by_gene(&r.symbol).next().is_some();
                 has_fn && !has_dis
             })
             .map(|r| r.symbol.clone())
@@ -743,8 +780,18 @@ mod tests {
             bind_join: false,
         };
         let naive = m.answer(&q).unwrap();
-        let a: Vec<&str> = optimised.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
-        let b: Vec<&str> = naive.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let a: Vec<&str> = optimised
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
+        let b: Vec<&str> = naive
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
         assert_eq!(a, b, "optimisation must not change the answer");
         assert!(
             optimised.cost.virtual_us <= naive.cost.virtual_us,
@@ -767,7 +814,12 @@ mod tests {
         let without = m.answer(&q).unwrap();
         assert!(with.cost.records < without.cost.records);
         let a: Vec<&str> = with.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
-        let b: Vec<&str> = without.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let b: Vec<&str> = without
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -833,8 +885,18 @@ mod tests {
         let corpus = tiny();
         let mut m = mediator_over(&corpus);
         m.enable_cache();
-        let expected_fig5 = m.answer(&GeneQuestion::figure5()).unwrap().fused.genes.len();
-        let expected_all = m.answer(&GeneQuestion::default()).unwrap().fused.genes.len();
+        let expected_fig5 = m
+            .answer(&GeneQuestion::figure5())
+            .unwrap()
+            .fused
+            .genes
+            .len();
+        let expected_all = m
+            .answer(&GeneQuestion::default())
+            .unwrap()
+            .fused
+            .genes
+            .len();
         let m = &m;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
@@ -851,7 +913,11 @@ mod tests {
                 .collect();
             for (i, h) in handles.into_iter().enumerate() {
                 let got = h.join().unwrap();
-                let expected = if i % 2 == 0 { expected_fig5 } else { expected_all };
+                let expected = if i % 2 == 0 {
+                    expected_fig5
+                } else {
+                    expected_all
+                };
                 assert_eq!(got, expected);
             }
         });
@@ -863,8 +929,7 @@ mod tests {
         assert!(MediatorError::UnknownSource("X".into())
             .to_string()
             .contains("X"));
-        let wrap_err: MediatorError =
-            annoda_wrap::WrapError::Unsupported("down".into()).into();
+        let wrap_err: MediatorError = annoda_wrap::WrapError::Unsupported("down".into()).into();
         assert!(wrap_err.to_string().contains("down"));
         let lorel_err: MediatorError = annoda_lorel::LorelError::Eval("bad".into()).into();
         assert!(lorel_err.to_string().contains("bad"));
@@ -894,8 +959,18 @@ mod tests {
         let unbound = m.answer(&q).unwrap();
         m.optimizer.bind_join = true;
         let bound = m.answer(&q).unwrap();
-        let a: Vec<&str> = unbound.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
-        let b: Vec<&str> = bound.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let a: Vec<&str> = unbound
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
+        let b: Vec<&str> = bound
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
         assert_eq!(a, b, "bind join must not change the answer");
         assert!(
             bound.cost.records < unbound.cost.records,
@@ -940,9 +1015,21 @@ mod tests {
                 .iter()
                 .any(|(l, g)| l == local && g == global)
         };
-        assert!(has("Pmid", "PublicationID"), "{:?}", providers[0].1.attributes);
-        assert!(has("GeneSymbol", "Symbol"), "{:?}", providers[0].1.attributes);
-        assert!(has("ArticleTitle", "Title"), "{:?}", providers[0].1.attributes);
+        assert!(
+            has("Pmid", "PublicationID"),
+            "{:?}",
+            providers[0].1.attributes
+        );
+        assert!(
+            has("GeneSymbol", "Symbol"),
+            "{:?}",
+            providers[0].1.attributes
+        );
+        assert!(
+            has("ArticleTitle", "Title"),
+            "{:?}",
+            providers[0].1.attributes
+        );
         assert!(has("Journal", "Journal"), "{:?}", providers[0].1.attributes);
 
         // Genes cited in some publication.
@@ -1120,9 +1207,166 @@ mod tests {
         assert_eq!(second.failed_sources.len(), 1);
         let third = m.answer(&q).unwrap(); // OMIM attempt 3: ok again
         assert!(third.failed_sources.is_empty());
-        let a: Vec<&str> = first.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
-        let c: Vec<&str> = third.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let a: Vec<&str> = first
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
+        let c: Vec<&str> = third
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn panicking_wrapper_degrades_like_a_failing_one() {
+        use annoda_wrap::{FailureMode, FlakyWrapper, OmimWrapper};
+        let corpus = tiny();
+        let mut m = Mediator::new();
+        m.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        m.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        m.register(Box::new(FlakyWrapper::new(
+            OmimWrapper::new(corpus.omim.clone()),
+            FailureMode::Panic,
+        )));
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            disease: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+
+        // Without partial results the panic becomes this question's
+        // error — `answer` itself must not unwind.
+        let err = m
+            .answer(&q)
+            .expect_err("the crashed source fails the question");
+        let msg = err.to_string();
+        assert!(msg.contains("panic"), "{msg}");
+        assert!(msg.contains("OMIM"), "{msg}");
+
+        // With partial results the panic is contained to its source and
+        // reported alongside clean failures.
+        m.partial_results = true;
+        let ans = m.answer(&q).unwrap();
+        assert_eq!(ans.failed_sources.len(), 1);
+        assert_eq!(ans.failed_sources[0].0, "OMIM");
+        assert!(
+            ans.failed_sources[0].1.contains("panic"),
+            "{:?}",
+            ans.failed_sources
+        );
+        // The healthy sources' answers are intact: same genes as a
+        // mediator that never had OMIM.
+        let mut healthy = Mediator::new();
+        healthy.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        healthy.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        let expected = healthy.answer(&q).unwrap();
+        let a: Vec<&str> = ans.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let b: Vec<&str> = expected
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn first_failure_in_plan_order_is_reported() {
+        use annoda_wrap::{FailureMode, FlakyWrapper};
+        let corpus = tiny();
+        let mut m = Mediator::new();
+        m.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        // Both phase-2 sources are down; the reported error must name
+        // the one whose step comes first in the plan, deterministically.
+        m.register(Box::new(FlakyWrapper::new(
+            GoWrapper::new(corpus.go.clone()),
+            FailureMode::Always,
+        )));
+        m.register(Box::new(FlakyWrapper::new(
+            OmimWrapper::new(corpus.omim.clone()),
+            FailureMode::Always,
+        )));
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            disease: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let plan = m.plan(&q);
+        let first_failing = plan
+            .steps
+            .iter()
+            .map(|s| s.query.source.as_str())
+            .find(|s| *s != "LocusLink")
+            .expect("plan contacts a non-gene source")
+            .to_string();
+        for _ in 0..8 {
+            let err = m.answer(&q).expect_err("both aspect sources are down");
+            assert!(
+                err.to_string().contains(&first_failing),
+                "expected `{first_failing}` in `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_is_bounded_and_counts_hits_misses_evictions() {
+        let corpus = tiny();
+        let mut m = mediator_over(&corpus);
+        // Pathologically small: total capacity rounds up to one entry
+        // per shard, so distinct questions keep evicting.
+        m.enable_cache_with_capacity(1);
+        let stats = m.cache_stats().unwrap();
+        assert!(stats.capacity >= 1);
+        assert_eq!(
+            (stats.len, stats.hits, stats.misses, stats.evictions),
+            (0, 0, 0, 0)
+        );
+
+        let q = GeneQuestion::figure5();
+        let first = m.answer(&q).unwrap();
+        assert_eq!(first.cost.cache_hits, 0);
+        let misses_after_first = m.cache_stats().unwrap().misses;
+        assert!(misses_after_first > 0, "cold run misses");
+
+        // Same question again: whatever is still cached is served
+        // without a request; every served step is counted on the cost.
+        let second = m.answer(&q).unwrap();
+        let stats = m.cache_stats().unwrap();
+        assert_eq!(second.cost.cache_hits, stats.hits);
+        assert!(
+            stats.len <= stats.capacity,
+            "{} entries exceed capacity {}",
+            stats.len,
+            stats.capacity
+        );
+
+        // A different question forces new keys through the tiny cache:
+        // evictions must occur and the bound must hold.
+        m.answer(&GeneQuestion::default()).unwrap();
+        let stats = m.cache_stats().unwrap();
+        assert!(stats.len <= stats.capacity);
+        assert!(stats.evictions > 0 || stats.len < stats.capacity);
+
+        // A roomy cache serves the whole repeat question from memory.
+        let mut big = mediator_over(&corpus);
+        big.enable_cache_with_capacity(256);
+        let cold = big.answer(&q).unwrap();
+        assert_eq!(cold.cost.cache_hits, 0);
+        let warm = big.answer(&q).unwrap();
+        assert_eq!(warm.cost.requests, 0);
+        assert_eq!(
+            warm.cost.cache_hits as usize,
+            warm.plan.steps.len(),
+            "every step served from cache"
+        );
+        let stats = big.cache_stats().unwrap();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.hits, warm.cost.cache_hits);
     }
 
     #[test]
@@ -1135,8 +1379,18 @@ mod tests {
         assert!(first.cost.requests > 0);
         let second = m.answer(&q).unwrap();
         assert_eq!(second.cost.requests, 0, "all subqueries served from cache");
-        let a: Vec<&str> = first.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
-        let b: Vec<&str> = second.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+        let a: Vec<&str> = first
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
+        let b: Vec<&str> = second
+            .fused
+            .genes
+            .iter()
+            .map(|g| g.symbol.as_str())
+            .collect();
         assert_eq!(a, b);
 
         // Refresh invalidates: the next answer pays again.
@@ -1189,5 +1443,3 @@ mod tests {
         assert!(total > 0);
     }
 }
-
-

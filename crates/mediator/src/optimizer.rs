@@ -137,12 +137,8 @@ pub fn plan(
     // Pushdown requires the capability on every involved source; the
     // decomposer is driven per-question, so compute the effective switch
     // per source below by re-checking capability.
-    let decomposed: DecomposedQuery = decompose(
-        question,
-        model,
-        config.pushdown,
-        !config.source_selection,
-    );
+    let decomposed: DecomposedQuery =
+        decompose(question, model, config.pushdown, !config.source_selection);
 
     let mut steps = Vec::new();
     let mut residual = decomposed.residual;
@@ -153,7 +149,11 @@ pub fn plan(
         // A source without pushdown capability gets the unfiltered query.
         if q.pushed_down && !info.capabilities.predicate_pushdown {
             let (stripped, _) = strip_where(&q.lorel);
-            residual.push(format!("(filter for {}, source {})", q.purpose.entity(), q.source));
+            residual.push(format!(
+                "(filter for {}, source {})",
+                q.purpose.entity(),
+                q.source
+            ));
             q.lorel = stripped;
             q.pushed_down = false;
             q.predicates.clear();
@@ -220,16 +220,22 @@ mod tests {
         let mut gene_oml = OemStore::new();
         let root = gene_oml.new_complex();
         let l = gene_oml.add_complex_child(root, "Locus").unwrap();
-        gene_oml.add_atomic_child(l, "LocusID", AtomicValue::Int(1)).unwrap();
+        gene_oml
+            .add_atomic_child(l, "LocusID", AtomicValue::Int(1))
+            .unwrap();
         gene_oml.add_atomic_child(l, "Symbol", "TP53").unwrap();
-        gene_oml.add_atomic_child(l, "Organism", "Homo sapiens").unwrap();
+        gene_oml
+            .add_atomic_child(l, "Organism", "Homo sapiens")
+            .unwrap();
         gene_oml.set_name("LocusLink", root).unwrap();
         model.register_source(&mdsm, "LocusLink", &gene_oml);
 
         let mut omim_oml = OemStore::new();
         let root = omim_oml.new_complex();
         let e = omim_oml.add_complex_child(root, "Entry").unwrap();
-        omim_oml.add_atomic_child(e, "MimNumber", AtomicValue::Int(2)).unwrap();
+        omim_oml
+            .add_atomic_child(e, "MimNumber", AtomicValue::Int(2))
+            .unwrap();
         omim_oml.add_atomic_child(e, "Title", "A SYNDROME").unwrap();
         omim_oml.add_atomic_child(e, "GeneSymbol", "TP53").unwrap();
         omim_oml.set_name("OMIM", root).unwrap();
@@ -271,7 +277,10 @@ mod tests {
                 ..OptimizerConfig::default()
             },
         );
-        assert!(plan_off.steps.len() >= 2, "fetch-all contacts every provider");
+        assert!(
+            plan_off.steps.len() >= 2,
+            "fetch-all contacts every provider"
+        );
     }
 
     #[test]
@@ -347,7 +356,11 @@ mod tests {
             db.add_atomic_child(
                 g,
                 "Organism",
-                if i < 80 { "Homo sapiens" } else { "Mus musculus" },
+                if i < 80 {
+                    "Homo sapiens"
+                } else {
+                    "Mus musculus"
+                },
             )
             .unwrap();
             parents.push(g);

@@ -124,12 +124,7 @@ impl Reconciler {
     /// with `true` (asserts) or `false` (covers but does not assert).
     /// Unanimous opinions pass through without logging; disagreements are
     /// logged with the policy's verdict.
-    pub fn membership(
-        &mut self,
-        subject: &str,
-        item: &str,
-        opinions: &[(String, bool)],
-    ) -> bool {
+    pub fn membership(&mut self, subject: &str, item: &str, opinions: &[(String, bool)]) -> bool {
         let claimed: Vec<String> = opinions
             .iter()
             .filter(|(_, c)| *c)
@@ -152,12 +147,7 @@ impl Reconciler {
             ReconcilePolicy::Vote => claimed.len() * 2 > opinions.len(),
             ReconcilePolicy::Precedence(order) => order
                 .iter()
-                .find_map(|s| {
-                    opinions
-                        .iter()
-                        .find(|(src, _)| src == s)
-                        .map(|(_, c)| *c)
-                })
+                .find_map(|s| opinions.iter().find(|(src, _)| src == s).map(|(_, c)| *c))
                 .unwrap_or(true),
             // Evidence gating happens in fusion (which sees the codes);
             // by the time a dispute reaches the reconciler the evidence
@@ -260,8 +250,16 @@ mod tests {
     #[test]
     fn unanimous_membership_is_not_a_conflict() {
         let mut r = Reconciler::new(ReconcilePolicy::Union);
-        assert!(r.membership("TP53", "GO:1", &opinions(&[("LocusLink", true), ("GO", true)])));
-        assert!(!r.membership("TP53", "GO:2", &opinions(&[("LocusLink", false), ("GO", false)])));
+        assert!(r.membership(
+            "TP53",
+            "GO:1",
+            &opinions(&[("LocusLink", true), ("GO", true)])
+        ));
+        assert!(!r.membership(
+            "TP53",
+            "GO:2",
+            &opinions(&[("LocusLink", false), ("GO", false)])
+        ));
         assert!(r.conflicts().is_empty());
     }
 
@@ -296,11 +294,7 @@ mod tests {
     #[test]
     fn vote_needs_a_strict_majority() {
         let mut r = Reconciler::new(ReconcilePolicy::Vote);
-        assert!(!r.membership(
-            "g",
-            "x",
-            &opinions(&[("a", true), ("b", false)])
-        ));
+        assert!(!r.membership("g", "x", &opinions(&[("a", true), ("b", false)])));
         assert!(r.membership(
             "g",
             "y",

@@ -44,10 +44,10 @@ impl DataGuide {
         let mut worklist: Vec<BTreeSet<Oid>> = Vec::new();
 
         let alloc = |set: BTreeSet<Oid>,
-                         node_of: &mut HashMap<BTreeSet<Oid>, GuideNode>,
-                         transitions: &mut Vec<HashMap<String, GuideNode>>,
-                         cardinality: &mut Vec<usize>,
-                         worklist: &mut Vec<BTreeSet<Oid>>|
+                     node_of: &mut HashMap<BTreeSet<Oid>, GuideNode>,
+                     transitions: &mut Vec<HashMap<String, GuideNode>>,
+                     cardinality: &mut Vec<usize>,
+                     worklist: &mut Vec<BTreeSet<Oid>>|
          -> GuideNode {
             if let Some(&n) = node_of.get(&set) {
                 return n;
@@ -199,7 +199,8 @@ mod tests {
             db.add_atomic_child(g, "Organism", "Homo sapiens").unwrap();
         }
         let d = db.add_complex_child(root, "Disease").unwrap();
-        db.add_atomic_child(d, "Title", "Li-Fraumeni syndrome").unwrap();
+        db.add_atomic_child(d, "Title", "Li-Fraumeni syndrome")
+            .unwrap();
         (db, root)
     }
 

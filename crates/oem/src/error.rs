@@ -53,6 +53,8 @@ mod tests {
             message: "bad oid".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(OemError::DuplicateName("GO".into()).to_string().contains("GO"));
+        assert!(OemError::DuplicateName("GO".into())
+            .to_string()
+            .contains("GO"));
     }
 }

@@ -44,13 +44,7 @@ pub fn structural_eq(a: &OemStore, ra: Oid, b: &OemStore, rb: Oid) -> bool {
     eq_rec(a, ra, b, rb, &mut assumed)
 }
 
-fn eq_rec(
-    a: &OemStore,
-    oa: Oid,
-    b: &OemStore,
-    ob: Oid,
-    assumed: &mut HashSet<(Oid, Oid)>,
-) -> bool {
+fn eq_rec(a: &OemStore, oa: Oid, b: &OemStore, ob: Oid, assumed: &mut HashSet<(Oid, Oid)>) -> bool {
     let (Some(obj_a), Some(obj_b)) = (a.get(oa), b.get(ob)) else {
         return false;
     };
@@ -278,7 +272,6 @@ pub fn compact(store: &OemStore, keep_names: &[&str]) -> (OemStore, HashMap<Oid,
         let new_root = if let Some(&r) = remap.get(&root) {
             r
         } else {
-            
             import_fragment_memo(&mut out, store, root, &mut remap)
         };
         out.set_name_overwrite(name, new_root)
@@ -447,7 +440,8 @@ mod tests {
         let mut db = OemStore::new();
         let a = db.new_complex();
         let shared = db.add_complex_child(a, "S").unwrap();
-        db.add_atomic_child(shared, "v", AtomicValue::Int(1)).unwrap();
+        db.add_atomic_child(shared, "v", AtomicValue::Int(1))
+            .unwrap();
         let b = db.new_complex();
         db.add_edge(b, "S", shared).unwrap();
         db.set_name("A", a).unwrap();

@@ -104,7 +104,8 @@ mod tests {
         let mut db = OemStore::new();
         let root = db.new_complex();
         let g = db.add_complex_child(root, "Gene").unwrap();
-        db.add_atomic_child(g, "Id", AtomicValue::Int(7157)).unwrap();
+        db.add_atomic_child(g, "Id", AtomicValue::Int(7157))
+            .unwrap();
         let idx = ValueIndex::build(&db, &[g], "Id");
         assert_eq!(idx.lookup("7157"), &[g]);
     }

@@ -26,6 +26,7 @@
 //! * [`graph`] — reachability, garbage collection, structural equality and
 //!   cross-store fragment import (the primitive result fusion builds on).
 
+mod cache;
 pub mod dataguide;
 pub mod error;
 pub mod graph;
@@ -40,10 +41,10 @@ pub mod text;
 pub mod value;
 
 pub use error::OemError;
-pub use label::{Label, LabelInterner};
-pub use object::{Edge, Object, ObjectKind};
 pub use graph::{diff, DiffEntry};
 pub use index::ValueIndex;
+pub use label::{Label, LabelInterner};
+pub use object::{Edge, Object, ObjectKind};
 pub use oid::Oid;
 pub use path::{PathExpr, PathStep};
 pub use stats::AttributeStats;

@@ -169,10 +169,7 @@ fn apply_step(store: &OemStore, frontier: &[Oid], step: &PathStep) -> Vec<Oid> {
                 .flat_map(|&o| store.edges_of(o).iter().map(|e| e.target)),
         ),
         PathStep::Alt(names) => {
-            let labels: Vec<_> = names
-                .iter()
-                .filter_map(|n| store.labels().get(n))
-                .collect();
+            let labels: Vec<_> = names.iter().filter_map(|n| store.labels().get(n)).collect();
             dedup_in_order(frontier.iter().flat_map(|&o| {
                 store
                     .edges_of(o)
@@ -264,7 +261,10 @@ mod tests {
     #[test]
     fn missing_label_yields_empty_not_error() {
         let (db, root) = sample();
-        assert!(PathExpr::parse("NoSuch.Symbol").unwrap().eval(&db, root).is_empty());
+        assert!(PathExpr::parse("NoSuch.Symbol")
+            .unwrap()
+            .eval(&db, root)
+            .is_empty());
     }
 
     #[test]

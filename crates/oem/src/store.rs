@@ -1,11 +1,16 @@
 //! The arena-backed OEM graph store.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use crate::cache::QueryCache;
 use crate::error::OemError;
+use crate::index::ValueIndex;
 use crate::label::{Label, LabelInterner};
 use crate::object::{Edge, Object, ObjectKind};
 use crate::oid::Oid;
+use crate::path::PathExpr;
+use crate::stats::AttributeStats;
 use crate::value::{AtomicValue, OemType};
 
 /// An OEM database: an arena of objects, an interned label table, and a
@@ -24,11 +29,25 @@ use crate::value::{AtomicValue, OemType};
 /// assert_eq!(db.named("LocusLink"), Some(locus));
 /// assert_eq!(db.children(locus, "LocusID").count(), 1);
 /// ```
-#[derive(Default, Debug, Clone)]
+#[derive(Default, Debug)]
 pub struct OemStore {
     objects: Vec<Object>,
     labels: LabelInterner,
     names: BTreeMap<String, Oid>,
+    /// Memoised value indexes / stats / cardinalities over this store's
+    /// content; cleared by every content mutation, never cloned.
+    cache: QueryCache,
+}
+
+impl Clone for OemStore {
+    fn clone(&self) -> Self {
+        OemStore {
+            objects: self.objects.clone(),
+            labels: self.labels.clone(),
+            names: self.names.clone(),
+            cache: QueryCache::default(),
+        }
+    }
 }
 
 impl OemStore {
@@ -81,6 +100,7 @@ impl OemStore {
     fn push(&mut self, object: Object) -> Oid {
         let oid = Oid(self.objects.len() as u32);
         self.objects.push(object);
+        self.cache.clear();
         oid
     }
 
@@ -96,7 +116,7 @@ impl OemStore {
             .objects
             .get_mut(from.index())
             .ok_or_else(|| OemError::DanglingOid(format!("{from} as edge source")))?;
-        match &mut from_obj.kind {
+        let inserted = match &mut from_obj.kind {
             ObjectKind::Atomic(_) => Err(OemError::NotComplex(format!(
                 "{from} is atomic; cannot hold references"
             ))),
@@ -109,7 +129,11 @@ impl OemStore {
                     Ok(true)
                 }
             }
+        };
+        if inserted == Ok(true) {
+            self.cache.clear();
         }
+        inserted
     }
 
     /// Convenience: allocates an atomic child and links it under `label`.
@@ -227,6 +251,51 @@ impl OemStore {
         seen
     }
 
+    // ----- memoised derived structures ------------------------------------
+
+    /// A [`ValueIndex`] of `attr` over the objects `path` reaches from
+    /// `root`, built lazily and memoised on this store until the next
+    /// content mutation. Bucket order follows `path.eval_many`'s
+    /// enumeration order, so index-seeded candidate lists preserve the
+    /// order a scan of the same path would produce.
+    pub fn cached_value_index(&self, root: Oid, path: &PathExpr, attr: &str) -> Arc<ValueIndex> {
+        self.cache
+            .index((root, path.to_string(), attr.to_string()), || {
+                let parents = path.eval_many(self, &[root]);
+                ValueIndex::build(self, &parents, attr)
+            })
+    }
+
+    /// [`AttributeStats`] of `attr` over the objects `path` reaches from
+    /// `root`, memoised like [`Self::cached_value_index`].
+    pub fn cached_attribute_stats(
+        &self,
+        root: Oid,
+        path: &PathExpr,
+        attr: &str,
+    ) -> Arc<AttributeStats> {
+        self.cache
+            .stats((root, path.to_string(), attr.to_string()), || {
+                let parents = path.eval_many(self, &[root]);
+                AttributeStats::collect(self, &parents, attr)
+            })
+    }
+
+    /// Number of objects `path` reaches from `root` (the label
+    /// cardinality the planner orders `from` clauses by), memoised until
+    /// the next content mutation.
+    pub fn cached_cardinality(&self, root: Oid, path: &PathExpr) -> usize {
+        self.cache.cardinality((root, path.to_string()), || {
+            path.eval_many(self, &[root]).len()
+        })
+    }
+
+    /// Number of memoised value indexes (introspection for tests and
+    /// `bench_report`).
+    pub fn cached_index_count(&self) -> usize {
+        self.cache.index_count()
+    }
+
     // ----- mutation beyond growth ----------------------------------------
 
     /// Replaces the value of an atomic object (used by warehouse refresh).
@@ -235,7 +304,7 @@ impl OemStore {
             .objects
             .get_mut(oid.index())
             .ok_or_else(|| OemError::DanglingOid(oid.to_string()))?;
-        match &mut obj.kind {
+        let replaced = match &mut obj.kind {
             ObjectKind::Atomic(v) => {
                 *v = value.into();
                 Ok(())
@@ -243,7 +312,11 @@ impl OemStore {
             ObjectKind::Complex(_) => Err(OemError::NotComplex(format!(
                 "{oid} is complex; cannot set an atomic value"
             ))),
+        };
+        if replaced.is_ok() {
+            self.cache.clear();
         }
+        replaced
     }
 
     /// Removes the reference `(label, to)` from `from`. Returns whether an
@@ -256,14 +329,18 @@ impl OemStore {
             .objects
             .get_mut(from.index())
             .ok_or_else(|| OemError::DanglingOid(from.to_string()))?;
-        match &mut from_obj.kind {
+        let removed = match &mut from_obj.kind {
             ObjectKind::Atomic(_) => Err(OemError::NotComplex(from.to_string())),
             ObjectKind::Complex(edges) => {
                 let before = edges.len();
                 edges.retain(|e| !(e.label == label && e.target == to));
                 Ok(edges.len() != before)
             }
+        };
+        if removed == Ok(true) {
+            self.cache.clear();
         }
+        removed
     }
 }
 

@@ -165,7 +165,13 @@ pub fn read(input: &str) -> Result<(OemStore, Oid), OemError> {
         }
 
         let is_complex = matches!(parsed.payload_kind(), OemType::Complex);
-        let oid = resolve_parsed(&mut store, &mut remap, parsed.file_oid, parsed.payload, line_no)?;
+        let oid = resolve_parsed(
+            &mut store,
+            &mut remap,
+            parsed.file_oid,
+            parsed.payload,
+            line_no,
+        )?;
 
         if let Some(&(_, parent)) = stack.last() {
             store.add_edge(parent, &parsed.label, oid)?;
@@ -237,7 +243,13 @@ pub fn read_store(input: &str) -> Result<OemStore, OemError> {
             });
         }
         let is_complex = matches!(parsed.payload_kind(), OemType::Complex);
-        let oid = resolve_parsed(&mut store, &mut remap, parsed.file_oid, parsed.payload, line_no)?;
+        let oid = resolve_parsed(
+            &mut store,
+            &mut remap,
+            parsed.file_oid,
+            parsed.payload,
+            line_no,
+        )?;
         if let Some(&(_, parent)) = stack.last() {
             store.add_edge(parent, &parsed.label, oid)?;
         } else if let Some(name) = pending_root.take() {
@@ -272,9 +284,7 @@ fn resolve_parsed(
                     _ => {
                         return Err(OemError::Parse {
                             line: line_no,
-                            message: format!(
-                                "oid &{file_oid} re-described with a different value"
-                            ),
+                            message: format!("oid &{file_oid} re-described with a different value"),
                         })
                     }
                 }
@@ -330,7 +340,10 @@ fn leading_indent(line: &str, line_no: usize) -> Result<usize, OemError> {
     if !spaces.is_multiple_of(INDENT.len()) {
         return Err(OemError::Parse {
             line: line_no,
-            message: format!("indent of {spaces} spaces is not a multiple of {}", INDENT.len()),
+            message: format!(
+                "indent of {spaces} spaces is not a multiple of {}",
+                INDENT.len()
+            ),
         });
     }
     Ok(spaces / INDENT.len())
@@ -357,8 +370,8 @@ fn parse_line(rest: &str, line_no: usize) -> Result<ParsedLine, OemError> {
         Some((t, v)) => (t, Some(v)),
         None => (tail, None),
     };
-    let ty = OemType::from_name(type_tok)
-        .ok_or_else(|| err(format!("unknown type `{type_tok}`")))?;
+    let ty =
+        OemType::from_name(type_tok).ok_or_else(|| err(format!("unknown type `{type_tok}`")))?;
     let payload = match ty {
         OemType::Complex => {
             if value_tok.is_some() {
@@ -442,7 +455,8 @@ mod tests {
         let root = db.new_complex();
         db.add_atomic_child(root, "LocusID", AtomicValue::Int(7157))
             .unwrap();
-        db.add_atomic_child(root, "Organism", "Homo sapiens").unwrap();
+        db.add_atomic_child(root, "Organism", "Homo sapiens")
+            .unwrap();
         db.add_atomic_child(root, "Symbol", "TP53").unwrap();
         db.add_atomic_child(root, "Description", "tumor protein p53")
             .unwrap();
@@ -465,7 +479,9 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines[0], "LocusLink &0 Complex");
         assert!(lines[1].starts_with("    LocusID &1 Integer \"7157\""));
-        assert!(lines.iter().any(|l| l.contains("Links") && l.contains("Complex")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("Links") && l.contains("Complex")));
         assert!(lines.iter().any(|l| l.contains("Url")));
     }
 
@@ -534,8 +550,12 @@ mod tests {
     fn gif_values_round_trip_as_hex() {
         let mut db = OemStore::new();
         let root = db.new_complex();
-        db.add_atomic_child(root, "Image", AtomicValue::Gif(vec![0xde, 0xad, 0xbe, 0xef]))
-            .unwrap();
+        db.add_atomic_child(
+            root,
+            "Image",
+            AtomicValue::Gif(vec![0xde, 0xad, 0xbe, 0xef]),
+        )
+        .unwrap();
         db.set_name("R", root).unwrap();
         let out = write_named(&db, "R").unwrap();
         assert!(out.contains("\"deadbeef\""));
@@ -580,10 +600,7 @@ mod tests {
         let root = db.new_complex();
         db.add_atomic_child(root, "Symbol", "TP53").unwrap();
         db.set_name("R", root).unwrap();
-        let path = std::env::temp_dir().join(format!(
-            "annoda-oem-test-{}.oem",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("annoda-oem-test-{}.oem", std::process::id()));
         save_to_file(&db, &path).unwrap();
         let back = load_from_file(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -646,11 +663,19 @@ mod tests {
     fn real_values_round_trip() {
         let mut db = OemStore::new();
         let root = db.new_complex();
-        db.add_atomic_child(root, "Score", AtomicValue::Real(0.5)).unwrap();
-        db.add_atomic_child(root, "Whole", AtomicValue::Real(3.0)).unwrap();
+        db.add_atomic_child(root, "Score", AtomicValue::Real(0.5))
+            .unwrap();
+        db.add_atomic_child(root, "Whole", AtomicValue::Real(3.0))
+            .unwrap();
         db.set_name("R", root).unwrap();
         let (db2, root2) = read(&write_named(&db, "R").unwrap()).unwrap();
-        assert_eq!(db2.child_value(root2, "Score"), Some(&AtomicValue::Real(0.5)));
-        assert_eq!(db2.child_value(root2, "Whole"), Some(&AtomicValue::Real(3.0)));
+        assert_eq!(
+            db2.child_value(root2, "Score"),
+            Some(&AtomicValue::Real(0.5))
+        );
+        assert_eq!(
+            db2.child_value(root2, "Whole"),
+            Some(&AtomicValue::Real(3.0))
+        );
     }
 }

@@ -171,9 +171,7 @@ impl AtomicValue {
             // Url/Str interchange textually.
             (Str(a), Url(b)) | (Url(a), Str(b)) => Some(a.cmp(b)),
             // Numeric mixes coerce to real.
-            (Int(_), Real(_)) | (Real(_), Int(_)) => {
-                self.as_real()?.partial_cmp(&other.as_real()?)
-            }
+            (Int(_), Real(_)) | (Real(_), Int(_)) => self.as_real()?.partial_cmp(&other.as_real()?),
             // Number against string: numeric coercion if the string parses,
             // textual comparison otherwise.
             (Int(_) | Real(_), Str(s)) => match s.trim().parse::<f64>() {

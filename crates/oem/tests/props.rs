@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use annoda_oem::graph::{compact, import_fragment, reachable, structural_eq};
-use annoda_oem::{text, AtomicValue, Oid, OemStore, PathExpr};
+use annoda_oem::{text, AtomicValue, OemStore, Oid, PathExpr};
 
 /// A recipe for building a random store: a list of node specs. Complex
 /// nodes pick edges to earlier nodes (guaranteeing liveness) plus

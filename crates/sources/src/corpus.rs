@@ -92,29 +92,68 @@ const ORGANISMS: &[(&str, f64)] = &[
 ];
 
 const FUNCTION_WORDS: &[&str] = &[
-    "kinase", "receptor", "transporter", "ligase", "polymerase", "helicase",
-    "phosphatase", "channel", "regulator", "binding protein", "transcription factor",
-    "protease", "chaperone", "oxidoreductase", "synthase",
+    "kinase",
+    "receptor",
+    "transporter",
+    "ligase",
+    "polymerase",
+    "helicase",
+    "phosphatase",
+    "channel",
+    "regulator",
+    "binding protein",
+    "transcription factor",
+    "protease",
+    "chaperone",
+    "oxidoreductase",
+    "synthase",
 ];
 
 const PROCESS_WORDS: &[&str] = &[
-    "apoptosis", "cell cycle", "DNA repair", "signal transduction", "metabolism",
-    "transport", "differentiation", "proliferation", "adhesion", "secretion",
+    "apoptosis",
+    "cell cycle",
+    "DNA repair",
+    "signal transduction",
+    "metabolism",
+    "transport",
+    "differentiation",
+    "proliferation",
+    "adhesion",
+    "secretion",
 ];
 
 const DISEASE_WORDS: &[&str] = &[
-    "SYNDROME", "CARCINOMA", "DEFICIENCY", "DYSTROPHY", "ANEMIA", "ATAXIA",
-    "NEUROPATHY", "MYOPATHY", "DYSPLASIA", "SCLEROSIS",
+    "SYNDROME",
+    "CARCINOMA",
+    "DEFICIENCY",
+    "DYSTROPHY",
+    "ANEMIA",
+    "ATAXIA",
+    "NEUROPATHY",
+    "MYOPATHY",
+    "DYSPLASIA",
+    "SCLEROSIS",
 ];
 
 const JOURNALS: &[&str] = &[
-    "Nature", "Science", "Cell", "Nucleic Acids Research", "Genomics",
-    "Journal of Biological Chemistry", "Human Molecular Genetics",
+    "Nature",
+    "Science",
+    "Cell",
+    "Nucleic Acids Research",
+    "Genomics",
+    "Journal of Biological Chemistry",
+    "Human Molecular Genetics",
 ];
 
 const DISEASE_QUALIFIERS: &[&str] = &[
-    "FAMILIAL", "CONGENITAL", "JUVENILE", "PROGRESSIVE", "HEREDITARY",
-    "EARLY-ONSET", "ATYPICAL", "SEVERE",
+    "FAMILIAL",
+    "CONGENITAL",
+    "JUVENILE",
+    "PROGRESSIVE",
+    "HEREDITARY",
+    "EARLY-ONSET",
+    "ATYPICAL",
+    "SEVERE",
 ];
 
 impl Corpus {
@@ -391,7 +430,9 @@ fn generate_go(config: &CorpusConfig, rng: &mut StdRng) -> GoDb {
 }
 
 fn gene_symbol(rng: &mut StdRng) -> String {
-    const CONS: &[char] = &['B', 'C', 'D', 'F', 'G', 'K', 'L', 'M', 'N', 'P', 'R', 'S', 'T'];
+    const CONS: &[char] = &[
+        'B', 'C', 'D', 'F', 'G', 'K', 'L', 'M', 'N', 'P', 'R', 'S', 'T',
+    ];
     const VOWELS: &[char] = &['A', 'E', 'I', 'O', 'U'];
     let syllables = rng.gen_range(1..=2);
     let mut s = String::new();
@@ -481,11 +522,7 @@ mod tests {
             for &m in &rec.omim_ids {
                 assert!(c.omim.by_mim(m).is_some(), "dangling MIM {m}");
                 assert!(
-                    c.omim
-                        .by_mim(m)
-                        .unwrap()
-                        .gene_symbols
-                        .contains(&rec.symbol),
+                    c.omim.by_mim(m).unwrap().gene_symbols.contains(&rec.symbol),
                     "OMIM back-reference missing"
                 );
             }
@@ -497,11 +534,10 @@ mod tests {
         // With zero inconsistency every locus GO id also appears in the
         // annotation table.
         for rec in c.locuslink.scan() {
-            let annotated: HashSet<&str> = c
-                .go
-                .annotations_of_gene(&rec.symbol)
-                .map(|a| a.term_id.as_str())
-                .collect();
+            let annotated: HashSet<&str> =
+                c.go.annotations_of_gene(&rec.symbol)
+                    .map(|a| a.term_id.as_str())
+                    .collect();
             for g in &rec.go_ids {
                 assert!(annotated.contains(g.as_str()));
             }
@@ -521,11 +557,10 @@ mod tests {
         // record (or vice versa).
         let mut mismatches = 0;
         for rec in c.locuslink.scan() {
-            let annotated: HashSet<&str> = c
-                .go
-                .annotations_of_gene(&rec.symbol)
-                .map(|a| a.term_id.as_str())
-                .collect();
+            let annotated: HashSet<&str> =
+                c.go.annotations_of_gene(&rec.symbol)
+                    .map(|a| a.term_id.as_str())
+                    .collect();
             let listed: HashSet<&str> = rec.go_ids.iter().map(String::as_str).collect();
             if annotated != listed {
                 mismatches += 1;
@@ -569,12 +604,7 @@ mod tests {
             a.locuslink.by_id(ida).unwrap().description,
             b.locuslink.by_id(idb).unwrap().description
         );
-        assert!(a
-            .locuslink
-            .by_id(ida)
-            .unwrap()
-            .description
-            .contains("rev"));
+        assert!(a.locuslink.by_id(ida).unwrap().description.contains("rev"));
     }
 
     #[test]

@@ -183,7 +183,10 @@ impl GoDb {
             .entry(ann.gene_symbol.clone())
             .or_default()
             .push(idx);
-        self.by_term.entry(ann.term_id.clone()).or_default().push(idx);
+        self.by_term
+            .entry(ann.term_id.clone())
+            .or_default()
+            .push(idx);
         self.annotations.push(ann);
     }
 
@@ -275,10 +278,7 @@ impl GoDb {
         let mut seen: HashSet<String> = frontier.iter().cloned().collect();
         let mut depth = 0usize;
         loop {
-            if frontier
-                .iter()
-                .any(|t| self.parents(t).is_empty())
-            {
+            if frontier.iter().any(|t| self.parents(t).is_empty()) {
                 return Some(depth);
             }
             let mut next = Vec::new();
@@ -412,9 +412,7 @@ impl GoDb {
                     })?;
                     t.part_of.push(rest.to_string());
                 }
-                other => {
-                    return Err(ParseError::new(line_no, format!("unknown key `{other}`")))
-                }
+                other => return Err(ParseError::new(line_no, format!("unknown key `{other}`"))),
             }
         }
         if let Some(t) = current.take() {
@@ -432,7 +430,13 @@ impl GoDb {
     pub fn annotations_to_gaf(&self) -> String {
         let mut out = String::new();
         for a in &self.annotations {
-            let _ = writeln!(out, "{}\t{}\t{}", a.gene_symbol, a.term_id, a.evidence.as_str());
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}",
+                a.gene_symbol,
+                a.term_id,
+                a.evidence.as_str()
+            );
         }
         out
     }
@@ -488,7 +492,12 @@ mod tests {
                 mk("GO:0003674", "molecular_function", &[], &[]),
                 mk("GO:0003700", "transcription factor", &["GO:0003674"], &[]),
                 mk("GO:0000981", "RNA pol II TF", &["GO:0003700"], &[]),
-                mk("GO:0000982", "proximal TF", &["GO:0000981"], &["GO:0003700"]),
+                mk(
+                    "GO:0000982",
+                    "proximal TF",
+                    &["GO:0000981"],
+                    &["GO:0003700"],
+                ),
             ],
             [
                 GoAnnotation {
@@ -528,7 +537,10 @@ mod tests {
         assert!(anc.contains("GO:0000981"));
         assert!(anc.contains("GO:0003700")); // via part_of AND via is_a chain
         assert!(anc.contains("GO:0003674"));
-        assert!(!anc.contains("GO:0000982"), "a term is not its own ancestor");
+        assert!(
+            !anc.contains("GO:0000982"),
+            "a term is not its own ancestor"
+        );
         assert!(db.is_descendant_of("GO:0000982", "GO:0003674"));
         assert!(!db.is_descendant_of("GO:0003674", "GO:0000982"));
     }

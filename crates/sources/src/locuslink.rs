@@ -186,9 +186,9 @@ impl LocusLinkDb {
             let value = value.trim();
             match key {
                 "LOCUSID" => {
-                    let v: u32 = value.parse().map_err(|_| {
-                        ParseError::new(line_no, format!("bad LOCUSID `{value}`"))
-                    })?;
+                    let v: u32 = value
+                        .parse()
+                        .map_err(|_| ParseError::new(line_no, format!("bad LOCUSID `{value}`")))?;
                     if v != rec.locus_id {
                         return Err(ParseError::new(
                             line_no,
@@ -201,18 +201,18 @@ impl LocusLinkDb {
                 "DESC" => rec.description = value.to_string(),
                 "MAP" => rec.position = value.to_string(),
                 "GO" => rec.go_ids.push(value.to_string()),
-                "OMIM" => rec.omim_ids.push(value.parse().map_err(|_| {
-                    ParseError::new(line_no, format!("bad OMIM number `{value}`"))
-                })?),
+                "OMIM" => {
+                    rec.omim_ids.push(value.parse().map_err(|_| {
+                        ParseError::new(line_no, format!("bad OMIM number `{value}`"))
+                    })?)
+                }
                 "LINK" => {
                     let (db_name, url) = value.split_once('|').ok_or_else(|| {
                         ParseError::new(line_no, format!("LINK needs `db|url`, got `{value}`"))
                     })?;
                     rec.links.push((db_name.to_string(), url.to_string()));
                 }
-                other => {
-                    return Err(ParseError::new(line_no, format!("unknown field `{other}`")))
-                }
+                other => return Err(ParseError::new(line_no, format!("unknown field `{other}`"))),
             }
         }
         if let Some(rec) = current.take() {
@@ -248,7 +248,10 @@ mod tests {
         assert_eq!(db.by_id(7157).unwrap().symbol, "TP53");
         assert_eq!(db.by_symbol("TP53").unwrap().locus_id, 7157);
         assert!(db.by_id(1).is_none());
-        assert!(db.by_symbol("tp53").is_none(), "symbol lookup is case-sensitive");
+        assert!(
+            db.by_symbol("tp53").is_none(),
+            "symbol lookup is case-sensitive"
+        );
         assert_eq!(db.by_organism("Homo sapiens").count(), 1);
         assert_eq!(db.by_organism("Mus musculus").count(), 0);
     }

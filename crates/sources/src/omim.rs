@@ -254,9 +254,10 @@ impl OmimDb {
                 .ok_or_else(|| ParseError::new(line_no, "content before *RECORD*"))?;
             match field.as_deref() {
                 Some("NO") => {
-                    entry.mim_number = line.trim().parse().map_err(|_| {
-                        ParseError::new(line_no, format!("bad MIM number `{line}`"))
-                    })?
+                    entry.mim_number = line
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError::new(line_no, format!("bad MIM number `{line}`")))?
                 }
                 Some("TI") => {
                     let mut chars = line.chars();
@@ -270,9 +271,9 @@ impl OmimDb {
                     let (num, title) = rest.split_once(' ').ok_or_else(|| {
                         ParseError::new(line_no, format!("malformed TI line `{line}`"))
                     })?;
-                    let num: u32 = num.parse().map_err(|_| {
-                        ParseError::new(line_no, format!("bad TI number `{num}`"))
-                    })?;
+                    let num: u32 = num
+                        .parse()
+                        .map_err(|_| ParseError::new(line_no, format!("bad TI number `{num}`")))?;
                     if entry.mim_number != 0 && num != entry.mim_number {
                         return Err(ParseError::new(
                             line_no,

@@ -142,9 +142,10 @@ impl PubmedDb {
                     db.upsert(a);
                 }
                 current = Some(Article {
-                    pmid: v.trim().parse().map_err(|_| {
-                        ParseError::new(line_no, format!("bad PMID `{v}`"))
-                    })?,
+                    pmid: v
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError::new(line_no, format!("bad PMID `{v}`")))?,
                     title: String::new(),
                     year: 0,
                     journal: String::new(),
@@ -158,9 +159,10 @@ impl PubmedDb {
             if let Some(v) = line.strip_prefix("TI  - ") {
                 a.title = v.to_string();
             } else if let Some(v) = line.strip_prefix("DP  - ") {
-                a.year = v.trim().parse().map_err(|_| {
-                    ParseError::new(line_no, format!("bad year `{v}`"))
-                })?;
+                a.year = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::new(line_no, format!("bad year `{v}`")))?;
             } else if let Some(v) = line.strip_prefix("JT  - ") {
                 a.journal = v.to_string();
             } else if let Some(v) = line.strip_prefix("GS  - ") {

@@ -6,8 +6,7 @@
 use proptest::prelude::*;
 
 use annoda_sources::{
-    Corpus, CorpusConfig, GoDb, Inheritance, LocusLinkDb, LocusRecord, OmimDb, OmimEntry,
-    OmimType,
+    Corpus, CorpusConfig, GoDb, Inheritance, LocusLinkDb, LocusRecord, OmimDb, OmimEntry, OmimType,
 };
 
 /// Field text safe for the line-oriented flat formats (no newlines; no

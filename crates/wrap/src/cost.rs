@@ -51,12 +51,25 @@ pub struct Cost {
     pub records: u64,
     /// Total virtual microseconds.
     pub virtual_us: u64,
+    /// Number of subqueries answered from the mediator's result cache
+    /// instead of a source round trip (those charge no request and no
+    /// virtual time).
+    pub cache_hits: u64,
 }
 
 impl Cost {
     /// A zeroed meter.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The cost of one cache-served subquery: no request, no records,
+    /// no virtual time — just the hit recorded.
+    pub fn cache_hit() -> Self {
+        Cost {
+            cache_hits: 1,
+            ..Cost::default()
+        }
     }
 
     /// Charges one request of `records` records under `model`.
@@ -77,6 +90,7 @@ impl AddAssign for Cost {
         self.requests += rhs.requests;
         self.records += rhs.records;
         self.virtual_us += rhs.virtual_us;
+        self.cache_hits += rhs.cache_hits;
     }
 }
 

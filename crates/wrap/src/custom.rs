@@ -70,7 +70,8 @@ mod tests {
         let root = oml.new_complex();
         let e = oml.add_complex_child(root, "Finding").unwrap();
         oml.add_atomic_child(e, "GeneSymbol", "TP53").unwrap();
-        oml.add_atomic_child(e, "Note", "overexpressed in sample 7").unwrap();
+        oml.add_atomic_child(e, "Note", "overexpressed in sample 7")
+            .unwrap();
         oml.set_name(name, root).unwrap();
         oml
     }

@@ -23,6 +23,10 @@ pub enum FailureMode {
     /// Every `n`-th request fails (1-based: `EveryNth(3)` fails requests
     /// 3, 6, 9, …).
     EveryNth(u64),
+    /// Every request **panics** instead of returning an error — a
+    /// crashing wrapper rather than a cleanly-failing one. The mediator
+    /// must contain the panic to the failing source.
+    Panic,
 }
 
 /// A decorator that injects subquery failures.
@@ -76,6 +80,10 @@ impl<W: Wrapper> Wrapper for FlakyWrapper<W> {
             FailureMode::Never => false,
             FailureMode::Always => true,
             FailureMode::EveryNth(k) => k > 0 && n.is_multiple_of(k),
+            FailureMode::Panic => panic!(
+                "{} wrapper crashed (injected panic, attempt {n})",
+                self.name()
+            ),
         };
         if fail {
             return Err(WrapError::Unsupported(format!(

@@ -37,7 +37,16 @@ impl GoWrapper {
             "http://www.geneontology.org",
         );
         let oml = export(&db);
-        let indexes = AccessIndexes::build(&oml, "GO", &[("Annotation", "Gene"), ("Annotation", "Accession"), ("Term", "Accession"), ("Term", "Ontology")]);
+        let indexes = AccessIndexes::build(
+            &oml,
+            "GO",
+            &[
+                ("Annotation", "Gene"),
+                ("Annotation", "Accession"),
+                ("Term", "Accession"),
+                ("Term", "Ontology"),
+            ],
+        );
         GoWrapper {
             descr,
             indexes,
@@ -68,7 +77,16 @@ impl Wrapper for GoWrapper {
 
     fn refresh(&mut self) -> usize {
         self.oml = export(&self.db);
-        self.indexes = AccessIndexes::build(&self.oml, "GO", &[("Annotation", "Gene"), ("Annotation", "Accession"), ("Term", "Accession"), ("Term", "Ontology")]);
+        self.indexes = AccessIndexes::build(
+            &self.oml,
+            "GO",
+            &[
+                ("Annotation", "Gene"),
+                ("Annotation", "Accession"),
+                ("Term", "Accession"),
+                ("Term", "Ontology"),
+            ],
+        );
         self.oml.len()
     }
 
@@ -178,8 +196,7 @@ mod tests {
             .iter()
             .copied()
             .find(|&t| {
-                oml.child_value(t, "Accession")
-                    == Some(&AtomicValue::Str("GO:0003700".into()))
+                oml.child_value(t, "Accession") == Some(&AtomicValue::Str("GO:0003700".into()))
             })
             .unwrap();
         let parent = oml.child(tf, "IsA").unwrap();

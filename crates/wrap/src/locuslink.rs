@@ -31,7 +31,16 @@ impl LocusLinkWrapper {
             "http://www.ncbi.nlm.nih.gov/LocusLink",
         );
         let oml = export(&db);
-        let indexes = AccessIndexes::build(&oml, "LocusLink", &[("Locus", "Symbol"), ("Locus", "Organism"), ("Locus", "GOID"), ("Locus", "Position")]);
+        let indexes = AccessIndexes::build(
+            &oml,
+            "LocusLink",
+            &[
+                ("Locus", "Symbol"),
+                ("Locus", "Organism"),
+                ("Locus", "GOID"),
+                ("Locus", "Position"),
+            ],
+        );
         LocusLinkWrapper {
             descr,
             indexes,
@@ -63,7 +72,16 @@ impl Wrapper for LocusLinkWrapper {
 
     fn refresh(&mut self) -> usize {
         self.oml = export(&self.db);
-        self.indexes = AccessIndexes::build(&self.oml, "LocusLink", &[("Locus", "Symbol"), ("Locus", "Organism"), ("Locus", "GOID"), ("Locus", "Position")]);
+        self.indexes = AccessIndexes::build(
+            &self.oml,
+            "LocusLink",
+            &[
+                ("Locus", "Symbol"),
+                ("Locus", "Organism"),
+                ("Locus", "GOID"),
+                ("Locus", "Position"),
+            ],
+        );
         self.oml.len()
     }
 
@@ -93,7 +111,9 @@ fn export(db: &LocusLinkDb) -> OemStore {
             .expect("locus complex");
         oml.add_atomic_child(locus, "Url", AtomicValue::Url(rec.url()))
             .expect("locus complex");
-        let links = oml.add_complex_child(locus, "Links").expect("locus complex");
+        let links = oml
+            .add_complex_child(locus, "Links")
+            .expect("locus complex");
         oml.add_atomic_child(links, "LocusLink", AtomicValue::Url(rec.url()))
             .expect("links complex");
         for go_id in &rec.go_ids {
@@ -128,8 +148,8 @@ fn export(db: &LocusLinkDb) -> OemStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use annoda_sources::LocusRecord;
     use crate::cost::Cost;
+    use annoda_sources::LocusRecord;
 
     fn tp53_db() -> LocusLinkDb {
         LocusLinkDb::from_records([LocusRecord {
@@ -173,10 +193,7 @@ mod tests {
         assert!(labels.contains(&"PubMed"));
         // All link targets are Url-typed atoms.
         for e in oml.edges_of(links) {
-            assert!(matches!(
-                oml.value_of(e.target),
-                Some(AtomicValue::Url(_))
-            ));
+            assert!(matches!(oml.value_of(e.target), Some(AtomicValue::Url(_))));
         }
     }
 

@@ -28,7 +28,15 @@ impl OmimWrapper {
             "http://www.ncbi.nlm.nih.gov/omim",
         );
         let oml = export(&db);
-        let indexes = AccessIndexes::build(&oml, "OMIM", &[("Entry", "GeneSymbol"), ("Entry", "Title"), ("Entry", "EntryType")]);
+        let indexes = AccessIndexes::build(
+            &oml,
+            "OMIM",
+            &[
+                ("Entry", "GeneSymbol"),
+                ("Entry", "Title"),
+                ("Entry", "EntryType"),
+            ],
+        );
         OmimWrapper {
             descr,
             indexes,
@@ -59,7 +67,15 @@ impl Wrapper for OmimWrapper {
 
     fn refresh(&mut self) -> usize {
         self.oml = export(&self.db);
-        self.indexes = AccessIndexes::build(&self.oml, "OMIM", &[("Entry", "GeneSymbol"), ("Entry", "Title"), ("Entry", "EntryType")]);
+        self.indexes = AccessIndexes::build(
+            &self.oml,
+            "OMIM",
+            &[
+                ("Entry", "GeneSymbol"),
+                ("Entry", "Title"),
+                ("Entry", "EntryType"),
+            ],
+        );
         self.oml.len()
     }
 

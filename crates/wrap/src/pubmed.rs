@@ -29,7 +29,11 @@ impl PubmedWrapper {
             "http://www.ncbi.nlm.nih.gov/pubmed",
         );
         let oml = export(&db);
-        let indexes = AccessIndexes::build(&oml, "PubMed", &[("Citation", "GeneSymbol"), ("Citation", "Journal")]);
+        let indexes = AccessIndexes::build(
+            &oml,
+            "PubMed",
+            &[("Citation", "GeneSymbol"), ("Citation", "Journal")],
+        );
         PubmedWrapper {
             descr,
             indexes,
@@ -60,7 +64,11 @@ impl Wrapper for PubmedWrapper {
 
     fn refresh(&mut self) -> usize {
         self.oml = export(&self.db);
-        self.indexes = AccessIndexes::build(&self.oml, "PubMed", &[("Citation", "GeneSymbol"), ("Citation", "Journal")]);
+        self.indexes = AccessIndexes::build(
+            &self.oml,
+            "PubMed",
+            &[("Citation", "GeneSymbol"), ("Citation", "Journal")],
+        );
         self.oml.len()
     }
 
@@ -77,7 +85,9 @@ fn export(db: &PubmedDb) -> OemStore {
     let mut oml = OemStore::new();
     let root = oml.new_complex();
     for a in db.scan() {
-        let c = oml.add_complex_child(root, "Citation").expect("root complex");
+        let c = oml
+            .add_complex_child(root, "Citation")
+            .expect("root complex");
         oml.add_atomic_child(c, "Pmid", AtomicValue::Int(a.pmid as i64))
             .expect("complex");
         oml.add_atomic_child(c, "ArticleTitle", a.title.as_str())
@@ -87,7 +97,8 @@ fn export(db: &PubmedDb) -> OemStore {
         oml.add_atomic_child(c, "Journal", a.journal.as_str())
             .expect("complex");
         for g in &a.gene_symbols {
-            oml.add_atomic_child(c, "GeneSymbol", g.as_str()).expect("complex");
+            oml.add_atomic_child(c, "GeneSymbol", g.as_str())
+                .expect("complex");
         }
         oml.add_atomic_child(c, "Url", AtomicValue::Url(a.url()))
             .expect("complex");

@@ -4,11 +4,12 @@ use std::collections::HashMap;
 use std::fmt;
 
 use annoda_lorel::{
-    eval_rows, parse, project_row, row_passes, FunctionRegistry, LorelError, Projected, Row,
+    eval_rows_explained, parse, project_row, row_passes, FunctionRegistry, LorelError, Projected,
+    Row,
 };
 use annoda_oem::dataguide::DataGuide;
 use annoda_oem::graph::import_fragment_memo;
-use annoda_oem::{Oid, OemStore, ValueIndex};
+use annoda_oem::{OemStore, Oid, ValueIndex};
 
 use crate::cost::Cost;
 use crate::descr::SourceDescription;
@@ -93,16 +94,20 @@ pub struct SubqueryResult {
     pub root: Oid,
     /// Number of rows shipped.
     pub rows: usize,
-    /// Whether an index-backed access path answered the subquery.
+    /// Whether the wrapper's own [`AccessIndexes`] answered the
+    /// subquery (the explicit join-key fast path).
     pub used_index: bool,
+    /// Whether the Lorel query planner answered the scan path with an
+    /// index seek (selection pushdown inside the evaluator). Orthogonal
+    /// to [`SubqueryResult::used_index`]: cost accounting is identical
+    /// either way, this only reports the access path taken.
+    pub planner_index_backed: bool,
 }
 
 impl SubqueryResult {
     /// Iterates the row objects under the result root.
     pub fn row_oids(&self) -> Vec<Oid> {
-        self.store
-            .children(self.root, "row")
-            .collect()
+        self.store.children(self.root, "row").collect()
     }
 
     /// Collects, for each row, the atomic text of the first value under
@@ -110,11 +115,7 @@ impl SubqueryResult {
     pub fn column_text(&self, label: &str) -> Vec<Option<String>> {
         self.row_oids()
             .into_iter()
-            .map(|r| {
-                self.store
-                    .child_value(r, label)
-                    .map(|v| v.as_text())
-            })
+            .map(|r| self.store.child_value(r, label).map(|v| v.as_text()))
             .collect()
     }
 }
@@ -181,6 +182,7 @@ pub trait Wrapper: std::any::Any + Send + Sync {
         // requires textual equality); candidates are re-verified against
         // the full predicate to remove textual false positives.
         let mut used_index = false;
+        let mut planner_index_backed = false;
         let rows: Vec<Row> = 'rows: {
             if let Some(indexes) = self.indexes() {
                 if let Some((entity, attr, keys, var)) = key_lookup_shape(&query, self.name()) {
@@ -209,7 +211,9 @@ pub trait Wrapper: std::any::Any + Send + Sync {
                     }
                 }
             }
-            eval_rows(oml, &query)?
+            let (rows, explain) = eval_rows_explained(oml, &query)?;
+            planner_index_backed = explain.index_backed();
+            rows
         };
 
         let mut out = OemStore::new();
@@ -247,6 +251,7 @@ pub trait Wrapper: std::any::Any + Send + Sync {
             root,
             rows: rows.len(),
             used_index,
+            planner_index_backed,
         })
     }
 }
@@ -336,7 +341,8 @@ mod tests {
         for (sym, id) in [("TP53", 7157i64), ("BRCA1", 672)] {
             let g = oml.add_complex_child(root, "Locus").unwrap();
             oml.add_atomic_child(g, "Symbol", sym).unwrap();
-            oml.add_atomic_child(g, "LocusID", AtomicValue::Int(id)).unwrap();
+            oml.add_atomic_child(g, "LocusID", AtomicValue::Int(id))
+                .unwrap();
         }
         oml.set_name("Toy", root).unwrap();
         ToyWrapper {
@@ -370,10 +376,7 @@ mod tests {
         assert_eq!(res.rows, 2);
         assert_eq!(cost.requests, 1);
         assert_eq!(cost.records, 2);
-        assert_eq!(
-            cost.virtual_us,
-            LatencyModel::remote().request_cost(2)
-        );
+        assert_eq!(cost.virtual_us, LatencyModel::remote().request_cost(2));
         let col = res.column_text("Symbol");
         assert_eq!(col, vec![Some("TP53".into()), Some("BRCA1".into())]);
     }
@@ -382,9 +385,7 @@ mod tests {
     fn subquery_result_is_detached_from_oml() {
         let w = toy();
         let mut cost = Cost::new();
-        let res = w
-            .subquery("select L from Toy.Locus L", &mut cost)
-            .unwrap();
+        let res = w.subquery("select L from Toy.Locus L", &mut cost).unwrap();
         // Mutating the shipped copy is possible without touching the OML.
         let mut shipped = res.store;
         let rows = shipped.children(res.root, "row").collect::<Vec<_>>();
@@ -496,7 +497,10 @@ mod tests {
                 &mut c,
             )
             .unwrap();
-        assert_eq!(scan_chain.column_text("L").len(), or_chain.column_text("L").len());
+        assert_eq!(
+            scan_chain.column_text("L").len(),
+            or_chain.column_text("L").len()
+        );
         // Mixed attributes in the chain bypass the index.
         let mixed = indexed
             .subquery(
@@ -508,7 +512,10 @@ mod tests {
 
         // Misses return empty, still via the index.
         let miss = indexed
-            .subquery(r#"select L from Toy.Locus L where L.Symbol = "NOPE""#, &mut c)
+            .subquery(
+                r#"select L from Toy.Locus L where L.Symbol = "NOPE""#,
+                &mut c,
+            )
             .unwrap();
         assert!(miss.used_index);
         assert_eq!(miss.rows, 0);
@@ -530,9 +537,7 @@ mod tests {
             oml,
         };
         let mut cost = Cost::new();
-        let res = w
-            .subquery("select I from Toy.Item I", &mut cost)
-            .unwrap();
+        let res = w.subquery("select I from Toy.Item I", &mut cost).unwrap();
         assert_eq!(res.rows, 2);
         // `shared` is shipped as part of row 1 and referenced by row 2's
         // copy of `other`; the memo must make both point at one object.

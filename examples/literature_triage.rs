@@ -56,7 +56,10 @@ fn main() {
     // The inverse: well-studied genes, with their citations.
     let question = QuestionBuilder::new().require_pubmed_citation().build();
     let answer = annoda.ask(&question).unwrap();
-    println!("\n{} cited genes; a sample with their literature:", answer.fused.genes.len());
+    println!(
+        "\n{} cited genes; a sample with their literature:",
+        answer.fused.genes.len()
+    );
     for g in answer.fused.genes.iter().take(3) {
         println!("  {}", g.symbol);
         for p in &g.publications {

@@ -49,7 +49,10 @@ fn main() {
     let q4b = r#"select upper(G.Symbol) as symbol, strlen(G.Description) as desc_len
                  from ANNODA-GML.Gene G where strlen(G.Symbol) <= 4
                  order by G.Symbol"#;
-    println!("\nQ4b (specialty evaluation functions): {}", q4b.split_whitespace().collect::<Vec<_>>().join(" "));
+    println!(
+        "\nQ4b (specialty evaluation functions): {}",
+        q4b.split_whitespace().collect::<Vec<_>>().join(" ")
+    );
     let (gml, outcome, _) = annoda.lorel(q4b).unwrap();
     for (sym, len) in outcome.projected[0].1.iter().zip(&outcome.projected[1].1) {
         println!(

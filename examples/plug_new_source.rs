@@ -15,8 +15,11 @@ use annoda_wrap::{CustomWrapper, SourceDescription};
 
 fn main() {
     let corpus = Corpus::generate(CorpusConfig::tiny(3));
-    let (mut annoda, _) =
-        Annoda::over_sources(corpus.locuslink.clone(), corpus.go.clone(), corpus.omim.clone());
+    let (mut annoda, _) = Annoda::over_sources(
+        corpus.locuslink.clone(),
+        corpus.go.clone(),
+        corpus.omim.clone(),
+    );
 
     // Pick a gene that currently has no disease association.
     let free_gene = corpus
@@ -39,10 +42,12 @@ fn main() {
     let mut oml = OemStore::new();
     let root = oml.new_complex();
     let rec = oml.add_complex_child(root, "Record").unwrap();
-    oml.add_atomic_child(rec, "Mim_No", AtomicValue::Int(990001)).unwrap();
+    oml.add_atomic_child(rec, "Mim_No", AtomicValue::Int(990001))
+        .unwrap();
     oml.add_atomic_child(rec, "Phenotype_Name", "NEWLY DESCRIBED DISORDER")
         .unwrap();
-    oml.add_atomic_child(rec, "Locus_Symbol", free_gene.as_str()).unwrap();
+    oml.add_atomic_child(rec, "Locus_Symbol", free_gene.as_str())
+        .unwrap();
     oml.add_atomic_child(
         rec,
         "Url",
@@ -52,7 +57,11 @@ fn main() {
     oml.set_name("DiseaseRegistry", root).unwrap();
 
     let report = annoda.plug(Box::new(CustomWrapper::new(
-        SourceDescription::remote("DiseaseRegistry", "community disease registry", "http://registry.example"),
+        SourceDescription::remote(
+            "DiseaseRegistry",
+            "community disease registry",
+            "http://registry.example",
+        ),
         oml,
     )));
     println!(

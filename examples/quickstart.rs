@@ -23,8 +23,7 @@ fn main() {
 
     // 2. Plug the sources into ANNODA. Each plug-in runs MDSM schema
     //    matching against the global model and installs the wrapper.
-    let (annoda, reports) =
-        Annoda::over_sources(corpus.locuslink, corpus.go, corpus.omim);
+    let (annoda, reports) = Annoda::over_sources(corpus.locuslink, corpus.go, corpus.omim);
     for r in &reports {
         println!(
             "plugged {:<10} {} mapping rules (mean score {:.2})",

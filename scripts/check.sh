@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, offline.
+#
+#   scripts/check.sh            # build + tests + fmt + clippy
+#
+# The build is fully vendored (see vendor/), so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== OK =="

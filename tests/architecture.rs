@@ -57,7 +57,9 @@ fn mediator_decomposes_executes_and_fuses() {
     assert!(sources.contains(&"OMIM"));
     for step in &plan.steps {
         assert!(
-            step.query.lorel.contains(&format!("from {}", step.query.source)),
+            step.query
+                .lorel
+                .contains(&format!("from {}", step.query.source)),
             "subquery addresses its source: {}",
             step.query.lorel
         );

@@ -63,12 +63,7 @@ fn all_automated_systems_agree_on_consistent_data() {
             genes.sort();
             match &reference {
                 None => reference = Some(genes),
-                Some(r) => assert_eq!(
-                    &genes,
-                    r,
-                    "question #{qi}: {} disagrees",
-                    sys.name()
-                ),
+                Some(r) => assert_eq!(&genes, r, "question #{qi}: {} disagrees", sys.name()),
             }
         }
     }
@@ -87,11 +82,31 @@ fn consistent_corpus_yields_zero_conflicts_everywhere() {
 fn optimizer_configs_never_change_answers() {
     let corpus = consistent_corpus();
     let configs = [
-        OptimizerConfig { pushdown: true, source_selection: true, bind_join: false },
-        OptimizerConfig { pushdown: true, source_selection: true, bind_join: true },
-        OptimizerConfig { pushdown: true, source_selection: false, bind_join: false },
-        OptimizerConfig { pushdown: false, source_selection: true, bind_join: true },
-        OptimizerConfig { pushdown: false, source_selection: false, bind_join: false },
+        OptimizerConfig {
+            pushdown: true,
+            source_selection: true,
+            bind_join: false,
+        },
+        OptimizerConfig {
+            pushdown: true,
+            source_selection: true,
+            bind_join: true,
+        },
+        OptimizerConfig {
+            pushdown: true,
+            source_selection: false,
+            bind_join: false,
+        },
+        OptimizerConfig {
+            pushdown: false,
+            source_selection: true,
+            bind_join: true,
+        },
+        OptimizerConfig {
+            pushdown: false,
+            source_selection: false,
+            bind_join: false,
+        },
     ];
     for q in questions() {
         let mut reference: Option<Vec<String>> = None;
@@ -100,8 +115,7 @@ fn optimizer_configs_never_change_answers() {
             let mut annoda = annoda_bench::workload::annoda_over(&corpus);
             annoda.registry_mut().mediator_mut().optimizer = cfg;
             let ans = annoda.ask(&q).unwrap();
-            let mut genes: Vec<String> =
-                ans.fused.genes.iter().map(|g| g.symbol.clone()).collect();
+            let mut genes: Vec<String> = ans.fused.genes.iter().map(|g| g.symbol.clone()).collect();
             genes.sort();
             costs.push(ans.cost.virtual_us);
             match &reference {
@@ -110,7 +124,12 @@ fn optimizer_configs_never_change_answers() {
             }
         }
         // Full optimisation is never more expensive than none.
-        assert!(costs[0] <= costs[4], "optimised {} > naive {}", costs[0], costs[4]);
+        assert!(
+            costs[0] <= costs[4],
+            "optimised {} > naive {}",
+            costs[0],
+            costs[4]
+        );
     }
 }
 
@@ -153,7 +172,9 @@ fn reconciliation_policies_are_monotone() {
         .collect();
     assert!(!union.is_empty());
     for (gene, fns) in &inter {
-        let uf = union.get(gene).expect("intersection genes appear under union");
+        let uf = union
+            .get(gene)
+            .expect("intersection genes appear under union");
         for f in fns {
             assert!(uf.contains(f), "{gene}: {f} in intersection but not union");
         }

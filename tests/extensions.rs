@@ -99,7 +99,12 @@ fn scan_only_sources_fall_back_to_mediator_filtering() {
         .iter()
         .map(|g| g.symbol.as_str())
         .collect();
-    let b: Vec<&str> = reference.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+    let b: Vec<&str> = reference
+        .fused
+        .genes
+        .iter()
+        .map(|g| g.symbol.as_str())
+        .collect();
     assert_eq!(a, b);
 }
 
@@ -140,10 +145,7 @@ fn reorganisation_over_a_real_answer() {
 
     let summary = reorganize::summarize(genes);
     assert_eq!(summary.genes, genes.len());
-    assert_eq!(
-        summary.per_organism.values().sum::<usize>(),
-        genes.len()
-    );
+    assert_eq!(summary.per_organism.values().sum::<usize>(), genes.len());
 }
 
 #[test]
@@ -158,8 +160,18 @@ fn bind_join_equivalence_through_the_facade() {
     let unbound = annoda.ask(&q).unwrap();
     annoda.registry_mut().mediator_mut().optimizer.bind_join = true;
     let bound = annoda.ask(&q).unwrap();
-    let a: Vec<&str> = unbound.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
-    let b: Vec<&str> = bound.fused.genes.iter().map(|g| g.symbol.as_str()).collect();
+    let a: Vec<&str> = unbound
+        .fused
+        .genes
+        .iter()
+        .map(|g| g.symbol.as_str())
+        .collect();
+    let b: Vec<&str> = bound
+        .fused
+        .genes
+        .iter()
+        .map(|g| g.symbol.as_str())
+        .collect();
     assert_eq!(a, b);
     assert!(bound.cost.records <= unbound.cost.records);
 }
@@ -247,7 +259,9 @@ fn value_conflicts_across_two_gene_providers_follow_precedence() {
     let gene = ans.fused.genes.iter().find(|g| g.symbol == symbol).unwrap();
     assert_eq!(
         gene.description.as_deref(),
-        c.locuslink.by_symbol(&symbol).map(|r| r.description.as_str())
+        c.locuslink
+            .by_symbol(&symbol)
+            .map(|r| r.description.as_str())
     );
 }
 
@@ -275,7 +289,8 @@ fn custom_wrapper_round_trip_through_registry() {
     let root = oml.new_complex();
     let e = oml.add_complex_child(root, "Entry").unwrap();
     oml.add_atomic_child(e, "MimNumber", 999_999i64).unwrap();
-    oml.add_atomic_child(e, "Title", "TRANSIENT DISORDER").unwrap();
+    oml.add_atomic_child(e, "Title", "TRANSIENT DISORDER")
+        .unwrap();
     let sym = c.locuslink.scan().next().unwrap().symbol.clone();
     oml.add_atomic_child(e, "GeneSymbol", sym.as_str()).unwrap();
     oml.set_name("Transient", root).unwrap();

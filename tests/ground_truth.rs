@@ -42,10 +42,9 @@ fn figure5_matches_ground_truth_across_seeds() {
             .locuslink
             .scan()
             .filter(|r| {
-                let has_fn = !r.go_ids.is_empty()
-                    || c.go.annotations_of_gene(&r.symbol).next().is_some();
-                let has_dis =
-                    !r.omim_ids.is_empty() || c.omim.by_gene(&r.symbol).next().is_some();
+                let has_fn =
+                    !r.go_ids.is_empty() || c.go.annotations_of_gene(&r.symbol).next().is_some();
+                let has_dis = !r.omim_ids.is_empty() || c.omim.by_gene(&r.symbol).next().is_some();
                 has_fn && !has_dis
             })
             .map(|r| r.symbol.clone())
@@ -142,10 +141,9 @@ fn conflicts_count_matches_injected_disagreements() {
                 .by_symbol(&conflict.subject)
                 .unwrap_or_else(|| panic!("conflict names unknown gene {}", conflict.subject));
             let locus_side = rec.go_ids.contains(&conflict.item);
-            let go_side = c
-                .go
-                .annotations_of_gene(&rec.symbol)
-                .any(|a| a.term_id == conflict.item);
+            let go_side =
+                c.go.annotations_of_gene(&rec.symbol)
+                    .any(|a| a.term_id == conflict.item);
             assert_ne!(
                 locus_side, go_side,
                 "seed {seed}: conflict {conflict:?} is not a real disagreement"

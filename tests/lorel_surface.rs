@@ -71,16 +71,14 @@ fn like_and_multi_key_ordering() {
 fn into_answers_are_queryable_in_the_returned_store() {
     let (a, _c) = annoda();
     let (mut gml, out, _) = a
-        .lorel("select G into HumanGenes from ANNODA-GML.Gene G where G.Organism = \"Homo sapiens\"")
+        .lorel(
+            "select G into HumanGenes from ANNODA-GML.Gene G where G.Organism = \"Homo sapiens\"",
+        )
         .unwrap();
     assert!(gml.named("HumanGenes").is_some());
     let count = out.projected[0].1.len();
     // Query the saved answer inside the returned store.
-    let follow = annoda_lorel::run_query(
-        &mut gml,
-        "select count(H.G) from HumanGenes H",
-    )
-    .unwrap();
+    let follow = annoda_lorel::run_query(&mut gml, "select count(H.G) from HumanGenes H").unwrap();
     let total: usize = gml
         .value_of(follow.projected[0].1[0])
         .unwrap()

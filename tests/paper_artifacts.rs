@@ -44,7 +44,10 @@ fn figure3_notation_for_a_locuslink_fragment() {
         "Position &6 String \"17p13.1\"",
         "Links &8 Complex",
     ] {
-        assert!(rendered.contains(needle), "missing `{needle}` in:\n{rendered}");
+        assert!(
+            rendered.contains(needle),
+            "missing `{needle}` in:\n{rendered}"
+        );
     }
     // And the notation reads back into a structurally equal store
     // (oid numbers may differ: the reader allocates in line order).
@@ -140,9 +143,7 @@ fn integrated_view_genes_carry_weblinks_for_navigation() {
             gene.symbol
         );
         assert!(
-            gene.links
-                .iter()
-                .any(|l| l.url.starts_with("http://")),
+            gene.links.iter().any(|l| l.url.starts_with("http://")),
             "{} lacks an external source link",
             gene.symbol
         );

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace-local
+//! crate implements the subset of the criterion API the repository's
+//! `[[bench]]` targets use: [`Criterion::bench_function`], benchmark
+//! groups with `sample_size` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], and the `criterion_group!` / `criterion_main!`
+//! macros. Statistics are simple — median and mean of per-sample wall
+//! clock — and results print one line per benchmark. There is no HTML
+//! report, outlier analysis, or regression baseline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (some benches import it
+/// from here rather than `std::hint`).
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Hard per-benchmark wall-clock budget so full `cargo bench` runs stay
+/// bounded even for expensive bodies.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The stub times one
+/// routine call per batch regardless, so the variants only mirror the
+/// real API surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Runs one benchmark body repeatedly and records per-sample timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `body` once per sample until the sample budget (or the
+    /// global time budget) is exhausted.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        // One untimed warm-up run populates caches and lazy statics.
+        black_box(body());
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size && started.elapsed() < TIME_BUDGET {
+            let t0 = Instant::now();
+            black_box(body());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size && started.elapsed() < TIME_BUDGET {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{label:<60} no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<60} median {:>12?}  mean {:>12?}  ({} samples)",
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `body` under `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        body(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.samples);
+        self
+    }
+
+    /// Benchmarks `body` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        body(&mut b, input);
+        report(&format!("{}/{}", self.name, id.text), &mut b.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `body` under `name`.
+    pub fn bench_function(&mut self, name: &str, mut body: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        };
+        body(&mut b);
+        report(name, &mut b.samples);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 1, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, ()| b.iter(|| runs += 1));
+        group.finish();
+        assert!((2..=6).contains(&runs), "5 samples + warm-up, got {runs}");
+    }
+}

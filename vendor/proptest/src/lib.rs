@@ -1,0 +1,708 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace-local
+//! crate implements the subset of the proptest API the repository's
+//! property suites use: the [`strategy::Strategy`] trait with `prop_map`
+//! / `prop_flat_map`, `Just`, numeric range strategies, tuple strategies,
+//! [`arbitrary::any`], [`collection::vec`], [`option::of`],
+//! [`string::string_regex`] (a small generator-oriented regex subset),
+//! and the `proptest!` / `prop_oneof!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and
+//!   panics; it does not minimise them.
+//! * **Deterministic cases.** Each `(file, test name, case index)` maps
+//!   to a fixed RNG seed, so failures reproduce across runs without a
+//!   persistence file.
+//! * The default number of cases is 64 (real proptest: 256) to keep
+//!   debug-profile `cargo test` time bounded; suites that ask for an
+//!   explicit `ProptestConfig::with_cases(n)` get exactly `n`.
+
+pub mod test_runner {
+    /// Per-suite configuration accepted by `proptest!`'s
+    /// `#![proptest_config(..)]` attribute.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator for one test case; the mapping is a pure
+        /// function of the test's location and the case index.
+        pub fn for_case(file: &str, test: &str, case: u64) -> Self {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            file.hash(&mut h);
+            test.hash(&mut h);
+            case.hash(&mut h);
+            TestRng {
+                state: h.finish() ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent second strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn sboxed(self) -> SBoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            SBoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    trait DynSample<T> {
+        fn dyn_sample(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynSample<S::Value> for S {
+        fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct SBoxedStrategy<T>(Box<dyn DynSample<T>>);
+
+    impl<T: Debug> Strategy for SBoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_sample(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    pub struct Union<T>(Vec<SBoxedStrategy<T>>);
+
+    impl<T: Debug> Union<T> {
+        /// Builds the union; `arms` must be non-empty.
+        pub fn new(arms: Vec<SBoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct AnyStrategy<A>(pub(crate) PhantomData<A>);
+
+    impl<A: super::arbitrary::Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::AnyStrategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: std::fmt::Debug + Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, magnitude up to ~1e9.
+            (rng.unit_f64() - 0.5) * 2.0e9
+        }
+    }
+
+    /// The strategy generating any value of `A`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Size bounds for [`vec`], convertible from ranges and constants.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `None` a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Error for regexes outside the supported generator subset.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported generator regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// Flattened list of admissible characters.
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// One `|`-alternative: a sequence of quantified pieces.
+    type Branch = Vec<Piece>;
+
+    /// Generates strings matching a small regex subset: character
+    /// classes with ranges (`[A-Za-z0-9 .:-]`), literal characters,
+    /// `{n}` / `{m,n}` quantifiers, and top-level alternation.
+    pub struct RegexGeneratorStrategy {
+        branches: Vec<Branch>,
+    }
+
+    /// Builds a string strategy from `pattern`; errors on syntax outside
+    /// the supported subset.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let branches = pattern
+            .split('|')
+            .map(parse_branch)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RegexGeneratorStrategy { branches })
+    }
+
+    fn parse_branch(branch: &str) -> Result<Branch, Error> {
+        let chars: Vec<char> = branch.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error(format!("unclosed class in {branch:?}")))?
+                        + i;
+                    let class = parse_class(&chars[i + 1..close])?;
+                    i = close + 1;
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .ok_or_else(|| Error(format!("trailing escape in {branch:?}")))?;
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c @ ('(' | ')' | '*' | '+' | '?' | '^' | '$') => {
+                    return Err(Error(format!("metacharacter {c:?} in {branch:?}")));
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error(format!("unclosed quantifier in {branch:?}")))?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.parse().map_err(|_| Error(body.clone()))?;
+                        let hi = hi.parse().map_err(|_| Error(body.clone()))?;
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.parse().map_err(|_| Error(body.clone()))?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error(format!("quantifier {min},{max} in {branch:?}")));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(pieces)
+    }
+
+    fn parse_class(body: &[char]) -> Result<Vec<char>, Error> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            // `a-z` is a range unless the `-` is the final character.
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i], body[i + 2]);
+                if lo as u32 > hi as u32 {
+                    return Err(Error(format!("inverted range {lo}-{hi}")));
+                }
+                for c in lo as u32..=hi as u32 {
+                    out.push(char::from_u32(c).expect("class range stays in ASCII"));
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        if out.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(out)
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let branch = &self.branches[rng.below(self.branches.len() as u64) as usize];
+            let mut out = String::new();
+            for piece in branch {
+                let span = (piece.max - piece.min + 1) as u64;
+                let n = piece.min + rng.below(span) as usize;
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(class) => {
+                            out.push(class[rng.below(class.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import, mirroring `proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among the listed strategies (weights unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::sboxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..config.cases as u64 {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        file!(),
+                        stringify!($name),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || $body
+                    ));
+                    if let Err(panic) = __outcome {
+                        eprintln!(
+                            "proptest {} failed at case {}/{} with inputs:\n{}",
+                            stringify!($name),
+                            __case,
+                            config.cases,
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_strategies_match_their_patterns() {
+        let mut rng = TestRng::for_case("lib.rs", "regex", 0);
+        let s = crate::string::string_regex("[A-Za-z]{1,12}").unwrap();
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((1..=12).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| c.is_ascii_alphabetic()), "{v:?}");
+        }
+        let printable = crate::string::string_regex("[ -~]{0,60}").unwrap();
+        for _ in 0..200 {
+            let v = printable.sample(&mut rng);
+            assert!(v.chars().count() <= 60);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+        let alt =
+            crate::string::string_regex("[A-Za-z0-9][A-Za-z0-9 .:-]{0,18}[A-Za-z0-9]|[A-Za-z0-9]")
+                .unwrap();
+        for _ in 0..200 {
+            let v = alt.sample(&mut rng);
+            assert!(!v.is_empty());
+            assert!(v.chars().next().unwrap().is_ascii_alphanumeric());
+            assert!(v.chars().last().unwrap().is_ascii_alphanumeric());
+        }
+    }
+
+    #[test]
+    fn unsupported_regex_reports_an_error() {
+        assert!(crate::string::string_regex("a*").is_err());
+        assert!(crate::string::string_regex("(grouped)").is_err());
+        assert!(crate::string::string_regex("[unclosed").is_err());
+    }
+
+    #[test]
+    fn union_and_ranges_sample_within_bounds() {
+        let mut rng = TestRng::for_case("lib.rs", "union", 0);
+        let s = prop_oneof![Just(1u32), Just(2), 5u32..8];
+        for _ in 0..300 {
+            let v = s.sample(&mut rng);
+            assert!(v == 1 || v == 2 || (5..8).contains(&v), "{v}");
+        }
+        let inclusive = 3usize..=3;
+        assert_eq!(inclusive.sample(&mut rng), 3);
+    }
+
+    #[test]
+    fn vec_and_tuple_and_map_compose() {
+        let mut rng = TestRng::for_case("lib.rs", "compose", 0);
+        let s = crate::collection::vec((0u8..4, any::<bool>()), 2..5).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = s.sample(&mut rng);
+            assert!((2..5).contains(&n));
+        }
+        let flat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..2, n..=n));
+        for _ in 0..100 {
+            let v = flat.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u32..10, y in 0u32..10) {
+            prop_assert!(x < 10 && y < 10);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}
