@@ -14,9 +14,9 @@
 
 use std::io::{self, BufRead, Write};
 
+use annoda::parse::parse_question;
 use annoda::reorganize::{self, GroupKey, SortKey};
 use annoda::{render_integrated_view, render_object_view, Annoda};
-use annoda_mediator::decompose::{AspectClause, Combination, GeneQuestion};
 use annoda_mediator::IntegratedGene;
 use annoda_oem::text as oem_text;
 use annoda_sources::{Corpus, CorpusConfig};
@@ -167,20 +167,15 @@ fn main() {
                 Err(e) => println!("error: {e}"),
             },
             "view" => {
-                let nav = annoda.navigator();
-                let view = match rest.split_once(' ') {
-                    Some(("gene", key)) => nav.gene_view(key.trim()),
-                    Some(("function", key)) => nav.function_view(key.trim()),
-                    Some(("disease", key)) => nav.disease_view(key.trim()),
-                    Some(("publication", key)) => nav.publication_view(key.trim()),
-                    _ => {
-                        println!("usage: view gene|function|disease|publication <key>");
-                        continue;
-                    }
+                let Some((kind, key)) = rest.split_once(' ') else {
+                    println!("usage: view gene|function|disease|publication <key>");
+                    continue;
                 };
-                match view {
-                    Some(v) => print!("{}", render_object_view(&v)),
-                    None => println!("no such object"),
+                // The typed error distinguishes a kind the navigator
+                // does not serve from a key that resolves to nothing.
+                match annoda.navigator().view(kind.trim(), key.trim()) {
+                    Ok(v) => print!("{}", render_object_view(&v)),
+                    Err(e) => println!("error: {e}"),
                 }
             }
             "group" => {
@@ -316,46 +311,6 @@ commands:
   quit
 ";
 
-/// Parses `ask` clause syntax into a question.
-fn parse_question(rest: &str) -> Result<GeneQuestion, String> {
-    let mut q = GeneQuestion::default();
-    for clause in rest.split_whitespace() {
-        let (key, value) = clause
-            .split_once('=')
-            .ok_or_else(|| format!("clause `{clause}` is not key=value"))?;
-        match key {
-            "organism" => q.organism = Some(value.replace('_', " ")),
-            "symbol" => q.symbol_like = Some(value.to_string()),
-            "function" | "disease" | "publication" => {
-                let (mode, pattern) = match value.split_once(':') {
-                    Some((m, p)) => (m, Some(p.to_string())),
-                    None => (value, None),
-                };
-                let aspect = match mode {
-                    "require" => AspectClause::Require(pattern),
-                    "exclude" => AspectClause::Exclude(pattern),
-                    "ignore" => AspectClause::Ignore,
-                    other => return Err(format!("unknown mode `{other}`")),
-                };
-                match key {
-                    "function" => q.function = aspect,
-                    "disease" => q.disease = aspect,
-                    _ => q.publication = aspect,
-                }
-            }
-            "combine" => {
-                q.combine = match value {
-                    "all" => Combination::All,
-                    "any" => Combination::Any,
-                    other => return Err(format!("unknown combination `{other}`")),
-                }
-            }
-            other => return Err(format!("unknown clause key `{other}`")),
-        }
-    }
-    Ok(q)
-}
-
 /// Parses `--loci N --seed S --inconsistency F` style arguments.
 fn corpus_config_from_args(args: impl Iterator<Item = String>) -> CorpusConfig {
     let mut config = CorpusConfig {
@@ -397,26 +352,6 @@ fn corpus_config_from_args(args: impl Iterator<Item = String>) -> CorpusConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn question_clause_parsing() {
-        let q = parse_question(
-            "organism=Homo_sapiens symbol=TP% function=require:%kinase% disease=exclude combine=any",
-        )
-        .unwrap();
-        assert_eq!(q.organism.as_deref(), Some("Homo sapiens"));
-        assert_eq!(q.symbol_like.as_deref(), Some("TP%"));
-        assert_eq!(q.function, AspectClause::Require(Some("%kinase%".into())));
-        assert_eq!(q.disease, AspectClause::Exclude(None));
-        assert_eq!(q.combine, Combination::Any);
-        let q = parse_question("publication=exclude:%cancer%").unwrap();
-        assert_eq!(
-            q.publication,
-            AspectClause::Exclude(Some("%cancer%".into()))
-        );
-        assert!(parse_question("nonsense").is_err());
-        assert!(parse_question("function=maybe").is_err());
-    }
 
     #[test]
     fn arg_parsing() {

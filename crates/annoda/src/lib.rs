@@ -16,6 +16,9 @@
 //! * [`navigate`] — interactive navigation (Figure 5c): every object in
 //!   an integrated view carries web-links; following a link renders the
 //!   individual object view;
+//! * [`parse`] — the textual clause grammar of the question interface,
+//!   shared by the CLI (`ask` command) and the HTTP server's `/genes`
+//!   query parameters so the two transports cannot drift;
 //! * [`render`] — the textual renderings of the integrated annotation
 //!   view (Figure 5b) and the individual object view (Figure 5c);
 //! * [`reorganize`] — re-organisation of retrieved results (grouping,
@@ -27,13 +30,15 @@
 //!   the mediator (see `annoda-baselines`).
 
 pub mod navigate;
+pub mod parse;
 pub mod question;
 pub mod registry;
 pub mod render;
 pub mod reorganize;
 pub mod system;
 
-pub use navigate::{Navigator, ObjectView};
+pub use navigate::{NavigateError, Navigator, ObjectView};
+pub use parse::{apply_clause, parse_question, parse_question_pairs};
 pub use question::{AspectClause, Combination, Condition, GeneQuestion, QuestionBuilder};
 pub use registry::{PlugReport, SourceRegistry};
 pub use render::{render_integrated_view, render_object_view};

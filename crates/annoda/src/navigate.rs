@@ -5,9 +5,43 @@
 //! `annoda://` links resolve — through the [`Navigator`] — to the
 //! *individual object view* of Figure 5c.
 
+use std::fmt;
+
 use annoda_mediator::decompose::GeneQuestion;
 use annoda_mediator::{Mediator, WebLink};
 use annoda_wrap::Cost;
+
+/// Why a navigation lookup failed — "unknown link kind" and "id not
+/// found" are different mistakes: the first is a malformed reference
+/// (an HTTP front end answers 400), the second a dangling one (404).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NavigateError {
+    /// The link names an object kind the navigator does not serve.
+    UnknownKind(String),
+    /// The kind is valid but no object carries this key.
+    NotFound {
+        /// The (valid) object kind looked up.
+        kind: String,
+        /// The key that resolved to nothing.
+        key: String,
+    },
+}
+
+impl fmt::Display for NavigateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NavigateError::UnknownKind(kind) => write!(
+                f,
+                "unknown object kind `{kind}` (expected gene, function, disease, or publication)"
+            ),
+            NavigateError::NotFound { kind, key } => {
+                write!(f, "no {kind} with key `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NavigateError {}
 
 /// An individual object view: the attributes of one integrated object
 /// plus onward links.
@@ -36,25 +70,34 @@ impl<'a> Navigator<'a> {
 
     /// Follows a link: internal links resolve to object views; external
     /// links are returned as a one-attribute view describing the target.
-    pub fn follow(&self, link: &WebLink) -> Option<ObjectView> {
+    pub fn follow(&self, link: &WebLink) -> Result<ObjectView, NavigateError> {
         match link.internal_target() {
-            Some(("gene", key)) => self.gene_view(key),
-            Some(("function", key)) => self.function_view(key),
-            Some(("disease", key)) => self.disease_view(key),
-            Some(("publication", key)) => self.publication_view(key),
-            Some((kind, key)) => Some(ObjectView {
-                kind: kind.to_string(),
-                key: key.to_string(),
-                attributes: vec![("error".into(), "unknown object kind".into())],
-                links: Vec::new(),
-            }),
-            None => Some(ObjectView {
+            Some((kind, key)) => self.view(kind, key),
+            None => Ok(ObjectView {
                 kind: "external".into(),
                 key: link.url.clone(),
                 attributes: vec![("url".into(), link.url.clone())],
                 links: Vec::new(),
             }),
         }
+    }
+
+    /// Resolves `(kind, key)` to the individual object view, with the
+    /// failure mode spelled out: [`NavigateError::UnknownKind`] for a
+    /// kind the navigator does not serve, [`NavigateError::NotFound`]
+    /// for a valid kind whose key resolves to nothing.
+    pub fn view(&self, kind: &str, key: &str) -> Result<ObjectView, NavigateError> {
+        let found = match kind {
+            "gene" => self.gene_view(key),
+            "function" => self.function_view(key),
+            "disease" => self.disease_view(key),
+            "publication" => self.publication_view(key),
+            other => return Err(NavigateError::UnknownKind(other.to_string())),
+        };
+        found.ok_or_else(|| NavigateError::NotFound {
+            kind: kind.to_string(),
+            key: key.to_string(),
+        })
     }
 
     /// The individual gene view: the gene's integrated record.
@@ -264,12 +307,50 @@ mod tests {
     }
 
     #[test]
+    fn view_distinguishes_unknown_kind_from_missing_key() {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let m = mediator(&c);
+        let nav = Navigator::new(&m);
+        assert_eq!(
+            nav.view("chromosome", "17"),
+            Err(NavigateError::UnknownKind("chromosome".into()))
+        );
+        assert_eq!(
+            nav.view("gene", "NO_SUCH_GENE"),
+            Err(NavigateError::NotFound {
+                kind: "gene".into(),
+                key: "NO_SUCH_GENE".into()
+            })
+        );
+        let bad_link = WebLink::internal("pathway", "P1");
+        assert_eq!(
+            nav.follow(&bad_link),
+            Err(NavigateError::UnknownKind("pathway".into()))
+        );
+        // The messages are precise enough to act on.
+        let unknown = NavigateError::UnknownKind("pathway".into()).to_string();
+        assert!(
+            unknown.contains("pathway") && unknown.contains("unknown"),
+            "{unknown}"
+        );
+        let missing = NavigateError::NotFound {
+            kind: "disease".into(),
+            key: "0".into(),
+        }
+        .to_string();
+        assert!(
+            missing.contains("disease") && missing.contains("`0`"),
+            "{missing}"
+        );
+    }
+
+    #[test]
     fn external_links_pass_through() {
         let c = Corpus::generate(CorpusConfig::tiny(42));
         let m = mediator(&c);
         let nav = Navigator::new(&m);
         let link = WebLink::external("OMIM", "http://example/omim/1");
-        let view = nav.follow(&link).unwrap();
+        let view = nav.follow(&link).expect("external links always resolve");
         assert_eq!(view.kind, "external");
         assert_eq!(view.key, "http://example/omim/1");
     }

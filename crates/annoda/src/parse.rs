@@ -1,0 +1,152 @@
+//! Shared parsing of the question-clause syntax.
+//!
+//! One grammar, two transports: the CLI's `ask` command takes
+//! whitespace-separated `key=value` clauses on one line, and the HTTP
+//! server's `GET /genes` route takes the same keys as URL query
+//! parameters. Both feed [`apply_clause`], so the two interfaces cannot
+//! drift apart.
+//!
+//! Clause keys:
+//!
+//! * `organism=<name>` — restrict to one organism (the CLI spells
+//!   spaces as `_`; the server gets them percent-decoded);
+//! * `symbol=<pattern>` — `like`-pattern on the gene symbol;
+//! * `function=` / `disease=` / `publication=` —
+//!   `require|exclude|ignore[:<pattern>]` aspect clauses;
+//! * `combine=all|any` — how require-clauses combine.
+
+use annoda_mediator::decompose::{AspectClause, Combination, GeneQuestion};
+
+/// Applies one `key=value` clause to a question under construction.
+///
+/// `decode_underscores` controls whether `_` in the organism value is
+/// read as a space (the CLI's convention; URL transports already carry
+/// real spaces).
+pub fn apply_clause(
+    q: &mut GeneQuestion,
+    key: &str,
+    value: &str,
+    decode_underscores: bool,
+) -> Result<(), String> {
+    match key {
+        "organism" => {
+            q.organism = Some(if decode_underscores {
+                value.replace('_', " ")
+            } else {
+                value.to_string()
+            })
+        }
+        "symbol" => q.symbol_like = Some(value.to_string()),
+        "function" | "disease" | "publication" => {
+            let (mode, pattern) = match value.split_once(':') {
+                Some((m, p)) => (m, Some(p.to_string())),
+                None => (value, None),
+            };
+            let aspect = match mode {
+                "require" => AspectClause::Require(pattern),
+                "exclude" => AspectClause::Exclude(pattern),
+                "ignore" => AspectClause::Ignore,
+                other => return Err(format!("unknown mode `{other}`")),
+            };
+            match key {
+                "function" => q.function = aspect,
+                "disease" => q.disease = aspect,
+                _ => q.publication = aspect,
+            }
+        }
+        "combine" => {
+            q.combine = match value {
+                "all" => Combination::All,
+                "any" => Combination::Any,
+                other => return Err(format!("unknown combination `{other}`")),
+            }
+        }
+        other => return Err(format!("unknown clause key `{other}`")),
+    }
+    Ok(())
+}
+
+/// Parses the CLI's one-line clause syntax
+/// (`ask organism=Homo_sapiens function=require disease=exclude`).
+pub fn parse_question(rest: &str) -> Result<GeneQuestion, String> {
+    let mut q = GeneQuestion::default();
+    for clause in rest.split_whitespace() {
+        let (key, value) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("clause `{clause}` is not key=value"))?;
+        apply_clause(&mut q, key, value, true)?;
+    }
+    Ok(q)
+}
+
+/// Parses decoded `(key, value)` pairs — the HTTP query-parameter
+/// transport of the same grammar.
+pub fn parse_question_pairs<'a>(
+    pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Result<GeneQuestion, String> {
+    let mut q = GeneQuestion::default();
+    for (key, value) in pairs {
+        apply_clause(&mut q, key, value, false)?;
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_clause_parsing() {
+        let q = parse_question(
+            "organism=Homo_sapiens symbol=TP% function=require:%kinase% disease=exclude combine=any",
+        )
+        .unwrap();
+        assert_eq!(q.organism.as_deref(), Some("Homo sapiens"));
+        assert_eq!(q.symbol_like.as_deref(), Some("TP%"));
+        assert_eq!(q.function, AspectClause::Require(Some("%kinase%".into())));
+        assert_eq!(q.disease, AspectClause::Exclude(None));
+        assert_eq!(q.combine, Combination::Any);
+        let q = parse_question("publication=exclude:%cancer%").unwrap();
+        assert_eq!(
+            q.publication,
+            AspectClause::Exclude(Some("%cancer%".into()))
+        );
+        assert!(parse_question("nonsense").is_err());
+        assert!(parse_question("function=maybe").is_err());
+    }
+
+    #[test]
+    fn pair_transport_matches_the_clause_transport() {
+        let from_line =
+            parse_question("organism=Homo_sapiens function=require:%kinase% combine=any").unwrap();
+        let from_pairs = parse_question_pairs([
+            ("organism", "Homo sapiens"),
+            ("function", "require:%kinase%"),
+            ("combine", "any"),
+        ])
+        .unwrap();
+        assert_eq!(from_line, from_pairs);
+    }
+
+    #[test]
+    fn pairs_do_not_decode_underscores() {
+        let q = parse_question_pairs([("organism", "Mus_musculus")]).unwrap();
+        assert_eq!(q.organism.as_deref(), Some("Mus_musculus"));
+    }
+
+    #[test]
+    fn bad_pairs_are_rejected_with_the_offending_key() {
+        let err = parse_question_pairs([("colour", "blue")]).unwrap_err();
+        assert!(err.contains("colour"), "{err}");
+        let err = parse_question_pairs([("disease", "banish")]).unwrap_err();
+        assert!(err.contains("banish"), "{err}");
+    }
+
+    #[test]
+    fn ignore_mode_resets_a_clause() {
+        let mut q = GeneQuestion::default();
+        apply_clause(&mut q, "function", "require", true).unwrap();
+        apply_clause(&mut q, "function", "ignore", true).unwrap();
+        assert_eq!(q.function, AspectClause::Ignore);
+    }
+}

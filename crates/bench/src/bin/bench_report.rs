@@ -20,13 +20,26 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    b1_architecture_latency();
-    b2_plugin_scaling();
-    b3_matcher();
-    b4_freshness();
-    b5_optimizer_ablation();
-    b6_fourth_source();
-    b7_access_path_selection();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            b8_serving_throughput(smoke);
+        }
+        Some(other) => {
+            eprintln!("unknown mode `{other}` (modes: serve [--smoke]; default runs B1–B7)");
+            std::process::exit(1);
+        }
+        None => {
+            b1_architecture_latency();
+            b2_plugin_scaling();
+            b3_matcher();
+            b4_freshness();
+            b5_optimizer_ablation();
+            b6_fourth_source();
+            b7_access_path_selection();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -539,6 +552,96 @@ fn b7_access_path_selection() {
     println!("\n(machine-readable copy written to BENCH_lorel.json; the planner");
     println!(" seeks the store-cached value index instead of scanning the gene");
     println!(" set, and binds the seeded variable first in joins.)\n");
+}
+
+// ---------------------------------------------------------------------
+/// **B8 — serving throughput.** Starts `annoda-serve` in-process over
+/// the largest bundled corpus and drives it with the loopback load
+/// generator at 1, 4, and 16 concurrent keep-alive connections.
+/// `--smoke` shrinks the corpus and request counts to a wiring check
+/// (used by `scripts/check.sh`) and skips the JSON artifact.
+fn b8_serving_throughput(smoke: bool) {
+    use annoda_serve::json::Json;
+    use annoda_serve::{LoadgenConfig, ServeConfig, Server};
+
+    // Per-connection request count stays under the server's keep-alive
+    // cap (100) so sessions are never cut mid-run.
+    let (loci, requests_per_conn) = if smoke { (100, 10) } else { (2000, 80) };
+    println!("=== B8: serving throughput ({loci} loci, loopback HTTP) ===\n");
+    let corpus = workload::corpus_of(loci, 7);
+    let mut system = workload::annoda_over(&corpus);
+    system.registry_mut().mediator_mut().enable_cache();
+    // Workers match the highest tested concurrency: the queue holds
+    // whole keep-alive sessions, so fewer workers than connections
+    // would measure queue wait, not serving throughput.
+    let server = Server::start(
+        system,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let path = "/genes?function=require&combine=all";
+
+    println!(
+        "{:<12} {:>9} {:>8} {:>10} {:>10} {:>12}",
+        "connections", "requests", "errors", "p50_us", "p99_us", "rps"
+    );
+    let mut runs = Vec::new();
+    for connections in [1usize, 4, 16] {
+        let stats = annoda_serve::loadgen::run(
+            addr,
+            &LoadgenConfig {
+                connections,
+                requests_per_conn,
+                path: path.to_string(),
+            },
+        )
+        .expect("loadgen run");
+        println!(
+            "{:<12} {:>9} {:>8} {:>10} {:>10} {:>12.1}",
+            connections,
+            stats.ok + stats.errors,
+            stats.errors,
+            stats.p50_us,
+            stats.p99_us,
+            stats.throughput_rps
+        );
+        assert_eq!(stats.errors, 0, "loopback load must be error-free");
+        runs.push(Json::obj([
+            ("connections", Json::Int(connections as i64)),
+            ("requests", Json::Int((stats.ok + stats.errors) as i64)),
+            ("ok", Json::Int(stats.ok as i64)),
+            ("errors", Json::Int(stats.errors as i64)),
+            ("p50_us", Json::Int(stats.p50_us as i64)),
+            ("p99_us", Json::Int(stats.p99_us as i64)),
+            ("throughput_rps", Json::Float(stats.throughput_rps)),
+            ("elapsed_ms", Json::Int(stats.elapsed.as_millis() as i64)),
+        ]));
+    }
+
+    let report_obj = Json::obj([
+        ("experiment", Json::str("B8 serving throughput")),
+        ("loci", Json::Int(loci as i64)),
+        ("path", Json::str(path)),
+        ("requests_per_conn", Json::Int(requests_per_conn as i64)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    let shutdown = server.shutdown(std::time::Duration::from_secs(10));
+    println!(
+        "\nserved {} requests total; drained: {}",
+        shutdown.requests_served, shutdown.drained
+    );
+    if smoke {
+        println!("(smoke mode: BENCH_serve.json not rewritten)");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        std::fs::write(path, report_obj.to_text() + "\n").expect("write BENCH_serve.json");
+        println!("(machine-readable copy written to BENCH_serve.json)");
+    }
 }
 
 fn json_escape(s: &str) -> String {

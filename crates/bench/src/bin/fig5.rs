@@ -67,7 +67,7 @@ fn main() {
             .find(|l| l.internal_target().map(|(k, _)| k) == Some("function"))
         {
             println!("\nfollowing {fl} …\n");
-            if let Some(fview) = nav.follow(fl) {
+            if let Ok(fview) = nav.follow(fl) {
                 print!("{}", render_object_view(&fview));
             }
         }

@@ -52,6 +52,20 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when the cache
+    /// has never been consulted) — the headline number a monitoring
+    /// endpoint exposes.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// A bounded, sharded, LRU map from `source\x01lorel` keys to shipped
 /// subquery results.
 pub struct SubqueryCache {
@@ -239,6 +253,17 @@ mod tests {
             cache.insert(format!("cold-{i}"), result_of(i));
         }
         assert_eq!(tag_of(&cache.get("hot").unwrap()), 7);
+    }
+
+    #[test]
+    fn hit_rate_is_guarded_against_zero_lookups() {
+        let cache = SubqueryCache::new(8);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.insert("a".into(), result_of(1));
+        cache.get("a");
+        cache.get("b");
+        let rate = cache.stats().hit_rate();
+        assert!((rate - 0.5).abs() < 1e-9, "{rate}");
     }
 
     #[test]

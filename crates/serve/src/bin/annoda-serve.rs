@@ -1,0 +1,129 @@
+//! The `annoda-serve` binary: generates a bundled corpus, plugs the
+//! sources into ANNODA, and serves the Figure 5 interface over HTTP.
+//!
+//! Entirely offline — the corpus is synthesized in-process, the server
+//! is std-only. `quit` (or EOF) on stdin triggers a graceful shutdown.
+//!
+//! ```text
+//! annoda-serve [--addr HOST:PORT] [--loci N] [--seed N]
+//!              [--workers N] [--queue N]
+//! ```
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use annoda::Annoda;
+use annoda_serve::{ServeConfig, Server};
+use annoda_sources::{Corpus, CorpusConfig};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8642".to_string();
+    let mut loci = 500usize;
+    let mut seed = 7u64;
+    let mut workers = 4usize;
+    let mut queue = 64usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> Option<String> {
+            match args.next() {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("error: {name} needs a value");
+                    None
+                }
+            }
+        };
+        match flag.as_str() {
+            "--addr" => match take("--addr") {
+                Some(v) => addr = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--loci" => match take("--loci").and_then(|v| v.parse().ok()) {
+                Some(v) => loci = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--workers" => match take("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--queue" => match take("--queue").and_then(|v| v.parse().ok()) {
+                Some(v) => queue = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--help" | "-h" => {
+                println!(
+                    "annoda-serve [--addr HOST:PORT] [--loci N] [--seed N] \
+                     [--workers N] [--queue N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("generating corpus ({loci} loci, seed {seed})...");
+    let base = CorpusConfig::default();
+    let factor = loci as f64 / base.loci as f64;
+    let corpus = Corpus::generate(CorpusConfig {
+        seed,
+        ..base.scaled(factor)
+    });
+    let (mut system, reports) = Annoda::over_sources(
+        corpus.locuslink.clone(),
+        corpus.go.clone(),
+        corpus.omim.clone(),
+    );
+    for r in &reports {
+        eprintln!("plugged source: {}", r.source);
+    }
+    system.registry_mut().mediator_mut().enable_cache();
+
+    let config = ServeConfig {
+        addr,
+        workers,
+        queue_capacity: queue,
+        ..ServeConfig::default()
+    };
+    let server = match Server::start(system, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = server.addr();
+    println!("annoda-serve listening on http://{bound}");
+    println!("routes:");
+    println!("  GET  /genes?organism=...&function=require:...&combine=all");
+    println!("  POST /lorel                 (body: Lorel query text)");
+    println!("  GET  /object/{{kind}}/{{id}}    (kind: gene|function|disease|publication)");
+    println!("  GET  /healthz");
+    println!("  GET  /metrics");
+    println!("send `quit` (or EOF) on stdin for graceful shutdown");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    eprintln!("shutting down (draining in-flight requests)...");
+    let report = server.shutdown(Duration::from_secs(10));
+    eprintln!(
+        "served {} requests; drained: {}",
+        report.requests_served, report.drained
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,434 @@
+//! Minimal HTTP/1.1 on top of `std::io` — request parsing with hard
+//! size caps, percent-decoding, and response writing.
+//!
+//! The parser is deliberately strict and bounded: the request head
+//! (request line + headers) may not exceed [`Limits::max_head_bytes`]
+//! and the body may not exceed [`Limits::max_body_bytes`]; a client
+//! that sends more gets a 431/413 and the connection is closed. This is
+//! the first line of overload defence — no request can make the server
+//! buffer unbounded input.
+
+use std::io::{self, BufRead, Write};
+
+/// Per-request input bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the request line + headers, bytes (431 beyond it).
+    pub max_head_bytes: usize,
+    /// Cap on the declared body size, bytes (413 beyond it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased token, as sent).
+    pub method: String,
+    /// The path component of the target, percent-decoded per segment
+    /// left to the router (kept raw here).
+    pub path: String,
+    /// The raw query string (no leading `?`; empty when absent).
+    pub query: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Percent-decoded query parameters in arrival order.
+    pub fn query_pairs(&self) -> Vec<(String, String)> {
+        parse_query(&self.query)
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The client closed the connection before sending anything — the
+    /// normal end of a keep-alive session, not an error.
+    ClosedClean,
+    /// Syntactically invalid request (→ 400, close).
+    Malformed(String),
+    /// The head exceeded [`Limits::max_head_bytes`] (→ 431, close).
+    HeadTooLarge,
+    /// The declared body exceeded [`Limits::max_body_bytes`]
+    /// (→ 413, close).
+    BodyTooLarge,
+    /// The socket failed or timed out mid-request (close silently).
+    Io(io::Error),
+}
+
+/// Reads and parses one request from a buffered stream.
+pub fn read_request<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<Request, RequestError> {
+    let head = read_head(reader, limits.max_head_bytes)?;
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| RequestError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line `{}`",
+                request_line.chars().take(80).collect::<String>()
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::Malformed(format!("bad method `{method}`")));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    if !target.starts_with('/') {
+        return Err(RequestError::Malformed(format!("bad target `{target}`")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the trailing blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("header without colon: `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length `{len}`")))?;
+        if len > limits.max_body_bytes {
+            return Err(RequestError::BodyTooLarge);
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(RequestError::Io)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Reads bytes until the blank line ending the head, within `cap`.
+fn read_head<R: BufRead>(reader: &mut R, cap: usize) -> Result<Vec<u8>, RequestError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    RequestError::ClosedClean
+                } else {
+                    RequestError::Malformed("connection closed mid-head".into())
+                });
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > cap {
+                    return Err(RequestError::HeadTooLarge);
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    head.truncate(head.len() - 4);
+                    return Ok(head);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(
+                    if head.is_empty() && e.kind() == io::ErrorKind::ConnectionReset {
+                        RequestError::ClosedClean
+                    } else {
+                        RequestError::Io(e)
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Percent-decodes one URL component (`+` becomes a space — query
+/// convention; bad escapes pass through literally).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                // `get` guards against a multibyte char straddling the
+                // two escape digits (slicing there would panic).
+                match s
+                    .get(i + 1..i + 3)
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a query string into percent-decoded `(key, value)` pairs.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (k, v) = part.split_once('=').unwrap_or((part, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+/// A response ready to write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers, e.g. `Retry-After` on 503.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, value: &crate::json::Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: value.to_text().into_bytes(),
+        }
+    }
+
+    /// Standard reason phrase for the status codes this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            406 => "Not Acceptable",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+}
+
+/// Writes `response`, announcing whether the connection stays open.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        response.status,
+        Response::reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(&response.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn well_formed_get_parses() {
+        let r =
+            parse(b"GET /genes?function=require HTTP/1.1\r\nHost: x\r\nAccept: text/plain\r\n\r\n")
+                .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/genes");
+        assert_eq!(r.query, "function=require");
+        assert_eq!(r.header("accept"), Some("text/plain"));
+        assert_eq!(r.header("ACCEPT"), Some("text/plain"));
+        assert!(r.body.is_empty());
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn post_reads_the_declared_body() {
+        let r = parse(b"POST /lorel HTTP/1.1\r\nContent-Length: 8\r\n\r\nselect S").unwrap();
+        assert_eq!(r.body, b"select S");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(RequestError::Malformed(_))),
+                "{}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_bounded() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let big = format!("GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(100));
+        assert!(matches!(
+            read_request(&mut BufReader::new(big.as_bytes()), &limits),
+            Err(RequestError::HeadTooLarge)
+        ));
+        let fat = b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&fat[..]), &limits),
+            Err(RequestError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn clean_close_is_distinguished_from_truncation() {
+        assert!(matches!(parse(b""), Err(RequestError::ClosedClean)));
+        assert!(matches!(
+            parse(b"GET /x HT"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("Homo+sapiens"), "Homo sapiens");
+        assert_eq!(percent_decode("TP%25"), "TP%");
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+        // A multibyte char right after `%` must not panic the slicer.
+        assert_eq!(percent_decode("x%éy"), "x%éy");
+    }
+
+    #[test]
+    fn query_pairs_decode_in_order() {
+        assert_eq!(
+            parse_query("function=require%3A%25kinase%25&combine=any&flag"),
+            vec![
+                ("function".to_string(), "require:%kinase%".to_string()),
+                ("combine".to_string(), "any".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection() {
+        let mut out = Vec::new();
+        let mut resp = Response::text(503, "busy");
+        resp.headers.push(("retry-after", "1".into()));
+        write_response(&mut out, &resp, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("content-length: 4\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nbusy"));
+    }
+}

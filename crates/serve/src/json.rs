@@ -1,0 +1,186 @@
+//! A small JSON writer.
+//!
+//! The build is fully offline — no serde — so the server carries its
+//! own value tree and serializer. Escaping follows RFC 8259: `"`, `\`,
+//! and control characters are escaped; non-ASCII text passes through
+//! as UTF-8 (legal JSON, no `\u` round trip needed).
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a fraction).
+    Int(i64),
+    /// A float; non-finite values serialize as `null` (JSON has no
+    /// NaN/Infinity).
+    Float(f64),
+    /// A string, escaped on write.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// `value` for `Some`, `null` for `None`.
+    pub fn opt(v: Option<impl Into<String>>) -> Json {
+        match v {
+            Some(s) => Json::str(s),
+            None => Json::Null,
+        }
+    }
+
+    /// Serializes the value to a compact string.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string literal.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a standalone JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotes_and_backslashes_are_escaped() {
+        assert_eq!(escape(r#"say "hi""#), r#""say \"hi\"""#);
+        assert_eq!(escape(r"C:\temp"), r#""C:\\temp""#);
+        assert_eq!(escape(r#"both \ and ""#), r#""both \\ and \"""#);
+    }
+
+    #[test]
+    fn control_characters_use_short_or_u_escapes() {
+        assert_eq!(escape("a\nb"), r#""a\nb""#);
+        assert_eq!(escape("a\rb"), r#""a\rb""#);
+        assert_eq!(escape("a\tb"), r#""a\tb""#);
+        assert_eq!(escape("a\u{0}b"), r#""a\u0000b""#);
+        assert_eq!(escape("a\u{1b}b"), r#""a\u001bb""#);
+        // 0x7f (DEL) is not a JSON control character: passes through.
+        assert_eq!(escape("a\u{7f}b"), "\"a\u{7f}b\"");
+    }
+
+    #[test]
+    fn non_ascii_passes_through_as_utf8() {
+        assert_eq!(escape("gène ≈ 遺伝子"), "\"gène ≈ 遺伝子\"");
+        assert_eq!(escape("🧬"), "\"🧬\"");
+    }
+
+    #[test]
+    fn values_serialize_compactly() {
+        let v = Json::obj([
+            ("name", Json::str("TP53")),
+            ("id", Json::Int(7157)),
+            ("score", Json::Float(0.5)),
+            ("missing", Json::Null),
+            (
+                "flags",
+                Json::Arr(vec![Json::Bool(true), Json::Bool(false)]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_text(),
+            r#"{"name":"TP53","id":7157,"score":0.5,"missing":null,"flags":[true,false]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_text(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_text(), "null");
+    }
+
+    #[test]
+    fn object_keys_are_escaped_too() {
+        let v = Json::Obj(vec![("a\"b".into(), Json::Int(1))]);
+        assert_eq!(v.to_text(), r#"{"a\"b":1}"#);
+    }
+
+    #[test]
+    fn opt_maps_none_to_null() {
+        assert_eq!(Json::opt(Some("x")).to_text(), r#""x""#);
+        assert_eq!(Json::opt(None::<String>).to_text(), "null");
+    }
+}

@@ -1,0 +1,40 @@
+//! annoda-serve: the ANNODA Figure 5 interface served over HTTP.
+//!
+//! The paper presents ANNODA as a web application — a single access
+//! point where a biologist fills the query form (Figure 5a), reads the
+//! integrated annotation view (Figure 5b), and navigates web-links to
+//! individual object views (Figure 5c). This crate turns the in-process
+//! reproduction into exactly that: a network-served, observable,
+//! overload-safe system — on `std::net` alone, no external
+//! dependencies.
+//!
+//! Architecture, front to back:
+//!
+//! - [`http`] — bounded HTTP/1.1 parsing and response writing.
+//! - [`pool`] — a fixed worker pool behind a *bounded* queue; overload
+//!   is shed (503 + `Retry-After`), never buffered.
+//! - [`routes`] — the Figure 5 screens as routes over a shared
+//!   [`annoda::Annoda`], with `Accept`-negotiated text/JSON bodies.
+//! - [`server`] — accept loop, keep-alive sessions, socket timeouts,
+//!   graceful drain-on-shutdown.
+//! - [`metrics`] — per-route counters, latency histograms, queue
+//!   pressure, and the mediator's subquery-cache stats at `/metrics`.
+//! - [`json`] — the crate's own RFC 8259 writer (the build is offline;
+//!   no serde).
+//! - [`loadgen`] — a loopback load generator for benchmarks and smoke
+//!   tests.
+
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod routes;
+pub mod server;
+
+pub use json::Json;
+pub use loadgen::{LoadgenConfig, LoadgenStats};
+pub use metrics::Metrics;
+pub use pool::{Pool, QueueGauge};
+pub use routes::{handle, negotiate, App, Format};
+pub use server::{ServeConfig, Server, ShutdownReport};

@@ -1,0 +1,162 @@
+//! A loopback load generator for the server: N concurrent keep-alive
+//! connections, each issuing a fixed number of requests, with latency
+//! percentiles. Used by `bench_report serve` (experiment B8) and by
+//! `scripts/check.sh --smoke`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load shape.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Requests per connection (keep-alive).
+    pub requests_per_conn: usize,
+    /// Request target, e.g. `/genes?organism=Homo+sapiens`.
+    pub path: String,
+}
+
+/// Aggregate results.
+#[derive(Debug, Clone)]
+pub struct LoadgenStats {
+    /// Requests that returned HTTP 200.
+    pub ok: u64,
+    /// Requests that returned any other status or failed on the wire.
+    pub errors: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Total wall-clock for the run.
+    pub elapsed: Duration,
+}
+
+/// Runs the configured load against `addr` and aggregates latencies.
+pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenStats> {
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.connections);
+    for _ in 0..config.connections {
+        let path = config.path.clone();
+        let n = config.requests_per_conn;
+        handles.push(thread::spawn(move || connection_worker(addr, &path, n)));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for handle in handles {
+        match handle.join() {
+            Ok((conn_ok, conn_err, mut conn_lat)) => {
+                ok += conn_ok;
+                errors += conn_err;
+                latencies.append(&mut conn_lat);
+            }
+            Err(_) => errors += config.requests_per_conn as u64,
+        }
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let total = ok + errors;
+    Ok(LoadgenStats {
+        ok,
+        errors,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+            total as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        elapsed,
+    })
+}
+
+/// One keep-alive connection issuing `n` requests; returns
+/// `(ok, errors, latencies_us)`.
+fn connection_worker(addr: SocketAddr, path: &str, n: usize) -> (u64, u64, Vec<u64>) {
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::with_capacity(n);
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return (0, n as u64, latencies);
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return (0, n as u64, latencies),
+    });
+    let mut writer = stream;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let request =
+            format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nAccept: application/json\r\n\r\n");
+        if writer.write_all(request.as_bytes()).is_err() {
+            errors += 1;
+            break;
+        }
+        match read_response(&mut reader) {
+            Ok((status, _body)) => {
+                latencies.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                if status == 200 {
+                    ok += 1;
+                } else {
+                    errors += 1;
+                }
+            }
+            Err(_) => {
+                errors += 1;
+                break;
+            }
+        }
+    }
+    (ok, errors, latencies)
+}
+
+/// Reads one HTTP response (status line, headers, `Content-Length`
+/// body). Returns `(status, body)`.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, Vec<u8>)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
+    }
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "closed in headers",
+            ));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, body))
+}

@@ -1,0 +1,288 @@
+//! Request metrics: per-route counters, a fixed-bucket latency
+//! histogram, queue pressure, and the mediator cache stats — rendered
+//! in a Prometheus-style text exposition (and JSON, for negotiating
+//! clients).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use annoda_mediator::CacheStats;
+
+use crate::json::Json;
+use crate::pool::QueueGauge;
+
+/// The routes the server distinguishes, plus a catch-all.
+pub const ROUTES: [&str; 6] = ["genes", "lorel", "object", "healthz", "metrics", "other"];
+
+/// Histogram bucket upper bounds, microseconds.
+const BUCKETS_US: [u64; 9] = [
+    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+];
+
+#[derive(Default)]
+struct Histogram {
+    /// One counter per bound in [`BUCKETS_US`] plus the +Inf bucket.
+    buckets: [AtomicU64; BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, us: u64) {
+        let idx = BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct RouteMetrics {
+    requests: AtomicU64,
+    /// Responses with status >= 400.
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+/// All counters the server maintains.
+#[derive(Default)]
+pub struct Metrics {
+    routes: [RouteMetrics; ROUTES.len()],
+    connections: AtomicU64,
+}
+
+impl Metrics {
+    /// The metrics slot for a request path.
+    pub fn route_index(path: &str) -> usize {
+        let key = match path {
+            "/genes" => "genes",
+            "/lorel" => "lorel",
+            "/healthz" => "healthz",
+            "/metrics" => "metrics",
+            p if p.starts_with("/object/") || p == "/object" => "object",
+            _ => "other",
+        };
+        ROUTES.iter().position(|r| *r == key).expect("known key")
+    }
+
+    /// Records one served request.
+    pub fn record(&self, route_index: usize, status: u16, latency: Duration) {
+        let route = &self.routes[route_index];
+        route.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            route.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        route
+            .latency
+            .observe(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records an accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served across routes.
+    pub fn requests_total(&self) -> u64 {
+        self.routes
+            .iter()
+            .map(|r| r.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The text exposition (Prometheus style).
+    pub fn render_text(&self, queue: &QueueGauge, cache: Option<CacheStats>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "annoda_connections_total {}",
+            self.connections.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "annoda_queue_depth {}", queue.depth());
+        let _ = writeln!(out, "annoda_queue_depth_high_water {}", queue.high_water());
+        let _ = writeln!(out, "annoda_rejected_total {}", queue.rejected());
+        for (name, route) in ROUTES.iter().zip(&self.routes) {
+            let _ = writeln!(
+                out,
+                "annoda_requests_total{{route=\"{name}\"}} {}",
+                route.requests.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "annoda_errors_total{{route=\"{name}\"}} {}",
+                route.errors.load(Ordering::Relaxed)
+            );
+            let mut cumulative = 0u64;
+            for (bound, bucket) in BUCKETS_US.iter().zip(&route.latency.buckets) {
+                cumulative += bucket.load(Ordering::Relaxed);
+                let _ = writeln!(
+                    out,
+                    "annoda_latency_us_bucket{{route=\"{name}\",le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            cumulative += route.latency.buckets[BUCKETS_US.len()].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "annoda_latency_us_bucket{{route=\"{name}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(
+                out,
+                "annoda_latency_us_sum{{route=\"{name}\"}} {}",
+                route.latency.sum_us.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "annoda_latency_us_count{{route=\"{name}\"}} {}",
+                route.latency.count.load(Ordering::Relaxed)
+            );
+        }
+        if let Some(stats) = cache {
+            let _ = writeln!(out, "annoda_mediator_cache_capacity {}", stats.capacity);
+            let _ = writeln!(out, "annoda_mediator_cache_entries {}", stats.len);
+            let _ = writeln!(out, "annoda_mediator_cache_hits_total {}", stats.hits);
+            let _ = writeln!(out, "annoda_mediator_cache_misses_total {}", stats.misses);
+            let _ = writeln!(
+                out,
+                "annoda_mediator_cache_evictions_total {}",
+                stats.evictions
+            );
+            let _ = writeln!(
+                out,
+                "annoda_mediator_cache_hit_rate {:.4}",
+                stats.hit_rate()
+            );
+        }
+        out
+    }
+
+    /// The same snapshot as a JSON value.
+    pub fn render_json(&self, queue: &QueueGauge, cache: Option<CacheStats>) -> Json {
+        let routes = ROUTES
+            .iter()
+            .zip(&self.routes)
+            .map(|(name, route)| {
+                (
+                    (*name).to_string(),
+                    Json::obj([
+                        (
+                            "requests",
+                            Json::Int(route.requests.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "errors",
+                            Json::Int(route.errors.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "latency_us_sum",
+                            Json::Int(route.latency.sum_us.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "latency_count",
+                            Json::Int(route.latency.count.load(Ordering::Relaxed) as i64),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let cache_json = match cache {
+            Some(stats) => Json::obj([
+                ("capacity", Json::Int(stats.capacity as i64)),
+                ("entries", Json::Int(stats.len as i64)),
+                ("hits", Json::Int(stats.hits as i64)),
+                ("misses", Json::Int(stats.misses as i64)),
+                ("evictions", Json::Int(stats.evictions as i64)),
+                ("hit_rate", Json::Float(stats.hit_rate())),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj([
+            (
+                "connections",
+                Json::Int(self.connections.load(Ordering::Relaxed) as i64),
+            ),
+            ("queue_depth", Json::Int(queue.depth() as i64)),
+            (
+                "queue_depth_high_water",
+                Json::Int(queue.high_water() as i64),
+            ),
+            ("rejected", Json::Int(queue.rejected() as i64)),
+            ("routes", Json::Obj(routes)),
+            ("mediator_cache", cache_json),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_map_to_slots() {
+        assert_eq!(ROUTES[Metrics::route_index("/genes")], "genes");
+        assert_eq!(ROUTES[Metrics::route_index("/lorel")], "lorel");
+        assert_eq!(ROUTES[Metrics::route_index("/object/gene/TP53")], "object");
+        assert_eq!(ROUTES[Metrics::route_index("/healthz")], "healthz");
+        assert_eq!(ROUTES[Metrics::route_index("/metrics")], "metrics");
+        assert_eq!(ROUTES[Metrics::route_index("/nope")], "other");
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::default();
+        let gauge = QueueGauge::default();
+        m.record(
+            Metrics::route_index("/genes"),
+            200,
+            Duration::from_micros(800),
+        );
+        m.record(
+            Metrics::route_index("/genes"),
+            400,
+            Duration::from_micros(80),
+        );
+        m.record(
+            Metrics::route_index("/object/x/y"),
+            404,
+            Duration::from_secs(2),
+        );
+        assert_eq!(m.requests_total(), 3);
+        let text = m.render_text(
+            &gauge,
+            Some(CacheStats {
+                capacity: 256,
+                len: 3,
+                hits: 9,
+                misses: 1,
+                evictions: 0,
+            }),
+        );
+        assert!(
+            text.contains("annoda_requests_total{route=\"genes\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("annoda_errors_total{route=\"genes\"} 1"),
+            "{text}"
+        );
+        // 80us lands in le=100; 800us joins it cumulatively at le=1000.
+        assert!(text.contains("annoda_latency_us_bucket{route=\"genes\",le=\"100\"} 1"));
+        assert!(text.contains("annoda_latency_us_bucket{route=\"genes\",le=\"1000\"} 2"));
+        // The 2s observation only shows in +Inf.
+        assert!(text.contains("annoda_latency_us_bucket{route=\"object\",le=\"1000000\"} 0"));
+        assert!(text.contains("annoda_latency_us_bucket{route=\"object\",le=\"+Inf\"} 1"));
+        assert!(text.contains("annoda_mediator_cache_hits_total 9"));
+        assert!(text.contains("annoda_mediator_cache_hit_rate 0.9000"));
+        assert!(text.contains("annoda_queue_depth_high_water 0"));
+
+        let json = m.render_json(&gauge, None).to_text();
+        assert!(
+            json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
+            "{json}"
+        );
+        assert!(json.contains("\"mediator_cache\":null"));
+    }
+}

@@ -1,0 +1,283 @@
+//! A fixed-size worker pool fed by a bounded queue.
+//!
+//! Overload policy is *load shedding*, not buffering: when the queue is
+//! full, [`Pool::try_submit`] refuses immediately and the caller sheds
+//! the work (the server answers `503` with `Retry-After`). Memory use
+//! is therefore bounded by `workers + capacity` outstanding jobs no
+//! matter how hard the listener is hammered.
+//!
+//! The queue publishes its depth, lifetime high-water mark, and
+//! rejection count through a shared [`QueueGauge`] so `/metrics` can
+//! report how close the server runs to its limit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Observable queue pressure, shared with the metrics endpoint.
+#[derive(Debug, Default)]
+pub struct QueueGauge {
+    depth: AtomicUsize,
+    high_water: AtomicUsize,
+    rejected: AtomicU64,
+}
+
+impl QueueGauge {
+    /// Jobs currently queued (accepted but not yet started).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Jobs refused because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals workers that a job (or shutdown) is available.
+    available: Condvar,
+    /// Signals the shutdown waiter that a worker went idle.
+    idle: Condvar,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    capacity: usize,
+    gauge: Arc<QueueGauge>,
+}
+
+/// The fixed worker pool.
+pub struct Pool {
+    state: Arc<PoolState>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads serving a queue of at most `capacity`
+    /// pending jobs.
+    pub fn new(workers: usize, capacity: usize) -> Pool {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            available: Condvar::new(),
+            idle: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            gauge: Arc::new(QueueGauge::default()),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                thread::Builder::new()
+                    .name(format!("annoda-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Pool {
+            state,
+            workers: handles,
+        }
+    }
+
+    /// The shared pressure gauge (cheap to clone, safe to hold after
+    /// the pool is gone).
+    pub fn gauge(&self) -> Arc<QueueGauge> {
+        Arc::clone(&self.state.gauge)
+    }
+
+    /// An owned submission handle — lets another thread (the acceptor)
+    /// enqueue work while the pool itself stays with its owner for
+    /// shutdown.
+    pub fn submitter(&self) -> Submitter {
+        Submitter {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Enqueues `job`, or returns `false` immediately when the queue is
+    /// full or the pool is shutting down — the caller sheds the load.
+    pub fn try_submit(&self, job: Job) -> bool {
+        try_submit_on(&self.state, job)
+    }
+
+    /// Stops accepting work, drains queued + in-flight jobs, and joins
+    /// the workers — waiting at most `deadline`. Returns whether the
+    /// pool fully drained in time; on `false` the remaining workers are
+    /// left to finish in the background (detached).
+    pub fn shutdown(mut self, deadline: Duration) -> bool {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.available.notify_all();
+        let start = Instant::now();
+        let drained = {
+            let mut queue = self.state.queue.lock().expect("pool lock");
+            loop {
+                if queue.is_empty() && self.state.active.load(Ordering::SeqCst) == 0 {
+                    break true;
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= deadline {
+                    break false;
+                }
+                let (q, _) = self
+                    .state
+                    .idle
+                    .wait_timeout(queue, deadline - elapsed)
+                    .expect("pool lock");
+                queue = q;
+            }
+        };
+        if drained {
+            for handle in self.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+        drained
+    }
+}
+
+/// A cloneable handle that can only submit (see [`Pool::submitter`]).
+pub struct Submitter {
+    state: Arc<PoolState>,
+}
+
+impl Submitter {
+    /// Same contract as [`Pool::try_submit`].
+    pub fn try_submit(&self, job: Job) -> bool {
+        try_submit_on(&self.state, job)
+    }
+}
+
+fn try_submit_on(state: &PoolState, job: Job) -> bool {
+    if state.shutdown.load(Ordering::SeqCst) {
+        state.gauge.rejected.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    {
+        let mut queue = state.queue.lock().expect("pool lock");
+        if queue.len() >= state.capacity {
+            drop(queue);
+            state.gauge.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        queue.push_back(job);
+        let depth = queue.len();
+        state.gauge.depth.store(depth, Ordering::Relaxed);
+        state.gauge.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+    state.available.notify_one();
+    true
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().expect("pool lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    state.gauge.depth.store(queue.len(), Ordering::Relaxed);
+                    state.active.fetch_add(1, Ordering::SeqCst);
+                    break Some(job);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = state.available.wait(queue).expect("pool lock");
+            }
+        };
+        match job {
+            Some(job) => {
+                job();
+                state.active.fetch_sub(1, Ordering::SeqCst);
+                state.idle.notify_all();
+            }
+            None => {
+                state.idle.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_drain_on_shutdown() {
+        let pool = Pool::new(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6 {
+            let tx = tx.clone();
+            assert!(pool.try_submit(Box::new(move || tx.send(i).unwrap())));
+        }
+        assert!(pool.shutdown(Duration::from_secs(5)), "drains in time");
+        let mut got: Vec<i32> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately_and_counts() {
+        let pool = Pool::new(1, 2);
+        let gauge = pool.gauge();
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        assert!(pool.try_submit(Box::new(move || {
+            let _ = hold_rx.recv();
+        })));
+        // ...wait until the worker has taken it off the queue...
+        let t = Instant::now();
+        while gauge.depth() > 0 {
+            assert!(t.elapsed() < Duration::from_secs(5), "worker never started");
+            thread::yield_now();
+        }
+        // ...then fill the queue and overflow it.
+        assert!(pool.try_submit(Box::new(|| {})));
+        assert!(pool.try_submit(Box::new(|| {})));
+        assert!(!pool.try_submit(Box::new(|| {})), "queue of 2 is full");
+        assert!(!pool.try_submit(Box::new(|| {})));
+        assert_eq!(gauge.rejected(), 2);
+        assert_eq!(gauge.high_water(), 2);
+        hold_tx.send(()).unwrap();
+        assert!(pool.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn shutdown_deadline_bounds_the_wait() {
+        let pool = Pool::new(1, 1);
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        assert!(pool.try_submit(Box::new(move || {
+            let _ = hold_rx.recv();
+        })));
+        let t = Instant::now();
+        assert!(
+            !pool.shutdown(Duration::from_millis(50)),
+            "stuck job cannot drain"
+        );
+        assert!(t.elapsed() < Duration::from_secs(2));
+        drop(hold_tx); // release the detached worker
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let pool = Pool::new(1, 4);
+        let gauge = pool.gauge();
+        let state = Arc::clone(&pool.state);
+        assert!(pool.shutdown(Duration::from_secs(5)));
+        // The pool value is consumed; a racing submitter holding the
+        // state sees the flag.
+        assert!(state.shutdown.load(Ordering::SeqCst));
+        assert_eq!(gauge.rejected(), 0);
+    }
+}

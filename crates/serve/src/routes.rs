@@ -1,0 +1,376 @@
+//! The HTTP routes: the Figure 5 screens over the network.
+//!
+//! - `GET /genes?...` — the query form of Figure 5a; query parameters
+//!   use the same clause grammar as the CLI (`annoda::parse`).
+//! - `POST /lorel` — a raw Lorel query, body is the query text.
+//! - `GET /object/{kind}/{id}` — the individual object view of
+//!   Figure 5c; internal `annoda://` web-links are rewritten to real
+//!   `/object/...` hrefs so a client can navigate.
+//! - `GET /healthz`, `GET /metrics` — liveness and observability.
+//!
+//! Every route answers in plain text (default) or JSON, negotiated via
+//! the `Accept` header.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use annoda::{
+    parse_question_pairs, render_integrated_view, render_object_view, Annoda, NavigateError,
+    ObjectView,
+};
+use annoda_mediator::fusion::IntegratedGene;
+use annoda_mediator::WebLink;
+use annoda_oem::text as oem_text;
+
+use crate::http::{percent_decode, Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::pool::QueueGauge;
+
+/// Shared state every worker sees.
+pub struct App {
+    /// The ANNODA system — all query paths take `&self`.
+    pub system: Arc<Annoda>,
+    /// Request counters and latency histograms.
+    pub metrics: Arc<Metrics>,
+    /// Queue pressure, published by the worker pool.
+    pub gauge: Arc<QueueGauge>,
+    /// Server start time (for `/healthz` uptime).
+    pub started: Instant,
+}
+
+/// The response format a request negotiated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `text/plain` — the default.
+    Text,
+    /// `application/json`.
+    Json,
+}
+
+/// Resolves the `Accept` header: plain text by default, JSON when asked
+/// for, `None` (406) when the client accepts neither.
+pub fn negotiate(accept: Option<&str>) -> Option<Format> {
+    let Some(accept) = accept else {
+        return Some(Format::Text);
+    };
+    let mut acceptable = None;
+    for range in accept.split(',') {
+        let media = range.split(';').next().unwrap_or("").trim();
+        match media {
+            "application/json" | "application/*" => return Some(Format::Json),
+            "text/plain" | "text/*" => return Some(Format::Text),
+            "*/*" | "" => acceptable = acceptable.or(Some(Format::Text)),
+            _ => {}
+        }
+    }
+    acceptable
+}
+
+/// Dispatches one parsed request to its route handler.
+pub fn handle(app: &App, req: &Request) -> Response {
+    let Some(format) = negotiate(req.header("accept")) else {
+        return Response::text(406, "acceptable formats: text/plain, application/json\n");
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/genes") => genes(app, req, format),
+        ("POST", "/lorel") => lorel(app, req, format),
+        ("GET", "/healthz") => healthz(app, format),
+        ("GET", "/metrics") => metrics(app, format),
+        ("GET", path) if path.starts_with("/object/") => object(app, path, format),
+        (_, "/genes" | "/lorel" | "/healthz" | "/metrics") => method_not_allowed(format),
+        (_, path) if path.starts_with("/object/") => method_not_allowed(format),
+        _ => error(404, format, format!("no route for {}", req.path)),
+    }
+}
+
+fn method_not_allowed(format: Format) -> Response {
+    error(405, format, "method not allowed for this route".to_string())
+}
+
+/// A uniform error body in the negotiated format.
+fn error(status: u16, format: Format, message: String) -> Response {
+    match format {
+        Format::Text => Response::text(status, format!("error: {message}\n")),
+        Format::Json => Response::json(status, &Json::obj([("error", Json::str(message))])),
+    }
+}
+
+/// `GET /genes` — Figure 5a: clause parameters build a [`GeneQuestion`].
+fn genes(app: &App, req: &Request, format: Format) -> Response {
+    let pairs = req.query_pairs();
+    let question = match parse_question_pairs(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))) {
+        Ok(q) => q,
+        Err(e) => return error(400, format, e),
+    };
+    match app.system.ask(&question) {
+        Ok(answer) => match format {
+            Format::Text => Response::text(
+                200,
+                rewrite_links(&render_integrated_view(&answer.fused.genes)),
+            ),
+            Format::Json => Response::json(
+                200,
+                &Json::obj([
+                    ("count", Json::Int(answer.fused.genes.len() as i64)),
+                    (
+                        "genes",
+                        Json::Arr(answer.fused.genes.iter().map(gene_json).collect()),
+                    ),
+                    ("cost_requests", Json::Int(answer.cost.requests as i64)),
+                ]),
+            ),
+        },
+        Err(e) => error(500, format, e.to_string()),
+    }
+}
+
+/// `POST /lorel` — runs the body as a Lorel query over ANNODA-GML.
+fn lorel(app: &App, req: &Request, format: Format) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error(400, format, "body is not UTF-8".to_string());
+    };
+    if text.trim().is_empty() {
+        return error(400, format, "empty query body".to_string());
+    }
+    match app.system.lorel(text) {
+        Ok((store, outcome, cost)) => {
+            let answer_text = oem_text::write_rooted(&store, "answer", outcome.answer);
+            match format {
+                Format::Text => Response::text(200, answer_text),
+                Format::Json => Response::json(
+                    200,
+                    &Json::obj([
+                        ("rows", Json::Int(outcome.rows.len() as i64)),
+                        (
+                            "projected",
+                            Json::Arr(
+                                outcome
+                                    .projected
+                                    .iter()
+                                    .map(|(label, oids)| {
+                                        Json::obj([
+                                            ("label", Json::str(label.clone())),
+                                            ("results", Json::Int(oids.len() as i64)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "groups",
+                            Json::Arr(outcome.groups.iter().map(Json::str).collect()),
+                        ),
+                        ("answer", Json::str(answer_text)),
+                        ("cost_requests", Json::Int(cost.requests as i64)),
+                    ]),
+                ),
+            }
+        }
+        Err(e) => error(400, format, e.to_string()),
+    }
+}
+
+/// `GET /object/{kind}/{id}` — Figure 5c via the Navigator. An unknown
+/// kind is the client's mistake (400); a missing id is a dangling
+/// reference (404).
+fn object(app: &App, path: &str, format: Format) -> Response {
+    let rest = &path["/object/".len()..];
+    let Some((kind, key)) = rest.split_once('/') else {
+        return error(
+            400,
+            format,
+            format!("expected /object/{{kind}}/{{id}}, got {path}"),
+        );
+    };
+    let (kind, key) = (percent_decode(kind), percent_decode(key));
+    if key.is_empty() {
+        return error(400, format, "empty object id".to_string());
+    }
+    match app.system.navigator().view(&kind, &key) {
+        Ok(view) => match format {
+            Format::Text => Response::text(200, rewrite_links(&render_object_view(&view))),
+            Format::Json => Response::json(200, &object_json(&view)),
+        },
+        Err(e @ NavigateError::UnknownKind(_)) => error(400, format, e.to_string()),
+        Err(e @ NavigateError::NotFound { .. }) => error(404, format, e.to_string()),
+    }
+}
+
+fn healthz(app: &App, format: Format) -> Response {
+    let uptime = app.started.elapsed();
+    match format {
+        Format::Text => Response::text(
+            200,
+            format!(
+                "ok\nuptime_s: {}\nrequests: {}\n",
+                uptime.as_secs(),
+                app.metrics.requests_total()
+            ),
+        ),
+        Format::Json => Response::json(
+            200,
+            &Json::obj([
+                ("status", Json::str("ok")),
+                ("uptime_s", Json::Int(uptime.as_secs() as i64)),
+                ("requests", Json::Int(app.metrics.requests_total() as i64)),
+            ]),
+        ),
+    }
+}
+
+fn metrics(app: &App, format: Format) -> Response {
+    let cache = app.system.mediator().cache_stats();
+    match format {
+        Format::Text => Response::text(200, app.metrics.render_text(&app.gauge, cache)),
+        Format::Json => Response::json(200, &app.metrics.render_json(&app.gauge, cache)),
+    }
+}
+
+/// Rewrites internal `annoda://object/...` link text to the hrefs this
+/// server actually serves, so text clients can follow them too.
+fn rewrite_links(text: &str) -> String {
+    text.replace("annoda://object/", "/object/")
+}
+
+/// An onward href: internal links become routes on this server,
+/// external links keep their original URL.
+fn link_href(link: &WebLink) -> String {
+    match link.internal_target() {
+        Some((kind, key)) => format!("/object/{kind}/{key}"),
+        None => link.url.clone(),
+    }
+}
+
+fn link_json(link: &WebLink) -> Json {
+    Json::obj([
+        ("label", Json::str(link.label.clone())),
+        ("href", Json::str(link_href(link))),
+    ])
+}
+
+fn gene_json(g: &IntegratedGene) -> Json {
+    Json::obj([
+        ("symbol", Json::str(g.symbol.clone())),
+        ("gene_id", g.gene_id.map(Json::Int).unwrap_or(Json::Null)),
+        ("organism", Json::opt(g.organism.clone())),
+        ("description", Json::opt(g.description.clone())),
+        ("position", Json::opt(g.position.clone())),
+        (
+            "functions",
+            Json::Arr(
+                g.functions
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("id", Json::str(f.id.clone())),
+                            ("name", Json::opt(f.name.clone())),
+                            ("namespace", Json::opt(f.namespace.clone())),
+                            ("evidence", Json::opt(f.evidence.clone())),
+                            (
+                                "sources",
+                                Json::Arr(f.sources.iter().map(Json::str).collect()),
+                            ),
+                            ("link", link_json(&f.link)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "diseases",
+            Json::Arr(
+                g.diseases
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("id", Json::str(d.id.clone())),
+                            ("name", Json::opt(d.name.clone())),
+                            ("inheritance", Json::opt(d.inheritance.clone())),
+                            (
+                                "sources",
+                                Json::Arr(d.sources.iter().map(Json::str).collect()),
+                            ),
+                            ("link", link_json(&d.link)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "publications",
+            Json::Arr(
+                g.publications
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("id", Json::str(p.id.clone())),
+                            ("title", Json::opt(p.title.clone())),
+                            ("journal", Json::opt(p.journal.clone())),
+                            ("year", Json::opt(p.year.clone())),
+                            ("link", link_json(&p.link)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("links", Json::Arr(g.links.iter().map(link_json).collect())),
+    ])
+}
+
+fn object_json(view: &ObjectView) -> Json {
+    Json::obj([
+        ("kind", Json::str(view.kind.clone())),
+        ("key", Json::str(view.key.clone())),
+        (
+            "attributes",
+            Json::Obj(
+                view.attributes
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        (
+            "links",
+            Json::Arr(view.links.iter().map(link_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_negotiation() {
+        assert_eq!(negotiate(None), Some(Format::Text));
+        assert_eq!(negotiate(Some("text/plain")), Some(Format::Text));
+        assert_eq!(negotiate(Some("text/*")), Some(Format::Text));
+        assert_eq!(negotiate(Some("*/*")), Some(Format::Text));
+        assert_eq!(negotiate(Some("application/json")), Some(Format::Json));
+        assert_eq!(
+            negotiate(Some("application/json; q=0.9, text/plain")),
+            Some(Format::Json)
+        );
+        assert_eq!(
+            negotiate(Some("text/html, */*;q=0.1")),
+            Some(Format::Text),
+            "*/* fallback"
+        );
+        assert_eq!(negotiate(Some("text/html")), None);
+        assert_eq!(negotiate(Some("image/png, text/html")), None);
+    }
+
+    #[test]
+    fn internal_links_become_server_hrefs() {
+        let internal = WebLink::internal("gene", "TP53");
+        assert_eq!(link_href(&internal), "/object/gene/TP53");
+        let external = WebLink::external("GO", "http://go/GO:1");
+        assert_eq!(link_href(&external), "http://go/GO:1");
+        assert_eq!(
+            rewrite_links("see annoda://object/disease/151623 here"),
+            "see /object/disease/151623 here"
+        );
+    }
+}

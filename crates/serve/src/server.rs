@@ -1,0 +1,249 @@
+//! The server: accept loop, bounded hand-off to the worker pool, and
+//! keep-alive request sessions with graceful shutdown.
+//!
+//! Overload policy, end to end:
+//!
+//! 1. The acceptor never blocks on the pool — [`crate::pool::Pool::try_submit`]
+//!    either takes the connection or refuses instantly.
+//! 2. On refusal the *acceptor itself* writes `503` + `Retry-After` and
+//!    closes; no parsing, no buffering, bounded work per shed request.
+//! 3. Each connection carries socket read/write timeouts and hard head
+//!    and body size caps, so a slow or hostile client cannot pin a
+//!    worker or grow memory.
+//!
+//! Shutdown stops the accept loop, lets in-flight sessions finish their
+//! current request, and drains the pool within a bounded deadline.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use annoda::Annoda;
+
+use crate::http::{read_request, write_response, Limits, RequestError, Response};
+use crate::metrics::Metrics;
+use crate::pool::Pool;
+use crate::routes::{handle, App};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded queue capacity between acceptor and workers.
+    pub queue_capacity: usize,
+    /// Per-socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-socket write timeout.
+    pub write_timeout: Duration,
+    /// Request head cap (431 beyond it).
+    pub max_head_bytes: usize,
+    /// Request body cap (413 beyond it).
+    pub max_body_bytes: usize,
+    /// Requests served per connection before the server closes it.
+    pub keep_alive_max_requests: usize,
+    /// Artificial delay before handling each request — zero in
+    /// production; tests use it to hold workers busy deterministically.
+    pub handler_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+            keep_alive_max_requests: 100,
+            handler_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// What a graceful shutdown managed to do.
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownReport {
+    /// Whether every queued and in-flight session finished in time.
+    pub drained: bool,
+    /// Total requests served over the server's lifetime.
+    pub requests_served: u64,
+}
+
+/// A running server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    pool: Pool,
+    acceptor: thread::JoinHandle<()>,
+    app: Arc<App>,
+}
+
+impl Server {
+    /// Binds, spawns the pool and the accept loop, and returns.
+    pub fn start(system: Annoda, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept so the loop can poll the stop flag; std's
+        // blocking `accept` cannot be interrupted portably.
+        listener.set_nonblocking(true)?;
+
+        let pool = Pool::new(config.workers, config.queue_capacity);
+        let app = Arc::new(App {
+            system: Arc::new(system),
+            metrics: Arc::new(Metrics::default()),
+            gauge: pool.gauge(),
+            started: Instant::now(),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let app = Arc::clone(&app);
+            let config = config.clone();
+            // The acceptor holds a submit-only handle; the Server keeps
+            // the pool itself for shutdown.
+            let submit = pool.submitter();
+            thread::Builder::new()
+                .name("annoda-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &stop, &submit, &app, &config))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            pool,
+            acceptor,
+            app,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared application state (metrics, gauge, system).
+    pub fn app(&self) -> Arc<App> {
+        Arc::clone(&self.app)
+    }
+
+    /// Stops accepting, drains in-flight sessions within `deadline`,
+    /// and reports what happened.
+    pub fn shutdown(self, deadline: Duration) -> ShutdownReport {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.acceptor.join();
+        let drained = self.pool.shutdown(deadline);
+        ShutdownReport {
+            drained,
+            requests_served: self.app.metrics.requests_total(),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    submit: &crate::pool::Submitter,
+    app: &Arc<App>,
+    config: &ServeConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                app.metrics.record_connection();
+                // Blocking I/O with timeouts from here on.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_write_timeout(Some(config.write_timeout));
+                let session_app = Arc::clone(app);
+                let session_config = config.clone();
+                let session_stop = Arc::clone(stop);
+                // A second handle to answer with if the pool refuses;
+                // the primary moves into the job.
+                let shed_handle = stream.try_clone();
+                let accepted = submit.try_submit(Box::new(move || {
+                    session(stream, &session_app, &session_config, &session_stop);
+                }));
+                if !accepted {
+                    if let Ok(s) = shed_handle {
+                        shed(s);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Answers a shed connection: `503` + `Retry-After`, then close. The
+/// acceptor does no reading at all — bounded work per rejection.
+fn shed(mut stream: TcpStream) {
+    let mut resp = Response::text(503, "server busy, retry shortly\n");
+    resp.headers.push(("retry-after", "1".into()));
+    let _ = write_response(&mut stream, &resp, false);
+}
+
+/// Serves one connection: a keep-alive loop of read → route → respond.
+fn session(stream: TcpStream, app: &Arc<App>, config: &ServeConfig, stop: &AtomicBool) {
+    let limits = Limits {
+        max_head_bytes: config.max_head_bytes,
+        max_body_bytes: config.max_body_bytes,
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    for served in 0.. {
+        match read_request(&mut reader, &limits) {
+            Ok(req) => {
+                if !config.handler_delay.is_zero() {
+                    thread::sleep(config.handler_delay);
+                }
+                let t0 = Instant::now();
+                let response = handle(app, &req);
+                let status = response.status;
+                app.metrics.record(
+                    crate::metrics::Metrics::route_index(&req.path),
+                    status,
+                    t0.elapsed(),
+                );
+                let keep_alive = !req.wants_close()
+                    && !stop.load(Ordering::SeqCst)
+                    && served + 1 < config.keep_alive_max_requests;
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(RequestError::ClosedClean) => return,
+            Err(RequestError::Malformed(msg)) => {
+                let resp = Response::text(400, format!("error: {msg}\n"));
+                let _ = write_response(&mut writer, &resp, false);
+                return;
+            }
+            Err(RequestError::HeadTooLarge) => {
+                let resp = Response::text(431, "error: request head too large\n");
+                let _ = write_response(&mut writer, &resp, false);
+                return;
+            }
+            Err(RequestError::BodyTooLarge) => {
+                let resp = Response::text(413, "error: request body too large\n");
+                let _ = write_response(&mut writer, &resp, false);
+                return;
+            }
+            Err(RequestError::Io(_)) => return,
+        }
+    }
+}

@@ -65,7 +65,7 @@ fn main() {
             .iter()
             .find(|l| l.internal_target().map(|(k, _)| k) == Some("function"))
         {
-            if let Some(fview) = nav.follow(link) {
+            if let Ok(fview) = nav.follow(link) {
                 println!("{}", render_object_view(&fview));
             }
         }

@@ -10,8 +10,14 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release --offline --workspace
 
+echo "== cargo build --examples =="
+cargo build --release --offline --examples
+
 echo "== cargo test =="
 cargo test -q --offline --workspace
+
+echo "== serve loadgen smoke (B8) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- serve --smoke
 
 echo "== cargo fmt --check =="
 cargo fmt --check

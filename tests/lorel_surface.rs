@@ -132,7 +132,7 @@ fn every_internal_link_in_a_gene_view_resolves() {
         for link in view.links.iter().filter(|l| l.is_internal()) {
             let target = nav.follow(link);
             assert!(
-                target.is_some(),
+                target.is_ok(),
                 "{}: dangling internal link {link}",
                 rec.symbol
             );
