@@ -16,9 +16,10 @@ use std::io::{self, BufRead, Write};
 
 use annoda::parse::parse_question;
 use annoda::reorganize::{self, GroupKey, SortKey};
-use annoda::{render_integrated_view, render_object_view, Annoda};
+use annoda::{render_integrated_view, render_object_view, Annoda, GML_ROOT};
 use annoda_mediator::IntegratedGene;
 use annoda_oem::text as oem_text;
+use annoda_persist::{sync_root, DurableStore, FsyncPolicy};
 use annoda_sources::{Corpus, CorpusConfig};
 
 fn main() {
@@ -255,6 +256,58 @@ fn main() {
                     Err(e) => println!("error: {e}"),
                 }
             }
+            // Journaled sibling of `save`: instead of rewriting a whole
+            // OEM text file, delta-journal the materialised GML into a
+            // WAL-backed data directory (crash-safe, incremental).
+            "jsave" => {
+                let dir = rest.trim();
+                if dir.is_empty() {
+                    println!("usage: jsave <data-dir>   (journal ANNODA-GML into a durable store)");
+                    continue;
+                }
+                match annoda.mediator().materialize_gml() {
+                    Ok((gml, _cost)) => {
+                        let root = gml.named(GML_ROOT).expect("materialized GML is named");
+                        match DurableStore::open(std::path::Path::new(dir), FsyncPolicy::Always) {
+                            Ok(mut store) => match sync_root(&mut store, GML_ROOT, &gml, root) {
+                                Ok(n) => println!(
+                                    "journaled {n} records to {dir} (generation {}, wal {} bytes)",
+                                    store.stats().generation,
+                                    store.stats().wal_bytes
+                                ),
+                                Err(e) => println!("error: {e}"),
+                            },
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            // Journaled sibling of `export`: recover a durable store
+            // (snapshot + WAL replay) and write its GML as OEM text.
+            "jexport" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(dir), Some(path)) = (parts.next(), parts.next()) else {
+                    println!("usage: jexport <data-dir> <file.oem>");
+                    continue;
+                };
+                match DurableStore::open(std::path::Path::new(dir), FsyncPolicy::OnSnapshot) {
+                    Ok(store) => {
+                        let r = store.recovery();
+                        println!(
+                            "recovered generation {} ({} snapshot objects, {} replayed records)",
+                            r.generation, r.snapshot_objects, r.replayed_records
+                        );
+                        match oem_text::save_to_file(store.store(), std::path::Path::new(path)) {
+                            Ok(()) => {
+                                println!("exported {} objects to {path}", store.store().len())
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
             "conflicts" => {
                 if last_conflicts.is_empty() {
                     println!("  (no conflicts in the last answer)");
@@ -302,6 +355,10 @@ commands:
   tsv                          print the last answer as a table
   export <file.tsv>            write the last answer to a file
   save <file.oem>              save the materialised ANNODA-GML to disk
+  jsave <data-dir>             journal ANNODA-GML into a WAL-backed durable
+                               store (incremental delta, crash-safe)
+  jexport <data-dir> <file.oem>
+                               recover a durable store and export its GML
   summary                      statistics of the last answer
   conflicts                    list conflicts reconciled in the last answer
   policy [union|intersection|vote|evidence:<n>|precedence:<s1,s2>]

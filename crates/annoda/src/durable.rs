@@ -1,0 +1,300 @@
+//! [`DurableSystem`] — the ANNODA façade with a disk life.
+//!
+//! [`Annoda`] alone is ephemeral: every process start re-wraps all
+//! sources and re-materialises ANNODA-GML from scratch. This layer
+//! pairs the façade with an [`annoda_persist::DurableStore`] holding
+//! the materialised global model:
+//!
+//! * **cold start** — no persisted GML yet: materialise once and
+//!   journal it, so the *next* start is warm;
+//! * **warm start** — recovery rebuilt the exact GML the previous
+//!   process held (snapshot + WAL replay); queries are served from it
+//!   immediately without touching the wrappers;
+//! * **refresh** — wrappers re-pull their native databases (which also
+//!   invalidates the mediator's subquery cache), and the resulting
+//!   delta against the persisted GML is journaled via
+//!   [`annoda_persist::sync_root`] — a handful of path-addressed edit
+//!   records when the change is small, a full fragment when it is not.
+//!
+//! Construction with [`DurableSystem::new`] keeps the façade fully
+//! usable with persistence disabled — the serving layer treats that as
+//! "no `--data-dir` given".
+
+use std::path::Path;
+
+use annoda_lorel::{run_query_with, FunctionRegistry, QueryOutcome};
+use annoda_mediator::MediatorError;
+use annoda_oem::OemStore;
+use annoda_persist::{
+    sync_root, DurableStore, FsyncPolicy, JournalRecord, PersistStats, RecoveryReport,
+    SnapshotMeta, SourceEventKind,
+};
+use annoda_wrap::{Cost, Wrapper};
+
+use crate::registry::PlugReport;
+use crate::system::{Annoda, AnnodaError};
+
+/// The name the mediator binds the materialised global model under —
+/// also the root name the journal tracks.
+pub const GML_ROOT: &str = "ANNODA-GML";
+
+/// What one durable refresh did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshOutcome {
+    /// Objects re-pulled by the wrappers.
+    pub refreshed_objects: usize,
+    /// Journal records written for the resulting GML delta (including
+    /// the refresh marker itself), zero when persistence is off.
+    pub journaled_records: usize,
+    /// Whether a durable store backs this system.
+    pub persisted: bool,
+}
+
+/// An [`Annoda`] system optionally backed by a WAL + snapshot store.
+pub struct DurableSystem {
+    system: Annoda,
+    durable: Option<DurableStore>,
+}
+
+impl DurableSystem {
+    /// Wraps a system with persistence disabled (ephemeral, exactly the
+    /// old behaviour).
+    pub fn new(system: Annoda) -> Self {
+        DurableSystem {
+            system,
+            durable: None,
+        }
+    }
+
+    /// Opens `dir` (recovering whatever a previous process left) and
+    /// attaches it to `system`. A cold directory gets the materialised
+    /// GML journaled immediately; a warm one serves the recovered GML
+    /// without re-materialising.
+    pub fn open(system: Annoda, dir: &Path, policy: FsyncPolicy) -> Result<Self, AnnodaError> {
+        let mut durable = DurableStore::open(dir, policy)?;
+        let mut this = if durable.store().named(GML_ROOT).is_none() {
+            let (gml, _cost) = system.mediator().materialize_gml()?;
+            let root = gml.named(GML_ROOT).expect("materialize_gml names its root");
+            sync_root(&mut durable, GML_ROOT, &gml, root)?;
+            DurableSystem {
+                system,
+                durable: Some(durable),
+            }
+        } else {
+            DurableSystem {
+                system,
+                durable: Some(durable),
+            }
+        };
+        // Make the bootstrap durable regardless of policy: a cold open
+        // under OnSnapshot would otherwise hold the whole GML in page
+        // cache only.
+        if let Some(d) = this.durable.as_mut() {
+            d.sync()?;
+        }
+        Ok(this)
+    }
+
+    /// The wrapped façade.
+    pub fn annoda(&self) -> &Annoda {
+        &self.system
+    }
+
+    /// Mutable façade access (annotations, eval functions, ...).
+    pub fn annoda_mut(&mut self) -> &mut Annoda {
+        &mut self.system
+    }
+
+    /// Whether a durable store backs this system.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The persisted GML store, when persistence is on and the root has
+    /// been journaled.
+    pub fn persisted_gml(&self) -> Option<&OemStore> {
+        let d = self.durable.as_ref()?;
+        d.store().named(GML_ROOT)?;
+        Some(d.store())
+    }
+
+    /// What recovery found at open time.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().map(DurableStore::recovery)
+    }
+
+    /// Journal/WAL counters for `/metrics`.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.durable.as_ref().map(DurableStore::stats)
+    }
+
+    /// Plugs a source, journals the lifecycle event, and re-syncs the
+    /// persisted GML.
+    pub fn plug(&mut self, wrapper: Box<dyn Wrapper>) -> Result<PlugReport, AnnodaError> {
+        let name = wrapper.description().name.clone();
+        let report = self.system.plug(wrapper);
+        self.journal_event(SourceEventKind::Plug, &name)?;
+        self.resync()?;
+        Ok(report)
+    }
+
+    /// Unplugs a source, journals the lifecycle event, and re-syncs the
+    /// persisted GML.
+    pub fn unplug(&mut self, name: &str) -> Result<bool, AnnodaError> {
+        let removed = self.system.unplug(name);
+        if removed {
+            self.journal_event(SourceEventKind::Unplug, name)?;
+            self.resync()?;
+        }
+        Ok(removed)
+    }
+
+    /// Refreshes every wrapper from its native database (invalidating
+    /// the mediator's subquery cache) and journals the GML delta.
+    pub fn refresh(&mut self) -> Result<RefreshOutcome, AnnodaError> {
+        let refreshed_objects = self.system.registry_mut().mediator_mut().refresh_all();
+        let mut journaled_records = 0;
+        if self.durable.is_some() {
+            self.journal_event(SourceEventKind::Refresh, "all")?;
+            journaled_records = 1 + self.resync()?;
+            if let Some(d) = self.durable.as_mut() {
+                d.sync()?;
+            }
+        }
+        Ok(RefreshOutcome {
+            refreshed_objects,
+            journaled_records,
+            persisted: self.durable.is_some(),
+        })
+    }
+
+    /// Runs a Lorel query. Warm path: when a persisted GML exists the
+    /// query runs against a clone of it — no wrapper traffic at all.
+    /// Ephemeral fallback: the façade materialises as usual.
+    pub fn lorel(&self, text: &str) -> Result<(OemStore, QueryOutcome, Cost), AnnodaError> {
+        match self.persisted_gml() {
+            Some(gml) => {
+                let mut store = gml.clone();
+                let outcome = run_query_with(&mut store, text, &FunctionRegistry::standard())
+                    .map_err(|e| AnnodaError::Mediator(MediatorError::Lorel(e)))?;
+                Ok((store, outcome, Cost::new()))
+            }
+            None => self.system.lorel(text),
+        }
+    }
+
+    /// Writes a point-in-time snapshot and truncates the journal.
+    /// `Ok(None)` when persistence is off.
+    pub fn snapshot(&mut self) -> Result<Option<SnapshotMeta>, AnnodaError> {
+        match self.durable.as_mut() {
+            Some(d) => Ok(Some(d.snapshot()?)),
+            None => Ok(None),
+        }
+    }
+
+    fn journal_event(&mut self, kind: SourceEventKind, name: &str) -> Result<(), AnnodaError> {
+        if let Some(d) = self.durable.as_mut() {
+            d.journal(&JournalRecord::SourceEvent {
+                kind,
+                name: name.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Re-materialises GML and journals the delta against the persisted
+    /// copy. Returns the number of records journaled.
+    fn resync(&mut self) -> Result<usize, AnnodaError> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(0);
+        };
+        let (gml, _cost) = self.system.mediator().materialize_gml()?;
+        let root = gml.named(GML_ROOT).expect("materialize_gml names its root");
+        Ok(sync_root(d, GML_ROOT, &gml, root)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_persist::encode_store;
+    use annoda_sources::{Corpus, CorpusConfig};
+
+    fn system() -> Annoda {
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let (a, _) = Annoda::over_sources(c.locuslink.clone(), c.go.clone(), c.omim.clone());
+        a
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("annoda-dursys-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ephemeral_system_still_answers() {
+        let sys = DurableSystem::new(system());
+        assert!(!sys.is_durable());
+        assert!(sys.persist_stats().is_none());
+        let (gml, outcome, _cost) = sys
+            .lorel(r#"select S from ANNODA-GML.Source S where S.Name = "LocusLink""#)
+            .unwrap();
+        assert!(outcome.sole_result(&gml).is_some());
+    }
+
+    #[test]
+    fn cold_open_then_warm_open_serves_identical_gml() {
+        let dir = tmp_dir("coldwarm");
+        let cold = DurableSystem::open(system(), &dir, FsyncPolicy::Always).unwrap();
+        assert!(cold.is_durable());
+        let report = *cold.recovery().unwrap();
+        assert!(!report.snapshot_loaded);
+        let cold_bytes = encode_store(cold.persisted_gml().unwrap());
+        drop(cold); // no snapshot: simulate an unclean exit
+
+        let warm = DurableSystem::open(system(), &dir, FsyncPolicy::Always).unwrap();
+        let report = *warm.recovery().unwrap();
+        assert!(report.replayed_records > 0, "WAL replay restored GML");
+        assert_eq!(encode_store(warm.persisted_gml().unwrap()), cold_bytes);
+
+        // Warm queries answer from the recovered store.
+        let (gml, outcome, _cost) = warm
+            .lorel(r#"select S from ANNODA-GML.Source S where S.Name = "LocusLink""#)
+            .unwrap();
+        assert!(outcome.sole_result(&gml).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_journals_and_snapshot_truncates() {
+        let dir = tmp_dir("refresh");
+        let mut sys = DurableSystem::open(system(), &dir, FsyncPolicy::Always).unwrap();
+        let outcome = sys.refresh().unwrap();
+        assert!(outcome.persisted);
+        assert!(outcome.journaled_records >= 1, "at least the marker");
+        let before = sys.persist_stats().unwrap();
+        let meta = sys.snapshot().unwrap().unwrap();
+        assert!(meta.objects > 0);
+        let after = sys.persist_stats().unwrap();
+        assert!(after.wal_bytes < before.wal_bytes);
+        assert_eq!(after.generation, before.generation + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unplug_is_journaled_and_survives_restart() {
+        let dir = tmp_dir("unplug");
+        let mut sys = DurableSystem::open(system(), &dir, FsyncPolicy::Always).unwrap();
+        assert!(sys.unplug("OMIM").unwrap());
+        let bytes = encode_store(sys.persisted_gml().unwrap());
+        drop(sys);
+        // Restart with OMIM already gone from the live registry too.
+        let c = Corpus::generate(CorpusConfig::tiny(42));
+        let (mut a, _) = Annoda::over_sources(c.locuslink.clone(), c.go.clone(), c.omim.clone());
+        a.unplug("OMIM");
+        let warm = DurableSystem::open(a, &dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(encode_store(warm.persisted_gml().unwrap()), bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -29,6 +29,7 @@
 //!   also implements the `IntegrationSystem` probe surface indirectly via
 //!   the mediator (see `annoda-baselines`).
 
+pub mod durable;
 pub mod navigate;
 pub mod parse;
 pub mod question;
@@ -37,6 +38,7 @@ pub mod render;
 pub mod reorganize;
 pub mod system;
 
+pub use durable::{DurableSystem, RefreshOutcome, GML_ROOT};
 pub use navigate::{NavigateError, Navigator, ObjectView};
 pub use parse::{apply_clause, parse_question, parse_question_pairs};
 pub use question::{AspectClause, Combination, Condition, GeneQuestion, QuestionBuilder};
@@ -46,3 +48,9 @@ pub use reorganize::{
     chromosome_of, group_genes, sort_genes, summarize, to_tsv, GroupKey, SortKey, ViewSummary,
 };
 pub use system::{Annoda, AnnodaError};
+
+// Re-exported so the serving and bench layers can speak persistence
+// without depending on `annoda-persist` directly.
+pub use annoda_persist::{
+    DurableStore, FsyncPolicy, PersistError, PersistStats, RecoveryReport, SnapshotMeta,
+};

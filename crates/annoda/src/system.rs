@@ -22,12 +22,15 @@ use crate::registry::{PlugReport, SourceRegistry};
 pub enum AnnodaError {
     /// The mediator could not answer.
     Mediator(MediatorError),
+    /// The durable store could not journal, snapshot, or recover.
+    Persist(annoda_persist::PersistError),
 }
 
 impl fmt::Display for AnnodaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnnodaError::Mediator(e) => write!(f, "{e}"),
+            AnnodaError::Persist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -37,6 +40,12 @@ impl std::error::Error for AnnodaError {}
 impl From<MediatorError> for AnnodaError {
     fn from(e: MediatorError) -> Self {
         AnnodaError::Mediator(e)
+    }
+}
+
+impl From<annoda_persist::PersistError> for AnnodaError {
+    fn from(e: annoda_persist::PersistError) -> Self {
+        AnnodaError::Persist(e)
     }
 }
 

@@ -26,8 +26,15 @@ fn main() {
             let smoke = args.iter().any(|a| a == "--smoke");
             b8_serving_throughput(smoke);
         }
+        Some("persist") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            b9_persistence(smoke);
+        }
         Some(other) => {
-            eprintln!("unknown mode `{other}` (modes: serve [--smoke]; default runs B1–B7)");
+            eprintln!(
+                "unknown mode `{other}` (modes: serve [--smoke], persist [--smoke]; \
+                 default runs B1–B7)"
+            );
             std::process::exit(1);
         }
         None => {
@@ -642,6 +649,179 @@ fn b8_serving_throughput(smoke: bool) {
         std::fs::write(path, report_obj.to_text() + "\n").expect("write BENCH_serve.json");
         println!("(machine-readable copy written to BENCH_serve.json)");
     }
+}
+
+// ---------------------------------------------------------------------
+/// **B9 — persistence.** Startup cost of the four ways a durable ANNODA
+/// instance can come up (cold re-ingest, WAL replay, snapshot only,
+/// snapshot + WAL suffix) and the per-record overhead of journaled
+/// writes under each fsync policy. `--smoke` shrinks the corpus and
+/// record counts to a wiring check and skips the JSON artifact.
+fn b9_persistence(smoke: bool) {
+    use annoda::{DurableSystem, FsyncPolicy, GML_ROOT};
+    use annoda_persist::{encode_fragment, DurableStore, JournalRecord};
+    use annoda_serve::json::Json;
+
+    let (loci, edits, writes) = if smoke {
+        (100, 10, 50)
+    } else {
+        (1000, 50, 500)
+    };
+    println!("=== B9: persistence (durable OEM store, {loci} loci) ===\n");
+    let corpus = workload::corpus_of(loci, 7);
+    let dir = std::env::temp_dir().join(format!("annoda-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = dir.join("data");
+
+    // -- startup paths. Every timing includes plugging the three
+    // sources (a warm start still needs live wrappers); the variants
+    // differ in how the integrated GML store comes back.
+    let time_open = |data: &std::path::Path| {
+        let t = Instant::now();
+        let mut sys = workload::annoda_over(&corpus);
+        sys.registry_mut().mediator_mut().enable_cache();
+        let d = DurableSystem::open(sys, data, FsyncPolicy::Batched(64)).expect("open data dir");
+        (t.elapsed().as_secs_f64() * 1000.0, d)
+    };
+
+    println!(
+        "{:<26} {:>12} {:>10} {:>10} {:>12}",
+        "startup path", "wall_ms", "snapshot", "replayed", "gml_objects"
+    );
+    let mut startup_rows = Vec::new();
+    let mut row = |label: &str, ms: f64, d: &DurableSystem| {
+        let r = *d.recovery().expect("durable recovery report");
+        let objects = d.persisted_gml().map_or(0, annoda_oem::OemStore::len);
+        println!(
+            "{:<26} {:>12.2} {:>10} {:>10} {:>12}",
+            label,
+            ms,
+            if r.snapshot_loaded { "yes" } else { "no" },
+            r.replayed_records,
+            objects
+        );
+        startup_rows.push(Json::obj([
+            ("path", Json::str(label)),
+            ("wall_ms", Json::Float(ms)),
+            ("snapshot_loaded", Json::Bool(r.snapshot_loaded)),
+            ("replayed_records", Json::Int(r.replayed_records as i64)),
+            ("gml_objects", Json::Int(objects as i64)),
+        ]));
+    };
+
+    // Cold: nothing on disk — materialize the GML view and journal it.
+    let (cold_ms, d) = time_open(&data);
+    row("cold re-ingest", cold_ms, &d);
+    drop(d);
+
+    // Warm, journal only: the bootstrap PutRoot is replayed.
+    let (replay_ms, mut d) = time_open(&data);
+    row("wal replay", replay_ms, &d);
+
+    // Snapshot only: compact + truncate, then come up from the image.
+    d.snapshot().expect("snapshot").expect("durable");
+    drop(d);
+    let (snap_ms, mut d) = time_open(&data);
+    row("snapshot only", snap_ms, &d);
+
+    // Snapshot + suffix: `edits` native updates journaled through a
+    // refresh land in the WAL after the snapshot.
+    let mut live = corpus.clone();
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..edits {
+        let id = live.apply_random_update(&mut rng);
+        let fresh = live.locuslink.by_id(id).unwrap().description.clone();
+        let w = d
+            .annoda_mut()
+            .registry_mut()
+            .mediator_mut()
+            .wrapper_mut("LocusLink")
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<LocusLinkWrapper>()
+            .unwrap();
+        w.db_mut().by_id_mut(id).unwrap().description = fresh;
+    }
+    let outcome = d.refresh().expect("journaled refresh");
+    drop(d);
+    let (suffix_ms, d) = time_open(&data);
+    row("snapshot + wal suffix", suffix_ms, &d);
+    drop(d);
+    println!(
+        "\n({} native updates became {} journal records; {GML_ROOT} comes back",
+        edits, outcome.journaled_records
+    );
+    println!(" byte-identical on every path — asserted by the test suite.)\n");
+
+    // -- journaled-write overhead per fsync policy.
+    let mut frag_store = OemStore::new();
+    let frag_root = frag_store.new_complex();
+    frag_store
+        .add_atomic_child(frag_root, "Symbol", "BENCH")
+        .unwrap();
+    frag_store
+        .add_atomic_child(frag_root, "Id", AtomicValue::Int(9))
+        .unwrap();
+    let fragment = encode_fragment(&frag_store, frag_root);
+
+    println!(
+        "{:<14} {:>9} {:>14} {:>9} {:>12}",
+        "fsync policy", "records", "us_per_record", "fsyncs", "wal_bytes"
+    );
+    let mut write_rows = Vec::new();
+    for policy in [
+        FsyncPolicy::Always,
+        FsyncPolicy::Batched(64),
+        FsyncPolicy::OnSnapshot,
+    ] {
+        let pdir = dir.join(format!("w-{policy}"));
+        let mut d = DurableStore::open(&pdir, policy).expect("open bench dir");
+        let t = Instant::now();
+        for i in 0..writes {
+            d.journal(&JournalRecord::PutRoot {
+                name: format!("R{i}"),
+                fragment: fragment.clone(),
+            })
+            .expect("journal record");
+        }
+        let us_per_record = t.elapsed().as_secs_f64() * 1e6 / f64::from(writes);
+        let stats = d.stats();
+        println!(
+            "{:<14} {:>9} {:>14.1} {:>9} {:>12}",
+            policy.to_string(),
+            writes,
+            us_per_record,
+            stats.fsyncs,
+            stats.wal_bytes
+        );
+        write_rows.push(Json::obj([
+            ("policy", Json::str(policy.to_string())),
+            ("records", Json::Int(i64::from(writes))),
+            ("us_per_record", Json::Float(us_per_record)),
+            ("fsyncs", Json::Int(stats.fsyncs as i64)),
+            ("wal_bytes", Json::Int(stats.wal_bytes as i64)),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("experiment", Json::str("B9 persistence")),
+        ("loci", Json::Int(loci as i64)),
+        ("edits", Json::Int(i64::from(edits))),
+        ("startup", Json::Arr(startup_rows)),
+        ("journaled_writes", Json::Arr(write_rows)),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+    if smoke {
+        println!("\n(smoke mode: BENCH_persist.json not rewritten)");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json");
+        std::fs::write(path, report.to_text() + "\n").expect("write BENCH_persist.json");
+        println!("\n(machine-readable copy written to BENCH_persist.json)");
+    }
+    println!(
+        "(Always pays one fsync per record; Batched amortises; OnSnapshot\n\
+         defers durability to the next snapshot — pick per deployment.)\n"
+    );
 }
 
 fn json_escape(s: &str) -> String {

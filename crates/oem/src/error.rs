@@ -1,6 +1,41 @@
 //! Error type for OEM operations.
 
 use std::fmt;
+use std::path::Path;
+
+/// A structured description of a failed filesystem operation: which
+/// operation, on which path, and what the OS reported. Carried by
+/// [`OemError::Io`] (and re-used by `annoda-persist`) so callers can
+/// branch on the failure kind instead of parsing a message string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoFailure {
+    /// The operation that failed (`"read"`, `"write"`, `"rename"`, ...).
+    pub op: &'static str,
+    /// The path the operation targeted.
+    pub path: String,
+    /// The OS error classification.
+    pub kind: std::io::ErrorKind,
+    /// The OS error message.
+    pub detail: String,
+}
+
+impl IoFailure {
+    /// Captures a failed `std::io` operation on `path`.
+    pub fn new(op: &'static str, path: &Path, error: &std::io::Error) -> Self {
+        IoFailure {
+            op,
+            path: path.display().to_string(),
+            kind: error.kind(),
+            detail: error.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for IoFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.op, self.path, self.detail)
+    }
+}
 
 /// Errors raised by the OEM store and its textual reader.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,7 +54,7 @@ pub enum OemError {
         message: String,
     },
     /// Disk persistence failed.
-    Io(String),
+    Io(IoFailure),
 }
 
 impl fmt::Display for OemError {
@@ -35,7 +70,7 @@ impl fmt::Display for OemError {
             OemError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
-            OemError::Io(message) => write!(f, "io error: {message}"),
+            OemError::Io(failure) => write!(f, "io error: {failure}"),
         }
     }
 }
@@ -56,5 +91,17 @@ mod tests {
         assert!(OemError::DuplicateName("GO".into())
             .to_string()
             .contains("GO"));
+    }
+
+    #[test]
+    fn io_failures_are_structured() {
+        let os = std::io::Error::new(std::io::ErrorKind::NotFound, "no such file");
+        let f = IoFailure::new("read", Path::new("/tmp/x.oem"), &os);
+        assert_eq!(f.kind, std::io::ErrorKind::NotFound);
+        let e = OemError::Io(f);
+        let text = e.to_string();
+        assert!(text.contains("read"), "{text}");
+        assert!(text.contains("/tmp/x.oem"), "{text}");
+        assert!(text.contains("no such file"), "{text}");
     }
 }

@@ -40,8 +40,8 @@ pub mod store;
 pub mod text;
 pub mod value;
 
-pub use error::OemError;
-pub use graph::{diff, DiffEntry};
+pub use error::{IoFailure, OemError};
+pub use graph::{diff, diff_structured, DiffEntry, DiffOp, PathSeg, StructuredDiff};
 pub use index::ValueIndex;
 pub use label::{Label, LabelInterner};
 pub use object::{Edge, Object, ObjectKind};

@@ -178,6 +178,13 @@ impl OemStore {
         Ok(())
     }
 
+    /// Unregisters a root name, returning the oid it pointed at. The
+    /// objects stay live (compaction reclaims them); removing an unknown
+    /// name is a no-op.
+    pub fn remove_name(&mut self, name: &str) -> Option<Oid> {
+        self.names.remove(name)
+    }
+
     // ----- access -------------------------------------------------------
 
     /// The object behind `oid`, if live.
@@ -425,6 +432,9 @@ mod tests {
         ));
         db.set_name_overwrite("answer", b).unwrap();
         assert_eq!(db.named("answer"), Some(b));
+        assert_eq!(db.remove_name("answer"), Some(b));
+        assert_eq!(db.named("answer"), None);
+        assert_eq!(db.remove_name("answer"), None);
     }
 
     #[test]

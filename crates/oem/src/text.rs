@@ -300,12 +300,14 @@ fn resolve_parsed(
 
 /// Saves the whole store to a file in the multi-root notation.
 pub fn save_to_file(store: &OemStore, path: &std::path::Path) -> Result<(), OemError> {
-    std::fs::write(path, write_store(store)).map_err(|e| OemError::Io(e.to_string()))
+    std::fs::write(path, write_store(store))
+        .map_err(|e| OemError::Io(crate::error::IoFailure::new("write", path, &e)))
 }
 
 /// Loads a store previously saved with [`save_to_file`].
 pub fn load_from_file(path: &std::path::Path) -> Result<OemStore, OemError> {
-    let text = std::fs::read_to_string(path).map_err(|e| OemError::Io(e.to_string()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| OemError::Io(crate::error::IoFailure::new("read", path, &e)))?;
     read_store(&text)
 }
 

@@ -97,6 +97,38 @@ proptest! {
     }
 
     #[test]
+    fn store_text_round_trips_multi_root_corpora(
+        specs in proptest::collection::vec(node_spec(), 0..12),
+        extra_roots in proptest::collection::vec(any::<u8>(), 0..4),
+    ) {
+        // write_store/read_store must round-trip whole corpora with
+        // several named roots (shared subgraphs included), not just the
+        // single-root fragments `write_named` covers.
+        let (mut store, _root) = build(&specs);
+        let oids: Vec<Oid> = store.oids().collect();
+        for (i, pick) in extra_roots.iter().enumerate() {
+            let target = oids[*pick as usize % oids.len()];
+            store.set_name_overwrite(&format!("Extra{i}"), target).unwrap();
+        }
+        let rendered = text::write_store(&store);
+        let parsed = text::read_store(&rendered).unwrap();
+        let names: Vec<String> = store.names().map(|(n, _)| n.to_string()).collect();
+        let parsed_names: Vec<String> = parsed.names().map(|(n, _)| n.to_string()).collect();
+        prop_assert_eq!(&names, &parsed_names);
+        for name in &names {
+            prop_assert!(
+                structural_eq(
+                    &store,
+                    store.named(name).unwrap(),
+                    &parsed,
+                    parsed.named(name).unwrap(),
+                ),
+                "root {} diverged after round-trip", name
+            );
+        }
+    }
+
+    #[test]
     fn import_fragment_preserves_structure(specs in proptest::collection::vec(node_spec(), 0..12)) {
         let (store, root) = build(&specs);
         let mut dst = OemStore::new();

@@ -1,0 +1,269 @@
+//! Source-refresh deltas: turn a [`diff_structured`] between the
+//! currently persisted root and a freshly materialized one into the
+//! smallest honest sequence of journal records.
+//!
+//! Honesty beats minimality here: after building the incremental
+//! records the module *applies them to a scratch copy* and re-diffs. If
+//! anything still differs (positional index shifts after a
+//! kind-change, sharing the fragment codec cannot re-create through a
+//! path edit, ...) it discards the increments and journals one
+//! [`JournalRecord::PutRoot`] carrying the whole fragment. Either way
+//! the journaled state equals the target exactly.
+
+use annoda_oem::graph::diff_structured;
+use annoda_oem::{DiffOp, OemStore, Oid, StructuredDiff};
+
+use crate::codec::encode_fragment;
+use crate::durable::DurableStore;
+use crate::error::PersistError;
+use crate::record::{apply, JournalRecord};
+
+fn put_root(name: &str, target: &OemStore, target_root: Oid) -> Vec<JournalRecord> {
+    vec![JournalRecord::PutRoot {
+        name: name.to_string(),
+        fragment: encode_fragment(target, target_root),
+    }]
+}
+
+/// Builds the journal records that carry `current`'s root `root_name`
+/// to the state of `target_root` in `target`. Always returns a
+/// sequence whose application yields exactly the target subgraph.
+pub fn delta_records(
+    current: &OemStore,
+    root_name: &str,
+    target: &OemStore,
+    target_root: Oid,
+) -> Vec<JournalRecord> {
+    let Some(cur_root) = current.named(root_name) else {
+        return put_root(root_name, target, target_root);
+    };
+    let diffs = diff_structured(current, cur_root, target, target_root);
+    if diffs.is_empty() {
+        return Vec::new();
+    }
+    // A divergence at the roots themselves cannot be expressed as a
+    // child edit.
+    if diffs.iter().any(|d| d.path.is_empty()) {
+        return put_root(root_name, target, target_root);
+    }
+
+    let mut sets = Vec::new();
+    let mut removals = Vec::new();
+    let mut additions = Vec::new();
+    for d in &diffs {
+        let (parent, last) = (
+            d.path[..d.path.len() - 1].to_vec(),
+            d.path.last().expect("non-empty path").clone(),
+        );
+        match &d.op {
+            DiffOp::ValueChanged { .. } => {
+                let Some(at) = StructuredDiff::resolve(target, target_root, &d.path) else {
+                    return put_root(root_name, target, target_root);
+                };
+                let Some(value) = target.value_of(at) else {
+                    return put_root(root_name, target, target_root);
+                };
+                sets.push(JournalRecord::SetValueAt {
+                    root: root_name.to_string(),
+                    path: d.path.clone(),
+                    value: value.clone(),
+                });
+            }
+            DiffOp::OnlyLeft => removals.push((parent, last)),
+            DiffOp::OnlyRight => additions.push((parent, last, d.path.clone())),
+            DiffOp::KindChanged => {
+                removals.push((parent.clone(), last.clone()));
+                additions.push((parent, last, d.path.clone()));
+            }
+        }
+    }
+    // Remove deepest-first and highest-index-first so earlier removals
+    // never shift the positions later ones refer to.
+    removals.sort_by(|a, b| {
+        b.0.len()
+            .cmp(&a.0.len())
+            .then_with(|| b.1.index.cmp(&a.1.index))
+    });
+    // Add shallow-first, lowest-index-first: surplus right-hand edges
+    // sit at the tail of their label group, so appends land in order.
+    additions.sort_by(|a, b| {
+        a.0.len()
+            .cmp(&b.0.len())
+            .then_with(|| a.1.index.cmp(&b.1.index))
+    });
+
+    let mut records = sets;
+    for (parent, last) in removals {
+        records.push(JournalRecord::RemoveChildAt {
+            root: root_name.to_string(),
+            parent,
+            label: last.label,
+            index: last.index,
+        });
+    }
+    for (parent, last, full_path) in additions {
+        let Some(at) = StructuredDiff::resolve(target, target_root, &full_path) else {
+            return put_root(root_name, target, target_root);
+        };
+        records.push(JournalRecord::AddChildAt {
+            root: root_name.to_string(),
+            parent,
+            label: last.label,
+            fragment: encode_fragment(target, at),
+        });
+    }
+
+    // Verification pass: the increments must reproduce the target
+    // exactly, or we fall back to the full fragment.
+    let mut scratch = current.clone();
+    for rec in &records {
+        if apply(&mut scratch, rec).is_err() {
+            return put_root(root_name, target, target_root);
+        }
+    }
+    let scratch_root = scratch.named(root_name).expect("root survives edits");
+    if diff_structured(&scratch, scratch_root, target, target_root).is_empty() {
+        records
+    } else {
+        put_root(root_name, target, target_root)
+    }
+}
+
+/// Journals whatever it takes to make `durable`'s root `name` match
+/// `target_root` in `target`. Returns how many records were journaled
+/// (zero when the root was already identical).
+pub fn sync_root(
+    durable: &mut DurableStore,
+    name: &str,
+    target: &OemStore,
+    target_root: Oid,
+) -> Result<usize, PersistError> {
+    let records = delta_records(durable.store(), name, target, target_root);
+    let n = records.len();
+    for rec in records {
+        durable.journal(&rec)?;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annoda_oem::AtomicValue;
+
+    fn gml(symbols: &[&str]) -> (OemStore, Oid) {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        for s in symbols {
+            let g = db.add_complex_child(root, "Gene").unwrap();
+            db.add_atomic_child(g, "Symbol", *s).unwrap();
+            db.add_atomic_child(g, "Organism", "H. sapiens").unwrap();
+        }
+        db.set_name("GML", root).unwrap();
+        (db, root)
+    }
+
+    fn apply_all(current: &OemStore, records: &[JournalRecord]) -> OemStore {
+        let mut out = current.clone();
+        for r in records {
+            apply(&mut out, r).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn missing_root_becomes_a_put() {
+        let current = OemStore::new();
+        let (target, troot) = gml(&["TP53"]);
+        let records = delta_records(&current, "GML", &target, troot);
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0], JournalRecord::PutRoot { .. }));
+        let after = apply_all(&current, &records);
+        assert!(diff_structured(&after, after.named("GML").unwrap(), &target, troot).is_empty());
+    }
+
+    #[test]
+    fn identical_roots_journal_nothing() {
+        let (current, _) = gml(&["TP53", "BRCA1"]);
+        let (target, troot) = gml(&["TP53", "BRCA1"]);
+        assert!(delta_records(&current, "GML", &target, troot).is_empty());
+    }
+
+    #[test]
+    fn value_edit_is_a_single_set() {
+        let (current, _) = gml(&["TP53", "BRCA1"]);
+        let (mut target, troot) = gml(&["TP53", "BRCA1"]);
+        let g1 = target.children(troot, "Gene").nth(1).unwrap();
+        let sym = target.child(g1, "Symbol").unwrap();
+        target.set_value(sym, "BRCA2").unwrap();
+        let records = delta_records(&current, "GML", &target, troot);
+        assert_eq!(records.len(), 1, "{records:?}");
+        assert!(matches!(records[0], JournalRecord::SetValueAt { .. }));
+        let after = apply_all(&current, &records);
+        assert!(diff_structured(&after, after.named("GML").unwrap(), &target, troot).is_empty());
+    }
+
+    #[test]
+    fn tail_growth_and_shrink_are_incremental() {
+        // Grown on the right: two new genes arrive as AddChildAt.
+        let (current, _) = gml(&["TP53"]);
+        let (target, troot) = gml(&["TP53", "BRCA1", "KRAS"]);
+        let records = delta_records(&current, "GML", &target, troot);
+        assert_eq!(records.len(), 2, "{records:?}");
+        assert!(records
+            .iter()
+            .all(|r| matches!(r, JournalRecord::AddChildAt { .. })));
+        let after = apply_all(&current, &records);
+        assert!(diff_structured(&after, after.named("GML").unwrap(), &target, troot).is_empty());
+
+        // Shrunk on the right: removals, highest index first.
+        let (current, _) = gml(&["TP53", "BRCA1", "KRAS"]);
+        let (target, troot) = gml(&["TP53"]);
+        let records = delta_records(&current, "GML", &target, troot);
+        assert_eq!(records.len(), 2, "{records:?}");
+        match (&records[0], &records[1]) {
+            (
+                JournalRecord::RemoveChildAt { index: i0, .. },
+                JournalRecord::RemoveChildAt { index: i1, .. },
+            ) => assert!(i0 > i1, "descending removal order"),
+            other => panic!("expected two removals, got {other:?}"),
+        }
+        let after = apply_all(&current, &records);
+        assert!(diff_structured(&after, after.named("GML").unwrap(), &target, troot).is_empty());
+    }
+
+    #[test]
+    fn kind_change_still_converges() {
+        // Gene[0] flips from complex to atomic: whatever strategy the
+        // delta picks (edit or full put), applying it must converge.
+        let (current, _) = gml(&["TP53", "BRCA1"]);
+        let mut target = OemStore::new();
+        let troot = target.new_complex();
+        target.add_atomic_child(troot, "Gene", "collapsed").unwrap();
+        let g = target.add_complex_child(troot, "Gene").unwrap();
+        target.add_atomic_child(g, "Symbol", "BRCA1").unwrap();
+        target
+            .add_atomic_child(g, "Organism", "H. sapiens")
+            .unwrap();
+        target.set_name("GML", troot).unwrap();
+        let records = delta_records(&current, "GML", &target, troot);
+        assert!(!records.is_empty());
+        let after = apply_all(&current, &records);
+        assert!(diff_structured(&after, after.named("GML").unwrap(), &target, troot).is_empty());
+    }
+
+    #[test]
+    fn mixed_edit_converges() {
+        let (current, _) = gml(&["TP53", "BRCA1", "EGFR"]);
+        let (mut target, troot) = gml(&["TP53", "BRCA1"]);
+        let g0 = target.children(troot, "Gene").next().unwrap();
+        target
+            .add_atomic_child(g0, "Score", AtomicValue::Real(0.5))
+            .unwrap();
+        let sym = target.child(g0, "Symbol").unwrap();
+        target.set_value(sym, "TP63").unwrap();
+        let records = delta_records(&current, "GML", &target, troot);
+        let after = apply_all(&current, &records);
+        assert!(diff_structured(&after, after.named("GML").unwrap(), &target, troot).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # annoda-persist — WAL-backed durable OEM storage
+//!
+//! The ANNODA paper's mediator keeps its integrated ANNODA-GML view in
+//! memory and re-wraps every source on startup. This crate gives the
+//! store a disk life so a restarted server can *warm-start*: it
+//! recovers the exact integrated view a crashed process held and serves
+//! it immediately, refreshing from the sources in the background
+//! instead of on the critical path.
+//!
+//! Three layers, bottom up:
+//!
+//! * [`codec`] — a compact canonical binary encoding of [`OemStore`]s
+//!   and rooted fragments (no serde; every read bounds-checked).
+//! * [`wal`](FsyncPolicy) + snapshots — an append-only log of
+//!   checksummed, length-prefixed records plus atomic point-in-time
+//!   snapshots; a crash can only ever tear the log's *tail*, which
+//!   recovery truncates silently.
+//! * [`DurableStore`] — ties them together: mutations are journaled as
+//!   [`JournalRecord`]s through one shared `apply` path, so a recovered
+//!   store re-encodes byte-for-byte identical to the one that was lost.
+//!
+//! Refresh deltas come from [`annoda_oem::graph::diff_structured`]:
+//! [`sync_root`] journals the minimal path-addressed edits when they
+//! provably reconverge, and falls back to journaling the whole fragment
+//! when they do not.
+//!
+//! [`OemStore`]: annoda_oem::OemStore
+
+pub mod codec;
+pub mod delta;
+pub mod durable;
+pub mod error;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{decode_fragment_into, decode_store, encode_fragment, encode_store};
+pub use delta::{delta_records, sync_root};
+pub use durable::{DurableStore, PersistStats, RecoveryReport};
+pub use error::PersistError;
+pub use record::{apply, JournalRecord, SourceEventKind};
+pub use snapshot::SnapshotMeta;
+pub use wal::FsyncPolicy;

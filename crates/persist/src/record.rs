@@ -1,0 +1,458 @@
+//! Journal records: the mutations the WAL can carry, and the single
+//! [`apply`] function shared between the live write path and recovery.
+//!
+//! Byte-identical recovery hinges on that sharing: `DurableStore`
+//! mutates its in-memory store *only* through `apply`, so replaying the
+//! same records against the same base can't drift.
+//!
+//! Paths address objects positionally — `(label, index)` hops under a
+//! named root, the same scheme [`annoda_oem::StructuredDiff`] reports —
+//! so records stay valid across the oid renumbering a snapshot's
+//! compaction performs.
+
+use annoda_oem::{AtomicValue, OemStore, Oid, PathSeg, StructuredDiff};
+
+use crate::codec::{decode_fragment_into, write_string, write_value, Reader};
+use crate::error::PersistError;
+
+/// Which lifecycle event a [`JournalRecord::SourceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceEventKind {
+    /// A wrapper was plugged into the registry.
+    Plug,
+    /// A wrapper was unplugged.
+    Unplug,
+    /// A source refresh ran (the data delta follows as separate records).
+    Refresh,
+}
+
+/// One journaled mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// Registry lifecycle marker. Carries no store mutation; recovery
+    /// counts these so `/metrics` can report what the journal saw.
+    SourceEvent {
+        /// What happened.
+        kind: SourceEventKind,
+        /// Wrapper / source name.
+        name: String,
+    },
+    /// Bind `name` to a freshly imported fragment (encoded with
+    /// [`crate::codec::encode_fragment`]), replacing any prior binding.
+    PutRoot {
+        /// Root name to bind.
+        name: String,
+        /// Encoded fragment; its root becomes the named object.
+        fragment: Vec<u8>,
+    },
+    /// Remove the binding for `name` (the objects become garbage and
+    /// are reclaimed by the next snapshot's compaction).
+    DropRoot {
+        /// Root name to unbind.
+        name: String,
+    },
+    /// Overwrite the atomic value at `path` under the root named `root`.
+    SetValueAt {
+        /// Named root the path starts from.
+        root: String,
+        /// Positional path to the atomic object.
+        path: Vec<PathSeg>,
+        /// New value.
+        value: AtomicValue,
+    },
+    /// Graft a fragment as a new `label` child of the object at
+    /// `parent` under `root`.
+    AddChildAt {
+        /// Named root the path starts from.
+        root: String,
+        /// Positional path to the parent object.
+        parent: Vec<PathSeg>,
+        /// Edge label for the new child.
+        label: String,
+        /// Encoded fragment to graft.
+        fragment: Vec<u8>,
+    },
+    /// Remove the `index`-th `label` child of the object at `parent`
+    /// under `root`.
+    RemoveChildAt {
+        /// Named root the path starts from.
+        root: String,
+        /// Positional path to the parent object.
+        parent: Vec<PathSeg>,
+        /// Edge label to remove.
+        label: String,
+        /// Position among the parent's `label` children.
+        index: usize,
+    },
+}
+
+// ---------------------------------------------------------------------
+// codec
+
+fn write_path(buf: &mut Vec<u8>, path: &[PathSeg]) {
+    crate::codec::write_varint(buf, path.len() as u64);
+    for seg in path {
+        write_string(buf, &seg.label);
+        crate::codec::write_varint(buf, seg.index as u64);
+    }
+}
+
+fn read_path(r: &mut Reader<'_>) -> Result<Vec<PathSeg>, PersistError> {
+    let n = r.len_field()?;
+    let mut path = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let label = r.string()?;
+        let index = r.varint()? as usize;
+        path.push(PathSeg { label, index });
+    }
+    Ok(path)
+}
+
+fn write_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    crate::codec::write_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+fn read_bytes(r: &mut Reader<'_>) -> Result<Vec<u8>, PersistError> {
+    let len = r.len_field()?;
+    Ok(r.take(len)?.to_vec())
+}
+
+impl JournalRecord {
+    /// Encodes the record as a WAL frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            JournalRecord::SourceEvent { kind, name } => {
+                buf.push(0);
+                buf.push(match kind {
+                    SourceEventKind::Plug => 0,
+                    SourceEventKind::Unplug => 1,
+                    SourceEventKind::Refresh => 2,
+                });
+                write_string(&mut buf, name);
+            }
+            JournalRecord::PutRoot { name, fragment } => {
+                buf.push(1);
+                write_string(&mut buf, name);
+                write_bytes(&mut buf, fragment);
+            }
+            JournalRecord::DropRoot { name } => {
+                buf.push(2);
+                write_string(&mut buf, name);
+            }
+            JournalRecord::SetValueAt { root, path, value } => {
+                buf.push(3);
+                write_string(&mut buf, root);
+                write_path(&mut buf, path);
+                write_value(&mut buf, value);
+            }
+            JournalRecord::AddChildAt {
+                root,
+                parent,
+                label,
+                fragment,
+            } => {
+                buf.push(4);
+                write_string(&mut buf, root);
+                write_path(&mut buf, parent);
+                write_string(&mut buf, label);
+                write_bytes(&mut buf, fragment);
+            }
+            JournalRecord::RemoveChildAt {
+                root,
+                parent,
+                label,
+                index,
+            } => {
+                buf.push(5);
+                write_string(&mut buf, root);
+                write_path(&mut buf, parent);
+                write_string(&mut buf, label);
+                crate::codec::write_varint(&mut buf, *index as u64);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a WAL frame payload.
+    pub fn decode(payload: &[u8]) -> Result<JournalRecord, PersistError> {
+        let mut r = Reader::new(payload);
+        let rec = match r.byte()? {
+            0 => {
+                let kind = match r.byte()? {
+                    0 => SourceEventKind::Plug,
+                    1 => SourceEventKind::Unplug,
+                    2 => SourceEventKind::Refresh,
+                    k => return Err(PersistError::codec(format!("unknown source event {k}"))),
+                };
+                JournalRecord::SourceEvent {
+                    kind,
+                    name: r.string()?,
+                }
+            }
+            1 => JournalRecord::PutRoot {
+                name: r.string()?,
+                fragment: read_bytes(&mut r)?,
+            },
+            2 => JournalRecord::DropRoot { name: r.string()? },
+            3 => JournalRecord::SetValueAt {
+                root: r.string()?,
+                path: read_path(&mut r)?,
+                value: r.value()?,
+            },
+            4 => JournalRecord::AddChildAt {
+                root: r.string()?,
+                parent: read_path(&mut r)?,
+                label: r.string()?,
+                fragment: read_bytes(&mut r)?,
+            },
+            5 => JournalRecord::RemoveChildAt {
+                root: r.string()?,
+                parent: read_path(&mut r)?,
+                label: r.string()?,
+                index: r.varint()? as usize,
+            },
+            tag => return Err(PersistError::codec(format!("unknown record tag {tag}"))),
+        };
+        if !r.is_empty() {
+            return Err(PersistError::codec("trailing bytes after record"));
+        }
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// application
+
+fn resolve(store: &OemStore, root: &str, path: &[PathSeg]) -> Result<Oid, PersistError> {
+    let root_oid = store
+        .named(root)
+        .ok_or_else(|| PersistError::apply(format!("no root named {root:?}")))?;
+    StructuredDiff::resolve(store, root_oid, path)
+        .ok_or_else(|| PersistError::apply(format!("path does not resolve under {root:?}")))
+}
+
+/// Applies one record to the store. This is the only mutation path the
+/// durable store uses, both when journaling live and when replaying.
+pub fn apply(store: &mut OemStore, record: &JournalRecord) -> Result<(), PersistError> {
+    match record {
+        JournalRecord::SourceEvent { .. } => Ok(()),
+        JournalRecord::PutRoot { name, fragment } => {
+            let root = decode_fragment_into(store, fragment)?;
+            store.set_name_overwrite(name, root)?;
+            Ok(())
+        }
+        JournalRecord::DropRoot { name } => {
+            store
+                .remove_name(name)
+                .ok_or_else(|| PersistError::apply(format!("no root named {name:?}")))?;
+            Ok(())
+        }
+        JournalRecord::SetValueAt { root, path, value } => {
+            let oid = resolve(store, root, path)?;
+            store.set_value(oid, value.clone())?;
+            Ok(())
+        }
+        JournalRecord::AddChildAt {
+            root,
+            parent,
+            label,
+            fragment,
+        } => {
+            let parent_oid = resolve(store, root, parent)?;
+            let child = decode_fragment_into(store, fragment)?;
+            store.add_edge(parent_oid, label, child)?;
+            Ok(())
+        }
+        JournalRecord::RemoveChildAt {
+            root,
+            parent,
+            label,
+            index,
+        } => {
+            let parent_oid = resolve(store, root, parent)?;
+            let target = store
+                .children(parent_oid, label)
+                .nth(*index)
+                .ok_or_else(|| {
+                    PersistError::apply(format!("no {label:?} child at index {index}"))
+                })?;
+            store.remove_edge(parent_oid, label, target)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_fragment;
+
+    fn seg(label: &str, index: usize) -> PathSeg {
+        PathSeg {
+            label: label.into(),
+            index,
+        }
+    }
+
+    fn all_variants() -> Vec<JournalRecord> {
+        let mut src = OemStore::new();
+        let frag_root = src.new_complex();
+        src.add_atomic_child(frag_root, "Symbol", "KRAS").unwrap();
+        let fragment = encode_fragment(&src, frag_root);
+        vec![
+            JournalRecord::SourceEvent {
+                kind: SourceEventKind::Refresh,
+                name: "genbank".into(),
+            },
+            JournalRecord::PutRoot {
+                name: "ANNODA-GML".into(),
+                fragment: fragment.clone(),
+            },
+            JournalRecord::DropRoot { name: "old".into() },
+            JournalRecord::SetValueAt {
+                root: "ANNODA-GML".into(),
+                path: vec![seg("Gene", 2), seg("Symbol", 0)],
+                value: AtomicValue::Str("TP53".into()),
+            },
+            JournalRecord::AddChildAt {
+                root: "ANNODA-GML".into(),
+                parent: vec![seg("Gene", 0)],
+                label: "Annotation".into(),
+                fragment,
+            },
+            JournalRecord::RemoveChildAt {
+                root: "ANNODA-GML".into(),
+                parent: vec![],
+                label: "Gene".into(),
+                index: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for rec in all_variants() {
+            let bytes = rec.encode();
+            assert_eq!(JournalRecord::decode(&bytes).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_records_error_cleanly() {
+        for rec in all_variants() {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                assert!(JournalRecord::decode(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_covers_the_whole_vocabulary() {
+        let mut store = OemStore::new();
+        // PutRoot bootstraps.
+        let mut src = OemStore::new();
+        let r = src.new_complex();
+        let g = src.add_complex_child(r, "Gene").unwrap();
+        src.add_atomic_child(g, "Symbol", "BRCA1").unwrap();
+        apply(
+            &mut store,
+            &JournalRecord::PutRoot {
+                name: "GML".into(),
+                fragment: encode_fragment(&src, r),
+            },
+        )
+        .unwrap();
+        let root = store.named("GML").unwrap();
+        let gene = store.child(root, "Gene").unwrap();
+        assert_eq!(
+            store.child_value(gene, "Symbol"),
+            Some(&AtomicValue::Str("BRCA1".into()))
+        );
+
+        // SetValueAt rewrites in place.
+        apply(
+            &mut store,
+            &JournalRecord::SetValueAt {
+                root: "GML".into(),
+                path: vec![seg("Gene", 0), seg("Symbol", 0)],
+                value: AtomicValue::Str("BRCA2".into()),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            store.child_value(gene, "Symbol"),
+            Some(&AtomicValue::Str("BRCA2".into()))
+        );
+
+        // AddChildAt grafts a fragment.
+        let mut frag = OemStore::new();
+        let a = frag.new_atomic(AtomicValue::Int(42));
+        apply(
+            &mut store,
+            &JournalRecord::AddChildAt {
+                root: "GML".into(),
+                parent: vec![seg("Gene", 0)],
+                label: "Score".into(),
+                fragment: encode_fragment(&frag, a),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            store.child_value(gene, "Score"),
+            Some(&AtomicValue::Int(42))
+        );
+
+        // RemoveChildAt removes it again.
+        apply(
+            &mut store,
+            &JournalRecord::RemoveChildAt {
+                root: "GML".into(),
+                parent: vec![seg("Gene", 0)],
+                label: "Score".into(),
+                index: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(store.child_value(gene, "Score"), None);
+
+        // DropRoot unbinds.
+        apply(&mut store, &JournalRecord::DropRoot { name: "GML".into() }).unwrap();
+        assert!(store.named("GML").is_none());
+
+        // SourceEvent leaves the store alone.
+        let before = crate::codec::encode_store(&store);
+        apply(
+            &mut store,
+            &JournalRecord::SourceEvent {
+                kind: SourceEventKind::Plug,
+                name: "swissprot".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(crate::codec::encode_store(&store), before);
+    }
+
+    #[test]
+    fn bad_paths_are_apply_errors() {
+        let mut store = OemStore::new();
+        let e = apply(
+            &mut store,
+            &JournalRecord::DropRoot {
+                name: "ghost".into(),
+            },
+        );
+        assert!(matches!(e, Err(PersistError::Apply { .. })));
+        let e = apply(
+            &mut store,
+            &JournalRecord::SetValueAt {
+                root: "ghost".into(),
+                path: vec![],
+                value: AtomicValue::Bool(true),
+            },
+        );
+        assert!(matches!(e, Err(PersistError::Apply { .. })));
+    }
+}

@@ -1,0 +1,194 @@
+//! Point-in-time snapshots of the whole store.
+//!
+//! Layout: `"ASNP" u8 version u64-LE generation u64-LE body_len
+//! u32-LE crc32(body) body`, where body is the canonical store encoding
+//! from [`crate::codec::encode_store`].
+//!
+//! Snapshots are written tmp-file → fsync → atomic rename → directory
+//! fsync, so a crash at any point leaves either the old snapshot or the
+//! new one — never a half-written file under the real name. Unlike the
+//! WAL tail, a snapshot that fails its checksum is a hard error: it was
+//! renamed into place only after a successful fsync, so damage means
+//! the disk lied and silently restarting from empty would lose data.
+
+use std::io::Write;
+use std::path::Path;
+
+use annoda_oem::OemStore;
+
+use crate::codec::{decode_store, encode_store};
+use crate::error::PersistError;
+use crate::wal::{crc32, fsync_dir};
+
+const SNAP_MAGIC: &[u8; 4] = b"ASNP";
+const SNAP_VERSION: u8 = 1;
+const SNAP_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4;
+
+/// What a loaded snapshot told us about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Generation stamped when the snapshot was written; the WAL must
+    /// carry the same number to be replayed on top.
+    pub generation: u64,
+    /// Objects in the snapshotted store.
+    pub objects: usize,
+    /// Size of the snapshot file in bytes.
+    pub bytes: u64,
+}
+
+/// Writes `store` as generation `generation`, atomically replacing any
+/// snapshot already at `path`. Returns the snapshot file size.
+pub(crate) fn write_snapshot(
+    path: &Path,
+    tmp_path: &Path,
+    store: &OemStore,
+    generation: u64,
+) -> Result<u64, PersistError> {
+    let body = encode_store(store);
+    let mut bytes = Vec::with_capacity(SNAP_HEADER_LEN + body.len());
+    bytes.extend_from_slice(SNAP_MAGIC);
+    bytes.push(SNAP_VERSION);
+    bytes.extend_from_slice(&generation.to_le_bytes());
+    bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+
+    let mut tmp =
+        std::fs::File::create(tmp_path).map_err(|e| PersistError::io("create", tmp_path, &e))?;
+    tmp.write_all(&bytes)
+        .map_err(|e| PersistError::io("write", tmp_path, &e))?;
+    tmp.sync_all()
+        .map_err(|e| PersistError::io("fsync", tmp_path, &e))?;
+    drop(tmp);
+    std::fs::rename(tmp_path, path).map_err(|e| PersistError::io("rename", tmp_path, &e))?;
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir);
+    }
+    Ok(bytes.len() as u64)
+}
+
+/// Loads the snapshot at `path`; `Ok(None)` when none exists yet.
+pub(crate) fn read_snapshot(path: &Path) -> Result<Option<(OemStore, SnapshotMeta)>, PersistError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::io("read", path, &e)),
+    };
+    if bytes.len() < SNAP_HEADER_LEN {
+        return Err(PersistError::Corrupt {
+            what: "snapshot",
+            offset: 0,
+            reason: format!("file too short ({} bytes)", bytes.len()),
+        });
+    }
+    if &bytes[..4] != SNAP_MAGIC {
+        return Err(PersistError::Corrupt {
+            what: "snapshot",
+            offset: 0,
+            reason: "bad magic".into(),
+        });
+    }
+    if bytes[4] != SNAP_VERSION {
+        return Err(PersistError::Corrupt {
+            what: "snapshot",
+            offset: 4,
+            reason: format!("unsupported version {}", bytes[4]),
+        });
+    }
+    let generation = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
+    let body_len = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[21..25].try_into().expect("4 bytes"));
+    let body = &bytes[SNAP_HEADER_LEN..];
+    if body.len() != body_len {
+        return Err(PersistError::Corrupt {
+            what: "snapshot",
+            offset: 13,
+            reason: format!("body is {} bytes, header promised {body_len}", body.len()),
+        });
+    }
+    if crc32(body) != crc {
+        return Err(PersistError::Corrupt {
+            what: "snapshot",
+            offset: SNAP_HEADER_LEN as u64,
+            reason: "checksum mismatch".into(),
+        });
+    }
+    let store = decode_store(body)?;
+    let objects = store.len();
+    Ok(Some((
+        store,
+        SnapshotMeta {
+            generation,
+            objects,
+            bytes: bytes.len() as u64,
+        },
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("annoda-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> OemStore {
+        let mut db = OemStore::new();
+        let root = db.new_complex();
+        db.add_atomic_child(root, "Symbol", "BRCA2").unwrap();
+        db.set_name("R", root).unwrap();
+        db
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tmp_dir("rt");
+        let path = dir.join("snapshot.bin");
+        let db = sample();
+        let size = write_snapshot(&path, &dir.join("snapshot.tmp"), &db, 9).unwrap();
+        let (back, meta) = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(meta.generation, 9);
+        assert_eq!(meta.objects, db.len());
+        assert_eq!(meta.bytes, size);
+        assert_eq!(encode_store(&back), encode_store(&db));
+        assert!(
+            !dir.join("snapshot.tmp").exists(),
+            "tmp file cleaned by rename"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = tmp_dir("none");
+        assert!(read_snapshot(&dir.join("snapshot.bin")).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_snapshot_is_a_hard_error() {
+        let dir = tmp_dir("bad");
+        let path = dir.join("snapshot.bin");
+        write_snapshot(&path, &dir.join("snapshot.tmp"), &sample(), 1).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(PersistError::Corrupt {
+                what: "snapshot",
+                ..
+            })
+        ));
+        // Truncation is also a hard error (unlike the WAL tail).
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

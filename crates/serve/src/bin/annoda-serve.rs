@@ -4,16 +4,23 @@
 //! Entirely offline — the corpus is synthesized in-process, the server
 //! is std-only. `quit` (or EOF) on stdin triggers a graceful shutdown.
 //!
+//! With `--data-dir` the materialised ANNODA-GML lives in a WAL-backed
+//! durable store: a restart warm-starts from snapshot + journal replay
+//! instead of re-materialising, `POST /admin/refresh` journals source
+//! deltas, and a clean `quit` writes a snapshot (a kill does not — the
+//! journal covers it).
+//!
 //! ```text
 //! annoda-serve [--addr HOST:PORT] [--loci N] [--seed N]
 //!              [--workers N] [--queue N]
+//!              [--data-dir DIR] [--fsync always|batched:N|onsnapshot]
 //! ```
 
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use annoda::Annoda;
+use annoda::{Annoda, DurableSystem, FsyncPolicy};
 use annoda_serve::{ServeConfig, Server};
 use annoda_sources::{Corpus, CorpusConfig};
 
@@ -23,6 +30,8 @@ fn main() -> ExitCode {
     let mut seed = 7u64;
     let mut workers = 4usize;
     let mut queue = 64usize;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Batched(64);
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -56,10 +65,22 @@ fn main() -> ExitCode {
                 Some(v) => queue = v,
                 None => return ExitCode::FAILURE,
             },
+            "--data-dir" => match take("--data-dir") {
+                Some(v) => data_dir = Some(v),
+                None => return ExitCode::FAILURE,
+            },
+            "--fsync" => match take("--fsync").as_deref().and_then(FsyncPolicy::parse) {
+                Some(v) => fsync = v,
+                None => {
+                    eprintln!("error: --fsync takes always | batched:N | onsnapshot");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "annoda-serve [--addr HOST:PORT] [--loci N] [--seed N] \
-                     [--workers N] [--queue N]"
+                     [--workers N] [--queue N] [--data-dir DIR] \
+                     [--fsync always|batched:N|onsnapshot]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -87,13 +108,44 @@ fn main() -> ExitCode {
     }
     system.registry_mut().mediator_mut().enable_cache();
 
+    let durable = match &data_dir {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            match DurableSystem::open(system, &dir, fsync) {
+                Ok(d) => {
+                    let r = d.recovery().copied().unwrap_or_default();
+                    eprintln!(
+                        "data dir {}: generation {}, snapshot {} ({} objects), \
+                         replayed {} journal records, truncated {} bytes",
+                        dir.display(),
+                        r.generation,
+                        if r.snapshot_loaded {
+                            "loaded"
+                        } else {
+                            "absent"
+                        },
+                        r.snapshot_objects,
+                        r.replayed_records,
+                        r.truncated_bytes,
+                    );
+                    d
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open data dir: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => DurableSystem::new(system),
+    };
+
     let config = ServeConfig {
         addr,
         workers,
         queue_capacity: queue,
         ..ServeConfig::default()
     };
-    let server = match Server::start(system, config) {
+    let server = match Server::start_durable(durable, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind: {e}");
@@ -108,6 +160,8 @@ fn main() -> ExitCode {
     println!("  GET  /object/{{kind}}/{{id}}    (kind: gene|function|disease|publication)");
     println!("  GET  /healthz");
     println!("  GET  /metrics");
+    println!("  POST /admin/refresh         (re-pull sources, journal the delta)");
+    println!("  POST /admin/snapshot        (snapshot + journal truncation)");
     println!("send `quit` (or EOF) on stdin for graceful shutdown");
 
     let stdin = std::io::stdin();
@@ -120,6 +174,18 @@ fn main() -> ExitCode {
     }
 
     eprintln!("shutting down (draining in-flight requests)...");
+    if data_dir.is_some() {
+        // Clean shutdown compacts into a snapshot; an unclean one (kill)
+        // leaves the journal, which recovery replays.
+        match server.app().system_mut().snapshot() {
+            Ok(Some(meta)) => eprintln!(
+                "snapshot written: generation {}, {} objects, {} bytes",
+                meta.generation, meta.objects, meta.bytes
+            ),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: shutdown snapshot failed: {e}"),
+        }
+    }
     let report = server.shutdown(Duration::from_secs(10));
     eprintln!(
         "served {} requests; drained: {}",

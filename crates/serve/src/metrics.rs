@@ -6,13 +6,16 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use annoda::PersistStats;
 use annoda_mediator::CacheStats;
 
 use crate::json::Json;
 use crate::pool::QueueGauge;
 
 /// The routes the server distinguishes, plus a catch-all.
-pub const ROUTES: [&str; 6] = ["genes", "lorel", "object", "healthz", "metrics", "other"];
+pub const ROUTES: [&str; 7] = [
+    "genes", "lorel", "object", "healthz", "metrics", "admin", "other",
+];
 
 /// Histogram bucket upper bounds, microseconds.
 const BUCKETS_US: [u64; 9] = [
@@ -63,6 +66,7 @@ impl Metrics {
             "/healthz" => "healthz",
             "/metrics" => "metrics",
             p if p.starts_with("/object/") || p == "/object" => "object",
+            p if p.starts_with("/admin/") || p == "/admin" => "admin",
             _ => "other",
         };
         ROUTES.iter().position(|r| *r == key).expect("known key")
@@ -94,7 +98,12 @@ impl Metrics {
     }
 
     /// The text exposition (Prometheus style).
-    pub fn render_text(&self, queue: &QueueGauge, cache: Option<CacheStats>) -> String {
+    pub fn render_text(
+        &self,
+        queue: &QueueGauge,
+        cache: Option<CacheStats>,
+        persist: Option<PersistStats>,
+    ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
@@ -156,11 +165,43 @@ impl Metrics {
                 stats.hit_rate()
             );
         }
+        if let Some(p) = persist {
+            let _ = writeln!(out, "annoda_persist_generation {}", p.generation);
+            let _ = writeln!(
+                out,
+                "annoda_persist_snapshot_loaded {}",
+                u8::from(p.snapshot_loaded)
+            );
+            let _ = writeln!(
+                out,
+                "annoda_persist_replayed_records {}",
+                p.replayed_records
+            );
+            let _ = writeln!(out, "annoda_persist_truncated_bytes {}", p.truncated_bytes);
+            let _ = writeln!(out, "annoda_persist_wal_bytes {}", p.wal_bytes);
+            let _ = writeln!(
+                out,
+                "annoda_persist_appended_records_total {}",
+                p.appended_records
+            );
+            let _ = writeln!(
+                out,
+                "annoda_persist_appended_bytes_total {}",
+                p.appended_bytes
+            );
+            let _ = writeln!(out, "annoda_persist_fsyncs_total {}", p.fsyncs);
+            let _ = writeln!(out, "annoda_persist_snapshots_total {}", p.snapshots);
+        }
         out
     }
 
     /// The same snapshot as a JSON value.
-    pub fn render_json(&self, queue: &QueueGauge, cache: Option<CacheStats>) -> Json {
+    pub fn render_json(
+        &self,
+        queue: &QueueGauge,
+        cache: Option<CacheStats>,
+        persist: Option<PersistStats>,
+    ) -> Json {
         let routes = ROUTES
             .iter()
             .zip(&self.routes)
@@ -199,6 +240,20 @@ impl Metrics {
             ]),
             None => Json::Null,
         };
+        let persist_json = match persist {
+            Some(p) => Json::obj([
+                ("generation", Json::Int(p.generation as i64)),
+                ("snapshot_loaded", Json::Bool(p.snapshot_loaded)),
+                ("replayed_records", Json::Int(p.replayed_records as i64)),
+                ("truncated_bytes", Json::Int(p.truncated_bytes as i64)),
+                ("wal_bytes", Json::Int(p.wal_bytes as i64)),
+                ("appended_records", Json::Int(p.appended_records as i64)),
+                ("appended_bytes", Json::Int(p.appended_bytes as i64)),
+                ("fsyncs", Json::Int(p.fsyncs as i64)),
+                ("snapshots", Json::Int(p.snapshots as i64)),
+            ]),
+            None => Json::Null,
+        };
         Json::obj([
             (
                 "connections",
@@ -212,6 +267,7 @@ impl Metrics {
             ("rejected", Json::Int(queue.rejected() as i64)),
             ("routes", Json::Obj(routes)),
             ("mediator_cache", cache_json),
+            ("persist", persist_json),
         ])
     }
 }
@@ -227,6 +283,8 @@ mod tests {
         assert_eq!(ROUTES[Metrics::route_index("/object/gene/TP53")], "object");
         assert_eq!(ROUTES[Metrics::route_index("/healthz")], "healthz");
         assert_eq!(ROUTES[Metrics::route_index("/metrics")], "metrics");
+        assert_eq!(ROUTES[Metrics::route_index("/admin/refresh")], "admin");
+        assert_eq!(ROUTES[Metrics::route_index("/admin/snapshot")], "admin");
         assert_eq!(ROUTES[Metrics::route_index("/nope")], "other");
     }
 
@@ -259,6 +317,17 @@ mod tests {
                 misses: 1,
                 evictions: 0,
             }),
+            Some(PersistStats {
+                generation: 2,
+                snapshot_loaded: true,
+                replayed_records: 5,
+                truncated_bytes: 12,
+                wal_bytes: 340,
+                appended_records: 7,
+                appended_bytes: 280,
+                fsyncs: 7,
+                snapshots: 1,
+            }),
         );
         assert!(
             text.contains("annoda_requests_total{route=\"genes\"} 2"),
@@ -277,12 +346,17 @@ mod tests {
         assert!(text.contains("annoda_mediator_cache_hits_total 9"));
         assert!(text.contains("annoda_mediator_cache_hit_rate 0.9000"));
         assert!(text.contains("annoda_queue_depth_high_water 0"));
+        assert!(text.contains("annoda_persist_generation 2"));
+        assert!(text.contains("annoda_persist_snapshot_loaded 1"));
+        assert!(text.contains("annoda_persist_replayed_records 5"));
+        assert!(text.contains("annoda_persist_wal_bytes 340"));
 
-        let json = m.render_json(&gauge, None).to_text();
+        let json = m.render_json(&gauge, None, None).to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
             "{json}"
         );
         assert!(json.contains("\"mediator_cache\":null"));
+        assert!(json.contains("\"persist\":null"));
     }
 }

@@ -11,11 +11,11 @@
 //! Every route answers in plain text (default) or JSON, negotiated via
 //! the `Accept` header.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use annoda::{
-    parse_question_pairs, render_integrated_view, render_object_view, Annoda, NavigateError,
+    parse_question_pairs, render_integrated_view, render_object_view, DurableSystem, NavigateError,
     ObjectView,
 };
 use annoda_mediator::fusion::IntegratedGene;
@@ -29,14 +29,29 @@ use crate::pool::QueueGauge;
 
 /// Shared state every worker sees.
 pub struct App {
-    /// The ANNODA system — all query paths take `&self`.
-    pub system: Arc<Annoda>,
+    /// The ANNODA system, optionally durable. Query routes take the
+    /// read side; the `/admin/*` mutation routes take the write side.
+    pub system: Arc<RwLock<DurableSystem>>,
     /// Request counters and latency histograms.
     pub metrics: Arc<Metrics>,
     /// Queue pressure, published by the worker pool.
     pub gauge: Arc<QueueGauge>,
     /// Server start time (for `/healthz` uptime).
     pub started: Instant,
+}
+
+impl App {
+    /// Read access to the system. A poisoned lock (a handler panicked
+    /// mid-mutation) is recovered rather than cascading: the store
+    /// itself journals before mutating, so its state stays coherent.
+    pub fn system(&self) -> RwLockReadGuard<'_, DurableSystem> {
+        self.system.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Write access to the system (admin routes only).
+    pub fn system_mut(&self) -> RwLockWriteGuard<'_, DurableSystem> {
+        self.system.write().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 /// The response format a request negotiated.
@@ -77,8 +92,11 @@ pub fn handle(app: &App, req: &Request) -> Response {
         ("POST", "/lorel") => lorel(app, req, format),
         ("GET", "/healthz") => healthz(app, format),
         ("GET", "/metrics") => metrics(app, format),
+        ("POST", "/admin/refresh") => admin_refresh(app, format),
+        ("POST", "/admin/snapshot") => admin_snapshot(app, format),
         ("GET", path) if path.starts_with("/object/") => object(app, path, format),
         (_, "/genes" | "/lorel" | "/healthz" | "/metrics") => method_not_allowed(format),
+        (_, "/admin/refresh" | "/admin/snapshot") => method_not_allowed(format),
         (_, path) if path.starts_with("/object/") => method_not_allowed(format),
         _ => error(404, format, format!("no route for {}", req.path)),
     }
@@ -103,7 +121,7 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
         Ok(q) => q,
         Err(e) => return error(400, format, e),
     };
-    match app.system.ask(&question) {
+    match app.system().annoda().ask(&question) {
         Ok(answer) => match format {
             Format::Text => Response::text(
                 200,
@@ -133,7 +151,7 @@ fn lorel(app: &App, req: &Request, format: Format) -> Response {
     if text.trim().is_empty() {
         return error(400, format, "empty query body".to_string());
     }
-    match app.system.lorel(text) {
+    match app.system().lorel(text) {
         Ok((store, outcome, cost)) => {
             let answer_text = oem_text::write_rooted(&store, "answer", outcome.answer);
             match format {
@@ -187,7 +205,7 @@ fn object(app: &App, path: &str, format: Format) -> Response {
     if key.is_empty() {
         return error(400, format, "empty object id".to_string());
     }
-    match app.system.navigator().view(&kind, &key) {
+    match app.system().annoda().navigator().view(&kind, &key) {
         Ok(view) => match format {
             Format::Text => Response::text(200, rewrite_links(&render_object_view(&view))),
             Format::Json => Response::json(200, &object_json(&view)),
@@ -220,10 +238,74 @@ fn healthz(app: &App, format: Format) -> Response {
 }
 
 fn metrics(app: &App, format: Format) -> Response {
-    let cache = app.system.mediator().cache_stats();
+    let (cache, persist) = {
+        let sys = app.system();
+        (sys.annoda().mediator().cache_stats(), sys.persist_stats())
+    };
     match format {
-        Format::Text => Response::text(200, app.metrics.render_text(&app.gauge, cache)),
-        Format::Json => Response::json(200, &app.metrics.render_json(&app.gauge, cache)),
+        Format::Text => Response::text(200, app.metrics.render_text(&app.gauge, cache, persist)),
+        Format::Json => Response::json(200, &app.metrics.render_json(&app.gauge, cache, persist)),
+    }
+}
+
+/// `POST /admin/refresh` — wrappers re-pull their sources; with a data
+/// directory attached the GML delta is journaled.
+fn admin_refresh(app: &App, format: Format) -> Response {
+    match app.system_mut().refresh() {
+        Ok(outcome) => match format {
+            Format::Text => Response::text(
+                200,
+                format!(
+                    "refreshed_objects: {}\njournaled_records: {}\npersisted: {}\n",
+                    outcome.refreshed_objects, outcome.journaled_records, outcome.persisted
+                ),
+            ),
+            Format::Json => Response::json(
+                200,
+                &Json::obj([
+                    (
+                        "refreshed_objects",
+                        Json::Int(outcome.refreshed_objects as i64),
+                    ),
+                    (
+                        "journaled_records",
+                        Json::Int(outcome.journaled_records as i64),
+                    ),
+                    ("persisted", Json::Bool(outcome.persisted)),
+                ]),
+            ),
+        },
+        Err(e) => error(500, format, e.to_string()),
+    }
+}
+
+/// `POST /admin/snapshot` — point-in-time snapshot + log truncation.
+/// `409` when the server runs without a data directory.
+fn admin_snapshot(app: &App, format: Format) -> Response {
+    match app.system_mut().snapshot() {
+        Ok(Some(meta)) => match format {
+            Format::Text => Response::text(
+                200,
+                format!(
+                    "generation: {}\nobjects: {}\nbytes: {}\n",
+                    meta.generation, meta.objects, meta.bytes
+                ),
+            ),
+            Format::Json => Response::json(
+                200,
+                &Json::obj([
+                    ("generation", Json::Int(meta.generation as i64)),
+                    ("objects", Json::Int(meta.objects as i64)),
+                    ("bytes", Json::Int(meta.bytes as i64)),
+                ]),
+            ),
+        },
+        Ok(None) => error(
+            409,
+            format,
+            "persistence is disabled (start with --data-dir)".to_string(),
+        ),
+        Err(e) => error(500, format, e.to_string()),
     }
 }
 

@@ -17,11 +17,11 @@
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use annoda::Annoda;
+use annoda::{Annoda, DurableSystem};
 
 use crate::http::{read_request, write_response, Limits, RequestError, Response};
 use crate::metrics::Metrics;
@@ -87,8 +87,16 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the pool and the accept loop, and returns.
+    /// Binds, spawns the pool and the accept loop, and returns. The
+    /// system is served ephemerally (no persistence) — exactly the
+    /// pre-durability behaviour.
     pub fn start(system: Annoda, config: ServeConfig) -> io::Result<Server> {
+        Server::start_durable(DurableSystem::new(system), config)
+    }
+
+    /// [`Server::start`] for a system that may carry a durable store
+    /// (opened with a data directory for warm-start serving).
+    pub fn start_durable(system: DurableSystem, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         // Nonblocking accept so the loop can poll the stop flag; std's
@@ -97,7 +105,7 @@ impl Server {
 
         let pool = Pool::new(config.workers, config.queue_capacity);
         let app = Arc::new(App {
-            system: Arc::new(system),
+            system: Arc::new(RwLock::new(system)),
             metrics: Arc::new(Metrics::default()),
             gauge: pool.gauge(),
             started: Instant::now(),

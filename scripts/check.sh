@@ -16,8 +16,14 @@ cargo build --release --offline --examples
 echo "== cargo test =="
 cargo test -q --offline --workspace
 
+echo "== crash-consistency harness (annoda-persist) =="
+cargo test -q --offline --test persist_recovery
+
 echo "== serve loadgen smoke (B8) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- serve --smoke
+
+echo "== persistence smoke (B9) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- persist --smoke
 
 echo "== cargo fmt --check =="
 cargo fmt --check
