@@ -21,15 +21,18 @@
 //! "no `--data-dir` given".
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use annoda_lorel::{run_query_with, FunctionRegistry, QueryOutcome};
-use annoda_mediator::MediatorError;
-use annoda_oem::OemStore;
+use annoda_lorel::{run_query_with, EvalWorkers, FunctionRegistry, PlanExplain, QueryOutcome};
+use annoda_mediator::{Mediator, MediatorError};
+use annoda_oem::{OemStore, Snapshot};
 use annoda_persist::{
     sync_root, DurableStore, FsyncPolicy, JournalRecord, PersistStats, RecoveryReport,
     SnapshotMeta, SourceEventKind,
 };
-use annoda_wrap::{Cost, Wrapper};
+use annoda_wrap::{Cost, LatencyModel, Wrapper};
+use parking_lot::RwLock;
 
 use crate::registry::PlugReport;
 use crate::system::{Annoda, AnnodaError};
@@ -50,10 +53,63 @@ pub struct RefreshOutcome {
     pub persisted: bool,
 }
 
+/// One epoch of the served global model: an immutable `Arc<OemStore>`
+/// shared by every in-flight query, plus what it cost to build.
+///
+/// Snapshots are built lazily by [`DurableSystem::query_snapshot`] and
+/// swapped atomically whenever the GML changes (refresh, plug, unplug,
+/// façade mutation). Queries evaluate against the `Arc` with **no lock
+/// held and no store clone** — answers land in per-query
+/// [`annoda_oem::AnswerOverlay`]s above the snapshot's high-water mark.
+#[derive(Debug, Clone)]
+pub struct GmlSnapshot {
+    /// Monotonic epoch number; bumps on every rebuild.
+    pub epoch: u64,
+    /// The immutable global model this epoch serves.
+    pub store: Arc<OemStore>,
+    /// What building this epoch cost (materialisation requests on the
+    /// ephemeral path, one amortised local copy on the persisted path).
+    pub build_cost: Cost,
+}
+
+/// A point-in-time view of the current snapshot, for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// The served epoch.
+    pub epoch: u64,
+    /// Objects in the served store.
+    pub objects: usize,
+}
+
+/// One served Lorel answer: the outcome plus the `base ⊕ overlay` view
+/// it renders through, the epoch it was computed against, and real cost
+/// and planner accounting.
+#[derive(Debug, Clone)]
+pub struct LorelServed {
+    /// Epoch of the snapshot the query ran against.
+    pub epoch: u64,
+    /// Object count of the base store (answer oids start here).
+    pub store_len: usize,
+    /// The answer view — render with [`annoda_oem::text::write_rooted`].
+    pub view: Snapshot<Arc<OemStore>>,
+    /// The query outcome (answer oid, rows, projections, groups).
+    pub outcome: QueryOutcome,
+    /// Snapshot build cost plus the local evaluation charge.
+    pub cost: Cost,
+    /// What the planner did, including `workers_used`.
+    pub explain: PlanExplain,
+}
+
 /// An [`Annoda`] system optionally backed by a WAL + snapshot store.
 pub struct DurableSystem {
     system: Annoda,
     durable: Option<DurableStore>,
+    /// The current serving snapshot; `None` until first use or after an
+    /// invalidation. Readers clone the `Arc` and drop the guard before
+    /// evaluating.
+    snapshot: RwLock<Option<Arc<GmlSnapshot>>>,
+    /// Epochs handed out so far.
+    epochs: AtomicU64,
 }
 
 impl DurableSystem {
@@ -63,6 +119,8 @@ impl DurableSystem {
         DurableSystem {
             system,
             durable: None,
+            snapshot: RwLock::new(None),
+            epochs: AtomicU64::new(0),
         }
     }
 
@@ -72,19 +130,16 @@ impl DurableSystem {
     /// without re-materialising.
     pub fn open(system: Annoda, dir: &Path, policy: FsyncPolicy) -> Result<Self, AnnodaError> {
         let mut durable = DurableStore::open(dir, policy)?;
-        let mut this = if durable.store().named(GML_ROOT).is_none() {
+        if durable.store().named(GML_ROOT).is_none() {
             let (gml, _cost) = system.mediator().materialize_gml()?;
             let root = gml.named(GML_ROOT).expect("materialize_gml names its root");
             sync_root(&mut durable, GML_ROOT, &gml, root)?;
-            DurableSystem {
-                system,
-                durable: Some(durable),
-            }
-        } else {
-            DurableSystem {
-                system,
-                durable: Some(durable),
-            }
+        }
+        let mut this = DurableSystem {
+            system,
+            durable: Some(durable),
+            snapshot: RwLock::new(None),
+            epochs: AtomicU64::new(0),
         };
         // Make the bootstrap durable regardless of policy: a cold open
         // under OnSnapshot would otherwise hold the whole GML in page
@@ -101,7 +156,10 @@ impl DurableSystem {
     }
 
     /// Mutable façade access (annotations, eval functions, ...).
+    /// Invalidates the serving snapshot — the caller may change what
+    /// the GML materialises to.
     pub fn annoda_mut(&mut self) -> &mut Annoda {
+        *self.snapshot.get_mut() = None;
         &mut self.system
     }
 
@@ -133,6 +191,7 @@ impl DurableSystem {
     pub fn plug(&mut self, wrapper: Box<dyn Wrapper>) -> Result<PlugReport, AnnodaError> {
         let name = wrapper.description().name.clone();
         let report = self.system.plug(wrapper);
+        self.invalidate_snapshot();
         self.journal_event(SourceEventKind::Plug, &name)?;
         self.resync()?;
         Ok(report)
@@ -143,6 +202,7 @@ impl DurableSystem {
     pub fn unplug(&mut self, name: &str) -> Result<bool, AnnodaError> {
         let removed = self.system.unplug(name);
         if removed {
+            self.invalidate_snapshot();
             self.journal_event(SourceEventKind::Unplug, name)?;
             self.resync()?;
         }
@@ -150,9 +210,11 @@ impl DurableSystem {
     }
 
     /// Refreshes every wrapper from its native database (invalidating
-    /// the mediator's subquery cache) and journals the GML delta.
+    /// the mediator's subquery cache and the serving snapshot) and
+    /// journals the GML delta.
     pub fn refresh(&mut self) -> Result<RefreshOutcome, AnnodaError> {
         let refreshed_objects = self.system.registry_mut().mediator_mut().refresh_all();
+        self.invalidate_snapshot();
         let mut journaled_records = 0;
         if self.durable.is_some() {
             self.journal_event(SourceEventKind::Refresh, "all")?;
@@ -168,16 +230,120 @@ impl DurableSystem {
         })
     }
 
-    /// Runs a Lorel query. Warm path: when a persisted GML exists the
-    /// query runs against a clone of it — no wrapper traffic at all.
-    /// Ephemeral fallback: the façade materialises as usual.
+    /// Drops the serving snapshot; the next query builds (and swaps in)
+    /// a fresh epoch.
+    fn invalidate_snapshot(&self) {
+        *self.snapshot.write() = None;
+    }
+
+    /// The current serving snapshot, building one if none is live.
+    ///
+    /// Fast path: one brief read-lock to clone the `Arc`. Slow path
+    /// (first query of an epoch): the GML is copied from the persisted
+    /// store — the *only* full-store copy the epoch will ever pay — or
+    /// materialised from the wrappers when persistence is off, then
+    /// installed under a write lock. Evaluation never runs under this
+    /// lock.
+    pub fn query_snapshot(&self) -> Result<Arc<GmlSnapshot>, AnnodaError> {
+        if let Some(s) = self.snapshot.read().as_ref() {
+            return Ok(Arc::clone(s));
+        }
+        let (store, build_cost) = match self.persisted_gml() {
+            Some(gml) => {
+                let mut cost = Cost::new();
+                cost.charge(&LatencyModel::local(), gml.len() as u64);
+                (gml.clone(), cost)
+            }
+            None => {
+                let (gml, cost) = self.system.mediator().materialize_gml()?;
+                (gml, cost)
+            }
+        };
+        let mut guard = self.snapshot.write();
+        if let Some(s) = guard.as_ref() {
+            // A racing builder installed an epoch first; serve that one.
+            return Ok(Arc::clone(s));
+        }
+        let snap = Arc::new(GmlSnapshot {
+            epoch: self.epochs.fetch_add(1, Ordering::Relaxed) + 1,
+            store: Arc::new(store),
+            build_cost,
+        });
+        *guard = Some(Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// The served epoch and object count, when a snapshot is live.
+    pub fn snapshot_stats(&self) -> Option<SnapshotInfo> {
+        self.snapshot.read().as_ref().map(|s| SnapshotInfo {
+            epoch: s.epoch,
+            objects: s.store.len(),
+        })
+    }
+
+    /// Runs a Lorel query against the current epoch snapshot — the
+    /// zero-clone warm path. Equivalent to [`DurableSystem::query_snapshot`]
+    /// followed by [`DurableSystem::lorel_on`]; callers that must not
+    /// hold a lock during evaluation (the HTTP layer) do those two steps
+    /// themselves.
+    pub fn lorel_shared(&self, text: &str) -> Result<LorelServed, AnnodaError> {
+        let snap = self.query_snapshot()?;
+        Self::lorel_on(&snap, text)
+    }
+
+    /// Evaluates `text` against an already-acquired snapshot. An
+    /// associated function on purpose: it needs no `&self`, so the HTTP
+    /// layer calls it with **no system lock held** — a slow query can
+    /// never stall `refresh` or health probes.
+    pub fn lorel_on(snap: &GmlSnapshot, text: &str) -> Result<LorelServed, AnnodaError> {
+        Self::lorel_on_with(snap, text, EvalWorkers::Auto)
+    }
+
+    /// [`DurableSystem::lorel_on`] with an explicit worker policy for
+    /// the parallel binding loop (benches pin 1/2/8).
+    pub fn lorel_on_with(
+        snap: &GmlSnapshot,
+        text: &str,
+        workers: EvalWorkers,
+    ) -> Result<LorelServed, AnnodaError> {
+        let (overlay, outcome, explain) =
+            Mediator::query_gml_shared(&snap.store, text, &FunctionRegistry::standard(), workers)
+                .map_err(AnnodaError::from)?;
+        let mut cost = snap.build_cost;
+        cost.charge(&LatencyModel::local(), outcome.rows.len() as u64);
+        let store_len = snap.store.len();
+        let view = Snapshot::new(Arc::clone(&snap.store), overlay)
+            .expect("overlay was built over this snapshot's store");
+        Ok(LorelServed {
+            epoch: snap.epoch,
+            store_len,
+            view,
+            outcome,
+            cost,
+            explain,
+        })
+    }
+
+    /// Runs a Lorel query, returning an owned store the answer lives
+    /// in. Warm path: when a persisted GML exists the query runs
+    /// against a clone of it — no wrapper traffic, but one full-store
+    /// copy per call (the baseline [`DurableSystem::lorel_shared`]
+    /// exists to beat; `bench_report --mode query-serve` measures both).
+    /// Ephemeral fallback: the façade materialises as usual. The
+    /// returned [`Cost`] now carries the real local charges — the
+    /// per-request copy plus per-row evaluation — instead of the zero
+    /// cost this path historically reported.
     pub fn lorel(&self, text: &str) -> Result<(OemStore, QueryOutcome, Cost), AnnodaError> {
         match self.persisted_gml() {
             Some(gml) => {
+                let base_len = gml.len();
                 let mut store = gml.clone();
                 let outcome = run_query_with(&mut store, text, &FunctionRegistry::standard())
                     .map_err(|e| AnnodaError::Mediator(MediatorError::Lorel(e)))?;
-                Ok((store, outcome, Cost::new()))
+                let mut cost = Cost::new();
+                cost.charge(&LatencyModel::local(), base_len as u64);
+                cost.charge(&LatencyModel::local(), outcome.rows.len() as u64);
+                Ok((store, outcome, cost))
             }
             None => self.system.lorel(text),
         }

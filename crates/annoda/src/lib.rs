@@ -38,7 +38,9 @@ pub mod render;
 pub mod reorganize;
 pub mod system;
 
-pub use durable::{DurableSystem, RefreshOutcome, GML_ROOT};
+pub use durable::{
+    DurableSystem, GmlSnapshot, LorelServed, RefreshOutcome, SnapshotInfo, GML_ROOT,
+};
 pub use navigate::{NavigateError, Navigator, ObjectView};
 pub use parse::{apply_clause, parse_question, parse_question_pairs};
 pub use question::{AspectClause, Combination, Condition, GeneQuestion, QuestionBuilder};

@@ -30,10 +30,14 @@ fn main() {
             let smoke = args.iter().any(|a| a == "--smoke");
             b9_persistence(smoke);
         }
+        Some("query-serve") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            b10_query_serve(smoke);
+        }
         Some(other) => {
             eprintln!(
-                "unknown mode `{other}` (modes: serve [--smoke], persist [--smoke]; \
-                 default runs B1–B7)"
+                "unknown mode `{other}` (modes: serve [--smoke], persist [--smoke], \
+                 query-serve [--smoke]; default runs B1–B7)"
             );
             std::process::exit(1);
         }
@@ -821,6 +825,179 @@ fn b9_persistence(smoke: bool) {
     println!(
         "(Always pays one fsync per record; Batched amortises; OnSnapshot\n\
          defers durability to the next snapshot — pick per deployment.)\n"
+    );
+}
+
+/// **B10 — query serving.** The cost of the warm `POST /lorel` path:
+/// clone-per-request (`DurableSystem::lorel`, the pre-snapshot design)
+/// vs the zero-clone overlay path (`DurableSystem::lorel_on` over an
+/// epoch snapshot), plus the parallel evaluator's worker sweep on a
+/// multi-binding query. The process-wide store-clone counter asserts
+/// the structural claim directly: the clone path clones exactly once
+/// per request, the overlay path never. `--smoke` shrinks the corpus
+/// and skips the JSON artifact.
+fn b10_query_serve(smoke: bool) {
+    use annoda::{DurableSystem, FsyncPolicy};
+    use annoda_lorel::EvalWorkers;
+    use annoda_oem::store_clone_count;
+    use annoda_serve::json::Json;
+
+    fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+        let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+        sorted_us[idx]
+    }
+
+    let (sizes, iters): (&[usize], u32) = if smoke {
+        (&[200], 5)
+    } else {
+        (&[1000, 10_000], 40)
+    };
+    println!("=== B10: query serving (clone path vs shared snapshot) ===\n");
+    let mut size_rows = Vec::new();
+    for &loci in sizes {
+        let corpus = workload::corpus_of(loci, 11);
+        let dir =
+            std::env::temp_dir().join(format!("annoda-bench-qserve-{}-{loci}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sys = workload::annoda_over(&corpus);
+        let durable = DurableSystem::open(sys, &dir.join("data"), FsyncPolicy::OnSnapshot)
+            .expect("open data dir");
+        let symbol = durable
+            .annoda()
+            .ask(&annoda::GeneQuestion::default())
+            .expect("blank question")
+            .fused
+            .genes[0]
+            .symbol
+            .clone();
+        let point = format!(r#"select G from ANNODA-GML.Gene G where G.Symbol = "{symbol}""#);
+
+        // -- clone path: every request copies the whole GML store (and
+        // loses its index cache with it).
+        let before = store_clone_count();
+        let mut clone_us = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t = Instant::now();
+            durable.lorel(&point).expect("clone-path query");
+            clone_us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        let clone_delta = store_clone_count() - before;
+        assert_eq!(
+            clone_delta,
+            u64::from(iters),
+            "the clone path clones exactly once per request"
+        );
+
+        // -- overlay path: grab the epoch snapshot once (its lazy build
+        // is the last full copy this store will ever see), then serve
+        // every request zero-clone.
+        let snap = durable.query_snapshot().expect("epoch snapshot");
+        let before = store_clone_count();
+        let mut shared_us = Vec::with_capacity(iters as usize);
+        let mut answer_objects = 0usize;
+        for _ in 0..iters {
+            let t = Instant::now();
+            let served = DurableSystem::lorel_on(&snap, &point).expect("warm query");
+            shared_us.push(t.elapsed().as_secs_f64() * 1e6);
+            answer_objects = served.view.overlay().len();
+        }
+        assert_eq!(
+            store_clone_count() - before,
+            0,
+            "the warm overlay path must never clone the store"
+        );
+
+        clone_us.sort_by(f64::total_cmp);
+        shared_us.sort_by(f64::total_cmp);
+        let (c50, c99) = (percentile(&clone_us, 0.5), percentile(&clone_us, 0.99));
+        let (s50, s99) = (percentile(&shared_us, 0.5), percentile(&shared_us, 0.99));
+        println!(
+            "loci={loci}: gml_objects={} answer_objects={answer_objects}",
+            snap.store.len()
+        );
+        println!(
+            "  {:<22} {:>10} {:>10} {:>22} {:>14}",
+            "path", "p50_us", "p99_us", "objects_alloc_per_req", "store_clones"
+        );
+        println!(
+            "  {:<22} {:>10.1} {:>10.1} {:>22} {:>14}",
+            "clone-per-request",
+            c50,
+            c99,
+            snap.store.len(),
+            clone_delta
+        );
+        println!(
+            "  {:<22} {:>10.1} {:>10.1} {:>22} {:>14}",
+            "shared snapshot", s50, s99, answer_objects, 0
+        );
+        println!("  p50 speedup: {:.1}x\n", c50 / s50);
+
+        // -- worker sweep on a multi-binding query whose outer loop the
+        // evaluator partitions (top candidates = every Gene).
+        let join = "select count(G) from ANNODA-GML.Gene G, G.FunctionID F, G.DiseaseID D";
+        let sweep_iters = iters.div_ceil(8).max(3);
+        println!(
+            "  {:<18} {:>14} {:>14}",
+            "eval workers", "join_p50_us", "workers_used"
+        );
+        let mut sweep_rows = Vec::new();
+        for w in [1usize, 2, 8] {
+            let mut us = Vec::with_capacity(sweep_iters as usize);
+            let mut used = 1usize;
+            for _ in 0..sweep_iters {
+                let t = Instant::now();
+                let served = DurableSystem::lorel_on_with(&snap, join, EvalWorkers::Fixed(w))
+                    .expect("join query");
+                us.push(t.elapsed().as_secs_f64() * 1e6);
+                used = served.explain.workers_used;
+            }
+            us.sort_by(f64::total_cmp);
+            let p50 = percentile(&us, 0.5);
+            println!("  {:<18} {:>14.1} {:>14}", w, p50, used);
+            sweep_rows.push(Json::obj([
+                ("workers_requested", Json::Int(w as i64)),
+                ("workers_used", Json::Int(used as i64)),
+                ("join_p50_us", Json::Float(p50)),
+            ]));
+        }
+        println!();
+
+        size_rows.push(Json::obj([
+            ("loci", Json::Int(loci as i64)),
+            ("gml_objects", Json::Int(snap.store.len() as i64)),
+            ("iters", Json::Int(i64::from(iters))),
+            ("clone_p50_us", Json::Float(c50)),
+            ("clone_p99_us", Json::Float(c99)),
+            ("shared_p50_us", Json::Float(s50)),
+            ("shared_p99_us", Json::Float(s99)),
+            ("p50_speedup", Json::Float(c50 / s50)),
+            ("clone_objects_per_req", Json::Int(snap.store.len() as i64)),
+            ("shared_objects_per_req", Json::Int(answer_objects as i64)),
+            ("clone_store_clones", Json::Int(clone_delta as i64)),
+            ("shared_store_clones", Json::Int(0)),
+            ("worker_sweep", Json::Arr(sweep_rows)),
+        ]));
+        drop(snap);
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let report = Json::obj([
+        ("experiment", Json::str("B10 query serving")),
+        ("sizes", Json::Arr(size_rows)),
+    ]);
+    if smoke {
+        println!("(smoke mode: BENCH_query_serve.json not rewritten)");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_serve.json");
+        std::fs::write(path, report.to_text() + "\n").expect("write BENCH_query_serve.json");
+        println!("(machine-readable copy written to BENCH_query_serve.json)");
+    }
+    println!(
+        "(The clone path pays a full store copy and an index-cache rebuild\n\
+         on every request; the shared snapshot amortises both across the\n\
+         epoch and allocates only the answer overlay per request.)\n"
     );
 }
 

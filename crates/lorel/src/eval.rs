@@ -22,11 +22,12 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-use annoda_oem::{AtomicValue, OemStore, Oid};
+use annoda_oem::{AnswerOverlay, AtomicValue, OemRead, OemStore, Oid};
 
 use crate::ast::{AggFn, CompOp, Cond, Expr, Query};
 use crate::error::LorelError;
 use crate::parser::parse;
+use crate::plan::{EvalWorkers, PlanExplain};
 
 /// A registered specialty evaluation function: takes the first atomic
 /// instance of each argument (when present) and returns a value, or
@@ -151,8 +152,9 @@ pub struct QueryOutcome {
 impl QueryOutcome {
     /// When the whole query produced exactly one result object, that
     /// object (the coerced copy reachable from `answer`). This is the
-    /// paper's `&442` for the §4.1 example.
-    pub fn sole_result(&self, store: &OemStore) -> Option<Oid> {
+    /// paper's `&442` for the §4.1 example. Works over a plain store or
+    /// a `base ⊕ overlay` [`annoda_oem::Snapshot`].
+    pub fn sole_result<S: OemRead + ?Sized>(&self, store: &S) -> Option<Oid> {
         let edges = store.edges_of(self.answer);
         if edges.len() == 1 {
             Some(edges[0].target)
@@ -162,7 +164,7 @@ impl QueryOutcome {
     }
 
     /// Total number of result edges under `answer`.
-    pub fn result_count(&self, store: &OemStore) -> usize {
+    pub fn result_count<S: OemRead + ?Sized>(&self, store: &S) -> usize {
         store.edges_of(self.answer).len()
     }
 }
@@ -231,8 +233,20 @@ pub fn eval_rows_explained_with(
     query: &Query,
     functions: &FunctionRegistry,
 ) -> Result<(Vec<Row>, crate::plan::PlanExplain), LorelError> {
+    eval_rows_workers_with(store, query, functions, EvalWorkers::Auto)
+}
+
+/// [`eval_rows_explained_with`] with an explicit worker policy for the
+/// outermost binding loop. Results are byte-identical for every worker
+/// count — parallelism only changes wall-clock time.
+pub fn eval_rows_workers_with(
+    store: &OemStore,
+    query: &Query,
+    functions: &FunctionRegistry,
+    workers: EvalWorkers,
+) -> Result<(Vec<Row>, crate::plan::PlanExplain), LorelError> {
     if let Some(plan) = crate::plan::plan_query(store, query, functions) {
-        let (mut rows, explain) = plan.execute(store, query, functions)?;
+        let (mut rows, explain) = plan.execute(store, query, functions, workers)?;
         if !query.order_by.is_empty() {
             let ctx = Ctx {
                 default_var: &query.from[0].var,
@@ -320,14 +334,78 @@ pub fn eval(store: &mut OemStore, query: &Query) -> Result<QueryOutcome, LorelEr
 }
 
 /// [`eval`] with registered specialty evaluation functions in scope.
+///
+/// Internally this is the snapshot pipeline: a pure read phase over
+/// `&*store` produces the rows, [`materialize`] builds the answer in an
+/// [`AnswerOverlay`], and the overlay's op log is replayed onto the
+/// store — byte-identical (same oids, same label interning order, same
+/// names) to the historical in-place evaluation.
 pub fn eval_with(
     store: &mut OemStore,
     query: &Query,
     functions: &FunctionRegistry,
 ) -> Result<QueryOutcome, LorelError> {
-    let rows = eval_rows_with(store, query, functions)?;
+    let (overlay, outcome) = eval_snapshot_with(store, query, functions)?;
+    overlay
+        .apply_to(store)
+        .map_err(|e| LorelError::eval(e.to_string()))?;
+    Ok(outcome)
+}
+
+/// Parses and evaluates `text` against a **shared, immutable** store:
+/// the answer lands in the returned [`AnswerOverlay`] instead of the
+/// store, so many queries can evaluate concurrently against one
+/// `Arc<OemStore>` snapshot. Render or navigate the answer through an
+/// [`annoda_oem::Snapshot`] built from the same base.
+pub fn run_query_snapshot(
+    base: &OemStore,
+    text: &str,
+    functions: &FunctionRegistry,
+) -> Result<(AnswerOverlay, QueryOutcome), LorelError> {
+    let query = parse(text)?;
+    eval_snapshot_with(base, &query, functions)
+}
+
+/// [`run_query_snapshot`] that also reports the planner's decisions and
+/// takes an explicit [`EvalWorkers`] policy for the parallel binding
+/// loop.
+pub fn run_query_snapshot_explained(
+    base: &OemStore,
+    text: &str,
+    functions: &FunctionRegistry,
+    workers: EvalWorkers,
+) -> Result<(AnswerOverlay, QueryOutcome, PlanExplain), LorelError> {
+    let query = parse(text)?;
+    let (rows, explain) = eval_rows_workers_with(base, &query, functions, workers)?;
+    let (overlay, outcome) = materialize(base, &query, rows, functions)?;
+    Ok((overlay, outcome, explain))
+}
+
+/// Evaluates an already-parsed query against a shared immutable store,
+/// returning the answer overlay and the outcome. See
+/// [`run_query_snapshot`].
+pub fn eval_snapshot_with(
+    base: &OemStore,
+    query: &Query,
+    functions: &FunctionRegistry,
+) -> Result<(AnswerOverlay, QueryOutcome), LorelError> {
+    let rows = eval_rows_with(base, query, functions)?;
+    materialize(base, query, rows, functions)
+}
+
+/// The answer-materialization phase: projects `rows` through the select
+/// list into a fresh [`AnswerOverlay`] above `base`'s high-water mark.
+/// All reads stay on `base` (rows bind only base objects, and nothing
+/// in the base can reference an overlay object), so this needs no
+/// mutable store access.
+fn materialize(
+    base: &OemStore,
+    query: &Query,
+    rows: Vec<Row>,
+    functions: &FunctionRegistry,
+) -> Result<(AnswerOverlay, QueryOutcome), LorelError> {
     if query.group_by.is_some() {
-        return eval_grouped(store, query, rows, functions);
+        return materialize_grouped(base, query, rows, functions);
     }
 
     // ----- projection and answer construction ---------------------------
@@ -335,7 +413,8 @@ pub fn eval_with(
         default_var: &query.from[0].var,
         functions,
     };
-    let answer = store.new_complex();
+    let mut overlay = AnswerOverlay::for_base(base);
+    let answer = overlay.new_complex();
     // Per item: original oid → coerced oid, for oid-based dedup.
     let mut memo: Vec<HashMap<Oid, Oid>> = vec![HashMap::new(); query.select.len()];
     let mut projected: Vec<(String, Vec<Oid>)> = query
@@ -346,27 +425,27 @@ pub fn eval_with(
 
     for row in &rows {
         for (idx, item) in query.select.iter().enumerate() {
-            match evaluate_expr(store, &item.expr, row, &ctx)? {
+            match evaluate_expr(base, &item.expr, row, &ctx)? {
                 Evaled::Oids(oids) => {
                     for oid in oids {
                         if memo[idx].contains_key(&oid) {
                             continue;
                         }
-                        let coerced = coerce(store, oid);
+                        let coerced = coerce(base, &mut overlay, oid);
                         memo[idx].insert(oid, coerced);
                         projected[idx].1.push(oid);
-                        store
-                            .add_edge(answer, &item.label, coerced)
+                        overlay
+                            .add_edge(base, answer, &item.label, coerced)
                             .map_err(|e| LorelError::eval(e.to_string()))?;
                     }
                 }
                 Evaled::Value(v) => {
                     // Computed values (aggregates, literals) create a new
                     // atomic object per row.
-                    let atom = store.new_atomic(v);
+                    let atom = overlay.new_atomic(v);
                     projected[idx].1.push(atom);
-                    store
-                        .add_edge(answer, &item.label, atom)
+                    overlay
+                        .add_edge(base, answer, &item.label, atom)
                         .map_err(|e| LorelError::eval(e.to_string()))?;
                 }
                 Evaled::None => {}
@@ -374,23 +453,30 @@ pub fn eval_with(
         }
     }
 
-    register_answer(store, query, answer)?;
-    Ok(QueryOutcome {
-        answer,
-        rows,
-        projected,
-        groups: Vec::new(),
-    })
+    register_answer(&mut overlay, query, answer)?;
+    Ok((
+        overlay,
+        QueryOutcome {
+            answer,
+            rows,
+            projected,
+            groups: Vec::new(),
+        },
+    ))
 }
 
 /// Registers the answer object: always under `answer` (re-bound per
 /// query), and additionally under the query's `into` name when given.
-fn register_answer(store: &mut OemStore, query: &Query, answer: Oid) -> Result<(), LorelError> {
-    store
+fn register_answer(
+    overlay: &mut AnswerOverlay,
+    query: &Query,
+    answer: Oid,
+) -> Result<(), LorelError> {
+    overlay
         .set_name_overwrite("answer", answer)
         .map_err(|e| LorelError::eval(e.to_string()))?;
     if let Some(name) = &query.into_name {
-        store
+        overlay
             .set_name_overwrite(name, answer)
             .map_err(|e| LorelError::eval(e.to_string()))?;
     }
@@ -403,12 +489,12 @@ fn register_answer(store: &mut OemStore, query: &Query, answer: Oid) -> Result<(
 /// non-aggregate items are taken from the group's first row. The answer
 /// holds one `group` object per key, carrying a `key` atom plus the
 /// select items.
-fn eval_grouped(
-    store: &mut OemStore,
+fn materialize_grouped(
+    base: &OemStore,
     query: &Query,
     rows: Vec<Row>,
     functions: &FunctionRegistry,
-) -> Result<QueryOutcome, LorelError> {
+) -> Result<(AnswerOverlay, QueryOutcome), LorelError> {
     let gexpr = query.group_by.as_ref().expect("caller checked");
     let ctx = Ctx {
         default_var: &query.from[0].var,
@@ -420,7 +506,7 @@ fn eval_grouped(
     let mut order: Vec<String> = Vec::new();
     let mut groups: HashMap<String, Vec<Row>> = HashMap::new();
     for row in rows.iter() {
-        let key = first_atom(store, gexpr, row, &ctx)
+        let key = first_atom(base, gexpr, row, &ctx)
             .map(|v| v.as_text())
             .unwrap_or_else(|| "<null>".to_string());
         if !groups.contains_key(&key) {
@@ -429,7 +515,8 @@ fn eval_grouped(
         groups.entry(key).or_default().push(row.clone());
     }
 
-    let answer = store.new_complex();
+    let mut overlay = AnswerOverlay::for_base(base);
+    let answer = overlay.new_complex();
     let mut projected: Vec<(String, Vec<Oid>)> = query
         .select
         .iter()
@@ -437,12 +524,13 @@ fn eval_grouped(
         .collect();
     for key in &order {
         let group_rows = &groups[key];
-        let group_obj = store.new_complex();
-        store
-            .add_edge(answer, "group", group_obj)
+        let group_obj = overlay.new_complex();
+        overlay
+            .add_edge(base, answer, "group", group_obj)
             .map_err(|e| LorelError::eval(e.to_string()))?;
-        store
-            .add_atomic_child(group_obj, "key", AtomicValue::Str(key.clone()))
+        let key_atom = overlay.new_atomic(AtomicValue::Str(key.clone()));
+        overlay
+            .add_edge(base, group_obj, "key", key_atom)
             .map_err(|e| LorelError::eval(e.to_string()))?;
         for (idx, item) in query.select.iter().enumerate() {
             match &item.expr {
@@ -451,7 +539,7 @@ fn eval_grouped(
                     let mut oids: Vec<Oid> = Vec::new();
                     let mut seen: std::collections::HashSet<Oid> = Default::default();
                     for row in group_rows {
-                        if let Evaled::Oids(os) = evaluate_expr(store, inner, row, &ctx)? {
+                        if let Evaled::Oids(os) = evaluate_expr(base, inner, row, &ctx)? {
                             for o in os {
                                 if seen.insert(o) {
                                     oids.push(o);
@@ -459,11 +547,11 @@ fn eval_grouped(
                             }
                         }
                     }
-                    if let Evaled::Value(v) = aggregate(store, *f, &oids) {
-                        let atom = store.new_atomic(v);
+                    if let Evaled::Value(v) = aggregate(base, *f, &oids) {
+                        let atom = overlay.new_atomic(v);
                         projected[idx].1.push(atom);
-                        store
-                            .add_edge(group_obj, &item.label, atom)
+                        overlay
+                            .add_edge(base, group_obj, &item.label, atom)
                             .map_err(|e| LorelError::eval(e.to_string()))?;
                     }
                 }
@@ -471,21 +559,21 @@ fn eval_grouped(
                     // Non-aggregate: representative values from the
                     // group's first row.
                     let first = &group_rows[0];
-                    match evaluate_expr(store, other, first, &ctx)? {
+                    match evaluate_expr(base, other, first, &ctx)? {
                         Evaled::Oids(oids) => {
                             for oid in oids {
-                                let coerced = coerce(store, oid);
+                                let coerced = coerce(base, &mut overlay, oid);
                                 projected[idx].1.push(oid);
-                                store
-                                    .add_edge(group_obj, &item.label, coerced)
+                                overlay
+                                    .add_edge(base, group_obj, &item.label, coerced)
                                     .map_err(|e| LorelError::eval(e.to_string()))?;
                             }
                         }
                         Evaled::Value(v) => {
-                            let atom = store.new_atomic(v);
+                            let atom = overlay.new_atomic(v);
                             projected[idx].1.push(atom);
-                            store
-                                .add_edge(group_obj, &item.label, atom)
+                            overlay
+                                .add_edge(base, group_obj, &item.label, atom)
                                 .map_err(|e| LorelError::eval(e.to_string()))?;
                         }
                         Evaled::None => {}
@@ -494,29 +582,28 @@ fn eval_grouped(
             }
         }
     }
-    register_answer(store, query, answer)?;
-    Ok(QueryOutcome {
-        answer,
-        rows,
-        projected,
-        groups: order,
-    })
+    register_answer(&mut overlay, query, answer)?;
+    Ok((
+        overlay,
+        QueryOutcome {
+            answer,
+            rows,
+            projected,
+            groups: order,
+        },
+    ))
 }
 
 /// Coerces a selected object into the answer: atoms are referenced
-/// directly; complex objects are copied into a *new* object whose
-/// references point at the original children (the paper's `&442`).
-fn coerce(store: &mut OemStore, oid: Oid) -> Oid {
-    if store.get(oid).is_some_and(|o| o.is_complex()) {
-        let copy = store.new_complex();
-        let edges: Vec<(String, Oid)> = store
-            .edges_of(oid)
-            .iter()
-            .map(|e| (store.label_name(e.label).to_string(), e.target))
-            .collect();
-        for (label, target) in edges {
-            store
-                .add_edge(copy, &label, target)
+/// directly; complex objects are copied into a *new* overlay object
+/// whose references point at the original children (the paper's
+/// `&442`).
+fn coerce(base: &OemStore, overlay: &mut AnswerOverlay, oid: Oid) -> Oid {
+    if base.get(oid).is_some_and(|o| o.is_complex()) {
+        let copy = overlay.new_complex();
+        for e in base.edges_of(oid) {
+            overlay
+                .add_edge(base, copy, base.label_name(e.label), e.target)
                 .expect("copying live edges");
         }
         copy

@@ -83,8 +83,9 @@ pub use ast::{CompOp, Cond, Expr, FromItem, OrderKey, Query, SelectItem};
 pub use error::LorelError;
 pub use eval::{
     eval_rows, eval_rows_explained, eval_rows_explained_with, eval_rows_naive,
-    eval_rows_naive_with, eval_rows_with, eval_with, project_row, row_passes, run_query,
+    eval_rows_naive_with, eval_rows_with, eval_rows_workers_with, eval_snapshot_with, eval_with,
+    project_row, row_passes, run_query, run_query_snapshot, run_query_snapshot_explained,
     run_query_with, FunctionRegistry, LorelFn, Projected, QueryOutcome, Row,
 };
 pub use parser::parse;
-pub use plan::{AccessPath, PlanExplain, PlanProbes};
+pub use plan::{AccessPath, EvalWorkers, PlanExplain, PlanProbes};

@@ -42,6 +42,43 @@ use crate::eval::{eval_cond, resolve_head, Ctx, FunctionRegistry, Row};
 /// variable (per-parent fan-out is unknowable without binding it).
 const DEPENDENT_FANOUT_ESTIMATE: usize = 8;
 
+/// Under [`EvalWorkers::Auto`], outer candidate sets smaller than this
+/// stay sequential — thread spawn overhead dwarfs the binding work.
+const PARALLEL_MIN_CANDIDATES: usize = 32;
+
+/// Worker policy for the outermost from-clause binding loop.
+///
+/// The outer loop partitions the first bound variable's candidates into
+/// contiguous chunks evaluated by scoped threads; partial row sets merge
+/// in chunk order, which *is* the sequential enumeration order, so rows,
+/// probe totals, and downstream answers are byte-identical for every
+/// worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvalWorkers {
+    /// Size by [`std::thread::available_parallelism`], staying
+    /// sequential when the outer candidate set is small.
+    #[default]
+    Auto,
+    /// Use up to this many workers regardless of candidate count
+    /// (`0` and `1` both mean sequential). Tests use this to force the
+    /// parallel path on small stores.
+    Fixed(usize),
+}
+
+impl EvalWorkers {
+    /// Effective worker count for an outer loop over `candidates`.
+    fn resolve(self, candidates: usize) -> usize {
+        let want = match self {
+            EvalWorkers::Fixed(n) => n.max(1),
+            EvalWorkers::Auto if candidates < PARALLEL_MIN_CANDIDATES => 1,
+            EvalWorkers::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        want.min(candidates.max(1))
+    }
+}
+
 /// How the planner produces the seeded variable's candidates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AccessPath {
@@ -88,6 +125,9 @@ pub struct PlanExplain {
     pub floor_predicates: usize,
     /// True when the planner declined and the naive evaluator ran.
     pub naive_fallback: bool,
+    /// Worker threads the outer binding loop actually used (1 when the
+    /// loop ran sequentially, including every naive fallback).
+    pub workers_used: usize,
     /// Execution counters (zero for explain-only calls).
     pub probes: PlanProbes,
 }
@@ -108,6 +148,7 @@ impl PlanExplain {
             predicates_at_depth: Vec::new(),
             floor_predicates: 0,
             naive_fallback: true,
+            workers_used: 1,
             probes: PlanProbes::default(),
         }
     }
@@ -390,6 +431,7 @@ pub(crate) fn plan_query<'q>(
         predicates_at_depth: conds_at_depth.iter().map(Vec::len).collect(),
         floor_predicates: floor_conds.len(),
         naive_fallback: false,
+        workers_used: 1,
         probes: PlanProbes::default(),
     };
     Some(Plan {
@@ -406,12 +448,15 @@ pub(crate) fn plan_query<'q>(
 
 impl Plan<'_> {
     /// Runs the plan, returning rows in the naive evaluator's exact
-    /// order plus the filled-in [`PlanExplain`].
+    /// order plus the filled-in [`PlanExplain`]. The outermost binding
+    /// loop fans out across scoped threads per `workers`; results are
+    /// byte-identical for every worker count.
     pub(crate) fn execute(
         &self,
         store: &OemStore,
         query: &Query,
         functions: &FunctionRegistry,
+        workers: EvalWorkers,
     ) -> Result<(Vec<Row>, PlanExplain), LorelError> {
         let ctx = Ctx {
             default_var: &query.from[0].var,
@@ -430,18 +475,83 @@ impl Plan<'_> {
         }
 
         let mut rows = Vec::new();
-        let mut env: Vec<(String, Oid)> = Vec::with_capacity(query.from.len());
         let mut memo: HashMap<(usize, Oid), Arc<Vec<Oid>>> = HashMap::new();
-        self.bind(
-            store,
-            query,
-            0,
-            &mut env,
-            &mut rows,
-            &ctx,
-            &mut memo,
-            &mut explain.probes,
-        )?;
+        // The depth-0 item is always root-anchored (the greedy order only
+        // picks ready items), so its candidates need no environment.
+        let top = self.candidates_for(store, query, self.order[0], &[], &mut memo)?;
+        let n_workers = workers.resolve(top.len());
+        explain.workers_used = n_workers;
+
+        if n_workers <= 1 {
+            let mut env: Vec<(String, Oid)> = Vec::with_capacity(query.from.len());
+            for &candidate in top.iter() {
+                self.bind_candidate(
+                    store,
+                    query,
+                    0,
+                    candidate,
+                    &mut env,
+                    &mut rows,
+                    &ctx,
+                    &mut memo,
+                    &mut explain.probes,
+                )?;
+            }
+        } else {
+            // Contiguous chunks preserve the sequential enumeration
+            // order: concatenating per-chunk row sets in chunk order
+            // yields exactly the rows a single worker would emit, and a
+            // chunk's error is the error the sequential loop would hit
+            // first (earlier chunks completed clean).
+            let chunk_size = top.len().div_ceil(n_workers);
+            type WorkerOut =
+                Result<(Vec<Row>, HashMap<(usize, Oid), Arc<Vec<Oid>>>, PlanProbes), LorelError>;
+            let partials: Vec<WorkerOut> = std::thread::scope(|scope| {
+                let handles: Vec<_> = top
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || -> WorkerOut {
+                            let ctx = Ctx {
+                                default_var: &query.from[0].var,
+                                functions,
+                            };
+                            let mut env: Vec<(String, Oid)> = Vec::with_capacity(query.from.len());
+                            let mut rows = Vec::new();
+                            let mut memo = HashMap::new();
+                            let mut probes = PlanProbes::default();
+                            for &candidate in chunk {
+                                self.bind_candidate(
+                                    store,
+                                    query,
+                                    0,
+                                    candidate,
+                                    &mut env,
+                                    &mut rows,
+                                    &ctx,
+                                    &mut memo,
+                                    &mut probes,
+                                )?;
+                            }
+                            Ok((rows, memo, probes))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("eval worker panicked"))
+                    .collect()
+            });
+            for partial in partials {
+                let (mut worker_rows, worker_memo, worker_probes) = partial?;
+                rows.append(&mut worker_rows);
+                for (key, value) in worker_memo {
+                    memo.entry(key).or_insert(value);
+                }
+                explain.probes.bindings_enumerated += worker_probes.bindings_enumerated;
+                explain.probes.predicate_evaluations += worker_probes.predicate_evaluations;
+                explain.probes.rows_emitted += worker_probes.rows_emitted;
+            }
+        }
 
         if self.reordered {
             self.restore_naive_order(query, &mut rows, &memo);
@@ -504,41 +614,62 @@ impl Plan<'_> {
             return Ok(());
         }
         let item_idx = self.order[depth];
-        let item = &query.from[item_idx];
         let candidates = self.candidates_for(store, query, item_idx, env, memo)?;
         for &candidate in candidates.iter() {
-            probes.bindings_enumerated += 1;
-            env.push((item.var.clone(), candidate));
-            // Materialise the partial row without copying: the bindings
-            // vector is lent to the Row and taken back afterwards.
-            let row = Row {
-                bindings: std::mem::take(env),
-            };
-            let mut keep = true;
-            let mut failure = None;
-            for cond in &self.conds_at_depth[depth] {
-                probes.predicate_evaluations += 1;
-                match eval_cond(store, cond, &row, ctx) {
-                    Ok(true) => {}
-                    Ok(false) => {
-                        keep = false;
-                        break;
-                    }
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
+            self.bind_candidate(store, query, depth, candidate, env, rows, ctx, memo, probes)?;
+        }
+        Ok(())
+    }
+
+    /// Binds one candidate at `depth`, runs the depth's residual
+    /// conjuncts, and recurses into deeper bindings — the per-candidate
+    /// body of [`Plan::bind`], split out so the parallel outer loop can
+    /// drive it chunk by chunk.
+    #[allow(clippy::too_many_arguments)]
+    fn bind_candidate(
+        &self,
+        store: &OemStore,
+        query: &Query,
+        depth: usize,
+        candidate: Oid,
+        env: &mut Vec<(String, Oid)>,
+        rows: &mut Vec<Row>,
+        ctx: &Ctx<'_>,
+        memo: &mut HashMap<(usize, Oid), Arc<Vec<Oid>>>,
+        probes: &mut PlanProbes,
+    ) -> Result<(), LorelError> {
+        let item = &query.from[self.order[depth]];
+        probes.bindings_enumerated += 1;
+        env.push((item.var.clone(), candidate));
+        // Materialise the partial row without copying: the bindings
+        // vector is lent to the Row and taken back afterwards.
+        let row = Row {
+            bindings: std::mem::take(env),
+        };
+        let mut keep = true;
+        let mut failure = None;
+        for cond in &self.conds_at_depth[depth] {
+            probes.predicate_evaluations += 1;
+            match eval_cond(store, cond, &row, ctx) {
+                Ok(true) => {}
+                Ok(false) => {
+                    keep = false;
+                    break;
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
                 }
             }
-            *env = row.bindings;
-            if let Some(e) = failure {
-                return Err(e);
-            }
-            if keep {
-                self.bind(store, query, depth + 1, env, rows, ctx, memo, probes)?;
-            }
-            env.pop();
         }
+        *env = row.bindings;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        if keep {
+            self.bind(store, query, depth + 1, env, rows, ctx, memo, probes)?;
+        }
+        env.pop();
         Ok(())
     }
 

@@ -1,0 +1,180 @@
+//! Parallel-evaluator equivalence oracle.
+//!
+//! The partitioned outer binding loop must be invisible in every
+//! observable: for any worker count, [`eval_rows_workers_with`] returns
+//! exactly the rows of the sequential reference [`eval_rows_naive`] —
+//! same multiset, same order — and the materialized answer object
+//! (overlay path) renders byte-identically to the historical in-place
+//! `eval_with` path.
+
+use proptest::prelude::*;
+
+use annoda_lorel::{
+    eval_rows_naive_with, eval_rows_workers_with, eval_snapshot_with, eval_with, parse,
+    EvalWorkers, FunctionRegistry,
+};
+use annoda_oem::{text as oem_text, AtomicValue, OemStore, Snapshot};
+
+/// Same corpus shape as `plan_oracle.rs`: genes with an integer `Id`, a
+/// unique `Symbol`, a low-cardinality `Organism`, and an `Omim` child
+/// on every third gene.
+fn annotated_store(n: usize) -> OemStore {
+    let mut db = OemStore::new();
+    let root = db.new_complex();
+    for i in 0..n {
+        let g = db.add_complex_child(root, "Gene").unwrap();
+        db.add_atomic_child(g, "Id", AtomicValue::Int(i as i64))
+            .unwrap();
+        db.add_atomic_child(g, "Symbol", format!("G{i}")).unwrap();
+        db.add_atomic_child(g, "Organism", ["human", "mouse", "fly"][i % 3])
+            .unwrap();
+        if i % 3 == 0 {
+            let d = db.add_complex_child(g, "Omim").unwrap();
+            db.add_atomic_child(d, "Title", format!("T{i}")).unwrap();
+        }
+    }
+    db.set_name("R", root).unwrap();
+    db
+}
+
+/// Query templates spanning the planner's rewrites: pushdown, residual
+/// filters, joins, reordering, negation, grouping, and ordering —
+/// everything the partitioned loop has to preserve.
+fn template(tmpl: usize, k: usize, t: i64) -> String {
+    match tmpl % 10 {
+        0 => format!(r#"select G.Symbol from R.Gene G where G.Symbol = "G{k}""#),
+        1 => format!(r#"select G from R.Gene G where G.Id < {t}"#),
+        2 => format!(r#"select G.Symbol, D.Title from R.Gene G, G.Omim D where G.Id < {t}"#),
+        3 => format!(
+            r#"select G.Symbol, H.Id from R.Gene G, R.Gene H where G.Id < {t} and H.Symbol = "G{k}""#
+        ),
+        4 => "select G from R.Gene G where not exists G.Omim".to_string(),
+        5 => "select G.Symbol from R.Gene G order by G.Id desc".to_string(),
+        6 => format!(r#"select G from R.Gene G where G.Symbol = "G{k}" or G.Id < {t}"#),
+        7 => "select D.Title from R.Gene G, G.Omim D".to_string(),
+        8 => format!(r#"select G.Id from R.Gene G where G.Organism = "human" and G.Id < {t}"#),
+        _ => format!(
+            r#"select G.Id, H.Id from R.Gene G, R.Gene H where G.Organism = "mouse" and H.Symbol = "G{k}" and G.Id < H.Id"#
+        ),
+    }
+}
+
+/// Renders the answer object two ways — legacy in-place `eval_with` on
+/// a cloned store vs the zero-clone overlay pipeline viewed through a
+/// [`Snapshot`] — and returns both strings for comparison.
+fn render_both_paths(store: &OemStore, text: &str) -> (String, String) {
+    let functions = FunctionRegistry::default();
+    let query = parse(text).expect("templates parse");
+
+    let mut mutated = store.clone();
+    let legacy = eval_with(&mut mutated, &query, &functions).expect("templates evaluate");
+    let legacy_text = oem_text::write_rooted(&mutated, "answer", legacy.answer);
+
+    let (overlay, shared) = eval_snapshot_with(store, &query, &functions).expect("same query");
+    let view = Snapshot::new(store, overlay).expect("overlay fits its base");
+    let shared_text = oem_text::write_rooted(&view, "answer", shared.answer);
+
+    assert_eq!(legacy.answer, shared.answer, "answer oid diverges");
+    assert_eq!(legacy.rows, shared.rows, "bound rows diverge");
+    (legacy_text, shared_text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Row-level equivalence: for 1, 2, and 8 workers the partitioned
+    /// evaluator returns exactly the sequential reference rows.
+    #[test]
+    fn parallel_rows_equal_sequential(
+        tmpl in 0usize..10,
+        k in 0usize..48,
+        t in 0i64..48,
+        n in 1usize..64,
+    ) {
+        let store = annotated_store(n);
+        let text = template(tmpl, k, t);
+        let query = parse(&text).expect("templates parse");
+        let functions = FunctionRegistry::default();
+        let naive = eval_rows_naive_with(&store, &query, &functions).expect("templates evaluate");
+        for workers in [1usize, 2, 8] {
+            let (rows, explain) = eval_rows_workers_with(
+                &store,
+                &query,
+                &functions,
+                EvalWorkers::Fixed(workers),
+            )
+            .expect("templates evaluate");
+            prop_assert_eq!(
+                &rows,
+                &naive,
+                "rows diverge for `{}` at {} workers (used {})",
+                text,
+                workers,
+                explain.workers_used
+            );
+            prop_assert!(explain.workers_used >= 1);
+        }
+    }
+
+    /// Answer-shape equivalence: the overlay produced over a shared
+    /// snapshot renders byte-identically to the answer the historical
+    /// `&mut` evaluator writes into the store — same oids in the `&N`
+    /// references, same label order, same values.
+    #[test]
+    fn overlay_answer_renders_identically(
+        tmpl in 0usize..10,
+        k in 0usize..24,
+        t in 0i64..24,
+        n in 1usize..24,
+    ) {
+        let store = annotated_store(n);
+        let text = template(tmpl, k, t);
+        let (legacy_text, shared_text) = render_both_paths(&store, &text);
+        prop_assert_eq!(legacy_text, shared_text, "renders diverge for `{}`", text);
+    }
+}
+
+/// Pinned: a store wide enough that every requested worker count
+/// actually splits the outer loop, on a join whose inner variable
+/// depends on the outer — the hardest case for deterministic merging.
+#[test]
+fn wide_store_join_is_deterministic_across_worker_counts() {
+    let store = annotated_store(200);
+    let functions = FunctionRegistry::default();
+    let query = parse(
+        r#"select G.Symbol, D.Title from R.Gene G, G.Omim D where G.Id < 150 order by G.Symbol"#,
+    )
+    .unwrap();
+    let naive = eval_rows_naive_with(&store, &query, &functions).unwrap();
+    assert!(!naive.is_empty());
+    let mut used = Vec::new();
+    for workers in [1usize, 2, 3, 8, 64] {
+        let (rows, explain) =
+            eval_rows_workers_with(&store, &query, &functions, EvalWorkers::Fixed(workers))
+                .unwrap();
+        assert_eq!(rows, naive, "{workers} workers");
+        used.push(explain.workers_used);
+    }
+    assert_eq!(used[0], 1);
+    assert!(used[3] >= 2, "8 requested workers must actually partition");
+}
+
+/// Pinned: evaluation errors surface identically regardless of which
+/// worker's chunk hits them first.
+#[test]
+fn worker_errors_match_sequential_errors() {
+    let store = annotated_store(64);
+    let functions = FunctionRegistry::default();
+    // An unregistered function fails at eval time, inside the loop.
+    let query = parse(r#"select G from R.Gene G where unknownfn(G.Symbol) = 3"#).unwrap();
+    let sequential = eval_rows_naive_with(&store, &query, &functions);
+    let parallel = eval_rows_workers_with(&store, &query, &functions, EvalWorkers::Fixed(8));
+    match (sequential, parallel) {
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => panic!(
+            "error behaviour diverges: sequential ok={} parallel ok={}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+}

@@ -3,10 +3,13 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use annoda_lorel::{run_query_with, FunctionRegistry, LorelError, QueryOutcome};
+use annoda_lorel::{
+    run_query_snapshot_explained, run_query_with, EvalWorkers, FunctionRegistry, LorelError,
+    PlanExplain, QueryOutcome,
+};
 use annoda_match::{MatchReport, Mdsm};
 use annoda_oem::dataguide::DataGuide;
-use annoda_oem::{AtomicValue, AttributeStats, OemStore};
+use annoda_oem::{AnswerOverlay, AtomicValue, AttributeStats, OemStore};
 use annoda_wrap::{Cost, SourceDescription, SubqueryResult, WrapError, Wrapper};
 
 use crate::cache::{CacheStats, SubqueryCache, DEFAULT_CACHE_CAPACITY};
@@ -647,6 +650,23 @@ impl Mediator {
         let (mut gml, cost) = self.materialize_gml()?;
         let outcome = run_query_with(&mut gml, lorel, functions)?;
         Ok((gml, outcome, cost))
+    }
+
+    /// Evaluates `lorel` against an **already-materialised, shared** GML
+    /// store — the serving layer's zero-clone warm path. The base is
+    /// never mutated: the answer lands in the returned
+    /// [`AnswerOverlay`], resolvable through an [`annoda_oem::Snapshot`]
+    /// over the same base. Needs no mediator instance, so callers can
+    /// evaluate with no registry lock held.
+    pub fn query_gml_shared(
+        gml: &OemStore,
+        lorel: &str,
+        functions: &FunctionRegistry,
+        workers: EvalWorkers,
+    ) -> Result<(AnswerOverlay, QueryOutcome, PlanExplain), MediatorError> {
+        Ok(run_query_snapshot_explained(
+            gml, lorel, functions, workers,
+        )?)
     }
 }
 

@@ -34,6 +34,7 @@ pub mod index;
 pub mod label;
 pub mod object;
 pub mod oid;
+pub mod overlay;
 pub mod path;
 pub mod stats;
 pub mod store;
@@ -46,7 +47,8 @@ pub use index::ValueIndex;
 pub use label::{Label, LabelInterner};
 pub use object::{Edge, Object, ObjectKind};
 pub use oid::Oid;
+pub use overlay::{AnswerOverlay, OemRead, Snapshot};
 pub use path::{PathExpr, PathStep};
 pub use stats::AttributeStats;
-pub use store::OemStore;
+pub use store::{store_clone_count, OemStore};
 pub use value::{AtomicType, AtomicValue, OemType};

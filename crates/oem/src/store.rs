@@ -39,8 +39,18 @@ pub struct OemStore {
     cache: QueryCache,
 }
 
+/// Process-wide count of full [`OemStore`] clones, used by benches and
+/// tests to assert the serving warm path is zero-clone.
+static STORE_CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of full [`OemStore`] clones performed by this process so far.
+pub fn store_clone_count() -> u64 {
+    STORE_CLONES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl Clone for OemStore {
     fn clone(&self) -> Self {
+        STORE_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         OemStore {
             objects: self.objects.clone(),
             labels: self.labels.clone(),

@@ -26,13 +26,14 @@ use std::fmt::Write as _;
 use crate::error::OemError;
 use crate::object::ObjectKind;
 use crate::oid::Oid;
+use crate::overlay::OemRead;
 use crate::store::OemStore;
 use crate::value::{AtomicType, AtomicValue, OemType};
 
 const INDENT: &str = "    ";
 
 /// Renders the subgraph under the named root in Figure-3 notation.
-pub fn write_named(store: &OemStore, name: &str) -> Result<String, OemError> {
+pub fn write_named<S: OemRead + ?Sized>(store: &S, name: &str) -> Result<String, OemError> {
     let root = store
         .named(name)
         .ok_or_else(|| OemError::DanglingOid(format!("named root {name}")))?;
@@ -40,15 +41,15 @@ pub fn write_named(store: &OemStore, name: &str) -> Result<String, OemError> {
 }
 
 /// Renders the subgraph under `root`, labelling the top line `label`.
-pub fn write_rooted(store: &OemStore, label: &str, root: Oid) -> String {
+pub fn write_rooted<S: OemRead + ?Sized>(store: &S, label: &str, root: Oid) -> String {
     let mut out = String::new();
     let mut described: HashMap<Oid, ()> = HashMap::new();
     write_object(store, label, root, 0, &mut described, &mut out);
     out
 }
 
-fn write_object(
-    store: &OemStore,
+fn write_object<S: OemRead + ?Sized>(
+    store: &S,
     label: &str,
     oid: Oid,
     depth: usize,
@@ -58,7 +59,7 @@ fn write_object(
     for _ in 0..depth {
         out.push_str(INDENT);
     }
-    let Some(obj) = store.get(oid) else {
+    let Some(obj) = OemRead::get(store, oid) else {
         let _ = writeln!(out, "{label} {oid} <dangling>");
         return;
     };

@@ -34,7 +34,7 @@ pub mod server;
 
 pub use json::Json;
 pub use loadgen::{LoadgenConfig, LoadgenStats};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, SnapshotGauges};
 pub use pool::{Pool, QueueGauge};
 pub use routes::{handle, negotiate, App, Format};
 pub use server::{ServeConfig, Server, ShutdownReport};

@@ -17,6 +17,22 @@ pub const ROUTES: [&str; 7] = [
     "genes", "lorel", "object", "healthz", "metrics", "admin", "other",
 ];
 
+/// Snapshot-serving gauges sampled at scrape time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotGauges {
+    /// Epoch of the live GML snapshot (0 when none is built yet).
+    pub epoch: u64,
+    /// Objects in the served snapshot.
+    pub objects: usize,
+    /// Process-lifetime full `OemStore` clones
+    /// ([`annoda_oem::store_clone_count`]) — flat under warm `/lorel`
+    /// traffic, which is the zero-clone property in gauge form.
+    pub store_clones_total: u64,
+    /// Worker threads the parallel evaluator can use
+    /// (`available_parallelism`).
+    pub eval_workers: usize,
+}
+
 /// Histogram bucket upper bounds, microseconds.
 const BUCKETS_US: [u64; 9] = [
     100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
@@ -103,6 +119,7 @@ impl Metrics {
         queue: &QueueGauge,
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
+        snapshot: Option<SnapshotGauges>,
     ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -192,6 +209,12 @@ impl Metrics {
             let _ = writeln!(out, "annoda_persist_fsyncs_total {}", p.fsyncs);
             let _ = writeln!(out, "annoda_persist_snapshots_total {}", p.snapshots);
         }
+        if let Some(s) = snapshot {
+            let _ = writeln!(out, "annoda_snapshot_epoch {}", s.epoch);
+            let _ = writeln!(out, "annoda_snapshot_objects {}", s.objects);
+            let _ = writeln!(out, "annoda_store_clones_total {}", s.store_clones_total);
+            let _ = writeln!(out, "annoda_eval_workers {}", s.eval_workers);
+        }
         out
     }
 
@@ -201,6 +224,7 @@ impl Metrics {
         queue: &QueueGauge,
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
+        snapshot: Option<SnapshotGauges>,
     ) -> Json {
         let routes = ROUTES
             .iter()
@@ -254,6 +278,15 @@ impl Metrics {
             ]),
             None => Json::Null,
         };
+        let snapshot_json = match snapshot {
+            Some(s) => Json::obj([
+                ("epoch", Json::Int(s.epoch as i64)),
+                ("objects", Json::Int(s.objects as i64)),
+                ("store_clones_total", Json::Int(s.store_clones_total as i64)),
+                ("eval_workers", Json::Int(s.eval_workers as i64)),
+            ]),
+            None => Json::Null,
+        };
         Json::obj([
             (
                 "connections",
@@ -268,6 +301,7 @@ impl Metrics {
             ("routes", Json::Obj(routes)),
             ("mediator_cache", cache_json),
             ("persist", persist_json),
+            ("snapshot", snapshot_json),
         ])
     }
 }
@@ -328,6 +362,12 @@ mod tests {
                 fsyncs: 7,
                 snapshots: 1,
             }),
+            Some(SnapshotGauges {
+                epoch: 4,
+                objects: 120,
+                store_clones_total: 6,
+                eval_workers: 2,
+            }),
         );
         assert!(
             text.contains("annoda_requests_total{route=\"genes\"} 2"),
@@ -350,13 +390,18 @@ mod tests {
         assert!(text.contains("annoda_persist_snapshot_loaded 1"));
         assert!(text.contains("annoda_persist_replayed_records 5"));
         assert!(text.contains("annoda_persist_wal_bytes 340"));
+        assert!(text.contains("annoda_snapshot_epoch 4"));
+        assert!(text.contains("annoda_snapshot_objects 120"));
+        assert!(text.contains("annoda_store_clones_total 6"));
+        assert!(text.contains("annoda_eval_workers 2"));
 
-        let json = m.render_json(&gauge, None, None).to_text();
+        let json = m.render_json(&gauge, None, None, None).to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
             "{json}"
         );
         assert!(json.contains("\"mediator_cache\":null"));
         assert!(json.contains("\"persist\":null"));
+        assert!(json.contains("\"snapshot\":null"));
     }
 }

@@ -144,6 +144,13 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
 }
 
 /// `POST /lorel` — runs the body as a Lorel query over ANNODA-GML.
+///
+/// Zero-clone warm path: the handler briefly takes the system read lock
+/// to grab (or lazily build) the current epoch's `Arc<OemStore>`
+/// snapshot, then **drops the lock before evaluating** — a slow query
+/// can never stall `/healthz`, `/metrics`, or `/admin/refresh`, and the
+/// answer is materialised in a per-request overlay instead of a
+/// per-request store clone.
 fn lorel(app: &App, req: &Request, format: Format) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return error(400, format, "body is not UTF-8".to_string());
@@ -151,19 +158,28 @@ fn lorel(app: &App, req: &Request, format: Format) -> Response {
     if text.trim().is_empty() {
         return error(400, format, "empty query body".to_string());
     }
-    match app.system().lorel(text) {
-        Ok((store, outcome, cost)) => {
-            let answer_text = oem_text::write_rooted(&store, "answer", outcome.answer);
+    let snap = {
+        let sys = app.system();
+        match sys.query_snapshot() {
+            Ok(snap) => snap,
+            Err(e) => return error(500, format, e.to_string()),
+        }
+        // guard drops here — evaluation below holds no lock
+    };
+    match DurableSystem::lorel_on(&snap, text) {
+        Ok(served) => {
+            let answer_text = oem_text::write_rooted(&served.view, "answer", served.outcome.answer);
             match format {
                 Format::Text => Response::text(200, answer_text),
                 Format::Json => Response::json(
                     200,
                     &Json::obj([
-                        ("rows", Json::Int(outcome.rows.len() as i64)),
+                        ("rows", Json::Int(served.outcome.rows.len() as i64)),
                         (
                             "projected",
                             Json::Arr(
-                                outcome
+                                served
+                                    .outcome
                                     .projected
                                     .iter()
                                     .map(|(label, oids)| {
@@ -177,10 +193,27 @@ fn lorel(app: &App, req: &Request, format: Format) -> Response {
                         ),
                         (
                             "groups",
-                            Json::Arr(outcome.groups.iter().map(Json::str).collect()),
+                            Json::Arr(served.outcome.groups.iter().map(Json::str).collect()),
                         ),
                         ("answer", Json::str(answer_text)),
-                        ("cost_requests", Json::Int(cost.requests as i64)),
+                        ("epoch", Json::Int(served.epoch as i64)),
+                        ("store_len", Json::Int(served.store_len as i64)),
+                        (
+                            "answer_objects",
+                            Json::Int(served.view.overlay().len() as i64),
+                        ),
+                        (
+                            "eval_workers",
+                            Json::Int(served.explain.workers_used as i64),
+                        ),
+                        (
+                            "bindings_enumerated",
+                            Json::Int(served.explain.probes.bindings_enumerated as i64),
+                        ),
+                        ("cost_requests", Json::Int(served.cost.requests as i64)),
+                        ("cost_records", Json::Int(served.cost.records as i64)),
+                        ("cost_virtual_us", Json::Int(served.cost.virtual_us as i64)),
+                        ("cost_cache_hits", Json::Int(served.cost.cache_hits as i64)),
                     ]),
                 ),
             }
@@ -238,13 +271,31 @@ fn healthz(app: &App, format: Format) -> Response {
 }
 
 fn metrics(app: &App, format: Format) -> Response {
-    let (cache, persist) = {
+    let (cache, persist, snap) = {
         let sys = app.system();
-        (sys.annoda().mediator().cache_stats(), sys.persist_stats())
+        (
+            sys.annoda().mediator().cache_stats(),
+            sys.persist_stats(),
+            sys.snapshot_stats(),
+        )
     };
+    let snapshot = Some(crate::metrics::SnapshotGauges {
+        epoch: snap.map_or(0, |s| s.epoch),
+        objects: snap.map_or(0, |s| s.objects),
+        store_clones_total: annoda_oem::store_clone_count(),
+        eval_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    });
     match format {
-        Format::Text => Response::text(200, app.metrics.render_text(&app.gauge, cache, persist)),
-        Format::Json => Response::json(200, &app.metrics.render_json(&app.gauge, cache, persist)),
+        Format::Text => Response::text(
+            200,
+            app.metrics
+                .render_text(&app.gauge, cache, persist, snapshot),
+        ),
+        Format::Json => Response::json(
+            200,
+            &app.metrics
+                .render_json(&app.gauge, cache, persist, snapshot),
+        ),
     }
 }
 

@@ -25,6 +25,26 @@ cargo run --release --offline -p annoda-bench --bin bench_report -- serve --smok
 echo "== persistence smoke (B9) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- persist --smoke
 
+echo "== query-serving smoke (B10) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- query-serve --smoke
+
+echo "== parallel evaluator equivalence =="
+cargo test -q --offline -p annoda-lorel --test parallel_oracle
+
+echo "== parallel evaluator under ThreadSanitizer (nightly-only, best effort) =="
+# TSan needs a nightly toolchain with rust-src for -Zbuild-std; skip
+# cleanly when the box doesn't have one, but propagate real test
+# failures when it does.
+if rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src (installed)'; then
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q --offline \
+        -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+        -p annoda-lorel --test parallel_oracle -- wide_store_join_is_deterministic_across_worker_counts
+else
+    echo "(skipped: no nightly toolchain with rust-src installed)"
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -298,6 +298,164 @@ fn overload_sheds_with_503_and_retry_after() {
     server.shutdown(Duration::from_secs(5));
 }
 
+/// Regression for the snapshot-serving refactor: a long-running `/lorel`
+/// evaluation must never stall `/healthz`, `/metrics`, or
+/// `/admin/refresh`. Before the epoch-swapped `Arc<OemStore>` snapshot,
+/// the handler held the system read lock through evaluation, so a slow
+/// query serialised every other route behind it.
+#[test]
+fn slow_lorel_does_not_block_other_routes() {
+    // A corpus big enough that the 3-way self-join below runs for a
+    // while on one worker (it yields zero rows — the predicate cycle is
+    // contradictory — so only binding enumeration costs anything).
+    let c = Corpus::generate(CorpusConfig::tiny(42).scaled(4.0));
+    let (a, _) = Annoda::over_sources(c.locuslink, c.go, c.omim);
+    let server = Server::start(
+        a,
+        ServeConfig {
+            workers: 4,
+            ..ephemeral()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let slow_query = "select count(G) from ANNODA-GML GML, GML.Gene G, GML.Gene H, GML.Gene K \
+                      where G.Symbol < H.Symbol and H.Symbol < K.Symbol and K.Symbol < G.Symbol";
+    let request = format!(
+        "POST /lorel HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{slow_query}",
+        slow_query.len()
+    );
+    let started = std::time::Instant::now();
+    let slow = thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let (status, body) = read_response(&mut reader).unwrap();
+        (status, String::from_utf8_lossy(&body).into_owned())
+    });
+    // Let the slow evaluation get onto a worker.
+    thread::sleep(Duration::from_millis(150));
+
+    // Every other route must answer while the query is still running.
+    let (status, body) = get(&server, "/healthz", "text/plain");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = get(&server, "/metrics", "text/plain");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = roundtrip(
+        &server,
+        "POST /admin/refresh HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "refresh must not wait for the query: {body}");
+    let others_done = started.elapsed();
+
+    let (status, body) = slow.join().expect("slow client");
+    let slow_done = started.elapsed();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"rows\":0"), "{body}");
+    assert!(
+        slow_done > others_done,
+        "the slow query ({slow_done:?}) must still have been in flight when \
+         healthz/metrics/refresh finished ({others_done:?}) — otherwise this \
+         test proves nothing; grow the corpus"
+    );
+    server.shutdown(Duration::from_secs(5));
+}
+
+/// Sixteen concurrent clients mixing `/lorel`, `/object`, and
+/// `/admin/refresh`: every response must be internally consistent with
+/// exactly one snapshot epoch (no torn reads across an atomic swap) and
+/// nothing may 5xx.
+#[test]
+fn concurrent_serving_has_no_torn_snapshots() {
+    let a = system();
+    let symbol = known_symbol(&a);
+    let server = Server::start(
+        a,
+        ServeConfig {
+            workers: 8,
+            ..ephemeral()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    fn json_int(body: &str, key: &str) -> i64 {
+        let pat = format!("\"{key}\":");
+        let at = body.find(&pat).unwrap_or_else(|| panic!("{key} in {body}"));
+        body[at + pat.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '-')
+            .collect::<String>()
+            .parse()
+            .expect("integer field")
+    }
+
+    let query = "select count(GML.Gene) from ANNODA-GML GML";
+    let handles: Vec<_> = (0..16)
+        .map(|client| {
+            let symbol = symbol.clone();
+            thread::spawn(move || {
+                // (epoch, store_len, rows) triples from /lorel responses.
+                let mut observed: Vec<(i64, i64, i64)> = Vec::new();
+                for round in 0..6 {
+                    let request = match (client + round) % 4 {
+                        // A quarter of the traffic churns epochs.
+                        0 => "POST /admin/refresh HTTP/1.1\r\nHost: t\r\n\
+                              Content-Length: 0\r\nConnection: close\r\n\r\n"
+                            .to_string(),
+                        1 => format!(
+                            "GET /object/gene/{symbol} HTTP/1.1\r\nHost: t\r\n\
+                             Accept: application/json\r\nConnection: close\r\n\r\n"
+                        ),
+                        _ => format!(
+                            "POST /lorel HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\
+                             Content-Length: {}\r\nConnection: close\r\n\r\n{query}",
+                            query.len()
+                        ),
+                    };
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream.write_all(request.as_bytes()).unwrap();
+                    let mut reader = BufReader::new(stream);
+                    let (status, body) = read_response(&mut reader).unwrap();
+                    let body = String::from_utf8_lossy(&body).into_owned();
+                    assert!(status < 500, "no 5xx under mixed load: {status} {body}");
+                    assert_eq!(status, 200, "{body}");
+                    if body.contains("\"epoch\":") {
+                        observed.push((
+                            json_int(&body, "epoch"),
+                            json_int(&body, "store_len"),
+                            json_int(&body, "rows"),
+                        ));
+                    }
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let mut by_epoch: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
+    for h in handles {
+        for (epoch, store_len, rows) in h.join().expect("client thread") {
+            // A torn snapshot would pair one epoch's store with
+            // another's metadata — every response for an epoch must
+            // agree on what that epoch contained.
+            let entry = by_epoch.entry(epoch).or_insert((store_len, rows));
+            assert_eq!(
+                *entry,
+                (store_len, rows),
+                "epoch {epoch} served inconsistent (store_len, rows)"
+            );
+        }
+    }
+    assert!(
+        by_epoch.len() >= 2,
+        "refreshes must have produced multiple epochs: {by_epoch:?}"
+    );
+    server.shutdown(Duration::from_secs(5));
+}
+
 #[test]
 fn graceful_shutdown_drains_in_flight_requests() {
     let (server, _symbol) = start(ServeConfig {
