@@ -119,6 +119,33 @@ fn main() {
                 for d in annoda.registry().sources() {
                     println!("  {:<14} {}  [{}]", d.name, d.content, d.base_url);
                 }
+                for (name, snap) in annoda.federation_stats() {
+                    println!(
+                        "  {:<14} remote: breaker={} requests={} retries={} transport_errors={} last_wall={}us",
+                        name,
+                        snap.breaker.as_str(),
+                        snap.requests,
+                        snap.retries,
+                        snap.transport_errors,
+                        snap.last_wall_us
+                    );
+                }
+            }
+            // Plug in a federation source-server by address; the remote
+            // source then participates like any in-process wrapper.
+            "remote" => {
+                let addr = rest.trim();
+                if addr.is_empty() {
+                    println!("usage: remote <host:port>   (plug a federation source-server)");
+                    continue;
+                }
+                match annoda.plug_remote(addr) {
+                    Ok(r) => println!(
+                        "plugged {:<10} {} rules (mean score {:.2}) via {addr}",
+                        r.source, r.matched, r.mean_score
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
             }
             "ask" | "plan" => match parse_question(rest) {
                 Ok(question) => {
@@ -145,8 +172,14 @@ fn main() {
                                     c.virtual_ms()
                                 );
                             }
-                            for (src, err) in &answer.failed_sources {
-                                println!("    {src}: FAILED ({err})");
+                            for f in &answer.failed_sources {
+                                println!("    {}: FAILED [{}] ({})", f.source, f.kind, f.error);
+                            }
+                            if !answer.fused.missing_sources.is_empty() {
+                                println!(
+                                    "    partial answer — missing: {}",
+                                    answer.fused.missing_sources.join(", ")
+                                );
                             }
                             last_conflicts = answer
                                 .fused
@@ -338,7 +371,9 @@ fn main() {
 
 const HELP: &str = "\
 commands:
-  sources                      list plugged annotation sources
+  sources                      list plugged annotation sources (remote ones
+                               with breaker state and latency counters)
+  remote <host:port>           plug in a federation source-server
   ask <clauses>                answer a biological question; clauses:
                                  organism=<name>  symbol=<like-pattern>
                                  function=require|exclude[:<pattern>]

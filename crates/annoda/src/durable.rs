@@ -197,6 +197,16 @@ impl DurableSystem {
         Ok(report)
     }
 
+    /// Plugs a remote federation source, journaling the lifecycle event
+    /// like any other plug.
+    pub fn plug_remote(&mut self, addr: &str) -> Result<PlugReport, AnnodaError> {
+        let remote = annoda_federation::RemoteWrapper::connect(
+            addr,
+            annoda_federation::ClientConfig::default(),
+        )?;
+        self.plug(Box::new(remote))
+    }
+
     /// Unplugs a source, journals the lifecycle event, and re-syncs the
     /// persisted GML.
     pub fn unplug(&mut self, name: &str) -> Result<bool, AnnodaError> {

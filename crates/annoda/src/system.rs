@@ -6,6 +6,7 @@ use std::fmt;
 use annoda_baselines::{
     EvalFn, IntegrationSystem, InterfaceKind, Reconciliation, SystemAnswer, SystemError,
 };
+use annoda_federation::{ClientConfig, ProtoError, RemoteStatsSnapshot, RemoteWrapper};
 use annoda_lorel::QueryOutcome;
 use annoda_mediator::decompose::GeneQuestion;
 use annoda_mediator::{MediatedAnswer, Mediator, MediatorError};
@@ -24,6 +25,8 @@ pub enum AnnodaError {
     Mediator(MediatorError),
     /// The durable store could not journal, snapshot, or recover.
     Persist(annoda_persist::PersistError),
+    /// A remote source server could not be reached or spoke garbage.
+    Federation(ProtoError),
 }
 
 impl fmt::Display for AnnodaError {
@@ -31,6 +34,7 @@ impl fmt::Display for AnnodaError {
         match self {
             AnnodaError::Mediator(e) => write!(f, "{e}"),
             AnnodaError::Persist(e) => write!(f, "{e}"),
+            AnnodaError::Federation(e) => write!(f, "{e}"),
         }
     }
 }
@@ -46,6 +50,12 @@ impl From<MediatorError> for AnnodaError {
 impl From<annoda_persist::PersistError> for AnnodaError {
     fn from(e: annoda_persist::PersistError) -> Self {
         AnnodaError::Persist(e)
+    }
+}
+
+impl From<ProtoError> for AnnodaError {
+    fn from(e: ProtoError) -> Self {
+        AnnodaError::Federation(e)
     }
 }
 
@@ -84,6 +94,43 @@ impl Annoda {
     /// Unplugs a source.
     pub fn unplug(&mut self, name: &str) -> bool {
         self.registry.unplug(name)
+    }
+
+    /// Plugs in a remote source served by a federation source-server.
+    /// The wrapper fetches the source's description and full OML at
+    /// connect time, so MDSM matching proceeds exactly as for an
+    /// in-process source.
+    pub fn plug_remote(&mut self, addr: &str) -> Result<PlugReport, AnnodaError> {
+        self.plug_remote_with(addr, ClientConfig::default())
+    }
+
+    /// [`Self::plug_remote`] with explicit timeouts, retry budget, and
+    /// breaker thresholds.
+    pub fn plug_remote_with(
+        &mut self,
+        addr: &str,
+        config: ClientConfig,
+    ) -> Result<PlugReport, AnnodaError> {
+        let remote = RemoteWrapper::connect(addr, config)?;
+        Ok(self.registry.plug(Box::new(remote)))
+    }
+
+    /// Per-remote-source client statistics (breaker state, latency,
+    /// retries), in registry order. In-process sources are skipped.
+    pub fn federation_stats(&self) -> Vec<(String, RemoteStatsSnapshot)> {
+        let mediator = self.registry.mediator();
+        let mut stats = Vec::new();
+        for descr in mediator.sources() {
+            let name = descr.name.clone();
+            if let Some(wrapper) = mediator.wrapper(&name) {
+                if let Some(remote) =
+                    (wrapper as &dyn std::any::Any).downcast_ref::<RemoteWrapper>()
+                {
+                    stats.push((name, remote.stats_snapshot()));
+                }
+            }
+        }
+        stats
     }
 
     /// The registry (source descriptions, mediator access).

@@ -34,10 +34,14 @@ fn main() {
             let smoke = args.iter().any(|a| a == "--smoke");
             b10_query_serve(smoke);
         }
+        Some("federation") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            b11_federation(smoke);
+        }
         Some(other) => {
             eprintln!(
                 "unknown mode `{other}` (modes: serve [--smoke], persist [--smoke], \
-                 query-serve [--smoke]; default runs B1–B7)"
+                 query-serve [--smoke], federation [--smoke]; default runs B1–B7)"
             );
             std::process::exit(1);
         }
@@ -998,6 +1002,227 @@ fn b10_query_serve(smoke: bool) {
         "(The clone path pays a full store copy and an index-cache rebuild\n\
          on every request; the shared snapshot amortises both across the\n\
          epoch and allocates only the answer overlay per request.)\n"
+    );
+}
+
+// ---------------------------------------------------------------------
+/// **B11 — federated fan-out.** The Figure 1 wrapper boundary over real
+/// TCP: three source-servers on loopback vs the same sources
+/// in-process, at two corpus sizes. Each remote source is stalled a
+/// fixed 2 ms per subquery so the scatter-gather win is visible: the
+/// per-source wall-clocks *sum* in `cost.wall_us` but only the
+/// *critical path* (`wall_path_us`) is paid end to end. A second pass
+/// puts a flaky transport in front of OMIM to price retries and the
+/// circuit breaker. `--smoke` shrinks the corpus and skips the JSON
+/// artifact.
+fn b11_federation(smoke: bool) {
+    use annoda_federation::{ClientConfig, FaultConfig, ServerConfig, SourceServer};
+    use annoda_serve::json::Json;
+    use annoda_wrap::{DelayMode, FailureMode, FlakyWrapper, GoWrapper, OmimWrapper, Wrapper};
+    use std::time::Duration;
+
+    let sizes: &[usize] = if smoke { &[100] } else { &[1_000, 10_000] };
+    let asks = if smoke { 2 } else { 5 };
+    let stall = Duration::from_millis(2);
+    println!("=== B11: federated fan-out (3 source-servers on loopback) ===\n");
+
+    let spawn = |wrapper: Box<dyn Wrapper>, fault: FaultConfig| {
+        SourceServer::spawn(
+            wrapper,
+            "127.0.0.1:0",
+            ServerConfig {
+                fault,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    };
+    let client = ClientConfig {
+        retries: 2,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(8),
+        ..ClientConfig::default()
+    };
+    let question = GeneQuestion::figure5();
+
+    println!(
+        "{:<8} {:<22} {:>10} {:>12} {:>12} {:>8}",
+        "loci", "deployment", "ask_ms", "wall_sum_ms", "wall_path_ms", "genes"
+    );
+    let mut runs = Vec::new();
+    for &loci in sizes {
+        let corpus = workload::corpus_of(loci, 7);
+
+        // In-process baseline: no wire, no stalls, virtual cost only.
+        let local = workload::annoda_over(&corpus);
+        let t = Instant::now();
+        let mut local_answer = local.ask(&question).expect("local answer");
+        for _ in 1..asks {
+            local_answer = local.ask(&question).expect("local answer");
+        }
+        let local_ms = t.elapsed().as_secs_f64() * 1000.0 / asks as f64;
+        println!(
+            "{:<8} {:<22} {:>10.2} {:>12.2} {:>12.2} {:>8}",
+            loci,
+            "in-process",
+            local_ms,
+            local_answer.cost.wall_us as f64 / 1000.0,
+            local_answer.wall_path_us as f64 / 1000.0,
+            local_answer.fused.genes.len()
+        );
+
+        // Remote fan-out, each source stalled 2 ms per subquery: the
+        // sum of per-source wall-clocks exceeds the critical path by
+        // roughly the fan-out factor.
+        let servers = vec![
+            spawn(
+                Box::new(
+                    FlakyWrapper::new(
+                        annoda_wrap::LocusLinkWrapper::new(corpus.locuslink.clone()),
+                        FailureMode::Never,
+                    )
+                    .with_delay(DelayMode::Fixed(stall)),
+                ),
+                FaultConfig::none(),
+            ),
+            spawn(
+                Box::new(
+                    FlakyWrapper::new(GoWrapper::new(corpus.go.clone()), FailureMode::Never)
+                        .with_delay(DelayMode::Fixed(stall)),
+                ),
+                FaultConfig::none(),
+            ),
+            spawn(
+                Box::new(
+                    FlakyWrapper::new(OmimWrapper::new(corpus.omim.clone()), FailureMode::Never)
+                        .with_delay(DelayMode::Fixed(stall)),
+                ),
+                FaultConfig::none(),
+            ),
+        ];
+        let mut remote = annoda::Annoda::new();
+        for s in &servers {
+            remote
+                .plug_remote_with(&s.addr().to_string(), client)
+                .expect("plug remote");
+        }
+        let t = Instant::now();
+        let mut remote_answer = remote.ask(&question).expect("remote answer");
+        for _ in 1..asks {
+            remote_answer = remote.ask(&question).expect("remote answer");
+        }
+        let remote_ms = t.elapsed().as_secs_f64() * 1000.0 / asks as f64;
+        assert_eq!(
+            remote_answer.fused.genes.len(),
+            local_answer.fused.genes.len(),
+            "the wire must not change the answer"
+        );
+        let wall_sum = remote_answer.cost.wall_us as f64 / 1000.0;
+        let wall_path = remote_answer.wall_path_us as f64 / 1000.0;
+        println!(
+            "{:<8} {:<22} {:>10.2} {:>12.2} {:>12.2} {:>8}",
+            loci,
+            "remote (2ms stalls)",
+            remote_ms,
+            wall_sum,
+            wall_path,
+            remote_answer.fused.genes.len()
+        );
+
+        // Flaky OMIM: the wrapper aborts the connection on every other
+        // subquery, so answers only arrive through retries.
+        let flaky_servers = vec![
+            spawn(
+                Box::new(annoda_wrap::LocusLinkWrapper::new(corpus.locuslink.clone())),
+                FaultConfig::none(),
+            ),
+            spawn(
+                Box::new(GoWrapper::new(corpus.go.clone())),
+                FaultConfig::none(),
+            ),
+            spawn(
+                Box::new(FlakyWrapper::new(
+                    OmimWrapper::new(corpus.omim.clone()),
+                    FailureMode::EveryNth(2),
+                )),
+                FaultConfig::none(),
+            ),
+        ];
+        let mut flaky = annoda::Annoda::new();
+        for s in &flaky_servers {
+            flaky
+                .plug_remote_with(&s.addr().to_string(), client)
+                .expect("plug remote");
+        }
+        flaky.registry_mut().mediator_mut().partial_results = true;
+        let t = Instant::now();
+        let mut flaky_answer = flaky.ask(&question).expect("flaky answer");
+        for _ in 1..asks {
+            flaky_answer = flaky.ask(&question).expect("flaky answer");
+        }
+        let flaky_ms = t.elapsed().as_secs_f64() * 1000.0 / asks as f64;
+        let stats = flaky.federation_stats();
+        let retries: u64 = stats.iter().map(|(_, s)| s.retries).sum();
+        let breaker_opens: u64 = stats.iter().map(|(_, s)| s.breaker_opens).sum();
+        println!(
+            "{:<8} {:<22} {:>10.2} {:>12.2} {:>12.2} {:>8}  ({} retries, {} breaker opens)",
+            loci,
+            "remote (flaky OMIM)",
+            flaky_ms,
+            flaky_answer.cost.wall_us as f64 / 1000.0,
+            flaky_answer.wall_path_us as f64 / 1000.0,
+            flaky_answer.fused.genes.len(),
+            retries,
+            breaker_opens
+        );
+
+        runs.push(Json::obj([
+            ("loci", Json::Int(loci as i64)),
+            ("in_process_ms", Json::Float(local_ms)),
+            ("remote_ms", Json::Float(remote_ms)),
+            ("remote_wall_sum_ms", Json::Float(wall_sum)),
+            ("remote_wall_path_ms", Json::Float(wall_path)),
+            (
+                "fanout_speedup",
+                Json::Float(if wall_path > 0.0 {
+                    wall_sum / wall_path
+                } else {
+                    0.0
+                }),
+            ),
+            ("flaky_ms", Json::Float(flaky_ms)),
+            ("flaky_retries", Json::Int(retries as i64)),
+            ("flaky_breaker_opens", Json::Int(breaker_opens as i64)),
+            ("genes", Json::Int(local_answer.fused.genes.len() as i64)),
+            (
+                "virtual_us_local",
+                Json::Int(local_answer.cost.virtual_us as i64),
+            ),
+            (
+                "virtual_us_remote",
+                Json::Int(remote_answer.cost.virtual_us as i64),
+            ),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("experiment", Json::str("B11 federated fan-out")),
+        ("asks_per_cell", Json::Int(asks as i64)),
+        ("stall_ms", Json::Int(stall.as_millis() as i64)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    if smoke {
+        println!("\n(smoke mode: BENCH_federation.json not rewritten)");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_federation.json");
+        std::fs::write(path, report.to_text() + "\n").expect("write BENCH_federation.json");
+        println!("\n(machine-readable copy written to BENCH_federation.json)");
+    }
+    println!(
+        "(Per-source wall-clocks sum in cost.wall_us; the mediator pays only\n\
+         the per-phase maximum — the fan-out speedup column. Retries and\n\
+         breaker trips price the fault tolerance, not correctness: the\n\
+         flaky deployment returns the same gene set.)\n"
     );
 }
 

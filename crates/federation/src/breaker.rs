@@ -1,0 +1,215 @@
+//! Per-source circuit breaker: closed → open → half-open → closed.
+//!
+//! A source that keeps timing out must not keep costing the mediator a
+//! full deadline per question. After `failure_threshold` *consecutive*
+//! transport failures the breaker opens and requests fast-fail locally;
+//! after `cooldown` one probe request is let through (half-open). If the
+//! probe succeeds the breaker closes, if it fails the cooldown restarts.
+//!
+//! Only transport losses count as failures — a source that *answers*
+//! with a refusal is alive, however unhelpful, and answering refusals
+//! resets the consecutive-failure count.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures before the breaker opens.
+    pub failure_threshold: u32,
+    /// How long an open breaker fast-fails before probing.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The observable breaker state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; counting consecutive failures.
+    #[default]
+    Closed,
+    /// Requests fast-fail until the cooldown elapses.
+    Open,
+    /// One probe is in flight; everyone else still fast-fails.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name, for metrics and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed { consecutive_failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// A thread-safe circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// The current state (transitions Open → HalfOpen are only taken by
+    /// [`CircuitBreaker::try_acquire`], so this is purely observational).
+    pub fn state(&self) -> BreakerState {
+        match *self.inner.lock().expect("breaker lock") {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { .. } => BreakerState::Open,
+            Inner::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Asks permission to issue a request. `Ok(())` means go (closed, or
+    /// the half-open probe slot was just claimed); `Err(remaining)` means
+    /// fast-fail, with the cooldown time left (zero while another probe
+    /// is in flight).
+    pub fn try_acquire(&self) -> Result<(), Duration> {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match *inner {
+            Inner::Closed { .. } => Ok(()),
+            Inner::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.config.cooldown {
+                    *inner = Inner::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(self.config.cooldown - elapsed)
+                }
+            }
+            Inner::HalfOpen => Err(Duration::ZERO),
+        }
+    }
+
+    /// Reports a successful (or refused-but-answered) request. Closes
+    /// the breaker and resets the failure count.
+    pub fn record_success(&self) {
+        *self.inner.lock().expect("breaker lock") = Inner::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Reports a transport failure. Returns `true` when this failure
+    /// *opened* the breaker (for the stats counter).
+    pub fn record_failure(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match *inner {
+            Inner::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.config.failure_threshold {
+                    *inner = Inner::Open {
+                        since: Instant::now(),
+                    };
+                    true
+                } else {
+                    *inner = Inner::Closed {
+                        consecutive_failures: n,
+                    };
+                    false
+                }
+            }
+            // A failed half-open probe re-opens for a fresh cooldown.
+            Inner::HalfOpen => {
+                *inner = Inner::Open {
+                    since: Instant::now(),
+                };
+                true
+            }
+            Inner::Open { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let b = breaker(3, 1000);
+        assert!(b.try_acquire().is_ok());
+        b.record_failure();
+        b.record_failure();
+        // A success resets the streak.
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure(), "third consecutive failure opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        let remaining = b.try_acquire().unwrap_err();
+        assert!(remaining > Duration::ZERO);
+    }
+
+    #[test]
+    fn half_open_admits_one_probe() {
+        let b = breaker(1, 0); // cooldown 0: immediately probe-able
+        assert!(b.record_failure());
+        // First acquire claims the probe slot…
+        assert!(b.try_acquire().is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // …and concurrent callers fast-fail while it is in flight.
+        assert_eq!(b.try_acquire().unwrap_err(), Duration::ZERO);
+        // Probe success closes; probe failure re-opens.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure());
+        assert!(b.try_acquire().is_ok());
+        assert!(b.record_failure(), "failed probe re-opens");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn recovers_after_cooldown() {
+        let b = breaker(1, 10);
+        b.record_failure();
+        assert!(b.try_acquire().is_err());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.try_acquire().is_ok());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

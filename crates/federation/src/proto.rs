@@ -1,0 +1,547 @@
+//! The AFED wire protocol: crc32-framed, versioned, length-prefixed
+//! binary messages over TCP.
+//!
+//! The frame format deliberately mirrors the `annoda-persist` WAL —
+//! `[u32-LE len][u32-LE crc32(payload)][payload]` — and the payloads
+//! reuse the persist codec's primitives ([`write_varint`],
+//! [`write_string`], [`Reader`]) and its canonical store encoding
+//! ([`encode_store`]/[`decode_store`]). Reuse is the point: a
+//! `SubqueryResult` shipped over a socket is byte-for-byte the same
+//! fragment the WAL would journal, with the same torn-frame tolerance —
+//! a truncated or corrupted frame is detected by length/checksum and
+//! surfaced as a transport error, never as garbage data.
+//!
+//! A connection starts with a 5-byte hello (`b"AFED"` + version) in each
+//! direction; every subsequent frame carries one [`Message`] — a tag
+//! byte followed by a tag-specific body. Within a connection, requests
+//! and responses strictly alternate (one in flight at a time);
+//! concurrency comes from using multiple connections, which the client
+//! pools.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use annoda_oem::{OemStore, Oid};
+use annoda_persist::codec::{write_string, write_varint, Reader};
+use annoda_persist::{crc32, decode_store, encode_store, PersistError};
+use annoda_wrap::{Capabilities, Cost, LatencyModel, SourceDescription, SubqueryResult};
+
+/// Protocol magic, first bytes on the wire in both directions.
+pub const MAGIC: &[u8; 4] = b"AFED";
+/// Protocol version, negotiated (exact-match) during the hello.
+pub const VERSION: u8 = 1;
+/// Hard cap on one frame's payload, so a corrupted length field cannot
+/// ask for a multi-gigabyte allocation (same bound as the WAL).
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Errors crossing or decoding the wire.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The socket failed (connect, read, write, timeout, EOF).
+    Io(io::Error),
+    /// A frame was malformed: bad magic, version mismatch, implausible
+    /// length, checksum mismatch, or an unknown/unexpected message tag.
+    Frame(String),
+    /// A frame's payload failed to decode as its message body.
+    Codec(PersistError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+            ProtoError::Frame(what) => write!(f, "bad frame: {what}"),
+            ProtoError::Codec(e) => write!(f, "bad payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<PersistError> for ProtoError {
+    fn from(e: PersistError) -> Self {
+        ProtoError::Codec(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// framing
+
+/// Writes one frame: `[len][crc32][payload]`, then flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut head = [0u8; 8];
+    head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, verifying length plausibility and checksum.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
+    let mut head = [0u8; 8];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+    let want = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(ProtoError::Frame(format!("implausible frame length {len}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let got = crc32(&payload);
+    if got != want {
+        return Err(ProtoError::Frame(format!(
+            "checksum mismatch (want {want:#010x}, got {got:#010x})"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Sends the 5-byte hello.
+pub fn send_hello(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.flush()
+}
+
+/// Reads and verifies the peer's hello.
+pub fn expect_hello(r: &mut impl Read) -> Result<(), ProtoError> {
+    let mut hello = [0u8; 5];
+    r.read_exact(&mut hello)?;
+    if &hello[..4] != MAGIC {
+        return Err(ProtoError::Frame("bad magic".into()));
+    }
+    if hello[4] != VERSION {
+        return Err(ProtoError::Frame(format!(
+            "version mismatch (peer {}, ours {VERSION})",
+            hello[4]
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// messages
+
+/// How a source *refused* a subquery. Transport losses never cross the
+/// wire as a refusal — they are precisely the failures where no answer
+/// arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalKind {
+    /// The Lorel subquery failed to parse or evaluate.
+    Query,
+    /// The request needs a capability the source does not offer.
+    Unsupported,
+}
+
+/// A subquery answer shipped back from a source-server: the
+/// [`SubqueryResult`] fields plus the *server-side* cost meter, so the
+/// client charges exactly what an in-process wrapper would have.
+#[derive(Debug, Clone)]
+pub struct RemoteResult {
+    /// The shipped result fragment.
+    pub store: OemStore,
+    /// The `result` root inside the fragment.
+    pub root: Oid,
+    /// Rows shipped.
+    pub rows: u64,
+    /// Whether the wrapper's explicit join-key index answered.
+    pub used_index: bool,
+    /// Whether the planner's index seek answered the scan path.
+    pub planner_index_backed: bool,
+    /// The source-side cost of executing the subquery.
+    pub cost: Cost,
+}
+
+impl RemoteResult {
+    /// Converts into the wrapper-layer result type.
+    pub fn into_subquery_result(self) -> SubqueryResult {
+        SubqueryResult {
+            store: self.store,
+            root: self.root,
+            rows: self.rows as usize,
+            used_index: self.used_index,
+            planner_index_backed: self.planner_index_backed,
+        }
+    }
+}
+
+/// One protocol message. Tags are stable wire constants; unknown tags
+/// are a frame error (a v2 peer must bump [`VERSION`]).
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Client → server: send me your source description.
+    Describe,
+    /// Server → client: the wrapped source's description.
+    Description(SourceDescription),
+    /// Client → server: send me your current ANNODA-OML local model.
+    FetchOml,
+    /// Server → client: the OML, canonically encoded.
+    Oml(OemStore),
+    /// Client → server: execute this Lorel subquery.
+    Subquery(String),
+    /// Server → client: the subquery answered.
+    SubqueryOk(RemoteResult),
+    /// Server → client: the source *refused* the subquery.
+    SubqueryErr {
+        /// Why it refused.
+        kind: RefusalKind,
+        /// The refusal message (the source-side error's display form).
+        message: String,
+    },
+    /// Client → server: re-export your OML from the native database.
+    Refresh,
+    /// Server → client: refresh done; the new model and its size.
+    Refreshed {
+        /// Objects in the refreshed model.
+        objects: u64,
+        /// The refreshed OML.
+        oml: OemStore,
+    },
+    /// Client → server: liveness probe.
+    Ping,
+    /// Server → client: liveness answer.
+    Pong,
+}
+
+const TAG_DESCRIBE: u8 = 0;
+const TAG_DESCRIPTION: u8 = 1;
+const TAG_FETCH_OML: u8 = 2;
+const TAG_OML: u8 = 3;
+const TAG_SUBQUERY: u8 = 4;
+const TAG_SUBQUERY_OK: u8 = 5;
+const TAG_SUBQUERY_ERR: u8 = 6;
+const TAG_REFRESH: u8 = 7;
+const TAG_REFRESHED: u8 = 8;
+const TAG_PING: u8 = 9;
+const TAG_PONG: u8 = 10;
+
+fn write_store(buf: &mut Vec<u8>, store: &OemStore) {
+    let bytes = encode_store(store);
+    write_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(&bytes);
+}
+
+fn read_store(r: &mut Reader<'_>) -> Result<OemStore, ProtoError> {
+    let len = r.len_field()?;
+    let bytes = r.take(len)?;
+    Ok(decode_store(bytes)?)
+}
+
+fn write_cost(buf: &mut Vec<u8>, cost: &Cost) {
+    write_varint(buf, cost.requests);
+    write_varint(buf, cost.records);
+    write_varint(buf, cost.virtual_us);
+    write_varint(buf, cost.cache_hits);
+    write_varint(buf, cost.wall_us);
+}
+
+fn read_cost(r: &mut Reader<'_>) -> Result<Cost, ProtoError> {
+    Ok(Cost {
+        requests: r.varint()?,
+        records: r.varint()?,
+        virtual_us: r.varint()?,
+        cache_hits: r.varint()?,
+        wall_us: r.varint()?,
+    })
+}
+
+fn write_description(buf: &mut Vec<u8>, d: &SourceDescription) {
+    write_string(buf, &d.name);
+    write_string(buf, &d.content);
+    write_string(buf, &d.base_url);
+    write_string(buf, &d.structure);
+    let caps = &d.capabilities;
+    buf.push(
+        u8::from(caps.id_lookup)
+            | u8::from(caps.key_lookup) << 1
+            | u8::from(caps.full_scan) << 2
+            | u8::from(caps.predicate_pushdown) << 3,
+    );
+    write_varint(buf, d.latency.per_request_us);
+    write_varint(buf, d.latency.per_record_us);
+}
+
+fn read_description(r: &mut Reader<'_>) -> Result<SourceDescription, ProtoError> {
+    let name = r.string()?;
+    let content = r.string()?;
+    let base_url = r.string()?;
+    let structure = r.string()?;
+    let bits = r.byte()?;
+    let capabilities = Capabilities {
+        id_lookup: bits & 1 != 0,
+        key_lookup: bits & 2 != 0,
+        full_scan: bits & 4 != 0,
+        predicate_pushdown: bits & 8 != 0,
+    };
+    let latency = LatencyModel {
+        per_request_us: r.varint()?,
+        per_record_us: r.varint()?,
+    };
+    Ok(SourceDescription {
+        name,
+        content,
+        base_url,
+        structure,
+        capabilities,
+        latency,
+    })
+}
+
+impl Message {
+    /// Encodes as one frame payload: tag byte + body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Message::Describe => buf.push(TAG_DESCRIBE),
+            Message::Description(d) => {
+                buf.push(TAG_DESCRIPTION);
+                write_description(&mut buf, d);
+            }
+            Message::FetchOml => buf.push(TAG_FETCH_OML),
+            Message::Oml(store) => {
+                buf.push(TAG_OML);
+                write_store(&mut buf, store);
+            }
+            Message::Subquery(lorel) => {
+                buf.push(TAG_SUBQUERY);
+                write_string(&mut buf, lorel);
+            }
+            Message::SubqueryOk(res) => {
+                buf.push(TAG_SUBQUERY_OK);
+                write_varint(&mut buf, res.rows);
+                buf.push(u8::from(res.used_index) | u8::from(res.planner_index_backed) << 1);
+                write_cost(&mut buf, &res.cost);
+                // The codec preserves oid order, so the root travels as
+                // its raw index into the canonical encoding.
+                write_varint(&mut buf, res.root.index() as u64);
+                write_store(&mut buf, &res.store);
+            }
+            Message::SubqueryErr { kind, message } => {
+                buf.push(TAG_SUBQUERY_ERR);
+                buf.push(match kind {
+                    RefusalKind::Query => 0,
+                    RefusalKind::Unsupported => 1,
+                });
+                write_string(&mut buf, message);
+            }
+            Message::Refresh => buf.push(TAG_REFRESH),
+            Message::Refreshed { objects, oml } => {
+                buf.push(TAG_REFRESHED);
+                write_varint(&mut buf, *objects);
+                write_store(&mut buf, oml);
+            }
+            Message::Ping => buf.push(TAG_PING),
+            Message::Pong => buf.push(TAG_PONG),
+        }
+        buf
+    }
+
+    /// Decodes one frame payload. Trailing bytes are a frame error.
+    pub fn decode(payload: &[u8]) -> Result<Message, ProtoError> {
+        let mut r = Reader::new(payload);
+        let msg = match r.byte()? {
+            TAG_DESCRIBE => Message::Describe,
+            TAG_DESCRIPTION => Message::Description(read_description(&mut r)?),
+            TAG_FETCH_OML => Message::FetchOml,
+            TAG_OML => Message::Oml(read_store(&mut r)?),
+            TAG_SUBQUERY => Message::Subquery(r.string()?),
+            TAG_SUBQUERY_OK => {
+                let rows = r.varint()?;
+                let flags = r.byte()?;
+                let cost = read_cost(&mut r)?;
+                let root = Oid::from_index(r.varint()? as usize);
+                let store = read_store(&mut r)?;
+                if store.get(root).is_none() {
+                    return Err(ProtoError::Frame(format!(
+                        "result root {} not in shipped store",
+                        root.index()
+                    )));
+                }
+                Message::SubqueryOk(RemoteResult {
+                    store,
+                    root,
+                    rows,
+                    used_index: flags & 1 != 0,
+                    planner_index_backed: flags & 2 != 0,
+                    cost,
+                })
+            }
+            TAG_SUBQUERY_ERR => {
+                let kind = match r.byte()? {
+                    0 => RefusalKind::Query,
+                    1 => RefusalKind::Unsupported,
+                    k => return Err(ProtoError::Frame(format!("unknown refusal kind {k}"))),
+                };
+                Message::SubqueryErr {
+                    kind,
+                    message: r.string()?,
+                }
+            }
+            TAG_REFRESH => Message::Refresh,
+            TAG_REFRESHED => {
+                let objects = r.varint()?;
+                let oml = read_store(&mut r)?;
+                Message::Refreshed { objects, oml }
+            }
+            TAG_PING => Message::Ping,
+            TAG_PONG => Message::Pong,
+            tag => return Err(ProtoError::Frame(format!("unknown message tag {tag}"))),
+        };
+        if !r.is_empty() {
+            return Err(ProtoError::Frame("trailing bytes after message".into()));
+        }
+        Ok(msg)
+    }
+}
+
+/// Writes `msg` as one frame.
+pub fn send(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    write_frame(w, &msg.encode())
+}
+
+/// Reads one frame and decodes it.
+pub fn recv(r: &mut impl Read) -> Result<Message, ProtoError> {
+    Message::decode(&read_frame(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        // Torn: drop the last byte.
+        let torn = &wire[..wire.len() - 1];
+        assert!(matches!(read_frame(&mut &torn[..]), Err(ProtoError::Io(_))));
+        // Corrupt: flip a payload bit.
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(ProtoError::Frame(_))
+        ));
+        // Implausible length field.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        huge.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(ProtoError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn hello_rejects_strangers() {
+        let mut wire = Vec::new();
+        send_hello(&mut wire).unwrap();
+        assert!(expect_hello(&mut &wire[..]).is_ok());
+        assert!(matches!(
+            expect_hello(&mut &b"HTTP/1.1 "[..]),
+            Err(ProtoError::Frame(_))
+        ));
+        let future = [MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], VERSION + 1];
+        assert!(matches!(
+            expect_hello(&mut &future[..]),
+            Err(ProtoError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn description_round_trips() {
+        let d = SourceDescription::remote("GO", "gene ontology", "http://example/go");
+        let payload = Message::Description(d.clone()).encode();
+        match Message::decode(&payload).unwrap() {
+            Message::Description(got) => assert_eq!(got, d),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_result_round_trips_byte_identically() {
+        let mut store = OemStore::new();
+        let root = store.new_complex();
+        store.set_name_overwrite("result", root).unwrap();
+        let row = store.add_complex_child(root, "row").unwrap();
+        store.add_atomic_child(row, "Symbol", "TP53").unwrap();
+        let before = encode_store(&store);
+        let msg = Message::SubqueryOk(RemoteResult {
+            store,
+            root,
+            rows: 1,
+            used_index: true,
+            planner_index_backed: false,
+            cost: Cost {
+                requests: 1,
+                records: 1,
+                virtual_us: 40_050,
+                cache_hits: 0,
+                wall_us: 120,
+            },
+        });
+        match Message::decode(&msg.encode()).unwrap() {
+            Message::SubqueryOk(got) => {
+                assert_eq!(encode_store(&got.store), before);
+                assert_eq!(got.root, root);
+                assert_eq!(got.rows, 1);
+                assert!(got.used_index);
+                assert!(!got.planner_index_backed);
+                assert_eq!(got.cost.virtual_us, 40_050);
+                assert_eq!(got.cost.wall_us, 120);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_root_is_a_frame_error() {
+        let mut store = OemStore::new();
+        let root = store.new_complex();
+        store.set_name_overwrite("result", root).unwrap();
+        let msg = Message::SubqueryOk(RemoteResult {
+            store,
+            root: Oid::from_index(99),
+            rows: 0,
+            used_index: false,
+            planner_index_backed: false,
+            cost: Cost::new(),
+        });
+        assert!(matches!(
+            Message::decode(&msg.encode()),
+            Err(ProtoError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_unknown_tags_fail() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(matches!(Message::decode(&[200]), Err(ProtoError::Frame(_))));
+        // Trailing garbage after a well-formed message.
+        let mut payload = Message::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(ProtoError::Frame(_))
+        ));
+    }
+}

@@ -124,6 +124,11 @@ pub struct FusedAnswer {
     pub conflicts: Vec<Conflict>,
     /// Row counts.
     pub stats: FusionStats,
+    /// Sources whose contribution is *missing* from this answer because
+    /// they failed during execution (partial-results degradation). Empty
+    /// for a complete answer. Set by the mediator after fusion — the
+    /// degradation travels with the answer, it is not a silent drop.
+    pub missing_sources: Vec<String>,
 }
 
 impl FusedAnswer {
@@ -679,6 +684,7 @@ pub fn fuse(
         genes,
         conflicts: reconciler.into_conflicts(),
         stats,
+        missing_sources: Vec::new(),
     }
 }
 

@@ -39,7 +39,7 @@ pub use fusion::{
     FusionStats, IntegratedGene, TaggedResult,
 };
 pub use gml::{GlobalModel, GmlBuilder};
-pub use mediator::{MediatedAnswer, Mediator, MediatorError};
+pub use mediator::{FailureKind, MediatedAnswer, Mediator, MediatorError, SourceFailure};
 pub use optimizer::{plan, ExecutionPlan, OptimizerConfig, PlanStep, SourceInfo};
 pub use reconcile::{Conflict, ConflictKind, ReconcilePolicy, Reconciler};
 pub use weblink::WebLink;

@@ -59,6 +59,58 @@ impl From<LorelError> for MediatorError {
     }
 }
 
+/// Why a source failed during plan execution — the mediator's failure
+/// taxonomy, coarser than [`WrapError`] but wire-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The source could not be *reached*: connect refused, timeout, torn
+    /// frame, or a tripped circuit breaker. Nothing answered; retrying
+    /// later may succeed.
+    Transport,
+    /// The source *answered* with a refusal — the subquery failed to
+    /// parse/evaluate or needs a missing capability. Retrying gets the
+    /// same answer.
+    Refusal,
+    /// The wrapper panicked; the mediator contained the crash to this
+    /// source.
+    Panic,
+}
+
+impl FailureKind {
+    /// Stable lowercase name, for display and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Transport => "transport",
+            FailureKind::Refusal => "refusal",
+            FailureKind::Panic => "panic",
+        }
+    }
+
+    fn of(error: &WrapError) -> FailureKind {
+        match error {
+            WrapError::Transport(_) => FailureKind::Transport,
+            WrapError::Query(_) | WrapError::Unsupported(_) => FailureKind::Refusal,
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One source that failed while answering a question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFailure {
+    /// The failing source's name.
+    pub source: String,
+    /// The error's display form.
+    pub error: String,
+    /// Transport loss, answered refusal, or contained panic.
+    pub kind: FailureKind,
+}
+
 /// An answered question: the fused result plus the plan and cost that
 /// produced it.
 #[derive(Debug)]
@@ -73,12 +125,32 @@ pub struct MediatedAnswer {
     /// concurrently, so each phase costs its *slowest* subquery, not the
     /// sum — this is the per-phase max, summed over phases.
     pub critical_path_us: u64,
-    /// Sources that failed during execution, with their errors — only
-    /// populated under [`Mediator::partial_results`]; otherwise a
-    /// failure aborts the whole answer.
-    pub failed_sources: Vec<(String, String)>,
+    /// *Measured* wall-clock analogue of
+    /// [`MediatedAnswer::critical_path_us`]: each phase's slowest
+    /// subquery by real elapsed time, summed over phases. For in-process
+    /// wrappers this is microseconds of compute; for remote wrappers it
+    /// is genuine network time (including retries and backoff).
+    pub wall_path_us: u64,
+    /// Sources that failed during execution — only populated under
+    /// [`Mediator::partial_results`]; otherwise a failure aborts the
+    /// whole answer. Mirrored into
+    /// [`FusedAnswer::missing_sources`] so the degradation travels with
+    /// the answer itself.
+    pub failed_sources: Vec<SourceFailure>,
     /// Per-source cost breakdown (cache hits contribute zero).
     pub per_source_cost: Vec<(String, Cost)>,
+}
+
+/// What one concurrently-executed batch of subqueries produced.
+struct BatchOutcome {
+    tagged: Vec<TaggedResult>,
+    cost: Cost,
+    /// Slowest subquery by virtual cost (the modelled critical path).
+    critical_us: u64,
+    /// Slowest subquery by measured wall-clock.
+    wall_path_us: u64,
+    failed: Vec<SourceFailure>,
+    per_source: Vec<(String, Cost)>,
 }
 
 /// The ANNODA mediator of Figure 1.
@@ -165,23 +237,13 @@ impl Mediator {
 
     /// Runs one batch of subqueries concurrently (one thread per
     /// source round trip), consulting the cache. Returns the results in
-    /// step order, the summed cost, and the batch's critical path (the
-    /// slowest subquery's virtual cost).
-    #[allow(clippy::type_complexity)]
+    /// step order, the summed cost, and the batch's critical paths (the
+    /// slowest subquery by virtual cost and by measured wall-clock).
     fn run_batch(
         &self,
         steps: &[&crate::optimizer::PlanStep],
         overrides: &HashMap<usize, String>,
-    ) -> Result<
-        (
-            Vec<TaggedResult>,
-            Cost,
-            u64,
-            Vec<(String, String)>,
-            Vec<(String, Cost)>,
-        ),
-        MediatorError,
-    > {
+    ) -> Result<BatchOutcome, MediatorError> {
         // Resolve wrappers (and cache hits) up front.
         enum Job<'a> {
             Cached(Box<SubqueryResult>),
@@ -207,7 +269,7 @@ impl Mediator {
         }
 
         let mut outputs: Vec<(usize, SubqueryResult, Cost, Option<String>)> = Vec::new();
-        let mut failures: Vec<(usize, WrapError)> = Vec::new();
+        let mut failures: Vec<(usize, WrapError, FailureKind)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, job) in jobs {
@@ -219,7 +281,13 @@ impl Mediator {
                             key,
                             scope.spawn(move || {
                                 let mut cost = Cost::new();
+                                let start = std::time::Instant::now();
                                 let result = wrapper.subquery(&lorel, &mut cost);
+                                // The mediator's own measurement
+                                // subsumes whatever the wrapper timed
+                                // (a remote round trip, an injected
+                                // stall): one clock, one owner.
+                                cost.wall_us = start.elapsed().as_micros() as u64;
                                 (result, cost)
                             }),
                         ));
@@ -229,7 +297,10 @@ impl Mediator {
             for (i, key, handle) in handles {
                 match handle.join() {
                     Ok((Ok(r), cost)) => outputs.push((i, r, cost, Some(key))),
-                    Ok((Err(e), _)) => failures.push((i, e)),
+                    Ok((Err(e), _)) => {
+                        let kind = FailureKind::of(&e);
+                        failures.push((i, e, kind));
+                    }
                     // A panicking wrapper is contained to its own
                     // source: surface it as that step's failure instead
                     // of aborting the whole answer.
@@ -239,7 +310,11 @@ impl Mediator {
                             .map(|s| (*s).to_string())
                             .or_else(|| panic.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "wrapper panicked".to_string());
-                        failures.push((i, WrapError::Unsupported(format!("panic: {msg}"))));
+                        failures.push((
+                            i,
+                            WrapError::Unsupported(format!("panic: {msg}")),
+                            FailureKind::Panic,
+                        ));
                     }
                 }
             }
@@ -247,21 +322,26 @@ impl Mediator {
         // Failures are keyed by step index so the error reported without
         // partial results is the FIRST failing step in plan order, not
         // whichever thread finished last.
-        failures.sort_by_key(|(i, _)| *i);
+        failures.sort_by_key(|(i, ..)| *i);
         if !self.partial_results {
-            if let Some((_, e)) = failures.first() {
+            if let Some((_, e, _)) = failures.first() {
                 return Err(e.clone().into());
             }
         }
-        let failed: Vec<(String, String)> = failures
+        let failed: Vec<SourceFailure> = failures
             .iter()
-            .map(|(i, e)| (steps[*i].query.source.clone(), e.to_string()))
+            .map(|(i, e, kind)| SourceFailure {
+                source: steps[*i].query.source.clone(),
+                error: e.to_string(),
+                kind: *kind,
+            })
             .collect();
         outputs.sort_by_key(|(i, ..)| *i);
 
         let mut tagged = Vec::new();
         let mut total = Cost::new();
         let mut critical = 0u64;
+        let mut wall_path = 0u64;
         let mut per_source: Vec<(String, Cost)> = Vec::new();
         for (i, result, cost, key) in outputs {
             if let (Some(cache), Some(key)) = (&self.cache, key) {
@@ -269,6 +349,7 @@ impl Mediator {
             }
             total += cost;
             critical = critical.max(cost.virtual_us);
+            wall_path = wall_path.max(cost.wall_us);
             let step = steps[i];
             match per_source.iter_mut().find(|(s, _)| s == &step.query.source) {
                 Some((_, c)) => *c += cost,
@@ -280,7 +361,14 @@ impl Mediator {
                 result,
             });
         }
-        Ok((tagged, total, critical, failed, per_source))
+        Ok(BatchOutcome {
+            tagged,
+            cost: total,
+            critical_us: critical,
+            wall_path_us: wall_path,
+            failed,
+            per_source,
+        })
     }
 
     /// Plugs in a new source: matches its OML against the global schema
@@ -395,6 +483,7 @@ impl Mediator {
         let plan = self.plan(question);
         let mut cost = Cost::new();
         let mut critical_path_us = 0u64;
+        let mut wall_path_us = 0u64;
 
         // Phase 1: gene steps, concurrently across providers.
         let gene_steps: Vec<&crate::optimizer::PlanStep> = plan
@@ -402,10 +491,13 @@ impl Mediator {
             .iter()
             .filter(|s| s.query.purpose == Purpose::Genes)
             .collect();
-        let (mut tagged, c1, p1, mut failed_sources, mut per_source_cost) =
-            self.run_batch(&gene_steps, &HashMap::new())?;
-        cost += c1;
-        critical_path_us += p1;
+        let batch1 = self.run_batch(&gene_steps, &HashMap::new())?;
+        let mut tagged = batch1.tagged;
+        let mut failed_sources = batch1.failed;
+        let mut per_source_cost = batch1.per_source;
+        cost += batch1.cost;
+        critical_path_us += batch1.critical_us;
+        wall_path_us += batch1.wall_path_us;
         if !gene_steps.is_empty() && tagged.is_empty() {
             // Every gene provider failed: nothing to integrate.
             return Err(MediatorError::NoGeneProvider);
@@ -468,24 +560,34 @@ impl Mediator {
             }
             other_steps.push(step);
         }
-        let (tagged2, c2, p2, failed2, per_source2) = self.run_batch(&other_steps, &overrides)?;
-        tagged.extend(tagged2);
-        cost += c2;
-        critical_path_us += p2;
-        failed_sources.extend(failed2);
-        for (src, c) in per_source2 {
+        let batch2 = self.run_batch(&other_steps, &overrides)?;
+        tagged.extend(batch2.tagged);
+        cost += batch2.cost;
+        critical_path_us += batch2.critical_us;
+        wall_path_us += batch2.wall_path_us;
+        failed_sources.extend(batch2.failed);
+        for (src, c) in batch2.per_source {
             match per_source_cost.iter_mut().find(|(s, _)| s == &src) {
                 Some((_, existing)) => *existing += c,
                 None => per_source_cost.push((src, c)),
             }
         }
 
-        let fused = fuse(question, &tagged, self.policy.clone());
+        let mut fused = fuse(question, &tagged, self.policy.clone());
+        // A degraded answer carries its own degradation: the fused view
+        // names every source whose contribution is missing, so callers
+        // rendering only the answer still see the gap.
+        for failure in &failed_sources {
+            if !fused.missing_sources.contains(&failure.source) {
+                fused.missing_sources.push(failure.source.clone());
+            }
+        }
         Ok(MediatedAnswer {
             fused,
             plan,
             cost,
             critical_path_us,
+            wall_path_us,
             failed_sources,
             per_source_cost,
         })
@@ -1167,8 +1269,12 @@ mod tests {
         m.partial_results = true;
         let ans = m.answer(&q).unwrap();
         assert_eq!(ans.failed_sources.len(), 1);
-        assert_eq!(ans.failed_sources[0].0, "OMIM");
-        assert!(ans.failed_sources[0].1.contains("injected failure"));
+        assert_eq!(ans.failed_sources[0].source, "OMIM");
+        assert!(ans.failed_sources[0].error.contains("injected failure"));
+        // FlakyWrapper simulates unreachability: a transport loss, and
+        // the fused answer itself names the missing source.
+        assert_eq!(ans.failed_sources[0].kind, FailureKind::Transport);
+        assert_eq!(ans.fused.missing_sources, vec!["OMIM".to_string()]);
         let expected: Vec<String> = {
             let mut v: Vec<String> = corpus
                 .locuslink
@@ -1273,12 +1379,14 @@ mod tests {
         m.partial_results = true;
         let ans = m.answer(&q).unwrap();
         assert_eq!(ans.failed_sources.len(), 1);
-        assert_eq!(ans.failed_sources[0].0, "OMIM");
+        assert_eq!(ans.failed_sources[0].source, "OMIM");
         assert!(
-            ans.failed_sources[0].1.contains("panic"),
+            ans.failed_sources[0].error.contains("panic"),
             "{:?}",
             ans.failed_sources
         );
+        assert_eq!(ans.failed_sources[0].kind, FailureKind::Panic);
+        assert_eq!(ans.fused.missing_sources, vec!["OMIM".to_string()]);
         // The healthy sources' answers are intact: same genes as a
         // mediator that never had OMIM.
         let mut healthy = Mediator::new();
@@ -1453,6 +1561,43 @@ mod tests {
         // With 3+ sources in phase 2 the critical path is strictly
         // cheaper than serial execution.
         assert!(ans.critical_path_us < ans.cost.virtual_us);
+    }
+
+    #[test]
+    fn wall_clock_is_measured_alongside_virtual_cost() {
+        use annoda_wrap::{DelayMode, FailureMode, FlakyWrapper, OmimWrapper};
+        use std::time::Duration;
+        let corpus = tiny();
+        let mut m = Mediator::new();
+        m.register(Box::new(LocusLinkWrapper::new(corpus.locuslink.clone())));
+        m.register(Box::new(GoWrapper::new(corpus.go.clone())));
+        // One deliberately slow source: 5 ms per subquery.
+        m.register(Box::new(
+            FlakyWrapper::new(OmimWrapper::new(corpus.omim.clone()), FailureMode::Never)
+                .with_delay(DelayMode::Fixed(Duration::from_millis(5))),
+        ));
+        let q = GeneQuestion {
+            function: AspectClause::Require(None),
+            disease: AspectClause::Require(None),
+            ..GeneQuestion::default()
+        };
+        let ans = m.answer(&q).unwrap();
+        // The slow source bounds the measured wall path from below; the
+        // summed per-subquery wall time bounds it from above.
+        assert!(
+            ans.wall_path_us >= 5_000,
+            "wall path {} must include the 5 ms stall",
+            ans.wall_path_us
+        );
+        assert!(ans.wall_path_us <= ans.cost.wall_us);
+        // Virtual accounting is untouched by real elapsed time.
+        assert!(ans.critical_path_us <= ans.cost.virtual_us);
+        let omim = ans
+            .per_source_cost
+            .iter()
+            .find(|(s, _)| s == "OMIM")
+            .expect("OMIM contributed");
+        assert!(omim.1.wall_us >= 5_000);
     }
 
     #[test]

@@ -32,7 +32,8 @@ const MAX_LEN: u64 = 1 << 30;
 // ---------------------------------------------------------------------
 // primitives
 
-pub(crate) fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+/// Appends `v` as an LEB128 varint.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -52,12 +53,14 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-pub(crate) fn write_string(buf: &mut Vec<u8>, s: &str) {
+/// Appends `s` as a length-prefixed UTF-8 string.
+pub fn write_string(buf: &mut Vec<u8>, s: &str) {
     write_varint(buf, s.len() as u64);
     buf.extend_from_slice(s.as_bytes());
 }
 
-pub(crate) fn write_value(buf: &mut Vec<u8>, value: &AtomicValue) {
+/// Appends an [`AtomicValue`] as a tag byte plus payload.
+pub fn write_value(buf: &mut Vec<u8>, value: &AtomicValue) {
     match value {
         AtomicValue::Int(v) => {
             buf.push(0);
@@ -88,21 +91,24 @@ pub(crate) fn write_value(buf: &mut Vec<u8>, value: &AtomicValue) {
 }
 
 /// A bounds-checked cursor over encoded bytes.
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+    /// Starts reading `bytes` from the beginning.
+    pub fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, pos: 0 }
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
         self.pos >= self.bytes.len()
     }
 
-    pub(crate) fn byte(&mut self) -> Result<u8, PersistError> {
+    /// Reads one byte.
+    pub fn byte(&mut self) -> Result<u8, PersistError> {
         let b = *self
             .bytes
             .get(self.pos)
@@ -111,7 +117,8 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+    /// Reads the next `n` bytes as a slice.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         let end = self
             .pos
             .checked_add(n)
@@ -122,7 +129,8 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    pub(crate) fn varint(&mut self) -> Result<u64, PersistError> {
+    /// Reads an LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, PersistError> {
         let mut v: u64 = 0;
         for shift in (0..).step_by(7) {
             if shift >= 64 {
@@ -137,7 +145,8 @@ impl<'a> Reader<'a> {
         unreachable!()
     }
 
-    pub(crate) fn len_field(&mut self) -> Result<usize, PersistError> {
+    /// Reads a varint capped at the codec's sanity limit.
+    pub fn len_field(&mut self) -> Result<usize, PersistError> {
         let v = self.varint()?;
         if v > MAX_LEN {
             return Err(PersistError::codec(format!("implausible length {v}")));
@@ -145,13 +154,15 @@ impl<'a> Reader<'a> {
         Ok(v as usize)
     }
 
-    pub(crate) fn string(&mut self) -> Result<String, PersistError> {
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, PersistError> {
         let len = self.len_field()?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::codec("invalid UTF-8"))
     }
 
-    pub(crate) fn value(&mut self) -> Result<AtomicValue, PersistError> {
+    /// Reads an [`AtomicValue`].
+    pub fn value(&mut self) -> Result<AtomicValue, PersistError> {
         Ok(match self.byte()? {
             0 => AtomicValue::Int(unzigzag(self.varint()?)),
             1 => {

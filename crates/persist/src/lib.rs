@@ -34,10 +34,13 @@ pub mod record;
 pub mod snapshot;
 pub mod wal;
 
-pub use codec::{decode_fragment_into, decode_store, encode_fragment, encode_store};
+pub use codec::{
+    decode_fragment_into, decode_store, encode_fragment, encode_store, write_string, write_varint,
+    Reader,
+};
 pub use delta::{delta_records, sync_root};
 pub use durable::{DurableStore, PersistStats, RecoveryReport};
 pub use error::PersistError;
 pub use record::{apply, JournalRecord, SourceEventKind};
 pub use snapshot::SnapshotMeta;
-pub use wal::FsyncPolicy;
+pub use wal::{crc32, FsyncPolicy};

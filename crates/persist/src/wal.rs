@@ -100,7 +100,9 @@ const fn crc_table() -> [u32; 256] {
 
 static CRC_TABLE: [u32; 256] = crc_table();
 
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// IEEE CRC-32 over `bytes` — the WAL's and the federation wire
+/// protocol's shared frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xffff_ffffu32;
     for &b in bytes {
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use annoda::PersistStats;
+use annoda_federation::RemoteStatsSnapshot;
 use annoda_mediator::CacheStats;
 
 use crate::json::Json;
@@ -120,6 +121,7 @@ impl Metrics {
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
+        federation: &[(String, RemoteStatsSnapshot)],
     ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -215,6 +217,56 @@ impl Metrics {
             let _ = writeln!(out, "annoda_store_clones_total {}", s.store_clones_total);
             let _ = writeln!(out, "annoda_eval_workers {}", s.eval_workers);
         }
+        for (source, f) in federation {
+            // Breaker state as a one-hot enum gauge, Prometheus style.
+            for state in ["closed", "open", "half-open"] {
+                let _ = writeln!(
+                    out,
+                    "annoda_federation_breaker_state{{source=\"{source}\",state=\"{state}\"}} {}",
+                    u8::from(f.breaker.as_str() == state)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "annoda_federation_requests_total{{source=\"{source}\"}} {}",
+                f.requests
+            );
+            let _ = writeln!(
+                out,
+                "annoda_federation_retries_total{{source=\"{source}\"}} {}",
+                f.retries
+            );
+            let _ = writeln!(
+                out,
+                "annoda_federation_transport_errors_total{{source=\"{source}\"}} {}",
+                f.transport_errors
+            );
+            let _ = writeln!(
+                out,
+                "annoda_federation_refusals_total{{source=\"{source}\"}} {}",
+                f.refusals
+            );
+            let _ = writeln!(
+                out,
+                "annoda_federation_breaker_opens_total{{source=\"{source}\"}} {}",
+                f.breaker_opens
+            );
+            let _ = writeln!(
+                out,
+                "annoda_federation_fast_failures_total{{source=\"{source}\"}} {}",
+                f.fast_failures
+            );
+            let _ = writeln!(
+                out,
+                "annoda_federation_wall_us_total{{source=\"{source}\"}} {}",
+                f.wall_us_total
+            );
+            let _ = writeln!(
+                out,
+                "annoda_federation_last_wall_us{{source=\"{source}\"}} {}",
+                f.last_wall_us
+            );
+        }
         out
     }
 
@@ -225,6 +277,7 @@ impl Metrics {
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
+        federation: &[(String, RemoteStatsSnapshot)],
     ) -> Json {
         let routes = ROUTES
             .iter()
@@ -287,6 +340,27 @@ impl Metrics {
             ]),
             None => Json::Null,
         };
+        let federation_json = Json::Obj(
+            federation
+                .iter()
+                .map(|(source, f)| {
+                    (
+                        source.clone(),
+                        Json::obj([
+                            ("breaker", Json::Str(f.breaker.as_str().to_string())),
+                            ("requests", Json::Int(f.requests as i64)),
+                            ("retries", Json::Int(f.retries as i64)),
+                            ("transport_errors", Json::Int(f.transport_errors as i64)),
+                            ("refusals", Json::Int(f.refusals as i64)),
+                            ("breaker_opens", Json::Int(f.breaker_opens as i64)),
+                            ("fast_failures", Json::Int(f.fast_failures as i64)),
+                            ("wall_us_total", Json::Int(f.wall_us_total as i64)),
+                            ("last_wall_us", Json::Int(f.last_wall_us as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         Json::obj([
             (
                 "connections",
@@ -302,6 +376,7 @@ impl Metrics {
             ("mediator_cache", cache_json),
             ("persist", persist_json),
             ("snapshot", snapshot_json),
+            ("federation", federation_json),
         ])
     }
 }
@@ -368,6 +443,20 @@ mod tests {
                 store_clones_total: 6,
                 eval_workers: 2,
             }),
+            &[(
+                "OMIM".to_string(),
+                RemoteStatsSnapshot {
+                    requests: 11,
+                    retries: 3,
+                    transport_errors: 4,
+                    refusals: 1,
+                    breaker_opens: 1,
+                    fast_failures: 2,
+                    wall_us_total: 9_000,
+                    last_wall_us: 700,
+                    breaker: annoda_federation::BreakerState::Open,
+                },
+            )],
         );
         assert!(
             text.contains("annoda_requests_total{route=\"genes\"} 2"),
@@ -394,8 +483,21 @@ mod tests {
         assert!(text.contains("annoda_snapshot_objects 120"));
         assert!(text.contains("annoda_store_clones_total 6"));
         assert!(text.contains("annoda_eval_workers 2"));
+        assert!(
+            text.contains("annoda_federation_breaker_state{source=\"OMIM\",state=\"open\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("annoda_federation_breaker_state{source=\"OMIM\",state=\"closed\"} 0")
+        );
+        assert!(text.contains("annoda_federation_requests_total{source=\"OMIM\"} 11"));
+        assert!(text.contains("annoda_federation_retries_total{source=\"OMIM\"} 3"));
+        assert!(text.contains("annoda_federation_transport_errors_total{source=\"OMIM\"} 4"));
+        assert!(text.contains("annoda_federation_breaker_opens_total{source=\"OMIM\"} 1"));
+        assert!(text.contains("annoda_federation_wall_us_total{source=\"OMIM\"} 9000"));
+        assert!(text.contains("annoda_federation_last_wall_us{source=\"OMIM\"} 700"));
 
-        let json = m.render_json(&gauge, None, None, None).to_text();
+        let json = m.render_json(&gauge, None, None, None, &[]).to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
             "{json}"
@@ -403,5 +505,20 @@ mod tests {
         assert!(json.contains("\"mediator_cache\":null"));
         assert!(json.contains("\"persist\":null"));
         assert!(json.contains("\"snapshot\":null"));
+        assert!(json.contains("\"federation\":{}"));
+
+        let json = m
+            .render_json(
+                &gauge,
+                None,
+                None,
+                None,
+                &[("GO".to_string(), RemoteStatsSnapshot::default())],
+            )
+            .to_text();
+        assert!(
+            json.contains("\"federation\":{\"GO\":{\"breaker\":\"closed\""),
+            "{json}"
+        );
     }
 }

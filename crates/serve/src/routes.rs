@@ -123,10 +123,18 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
     };
     match app.system().annoda().ask(&question) {
         Ok(answer) => match format {
-            Format::Text => Response::text(
-                200,
-                rewrite_links(&render_integrated_view(&answer.fused.genes)),
-            ),
+            Format::Text => {
+                let mut body = rewrite_links(&render_integrated_view(&answer.fused.genes));
+                // Degradation travels with the answer: a tripped or
+                // unreachable source is announced, never silently dropped.
+                if !answer.fused.missing_sources.is_empty() {
+                    body.push_str(&format!(
+                        "\nPARTIAL ANSWER — sources unavailable: {}\n",
+                        answer.fused.missing_sources.join(", ")
+                    ));
+                }
+                Response::text(200, body)
+            }
             Format::Json => Response::json(
                 200,
                 &Json::obj([
@@ -136,6 +144,14 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
                         Json::Arr(answer.fused.genes.iter().map(gene_json).collect()),
                     ),
                     ("cost_requests", Json::Int(answer.cost.requests as i64)),
+                    (
+                        "partial",
+                        Json::Bool(!answer.fused.missing_sources.is_empty()),
+                    ),
+                    (
+                        "missing_sources",
+                        Json::Arr(answer.fused.missing_sources.iter().map(Json::str).collect()),
+                    ),
                 ]),
             ),
         },
@@ -271,12 +287,13 @@ fn healthz(app: &App, format: Format) -> Response {
 }
 
 fn metrics(app: &App, format: Format) -> Response {
-    let (cache, persist, snap) = {
+    let (cache, persist, snap, federation) = {
         let sys = app.system();
         (
             sys.annoda().mediator().cache_stats(),
             sys.persist_stats(),
             sys.snapshot_stats(),
+            sys.annoda().federation_stats(),
         )
     };
     let snapshot = Some(crate::metrics::SnapshotGauges {
@@ -289,12 +306,12 @@ fn metrics(app: &App, format: Format) -> Response {
         Format::Text => Response::text(
             200,
             app.metrics
-                .render_text(&app.gauge, cache, persist, snapshot),
+                .render_text(&app.gauge, cache, persist, snapshot, &federation),
         ),
         Format::Json => Response::json(
             200,
             &app.metrics
-                .render_json(&app.gauge, cache, persist, snapshot),
+                .render_json(&app.gauge, cache, persist, snapshot, &federation),
         ),
     }
 }

@@ -55,6 +55,14 @@ pub struct Cost {
     /// instead of a source round trip (those charge no request and no
     /// virtual time).
     pub cache_hits: u64,
+    /// *Measured* wall-clock microseconds spent blocked on the source,
+    /// alongside the modelled `virtual_us`. Zero for purely in-process
+    /// wrappers (their work is effectively free at this resolution);
+    /// real for remote wrappers and for anything the mediator times
+    /// around a scatter-gather round trip. Summing across subqueries
+    /// gives total blocking time; the concurrent wall-clock lower bound
+    /// is the per-phase max the mediator reports separately.
+    pub wall_us: u64,
 }
 
 impl Cost {
@@ -91,6 +99,7 @@ impl AddAssign for Cost {
         self.records += rhs.records;
         self.virtual_us += rhs.virtual_us;
         self.cache_hits += rhs.cache_hits;
+        self.wall_us += rhs.wall_us;
     }
 }
 

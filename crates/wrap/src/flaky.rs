@@ -1,11 +1,17 @@
-//! Failure injection for resilience testing.
+//! Failure and latency injection for resilience testing.
 //!
-//! Remote annotation sources go down. [`FlakyWrapper`] decorates any
-//! wrapper and fails subqueries according to a deterministic schedule,
-//! so the mediator's partial-results behaviour can be tested and
-//! benchmarked without real outages.
+//! Remote annotation sources go down — and before they go down, they get
+//! slow. [`FlakyWrapper`] decorates any wrapper and fails subqueries
+//! according to a deterministic schedule ([`FailureMode`]) and/or delays
+//! them by a deterministic amount ([`DelayMode`]), so the mediator's
+//! partial-results behaviour and the federation layer's timeout/retry/
+//! breaker paths can be tested and benchmarked without real outages.
+//! Injected failures are [`WrapError::Transport`]: the decorator
+//! simulates a source that cannot be *reached*, not one that refuses
+//! the query.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use annoda_oem::OemStore;
 
@@ -29,26 +35,97 @@ pub enum FailureMode {
     Panic,
 }
 
-/// A decorator that injects subquery failures.
+/// How long the decorated source stalls before answering (or failing).
+///
+/// Delays are applied *before* the failure schedule, like a real slow
+/// link: a request that will ultimately fail still burns its latency
+/// first, which is exactly what timeout and hedging logic must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayMode {
+    /// No injected latency (pass-through).
+    None,
+    /// Every request stalls exactly this long.
+    Fixed(Duration),
+    /// Request `n` stalls `base + jitter(n)` where `jitter(n)` is drawn
+    /// uniformly from `[0, spread]` by a seeded PRNG keyed on
+    /// `(seed, n)` — the same seed always yields the same per-attempt
+    /// delay sequence, so timeout tests are reproducible.
+    Jittered {
+        /// Minimum stall applied to every request.
+        base: Duration,
+        /// Maximum extra stall on top of `base`.
+        spread: Duration,
+        /// PRNG seed; same seed → same delay sequence.
+        seed: u64,
+    },
+}
+
+/// SplitMix64 step — a tiny, well-mixed deterministic hash from
+/// `(seed, attempt)` to a u64, good enough for jitter.
+fn mix64(seed: u64, n: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl DelayMode {
+    /// The stall for 1-based attempt `n`. Deterministic.
+    pub fn delay_for(&self, n: u64) -> Duration {
+        match *self {
+            DelayMode::None => Duration::ZERO,
+            DelayMode::Fixed(d) => d,
+            DelayMode::Jittered { base, spread, seed } => {
+                let span = spread.as_nanos() as u64;
+                let jitter = if span == 0 {
+                    0
+                } else {
+                    mix64(seed, n) % (span + 1)
+                };
+                base + Duration::from_nanos(jitter)
+            }
+        }
+    }
+}
+
+/// A decorator that injects subquery failures and latency.
 pub struct FlakyWrapper<W> {
     inner: W,
     mode: FailureMode,
+    delay: DelayMode,
     calls: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl<W: Wrapper> FlakyWrapper<W> {
-    /// Decorates `inner` with the given failure schedule.
+    /// Decorates `inner` with the given failure schedule and no delay.
     pub fn new(inner: W, mode: FailureMode) -> Self {
         FlakyWrapper {
             inner,
             mode,
+            delay: DelayMode::None,
             calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
         }
+    }
+
+    /// Adds a latency schedule (builder style).
+    pub fn with_delay(mut self, delay: DelayMode) -> Self {
+        self.delay = delay;
+        self
     }
 
     /// Subquery attempts seen so far (including failed ones).
     pub fn attempts(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Attempts that ended in an *injected* failure. Does not count
+    /// errors the inner wrapper produced on its own.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
     }
 
     /// The decorated wrapper.
@@ -76,6 +153,11 @@ impl<W: Wrapper> Wrapper for FlakyWrapper<W> {
 
     fn subquery(&self, lorel: &str, cost: &mut Cost) -> Result<SubqueryResult, WrapError> {
         let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let stall = self.delay.delay_for(n);
+        if !stall.is_zero() {
+            std::thread::sleep(stall);
+            cost.wall_us += stall.as_micros() as u64;
+        }
         let fail = match self.mode {
             FailureMode::Never => false,
             FailureMode::Always => true,
@@ -86,7 +168,8 @@ impl<W: Wrapper> Wrapper for FlakyWrapper<W> {
             ),
         };
         if fail {
-            return Err(WrapError::Unsupported(format!(
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(WrapError::Transport(format!(
                 "{} is unreachable (injected failure, attempt {n})",
                 self.name()
             )));
@@ -124,10 +207,55 @@ mod tests {
         assert!(w.subquery(q, &mut cost).is_err());
         assert!(w.subquery(q, &mut cost).is_ok());
         assert_eq!(w.attempts(), 3);
+        assert_eq!(w.failures(), 1);
 
         let down = wrapper(FailureMode::Always);
         assert!(down.subquery(q, &mut cost).is_err());
+        assert_eq!(down.failures(), 1);
         let up = wrapper(FailureMode::Never);
         assert!(up.subquery(q, &mut cost).is_ok());
+        assert_eq!(up.failures(), 0);
+    }
+
+    #[test]
+    fn injected_failures_are_transport() {
+        let down = wrapper(FailureMode::Always);
+        let mut cost = Cost::new();
+        let err = down
+            .subquery("select L from LocusLink.Locus L", &mut cost)
+            .unwrap_err();
+        assert!(err.is_retryable());
+        assert!(matches!(err, WrapError::Transport(_)));
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_charged() {
+        let jitter = DelayMode::Jittered {
+            base: Duration::from_micros(100),
+            spread: Duration::from_micros(400),
+            seed: 42,
+        };
+        // Same seed, same attempt → same delay; base is a floor.
+        for n in 1..=5 {
+            let d = jitter.delay_for(n);
+            assert_eq!(d, jitter.delay_for(n));
+            assert!(d >= Duration::from_micros(100));
+            assert!(d <= Duration::from_micros(500));
+        }
+        // Jitter actually varies across attempts.
+        assert_ne!(jitter.delay_for(1), jitter.delay_for(2));
+
+        assert_eq!(
+            DelayMode::Fixed(Duration::from_millis(2)).delay_for(7),
+            Duration::from_millis(2)
+        );
+        assert_eq!(DelayMode::None.delay_for(1), Duration::ZERO);
+
+        // A stalled subquery charges wall-clock to the meter.
+        let w = wrapper(FailureMode::Never).with_delay(DelayMode::Fixed(Duration::from_millis(1)));
+        let mut cost = Cost::new();
+        w.subquery("select L from LocusLink.Locus L", &mut cost)
+            .unwrap();
+        assert!(cost.wall_us >= 1000);
     }
 }

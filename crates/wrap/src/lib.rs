@@ -28,7 +28,7 @@ pub mod wrapper;
 pub use cost::{Cost, LatencyModel};
 pub use custom::CustomWrapper;
 pub use descr::{Capabilities, SourceDescription};
-pub use flaky::{FailureMode, FlakyWrapper};
+pub use flaky::{DelayMode, FailureMode, FlakyWrapper};
 pub use go::GoWrapper;
 pub use locuslink::LocusLinkWrapper;
 pub use omim::OmimWrapper;

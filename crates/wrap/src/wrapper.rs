@@ -21,6 +21,21 @@ pub enum WrapError {
     Query(LorelError),
     /// The request needs a capability this source does not offer.
     Unsupported(String),
+    /// The source could not be *reached* — a network-layer loss
+    /// (connect refused, timeout, torn frame, tripped breaker), not a
+    /// refusal by the source itself. Transport failures are the only
+    /// retryable kind: the subquery may well succeed on another
+    /// attempt, whereas a query error or capability refusal will not.
+    Transport(String),
+}
+
+impl WrapError {
+    /// Whether retrying the same request could plausibly succeed.
+    /// Only transport-layer losses qualify; a source that *answered*
+    /// with an error will answer the same way again.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WrapError::Transport(_))
+    }
 }
 
 impl fmt::Display for WrapError {
@@ -28,6 +43,7 @@ impl fmt::Display for WrapError {
         match self {
             WrapError::Query(e) => write!(f, "subquery failed: {e}"),
             WrapError::Unsupported(what) => write!(f, "source capability missing: {what}"),
+            WrapError::Transport(what) => write!(f, "source unreachable: {what}"),
         }
     }
 }

@@ -28,6 +28,12 @@ cargo run --release --offline -p annoda-bench --bin bench_report -- persist --sm
 echo "== query-serving smoke (B10) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- query-serve --smoke
 
+echo "== federation smoke (B11) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- federation --smoke
+
+echo "== federation e2e (3 source-servers over TCP) =="
+cargo test -q --offline --test federation_e2e
+
 echo "== parallel evaluator equivalence =="
 cargo test -q --offline -p annoda-lorel --test parallel_oracle
 
