@@ -110,6 +110,11 @@ pub struct DurableSystem {
     snapshot: RwLock<Option<Arc<GmlSnapshot>>>,
     /// Epochs handed out so far.
     epochs: AtomicU64,
+    /// The serving generation: bumps on *every* invalidation (refresh,
+    /// plug, unplug, façade mutation), whether or not a snapshot is
+    /// ever rebuilt. Shared as an `Arc` so the HTTP layer can key its
+    /// response cache and mint `ETag`s without taking the system lock.
+    generation: Arc<AtomicU64>,
 }
 
 impl DurableSystem {
@@ -121,6 +126,7 @@ impl DurableSystem {
             durable: None,
             snapshot: RwLock::new(None),
             epochs: AtomicU64::new(0),
+            generation: Arc::new(AtomicU64::new(1)),
         }
     }
 
@@ -140,6 +146,7 @@ impl DurableSystem {
             durable: Some(durable),
             snapshot: RwLock::new(None),
             epochs: AtomicU64::new(0),
+            generation: Arc::new(AtomicU64::new(1)),
         };
         // Make the bootstrap durable regardless of policy: a cold open
         // under OnSnapshot would otherwise hold the whole GML in page
@@ -160,7 +167,23 @@ impl DurableSystem {
     /// the GML materialises to.
     pub fn annoda_mut(&mut self) -> &mut Annoda {
         *self.snapshot.get_mut() = None;
+        self.generation.fetch_add(1, Ordering::Release);
         &mut self.system
+    }
+
+    /// The current serving generation — a strong cache key for any
+    /// response derived from the global model. Two reads returning the
+    /// same value bracket a window in which the GML cannot have
+    /// changed.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A shared handle to the generation counter, for readers (the HTTP
+    /// cache) that must observe invalidations without taking any lock
+    /// on the system itself.
+    pub fn generation_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.generation)
     }
 
     /// Whether a durable store backs this system.
@@ -241,9 +264,11 @@ impl DurableSystem {
     }
 
     /// Drops the serving snapshot; the next query builds (and swaps in)
-    /// a fresh epoch.
+    /// a fresh epoch. Bumps the serving generation so epoch-keyed
+    /// response caches invalidate wholesale.
     fn invalidate_snapshot(&self) {
         *self.snapshot.write() = None;
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// The current serving snapshot, building one if none is live.
@@ -440,6 +465,27 @@ mod tests {
             .unwrap();
         assert!(outcome.sole_result(&gml).is_some());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_invalidation() {
+        let mut sys = DurableSystem::new(system());
+        let handle = sys.generation_handle();
+        let g0 = sys.generation();
+        assert_eq!(g0, handle.load(Ordering::Acquire));
+        sys.refresh().unwrap();
+        let g1 = sys.generation();
+        assert!(g1 > g0, "refresh must bump the generation");
+        let _ = sys.annoda_mut();
+        let g2 = sys.generation();
+        assert!(g2 > g1, "façade mutation must bump the generation");
+        assert!(sys.unplug("OMIM").unwrap());
+        let g3 = sys.generation();
+        assert!(g3 > g2, "unplug must bump the generation");
+        assert_eq!(g3, handle.load(Ordering::Acquire), "handle tracks");
+        // Queries do not bump it.
+        let _ = sys.lorel_shared("select count(GML.Gene) from ANNODA-GML GML");
+        assert_eq!(sys.generation(), g3);
     }
 
     #[test]

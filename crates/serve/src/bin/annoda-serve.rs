@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! annoda-serve [--addr HOST:PORT] [--loci N] [--seed N]
-//!              [--workers N] [--queue N]
+//!              [--shards N] [--workers N] [--queue N]
 //!              [--data-dir DIR] [--fsync always|batched:N|onsnapshot]
 //! ```
 
@@ -28,6 +28,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8642".to_string();
     let mut loci = 500usize;
     let mut seed = 7u64;
+    let mut shards = 2usize;
     let mut workers = 4usize;
     let mut queue = 64usize;
     let mut data_dir: Option<String> = None;
@@ -57,6 +58,10 @@ fn main() -> ExitCode {
                 Some(v) => seed = v,
                 None => return ExitCode::FAILURE,
             },
+            "--shards" => match take("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) => shards = v,
+                None => return ExitCode::FAILURE,
+            },
             "--workers" => match take("--workers").and_then(|v| v.parse().ok()) {
                 Some(v) => workers = v,
                 None => return ExitCode::FAILURE,
@@ -79,7 +84,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "annoda-serve [--addr HOST:PORT] [--loci N] [--seed N] \
-                     [--workers N] [--queue N] [--data-dir DIR] \
+                     [--shards N] [--workers N] [--queue N] [--data-dir DIR] \
                      [--fsync always|batched:N|onsnapshot]"
                 );
                 return ExitCode::SUCCESS;
@@ -141,6 +146,7 @@ fn main() -> ExitCode {
 
     let config = ServeConfig {
         addr,
+        shards,
         workers,
         queue_capacity: queue,
         ..ServeConfig::default()

@@ -1,0 +1,299 @@
+//! The epoch-keyed response cache: pre-serialized bodies for the
+//! cacheable GET routes, keyed by `(path, query, format)` and stamped
+//! with the serving **generation** (see
+//! [`annoda::DurableSystem::generation`]).
+//!
+//! The generation is a strong cache key: it bumps on every refresh,
+//! plug, unplug, and façade mutation, so a stored response is valid
+//! exactly as long as its stamp matches the live counter — an epoch
+//! swap invalidates the whole cache wholesale, for free, with no
+//! per-entry bookkeeping. The same stamp doubles as the strong `ETag`
+//! (`"g<generation>"`), which is what makes `304 Not Modified`
+//! revalidation sound: a matching tag proves the client's copy was
+//! derived from the identical global model.
+//!
+//! Each reactor shard owns one cache instance outright — lookups and
+//! inserts are plain single-threaded map operations, no locks on the
+//! hit path. Only the observability counters ([`CacheGauges`]) are
+//! shared, so `/metrics` can aggregate across shards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::http::Response;
+use crate::routes::Format;
+
+/// Mints the strong entity tag for a serving generation.
+pub fn etag_for(generation: u64) -> String {
+    format!("\"g{generation}\"")
+}
+
+/// Whether an `If-None-Match` header value matches `etag` (exact strong
+/// comparison, or the `*` wildcard).
+pub fn if_none_match_matches(header: &str, etag: &str) -> bool {
+    header
+        .split(',')
+        .map(str::trim)
+        .any(|candidate| candidate == "*" || candidate == etag)
+}
+
+/// Shared cache counters, aggregated across shards for `/metrics`.
+#[derive(Debug, Default)]
+pub struct CacheGauges {
+    /// Requests answered from a cached entry.
+    pub hits: AtomicU64,
+    /// Cacheable requests that had to be computed.
+    pub misses: AtomicU64,
+    /// Conditional requests answered `304 Not Modified`.
+    pub not_modified: AtomicU64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: AtomicU64,
+    /// Wholesale cache clears caused by a generation bump.
+    pub epoch_invalidations: AtomicU64,
+    /// Entries currently cached (sum over shards).
+    pub entries: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheGauges`] for rendering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Requests answered from cache.
+    pub hits: u64,
+    /// Cacheable requests that were computed.
+    pub misses: u64,
+    /// `304 Not Modified` answers.
+    pub not_modified: u64,
+    /// Capacity evictions.
+    pub evictions: u64,
+    /// Wholesale epoch invalidations.
+    pub epoch_invalidations: u64,
+    /// Live entries across shards.
+    pub entries: u64,
+}
+
+impl CacheGauges {
+    /// Samples every counter.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            not_modified: self.not_modified.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            epoch_invalidations: self.epoch_invalidations.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What identifies a cacheable response: the request target plus the
+/// negotiated representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Path plus raw query, exactly as requested.
+    pub target: String,
+    /// The negotiated response format.
+    pub format: Format,
+}
+
+struct Entry {
+    generation: u64,
+    response: Response,
+    last_used: u64,
+}
+
+/// A bounded, generation-stamped response cache. One per shard; not
+/// thread-safe by design (the owning shard is the only accessor).
+pub struct ResponseCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    /// Monotonic access clock for least-recently-used eviction.
+    tick: u64,
+    /// The generation the cache contents were built under.
+    seen_generation: u64,
+    gauges: Arc<CacheGauges>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize, gauges: Arc<CacheGauges>) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            map: HashMap::new(),
+            tick: 0,
+            seen_generation: 0,
+            gauges,
+        }
+    }
+
+    /// The shared counters.
+    pub fn gauges(&self) -> &Arc<CacheGauges> {
+        &self.gauges
+    }
+
+    /// Observes the live generation; a change clears the cache
+    /// wholesale (the epoch-swap invalidation).
+    pub fn observe_generation(&mut self, generation: u64) {
+        if generation != self.seen_generation {
+            if !self.map.is_empty() {
+                self.gauges
+                    .epoch_invalidations
+                    .fetch_add(1, Ordering::Relaxed);
+                self.gauges
+                    .entries
+                    .fetch_sub(self.map.len() as u64, Ordering::Relaxed);
+                self.map.clear();
+            }
+            self.seen_generation = generation;
+        }
+    }
+
+    /// Looks up `key` for the given generation, counting a hit or miss.
+    pub fn lookup(&mut self, key: &CacheKey, generation: u64) -> Option<&Response> {
+        self.observe_generation(generation);
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(entry) if entry.generation == generation => {
+                entry.last_used = tick;
+                self.gauges.hits.fetch_add(1, Ordering::Relaxed);
+                Some(&self.map[key].response)
+            }
+            _ => {
+                self.gauges.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a computed response, stamped with the generation it was
+    /// computed under. Ignored when `capacity` is 0 or the stamp is
+    /// already stale. Evicts the least-recently-used entry when full.
+    pub fn insert(&mut self, key: CacheKey, generation: u64, response: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.observe_generation(generation);
+        if generation != self.seen_generation {
+            return; // computed under an epoch that has already passed
+        }
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.gauges.evictions.fetch_add(1, Ordering::Relaxed);
+                self.gauges.entries.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.tick += 1;
+        if self
+            .map
+            .insert(
+                key,
+                Entry {
+                    generation,
+                    response,
+                    last_used: self.tick,
+                },
+            )
+            .is_none()
+        {
+            self.gauges.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Live entry count in this shard's cache.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether this shard's cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(target: &str) -> CacheKey {
+        CacheKey {
+            target: target.to_string(),
+            format: Format::Json,
+        }
+    }
+
+    fn cache(capacity: usize) -> ResponseCache {
+        ResponseCache::new(capacity, Arc::new(CacheGauges::default()))
+    }
+
+    #[test]
+    fn hit_returns_the_stored_bytes() {
+        let mut c = cache(8);
+        assert!(c.lookup(&key("/genes"), 1).is_none());
+        c.insert(key("/genes"), 1, Response::text(200, "body"));
+        let hit = c.lookup(&key("/genes"), 1).expect("hit");
+        assert_eq!(hit.body, b"body");
+        let g = c.gauges().snapshot();
+        assert_eq!((g.hits, g.misses, g.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn generation_bump_invalidates_wholesale() {
+        let mut c = cache(8);
+        c.insert(key("/a"), 1, Response::text(200, "a"));
+        c.insert(key("/b"), 1, Response::text(200, "b"));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&key("/a"), 2).is_none(), "new epoch, no hit");
+        assert!(c.is_empty(), "the whole cache is cleared");
+        let g = c.gauges().snapshot();
+        assert_eq!(g.epoch_invalidations, 1);
+        assert_eq!(g.entries, 0);
+    }
+
+    #[test]
+    fn stale_stamped_inserts_are_dropped() {
+        let mut c = cache(8);
+        c.observe_generation(5);
+        // A worker computed this under generation 4; a refresh landed
+        // mid-flight. The entry must not be served as generation 5.
+        c.insert(key("/a"), 4, Response::text(200, "stale"));
+        assert!(c.lookup(&key("/a"), 5).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counted() {
+        let mut c = cache(2);
+        c.insert(key("/a"), 1, Response::text(200, "a"));
+        c.insert(key("/b"), 1, Response::text(200, "b"));
+        assert!(c.lookup(&key("/a"), 1).is_some()); // /a is now fresher
+        c.insert(key("/c"), 1, Response::text(200, "c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&key("/b"), 1).is_none(), "/b was the LRU victim");
+        assert!(c.lookup(&key("/a"), 1).is_some());
+        assert!(c.lookup(&key("/c"), 1).is_some());
+        assert_eq!(c.gauges().snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = cache(0);
+        c.insert(key("/a"), 1, Response::text(200, "a"));
+        assert!(c.lookup(&key("/a"), 1).is_none());
+    }
+
+    #[test]
+    fn etag_matching() {
+        assert_eq!(etag_for(7), "\"g7\"");
+        assert!(if_none_match_matches("\"g7\"", "\"g7\""));
+        assert!(if_none_match_matches("\"g1\", \"g7\"", "\"g7\""));
+        assert!(if_none_match_matches("*", "\"g7\""));
+        assert!(!if_none_match_matches("\"g6\"", "\"g7\""));
+        assert!(!if_none_match_matches("g7", "\"g7\""));
+    }
+}

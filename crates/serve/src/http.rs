@@ -7,8 +7,18 @@
 //! that sends more gets a 431/413 and the connection is closed. This is
 //! the first line of overload defence — no request can make the server
 //! buffer unbounded input.
+//!
+//! Two parsing entry points share one grammar:
+//!
+//! - [`read_request`] pulls bytes from a blocking `BufRead` (the load
+//!   generator and tests);
+//! - [`try_parse`] consumes a byte buffer incrementally and reports
+//!   `NeedMore` instead of blocking — the reactor shards feed it from
+//!   non-blocking sockets, so a client dripping one byte at a time can
+//!   never park a thread.
 
 use std::io::{self, BufRead, Write};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Per-request input bounds.
 #[derive(Debug, Clone, Copy)]
@@ -84,10 +94,86 @@ pub enum RequestError {
     Io(io::Error),
 }
 
+/// Outcome of feeding [`try_parse`] a (possibly incomplete) buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request; read more.
+    NeedMore,
+    /// One complete request, and how many buffer bytes it consumed.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer the request occupied (head + body).
+        consumed: usize,
+    },
+}
+
+/// Incrementally parses the front of `buf` as one HTTP/1.1 request.
+///
+/// Never blocks and never consumes on `NeedMore` — the caller keeps
+/// appending socket bytes to `buf` and retrying. Size caps apply to the
+/// partial input too: a head that grows past `max_head_bytes` without
+/// terminating is rejected immediately (431), not buffered further.
+pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Parsed, RequestError> {
+    // The head ends at the first blank line. Search only within the cap
+    // (plus the terminator itself) so a hostile endless header stream
+    // is cut off at the limit, not at allocation failure.
+    let window = buf.len().min(limits.max_head_bytes + 4);
+    let Some(head_end) = find_head_end(&buf[..window]) else {
+        if buf.len() > limits.max_head_bytes {
+            return Err(RequestError::HeadTooLarge);
+        }
+        return Ok(Parsed::NeedMore);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(RequestError::HeadTooLarge);
+    }
+    let mut request = parse_head(&buf[..head_end])?;
+    let mut consumed = head_end + 4;
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length `{len}`")))?;
+        if len > limits.max_body_bytes {
+            return Err(RequestError::BodyTooLarge);
+        }
+        if buf.len() < consumed + len {
+            return Ok(Parsed::NeedMore);
+        }
+        request.body = buf[consumed..consumed + len].to_vec();
+        consumed += len;
+    }
+    Ok(Parsed::Complete { request, consumed })
+}
+
+/// Index of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
 /// Reads and parses one request from a buffered stream.
 pub fn read_request<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<Request, RequestError> {
     let head = read_head(reader, limits.max_head_bytes)?;
-    let text = std::str::from_utf8(&head)
+    let mut request = parse_head(&head)?;
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length `{len}`")))?;
+        if len > limits.max_body_bytes {
+            return Err(RequestError::BodyTooLarge);
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(RequestError::Io)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Parses a complete request head (everything before the blank line,
+/// without the terminating `\r\n\r\n`). The returned request carries an
+/// empty body.
+fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
+    let text = std::str::from_utf8(head)
         .map_err(|_| RequestError::Malformed("head is not UTF-8".into()))?;
     let mut lines = text.split("\r\n");
     let request_line = lines
@@ -130,25 +216,13 @@ pub fn read_request<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<Reque
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let mut request = Request {
+    Ok(Request {
         method: method.to_string(),
         path,
         query,
         headers,
         body: Vec::new(),
-    };
-    if let Some(len) = request.header("content-length") {
-        let len: usize = len
-            .parse()
-            .map_err(|_| RequestError::Malformed(format!("bad content-length `{len}`")))?;
-        if len > limits.max_body_bytes {
-            return Err(RequestError::BodyTooLarge);
-        }
-        let mut body = vec![0u8; len];
-        reader.read_exact(&mut body).map_err(RequestError::Io)?;
-        request.body = body;
-    }
-    Ok(request)
+    })
 }
 
 /// Reads bytes until the blank line ending the head, within `cap`.
@@ -272,14 +346,28 @@ impl Response {
         }
     }
 
+    /// An empty-bodied `304 Not Modified` carrying the entity tag the
+    /// client revalidated against.
+    pub fn not_modified(etag: &str) -> Response {
+        Response {
+            status: 304,
+            content_type: "text/plain; charset=utf-8",
+            headers: vec![("etag", etag.to_string())],
+            body: Vec::new(),
+        }
+    }
+
     /// Standard reason phrase for the status codes this server emits.
     pub fn reason(status: u16) -> &'static str {
         match status {
             200 => "OK",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             406 => "Not Acceptable",
+            408 => "Request Timeout",
+            409 => "Conflict",
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
@@ -289,30 +377,75 @@ impl Response {
     }
 }
 
+/// The current instant as an RFC 9110 `IMF-fixdate` (`Date` header).
+pub fn http_date_now() -> String {
+    format_http_date(SystemTime::now())
+}
+
+/// Formats a timestamp as `Sun, 06 Nov 1994 08:49:37 GMT`.
+pub fn format_http_date(t: SystemTime) -> String {
+    let secs = t
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3_600, (rem % 3_600) / 60, rem % 60);
+    // 1970-01-01 was a Thursday.
+    let weekday = ["Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"][(days % 7) as usize];
+    // Civil-from-days (Howard Hinnant's algorithm).
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    let month = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ][(month - 1) as usize];
+    format!("{weekday}, {day:02} {month} {year} {hh:02}:{mm:02}:{ss:02} GMT")
+}
+
 /// Writes `response`, announcing whether the connection stays open.
+///
+/// Every response path — including the early 400/431/413 errors and
+/// acceptor-side sheds — goes through here, so `Date`, `Connection`,
+/// and `Content-Length` are emitted unconditionally.
 pub fn write_response<W: Write>(
     w: &mut W,
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+    let mut head = Vec::with_capacity(256 + response.body.len());
+    encode_response(&mut head, response, keep_alive);
+    w.write_all(&head)?;
+    w.flush()
+}
+
+/// Serializes `response` (head + body) onto the end of `out` — the
+/// writev-style path the reactor shards use: the bytes land in the
+/// connection's outbox and are flushed opportunistically, so a slow
+/// reader never blocks the shard.
+pub fn encode_response(out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
+    use std::io::Write as _;
+    let _ = write!(
+        out,
+        "HTTP/1.1 {} {}\r\ndate: {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         Response::reason(response.status),
+        http_date_now(),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in &response.headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        let _ = write!(out, "{name}: {value}\r\n");
     }
-    head.push_str("\r\n");
-    w.write_all(head.as_bytes())?;
-    w.write_all(&response.body)?;
-    w.flush()
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&response.body);
 }
 
 #[cfg(test)]
@@ -416,7 +549,7 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_connection() {
+    fn responses_carry_length_connection_and_date() {
         let mut out = Vec::new();
         let mut resp = Response::text(503, "busy");
         resp.headers.push(("retry-after", "1".into()));
@@ -429,6 +562,103 @@ mod tests {
         assert!(text.contains("content-length: 4\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("date: "), "all responses carry Date: {text}");
+        assert!(text.contains(" GMT\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\nbusy"));
+
+        // The early-error statuses go through the same writer, so they
+        // carry the same headers.
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(431, "too big"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("date: "), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn not_modified_is_empty_with_etag() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::not_modified("\"g4\""), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"), "{text}");
+        assert!(text.contains("content-length: 0\r\n"));
+        assert!(text.contains("etag: \"g4\"\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "304 must carry no body");
+    }
+
+    #[test]
+    fn http_date_formats_known_instants() {
+        assert_eq!(
+            format_http_date(UNIX_EPOCH),
+            "Thu, 01 Jan 1970 00:00:00 GMT"
+        );
+        // RFC 9110's own example date.
+        let t = UNIX_EPOCH + std::time::Duration::from_secs(784_111_777);
+        assert_eq!(format_http_date(t), "Sun, 06 Nov 1994 08:49:37 GMT");
+        // A leap-day, after noon.
+        let t = UNIX_EPOCH + std::time::Duration::from_secs(1_709_209_057);
+        assert_eq!(format_http_date(t), "Thu, 29 Feb 2024 12:17:37 GMT");
+    }
+
+    #[test]
+    fn incremental_parse_needs_more_until_complete() {
+        let limits = Limits::default();
+        let full = b"POST /lorel HTTP/1.1\r\nHost: x\r\nContent-Length: 8\r\n\r\nselect S";
+        // Every strict prefix is NeedMore; the full buffer completes.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(try_parse(&full[..cut], &limits), Ok(Parsed::NeedMore)),
+                "prefix of {cut} bytes must not complete"
+            );
+        }
+        match try_parse(full, &limits).unwrap() {
+            Parsed::Complete { request, consumed } => {
+                assert_eq!(consumed, full.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.body, b"select S");
+            }
+            Parsed::NeedMore => panic!("full request must parse"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_tail() {
+        let limits = Limits::default();
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, consumed) = match try_parse(two, &limits).unwrap() {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            Parsed::NeedMore => panic!("first request must parse"),
+        };
+        assert_eq!(first.path, "/a");
+        match try_parse(&two[consumed..], &limits).unwrap() {
+            Parsed::Complete { request, .. } => assert_eq!(request.path, "/b"),
+            Parsed::NeedMore => panic!("second request must parse"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_enforces_caps_early() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        // An unterminated head past the cap is rejected *now*, not
+        // buffered until the client deigns to finish it.
+        let drip = format!("GET /x HTTP/1.1\r\nX-Pad: {}", "a".repeat(100));
+        assert!(matches!(
+            try_parse(drip.as_bytes(), &limits),
+            Err(RequestError::HeadTooLarge)
+        ));
+        // An oversized declared body is rejected from the head alone.
+        let fat = b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert!(matches!(
+            try_parse(fat, &limits),
+            Err(RequestError::BodyTooLarge)
+        ));
+        assert!(matches!(
+            try_parse(b"NOT-HTTP\r\n\r\n", &limits),
+            Err(RequestError::Malformed(_))
+        ));
     }
 }

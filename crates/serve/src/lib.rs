@@ -10,20 +10,30 @@
 //!
 //! Architecture, front to back:
 //!
-//! - [`http`] — bounded HTTP/1.1 parsing and response writing.
-//! - [`pool`] — a fixed worker pool behind a *bounded* queue; overload
-//!   is shed (503 + `Retry-After`), never buffered.
+//! - [`http`] — bounded, *incremental* HTTP/1.1 parsing and response
+//!   encoding (every response carries `Date` and `Connection`).
+//! - [`shard`] — the serve tier's core: N reactor event loops, each
+//!   owning its connections outright — non-blocking reads into
+//!   per-connection buffers, buffered writes, and no thread ever parked
+//!   on an idle keep-alive socket.
+//! - [`cache`] — an epoch-keyed response cache per shard: snapshot
+//!   generation → strong `ETag`, identical reads within an epoch served
+//!   as pre-serialized bytes, conditional requests answered `304`, and
+//!   wholesale invalidation whenever the epoch turns.
+//! - [`pool`] — a fixed worker pool behind a *bounded* queue, now a
+//!   slow-path compute pool: one job per request, never per connection.
 //! - [`routes`] — the Figure 5 screens as routes over a shared
 //!   [`annoda::Annoda`], with `Accept`-negotiated text/JSON bodies.
-//! - [`server`] — accept loop, keep-alive sessions, socket timeouts,
-//!   graceful drain-on-shutdown.
-//! - [`metrics`] — per-route counters, latency histograms, queue
-//!   pressure, and the mediator's subquery-cache stats at `/metrics`.
+//! - [`server`] — the acceptor: connection cap, least-loaded shard
+//!   placement, graceful drain-on-shutdown.
+//! - [`metrics`] — per-route counters, log-scale latency histograms
+//!   (p50/p99 derivable), cache and shed gauges at `/metrics`.
 //! - [`json`] — the crate's own RFC 8259 writer (the build is offline;
 //!   no serde).
-//! - [`loadgen`] — a loopback load generator for benchmarks and smoke
-//!   tests.
+//! - [`loadgen`] — a loopback load generator (closed- and open-loop)
+//!   with a status-code breakdown, for benchmarks and smoke tests.
 
+pub mod cache;
 pub mod http;
 pub mod json;
 pub mod loadgen;
@@ -31,10 +41,13 @@ pub mod metrics;
 pub mod pool;
 pub mod routes;
 pub mod server;
+pub mod shard;
 
+pub use cache::{etag_for, CacheGauges, CacheSnapshot, ResponseCache};
 pub use json::Json;
-pub use loadgen::{LoadgenConfig, LoadgenStats};
-pub use metrics::{Metrics, SnapshotGauges};
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenStats, StatusBreakdown};
+pub use metrics::{HttpGauges, Metrics, SnapshotGauges};
 pub use pool::{Pool, QueueGauge};
 pub use routes::{handle, negotiate, App, Format};
 pub use server::{ServeConfig, Server, ShutdownReport};
+pub use shard::{Shard, ShardConfig, ShedGauges, ShedSnapshot};

@@ -1,36 +1,118 @@
-//! A loopback load generator for the server: N concurrent keep-alive
-//! connections, each issuing a fixed number of requests, with latency
-//! percentiles. Used by `bench_report serve` (experiment B8) and by
+//! A loopback load generator for the server, in two shapes:
+//!
+//! - **Closed loop** (the classic): N concurrent keep-alive
+//!   connections, each issuing its next request only after the previous
+//!   response — measures best-case sequential latency, but under a slow
+//!   server the offered load collapses with it (coordinated omission).
+//! - **Open loop**: requests are *scheduled* at a fixed offered rate
+//!   regardless of response progress, and latency is measured from the
+//!   scheduled send instant — queueing delay shows up in the numbers
+//!   instead of silently lowering the load.
+//!
+//! Either way the results carry a status-code breakdown, so shed
+//! responses (`503`) and revalidations (`304`) are counted separately
+//! from successes instead of vanishing into a single error tally.
+//!
+//! Used by `bench_report serve` (experiment B12) and by
 //! `scripts/check.sh --smoke`.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// How load is offered.
+#[derive(Debug, Clone)]
+pub enum LoadMode {
+    /// Each connection sends its next request after the previous
+    /// response arrives.
+    Closed,
+    /// Requests are scheduled at `rate_rps` (spread across the
+    /// connections) for `duration`, whether or not responses keep up.
+    Open {
+        /// Total offered request rate, requests per second.
+        rate_rps: f64,
+        /// How long to offer load.
+        duration: Duration,
+    },
+}
 
 /// Load shape.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Concurrent connections.
     pub connections: usize,
-    /// Requests per connection (keep-alive).
+    /// Requests per connection (closed-loop mode).
     pub requests_per_conn: usize,
     /// Request target, e.g. `/genes?organism=Homo+sapiens`.
     pub path: String,
+    /// Closed or open loop.
+    pub mode: LoadMode,
+}
+
+/// Responses by class — shed and revalidation answers are first-class
+/// outcomes, not generic errors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusBreakdown {
+    /// 2xx responses.
+    pub ok: u64,
+    /// `304 Not Modified` revalidations.
+    pub not_modified: u64,
+    /// `503` shed responses.
+    pub shed: u64,
+    /// Other 4xx responses.
+    pub client_error: u64,
+    /// Other 5xx responses.
+    pub server_error: u64,
+    /// Requests with no HTTP answer at all (connect/read/write failed).
+    pub transport: u64,
+}
+
+impl StatusBreakdown {
+    fn classify(&mut self, status: u16) {
+        match status {
+            200..=299 => self.ok += 1,
+            304 => self.not_modified += 1,
+            503 => self.shed += 1,
+            400..=499 => self.client_error += 1,
+            500..=599 => self.server_error += 1,
+            _ => self.server_error += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &StatusBreakdown) {
+        self.ok += other.ok;
+        self.not_modified += other.not_modified;
+        self.shed += other.shed;
+        self.client_error += other.client_error;
+        self.server_error += other.server_error;
+        self.transport += other.transport;
+    }
+
+    /// Requests that received an HTTP response.
+    pub fn answered(&self) -> u64 {
+        self.ok + self.not_modified + self.shed + self.client_error + self.server_error
+    }
 }
 
 /// Aggregate results.
 #[derive(Debug, Clone)]
 pub struct LoadgenStats {
-    /// Requests that returned HTTP 200.
+    /// Requests that returned 2xx.
     pub ok: u64,
-    /// Requests that returned any other status or failed on the wire.
+    /// Requests that were shed, failed, or errored on the wire
+    /// (everything except 2xx and 304).
     pub errors: u64,
-    /// Median request latency, microseconds.
+    /// The full per-class breakdown.
+    pub statuses: StatusBreakdown,
+    /// Median request latency, microseconds. Open-loop latencies are
+    /// measured from the *scheduled* send instant, so queueing delay is
+    /// included rather than omitted.
     pub p50_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: u64,
-    /// Completed requests per wall-clock second.
+    /// Answered requests per wall-clock second.
     pub throughput_rps: f64,
     /// Total wall-clock for the run.
     pub elapsed: Duration,
@@ -40,22 +122,28 @@ pub struct LoadgenStats {
 pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenStats> {
     let started = Instant::now();
     let mut handles = Vec::with_capacity(config.connections);
-    for _ in 0..config.connections {
+    for _ in 0..config.connections.max(1) {
         let path = config.path.clone();
         let n = config.requests_per_conn;
-        handles.push(thread::spawn(move || connection_worker(addr, &path, n)));
+        let mode = config.mode.clone();
+        let connections = config.connections.max(1);
+        handles.push(thread::spawn(move || match mode {
+            LoadMode::Closed => closed_worker(addr, &path, n),
+            LoadMode::Open { rate_rps, duration } => {
+                let per_conn_rate = (rate_rps / connections as f64).max(0.001);
+                open_worker(addr, &path, per_conn_rate, duration)
+            }
+        }));
     }
     let mut latencies: Vec<u64> = Vec::new();
-    let mut ok = 0u64;
-    let mut errors = 0u64;
+    let mut statuses = StatusBreakdown::default();
     for handle in handles {
         match handle.join() {
-            Ok((conn_ok, conn_err, mut conn_lat)) => {
-                ok += conn_ok;
-                errors += conn_err;
+            Ok((conn_statuses, mut conn_lat)) => {
+                statuses.merge(&conn_statuses);
                 latencies.append(&mut conn_lat);
             }
-            Err(_) => errors += config.requests_per_conn as u64,
+            Err(_) => statuses.transport += config.requests_per_conn as u64,
         }
     }
     let elapsed = started.elapsed();
@@ -67,14 +155,14 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenStats>
         let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
         latencies[idx.min(latencies.len() - 1)]
     };
-    let total = ok + errors;
     Ok(LoadgenStats {
-        ok,
-        errors,
+        ok: statuses.ok,
+        errors: statuses.shed + statuses.client_error + statuses.server_error + statuses.transport,
+        statuses,
         p50_us: pct(0.50),
         p99_us: pct(0.99),
         throughput_rps: if elapsed.as_secs_f64() > 0.0 {
-            total as f64 / elapsed.as_secs_f64()
+            statuses.answered() as f64 / elapsed.as_secs_f64()
         } else {
             0.0
         },
@@ -82,46 +170,129 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenStats>
     })
 }
 
-/// One keep-alive connection issuing `n` requests; returns
-/// `(ok, errors, latencies_us)`.
-fn connection_worker(addr: SocketAddr, path: &str, n: usize) -> (u64, u64, Vec<u64>) {
-    let mut ok = 0u64;
-    let mut errors = 0u64;
+fn request_bytes(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nAccept: application/json\r\n\r\n").into_bytes()
+}
+
+/// One closed-loop keep-alive connection issuing `n` requests; returns
+/// `(breakdown, latencies_us)`.
+fn closed_worker(addr: SocketAddr, path: &str, n: usize) -> (StatusBreakdown, Vec<u64>) {
+    let mut statuses = StatusBreakdown::default();
     let mut latencies = Vec::with_capacity(n);
     let Ok(stream) = TcpStream::connect(addr) else {
-        return (0, n as u64, latencies);
+        statuses.transport += n as u64;
+        return (statuses, latencies);
     };
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return (0, n as u64, latencies),
+        Err(_) => {
+            statuses.transport += n as u64;
+            return (statuses, latencies);
+        }
     });
     let mut writer = stream;
+    let request = request_bytes(path);
     for _ in 0..n {
         let t0 = Instant::now();
-        let request =
-            format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nAccept: application/json\r\n\r\n");
-        if writer.write_all(request.as_bytes()).is_err() {
-            errors += 1;
+        if writer.write_all(&request).is_err() {
+            statuses.transport += 1;
             break;
         }
         match read_response(&mut reader) {
             Ok((status, _body)) => {
                 latencies.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
-                if status == 200 {
-                    ok += 1;
-                } else {
-                    errors += 1;
-                }
+                statuses.classify(status);
             }
             Err(_) => {
-                errors += 1;
+                statuses.transport += 1;
                 break;
             }
         }
     }
-    (ok, errors, latencies)
+    (statuses, latencies)
+}
+
+/// One open-loop connection: sends at `rate_rps` for `duration` without
+/// waiting for responses (pipelined); a paired reader consumes
+/// responses in order and measures latency from each request's
+/// *scheduled* send time.
+fn open_worker(
+    addr: SocketAddr,
+    path: &str,
+    rate_rps: f64,
+    duration: Duration,
+) -> (StatusBreakdown, Vec<u64>) {
+    let mut statuses = StatusBreakdown::default();
+    let planned = (rate_rps * duration.as_secs_f64()).ceil() as u64;
+    let Ok(stream) = TcpStream::connect(addr) else {
+        statuses.transport += planned;
+        return (statuses, Vec::new());
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        statuses.transport += planned;
+        return (statuses, Vec::new());
+    };
+
+    // The writer hands each request's scheduled instant to the reader;
+    // responses come back in request order (HTTP/1.1 pipelining), so
+    // the FIFO pairing is exact.
+    let (tx, rx) = mpsc::channel::<Instant>();
+    let reader = thread::spawn(move || {
+        let mut reader = BufReader::new(read_half);
+        let mut statuses = StatusBreakdown::default();
+        let mut latencies = Vec::new();
+        while let Ok(scheduled) = rx.recv() {
+            match read_response(&mut reader) {
+                Ok((status, _body)) => {
+                    let lat = Instant::now().saturating_duration_since(scheduled);
+                    latencies.push(u64::try_from(lat.as_micros()).unwrap_or(u64::MAX));
+                    statuses.classify(status);
+                }
+                Err(_) => {
+                    statuses.transport += 1;
+                    break;
+                }
+            }
+        }
+        // Requests whose responses never arrived.
+        statuses.transport += rx.try_iter().count() as u64;
+        (statuses, latencies)
+    });
+
+    let request = request_bytes(path);
+    let interval = Duration::from_secs_f64(1.0 / rate_rps);
+    let started = Instant::now();
+    let mut writer = stream;
+    let mut next = started;
+    while started.elapsed() < duration {
+        let now = Instant::now();
+        if next > now {
+            thread::sleep(next - now);
+        }
+        // The *scheduled* instant is the latency origin — if the socket
+        // back-pressures the send, that delay is the server's queueing,
+        // not a measurement to discard.
+        if tx.send(next).is_err() || writer.write_all(&request).is_err() {
+            break;
+        }
+        next += interval;
+    }
+    drop(tx);
+    let _ = writer.shutdown(Shutdown::Write);
+    match reader.join() {
+        Ok((reader_statuses, latencies)) => {
+            statuses.merge(&reader_statuses);
+            (statuses, latencies)
+        }
+        Err(_) => {
+            statuses.transport += planned;
+            (statuses, Vec::new())
+        }
+    }
 }
 
 /// Reads one HTTP response (status line, headers, `Content-Length`

@@ -1,7 +1,8 @@
-//! Request metrics: per-route counters, a fixed-bucket latency
-//! histogram, queue pressure, and the mediator cache stats — rendered
-//! in a Prometheus-style text exposition (and JSON, for negotiating
-//! clients).
+//! Request metrics: per-route counters, fixed log-scale latency
+//! histograms with derivable p50/p99, queue pressure, the response
+//! cache and admission-control gauges, and the mediator cache stats —
+//! rendered in a Prometheus-style text exposition (and JSON, for
+//! negotiating clients).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -10,8 +11,10 @@ use annoda::PersistStats;
 use annoda_federation::RemoteStatsSnapshot;
 use annoda_mediator::CacheStats;
 
+use crate::cache::CacheSnapshot;
 use crate::json::Json;
 use crate::pool::QueueGauge;
+use crate::shard::ShedSnapshot;
 
 /// The routes the server distinguishes, plus a catch-all.
 pub const ROUTES: [&str; 7] = [
@@ -34,9 +37,42 @@ pub struct SnapshotGauges {
     pub eval_workers: usize,
 }
 
-/// Histogram bucket upper bounds, microseconds.
-const BUCKETS_US: [u64; 9] = [
-    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+/// HTTP serve-tier gauges sampled at scrape time: the response cache,
+/// admission control, and the live serving generation (the ETag key).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpGauges {
+    /// Response-cache counters.
+    pub cache: CacheSnapshot,
+    /// Admission-control counters.
+    pub shed: ShedSnapshot,
+    /// The generation responses are currently stamped with.
+    pub generation: u64,
+}
+
+/// Histogram bucket upper bounds, microseconds — fixed log scale
+/// (powers of two from 64 µs to ~33.5 s), so p50/p99 are derivable
+/// with bounded relative error at any latency magnitude.
+const BUCKETS_US: [u64; 20] = [
+    1 << 6,
+    1 << 7,
+    1 << 8,
+    1 << 9,
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 21,
+    1 << 22,
+    1 << 23,
+    1 << 24,
+    1 << 25,
 ];
 
 #[derive(Default)]
@@ -56,6 +92,26 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `p`-quantile (0..=1) as a bucket upper bound, microseconds —
+    /// the smallest bound whose cumulative count covers `p` of the
+    /// observations. Observations past the last bound report the last
+    /// bound. `0` when empty.
+    fn quantile_us(&self, p: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let rank = (count as f64 * p).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (bound, bucket) in BUCKETS_US.iter().zip(&self.buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return *bound;
+            }
+        }
+        BUCKETS_US[BUCKETS_US.len() - 1]
     }
 }
 
@@ -118,6 +174,7 @@ impl Metrics {
     pub fn render_text(
         &self,
         queue: &QueueGauge,
+        http: HttpGauges,
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
@@ -133,6 +190,33 @@ impl Metrics {
         let _ = writeln!(out, "annoda_queue_depth {}", queue.depth());
         let _ = writeln!(out, "annoda_queue_depth_high_water {}", queue.high_water());
         let _ = writeln!(out, "annoda_rejected_total {}", queue.rejected());
+        let _ = writeln!(out, "annoda_serving_generation {}", http.generation);
+        let c = http.cache;
+        let _ = writeln!(out, "annoda_http_cache_hits_total {}", c.hits);
+        let _ = writeln!(out, "annoda_http_cache_misses_total {}", c.misses);
+        let _ = writeln!(
+            out,
+            "annoda_http_cache_not_modified_total {}",
+            c.not_modified
+        );
+        let _ = writeln!(out, "annoda_http_cache_evictions_total {}", c.evictions);
+        let _ = writeln!(
+            out,
+            "annoda_http_cache_epoch_invalidations_total {}",
+            c.epoch_invalidations
+        );
+        let _ = writeln!(out, "annoda_http_cache_entries {}", c.entries);
+        let s = http.shed;
+        let _ = writeln!(out, "annoda_shed_total {}", s.total);
+        let _ = writeln!(out, "annoda_shed_pool_full_total {}", s.pool_full);
+        let _ = writeln!(
+            out,
+            "annoda_shed_in_flight_budget_total {}",
+            s.in_flight_budget
+        );
+        let _ = writeln!(out, "annoda_shed_queue_delay_total {}", s.queue_delay);
+        let _ = writeln!(out, "annoda_in_flight_requests {}", s.in_flight_now);
+        let _ = writeln!(out, "annoda_service_ewma_us {}", s.service_ewma_us);
         for (name, route) in ROUTES.iter().zip(&self.routes) {
             let _ = writeln!(
                 out,
@@ -167,6 +251,13 @@ impl Metrics {
                 "annoda_latency_us_count{{route=\"{name}\"}} {}",
                 route.latency.count.load(Ordering::Relaxed)
             );
+            for (quantile, p) in [("p50", 0.50), ("p99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "annoda_latency_us{{route=\"{name}\",quantile=\"{quantile}\"}} {}",
+                    route.latency.quantile_us(p)
+                );
+            }
         }
         if let Some(stats) = cache {
             let _ = writeln!(out, "annoda_mediator_cache_capacity {}", stats.capacity);
@@ -274,6 +365,7 @@ impl Metrics {
     pub fn render_json(
         &self,
         queue: &QueueGauge,
+        http: HttpGauges,
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
@@ -302,10 +394,52 @@ impl Metrics {
                             "latency_count",
                             Json::Int(route.latency.count.load(Ordering::Relaxed) as i64),
                         ),
+                        (
+                            "latency_p50_us",
+                            Json::Int(route.latency.quantile_us(0.50) as i64),
+                        ),
+                        (
+                            "latency_p99_us",
+                            Json::Int(route.latency.quantile_us(0.99) as i64),
+                        ),
                     ]),
                 )
             })
             .collect();
+        let http_json = Json::obj([
+            ("generation", Json::Int(http.generation as i64)),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::Int(http.cache.hits as i64)),
+                    ("misses", Json::Int(http.cache.misses as i64)),
+                    ("not_modified", Json::Int(http.cache.not_modified as i64)),
+                    ("evictions", Json::Int(http.cache.evictions as i64)),
+                    (
+                        "epoch_invalidations",
+                        Json::Int(http.cache.epoch_invalidations as i64),
+                    ),
+                    ("entries", Json::Int(http.cache.entries as i64)),
+                ]),
+            ),
+            (
+                "shed",
+                Json::obj([
+                    ("total", Json::Int(http.shed.total as i64)),
+                    ("pool_full", Json::Int(http.shed.pool_full as i64)),
+                    (
+                        "in_flight_budget",
+                        Json::Int(http.shed.in_flight_budget as i64),
+                    ),
+                    ("queue_delay", Json::Int(http.shed.queue_delay as i64)),
+                    ("in_flight_now", Json::Int(http.shed.in_flight_now as i64)),
+                    (
+                        "service_ewma_us",
+                        Json::Int(http.shed.service_ewma_us as i64),
+                    ),
+                ]),
+            ),
+        ]);
         let cache_json = match cache {
             Some(stats) => Json::obj([
                 ("capacity", Json::Int(stats.capacity as i64)),
@@ -372,6 +506,7 @@ impl Metrics {
                 Json::Int(queue.high_water() as i64),
             ),
             ("rejected", Json::Int(queue.rejected() as i64)),
+            ("http", http_json),
             ("routes", Json::Obj(routes)),
             ("mediator_cache", cache_json),
             ("persist", persist_json),
@@ -417,8 +552,28 @@ mod tests {
             Duration::from_secs(2),
         );
         assert_eq!(m.requests_total(), 3);
+        let http = HttpGauges {
+            cache: CacheSnapshot {
+                hits: 12,
+                misses: 4,
+                not_modified: 2,
+                evictions: 1,
+                epoch_invalidations: 3,
+                entries: 5,
+            },
+            shed: ShedSnapshot {
+                total: 6,
+                pool_full: 1,
+                in_flight_budget: 2,
+                queue_delay: 3,
+                in_flight_now: 4,
+                service_ewma_us: 750,
+            },
+            generation: 9,
+        };
         let text = m.render_text(
             &gauge,
+            http,
             Some(CacheStats {
                 capacity: 256,
                 len: 3,
@@ -466,12 +621,37 @@ mod tests {
             text.contains("annoda_errors_total{route=\"genes\"} 1"),
             "{text}"
         );
-        // 80us lands in le=100; 800us joins it cumulatively at le=1000.
-        assert!(text.contains("annoda_latency_us_bucket{route=\"genes\",le=\"100\"} 1"));
-        assert!(text.contains("annoda_latency_us_bucket{route=\"genes\",le=\"1000\"} 2"));
-        // The 2s observation only shows in +Inf.
-        assert!(text.contains("annoda_latency_us_bucket{route=\"object\",le=\"1000000\"} 0"));
-        assert!(text.contains("annoda_latency_us_bucket{route=\"object\",le=\"+Inf\"} 1"));
+        // Log-scale buckets: 80us lands at le=128; 800us joins it
+        // cumulatively at le=1024.
+        assert!(text.contains("annoda_latency_us_bucket{route=\"genes\",le=\"128\"} 1"));
+        assert!(text.contains("annoda_latency_us_bucket{route=\"genes\",le=\"1024\"} 2"));
+        // The 2s observation: above 2^20 us, within 2^21 us.
+        assert!(text.contains("annoda_latency_us_bucket{route=\"object\",le=\"1048576\"} 0"));
+        assert!(text.contains("annoda_latency_us_bucket{route=\"object\",le=\"2097152\"} 1"));
+        // Quantiles derive from the buckets: of the two genes
+        // observations (80us, 800us), p50 covers the first bucket and
+        // p99 the second.
+        assert!(
+            text.contains("annoda_latency_us{route=\"genes\",quantile=\"p50\"} 128"),
+            "{text}"
+        );
+        assert!(
+            text.contains("annoda_latency_us{route=\"genes\",quantile=\"p99\"} 1024"),
+            "{text}"
+        );
+        // The serve-tier gauges.
+        assert!(text.contains("annoda_serving_generation 9"));
+        assert!(text.contains("annoda_http_cache_hits_total 12"));
+        assert!(text.contains("annoda_http_cache_misses_total 4"));
+        assert!(text.contains("annoda_http_cache_not_modified_total 2"));
+        assert!(text.contains("annoda_http_cache_evictions_total 1"));
+        assert!(text.contains("annoda_http_cache_epoch_invalidations_total 3"));
+        assert!(text.contains("annoda_shed_total 6"));
+        assert!(text.contains("annoda_shed_pool_full_total 1"));
+        assert!(text.contains("annoda_shed_in_flight_budget_total 2"));
+        assert!(text.contains("annoda_shed_queue_delay_total 3"));
+        assert!(text.contains("annoda_in_flight_requests 4"));
+        assert!(text.contains("annoda_service_ewma_us 750"));
         assert!(text.contains("annoda_mediator_cache_hits_total 9"));
         assert!(text.contains("annoda_mediator_cache_hit_rate 0.9000"));
         assert!(text.contains("annoda_queue_depth_high_water 0"));
@@ -497,7 +677,7 @@ mod tests {
         assert!(text.contains("annoda_federation_wall_us_total{source=\"OMIM\"} 9000"));
         assert!(text.contains("annoda_federation_last_wall_us{source=\"OMIM\"} 700"));
 
-        let json = m.render_json(&gauge, None, None, None, &[]).to_text();
+        let json = m.render_json(&gauge, http, None, None, None, &[]).to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
             "{json}"
@@ -506,10 +686,15 @@ mod tests {
         assert!(json.contains("\"persist\":null"));
         assert!(json.contains("\"snapshot\":null"));
         assert!(json.contains("\"federation\":{}"));
+        assert!(json.contains("\"generation\":9"), "{json}");
+        assert!(json.contains("\"not_modified\":2"), "{json}");
+        assert!(json.contains("\"in_flight_budget\":2"), "{json}");
+        assert!(json.contains("\"latency_p50_us\":128"), "{json}");
 
         let json = m
             .render_json(
                 &gauge,
+                HttpGauges::default(),
                 None,
                 None,
                 None,

@@ -11,6 +11,7 @@
 //! Every route answers in plain text (default) or JSON, negotiated via
 //! the `Accept` header.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
@@ -22,10 +23,12 @@ use annoda_mediator::fusion::IntegratedGene;
 use annoda_mediator::WebLink;
 use annoda_oem::text as oem_text;
 
+use crate::cache::CacheGauges;
 use crate::http::{percent_decode, Request, Response};
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{HttpGauges, Metrics};
 use crate::pool::QueueGauge;
+use crate::shard::ShedGauges;
 
 /// Shared state every worker sees.
 pub struct App {
@@ -36,6 +39,12 @@ pub struct App {
     pub metrics: Arc<Metrics>,
     /// Queue pressure, published by the worker pool.
     pub gauge: Arc<QueueGauge>,
+    /// Response-cache counters, shared by every shard's cache.
+    pub http_cache: Arc<CacheGauges>,
+    /// Admission-control counters, shared by every shard.
+    pub shed: Arc<ShedGauges>,
+    /// The live serving generation (the ETag / cache epoch key).
+    pub generation: Arc<AtomicU64>,
     /// Server start time (for `/healthz` uptime).
     pub started: Instant,
 }
@@ -55,7 +64,7 @@ impl App {
 }
 
 /// The response format a request negotiated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Format {
     /// `text/plain` — the default.
     Text,
@@ -302,16 +311,21 @@ fn metrics(app: &App, format: Format) -> Response {
         store_clones_total: annoda_oem::store_clone_count(),
         eval_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
     });
+    let http = HttpGauges {
+        cache: app.http_cache.snapshot(),
+        shed: app.shed.snapshot(),
+        generation: app.generation.load(Ordering::Acquire),
+    };
     match format {
         Format::Text => Response::text(
             200,
             app.metrics
-                .render_text(&app.gauge, cache, persist, snapshot, &federation),
+                .render_text(&app.gauge, http, cache, persist, snapshot, &federation),
         ),
         Format::Json => Response::json(
             200,
             &app.metrics
-                .render_json(&app.gauge, cache, persist, snapshot, &federation),
+                .render_json(&app.gauge, http, cache, persist, snapshot, &federation),
         ),
     }
 }

@@ -1,20 +1,25 @@
-//! The server: accept loop, bounded hand-off to the worker pool, and
-//! keep-alive request sessions with graceful shutdown.
+//! The server: a non-blocking acceptor feeding N reactor shards
+//! ([`crate::shard`]), with the worker pool demoted to a slow-path
+//! compute pool — one job per *request*, never per connection.
 //!
 //! Overload policy, end to end:
 //!
-//! 1. The acceptor never blocks on the pool — [`crate::pool::Pool::try_submit`]
-//!    either takes the connection or refuses instantly.
-//! 2. On refusal the *acceptor itself* writes `503` + `Retry-After` and
-//!    closes; no parsing, no buffering, bounded work per shed request.
-//! 3. Each connection carries socket read/write timeouts and hard head
-//!    and body size caps, so a slow or hostile client cannot pin a
-//!    worker or grow memory.
+//! 1. The acceptor sheds only on the connection cap
+//!    ([`ServeConfig::max_connections`]): `503 + Retry-After`, close,
+//!    without reading a byte.
+//! 2. Accepted sockets go non-blocking to the least-loaded shard; an
+//!    idle keep-alive connection costs memory, not a thread.
+//! 3. Per request, the shard's admission control (in-flight budget,
+//!    queue-delay watermark, pool refusal) sheds with `503 +
+//!    Retry-After` *before* queueing delay explodes.
+//! 4. Hard head/body caps and read/write progress timeouts bound what
+//!    any single client can consume.
 //!
-//! Shutdown stops the accept loop, lets in-flight sessions finish their
-//! current request, and drains the pool within a bounded deadline.
+//! Shutdown stops the accept loop, lets shards finish in-flight
+//! requests and flush outboxes, then drains the pool — all within a
+//! bounded deadline.
 
-use std::io::{self, BufReader};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -23,23 +28,27 @@ use std::time::{Duration, Instant};
 
 use annoda::{Annoda, DurableSystem};
 
-use crate::http::{read_request, write_response, Limits, RequestError, Response};
+use crate::cache::CacheGauges;
+use crate::http::{encode_response, Limits, Response};
 use crate::metrics::Metrics;
 use crate::pool::Pool;
-use crate::routes::{handle, App};
+use crate::routes::App;
+use crate::shard::{Shard, ShardConfig, ShardShared, ShedGauges};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Reactor shards (event loops owning connections).
+    pub shards: usize,
+    /// Worker threads computing slow-path responses.
     pub workers: usize,
-    /// Bounded queue capacity between acceptor and workers.
+    /// Bounded queue capacity between shards and workers.
     pub queue_capacity: usize,
-    /// Per-socket read timeout.
+    /// Idle-connection timeout (no buffered input, nothing in flight).
     pub read_timeout: Duration,
-    /// Per-socket write timeout.
+    /// Outbox progress timeout (slow-reader defence).
     pub write_timeout: Duration,
     /// Request head cap (431 beyond it).
     pub max_head_bytes: usize,
@@ -47,6 +56,21 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Requests served per connection before the server closes it.
     pub keep_alive_max_requests: usize,
+    /// Open-connection cap across all shards; beyond it the acceptor
+    /// sheds with `503 + Retry-After`.
+    pub max_connections: usize,
+    /// Parsed-but-unanswered pipelined requests allowed per connection
+    /// before the shard stops reading (TCP backpressure).
+    pub pipeline_max: usize,
+    /// Per-shard budget of concurrently dispatched slow-path requests.
+    pub max_in_flight: usize,
+    /// Queue-delay watermark: shed once estimated wait
+    /// (`in_flight × EWMA(service)`) exceeds this.
+    pub target_p99: Duration,
+    /// Response-cache entries per shard (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Shard poll tick (how long a shard sleeps when nothing is ready).
+    pub poll_interval: Duration,
     /// Artificial delay before handling each request — zero in
     /// production; tests use it to hold workers busy deterministically.
     pub handler_delay: Duration,
@@ -56,6 +80,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
+            shards: 2,
             workers: 4,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
@@ -63,6 +88,12 @@ impl Default for ServeConfig {
             max_head_bytes: 8 * 1024,
             max_body_bytes: 64 * 1024,
             keep_alive_max_requests: 100,
+            max_connections: 1024,
+            pipeline_max: 32,
+            max_in_flight: 256,
+            target_p99: Duration::from_millis(2_500),
+            cache_capacity: 256,
+            poll_interval: Duration::from_micros(500),
             handler_delay: Duration::ZERO,
         }
     }
@@ -71,7 +102,7 @@ impl Default for ServeConfig {
 /// What a graceful shutdown managed to do.
 #[derive(Debug, Clone, Copy)]
 pub struct ShutdownReport {
-    /// Whether every queued and in-flight session finished in time.
+    /// Whether every in-flight request finished and flushed in time.
     pub drained: bool,
     /// Total requests served over the server's lifetime.
     pub requests_served: u64,
@@ -82,13 +113,14 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     pool: Pool,
+    shards: Vec<Shard>,
     acceptor: thread::JoinHandle<()>,
     app: Arc<App>,
 }
 
 impl Server {
-    /// Binds, spawns the pool and the accept loop, and returns. The
-    /// system is served ephemerally (no persistence) — exactly the
+    /// Binds, spawns the shards, pool, and accept loop, and returns.
+    /// The system is served ephemerally (no persistence) — exactly the
     /// pre-durability behaviour.
     pub fn start(system: Annoda, config: ServeConfig) -> io::Result<Server> {
         Server::start_durable(DurableSystem::new(system), config)
@@ -103,25 +135,57 @@ impl Server {
         // blocking `accept` cannot be interrupted portably.
         listener.set_nonblocking(true)?;
 
+        let generation = system.generation_handle();
         let pool = Pool::new(config.workers, config.queue_capacity);
         let app = Arc::new(App {
             system: Arc::new(RwLock::new(system)),
             metrics: Arc::new(Metrics::default()),
             gauge: pool.gauge(),
+            http_cache: Arc::new(CacheGauges::default()),
+            shed: Arc::new(ShedGauges::default()),
+            generation: Arc::clone(&generation),
             started: Instant::now(),
         });
         let stop = Arc::new(AtomicBool::new(false));
 
+        let shard_config = ShardConfig {
+            limits: Limits {
+                max_head_bytes: config.max_head_bytes,
+                max_body_bytes: config.max_body_bytes,
+            },
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            keep_alive_max_requests: config.keep_alive_max_requests.max(1),
+            pipeline_max: config.pipeline_max.max(1),
+            max_in_flight: config.max_in_flight.max(1),
+            target_p99: config.target_p99,
+            cache_capacity: config.cache_capacity,
+            poll_interval: config.poll_interval,
+            handler_delay: config.handler_delay,
+        };
+        let shards: Vec<Shard> = (0..config.shards.max(1))
+            .map(|index| {
+                Shard::spawn(
+                    index,
+                    Arc::clone(&app),
+                    pool.submitter(),
+                    Arc::clone(&generation),
+                    Arc::clone(&app.http_cache),
+                    Arc::clone(&app.shed),
+                    Arc::clone(&stop),
+                    shard_config.clone(),
+                )
+            })
+            .collect();
+
         let acceptor = {
             let stop = Arc::clone(&stop);
             let app = Arc::clone(&app);
-            let config = config.clone();
-            // The acceptor holds a submit-only handle; the Server keeps
-            // the pool itself for shutdown.
-            let submit = pool.submitter();
+            let handles: Vec<Arc<ShardShared>> = shards.iter().map(Shard::shared).collect();
+            let max_connections = config.max_connections.max(1);
             thread::Builder::new()
                 .name("annoda-serve-acceptor".into())
-                .spawn(move || accept_loop(&listener, &stop, &submit, &app, &config))
+                .spawn(move || accept_loop(&listener, &stop, &handles, &app, max_connections))
                 .expect("spawn acceptor")
         };
 
@@ -129,6 +193,7 @@ impl Server {
             addr,
             stop,
             pool,
+            shards,
             acceptor,
             app,
         })
@@ -139,17 +204,26 @@ impl Server {
         self.addr
     }
 
-    /// Shared application state (metrics, gauge, system).
+    /// Shared application state (metrics, gauges, system).
     pub fn app(&self) -> Arc<App> {
         Arc::clone(&self.app)
     }
 
-    /// Stops accepting, drains in-flight sessions within `deadline`,
-    /// and reports what happened.
+    /// Stops accepting, drains in-flight requests and outboxes within
+    /// `deadline`, and reports what happened.
     pub fn shutdown(self, deadline: Duration) -> ShutdownReport {
+        let cutoff = Instant::now() + deadline;
         self.stop.store(true, Ordering::SeqCst);
         let _ = self.acceptor.join();
-        let drained = self.pool.shutdown(deadline);
+        for shard in &self.shards {
+            shard.begin_drain(cutoff);
+        }
+        let mut drained = true;
+        for shard in self.shards {
+            drained &= shard.join();
+        }
+        let remaining = cutoff.saturating_duration_since(Instant::now());
+        drained &= self.pool.shutdown(remaining.max(Duration::from_millis(1)));
         ShutdownReport {
             drained,
             requests_served: self.app.metrics.requests_total(),
@@ -160,32 +234,28 @@ impl Server {
 fn accept_loop(
     listener: &TcpListener,
     stop: &Arc<AtomicBool>,
-    submit: &crate::pool::Submitter,
+    shards: &[Arc<ShardShared>],
     app: &Arc<App>,
-    config: &ServeConfig,
+    max_connections: usize,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 app.metrics.record_connection();
-                // Blocking I/O with timeouts from here on.
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_read_timeout(Some(config.read_timeout));
-                let _ = stream.set_write_timeout(Some(config.write_timeout));
-                let session_app = Arc::clone(app);
-                let session_config = config.clone();
-                let session_stop = Arc::clone(stop);
-                // A second handle to answer with if the pool refuses;
-                // the primary moves into the job.
-                let shed_handle = stream.try_clone();
-                let accepted = submit.try_submit(Box::new(move || {
-                    session(stream, &session_app, &session_config, &session_stop);
-                }));
-                if !accepted {
-                    if let Ok(s) = shed_handle {
-                        shed(s);
-                    }
+                let open: usize = shards.iter().map(|s| s.load()).sum();
+                if open >= max_connections {
+                    shed(stream);
+                    continue;
                 }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Least-loaded shard gets the connection.
+                let target = shards
+                    .iter()
+                    .min_by_key(|s| s.load())
+                    .expect("at least one shard");
+                target.enqueue(stream);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(2));
@@ -195,63 +265,14 @@ fn accept_loop(
     }
 }
 
-/// Answers a shed connection: `503` + `Retry-After`, then close. The
-/// acceptor does no reading at all — bounded work per rejection.
+/// Answers a connection shed at the accept stage (connection cap):
+/// `503` + `Retry-After`, then close — without reading a byte.
 fn shed(mut stream: TcpStream) {
-    let mut resp = Response::text(503, "server busy, retry shortly\n");
-    resp.headers.push(("retry-after", "1".into()));
-    let _ = write_response(&mut stream, &resp, false);
-}
-
-/// Serves one connection: a keep-alive loop of read → route → respond.
-fn session(stream: TcpStream, app: &Arc<App>, config: &ServeConfig, stop: &AtomicBool) {
-    let limits = Limits {
-        max_head_bytes: config.max_head_bytes,
-        max_body_bytes: config.max_body_bytes,
-    };
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    for served in 0.. {
-        match read_request(&mut reader, &limits) {
-            Ok(req) => {
-                if !config.handler_delay.is_zero() {
-                    thread::sleep(config.handler_delay);
-                }
-                let t0 = Instant::now();
-                let response = handle(app, &req);
-                let status = response.status;
-                app.metrics.record(
-                    crate::metrics::Metrics::route_index(&req.path),
-                    status,
-                    t0.elapsed(),
-                );
-                let keep_alive = !req.wants_close()
-                    && !stop.load(Ordering::SeqCst)
-                    && served + 1 < config.keep_alive_max_requests;
-                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Err(RequestError::ClosedClean) => return,
-            Err(RequestError::Malformed(msg)) => {
-                let resp = Response::text(400, format!("error: {msg}\n"));
-                let _ = write_response(&mut writer, &resp, false);
-                return;
-            }
-            Err(RequestError::HeadTooLarge) => {
-                let resp = Response::text(431, "error: request head too large\n");
-                let _ = write_response(&mut writer, &resp, false);
-                return;
-            }
-            Err(RequestError::BodyTooLarge) => {
-                let resp = Response::text(413, "error: request body too large\n");
-                let _ = write_response(&mut writer, &resp, false);
-                return;
-            }
-            Err(RequestError::Io(_)) => return,
-        }
-    }
+    let mut response = Response::text(503, "server busy, retry shortly\n");
+    response.headers.push(("retry-after", "1".into()));
+    let mut bytes = Vec::with_capacity(256);
+    encode_response(&mut bytes, &response, false);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.write_all(&bytes);
 }

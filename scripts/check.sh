@@ -19,7 +19,9 @@ cargo test -q --offline --workspace
 echo "== crash-consistency harness (annoda-persist) =="
 cargo test -q --offline --test persist_recovery
 
-echo "== serve loadgen smoke (B8) =="
+# The B12 smoke run fails if throughput at 16 connections drops below
+# throughput at 1 connection — the event-loop regression guard.
+echo "== serve loadgen smoke (B12) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- serve --smoke
 
 echo "== persistence smoke (B9) =="

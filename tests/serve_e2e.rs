@@ -5,7 +5,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use annoda::{Annoda, GeneQuestion};
 use annoda_serve::loadgen::read_response;
@@ -480,4 +480,272 @@ fn graceful_shutdown_drains_in_flight_requests() {
     let (status, _) = client.join().expect("client thread");
     assert_eq!(status, 200, "the in-flight request was served, not dropped");
     assert!(report.requests_served >= 1);
+}
+
+// ---------------------------------------------------------------------
+// Epoch-keyed response cache, conditional requests, and the sharded
+// event loop's fairness/admission behaviour.
+
+/// Reads one full response from a keep-alive stream: status, headers
+/// (names lowercased), body.
+fn read_full<R: BufRead>(reader: &mut R) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().unwrap_or(0);
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, body)
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn etag_304_conformance_and_cache_transparency() {
+    let (server, _symbol) = start(ephemeral());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    const GET_GENES: &str = "GET /genes HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\r\n";
+
+    // Fresh epoch: 200 with a strong generation ETag.
+    stream.write_all(GET_GENES.as_bytes()).expect("send");
+    let (status, headers, body1) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    let etag1 = header_value(&headers, "etag")
+        .expect("cacheable route carries an ETag")
+        .to_string();
+    assert!(etag1.starts_with("\"g") && etag1.ends_with('"'), "{etag1}");
+
+    // Same epoch, If-None-Match with the current validator: 304, empty
+    // body, validator echoed.
+    let conditional = format!(
+        "GET /genes HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\
+         If-None-Match: {etag1}\r\n\r\n"
+    );
+    stream.write_all(conditional.as_bytes()).expect("send");
+    let (status, headers, body) = read_full(&mut reader);
+    assert_eq!(status, 304);
+    assert!(body.is_empty(), "304 must not carry a body");
+    assert_eq!(header_value(&headers, "etag"), Some(etag1.as_str()));
+
+    // A repeat unconditional GET within the epoch is a cache hit and
+    // byte-identical to the first response.
+    stream.write_all(GET_GENES.as_bytes()).expect("send");
+    let (status, _, body2) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(body1, body2, "cached response must be byte-identical");
+    let cache = server.app().http_cache.snapshot();
+    assert!(cache.hits >= 1, "repeat GET must hit the response cache");
+    assert!(cache.not_modified >= 1, "conditional GET must count a 304");
+
+    // A refresh turns the epoch: the old validator no longer matches.
+    stream
+        .write_all(b"POST /admin/refresh HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .expect("send");
+    let (status, _, _) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    stream.write_all(conditional.as_bytes()).expect("send");
+    let (status, headers, body3) = read_full(&mut reader);
+    assert_eq!(status, 200, "a stale validator must get a full response");
+    let etag2 = header_value(&headers, "etag")
+        .expect("new epoch ETag")
+        .to_string();
+    assert_ne!(etag1, etag2, "the validator must change across epochs");
+
+    // And the recomputed body matches a repeat (now cached) request.
+    stream.write_all(GET_GENES.as_bytes()).expect("send");
+    let (status, _, body4) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body3, body4,
+        "post-refresh cached response must be byte-identical"
+    );
+    assert!(
+        server.app().http_cache.snapshot().epoch_invalidations >= 1,
+        "the refresh must have invalidated the cache wholesale"
+    );
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn slowloris_drip_does_not_stall_the_shard() {
+    // One shard, so the dripping connection and the healthy ones share
+    // the same event loop — the old thread-per-connection server would
+    // have parked a worker on the drip.
+    let (server, _symbol) = start(ServeConfig {
+        shards: 1,
+        ..ephemeral()
+    });
+    let addr = server.addr();
+    let dripper = thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        for b in b"GET /healthz HTTP/1.1\r\nHost: drip\r\nX-Slow: ".iter() {
+            if s.write_all(&[*b]).is_err() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        // Never finishes the head; the server's idle timeout reaps it.
+    });
+
+    // While the drip is in progress, requests on the same shard must
+    // answer promptly.
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let (status, body) = get(&server, "/healthz", "text/plain");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("ok"));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "healthz stalled behind a slowloris connection"
+        );
+    }
+    dripper.join().expect("dripper thread");
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn shed_under_load_returns_retry_after_and_counts() {
+    let (server, _symbol) = start(ServeConfig {
+        shards: 1,
+        max_in_flight: 1,
+        handler_delay: Duration::from_millis(800),
+        ..ephemeral()
+    });
+
+    // Occupy the single in-flight slot with a slow-path request.
+    let mut busy = TcpStream::connect(server.addr()).expect("connect");
+    busy.write_all(b"GET /genes HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\r\n")
+        .expect("send");
+    thread::sleep(Duration::from_millis(300));
+
+    // The next slow-path request must be shed immediately, not queued.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(
+            b"GET /genes HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\
+              Connection: close\r\n\r\n",
+        )
+        .expect("send");
+    let mut reader = BufReader::new(stream);
+    let (status, headers, body) = read_full(&mut reader);
+    assert_eq!(status, 503, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(header_value(&headers, "retry-after"), Some("1"));
+    let shed = server.app().shed.snapshot();
+    assert!(shed.total >= 1, "shed counter must record the 503");
+    assert!(
+        shed.in_flight_budget >= 1,
+        "the shed must be attributed to the in-flight budget"
+    );
+
+    // The admitted request still completes normally.
+    let mut reader = BufReader::new(busy);
+    let (status, _) = read_response(&mut reader).expect("busy response");
+    assert_eq!(status, 200);
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_under_the_cap() {
+    // The per-connection pipeline cap is far below the burst size: the
+    // shard must stop reading, drain answers in order, then resume —
+    // never drop, reorder, or deadlock.
+    let (server, symbol) = start(ServeConfig {
+        pipeline_max: 2,
+        ..ephemeral()
+    });
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let object = format!(
+        "GET /object/gene/{symbol} HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\r\n"
+    );
+    let health = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    let genes = "GET /genes HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\r\n";
+    let kinds = [
+        "object", "health", "genes", "health", "genes", "health", "object", "health",
+    ];
+    let mut burst = String::new();
+    for kind in &kinds {
+        burst.push_str(match *kind {
+            "object" => &object,
+            "health" => health,
+            "genes" => genes,
+            _ => unreachable!(),
+        });
+    }
+    stream.write_all(burst.as_bytes()).expect("send burst");
+
+    for kind in &kinds {
+        let (status, _, body) = read_full(&mut reader);
+        assert_eq!(status, 200);
+        let body = String::from_utf8_lossy(&body);
+        match *kind {
+            "object" => assert!(body.contains("\"kind\":\"gene\""), "{body}"),
+            "health" => assert!(body.starts_with("ok"), "{body}"),
+            "genes" => assert!(body.starts_with("{\"count\":"), "{body}"),
+            _ => unreachable!(),
+        }
+    }
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn error_responses_carry_date_and_connection_headers() {
+    let (server, _symbol) = start(ephemeral());
+
+    // Malformed request line: 400, with the mandatory headers.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(b"BOGUS /x\r\n\r\n").expect("send");
+    let mut reader = BufReader::new(stream);
+    let (status, headers, _) = read_full(&mut reader);
+    assert_eq!(status, 400);
+    assert!(
+        header_value(&headers, "date").is_some(),
+        "400 must carry Date"
+    );
+    assert_eq!(header_value(&headers, "connection"), Some("close"));
+
+    // Oversized head: 431, same discipline.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let huge = format!(
+        "GET / HTTP/1.1\r\nHost: t\r\nX-Big: {}\r\n\r\n",
+        "a".repeat(10 * 1024)
+    );
+    let _ = stream.write_all(huge.as_bytes());
+    let mut reader = BufReader::new(stream);
+    let (status, headers, _) = read_full(&mut reader);
+    assert_eq!(status, 431);
+    assert!(
+        header_value(&headers, "date").is_some(),
+        "431 must carry Date"
+    );
+    assert_eq!(header_value(&headers, "connection"), Some("close"));
+    server.shutdown(Duration::from_secs(5));
 }
