@@ -16,7 +16,7 @@ use std::io::{self, BufRead, Write};
 
 use annoda::parse::parse_question;
 use annoda::reorganize::{self, GroupKey, SortKey};
-use annoda::{render_integrated_view, render_object_view, Annoda, GML_ROOT};
+use annoda::{render_integrated_view, render_object_view, Annoda, FusionStrategy, GML_ROOT};
 use annoda_mediator::IntegratedGene;
 use annoda_oem::text as oem_text;
 use annoda_persist::{sync_root, DurableStore, FsyncPolicy};
@@ -193,6 +193,36 @@ fn main() {
                     }
                 }
                 Err(e) => println!("error: {e}"),
+            },
+            // Ranked full-text search over the harvested annotation
+            // text (GO definitions, OMIM titles, PubMed titles), fused
+            // across sources so multi-source loci rise to the top.
+            "search" => match parse_search_args(rest) {
+                Ok((query, k, strategy)) => {
+                    let answers = annoda.search(&query, k, strategy);
+                    if answers.is_empty() {
+                        println!("  (no matching loci)");
+                    }
+                    for (rank, a) in answers.iter().enumerate() {
+                        let per_source = a
+                            .per_source_scores
+                            .iter()
+                            .map(|(s, v)| format!("{s}={v:.3}"))
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        println!(
+                            "  {:>2}. {:<10} fused={:.4} [{}]",
+                            rank + 1,
+                            a.locus,
+                            a.fused_score,
+                            per_source
+                        );
+                        for (source, snippet) in &a.snippets {
+                            println!("        {source}: {snippet}");
+                        }
+                    }
+                }
+                Err(e) => println!("{e}"),
             },
             "lorel" => match annoda.lorel(rest) {
                 Ok((gml, outcome, _)) => {
@@ -382,6 +412,9 @@ commands:
                                  combine=all|any
   plan <clauses>               show the decomposed execution plan only
   lorel <query>                run a Lorel query against ANNODA-GML
+  search \"phrase\" [--k N] [--fusion weighted|rrf|maxscore]
+                               BM25-ranked search over annotation text,
+                               rank-fused across sources
   view gene|function|disease|publication <key>
                                individual object view (Figure 5c)
   group organism|chromosome|namespace|inheritance
@@ -402,6 +435,47 @@ commands:
                                show the optimizer config or toggle a switch
   quit
 ";
+
+/// Parses the `search` command tail: an optionally-quoted phrase
+/// followed by `--k N` / `--fusion <strategy>` flags in any order.
+fn parse_search_args(rest: &str) -> Result<(String, usize, FusionStrategy), String> {
+    const USAGE: &str = "usage: search \"phrase\" [--k N] [--fusion weighted|rrf|maxscore]";
+    let rest = rest.trim();
+    let (query, tail) = if let Some(stripped) = rest.strip_prefix('"') {
+        let Some(end) = stripped.find('"') else {
+            return Err(format!("unterminated quote — {USAGE}"));
+        };
+        (stripped[..end].to_string(), &stripped[end + 1..])
+    } else {
+        // Unquoted: everything up to the first flag is the phrase.
+        let cut = rest.find("--").unwrap_or(rest.len());
+        (rest[..cut].trim().to_string(), &rest[cut..])
+    };
+    if query.trim().is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let mut k = 10usize;
+    let mut strategy = FusionStrategy::Weighted;
+    let mut parts = tail.split_whitespace();
+    while let Some(flag) = parts.next() {
+        match flag {
+            "--k" => {
+                k = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--k needs a positive integer — {USAGE}"))?;
+            }
+            "--fusion" => {
+                let v = parts.next().unwrap_or("");
+                strategy = FusionStrategy::parse(v)
+                    .ok_or_else(|| format!("unknown fusion `{v}` — {USAGE}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}` — {USAGE}")),
+        }
+    }
+    Ok((query, k, strategy))
+}
 
 /// Parses `--loci N --seed S --inconsistency F` style arguments.
 fn corpus_config_from_args(args: impl Iterator<Item = String>) -> CorpusConfig {
@@ -458,5 +532,24 @@ mod tests {
         // Unknown args are skipped, defaults survive.
         let cfg = corpus_config_from_args(["--wat", "x"].iter().map(|s| s.to_string()));
         assert_eq!(cfg.loci, 60);
+    }
+
+    #[test]
+    fn search_arg_parsing() {
+        let (q, k, s) = parse_search_args("\"dna repair\" --k 5 --fusion rrf").unwrap();
+        assert_eq!((q.as_str(), k, s), ("dna repair", 5, FusionStrategy::Rrf));
+        // Unquoted phrase runs to the first flag; defaults otherwise.
+        let (q, k, s) = parse_search_args("transcription factor").unwrap();
+        assert_eq!(
+            (q.as_str(), k, s),
+            ("transcription factor", 10, FusionStrategy::Weighted)
+        );
+        let (_, _, s) = parse_search_args("p53 --fusion maxscore").unwrap();
+        assert_eq!(s, FusionStrategy::MaxScore);
+        assert!(parse_search_args("").is_err());
+        assert!(parse_search_args("\"unterminated").is_err());
+        assert!(parse_search_args("x --k 0").is_err());
+        assert!(parse_search_args("x --fusion wat").is_err());
+        assert!(parse_search_args("x --bogus").is_err());
     }
 }

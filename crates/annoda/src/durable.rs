@@ -20,7 +20,7 @@
 //! usable with persistence disabled — the serving layer treats that as
 //! "no `--data-dir` given".
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -30,6 +30,10 @@ use annoda_oem::{OemStore, Snapshot};
 use annoda_persist::{
     sync_root, DurableStore, FsyncPolicy, JournalRecord, PersistStats, RecoveryReport,
     SnapshotMeta, SourceEventKind,
+};
+use annoda_search::{
+    docs_fingerprint, load_segments, save_segments, FusionStrategy, RankedAnswer, SearchIndex,
+    SearchStats,
 };
 use annoda_wrap::{Cost, LatencyModel, Wrapper};
 use parking_lot::RwLock;
@@ -70,6 +74,11 @@ pub struct GmlSnapshot {
     /// What building this epoch cost (materialisation requests on the
     /// ephemeral path, one amortised local copy on the persisted path).
     pub build_cost: Cost,
+    /// The ranked-search index over the same epoch's wrapper text —
+    /// published atomically with the store (one `RwLock` swap installs
+    /// both), so `/search` and `/genes` can never observe different
+    /// epochs within one generation.
+    pub search: Arc<SearchIndex>,
 }
 
 /// A point-in-time view of the current snapshot, for `/metrics`.
@@ -104,6 +113,9 @@ pub struct LorelServed {
 pub struct DurableSystem {
     system: Annoda,
     durable: Option<DurableStore>,
+    /// Where persisted search-index segments live (`search.seg` inside
+    /// the data dir); `None` when persistence is off.
+    search_path: Option<PathBuf>,
     /// The current serving snapshot; `None` until first use or after an
     /// invalidation. Readers clone the `Arc` and drop the guard before
     /// evaluating.
@@ -124,6 +136,7 @@ impl DurableSystem {
         DurableSystem {
             system,
             durable: None,
+            search_path: None,
             snapshot: RwLock::new(None),
             epochs: AtomicU64::new(0),
             generation: Arc::new(AtomicU64::new(1)),
@@ -144,6 +157,7 @@ impl DurableSystem {
         let mut this = DurableSystem {
             system,
             durable: Some(durable),
+            search_path: Some(dir.join("search.seg")),
             snapshot: RwLock::new(None),
             epochs: AtomicU64::new(0),
             generation: Arc::new(AtomicU64::new(1)),
@@ -294,6 +308,7 @@ impl DurableSystem {
                 (gml, cost)
             }
         };
+        let search = Arc::new(self.build_search_index());
         let mut guard = self.snapshot.write();
         if let Some(s) = guard.as_ref() {
             // A racing builder installed an epoch first; serve that one.
@@ -303,9 +318,33 @@ impl DurableSystem {
             epoch: self.epochs.fetch_add(1, Ordering::Relaxed) + 1,
             store: Arc::new(store),
             build_cost,
+            search,
         });
         *guard = Some(Arc::clone(&snap));
         Ok(snap)
+    }
+
+    /// The epoch's search index: harvest the wrappers' text documents,
+    /// then either adopt the persisted segments (when their corpus
+    /// fingerprint matches what was just harvested — crc-framed, any
+    /// torn/corrupt/stale file is silently discarded) or build from
+    /// scratch and re-persist. Segments are a pure cache: losing one
+    /// costs a rebuild, never a wrong answer.
+    fn build_search_index(&self) -> SearchIndex {
+        let docs = self.system.mediator().harvest_text_docs();
+        let fingerprint = docs_fingerprint(&docs);
+        if let Some(path) = &self.search_path {
+            if let Some(index) = load_segments(path, fingerprint) {
+                return index;
+            }
+        }
+        let index = SearchIndex::build(&docs);
+        if let Some(path) = &self.search_path {
+            // Best effort — the segment file is a startup accelerator,
+            // not a durability obligation.
+            let _ = save_segments(path, &index);
+        }
+        index
     }
 
     /// The served epoch and object count, when a snapshot is live.
@@ -357,6 +396,35 @@ impl DurableSystem {
             cost,
             explain,
         })
+    }
+
+    /// Ranked full-text search against an already-acquired snapshot.
+    /// Associated function for the same reason as [`DurableSystem::lorel_on`]:
+    /// no `&self`, so the HTTP layer searches with no system lock held.
+    pub fn search_on(
+        snap: &GmlSnapshot,
+        query: &str,
+        k: usize,
+        strategy: FusionStrategy,
+    ) -> Vec<RankedAnswer> {
+        snap.search.search(query, k, strategy)
+    }
+
+    /// Ranked search via the current epoch snapshot — acquire-then-search
+    /// convenience over [`DurableSystem::search_on`].
+    pub fn search_shared(
+        &self,
+        query: &str,
+        k: usize,
+        strategy: FusionStrategy,
+    ) -> Result<Vec<RankedAnswer>, AnnodaError> {
+        let snap = self.query_snapshot()?;
+        Ok(Self::search_on(&snap, query, k, strategy))
+    }
+
+    /// Shape of the live snapshot's search index, when one is published.
+    pub fn search_stats(&self) -> Option<SearchStats> {
+        self.snapshot.read().as_ref().map(|s| s.search.stats())
     }
 
     /// Runs a Lorel query, returning an owned store the answer lives
@@ -502,6 +570,73 @@ mod tests {
         assert!(after.wal_bytes < before.wal_bytes);
         assert_eq!(after.generation, before.generation + 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A query term guaranteed to hit: the first token of a harvested
+    /// document (the corpus vocabulary is seed-dependent, so tests derive
+    /// terms instead of hard-coding them).
+    fn live_term(sys: &DurableSystem) -> String {
+        let docs = sys.system.mediator().harvest_text_docs();
+        docs.iter()
+            .flat_map(|(_, d)| d.iter())
+            .filter(|d| !d.loci.is_empty())
+            .flat_map(|d| annoda_search::tokenize(&d.text))
+            .next()
+            .expect("tiny corpus harvests at least one locus-bearing doc")
+    }
+
+    #[test]
+    fn snapshot_publishes_search_index_with_store() {
+        let sys = DurableSystem::new(system());
+        assert!(sys.search_stats().is_none(), "no index before a snapshot");
+        let term = live_term(&sys);
+        let snap = sys.query_snapshot().unwrap();
+        let hits = DurableSystem::search_on(&snap, &term, 5, FusionStrategy::Weighted);
+        assert!(!hits.is_empty(), "derived term must hit");
+        let stats = sys.search_stats().unwrap();
+        assert!(stats.sources >= 2, "GO and OMIM both harvest text");
+        assert!(stats.terms > 0 && stats.postings > 0);
+        // The convenience path answers identically.
+        assert_eq!(
+            sys.search_shared(&term, 5, FusionStrategy::Weighted)
+                .unwrap(),
+            hits
+        );
+    }
+
+    #[test]
+    fn search_segments_persist_and_warm_load_identically() {
+        let dir = tmp_dir("searchseg");
+        let cold = DurableSystem::open(system(), &dir, FsyncPolicy::Always).unwrap();
+        let term = live_term(&cold);
+        let cold_hits = cold.search_shared(&term, 10, FusionStrategy::Rrf).unwrap();
+        assert!(
+            dir.join("search.seg").exists(),
+            "snapshot persists segments"
+        );
+        drop(cold);
+
+        let warm = DurableSystem::open(system(), &dir, FsyncPolicy::Always).unwrap();
+        let warm_hits = warm.search_shared(&term, 10, FusionStrategy::Rrf).unwrap();
+        assert_eq!(
+            warm_hits, cold_hits,
+            "segment load answers byte-identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_republishes_search_with_new_epoch() {
+        let mut sys = DurableSystem::new(system());
+        let term = live_term(&sys);
+        let first = sys.query_snapshot().unwrap();
+        let e0 = first.epoch;
+        drop(first);
+        sys.refresh().unwrap();
+        let second = sys.query_snapshot().unwrap();
+        assert!(second.epoch > e0, "refresh publishes a fresh epoch");
+        let hits = DurableSystem::search_on(&second, &term, 5, FusionStrategy::MaxScore);
+        assert!(!hits.is_empty(), "rebuilt index still answers");
     }
 
     #[test]

@@ -56,3 +56,7 @@ pub use system::{Annoda, AnnodaError};
 pub use annoda_persist::{
     DurableStore, FsyncPolicy, PersistError, PersistStats, RecoveryReport, SnapshotMeta,
 };
+
+// Re-exported so the serving layer and the CLI can speak ranked search
+// without depending on `annoda-search` directly.
+pub use annoda_search::{FusionStrategy, RankedAnswer, SearchIndex, SearchStats};

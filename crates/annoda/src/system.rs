@@ -163,6 +163,20 @@ impl Annoda {
         Ok(self.registry.mediator().query_gml(text)?)
     }
 
+    /// Ranked full-text search across the plugged sources' annotation
+    /// text (GO definitions, OMIM disease text, PubMed titles): BM25
+    /// per source, cross-source rank fusion under `strategy`, top `k`
+    /// loci. The index builds lazily on first use and follows the
+    /// mediator's cache lifecycle (plug/unplug/refresh invalidate it).
+    pub fn search(
+        &mut self,
+        query: &str,
+        k: usize,
+        strategy: annoda_search::FusionStrategy,
+    ) -> Vec<annoda_search::RankedAnswer> {
+        self.registry.mediator_mut().search(query, k, strategy)
+    }
+
     /// A navigator for following web-links into object views.
     pub fn navigator(&self) -> Navigator<'_> {
         Navigator::new(self.registry.mediator())

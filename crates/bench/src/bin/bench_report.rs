@@ -38,10 +38,15 @@ fn main() {
             let smoke = args.iter().any(|a| a == "--smoke");
             b11_federation(smoke);
         }
+        Some("search") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            b13_ranked_search(smoke);
+        }
         Some(other) => {
             eprintln!(
                 "unknown mode `{other}` (modes: serve [--smoke], persist [--smoke], \
-                 query-serve [--smoke], federation [--smoke]; default runs B1–B7)"
+                 query-serve [--smoke], federation [--smoke], search [--smoke]; \
+                 default runs B1–B7)"
             );
             std::process::exit(1);
         }
@@ -627,6 +632,8 @@ fn b12_serving_throughput(smoke: bool) {
                 connections,
                 requests_per_conn,
                 path: path.to_string(),
+                search_path: None,
+                search_ratio: 0.0,
                 mode: LoadMode::Closed,
             },
         )
@@ -700,6 +707,10 @@ fn b12_serving_throughput(smoke: bool) {
             connections: 8,
             requests_per_conn: 0,
             path: path.to_string(),
+            // A fifth of the open-loop stream exercises ranked search,
+            // so the mixed workload covers both cacheable read routes.
+            search_path: Some("/search?q=transcription+factor&k=5".to_string()),
+            search_ratio: 0.2,
             mode: LoadMode::Open {
                 rate_rps,
                 duration: window,
@@ -1339,6 +1350,198 @@ fn b11_federation(smoke: bool) {
          breaker trips price the fault tolerance, not correctness: the\n\
          flaky deployment returns the same gene set.)\n"
     );
+}
+
+// ---------------------------------------------------------------------
+/// **B13 — ranked annotation search.** Builds the BM25 inverted index
+/// over the text harvested from a 10k-locus four-source corpus and pits
+/// it against the index-free naive scan oracle:
+///
+/// - **recall 1.0** — for every query × fusion strategy, the indexed
+///   top-k must equal the oracle's top-k *exactly* (same loci, same
+///   order, bit-identical scores);
+/// - **≥10× p50 speedup** at 10k loci — the point of the posting lists;
+/// - **fusion sanity** — a locus annotated by GO, OMIM, *and* PubMed
+///   for a distinctive phrase must outrank every single-source hit
+///   under all three fusion strategies.
+///
+/// `--smoke` keeps the 10k-locus corpus (the gates are meaningless on a
+/// toy one) but trims iteration counts; the JSON artifact is written in
+/// both modes because `scripts/check.sh` consumes it.
+fn b13_ranked_search(smoke: bool) {
+    use annoda_search::{naive_search, FusionStrategy, SearchIndex};
+    use annoda_sources::{
+        Article, EvidenceCode, GoAnnotation, GoNamespace, GoTerm, OmimEntry, OmimType,
+    };
+
+    const LOCI: usize = 10_000;
+    const K: usize = 10;
+    const PHRASE: &str = "telomere maintenance";
+    println!("=== B13: ranked annotation search ({LOCI} loci, indexed vs naive scan) ===\n");
+
+    // The distinctive phrase is absent from the corpus generator's
+    // vocabulary, so the injected records below are its only matches:
+    // one locus hit by all three text-bearing sources, and one
+    // single-source locus per source.
+    let mut corpus = workload::corpus_of(LOCI, 13);
+    corpus.go.insert_term(GoTerm {
+        id: "GO:9999999".into(),
+        name: "telomere maintenance factor".into(),
+        namespace: GoNamespace::BiologicalProcess,
+        definition: "The telomere maintenance factor activity.".into(),
+        is_a: Vec::new(),
+        part_of: Vec::new(),
+    });
+    for gene in ["TRISRC1", "GOONLY1"] {
+        corpus.go.insert_annotation(GoAnnotation {
+            gene_symbol: gene.into(),
+            term_id: "GO:9999999".into(),
+            evidence: EvidenceCode::Exp,
+        });
+    }
+    corpus.omim.upsert(OmimEntry {
+        mim_number: 999_999,
+        title: "TELOMERE MAINTENANCE SYNDROME".into(),
+        entry_type: OmimType::Phenotype,
+        gene_symbols: vec!["TRISRC1".into(), "OMIMONLY1".into()],
+        inheritance: None,
+        text: "A disorder involving telomere maintenance.".into(),
+    });
+    corpus.pubmed.upsert(Article {
+        pmid: 9_999_999,
+        title: "TRISRC1 telomere maintenance in aging".into(),
+        year: 2004,
+        journal: "Cell".into(),
+        gene_symbols: vec!["TRISRC1".into(), "PUBONLY1".into()],
+    });
+
+    let annoda = workload::annoda_four_sources(&corpus);
+    let docs = annoda.mediator().harvest_text_docs();
+    let doc_count: usize = docs.iter().map(|(_, d)| d.len()).sum();
+
+    let t0 = Instant::now();
+    let index = SearchIndex::build(&docs);
+    let build_us = t0.elapsed().as_micros() as u64;
+    let stats = index.stats();
+    println!(
+        "index: {} sources, {doc_count} docs, {} terms, {} postings (built in {build_us}us)\n",
+        stats.sources, stats.terms, stats.postings
+    );
+
+    // Query set: the injected phrase plus corpus-derived terms (the
+    // generated vocabulary is seed-dependent, so derive instead of pin).
+    let mut queries = vec![PHRASE.to_string()];
+    for (i, (_, source_docs)) in docs.iter().enumerate() {
+        if let Some(doc) = source_docs.get(i * 7) {
+            if let Some(tok) = annoda_search::tokenize(&doc.text).first() {
+                queries.push(tok.clone());
+            }
+        }
+    }
+    queries.dedup();
+
+    // Recall gate: indexed top-k vs the oracle, exact across the board.
+    let mut recall_checks = 0usize;
+    for strategy in FusionStrategy::all() {
+        for q in &queries {
+            let indexed = index.search(q, K, strategy);
+            let naive = naive_search(&docs, q, K, strategy);
+            assert_eq!(
+                indexed,
+                naive,
+                "indexed top-{K} diverged from the naive oracle (query {q:?}, {})",
+                strategy.name()
+            );
+            recall_checks += 1;
+        }
+    }
+    println!("recall: 1.0 ({recall_checks} query x strategy checks, exact top-{K} agreement)");
+
+    // Fusion gate: the tri-source locus outranks every single-source
+    // hit under all three strategies.
+    for strategy in FusionStrategy::all() {
+        let answers = index.search(PHRASE, K, strategy);
+        let top = answers.first().expect("the injected phrase must hit");
+        assert_eq!(
+            top.locus,
+            "TRISRC1",
+            "tri-source locus must rank first under {} (got {:?})",
+            strategy.name(),
+            answers.iter().map(|a| &a.locus).collect::<Vec<_>>()
+        );
+        assert!(
+            top.per_source_scores.len() >= 3,
+            "TRISRC1 must score in GO, OMIM, and PubMed"
+        );
+        for single in ["GOONLY1", "OMIMONLY1", "PUBONLY1"] {
+            let rank = answers.iter().position(|a| a.locus == single);
+            assert!(
+                rank != Some(0),
+                "single-source {single} must not outrank the tri-source locus"
+            );
+        }
+        println!(
+            "fusion {:<9} top1=TRISRC1 (sources={}, fused={:.4})",
+            strategy.name(),
+            top.per_source_scores.len(),
+            top.fused_score
+        );
+    }
+
+    // Latency gate: p50 per query, indexed vs full scan.
+    let (indexed_iters, naive_iters) = if smoke { (40, 3) } else { (300, 7) };
+    let p50_of = |mut samples: Vec<u64>| -> u64 {
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    let mut indexed_samples = Vec::new();
+    for _ in 0..indexed_iters {
+        for q in &queries {
+            let t = Instant::now();
+            std::hint::black_box(index.search(q, K, FusionStrategy::Weighted));
+            indexed_samples.push(t.elapsed().as_micros() as u64);
+        }
+    }
+    let mut naive_samples = Vec::new();
+    for _ in 0..naive_iters {
+        for q in &queries {
+            let t = Instant::now();
+            std::hint::black_box(naive_search(&docs, q, K, FusionStrategy::Weighted));
+            naive_samples.push(t.elapsed().as_micros() as u64);
+        }
+    }
+    let indexed_p50 = p50_of(indexed_samples).max(1);
+    let naive_p50 = p50_of(naive_samples).max(1);
+    let speedup = naive_p50 as f64 / indexed_p50 as f64;
+    println!(
+        "\np50 per query: indexed {indexed_p50}us vs naive scan {naive_p50}us \
+         ({speedup:.1}x, {} queries)",
+        queries.len()
+    );
+    assert!(
+        speedup >= 10.0,
+        "indexed search must beat the naive scan by >=10x at {LOCI} loci \
+         (got {speedup:.1}x: {indexed_p50}us vs {naive_p50}us)"
+    );
+
+    // Written in smoke mode too: scripts/check.sh consumes this.
+    let report = format!(
+        "{{\n  \"experiment\": \"B13 ranked annotation search\",\n  \
+         \"loci\": {LOCI},\n  \"docs\": {doc_count},\n  \"sources\": {},\n  \
+         \"terms\": {},\n  \"postings\": {},\n  \"build_us\": {build_us},\n  \
+         \"queries\": {},\n  \"k\": {K},\n  \"recall\": 1.0,\n  \
+         \"indexed_p50_us\": {indexed_p50},\n  \"naive_p50_us\": {naive_p50},\n  \
+         \"speedup_p50\": {speedup:.2},\n  \
+         \"tri_source_top1\": {}\n}}\n",
+        stats.sources,
+        stats.terms,
+        stats.postings,
+        queries.len(),
+        json_escape("TRISRC1"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+    std::fs::write(path, &report).expect("write BENCH_search.json");
+    println!("\n(machine-readable copy written to BENCH_search.json)");
 }
 
 fn json_escape(s: &str) -> String {

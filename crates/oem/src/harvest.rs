@@ -1,0 +1,160 @@
+//! Text harvesting — extracting free-text documents from OEM graphs.
+//!
+//! The search subsystem (`annoda-search`) indexes the natural-language
+//! values sitting inside each source's OML: GO term definitions, OMIM
+//! disease text and titles, PubMed article titles. This module is the
+//! OEM side of that contract: a [`TextDoc`] is one indexable document
+//! (a stable key, the concatenated text, and the gene loci the document
+//! annotates), and [`HarvestText`] walks a rooted entity collection
+//! collecting them declaratively via a [`DocSpec`].
+//!
+//! Wrappers with flat `root → Entity → atomic` shapes (OMIM entries,
+//! PubMed citations) harvest with one spec; wrappers that need a join
+//! (GO terms × annotations) use the spec for the document skeleton and
+//! fill `loci` themselves.
+
+use crate::store::OemStore;
+use crate::value::AtomicValue;
+
+/// One indexable free-text document extracted from an OML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextDoc {
+    /// Stable per-source document key (GO accession, MIM number, PMID).
+    pub key: String,
+    /// The concatenated text body the index tokenizes.
+    pub text: String,
+    /// Gene loci (symbols) this document annotates — the unit search
+    /// answers rank.
+    pub loci: Vec<String>,
+}
+
+/// Declarative description of where a wrapper's documents live:
+/// `root → entity* → (key, text…, loci…)` atomic children.
+#[derive(Debug, Clone, Copy)]
+pub struct DocSpec<'a> {
+    /// Label of the repeated entity under the root (e.g. `"Entry"`).
+    pub entity: &'a str,
+    /// Label of the single atomic child used as the document key.
+    pub key: &'a str,
+    /// Labels whose atomic values are concatenated (space-joined, in
+    /// label order) into the document text.
+    pub text: &'a [&'a str],
+    /// Labels whose (possibly repeated) atomic values name the loci the
+    /// document annotates.
+    pub loci: &'a [&'a str],
+}
+
+/// Renders an atomic value as indexable text. Strings and integers
+/// carry searchable content (titles, definitions, accession numbers);
+/// URLs, reals, booleans and images are navigation/presentation values
+/// and harvest as `None`.
+pub fn atomic_text(value: &AtomicValue) -> Option<String> {
+    match value {
+        AtomicValue::Str(s) => Some(s.clone()),
+        AtomicValue::Int(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Text extraction over a rooted OEM graph.
+pub trait HarvestText {
+    /// Collects one [`TextDoc`] per `spec.entity` child of the root
+    /// named `root`, in store edge order. Entities without a renderable
+    /// key are skipped; entities whose text labels are all absent yield
+    /// an empty-text document (still keyed, still carrying loci).
+    fn harvest_docs(&self, root: &str, spec: &DocSpec<'_>) -> Vec<TextDoc>;
+}
+
+impl HarvestText for OemStore {
+    fn harvest_docs(&self, root: &str, spec: &DocSpec<'_>) -> Vec<TextDoc> {
+        let Some(root) = self.named(root) else {
+            return Vec::new();
+        };
+        let mut docs = Vec::new();
+        for entity in self.children(root, spec.entity) {
+            let Some(key) = self.child_value(entity, spec.key).and_then(atomic_text) else {
+                continue;
+            };
+            let mut text = String::new();
+            for label in spec.text {
+                for child in self.children(entity, label) {
+                    if let Some(part) = self.value_of(child).and_then(atomic_text) {
+                        if !text.is_empty() {
+                            text.push(' ');
+                        }
+                        text.push_str(&part);
+                    }
+                }
+            }
+            let mut loci = Vec::new();
+            for label in spec.loci {
+                for child in self.children(entity, label) {
+                    if let Some(locus) = self.value_of(child).and_then(atomic_text) {
+                        loci.push(locus);
+                    }
+                }
+            }
+            loci.sort();
+            loci.dedup();
+            docs.push(TextDoc { key, text, loci });
+        }
+        docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_store() -> OemStore {
+        let mut oml = OemStore::new();
+        let root = oml.new_complex();
+        for k in 0..3 {
+            let e = oml.add_complex_child(root, "Entry").unwrap();
+            oml.add_atomic_child(e, "MimNumber", AtomicValue::Int(100 + k))
+                .unwrap();
+            oml.add_atomic_child(e, "Title", format!("DISORDER {k}"))
+                .unwrap();
+            oml.add_atomic_child(e, "Text", format!("a disorder involving repair {k}"))
+                .unwrap();
+            oml.add_atomic_child(e, "GeneSymbol", format!("G{k}"))
+                .unwrap();
+            oml.add_atomic_child(e, "GeneSymbol", format!("H{k}"))
+                .unwrap();
+            oml.add_atomic_child(e, "Url", AtomicValue::Url(format!("http://x/{k}")))
+                .unwrap();
+        }
+        oml.set_name("REG", root).unwrap();
+        oml
+    }
+
+    const SPEC: DocSpec<'static> = DocSpec {
+        entity: "Entry",
+        key: "MimNumber",
+        text: &["Title", "Text"],
+        loci: &["GeneSymbol"],
+    };
+
+    #[test]
+    fn harvests_keyed_docs_with_loci() {
+        let oml = registry_store();
+        let docs = oml.harvest_docs("REG", &SPEC);
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].key, "100");
+        assert_eq!(docs[0].text, "DISORDER 0 a disorder involving repair 0");
+        assert_eq!(docs[0].loci, vec!["G0".to_string(), "H0".to_string()]);
+    }
+
+    #[test]
+    fn missing_root_harvests_empty() {
+        let oml = registry_store();
+        assert!(oml.harvest_docs("NOPE", &SPEC).is_empty());
+    }
+
+    #[test]
+    fn urls_and_images_are_not_text() {
+        assert_eq!(atomic_text(&AtomicValue::Url("http://x".into())), None);
+        assert_eq!(atomic_text(&AtomicValue::Gif(vec![1])), None);
+        assert_eq!(atomic_text(&AtomicValue::Int(42)).as_deref(), Some("42"));
+    }
+}

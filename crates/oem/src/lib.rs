@@ -30,6 +30,7 @@ mod cache;
 pub mod dataguide;
 pub mod error;
 pub mod graph;
+pub mod harvest;
 pub mod index;
 pub mod label;
 pub mod object;
@@ -43,6 +44,7 @@ pub mod value;
 
 pub use error::{IoFailure, OemError};
 pub use graph::{diff, diff_structured, DiffEntry, DiffOp, PathSeg, StructuredDiff};
+pub use harvest::{atomic_text, DocSpec, HarvestText, TextDoc};
 pub use index::ValueIndex;
 pub use label::{Label, LabelInterner};
 pub use object::{Edge, Object, ObjectKind};

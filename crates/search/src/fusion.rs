@@ -1,0 +1,225 @@
+//! Cross-source rank fusion.
+//!
+//! Each source ranks loci independently (BM25 over its own documents);
+//! fusion combines the per-source rankings into one list so that a
+//! locus scoring in *all three* sources outranks single-source hits.
+//! Three pluggable strategies, all commutative over the source list
+//! (fusing `[GO, OMIM]` equals fusing `[OMIM, GO]` — pinned by test):
+//!
+//! * [`FusionStrategy::Weighted`] — per-source scores are max-normalized
+//!   to `[0, 1]` and summed; breadth and depth both pay.
+//! * [`FusionStrategy::Rrf`] — reciprocal rank fusion,
+//!   `Σ 1/(60 + rank)`: scale-free, robust to incomparable score
+//!   distributions.
+//! * [`FusionStrategy::MaxScore`] — the best normalized score anywhere;
+//!   coverage only breaks ties (via the global ordering key).
+//!
+//! Every strategy orders answers by the same deterministic key:
+//! fused score descending, then source coverage descending, then locus
+//! ascending — so equal-score ties (common under RRF) resolve the same
+//! way on every run and every machine.
+
+use std::collections::BTreeMap;
+
+/// The RRF dampening constant from the original Cormack et al. recipe.
+pub const RRF_K: f64 = 60.0;
+
+/// How per-source rankings combine into one fused score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionStrategy {
+    /// Sum of max-normalized per-source scores.
+    Weighted,
+    /// Reciprocal rank fusion: `Σ 1/(60 + rank)`.
+    Rrf,
+    /// Best normalized score across sources; coverage breaks ties.
+    MaxScore,
+}
+
+impl FusionStrategy {
+    /// Parses the wire/CLI spelling (`weighted` | `rrf` | `maxscore`).
+    pub fn parse(s: &str) -> Option<FusionStrategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "weighted" => Some(FusionStrategy::Weighted),
+            "rrf" => Some(FusionStrategy::Rrf),
+            "maxscore" | "max" => Some(FusionStrategy::MaxScore),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FusionStrategy::Weighted => "weighted",
+            FusionStrategy::Rrf => "rrf",
+            FusionStrategy::MaxScore => "maxscore",
+        }
+    }
+
+    /// All strategies, for permutation sweeps in tests and benches.
+    pub fn all() -> [FusionStrategy; 3] {
+        [
+            FusionStrategy::Weighted,
+            FusionStrategy::Rrf,
+            FusionStrategy::MaxScore,
+        ]
+    }
+}
+
+/// A fused, ranked answer for one locus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedAnswer {
+    /// The gene locus (symbol) being ranked.
+    pub locus: String,
+    /// Raw per-source BM25 scores, source-name order.
+    pub per_source_scores: Vec<(String, f64)>,
+    /// The fused score under the chosen strategy.
+    pub fused_score: f64,
+    /// Per-source snippets `(source, text)`, source-name order.
+    pub snippets: Vec<(String, String)>,
+}
+
+/// Fuses per-source rankings. `rankings` maps each source name to its
+/// hits `(locus, score, snippet)` — order within a source is
+/// irrelevant (ranks are recomputed deterministically here), and the
+/// map keying makes the whole fusion invariant to source enumeration
+/// order.
+pub fn fuse(
+    rankings: &BTreeMap<String, Vec<(String, f64, String)>>,
+    strategy: FusionStrategy,
+    k: usize,
+) -> Vec<RankedAnswer> {
+    // Deterministic per-source rank assignment: score desc, locus asc.
+    struct Contribution<'a> {
+        source: &'a str,
+        normalized: f64,
+        rank: usize,
+        raw: f64,
+        snippet: &'a str,
+    }
+    let mut per_locus: BTreeMap<&str, Vec<Contribution<'_>>> = BTreeMap::new();
+    for (source, hits) in rankings {
+        let max = hits.iter().map(|(_, s, _)| *s).fold(0.0_f64, f64::max);
+        let mut ordered: Vec<&(String, f64, String)> = hits.iter().collect();
+        ordered.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        for (rank, (locus, score, snippet)) in ordered.into_iter().enumerate() {
+            per_locus.entry(locus).or_default().push(Contribution {
+                source,
+                normalized: if max > 0.0 { score / max } else { 0.0 },
+                rank,
+                raw: *score,
+                snippet,
+            });
+        }
+    }
+
+    let mut answers: Vec<RankedAnswer> = per_locus
+        .into_iter()
+        .map(|(locus, contributions)| {
+            let fused = match strategy {
+                FusionStrategy::Weighted => contributions.iter().map(|c| c.normalized).sum(),
+                FusionStrategy::Rrf => contributions
+                    .iter()
+                    .map(|c| 1.0 / (RRF_K + c.rank as f64))
+                    .sum(),
+                FusionStrategy::MaxScore => contributions
+                    .iter()
+                    .map(|c| c.normalized)
+                    .fold(0.0_f64, f64::max),
+            };
+            let per_source_scores = contributions
+                .iter()
+                .map(|c| (c.source.to_string(), c.raw))
+                .collect();
+            let snippets = contributions
+                .iter()
+                .map(|c| (c.source.to_string(), c.snippet.to_string()))
+                .collect();
+            RankedAnswer {
+                locus: locus.to_string(),
+                per_source_scores,
+                fused_score: fused,
+                snippets,
+            }
+        })
+        .collect();
+
+    // The global deterministic ordering key shared by every strategy.
+    answers.sort_by(|a, b| {
+        b.fused_score
+            .partial_cmp(&a.fused_score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.per_source_scores.len().cmp(&a.per_source_scores.len()))
+            .then_with(|| a.locus.cmp(&b.locus))
+    });
+    answers.truncate(k);
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rankings() -> BTreeMap<String, Vec<(String, f64, String)>> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "GO".to_string(),
+            vec![
+                ("TRI".to_string(), 2.0, "go tri".to_string()),
+                ("GOONLY".to_string(), 2.0, "go only".to_string()),
+            ],
+        );
+        m.insert(
+            "OMIM".to_string(),
+            vec![("TRI".to_string(), 1.5, "omim tri".to_string())],
+        );
+        m.insert(
+            "PubMed".to_string(),
+            vec![("TRI".to_string(), 0.9, "pm tri".to_string())],
+        );
+        m
+    }
+
+    #[test]
+    fn tri_source_outranks_single_source_under_all_strategies() {
+        for strategy in FusionStrategy::all() {
+            let fused = fuse(&rankings(), strategy, 10);
+            assert_eq!(fused[0].locus, "TRI", "strategy {}", strategy.name());
+            assert_eq!(fused[0].per_source_scores.len(), 3);
+            assert_eq!(fused[0].snippets.len(), 3);
+        }
+    }
+
+    #[test]
+    fn rrf_ties_break_deterministically() {
+        // Two loci with identical coverage and identical ranks in
+        // disjoint sources → identical RRF score; locus asc decides.
+        let mut m = BTreeMap::new();
+        m.insert(
+            "GO".to_string(),
+            vec![("BBB".to_string(), 1.0, String::new())],
+        );
+        m.insert(
+            "OMIM".to_string(),
+            vec![("AAA".to_string(), 1.0, String::new())],
+        );
+        for _ in 0..5 {
+            let fused = fuse(&m, FusionStrategy::Rrf, 10);
+            assert_eq!(fused[0].locus, "AAA");
+            assert_eq!(fused[1].locus, "BBB");
+            assert_eq!(fused[0].fused_score, fused[1].fused_score);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for strategy in FusionStrategy::all() {
+            assert_eq!(FusionStrategy::parse(strategy.name()), Some(strategy));
+        }
+        assert_eq!(FusionStrategy::parse("MAX"), Some(FusionStrategy::MaxScore));
+        assert_eq!(FusionStrategy::parse("bogus"), None);
+    }
+}

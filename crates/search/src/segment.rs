@@ -1,0 +1,278 @@
+//! Index segments — the persisted form of a [`SearchIndex`].
+//!
+//! Segments reuse the `annoda-persist` codec primitives: LEB128
+//! varints, length-prefixed strings, and a crc32 frame over the whole
+//! payload (same polynomial as the WAL). Posting lists store doc-id
+//! *deltas*, so the common dense lists cost ~2 bytes per entry.
+//!
+//! A segment records the crc32 **fingerprint of the harvested corpus**
+//! it was built from. Loading verifies the frame checksum *and* that
+//! fingerprint against the freshly harvested documents; any mismatch —
+//! torn file, corrupt byte, or sources that drifted since the segment
+//! was written — answers `None` and the caller rebuilds. Segments are
+//! a pure cache: losing one costs a rebuild, never an answer.
+//!
+//! ```text
+//! "ASEG1" | crc32(payload) u32-le | varint payload_len | payload
+//! payload := fingerprint, n_sources,
+//!            ( source, n_docs, ( key, text, n_loci, loci…, len )…,
+//!              n_terms, ( term, n_postings, ( doc_id_delta, tf )… )… )…
+//! ```
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use annoda_oem::TextDoc;
+use annoda_persist::{crc32, write_string, write_varint, Reader};
+
+use crate::index::{Doc, SearchIndex, SourceIndex};
+
+const MAGIC: &[u8; 5] = b"ASEG1";
+
+/// crc32 fingerprint of a harvested corpus, canonicalized by source
+/// name so wrapper registration order does not matter. Document order
+/// within a source *does* matter (it breaks score ties) and is
+/// fingerprinted as-is.
+pub fn docs_fingerprint(sources: &[(String, Vec<TextDoc>)]) -> u32 {
+    let mut ordered: Vec<&(String, Vec<TextDoc>)> = sources.iter().collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut buf = Vec::new();
+    for (name, docs) in ordered {
+        write_string(&mut buf, name);
+        write_varint(&mut buf, docs.len() as u64);
+        for doc in docs {
+            write_string(&mut buf, &doc.key);
+            write_string(&mut buf, &doc.text);
+            write_varint(&mut buf, doc.loci.len() as u64);
+            for locus in &doc.loci {
+                write_string(&mut buf, locus);
+            }
+        }
+    }
+    crc32(&buf)
+}
+
+/// Serializes `index` to `path` (tmp-file + rename, so a crash leaves
+/// either the old segment or the new one, never a torn file).
+pub fn save_segments(path: &Path, index: &SearchIndex) -> io::Result<()> {
+    let mut payload = Vec::new();
+    write_varint(&mut payload, index.fingerprint as u64);
+    write_varint(&mut payload, index.sources.len() as u64);
+    for source in &index.sources {
+        write_string(&mut payload, &source.source);
+        write_varint(&mut payload, source.docs.len() as u64);
+        for doc in &source.docs {
+            write_string(&mut payload, &doc.key);
+            write_string(&mut payload, &doc.text);
+            write_varint(&mut payload, doc.loci.len() as u64);
+            for locus in &doc.loci {
+                write_string(&mut payload, locus);
+            }
+            write_varint(&mut payload, doc.len as u64);
+        }
+        let mut terms: Vec<(&String, &Vec<(u32, u32)>)> = source.postings.iter().collect();
+        terms.sort_by(|a, b| a.0.cmp(b.0));
+        write_varint(&mut payload, terms.len() as u64);
+        for (term, list) in terms {
+            write_string(&mut payload, term);
+            write_varint(&mut payload, list.len() as u64);
+            let mut prev = 0u32;
+            for &(doc_id, tf) in list {
+                write_varint(&mut payload, (doc_id - prev) as u64);
+                write_varint(&mut payload, tf as u64);
+                prev = doc_id;
+            }
+        }
+    }
+    let mut bytes = Vec::with_capacity(payload.len() + 16);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    write_varint(&mut bytes, payload.len() as u64);
+    bytes.extend_from_slice(&payload);
+
+    let tmp = path.with_extension("seg.tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a segment, verifying the crc frame and that the stored corpus
+/// fingerprint equals `expect_fingerprint` (what the live wrappers
+/// harvest to right now). Any mismatch or parse failure returns `None`
+/// — the caller rebuilds from the harvested documents.
+pub fn load_segments(path: &Path, expect_fingerprint: u32) -> Option<SearchIndex> {
+    let start = Instant::now();
+    let bytes = std::fs::read(path).ok()?;
+    let rest = bytes.strip_prefix(MAGIC.as_slice())?;
+    if rest.len() < 4 {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(rest[..4].try_into().ok()?);
+    let mut r = Reader::new(&rest[4..]);
+    let payload = r.len_field().ok().and_then(|n| r.take(n).ok())?;
+    if crc32(payload) != stored_crc {
+        return None;
+    }
+
+    let mut r = Reader::new(payload);
+    let fingerprint = r.varint().ok()? as u32;
+    if fingerprint != expect_fingerprint {
+        return None;
+    }
+    let n_sources = r.varint().ok()? as usize;
+    let mut sources = Vec::with_capacity(n_sources);
+    for _ in 0..n_sources {
+        let name = r.string().ok()?;
+        let n_docs = r.varint().ok()? as usize;
+        let mut docs = Vec::with_capacity(n_docs);
+        for _ in 0..n_docs {
+            let key = r.string().ok()?;
+            let text = r.string().ok()?;
+            let n_loci = r.varint().ok()? as usize;
+            let mut loci = Vec::with_capacity(n_loci);
+            for _ in 0..n_loci {
+                loci.push(r.string().ok()?);
+            }
+            let len = r.varint().ok()? as u32;
+            docs.push(Doc {
+                key,
+                text,
+                loci,
+                len,
+            });
+        }
+        let n_terms = r.varint().ok()? as usize;
+        let mut postings: HashMap<String, Vec<(u32, u32)>> = HashMap::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let term = r.string().ok()?;
+            let n_postings = r.varint().ok()? as usize;
+            let mut list = Vec::with_capacity(n_postings);
+            let mut doc_id = 0u32;
+            for i in 0..n_postings {
+                let delta = r.varint().ok()? as u32;
+                doc_id = if i == 0 {
+                    delta
+                } else {
+                    doc_id.checked_add(delta)?
+                };
+                if doc_id as usize >= docs.len() {
+                    return None;
+                }
+                list.push((doc_id, r.varint().ok()? as u32));
+            }
+            postings.insert(term, list);
+        }
+        sources.push(SourceIndex::from_parts(name, docs, postings));
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    let mut index = SearchIndex {
+        sources,
+        stats: Default::default(),
+        fingerprint,
+    };
+    index.stats = index.recount(start.elapsed().as_micros() as u64);
+    Some(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::FusionStrategy;
+
+    fn corpus() -> Vec<(String, Vec<TextDoc>)> {
+        vec![
+            (
+                "GO".to_string(),
+                vec![
+                    TextDoc {
+                        key: "GO:1".into(),
+                        text: "DNA repair BRCA-1 α-helix".into(),
+                        loci: vec!["BRCA1".into()],
+                    },
+                    TextDoc {
+                        key: "GO:2".into(),
+                        text: "apoptosis and cell cycle".into(),
+                        loci: vec!["TP53".into(), "CDK2".into()],
+                    },
+                ],
+            ),
+            (
+                "OMIM".to_string(),
+                vec![TextDoc {
+                    key: "100".into(),
+                    text: "a disorder involving repair".into(),
+                    loci: vec!["BRCA1".into()],
+                }],
+            ),
+        ]
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("annoda-seg-{tag}-{}.seg", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_answers() {
+        let sources = corpus();
+        let built = SearchIndex::build(&sources);
+        let path = tmp("roundtrip");
+        save_segments(&path, &built).unwrap();
+        let loaded = load_segments(&path, built.fingerprint()).expect("fingerprint matches");
+        for strategy in FusionStrategy::all() {
+            assert_eq!(
+                built.search("DNA repair", 10, strategy),
+                loaded.search("DNA repair", 10, strategy),
+            );
+        }
+        let (b, l) = (built.stats(), loaded.stats());
+        assert_eq!(
+            (b.sources, b.docs, b.terms, b.postings),
+            (l.sources, l.docs, l.terms, l.postings)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_forces_rebuild() {
+        let sources = corpus();
+        let built = SearchIndex::build(&sources);
+        let path = tmp("mismatch");
+        save_segments(&path, &built).unwrap();
+        assert!(load_segments(&path, built.fingerprint() ^ 1).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_byte_is_rejected() {
+        let sources = corpus();
+        let built = SearchIndex::build(&sources);
+        let path = tmp("corrupt");
+        save_segments(&path, &built).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_segments(&path, built.fingerprint()).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert!(load_segments(Path::new("/nonexistent/annoda.seg"), 0).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_source_order_invariant_but_doc_order_sensitive() {
+        let mut sources = corpus();
+        let fp = docs_fingerprint(&sources);
+        sources.swap(0, 1);
+        assert_eq!(docs_fingerprint(&sources), fp);
+        sources[0].1.reverse();
+        // sources[0] is OMIM (single doc) after the swap — reverse the GO docs.
+        sources[1].1.reverse();
+        assert_ne!(docs_fingerprint(&sources), fp);
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests holding the BM25 index to the naive scan
+//! oracle, plus the fusion invariants the ISSUE pins: RRF tie-break
+//! determinism and fusion-strategy permutation-invariance.
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+
+use annoda_oem::TextDoc;
+use annoda_search::{fuse, naive_search, FusionStrategy, SearchIndex};
+
+/// Small vocabulary so random docs actually share terms and queries
+/// actually hit. Includes stopwords, compounds, and Greek letters to
+/// exercise the tokenizer on both sides.
+const VOCAB: &[&str] = &[
+    "dna",
+    "repair",
+    "apoptosis",
+    "cell",
+    "cycle",
+    "kinase",
+    "binding",
+    "transcription",
+    "the",
+    "of",
+    "BRCA-1",
+    "GO:0003700",
+    "α-helix",
+    "signal",
+    "membrane",
+    "transport",
+];
+
+const LOCI: &[&str] = &["AAA1", "BBB2", "CCC3", "DDD4", "EEE5", "FFF6"];
+
+fn source_strategy(name: &'static str) -> impl Strategy<Value = (String, Vec<TextDoc>)> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0..VOCAB.len(), 0..8),
+            proptest::collection::vec(0..LOCI.len(), 1..3),
+        ),
+        0..6,
+    )
+    .prop_map(move |specs| {
+        let docs = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (words, loci))| {
+                let mut loci: Vec<String> = loci.iter().map(|&l| LOCI[l].to_string()).collect();
+                loci.sort();
+                loci.dedup();
+                TextDoc {
+                    key: format!("D{i}"),
+                    text: words
+                        .iter()
+                        .map(|&w| VOCAB[w])
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    loci,
+                }
+            })
+            .collect();
+        (name.to_string(), docs)
+    })
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<(String, Vec<TextDoc>)>> {
+    (
+        source_strategy("GO"),
+        source_strategy("OMIM"),
+        source_strategy("PubMed"),
+    )
+        .prop_map(|(a, b, c)| vec![a, b, c])
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..VOCAB.len(), 1..4).prop_map(|words| {
+        words
+            .iter()
+            .map(|&i| VOCAB[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The indexed top-k equals the naive scan oracle's top-k exactly:
+    /// same loci, same order, identical scores — which subsumes the
+    /// "subset of and score-ordered consistently" requirement.
+    #[test]
+    fn indexed_topk_matches_naive_oracle(
+        sources in corpus_strategy(),
+        query in query_strategy(),
+        k in 1usize..8,
+    ) {
+        let index = SearchIndex::build(&sources);
+        for strategy in FusionStrategy::all() {
+            let fast = index.search(&query, k, strategy);
+            let slow = naive_search(&sources, &query, k, strategy);
+            prop_assert_eq!(&fast, &slow, "strategy {}", strategy.name());
+            // Scores are ordered (the subset/consistency property on
+            // its own terms, independent of the equality above).
+            for pair in fast.windows(2) {
+                prop_assert!(pair[0].fused_score >= pair[1].fused_score);
+            }
+        }
+    }
+
+    /// Fusing is invariant under permutation of the source list.
+    #[test]
+    fn fusion_is_permutation_invariant(
+        sources in corpus_strategy(),
+        query in query_strategy(),
+        swap_a in 0usize..3,
+        swap_b in 0usize..3,
+    ) {
+        let mut sources = sources;
+        let baseline: Vec<_> = FusionStrategy::all()
+            .iter()
+            .map(|&s| SearchIndex::build(&sources).search(&query, 10, s))
+            .collect();
+        sources.swap(swap_a, swap_b);
+        sources.reverse();
+        for (i, &strategy) in FusionStrategy::all().iter().enumerate() {
+            let permuted = SearchIndex::build(&sources).search(&query, 10, strategy);
+            prop_assert_eq!(&baseline[i], &permuted, "strategy {}", strategy.name());
+        }
+    }
+
+    /// RRF tie-breaks deterministically: re-running the same fusion any
+    /// number of times yields the identical ranking, even when many
+    /// loci share a score.
+    #[test]
+    fn rrf_tie_break_is_deterministic(
+        sources in corpus_strategy(),
+        query in query_strategy(),
+    ) {
+        let index = SearchIndex::build(&sources);
+        let first = index.search(&query, 10, FusionStrategy::Rrf);
+        for _ in 0..3 {
+            prop_assert_eq!(&first, &index.search(&query, 10, FusionStrategy::Rrf));
+        }
+        // And the ordering key is total: ties resolve by coverage then
+        // locus name, never by insertion accident.
+        for pair in first.windows(2) {
+            let same_score = pair[0].fused_score == pair[1].fused_score;
+            let same_coverage =
+                pair[0].per_source_scores.len() == pair[1].per_source_scores.len();
+            if same_score && same_coverage {
+                prop_assert!(pair[0].locus < pair[1].locus);
+            }
+        }
+    }
+}
+
+/// Deterministic (non-proptest) pin: a corpus where ties are forced.
+#[test]
+fn forced_rrf_tie_pins_locus_order() {
+    let sources = vec![
+        (
+            "GO".to_string(),
+            vec![TextDoc {
+                key: "GO:1".into(),
+                text: "kinase".into(),
+                loci: vec!["ZZZ".into()],
+            }],
+        ),
+        (
+            "OMIM".to_string(),
+            vec![TextDoc {
+                key: "100".into(),
+                text: "kinase".into(),
+                loci: vec!["AAA".into()],
+            }],
+        ),
+    ];
+    let got = SearchIndex::build(&sources).search("kinase", 10, FusionStrategy::Rrf);
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].fused_score, got[1].fused_score);
+    assert_eq!(got[0].locus, "AAA");
+    assert_eq!(got[1].locus, "ZZZ");
+}
+
+/// `fuse` itself (not just search) is invariant to map insertion order
+/// — BTreeMap keying makes this structural, but pin it anyway.
+#[test]
+fn fuse_ignores_insertion_order() {
+    use std::collections::BTreeMap;
+    let hits_go = vec![("L1".to_string(), 2.0, "a".to_string())];
+    let hits_om = vec![("L1".to_string(), 1.0, "b".to_string())];
+    let mut forward = BTreeMap::new();
+    forward.insert("GO".to_string(), hits_go.clone());
+    forward.insert("OMIM".to_string(), hits_om.clone());
+    let mut backward = BTreeMap::new();
+    backward.insert("OMIM".to_string(), hits_om);
+    backward.insert("GO".to_string(), hits_go);
+    for strategy in FusionStrategy::all() {
+        assert_eq!(fuse(&forward, strategy, 5), fuse(&backward, strategy, 5));
+    }
+}

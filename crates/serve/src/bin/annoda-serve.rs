@@ -164,6 +164,7 @@ fn main() -> ExitCode {
     println!("  GET  /genes?organism=...&function=require:...&combine=all");
     println!("  POST /lorel                 (body: Lorel query text)");
     println!("  GET  /object/{{kind}}/{{id}}    (kind: gene|function|disease|publication)");
+    println!("  GET  /search?q=...&k=...&fusion=weighted|rrf|max");
     println!("  GET  /healthz");
     println!("  GET  /metrics");
     println!("  POST /admin/refresh         (re-pull sources, journal the delta)");

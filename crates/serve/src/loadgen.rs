@@ -47,8 +47,49 @@ pub struct LoadgenConfig {
     pub requests_per_conn: usize,
     /// Request target, e.g. `/genes?organism=Homo+sapiens`.
     pub path: String,
+    /// Optional secondary target mixed into the stream (e.g.
+    /// `/search?q=dna+repair`); `None` sends every request to `path`.
+    pub search_path: Option<String>,
+    /// Fraction (0..=1) of requests diverted to `search_path`.
+    pub search_ratio: f64,
     /// Closed or open loop.
     pub mode: LoadMode,
+}
+
+/// Deterministic request interleaver: diverts `ratio` of the stream to
+/// the secondary target with an error accumulator — no RNG, so a run
+/// offers exactly the configured mix in a reproducible order.
+struct RequestMix {
+    primary: Vec<u8>,
+    secondary: Option<Vec<u8>>,
+    ratio: f64,
+    acc: f64,
+}
+
+impl RequestMix {
+    fn from_config(config: &LoadgenConfig) -> RequestMix {
+        RequestMix {
+            primary: request_bytes(&config.path),
+            secondary: config
+                .search_path
+                .as_deref()
+                .filter(|_| config.search_ratio > 0.0)
+                .map(request_bytes),
+            ratio: config.search_ratio.clamp(0.0, 1.0),
+            acc: 0.0,
+        }
+    }
+
+    fn next(&mut self) -> &[u8] {
+        if let Some(secondary) = &self.secondary {
+            self.acc += self.ratio;
+            if self.acc >= 1.0 {
+                self.acc -= 1.0;
+                return secondary;
+            }
+        }
+        &self.primary
+    }
 }
 
 /// Responses by class — shed and revalidation answers are first-class
@@ -123,15 +164,15 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenStats>
     let started = Instant::now();
     let mut handles = Vec::with_capacity(config.connections);
     for _ in 0..config.connections.max(1) {
-        let path = config.path.clone();
+        let mix = RequestMix::from_config(config);
         let n = config.requests_per_conn;
         let mode = config.mode.clone();
         let connections = config.connections.max(1);
         handles.push(thread::spawn(move || match mode {
-            LoadMode::Closed => closed_worker(addr, &path, n),
+            LoadMode::Closed => closed_worker(addr, mix, n),
             LoadMode::Open { rate_rps, duration } => {
                 let per_conn_rate = (rate_rps / connections as f64).max(0.001);
-                open_worker(addr, &path, per_conn_rate, duration)
+                open_worker(addr, mix, per_conn_rate, duration)
             }
         }));
     }
@@ -176,7 +217,7 @@ fn request_bytes(path: &str) -> Vec<u8> {
 
 /// One closed-loop keep-alive connection issuing `n` requests; returns
 /// `(breakdown, latencies_us)`.
-fn closed_worker(addr: SocketAddr, path: &str, n: usize) -> (StatusBreakdown, Vec<u64>) {
+fn closed_worker(addr: SocketAddr, mut mix: RequestMix, n: usize) -> (StatusBreakdown, Vec<u64>) {
     let mut statuses = StatusBreakdown::default();
     let mut latencies = Vec::with_capacity(n);
     let Ok(stream) = TcpStream::connect(addr) else {
@@ -193,10 +234,9 @@ fn closed_worker(addr: SocketAddr, path: &str, n: usize) -> (StatusBreakdown, Ve
         }
     });
     let mut writer = stream;
-    let request = request_bytes(path);
     for _ in 0..n {
         let t0 = Instant::now();
-        if writer.write_all(&request).is_err() {
+        if writer.write_all(mix.next()).is_err() {
             statuses.transport += 1;
             break;
         }
@@ -220,7 +260,7 @@ fn closed_worker(addr: SocketAddr, path: &str, n: usize) -> (StatusBreakdown, Ve
 /// *scheduled* send time.
 fn open_worker(
     addr: SocketAddr,
-    path: &str,
+    mut mix: RequestMix,
     rate_rps: f64,
     duration: Duration,
 ) -> (StatusBreakdown, Vec<u64>) {
@@ -263,7 +303,6 @@ fn open_worker(
         (statuses, latencies)
     });
 
-    let request = request_bytes(path);
     let interval = Duration::from_secs_f64(1.0 / rate_rps);
     let started = Instant::now();
     let mut writer = stream;
@@ -276,7 +315,7 @@ fn open_worker(
         // The *scheduled* instant is the latency origin — if the socket
         // back-pressures the send, that delay is the server's queueing,
         // not a measurement to discard.
-        if tx.send(next).is_err() || writer.write_all(&request).is_err() {
+        if tx.send(next).is_err() || writer.write_all(mix.next()).is_err() {
             break;
         }
         next += interval;
@@ -330,4 +369,47 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, Vec<u8>)> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(search_path: Option<&str>, ratio: f64) -> LoadgenConfig {
+        LoadgenConfig {
+            connections: 1,
+            requests_per_conn: 0,
+            path: "/genes".to_string(),
+            search_path: search_path.map(str::to_string),
+            search_ratio: ratio,
+            mode: LoadMode::Closed,
+        }
+    }
+
+    #[test]
+    fn mix_is_exact_and_deterministic() {
+        let mut mix = RequestMix::from_config(&config(Some("/search?q=dna"), 0.25));
+        let picks: Vec<bool> = (0..8)
+            .map(|_| mix.next().starts_with(b"GET /search"))
+            .collect();
+        assert_eq!(picks.iter().filter(|&&s| s).count(), 2, "exactly 25%");
+        let mut again = RequestMix::from_config(&config(Some("/search?q=dna"), 0.25));
+        let replay: Vec<bool> = (0..8)
+            .map(|_| again.next().starts_with(b"GET /search"))
+            .collect();
+        assert_eq!(picks, replay, "same config, same order");
+    }
+
+    #[test]
+    fn mix_degenerates_cleanly() {
+        // No secondary target: everything goes to the primary path.
+        let mut mix = RequestMix::from_config(&config(None, 0.5));
+        assert!((0..4).all(|_| mix.next().starts_with(b"GET /genes")));
+        // Ratio 0 with a target set: same.
+        let mut mix = RequestMix::from_config(&config(Some("/search?q=x"), 0.0));
+        assert!((0..4).all(|_| mix.next().starts_with(b"GET /genes")));
+        // Ratio 1: everything is a search.
+        let mut mix = RequestMix::from_config(&config(Some("/search?q=x"), 1.0));
+        assert!((0..4).all(|_| mix.next().starts_with(b"GET /search")));
+    }
 }

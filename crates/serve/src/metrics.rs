@@ -17,9 +17,32 @@ use crate::pool::QueueGauge;
 use crate::shard::ShedSnapshot;
 
 /// The routes the server distinguishes, plus a catch-all.
-pub const ROUTES: [&str; 7] = [
-    "genes", "lorel", "object", "healthz", "metrics", "admin", "other",
+pub const ROUTES: [&str; 8] = [
+    "genes", "lorel", "search", "object", "healthz", "metrics", "admin", "other",
 ];
+
+/// Ranked-search gauges sampled at scrape time: the shape of the live
+/// snapshot's inverted index plus the serve-tier hit counters. Search
+/// latency histograms come from the per-route slot (`route="search"`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchGauges {
+    /// Sources contributing posting lists.
+    pub sources: usize,
+    /// Text documents indexed.
+    pub docs: usize,
+    /// Distinct terms across sources.
+    pub terms: usize,
+    /// Total postings (term, doc) pairs.
+    pub postings: usize,
+    /// Microseconds the last index build (or segment load) took.
+    pub build_us: u64,
+    /// Epoch of the snapshot the index was published with.
+    pub index_epoch: u64,
+    /// `/search` queries answered.
+    pub queries: u64,
+    /// `/search` queries that matched no locus.
+    pub zero_hits: u64,
+}
 
 /// Snapshot-serving gauges sampled at scrape time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -136,6 +159,7 @@ impl Metrics {
         let key = match path {
             "/genes" => "genes",
             "/lorel" => "lorel",
+            "/search" => "search",
             "/healthz" => "healthz",
             "/metrics" => "metrics",
             p if p.starts_with("/object/") || p == "/object" => "object",
@@ -171,6 +195,7 @@ impl Metrics {
     }
 
     /// The text exposition (Prometheus style).
+    #[allow(clippy::too_many_arguments)] // one optional gauge block per subsystem
     pub fn render_text(
         &self,
         queue: &QueueGauge,
@@ -178,6 +203,7 @@ impl Metrics {
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
+        search: Option<SearchGauges>,
         federation: &[(String, RemoteStatsSnapshot)],
     ) -> String {
         use std::fmt::Write as _;
@@ -308,6 +334,16 @@ impl Metrics {
             let _ = writeln!(out, "annoda_store_clones_total {}", s.store_clones_total);
             let _ = writeln!(out, "annoda_eval_workers {}", s.eval_workers);
         }
+        if let Some(s) = search {
+            let _ = writeln!(out, "annoda_search_index_sources {}", s.sources);
+            let _ = writeln!(out, "annoda_search_index_docs {}", s.docs);
+            let _ = writeln!(out, "annoda_search_index_terms {}", s.terms);
+            let _ = writeln!(out, "annoda_search_index_postings {}", s.postings);
+            let _ = writeln!(out, "annoda_search_index_build_us {}", s.build_us);
+            let _ = writeln!(out, "annoda_search_index_epoch {}", s.index_epoch);
+            let _ = writeln!(out, "annoda_search_queries_total {}", s.queries);
+            let _ = writeln!(out, "annoda_search_zero_hits_total {}", s.zero_hits);
+        }
         for (source, f) in federation {
             // Breaker state as a one-hot enum gauge, Prometheus style.
             for state in ["closed", "open", "half-open"] {
@@ -362,6 +398,7 @@ impl Metrics {
     }
 
     /// The same snapshot as a JSON value.
+    #[allow(clippy::too_many_arguments)]
     pub fn render_json(
         &self,
         queue: &QueueGauge,
@@ -369,6 +406,7 @@ impl Metrics {
         cache: Option<CacheStats>,
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
+        search: Option<SearchGauges>,
         federation: &[(String, RemoteStatsSnapshot)],
     ) -> Json {
         let routes = ROUTES
@@ -474,6 +512,19 @@ impl Metrics {
             ]),
             None => Json::Null,
         };
+        let search_json = match search {
+            Some(s) => Json::obj([
+                ("sources", Json::Int(s.sources as i64)),
+                ("docs", Json::Int(s.docs as i64)),
+                ("terms", Json::Int(s.terms as i64)),
+                ("postings", Json::Int(s.postings as i64)),
+                ("build_us", Json::Int(s.build_us as i64)),
+                ("index_epoch", Json::Int(s.index_epoch as i64)),
+                ("queries", Json::Int(s.queries as i64)),
+                ("zero_hits", Json::Int(s.zero_hits as i64)),
+            ]),
+            None => Json::Null,
+        };
         let federation_json = Json::Obj(
             federation
                 .iter()
@@ -511,6 +562,7 @@ impl Metrics {
             ("mediator_cache", cache_json),
             ("persist", persist_json),
             ("snapshot", snapshot_json),
+            ("search", search_json),
             ("federation", federation_json),
         ])
     }
@@ -524,6 +576,7 @@ mod tests {
     fn routes_map_to_slots() {
         assert_eq!(ROUTES[Metrics::route_index("/genes")], "genes");
         assert_eq!(ROUTES[Metrics::route_index("/lorel")], "lorel");
+        assert_eq!(ROUTES[Metrics::route_index("/search")], "search");
         assert_eq!(ROUTES[Metrics::route_index("/object/gene/TP53")], "object");
         assert_eq!(ROUTES[Metrics::route_index("/healthz")], "healthz");
         assert_eq!(ROUTES[Metrics::route_index("/metrics")], "metrics");
@@ -598,6 +651,16 @@ mod tests {
                 store_clones_total: 6,
                 eval_workers: 2,
             }),
+            Some(SearchGauges {
+                sources: 3,
+                docs: 48,
+                terms: 210,
+                postings: 530,
+                build_us: 1_450,
+                index_epoch: 4,
+                queries: 17,
+                zero_hits: 2,
+            }),
             &[(
                 "OMIM".to_string(),
                 RemoteStatsSnapshot {
@@ -663,6 +726,14 @@ mod tests {
         assert!(text.contains("annoda_snapshot_objects 120"));
         assert!(text.contains("annoda_store_clones_total 6"));
         assert!(text.contains("annoda_eval_workers 2"));
+        assert!(text.contains("annoda_search_index_sources 3"));
+        assert!(text.contains("annoda_search_index_docs 48"));
+        assert!(text.contains("annoda_search_index_terms 210"));
+        assert!(text.contains("annoda_search_index_postings 530"));
+        assert!(text.contains("annoda_search_index_build_us 1450"));
+        assert!(text.contains("annoda_search_index_epoch 4"));
+        assert!(text.contains("annoda_search_queries_total 17"));
+        assert!(text.contains("annoda_search_zero_hits_total 2"));
         assert!(
             text.contains("annoda_federation_breaker_state{source=\"OMIM\",state=\"open\"} 1"),
             "{text}"
@@ -677,7 +748,9 @@ mod tests {
         assert!(text.contains("annoda_federation_wall_us_total{source=\"OMIM\"} 9000"));
         assert!(text.contains("annoda_federation_last_wall_us{source=\"OMIM\"} 700"));
 
-        let json = m.render_json(&gauge, http, None, None, None, &[]).to_text();
+        let json = m
+            .render_json(&gauge, http, None, None, None, None, &[])
+            .to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
             "{json}"
@@ -685,6 +758,7 @@ mod tests {
         assert!(json.contains("\"mediator_cache\":null"));
         assert!(json.contains("\"persist\":null"));
         assert!(json.contains("\"snapshot\":null"));
+        assert!(json.contains("\"search\":null"));
         assert!(json.contains("\"federation\":{}"));
         assert!(json.contains("\"generation\":9"), "{json}");
         assert!(json.contains("\"not_modified\":2"), "{json}");
@@ -695,6 +769,7 @@ mod tests {
             .render_json(
                 &gauge,
                 HttpGauges::default(),
+                None,
                 None,
                 None,
                 None,

@@ -16,8 +16,8 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use annoda::{
-    parse_question_pairs, render_integrated_view, render_object_view, DurableSystem, NavigateError,
-    ObjectView,
+    parse_question_pairs, render_integrated_view, render_object_view, DurableSystem,
+    FusionStrategy, NavigateError, ObjectView,
 };
 use annoda_mediator::fusion::IntegratedGene;
 use annoda_mediator::WebLink;
@@ -47,6 +47,10 @@ pub struct App {
     pub generation: Arc<AtomicU64>,
     /// Server start time (for `/healthz` uptime).
     pub started: Instant,
+    /// `/search` queries answered (any outcome with a 200).
+    pub search_queries: AtomicU64,
+    /// `/search` queries that matched no locus.
+    pub search_zero_hits: AtomicU64,
 }
 
 impl App {
@@ -99,12 +103,15 @@ pub fn handle(app: &App, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/genes") => genes(app, req, format),
         ("POST", "/lorel") => lorel(app, req, format),
+        ("GET", "/search") => search(app, req, format),
         ("GET", "/healthz") => healthz(app, format),
         ("GET", "/metrics") => metrics(app, format),
         ("POST", "/admin/refresh") => admin_refresh(app, format),
         ("POST", "/admin/snapshot") => admin_snapshot(app, format),
         ("GET", path) if path.starts_with("/object/") => object(app, path, format),
-        (_, "/genes" | "/lorel" | "/healthz" | "/metrics") => method_not_allowed(format),
+        (_, "/genes" | "/lorel" | "/search" | "/healthz" | "/metrics") => {
+            method_not_allowed(format)
+        }
         (_, "/admin/refresh" | "/admin/snapshot") => method_not_allowed(format),
         (_, path) if path.starts_with("/object/") => method_not_allowed(format),
         _ => error(404, format, format!("no route for {}", req.path)),
@@ -247,6 +254,136 @@ fn lorel(app: &App, req: &Request, format: Format) -> Response {
     }
 }
 
+/// `GET /search?q=...&k=...&fusion=...` — BM25-ranked search over the
+/// harvested annotation text, rank-fused across sources. Same
+/// snapshot-then-drop-the-lock discipline as `/lorel`: the handler
+/// grabs the epoch's `Arc<SearchIndex>` under a brief read lock and
+/// scores with no lock held, so a burst of searches cannot stall
+/// refresh or health probes. The route is epoch-cacheable: within one
+/// generation the same URL yields a byte-identical response.
+fn search(app: &App, req: &Request, format: Format) -> Response {
+    let pairs = req.query_pairs();
+    let mut query = None;
+    let mut k = 10usize;
+    let mut strategy = FusionStrategy::Weighted;
+    for (key, value) in &pairs {
+        match key.as_str() {
+            "q" => query = Some(value.clone()),
+            "k" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => k = n,
+                _ => {
+                    return error(
+                        400,
+                        format,
+                        format!("k must be a positive integer: {value}"),
+                    )
+                }
+            },
+            "fusion" => match FusionStrategy::parse(value) {
+                Some(s) => strategy = s,
+                None => {
+                    return error(
+                        400,
+                        format,
+                        format!("unknown fusion `{value}` (weighted|rrf|maxscore)"),
+                    )
+                }
+            },
+            other => return error(400, format, format!("unknown search parameter `{other}`")),
+        }
+    }
+    let Some(query) = query.filter(|q| !q.trim().is_empty()) else {
+        return error(400, format, "missing query parameter q".to_string());
+    };
+    let snap = {
+        let sys = app.system();
+        match sys.query_snapshot() {
+            Ok(snap) => snap,
+            Err(e) => return error(500, format, e.to_string()),
+        }
+        // guard drops here — scoring below holds no lock
+    };
+    let answers = DurableSystem::search_on(&snap, &query, k, strategy);
+    app.search_queries.fetch_add(1, Ordering::Relaxed);
+    if answers.is_empty() {
+        app.search_zero_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    match format {
+        Format::Text => {
+            let mut body = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                body,
+                "query: {query}\nfusion: {}\nepoch: {}\nhits: {}",
+                strategy.name(),
+                snap.epoch,
+                answers.len()
+            );
+            for (rank, a) in answers.iter().enumerate() {
+                let per_source = a
+                    .per_source_scores
+                    .iter()
+                    .map(|(s, v)| format!("{s}={v:.3}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(
+                    body,
+                    "{:>3}. {:<10} fused={:.4} [{per_source}]",
+                    rank + 1,
+                    a.locus,
+                    a.fused_score
+                );
+                for (source, snippet) in &a.snippets {
+                    let _ = writeln!(body, "       {source}: {snippet}");
+                }
+            }
+            Response::text(200, body)
+        }
+        Format::Json => Response::json(
+            200,
+            &Json::obj([
+                ("query", Json::str(query)),
+                ("fusion", Json::str(strategy.name())),
+                ("k", Json::Int(k as i64)),
+                ("epoch", Json::Int(snap.epoch as i64)),
+                ("count", Json::Int(answers.len() as i64)),
+                (
+                    "answers",
+                    Json::Arr(
+                        answers
+                            .iter()
+                            .map(|a| {
+                                Json::obj([
+                                    ("locus", Json::str(a.locus.clone())),
+                                    ("fused_score", Json::Float(a.fused_score)),
+                                    (
+                                        "per_source_scores",
+                                        Json::Obj(
+                                            a.per_source_scores
+                                                .iter()
+                                                .map(|(s, v)| (s.clone(), Json::Float(*v)))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "snippets",
+                                        Json::Obj(
+                                            a.snippets
+                                                .iter()
+                                                .map(|(s, t)| (s.clone(), Json::str(t.clone())))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    }
+}
+
 /// `GET /object/{kind}/{id}` — Figure 5c via the Navigator. An unknown
 /// kind is the client's mistake (400); a missing id is a dangling
 /// reference (404).
@@ -296,15 +433,26 @@ fn healthz(app: &App, format: Format) -> Response {
 }
 
 fn metrics(app: &App, format: Format) -> Response {
-    let (cache, persist, snap, federation) = {
+    let (cache, persist, snap, search_stats, federation) = {
         let sys = app.system();
         (
             sys.annoda().mediator().cache_stats(),
             sys.persist_stats(),
             sys.snapshot_stats(),
+            sys.search_stats(),
             sys.annoda().federation_stats(),
         )
     };
+    let search = search_stats.map(|s| crate::metrics::SearchGauges {
+        sources: s.sources,
+        docs: s.docs,
+        terms: s.terms,
+        postings: s.postings,
+        build_us: s.build_us,
+        index_epoch: snap.map_or(0, |i| i.epoch),
+        queries: app.search_queries.load(Ordering::Relaxed),
+        zero_hits: app.search_zero_hits.load(Ordering::Relaxed),
+    });
     let snapshot = Some(crate::metrics::SnapshotGauges {
         epoch: snap.map_or(0, |s| s.epoch),
         objects: snap.map_or(0, |s| s.objects),
@@ -319,13 +467,27 @@ fn metrics(app: &App, format: Format) -> Response {
     match format {
         Format::Text => Response::text(
             200,
-            app.metrics
-                .render_text(&app.gauge, http, cache, persist, snapshot, &federation),
+            app.metrics.render_text(
+                &app.gauge,
+                http,
+                cache,
+                persist,
+                snapshot,
+                search,
+                &federation,
+            ),
         ),
         Format::Json => Response::json(
             200,
-            &app.metrics
-                .render_json(&app.gauge, http, cache, persist, snapshot, &federation),
+            &app.metrics.render_json(
+                &app.gauge,
+                http,
+                cache,
+                persist,
+                snapshot,
+                search,
+                &federation,
+            ),
         ),
     }
 }

@@ -21,7 +21,7 @@
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -145,6 +145,8 @@ impl Server {
             shed: Arc::new(ShedGauges::default()),
             generation: Arc::clone(&generation),
             started: Instant::now(),
+            search_queries: AtomicU64::default(),
+            search_zero_hits: AtomicU64::default(),
         });
         let stop = Arc::new(AtomicBool::new(false));
 

@@ -349,7 +349,8 @@ impl Conn {
 /// Whether a request may be served from / stored into the response
 /// cache: `GET` on the snapshot-derived read routes.
 fn cacheable(req: &Request) -> bool {
-    req.method == "GET" && (req.path == "/genes" || req.path.starts_with("/object/"))
+    req.method == "GET"
+        && (req.path == "/genes" || req.path == "/search" || req.path.starts_with("/object/"))
 }
 
 /// The cache identity of a request target (path plus raw query).

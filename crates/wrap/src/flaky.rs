@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use annoda_oem::OemStore;
+use annoda_oem::{OemStore, TextDoc};
 
 use crate::cost::Cost;
 use crate::descr::SourceDescription;
@@ -145,6 +145,12 @@ impl<W: Wrapper> Wrapper for FlakyWrapper<W> {
 
     fn refresh(&mut self) -> usize {
         self.inner.refresh()
+    }
+
+    fn text_docs(&self) -> Vec<TextDoc> {
+        // Flakiness applies to subqueries, not to harvesting: the
+        // search index sees the inner wrapper's documents untouched.
+        self.inner.text_docs()
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

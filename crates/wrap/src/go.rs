@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use annoda_oem::{AtomicValue, OemStore};
+use annoda_oem::{atomic_text, AtomicValue, DocSpec, HarvestText, OemStore, TextDoc};
 use annoda_sources::GoDb;
 
 use crate::descr::SourceDescription;
@@ -96,6 +96,41 @@ impl Wrapper for GoWrapper {
 
     fn indexes(&self) -> Option<&AccessIndexes> {
         Some(&self.indexes)
+    }
+
+    /// One document per GO term: accession keys the term name +
+    /// definition. Loci need the annotation join — a term's documents
+    /// rank the genes annotated *to* it, so gene symbols come from the
+    /// `Annotation` children grouped by term accession.
+    fn text_docs(&self) -> Vec<TextDoc> {
+        let mut docs = self.oml.harvest_docs(
+            "GO",
+            &DocSpec {
+                entity: "Term",
+                key: "Accession",
+                text: &["TermName", "Definition"],
+                loci: &[],
+            },
+        );
+        let Some(root) = self.oml.named("GO") else {
+            return docs;
+        };
+        let mut genes_by_term: HashMap<String, Vec<String>> = HashMap::new();
+        for ann in self.oml.children(root, "Annotation") {
+            let gene = self.oml.child_value(ann, "Gene").and_then(atomic_text);
+            let term = self.oml.child_value(ann, "Accession").and_then(atomic_text);
+            if let (Some(gene), Some(term)) = (gene, term) {
+                genes_by_term.entry(term).or_default().push(gene);
+            }
+        }
+        for doc in &mut docs {
+            if let Some(mut genes) = genes_by_term.remove(&doc.key) {
+                genes.sort();
+                genes.dedup();
+                doc.loci = genes;
+            }
+        }
+        docs
     }
 }
 
@@ -259,5 +294,32 @@ mod tests {
             .subquery("select A from GO.Annotation A", &mut cost)
             .unwrap();
         assert_eq!(after.rows, 2);
+    }
+
+    #[test]
+    fn text_docs_join_annotated_genes_onto_terms() {
+        let w = GoWrapper::new(small_db());
+        let docs = w.text_docs();
+        assert_eq!(docs.len(), 2, "one doc per term");
+        let tf = docs.iter().find(|d| d.key == "GO:0003700").unwrap();
+        assert_eq!(tf.text, "transcription factor TF");
+        assert_eq!(tf.loci, vec!["TP53".to_string()]);
+        // The unannotated root term indexes with no loci.
+        let mf = docs.iter().find(|d| d.key == "GO:0003674").unwrap();
+        assert!(mf.loci.is_empty());
+    }
+
+    #[test]
+    fn text_docs_track_refresh() {
+        let mut w = GoWrapper::new(small_db());
+        w.db_mut().insert_annotation(GoAnnotation {
+            gene_symbol: "EGFR".into(),
+            term_id: "GO:0003674".into(),
+            evidence: EvidenceCode::Iea,
+        });
+        w.refresh();
+        let docs = w.text_docs();
+        let mf = docs.iter().find(|d| d.key == "GO:0003674").unwrap();
+        assert_eq!(mf.loci, vec!["EGFR".to_string()]);
     }
 }

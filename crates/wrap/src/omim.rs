@@ -1,6 +1,6 @@
 //! The OMIM wrapper.
 
-use annoda_oem::{AtomicValue, OemStore};
+use annoda_oem::{AtomicValue, DocSpec, HarvestText, OemStore, TextDoc};
 use annoda_sources::{OmimDb, OmimType};
 
 use crate::descr::SourceDescription;
@@ -85,6 +85,20 @@ impl Wrapper for OmimWrapper {
 
     fn indexes(&self) -> Option<&AccessIndexes> {
         Some(&self.indexes)
+    }
+
+    /// One document per entry: MIM number keys the title + disease
+    /// text; the entry's gene symbols are the ranked loci.
+    fn text_docs(&self) -> Vec<TextDoc> {
+        self.oml.harvest_docs(
+            "OMIM",
+            &DocSpec {
+                entity: "Entry",
+                key: "MimNumber",
+                text: &["Title", "Text"],
+                loci: &["GeneSymbol"],
+            },
+        )
     }
 }
 
@@ -203,5 +217,20 @@ mod tests {
             )
             .unwrap();
         assert_eq!(res.rows, 2, "TP53 appears in both entries");
+    }
+
+    #[test]
+    fn text_docs_carry_title_text_and_symbols() {
+        let w = OmimWrapper::new(small_db());
+        let docs = w.text_docs();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].key, "151623");
+        assert_eq!(
+            docs[0].text,
+            "LI-FRAUMENI SYNDROME 1 Cancer predisposition."
+        );
+        assert_eq!(docs[0].loci, vec!["CHEK2".to_string(), "TP53".to_string()]);
+        // The gene entry has no free text beyond its title.
+        assert_eq!(docs[1].text, "TUMOR PROTEIN p53");
     }
 }

@@ -1,6 +1,6 @@
 //! The PubMed wrapper — the fourth-source extension.
 
-use annoda_oem::{AtomicValue, OemStore};
+use annoda_oem::{AtomicValue, DocSpec, HarvestText, OemStore, TextDoc};
 use annoda_sources::PubmedDb;
 
 use crate::descr::SourceDescription;
@@ -78,6 +78,20 @@ impl Wrapper for PubmedWrapper {
 
     fn indexes(&self) -> Option<&AccessIndexes> {
         Some(&self.indexes)
+    }
+
+    /// One document per citation: PMID keys the article title; the
+    /// cited gene symbols are the ranked loci.
+    fn text_docs(&self) -> Vec<TextDoc> {
+        self.oml.harvest_docs(
+            "PubMed",
+            &DocSpec {
+                entity: "Citation",
+                key: "Pmid",
+                text: &["ArticleTitle"],
+                loci: &["GeneSymbol"],
+            },
+        )
     }
 }
 

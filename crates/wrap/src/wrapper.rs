@@ -9,7 +9,7 @@ use annoda_lorel::{
 };
 use annoda_oem::dataguide::DataGuide;
 use annoda_oem::graph::import_fragment_memo;
-use annoda_oem::{OemStore, Oid, ValueIndex};
+use annoda_oem::{OemStore, Oid, TextDoc, ValueIndex};
 
 use crate::cost::Cost;
 use crate::descr::SourceDescription;
@@ -172,6 +172,18 @@ pub trait Wrapper: std::any::Any + Send + Sync {
     /// answer single-equality point lookups without a scan.
     fn indexes(&self) -> Option<&AccessIndexes> {
         None
+    }
+
+    /// The free-text documents this source contributes to the ranked
+    /// search index (`annoda-search`): one [`TextDoc`] per text-bearing
+    /// entity, keyed by the entity's stable accession and tagged with
+    /// the gene loci it annotates. Harvested at ingest and after every
+    /// [`Wrapper::refresh`] — the index is rebuilt from whatever this
+    /// returns. Sources without indexable text (LocusLink's structured
+    /// records, remote proxies) keep the empty default and simply do
+    /// not participate in ranked search.
+    fn text_docs(&self) -> Vec<TextDoc> {
+        Vec::new()
     }
 
     /// The label paths present in the OML (depth ≤ 3), extracted from a

@@ -33,6 +33,13 @@ cargo run --release --offline -p annoda-bench --bin bench_report -- query-serve 
 echo "== federation smoke (B11) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- federation --smoke
 
+# The B13 smoke keeps the full 10k-locus corpus and fails if indexed
+# top-k diverges from the naive-scan oracle (recall < 1.0), if the p50
+# speedup falls under 10x, or if the tri-source locus stops outranking
+# single-source hits; writes BENCH_search.json.
+echo "== ranked-search smoke (B13) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- search --smoke
+
 echo "== federation e2e (3 source-servers over TCP) =="
 cargo test -q --offline --test federation_e2e
 

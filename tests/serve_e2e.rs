@@ -593,6 +593,133 @@ fn etag_304_conformance_and_cache_transparency() {
     server.shutdown(Duration::from_secs(5));
 }
 
+/// A search term guaranteed to hit: the first token harvested from a
+/// locus-bearing annotation document (the corpus vocabulary is
+/// seed-dependent, so the test derives a term instead of pinning one).
+fn live_search_term(a: &Annoda) -> String {
+    a.mediator()
+        .harvest_text_docs()
+        .iter()
+        .flat_map(|(_, docs)| docs.iter())
+        .filter(|d| !d.loci.is_empty())
+        .flat_map(|d| annoda_search::tokenize(&d.text))
+        .next()
+        .expect("tiny corpus harvests at least one locus-bearing doc")
+}
+
+#[test]
+fn search_route_is_epoch_cached_and_validated() {
+    let a = system();
+    let term = live_search_term(&a);
+    let server = Server::start(a, ephemeral()).expect("bind ephemeral port");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let get_search = format!(
+        "GET /search?q={term}&k=5&fusion=rrf HTTP/1.1\r\nHost: t\r\n\
+         Accept: application/json\r\n\r\n"
+    );
+
+    // Fresh epoch: 200 with a strong generation ETag and ranked answers.
+    stream.write_all(get_search.as_bytes()).expect("send");
+    let (status, headers, body1) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    let text1 = String::from_utf8_lossy(&body1).into_owned();
+    assert!(text1.contains("\"answers\":["), "{text1}");
+    assert!(text1.contains("\"fused_score\":"), "{text1}");
+    assert!(text1.contains("\"fusion\":\"rrf\""), "{text1}");
+    let etag1 = header_value(&headers, "etag")
+        .expect("search is a cacheable route and carries an ETag")
+        .to_string();
+    assert!(etag1.starts_with("\"g") && etag1.ends_with('"'), "{etag1}");
+
+    // A repeat unconditional GET within the epoch is served from the
+    // response cache, byte-identical to the uncached answer.
+    let hits_before = server.app().http_cache.snapshot().hits;
+    stream.write_all(get_search.as_bytes()).expect("send");
+    let (status, _, body2) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(body1, body2, "cached search must be byte-identical");
+    assert!(
+        server.app().http_cache.snapshot().hits > hits_before,
+        "repeat search must hit the epoch cache"
+    );
+
+    // Conditional GET with the live validator: 304, no body.
+    let conditional = format!(
+        "GET /search?q={term}&k=5&fusion=rrf HTTP/1.1\r\nHost: t\r\n\
+         Accept: application/json\r\nIf-None-Match: {etag1}\r\n\r\n"
+    );
+    stream.write_all(conditional.as_bytes()).expect("send");
+    let (status, _, body) = read_full(&mut reader);
+    assert_eq!(status, 304);
+    assert!(body.is_empty(), "304 must not carry a body");
+
+    // Refresh turns the epoch: the stale validator gets a full answer
+    // under a new ETag.
+    stream
+        .write_all(b"POST /admin/refresh HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .expect("send");
+    let (status, _, _) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    stream.write_all(conditional.as_bytes()).expect("send");
+    let (status, headers, _) = read_full(&mut reader);
+    assert_eq!(status, 200, "stale validator must get a full response");
+    let etag2 = header_value(&headers, "etag").expect("new epoch ETag");
+    assert_ne!(etag1, etag2, "the validator must change across epochs");
+
+    // The index gauges and hit counters surface on /metrics.
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n")
+        .expect("send");
+    let (status, _, body) = read_full(&mut reader);
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8_lossy(&body);
+    assert!(metrics.contains("annoda_search_index_terms"), "{metrics}");
+    assert!(
+        metrics.contains("annoda_search_index_postings"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("annoda_search_index_epoch"), "{metrics}");
+    assert!(
+        metrics.contains("annoda_search_index_build_us"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("annoda_search_queries_total"), "{metrics}");
+    assert!(
+        metrics.contains("annoda_requests_total{route=\"search\"}"),
+        "{metrics}"
+    );
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn search_route_rejects_bad_parameters() {
+    let (server, _symbol) = start(ephemeral());
+    for (path, want) in [
+        ("/search", "missing query parameter q"),
+        ("/search?q=", "missing query parameter q"),
+        ("/search?q=dna&fusion=wat", "unknown fusion"),
+        ("/search?q=dna&k=0", "k must be a positive integer"),
+        ("/search?q=dna&k=ten", "k must be a positive integer"),
+        ("/search?q=dna&order=asc", "unknown search parameter"),
+    ] {
+        let (status, body) = get(&server, path, "text/plain");
+        assert_eq!(status, 400, "{path}: {body}");
+        assert!(body.contains(want), "{path}: {body}");
+    }
+    // Wrong method on the route.
+    let (status, _) = roundtrip(
+        &server,
+        "POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+    // A query that matches nothing is a valid, empty, 200 answer.
+    let (status, body) = get(&server, "/search?q=zzzzunindexedzzzz", "application/json");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"count\":0"), "{body}");
+    server.shutdown(Duration::from_secs(5));
+}
+
 #[test]
 fn slowloris_drip_does_not_stall_the_shard() {
     // One shard, so the dripping connection and the healthy ones share
