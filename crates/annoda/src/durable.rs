@@ -29,7 +29,7 @@ use annoda_mediator::{Mediator, MediatorError};
 use annoda_oem::{OemStore, Snapshot};
 use annoda_persist::{
     sync_root, DurableStore, FsyncPolicy, JournalRecord, PersistStats, RecoveryReport,
-    SnapshotMeta, SourceEventKind,
+    SnapshotMeta, SourceEventKind, TailRead,
 };
 use annoda_search::{
     docs_fingerprint, load_segments, save_segments, FusionStrategy, RankedAnswer, SearchIndex,
@@ -39,11 +39,21 @@ use annoda_wrap::{Cost, LatencyModel, Wrapper};
 use parking_lot::RwLock;
 
 use crate::registry::PlugReport;
+use crate::repl::{ReplShared, Role};
 use crate::system::{Annoda, AnnodaError};
 
 /// The name the mediator binds the materialised global model under —
 /// also the root name the journal tracks.
 pub const GML_ROOT: &str = "ANNODA-GML";
+
+/// Marker file a follower leaves in its data directory: its WAL is a
+/// byte-for-byte replica of some leader's log, so the local WAL length
+/// is a valid replication resume position. A directory without the
+/// marker may hold locally-journaled bytes (a leader's, or a cold
+/// materialisation) whose offsets mean nothing on the leader's log —
+/// such a follower must bootstrap via snapshot transfer. Promotion
+/// removes the marker.
+const FOLLOWER_MARKER: &str = "replica.follower";
 
 /// What one durable refresh did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +137,12 @@ pub struct DurableSystem {
     /// ever rebuilt. Shared as an `Arc` so the HTTP layer can key its
     /// response cache and mint `ETag`s without taking the system lock.
     generation: Arc<AtomicU64>,
+    /// Replication role and position gauges, shared with the
+    /// replication threads and the HTTP layer.
+    repl: Arc<ReplShared>,
+    /// Whether the local WAL position is a trusted replication resume
+    /// point (follower opened over a marked or fresh directory).
+    follower_resume: bool,
 }
 
 impl DurableSystem {
@@ -140,6 +156,8 @@ impl DurableSystem {
             snapshot: RwLock::new(None),
             epochs: AtomicU64::new(0),
             generation: Arc::new(AtomicU64::new(1)),
+            repl: Arc::new(ReplShared::new(Role::Leader)),
+            follower_resume: false,
         }
     }
 
@@ -149,6 +167,10 @@ impl DurableSystem {
     /// without re-materialising.
     pub fn open(system: Annoda, dir: &Path, policy: FsyncPolicy) -> Result<Self, AnnodaError> {
         let mut durable = DurableStore::open(dir, policy)?;
+        // This process journals locally from here on; a follower later
+        // opened over the same directory must bootstrap via snapshot
+        // transfer, not resume from these offsets.
+        let _ = std::fs::remove_file(dir.join(FOLLOWER_MARKER));
         if durable.store().named(GML_ROOT).is_none() {
             let (gml, _cost) = system.mediator().materialize_gml()?;
             let root = gml.named(GML_ROOT).expect("materialize_gml names its root");
@@ -161,6 +183,8 @@ impl DurableSystem {
             snapshot: RwLock::new(None),
             epochs: AtomicU64::new(0),
             generation: Arc::new(AtomicU64::new(1)),
+            repl: Arc::new(ReplShared::new(Role::Leader)),
+            follower_resume: false,
         };
         // Make the bootstrap durable regardless of policy: a cold open
         // under OnSnapshot would otherwise hold the whole GML in page
@@ -223,9 +247,238 @@ impl DurableSystem {
         self.durable.as_ref().map(DurableStore::stats)
     }
 
+    // -----------------------------------------------------------------
+    // replication
+
+    /// Opens `dir` as a read-only follower: never cold-materialises
+    /// (its store advances only by applying the leader's shipped WAL),
+    /// and decides whether the local WAL position can resume the
+    /// subscription. A directory carrying the follower marker — or a
+    /// completely fresh one, trivially in sync at the log base —
+    /// resumes from its own `(generation, wal_offset)`; anything else
+    /// holds locally-journaled bytes and must bootstrap via snapshot
+    /// transfer.
+    pub fn open_follower(
+        system: Annoda,
+        dir: &Path,
+        policy: FsyncPolicy,
+    ) -> Result<Self, AnnodaError> {
+        let durable = DurableStore::open(dir, policy)?;
+        let marker = dir.join(FOLLOWER_MARKER);
+        let r = *durable.recovery();
+        let fresh = !r.snapshot_loaded
+            && r.replayed_records == 0
+            && r.truncated_bytes == 0
+            && durable.wal_offset() == DurableStore::wal_base_offset();
+        let resume = marker.exists() || fresh;
+        if resume && !marker.exists() {
+            std::fs::write(&marker, b"replica\n")
+                .map_err(|e| AnnodaError::Replication(format!("cannot write marker: {e}")))?;
+        }
+        let repl = Arc::new(ReplShared::new(Role::Follower));
+        repl.set_applied(durable.generation(), durable.wal_offset());
+        Ok(DurableSystem {
+            system,
+            durable: Some(durable),
+            search_path: Some(dir.join("search.seg")),
+            snapshot: RwLock::new(None),
+            epochs: AtomicU64::new(0),
+            generation: Arc::new(AtomicU64::new(1)),
+            repl,
+            follower_resume: resume,
+        })
+    }
+
+    /// This node's replication role.
+    pub fn role(&self) -> Role {
+        self.repl.role()
+    }
+
+    /// The shared replication gauges — role, positions, lag — read by
+    /// the HTTP layer and written by the replication threads without
+    /// taking the system lock.
+    pub fn repl_handle(&self) -> Arc<ReplShared> {
+        Arc::clone(&self.repl)
+    }
+
+    /// The durable `(generation, wal_offset)` position — what `/healthz`
+    /// reports and what read-your-writes clients compare against.
+    pub fn wal_position(&self) -> Option<(u64, u64)> {
+        self.durable
+            .as_ref()
+            .map(|d| (d.generation(), d.wal_offset()))
+    }
+
+    /// Where a replica client should resume its subscription: the local
+    /// WAL position when it is a trusted replica of the leader's log,
+    /// `None` when only a snapshot transfer can synchronise this node.
+    pub fn replica_resume_position(&self) -> Option<(u64, u64)> {
+        if self.follower_resume {
+            self.wal_position()
+        } else {
+            None
+        }
+    }
+
+    /// Leader side: reads WAL records for a subscriber positioned at
+    /// `(generation, from_offset)`. `Ok(None)` means the position is
+    /// unservable (stale generation or misaligned offset) and the
+    /// subscriber needs [`DurableSystem::base_snapshot`].
+    pub fn read_wal_tail(
+        &self,
+        generation: u64,
+        from_offset: u64,
+        max_bytes: u64,
+    ) -> Result<Option<TailRead>, AnnodaError> {
+        let d = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| AnnodaError::Replication("no durable store to tail".into()))?;
+        Ok(d.read_tail(generation, from_offset, max_bytes)?)
+    }
+
+    /// Leader side: the base state a bootstrapping subscriber installs
+    /// before replaying this WAL (the on-disk snapshot, or the empty
+    /// store at generation 0).
+    pub fn base_snapshot(&self) -> Result<(OemStore, u64), AnnodaError> {
+        let d = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| AnnodaError::Replication("no durable store to snapshot".into()))?;
+        Ok(d.base_snapshot()?)
+    }
+
+    /// Follower side: installs a transferred base snapshot, discarding
+    /// all local state, and returns the offset to tail from (the WAL
+    /// base). Marks the directory as a genuine replica so restarts
+    /// resume instead of re-transferring.
+    pub fn install_replica_snapshot(
+        &mut self,
+        store: OemStore,
+        generation: u64,
+    ) -> Result<u64, AnnodaError> {
+        if self.repl.role() != Role::Follower {
+            return Err(AnnodaError::Replication(
+                "snapshot install refused: not a follower".into(),
+            ));
+        }
+        let d = self
+            .durable
+            .as_mut()
+            .ok_or_else(|| AnnodaError::Replication("follower has no durable store".into()))?;
+        d.install_snapshot(store, generation)?;
+        let marker = d.dir().join(FOLLOWER_MARKER);
+        std::fs::write(&marker, b"replica\n")
+            .map_err(|e| AnnodaError::Replication(format!("cannot write marker: {e}")))?;
+        self.follower_resume = true;
+        let base = DurableStore::wal_base_offset();
+        self.repl.set_applied(generation, base);
+        self.invalidate_snapshot();
+        Ok(base)
+    }
+
+    /// Follower side: applies one shipped batch of raw WAL record
+    /// payloads. The batch must extend the applied position exactly —
+    /// `(generation, from_offset)` equal to the local WAL head — and
+    /// each record is journaled with its *original* bytes, keeping the
+    /// local log byte-identical to the leader's. Source-unplug events
+    /// are mirrored into the live registry so search harvesting tracks
+    /// the replicated model. Returns the new applied offset.
+    pub fn apply_replica_batch(
+        &mut self,
+        generation: u64,
+        from_offset: u64,
+        records: &[Vec<u8>],
+    ) -> Result<u64, AnnodaError> {
+        if self.repl.role() != Role::Follower {
+            return Err(AnnodaError::Replication(
+                "batch apply refused: not a follower".into(),
+            ));
+        }
+        let d = self
+            .durable
+            .as_mut()
+            .ok_or_else(|| AnnodaError::Replication("follower has no durable store".into()))?;
+        if generation != d.generation() || from_offset != d.wal_offset() {
+            return Err(AnnodaError::Replication(format!(
+                "batch at ({generation}, {from_offset}) does not extend applied \
+                 position ({}, {})",
+                d.generation(),
+                d.wal_offset()
+            )));
+        }
+        let mut unplugs = Vec::new();
+        for payload in records {
+            let record = d.journal_raw(payload)?;
+            if let JournalRecord::SourceEvent {
+                kind: SourceEventKind::Unplug,
+                name,
+            } = record
+            {
+                unplugs.push(name);
+            }
+        }
+        let applied = d.wal_offset();
+        for name in unplugs {
+            self.system.unplug(&name);
+        }
+        self.repl.set_applied(generation, applied);
+        if !records.is_empty() {
+            self.repl.batches_applied.fetch_add(1, Ordering::Relaxed);
+            self.repl
+                .records_applied
+                .fetch_add(records.len() as u64, Ordering::Relaxed);
+            self.invalidate_snapshot();
+        }
+        Ok(applied)
+    }
+
+    /// Failover: promotes this follower to leader. Seals the replicated
+    /// WAL behind a snapshot (bumping the generation, so stale
+    /// subscribers of the old leader can never mistake the new log for
+    /// the old one), removes the replica marker, and flips the role —
+    /// writes are accepted from here on. Returns the new
+    /// `(generation, wal_offset)` position.
+    pub fn promote(&mut self) -> Result<(u64, u64), AnnodaError> {
+        if self.repl.role() != Role::Follower {
+            return Err(AnnodaError::Replication(
+                "promote refused: already the leader".into(),
+            ));
+        }
+        let d = self
+            .durable
+            .as_mut()
+            .ok_or_else(|| AnnodaError::Replication("follower has no durable store".into()))?;
+        d.snapshot()?;
+        let _ = std::fs::remove_file(d.dir().join(FOLLOWER_MARKER));
+        self.follower_resume = false;
+        let position = (d.generation(), d.wal_offset());
+        self.repl.set_applied(position.0, position.1);
+        self.repl.set_role(Role::Leader);
+        self.invalidate_snapshot();
+        Ok(position)
+    }
+
+    /// Writes (and leader-only admin) are refused on a follower.
+    fn require_leader(&self, what: &str) -> Result<(), AnnodaError> {
+        if self.repl.role() != Role::Leader {
+            let leader = self.repl.leader_addr();
+            return Err(AnnodaError::Replication(format!(
+                "{what} refused: this node is a read-only follower{}",
+                if leader.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (leader: {leader})")
+                }
+            )));
+        }
+        Ok(())
+    }
+
     /// Plugs a source, journals the lifecycle event, and re-syncs the
     /// persisted GML.
     pub fn plug(&mut self, wrapper: Box<dyn Wrapper>) -> Result<PlugReport, AnnodaError> {
+        self.require_leader("plug")?;
         let name = wrapper.description().name.clone();
         let report = self.system.plug(wrapper);
         self.invalidate_snapshot();
@@ -247,6 +500,7 @@ impl DurableSystem {
     /// Unplugs a source, journals the lifecycle event, and re-syncs the
     /// persisted GML.
     pub fn unplug(&mut self, name: &str) -> Result<bool, AnnodaError> {
+        self.require_leader("unplug")?;
         let removed = self.system.unplug(name);
         if removed {
             self.invalidate_snapshot();
@@ -260,6 +514,7 @@ impl DurableSystem {
     /// the mediator's subquery cache and the serving snapshot) and
     /// journals the GML delta.
     pub fn refresh(&mut self) -> Result<RefreshOutcome, AnnodaError> {
+        self.require_leader("refresh")?;
         let refreshed_objects = self.system.registry_mut().mediator_mut().refresh_all();
         self.invalidate_snapshot();
         let mut journaled_records = 0;
@@ -455,6 +710,7 @@ impl DurableSystem {
     /// Writes a point-in-time snapshot and truncates the journal.
     /// `Ok(None)` when persistence is off.
     pub fn snapshot(&mut self) -> Result<Option<SnapshotMeta>, AnnodaError> {
+        self.require_leader("snapshot")?;
         match self.durable.as_mut() {
             Some(d) => Ok(Some(d.snapshot()?)),
             None => Ok(None),
@@ -637,6 +893,177 @@ mod tests {
         assert!(second.epoch > e0, "refresh publishes a fresh epoch");
         let hits = DurableSystem::search_on(&second, &term, 5, FusionStrategy::MaxScore);
         assert!(!hits.is_empty(), "rebuilt index still answers");
+    }
+
+    /// Manually pumps the leader's WAL into the follower — the same
+    /// install/apply sequence the socket-level replica client drives.
+    fn pump(leader: &DurableSystem, follower: &mut DurableSystem) {
+        loop {
+            let (generation, offset) = follower.wal_position().unwrap();
+            match leader.read_wal_tail(generation, offset, u64::MAX).unwrap() {
+                Some(tail) => {
+                    follower
+                        .apply_replica_batch(tail.generation, offset, &tail.records)
+                        .unwrap();
+                    if tail.next_offset == tail.end_offset {
+                        return;
+                    }
+                }
+                None => {
+                    let (store, generation) = leader.base_snapshot().unwrap();
+                    follower
+                        .install_replica_snapshot(store, generation)
+                        .unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn follower_replays_leader_writes_and_mirrors_unplug() {
+        let leader_dir = tmp_dir("repl-leader");
+        let follower_dir = tmp_dir("repl-follower");
+        let mut leader = DurableSystem::open(system(), &leader_dir, FsyncPolicy::Always).unwrap();
+        let mut follower =
+            DurableSystem::open_follower(system(), &follower_dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(follower.role(), Role::Follower);
+        assert!(
+            follower.replica_resume_position().is_some(),
+            "fresh directory is trivially in sync"
+        );
+
+        pump(&leader, &mut follower);
+        assert_eq!(
+            encode_store(follower.persisted_gml().unwrap()),
+            encode_store(leader.persisted_gml().unwrap()),
+            "bootstrap converges"
+        );
+
+        // An acknowledged leader write: unplug OMIM (journals a real
+        // GML delta plus the lifecycle event).
+        assert!(leader.unplug("OMIM").unwrap());
+        pump(&leader, &mut follower);
+        assert_eq!(
+            encode_store(follower.persisted_gml().unwrap()),
+            encode_store(leader.persisted_gml().unwrap()),
+            "write replicates"
+        );
+        assert_eq!(follower.wal_position(), leader.wal_position());
+        // The registry mirrored the unplug (search harvest tracks it).
+        assert!(!follower
+            .annoda()
+            .registry()
+            .sources()
+            .iter()
+            .any(|s| s.name == "OMIM"));
+
+        // Queries answer identically on both nodes.
+        let q = "select count(GML.Gene) from ANNODA-GML GML";
+        let leader_rows = leader.lorel(q).unwrap().1.rows;
+        let follower_rows = follower.lorel(q).unwrap().1.rows;
+        assert_eq!(leader_rows, follower_rows);
+        let _ = std::fs::remove_dir_all(&leader_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn follower_restart_resumes_without_snapshot_transfer() {
+        let leader_dir = tmp_dir("resume-leader");
+        let follower_dir = tmp_dir("resume-follower");
+        let mut leader = DurableSystem::open(system(), &leader_dir, FsyncPolicy::Always).unwrap();
+        // Put the leader past generation 0 so a bootstrap needs a
+        // genuine snapshot transfer.
+        leader.snapshot().unwrap();
+        leader.refresh().unwrap();
+
+        let mut follower =
+            DurableSystem::open_follower(system(), &follower_dir, FsyncPolicy::Always).unwrap();
+        pump(&leader, &mut follower);
+        let position = follower.wal_position();
+        drop(follower);
+
+        // Restart: the marker makes the local position trustworthy.
+        let follower2 =
+            DurableSystem::open_follower(system(), &follower_dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(follower2.replica_resume_position(), position);
+        assert_eq!(
+            encode_store(follower2.persisted_gml().unwrap()),
+            encode_store(leader.persisted_gml().unwrap())
+        );
+
+        // A directory that once journaled locally must NOT resume.
+        drop(follower2);
+        let local = DurableSystem::open(system(), &follower_dir, FsyncPolicy::Always).unwrap();
+        drop(local);
+        let follower3 =
+            DurableSystem::open_follower(system(), &follower_dir, FsyncPolicy::Always).unwrap();
+        assert!(
+            follower3.replica_resume_position().is_none(),
+            "locally-journaled bytes force a snapshot transfer"
+        );
+        let _ = std::fs::remove_dir_all(&leader_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn follower_refuses_writes_until_promoted() {
+        let leader_dir = tmp_dir("promote-leader");
+        let follower_dir = tmp_dir("promote-follower");
+        let leader = DurableSystem::open(system(), &leader_dir, FsyncPolicy::Always).unwrap();
+        let mut follower =
+            DurableSystem::open_follower(system(), &follower_dir, FsyncPolicy::Always).unwrap();
+        pump(&leader, &mut follower);
+
+        assert!(matches!(
+            follower.refresh(),
+            Err(AnnodaError::Replication(_))
+        ));
+        assert!(matches!(
+            follower.unplug("OMIM"),
+            Err(AnnodaError::Replication(_))
+        ));
+        assert!(matches!(
+            follower.snapshot(),
+            Err(AnnodaError::Replication(_))
+        ));
+        // Batches that do not extend the applied position are refused.
+        let (generation, offset) = follower.wal_position().unwrap();
+        assert!(matches!(
+            follower.apply_replica_batch(generation, offset + 1, &[vec![0]]),
+            Err(AnnodaError::Replication(_))
+        ));
+        assert!(matches!(
+            follower.apply_replica_batch(generation + 1, offset, &[]),
+            Err(AnnodaError::Replication(_))
+        ));
+
+        // Promotion compacts the store behind a snapshot (oids may be
+        // renumbered), so the invariant is identical *answers*, not
+        // identical raw bytes.
+        let q = "select count(GML.Gene) from ANNODA-GML GML";
+        let before_rows = follower.lorel(q).unwrap().1.rows.len();
+        let old_generation = follower.wal_position().unwrap().0;
+        let (new_generation, _offset) = follower.promote().unwrap();
+        assert_eq!(follower.role(), Role::Leader);
+        assert!(new_generation > old_generation, "promotion seals the WAL");
+        assert_eq!(
+            follower.lorel(q).unwrap().1.rows.len(),
+            before_rows,
+            "promotion loses nothing"
+        );
+        // Writes are accepted now; a second promote is refused.
+        assert!(follower.unplug("OMIM").unwrap());
+        assert!(matches!(
+            follower.promote(),
+            Err(AnnodaError::Replication(_))
+        ));
+        // The old leader cannot ship to a promoted node.
+        assert!(matches!(
+            follower.apply_replica_batch(new_generation, 13, &[]),
+            Err(AnnodaError::Replication(_))
+        ));
+        let _ = std::fs::remove_dir_all(&leader_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
     }
 
     #[test]

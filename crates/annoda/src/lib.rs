@@ -36,6 +36,7 @@ pub mod question;
 pub mod registry;
 pub mod render;
 pub mod reorganize;
+pub mod repl;
 pub mod system;
 
 pub use durable::{
@@ -49,12 +50,13 @@ pub use render::{render_integrated_view, render_object_view};
 pub use reorganize::{
     chromosome_of, group_genes, sort_genes, summarize, to_tsv, GroupKey, SortKey, ViewSummary,
 };
+pub use repl::{ReplShared, ReplStats, Role};
 pub use system::{Annoda, AnnodaError};
 
 // Re-exported so the serving and bench layers can speak persistence
 // without depending on `annoda-persist` directly.
 pub use annoda_persist::{
-    DurableStore, FsyncPolicy, PersistError, PersistStats, RecoveryReport, SnapshotMeta,
+    DurableStore, FsyncPolicy, PersistError, PersistStats, RecoveryReport, SnapshotMeta, TailRead,
 };
 
 // Re-exported so the serving layer and the CLI can speak ranked search

@@ -27,6 +27,10 @@ pub enum AnnodaError {
     Persist(annoda_persist::PersistError),
     /// A remote source server could not be reached or spoke garbage.
     Federation(ProtoError),
+    /// A replication-role violation: a write on a follower, a
+    /// follower-only transition on a leader, or a batch that does not
+    /// extend the applied position.
+    Replication(String),
 }
 
 impl fmt::Display for AnnodaError {
@@ -35,6 +39,7 @@ impl fmt::Display for AnnodaError {
             AnnodaError::Mediator(e) => write!(f, "{e}"),
             AnnodaError::Persist(e) => write!(f, "{e}"),
             AnnodaError::Federation(e) => write!(f, "{e}"),
+            AnnodaError::Replication(what) => write!(f, "replication: {what}"),
         }
     }
 }

@@ -42,10 +42,35 @@ fn main() {
             let smoke = args.iter().any(|a| a == "--smoke");
             b13_ranked_search(smoke);
         }
+        Some("replication") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let mut targets: Vec<(String, f64)> = Vec::new();
+            let mut iter = args.iter().skip(1);
+            while let Some(a) = iter.next() {
+                if a == "--target" {
+                    let Some(spec) = iter.next() else {
+                        eprintln!("--target needs HOST:PORT[=WEIGHT]");
+                        std::process::exit(1);
+                    };
+                    match spec.split_once('=') {
+                        Some((addr, w)) => match w.parse::<f64>() {
+                            Ok(weight) => targets.push((addr.to_string(), weight)),
+                            Err(_) => {
+                                eprintln!("bad weight in --target {spec}");
+                                std::process::exit(1);
+                            }
+                        },
+                        None => targets.push((spec.clone(), 1.0)),
+                    }
+                }
+            }
+            b14_replication(smoke, &targets);
+        }
         Some(other) => {
             eprintln!(
                 "unknown mode `{other}` (modes: serve [--smoke], persist [--smoke], \
-                 query-serve [--smoke], federation [--smoke], search [--smoke]; \
+                 query-serve [--smoke], federation [--smoke], search [--smoke], \
+                 replication [--smoke] [--target HOST:PORT[=WEIGHT]]...; \
                  default runs B1–B7)"
             );
             std::process::exit(1);
@@ -1542,6 +1567,366 @@ fn b13_ranked_search(smoke: bool) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
     std::fs::write(path, &report).expect("write BENCH_search.json");
     println!("\n(machine-readable copy written to BENCH_search.json)");
+}
+
+// ---------------------------------------------------------------------
+/// **B14 — WAL-shipping read replicas.** Spins up a durable leader plus
+/// two followers (each a full sharded HTTP server fed by the
+/// `annoda-replica` shipping link) and measures two things:
+///
+/// - aggregate read throughput as the fleet grows from 1 to 2 to 3
+///   serving nodes — the horizontal-scaling claim; each node is pinned
+///   to one shard so a single node saturates early and the growth is
+///   attributable to the extra nodes, not extra connections on one;
+/// - follower lag convergence: a burst of journaled writes on the
+///   leader, then silence — applied offsets must reach the leader's
+///   final position (lag → 0) within the deadline or the run fails
+///   (the `scripts/check.sh` smoke gate).
+///
+/// With repeatable `--target HOST:PORT[=WEIGHT]` flags the harness
+/// instead drives an externally-launched fleet (e.g. three
+/// `annoda-serve` processes wired with `--repl-bind`/`--follow`) in one
+/// open-loop run, reporting the per-target status breakdown.
+fn b14_replication(smoke: bool, external_targets: &[(String, f64)]) {
+    use annoda::{DurableSystem, FsyncPolicy};
+    use annoda_replica::{LeaderConfig, LeaderServer, ReplicaClient, ReplicaConfig};
+    use annoda_serve::json::Json;
+    use annoda_serve::{LoadMode, LoadgenConfig, ServeConfig, Server, TargetSpec};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let read_path = "/genes?function=require&combine=all";
+
+    if !external_targets.is_empty() {
+        use std::net::ToSocketAddrs;
+        println!(
+            "=== B14: multi-target open-loop drive ({} targets) ===\n",
+            external_targets.len()
+        );
+        let targets: Vec<TargetSpec> = external_targets
+            .iter()
+            .map(|(addr, weight)| {
+                let resolved = addr
+                    .to_socket_addrs()
+                    .ok()
+                    .and_then(|mut a| a.next())
+                    .unwrap_or_else(|| {
+                        eprintln!("cannot resolve --target {addr}");
+                        std::process::exit(1);
+                    });
+                TargetSpec {
+                    addr: resolved,
+                    weight: *weight,
+                }
+            })
+            .collect();
+        let (rate_rps, window) = if smoke {
+            (200.0, Duration::from_millis(500))
+        } else {
+            (600.0, Duration::from_secs(2))
+        };
+        let stats = annoda_serve::loadgen::run_multi(
+            &targets,
+            &LoadgenConfig {
+                connections: 4 * targets.len(),
+                requests_per_conn: 0,
+                path: read_path.to_string(),
+                search_path: None,
+                search_ratio: 0.0,
+                mode: LoadMode::Open {
+                    rate_rps,
+                    duration: window,
+                },
+            },
+        )
+        .expect("multi-target open-loop run");
+        let agg = &stats.aggregate;
+        println!(
+            "open loop @ {:.0} rps offered for {:?}: ok={} shed={} transport={} \
+             p50={}us p99={}us achieved={:.1} rps",
+            rate_rps,
+            window,
+            agg.statuses.ok,
+            agg.statuses.shed,
+            agg.statuses.transport,
+            agg.p50_us,
+            agg.p99_us,
+            agg.throughput_rps
+        );
+        for t in &stats.per_target {
+            println!(
+                "  {:<21} conns={:<3} ok={:<6} 304={:<4} shed={:<4} 4xx={:<4} 5xx={:<4} \
+                 transport={:<4} rps={:.1}",
+                t.addr,
+                t.connections,
+                t.statuses.ok,
+                t.statuses.not_modified,
+                t.statuses.shed,
+                t.statuses.client_error,
+                t.statuses.server_error,
+                t.statuses.transport,
+                t.throughput_rps
+            );
+        }
+        return;
+    }
+
+    let (loci, requests_per_conn, writes) = if smoke {
+        (100, 150, 10)
+    } else {
+        (500, 1000, 50)
+    };
+    println!("=== B14: WAL-shipping read replicas ({loci} loci, leader + 2 followers) ===\n");
+    let corpus = workload::corpus_of(loci, 7);
+    let base_dir = std::env::temp_dir().join(format!("annoda-b14-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    let node_config = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        // One shard, few workers: each node saturates early, so the
+        // sweep below measures fleet growth, not spare capacity.
+        shards: 1,
+        workers: 2,
+        keep_alive_max_requests: 1_000_000,
+        target_p99: Duration::from_secs(60),
+        ..ServeConfig::default()
+    };
+
+    let mut sys = workload::annoda_over(&corpus);
+    sys.registry_mut().mediator_mut().enable_cache();
+    let durable = DurableSystem::open(sys, &base_dir.join("leader"), FsyncPolicy::Batched(64))
+        .expect("leader open");
+    let leader = Server::start_durable(durable, node_config()).expect("bind leader");
+    let mut shipping = LeaderServer::spawn(
+        Arc::clone(&leader.app().system),
+        "127.0.0.1:0",
+        LeaderConfig::default(),
+    )
+    .expect("bind shipping listener");
+    // Materialise + journal the integrated GML so there is a log to ship.
+    leader
+        .app()
+        .system_mut()
+        .refresh()
+        .expect("initial leader refresh");
+
+    let spawn_follower = |name: &str| {
+        let mut sys = workload::annoda_over(&corpus);
+        sys.registry_mut().mediator_mut().enable_cache();
+        let durable =
+            DurableSystem::open_follower(sys, &base_dir.join(name), FsyncPolicy::Batched(64))
+                .expect("follower open");
+        let server = Server::start_durable(durable, node_config()).expect("bind follower");
+        let client = ReplicaClient::spawn(
+            Arc::clone(&server.app().system),
+            &shipping.addr().to_string(),
+            ReplicaConfig {
+                poll_interval: Duration::from_millis(2),
+                ..ReplicaConfig::default()
+            },
+        );
+        (server, client)
+    };
+    let (f1, mut f1_client) = spawn_follower("f1");
+    let (f2, mut f2_client) = spawn_follower("f2");
+
+    let leader_position = || {
+        leader
+            .app()
+            .system()
+            .wal_position()
+            .expect("leader has a durable position")
+    };
+    let wait_caught_up = |what: &str| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let target = leader_position();
+            if [&f1, &f2]
+                .iter()
+                .all(|s| s.app().system().wal_position() == Some(target))
+            {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{what}: followers never caught up"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+    wait_caught_up("bootstrap");
+
+    // Read sweep: 1 -> 2 -> 3 serving nodes, 4 closed-loop connections
+    // per node.
+    println!(
+        "{:<14} {:>12} {:>9} {:>8} {:>10} {:>10} {:>14}",
+        "serving_nodes", "connections", "requests", "errors", "p50_us", "p99_us", "aggregate_rps"
+    );
+    let servers = [&leader, &f1, &f2];
+    let mut rps = Vec::new();
+    let mut runs = Vec::new();
+    for n in 1..=servers.len() {
+        let targets: Vec<TargetSpec> = servers[..n]
+            .iter()
+            .map(|s| TargetSpec {
+                addr: s.addr(),
+                weight: 1.0,
+            })
+            .collect();
+        let stats = annoda_serve::loadgen::run_multi(
+            &targets,
+            &LoadgenConfig {
+                connections: 4 * n,
+                requests_per_conn,
+                path: read_path.to_string(),
+                search_path: None,
+                search_ratio: 0.0,
+                mode: LoadMode::Closed,
+            },
+        )
+        .expect("replica sweep run");
+        let agg = &stats.aggregate;
+        println!(
+            "{:<14} {:>12} {:>9} {:>8} {:>10} {:>10} {:>14.1}",
+            n,
+            4 * n,
+            agg.ok + agg.errors,
+            agg.errors,
+            agg.p50_us,
+            agg.p99_us,
+            agg.throughput_rps
+        );
+        let mut per_target = Vec::new();
+        for t in &stats.per_target {
+            println!(
+                "    {:<21} conns={:<3} ok={:<6} rps={:.1}",
+                t.addr, t.connections, t.statuses.ok, t.throughput_rps
+            );
+            per_target.push(Json::obj([
+                ("addr", Json::str(t.addr.to_string())),
+                ("connections", Json::Int(t.connections as i64)),
+                ("ok", Json::Int(t.statuses.ok as i64)),
+                ("throughput_rps", Json::Float(t.throughput_rps)),
+            ]));
+        }
+        assert_eq!(
+            agg.errors, 0,
+            "closed-loop replica sweep must be error-free"
+        );
+        rps.push(agg.throughput_rps);
+        runs.push(Json::obj([
+            ("serving_nodes", Json::Int(n as i64)),
+            ("connections", Json::Int((4 * n) as i64)),
+            ("requests", Json::Int((agg.ok + agg.errors) as i64)),
+            ("p50_us", Json::Int(agg.p50_us as i64)),
+            ("p99_us", Json::Int(agg.p99_us as i64)),
+            ("aggregate_rps", Json::Float(agg.throughput_rps)),
+            ("per_target", Json::Arr(per_target)),
+        ]));
+    }
+    assert!(
+        rps[2] >= rps[0],
+        "3 serving nodes ({:.1} rps) fell below 1 node ({:.1} rps)",
+        rps[2],
+        rps[0]
+    );
+    if !smoke {
+        assert!(
+            rps[0] < rps[1] && rps[1] < rps[2],
+            "aggregate read throughput must grow monotonically across \
+             1 -> 2 -> 3 serving nodes, got {rps:?}"
+        );
+    }
+
+    // Lag convergence: a write burst, then silence — every follower
+    // must drain to the leader's final position.
+    println!("\n-- follower lag convergence after {writes} journaled writes");
+    for _ in 0..writes {
+        leader.app().system_mut().refresh().expect("write load");
+    }
+    let target = leader_position();
+    let burst_done = Instant::now();
+    let deadline = burst_done + Duration::from_secs(20);
+    let mut followers_json = Vec::new();
+    for (name, srv) in [("f1", &f1), ("f2", &f2)] {
+        loop {
+            let (position, stats) = {
+                let app = srv.app();
+                let sys = app.system();
+                (sys.wal_position(), sys.repl_handle().stats())
+            };
+            if position == Some(target) && stats.lag_records == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{name} lag did not converge to zero after the write load stopped \
+                 (position {position:?}, target {target:?}, lag_records {})",
+                stats.lag_records
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let converge_ms = burst_done.elapsed().as_millis();
+        let s = srv.app().system().repl_handle().stats();
+        println!(
+            "{name}: lag 0 within {converge_ms} ms  (applied_offset={} batches={} \
+             records={} snapshot_xfer_bytes={} resubscribes={})",
+            s.applied_offset,
+            s.batches_applied,
+            s.records_applied,
+            s.snapshot_xfer_bytes,
+            s.resubscribes
+        );
+        followers_json.push(Json::obj([
+            ("node", Json::str(name)),
+            ("converge_ms", Json::Int(converge_ms as i64)),
+            ("applied_offset", Json::Int(s.applied_offset as i64)),
+            ("batches_applied", Json::Int(s.batches_applied as i64)),
+            ("records_applied", Json::Int(s.records_applied as i64)),
+            (
+                "snapshot_xfer_bytes",
+                Json::Int(s.snapshot_xfer_bytes as i64),
+            ),
+            ("resubscribes", Json::Int(s.resubscribes as i64)),
+        ]));
+    }
+
+    let report = Json::obj([
+        ("experiment", Json::str("B14 WAL-shipping read replicas")),
+        ("loci", Json::Int(loci as i64)),
+        ("path", Json::str(read_path)),
+        ("requests_per_conn", Json::Int(requests_per_conn as i64)),
+        ("runs", Json::Arr(runs)),
+        (
+            "lag",
+            Json::obj([
+                ("writes", Json::Int(writes as i64)),
+                ("leader_generation", Json::Int(target.0 as i64)),
+                ("leader_offset", Json::Int(target.1 as i64)),
+                ("followers", Json::Arr(followers_json)),
+            ]),
+        ),
+    ]);
+
+    f1_client.shutdown();
+    f2_client.shutdown();
+    shipping.shutdown();
+    for (server, label) in [(leader, "leader"), (f1, "f1"), (f2, "f2")] {
+        let r = server.shutdown(Duration::from_secs(10));
+        println!(
+            "{label}: served {} requests; drained: {}",
+            r.requests_served, r.drained
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    if smoke {
+        println!("(smoke mode: BENCH_replication.json not rewritten)");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+        std::fs::write(path, report.to_text() + "\n").expect("write BENCH_replication.json");
+        println!("(machine-readable copy written to BENCH_replication.json)");
+    }
 }
 
 fn json_escape(s: &str) -> String {

@@ -43,4 +43,4 @@ pub use durable::{DurableStore, PersistStats, RecoveryReport};
 pub use error::PersistError;
 pub use record::{apply, JournalRecord, SourceEventKind};
 pub use snapshot::SnapshotMeta;
-pub use wal::{crc32, FsyncPolicy};
+pub use wal::{crc32, read_tail, FsyncPolicy, TailRead, WAL_HEADER_LEN};

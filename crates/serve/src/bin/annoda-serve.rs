@@ -10,17 +10,29 @@
 //! deltas, and a clean `quit` writes a snapshot (a kill does not — the
 //! journal covers it).
 //!
+//! Replication (both need `--data-dir`):
+//!
+//! - `--repl-bind ADDR` makes this node a shipping **leader**: its WAL
+//!   streams to any follower that subscribes on ADDR.
+//! - `--follow ADDR` makes it a read-only **follower** of the leader's
+//!   replication address: writes answer `403` (naming the leader when
+//!   `--leader-http` is given), reads serve the replicated store, and
+//!   `POST /admin/promote` fails it over to leader.
+//!
 //! ```text
 //! annoda-serve [--addr HOST:PORT] [--loci N] [--seed N]
 //!              [--shards N] [--workers N] [--queue N]
 //!              [--data-dir DIR] [--fsync always|batched:N|onsnapshot]
+//!              [--repl-bind HOST:PORT]
+//!              [--follow HOST:PORT] [--leader-http HOST:PORT]
 //! ```
 
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use annoda::{Annoda, DurableSystem, FsyncPolicy};
+use annoda::{Annoda, DurableSystem, FsyncPolicy, Role};
+use annoda_replica::{LeaderConfig, LeaderServer, ReplicaClient, ReplicaConfig};
 use annoda_serve::{ServeConfig, Server};
 use annoda_sources::{Corpus, CorpusConfig};
 
@@ -33,6 +45,9 @@ fn main() -> ExitCode {
     let mut queue = 64usize;
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Batched(64);
+    let mut repl_bind: Option<String> = None;
+    let mut follow: Option<String> = None;
+    let mut leader_http: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -81,11 +96,25 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--repl-bind" => match take("--repl-bind") {
+                Some(v) => repl_bind = Some(v),
+                None => return ExitCode::FAILURE,
+            },
+            "--follow" => match take("--follow") {
+                Some(v) => follow = Some(v),
+                None => return ExitCode::FAILURE,
+            },
+            "--leader-http" => match take("--leader-http") {
+                Some(v) => leader_http = Some(v),
+                None => return ExitCode::FAILURE,
+            },
             "--help" | "-h" => {
                 println!(
                     "annoda-serve [--addr HOST:PORT] [--loci N] [--seed N] \
                      [--shards N] [--workers N] [--queue N] [--data-dir DIR] \
-                     [--fsync always|batched:N|onsnapshot]"
+                     [--fsync always|batched:N|onsnapshot] \
+                     [--repl-bind HOST:PORT] [--follow HOST:PORT] \
+                     [--leader-http HOST:PORT]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -94,6 +123,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if (repl_bind.is_some() || follow.is_some()) && data_dir.is_none() {
+        eprintln!("error: --repl-bind / --follow need --data-dir (the WAL is the stream)");
+        return ExitCode::FAILURE;
+    }
+    if repl_bind.is_some() && follow.is_some() {
+        eprintln!("error: --repl-bind and --follow are mutually exclusive");
+        return ExitCode::FAILURE;
     }
 
     eprintln!("generating corpus ({loci} loci, seed {seed})...");
@@ -116,13 +153,19 @@ fn main() -> ExitCode {
     let durable = match &data_dir {
         Some(dir) => {
             let dir = std::path::PathBuf::from(dir);
-            match DurableSystem::open(system, &dir, fsync) {
+            let opened = if follow.is_some() {
+                DurableSystem::open_follower(system, &dir, fsync)
+            } else {
+                DurableSystem::open(system, &dir, fsync)
+            };
+            match opened {
                 Ok(d) => {
                     let r = d.recovery().copied().unwrap_or_default();
                     eprintln!(
-                        "data dir {}: generation {}, snapshot {} ({} objects), \
+                        "data dir {} ({}): generation {}, snapshot {} ({} objects), \
                          replayed {} journal records, truncated {} bytes",
                         dir.display(),
+                        d.role(),
                         r.generation,
                         if r.snapshot_loaded {
                             "loaded"
@@ -143,6 +186,9 @@ fn main() -> ExitCode {
         }
         None => DurableSystem::new(system),
     };
+    if let Some(leader) = leader_http.as_deref().or(follow.as_deref()) {
+        durable.repl_handle().set_leader_addr(leader);
+    }
 
     let config = ServeConfig {
         addr,
@@ -159,6 +205,30 @@ fn main() -> ExitCode {
         }
     };
     let bound = server.addr();
+
+    let system_handle = std::sync::Arc::clone(&server.app().system);
+    let mut leader_server = match &repl_bind {
+        Some(bind) => match LeaderServer::spawn(
+            std::sync::Arc::clone(&system_handle),
+            bind,
+            LeaderConfig::default(),
+        ) {
+            Ok(s) => {
+                eprintln!("replication leader shipping the WAL on {}", s.addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind replication listener: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut replica_client = follow.as_deref().map(|leader| {
+        eprintln!("following leader WAL at {leader}");
+        ReplicaClient::spawn(system_handle, leader, ReplicaConfig::default())
+    });
+
     println!("annoda-serve listening on http://{bound}");
     println!("routes:");
     println!("  GET  /genes?organism=...&function=require:...&combine=all");
@@ -169,6 +239,7 @@ fn main() -> ExitCode {
     println!("  GET  /metrics");
     println!("  POST /admin/refresh         (re-pull sources, journal the delta)");
     println!("  POST /admin/snapshot        (snapshot + journal truncation)");
+    println!("  POST /admin/promote         (failover: follower becomes leader)");
     println!("send `quit` (or EOF) on stdin for graceful shutdown");
 
     let stdin = std::io::stdin();
@@ -181,9 +252,16 @@ fn main() -> ExitCode {
     }
 
     eprintln!("shutting down (draining in-flight requests)...");
-    if data_dir.is_some() {
+    if let Some(client) = replica_client.as_mut() {
+        client.shutdown();
+    }
+    if let Some(leader) = leader_server.as_mut() {
+        leader.shutdown();
+    }
+    if data_dir.is_some() && server.app().system().role() == Role::Leader {
         // Clean shutdown compacts into a snapshot; an unclean one (kill)
-        // leaves the journal, which recovery replays.
+        // leaves the journal, which recovery replays. A follower never
+        // snapshots — its WAL must stay a byte-identical leader prefix.
         match server.app().system_mut().snapshot() {
             Ok(Some(meta)) => eprintln!(
                 "snapshot written: generation {}, {} objects, {} bytes",

@@ -45,7 +45,9 @@ pub mod shard;
 
 pub use cache::{etag_for, CacheGauges, CacheSnapshot, ResponseCache};
 pub use json::Json;
-pub use loadgen::{LoadMode, LoadgenConfig, LoadgenStats, StatusBreakdown};
+pub use loadgen::{
+    LoadMode, LoadgenConfig, LoadgenStats, MultiStats, StatusBreakdown, TargetSpec, TargetStats,
+};
 pub use metrics::{HttpGauges, Metrics, SnapshotGauges};
 pub use pool::{Pool, QueueGauge};
 pub use routes::{handle, negotiate, App, Format};

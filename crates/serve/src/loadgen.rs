@@ -159,32 +159,121 @@ pub struct LoadgenStats {
     pub elapsed: Duration,
 }
 
+/// One server to offer load to, with a share of the connections.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetSpec {
+    /// Where to connect.
+    pub addr: SocketAddr,
+    /// Relative share of the connections (equal weights = round-robin).
+    pub weight: f64,
+}
+
+/// What one target of a multi-target run saw.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetStats {
+    /// The target.
+    pub addr: SocketAddr,
+    /// Connections assigned to it.
+    pub connections: usize,
+    /// Its status breakdown.
+    pub statuses: StatusBreakdown,
+    /// Its answered requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+/// Aggregate plus per-target results of a multi-target run.
+#[derive(Debug, Clone)]
+pub struct MultiStats {
+    /// Everything merged, as if one server had answered.
+    pub aggregate: LoadgenStats,
+    /// The per-target view (same order as the target list) — a lagging
+    /// or shedding replica shows up here instead of being averaged
+    /// away.
+    pub per_target: Vec<TargetStats>,
+}
+
+/// Assigns `connections` workers across targets by smooth weighted
+/// round-robin — deterministic, and with equal weights it degenerates
+/// to plain round-robin.
+fn assign_targets(targets: &[TargetSpec], connections: usize) -> Vec<usize> {
+    let weights: Vec<f64> = targets.iter().map(|t| t.weight.max(0.0)).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return (0..connections).map(|i| i % targets.len().max(1)).collect();
+    }
+    let mut current = vec![0.0f64; targets.len()];
+    (0..connections)
+        .map(|_| {
+            for (c, w) in current.iter_mut().zip(&weights) {
+                *c += w;
+            }
+            // Strictly-greater keeps the earliest index on ties, so
+            // equal weights walk the target list in order.
+            let mut best = 0;
+            for (i, c) in current.iter().enumerate().skip(1) {
+                if *c > current[best] {
+                    best = i;
+                }
+            }
+            current[best] -= total;
+            best
+        })
+        .collect()
+}
+
 /// Runs the configured load against `addr` and aggregates latencies.
 pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenStats> {
+    run_multi(&[TargetSpec { addr, weight: 1.0 }], config).map(|m| m.aggregate)
+}
+
+/// Runs the configured load spread across several targets (e.g. a
+/// leader plus its read replicas), keeping a per-target status
+/// breakdown alongside the merged aggregate.
+pub fn run_multi(targets: &[TargetSpec], config: &LoadgenConfig) -> io::Result<MultiStats> {
+    if targets.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "at least one target is required",
+        ));
+    }
     let started = Instant::now();
-    let mut handles = Vec::with_capacity(config.connections);
-    for _ in 0..config.connections.max(1) {
+    let connections = config.connections.max(1);
+    let assignment = assign_targets(targets, connections);
+    let mut handles = Vec::with_capacity(connections);
+    for &target_index in &assignment {
+        let addr = targets[target_index].addr;
         let mix = RequestMix::from_config(config);
         let n = config.requests_per_conn;
         let mode = config.mode.clone();
-        let connections = config.connections.max(1);
-        handles.push(thread::spawn(move || match mode {
-            LoadMode::Closed => closed_worker(addr, mix, n),
-            LoadMode::Open { rate_rps, duration } => {
-                let per_conn_rate = (rate_rps / connections as f64).max(0.001);
-                open_worker(addr, mix, per_conn_rate, duration)
-            }
-        }));
+        handles.push((
+            target_index,
+            thread::spawn(move || match mode {
+                LoadMode::Closed => closed_worker(addr, mix, n),
+                LoadMode::Open { rate_rps, duration } => {
+                    let per_conn_rate = (rate_rps / connections as f64).max(0.001);
+                    open_worker(addr, mix, per_conn_rate, duration)
+                }
+            }),
+        ));
     }
     let mut latencies: Vec<u64> = Vec::new();
     let mut statuses = StatusBreakdown::default();
-    for handle in handles {
+    let mut per_target: Vec<(usize, StatusBreakdown)> = targets
+        .iter()
+        .map(|_| (0, StatusBreakdown::default()))
+        .collect();
+    for (target_index, handle) in handles {
+        per_target[target_index].0 += 1;
         match handle.join() {
             Ok((conn_statuses, mut conn_lat)) => {
                 statuses.merge(&conn_statuses);
+                per_target[target_index].1.merge(&conn_statuses);
                 latencies.append(&mut conn_lat);
             }
-            Err(_) => statuses.transport += config.requests_per_conn as u64,
+            Err(_) => {
+                statuses.transport += config.requests_per_conn as u64;
+                per_target[target_index].1.transport += config.requests_per_conn as u64;
+            }
         }
     }
     let elapsed = started.elapsed();
@@ -196,18 +285,37 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<LoadgenStats>
         let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
         latencies[idx.min(latencies.len() - 1)]
     };
-    Ok(LoadgenStats {
-        ok: statuses.ok,
-        errors: statuses.shed + statuses.client_error + statuses.server_error + statuses.transport,
-        statuses,
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
-        throughput_rps: if elapsed.as_secs_f64() > 0.0 {
-            statuses.answered() as f64 / elapsed.as_secs_f64()
+    let secs = elapsed.as_secs_f64();
+    let rps = |answered: u64| {
+        if secs > 0.0 {
+            answered as f64 / secs
         } else {
             0.0
+        }
+    };
+    Ok(MultiStats {
+        aggregate: LoadgenStats {
+            ok: statuses.ok,
+            errors: statuses.shed
+                + statuses.client_error
+                + statuses.server_error
+                + statuses.transport,
+            statuses,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            throughput_rps: rps(statuses.answered()),
+            elapsed,
         },
-        elapsed,
+        per_target: targets
+            .iter()
+            .zip(per_target)
+            .map(|(t, (conns, s))| TargetStats {
+                addr: t.addr,
+                connections: conns,
+                statuses: s,
+                throughput_rps: rps(s.answered()),
+            })
+            .collect(),
     })
 }
 
@@ -398,6 +506,30 @@ mod tests {
             .map(|_| again.next().starts_with(b"GET /search"))
             .collect();
         assert_eq!(picks, replay, "same config, same order");
+    }
+
+    #[test]
+    fn equal_weights_round_robin_and_weights_skew() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let even = [
+            TargetSpec { addr, weight: 1.0 },
+            TargetSpec { addr, weight: 1.0 },
+            TargetSpec { addr, weight: 1.0 },
+        ];
+        assert_eq!(assign_targets(&even, 6), vec![0, 1, 2, 0, 1, 2]);
+        let skewed = [
+            TargetSpec { addr, weight: 3.0 },
+            TargetSpec { addr, weight: 1.0 },
+        ];
+        let picks = assign_targets(&skewed, 8);
+        assert_eq!(picks.iter().filter(|&&t| t == 0).count(), 6, "{picks:?}");
+        assert_eq!(picks, assign_targets(&skewed, 8), "deterministic");
+        // Degenerate weights still cover every target.
+        let zeroed = [
+            TargetSpec { addr, weight: 0.0 },
+            TargetSpec { addr, weight: 0.0 },
+        ];
+        assert_eq!(assign_targets(&zeroed, 4), vec![0, 1, 0, 1]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use annoda::PersistStats;
+use annoda::{PersistStats, ReplStats};
 use annoda_federation::RemoteStatsSnapshot;
 use annoda_mediator::CacheStats;
 
@@ -204,6 +204,7 @@ impl Metrics {
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
         search: Option<SearchGauges>,
+        repl: Option<ReplStats>,
         federation: &[(String, RemoteStatsSnapshot)],
     ) -> String {
         use std::fmt::Write as _;
@@ -344,6 +345,52 @@ impl Metrics {
             let _ = writeln!(out, "annoda_search_queries_total {}", s.queries);
             let _ = writeln!(out, "annoda_search_zero_hits_total {}", s.zero_hits);
         }
+        if let Some(r) = repl {
+            // Role as a one-hot enum gauge, Prometheus style.
+            let _ = writeln!(
+                out,
+                "annoda_repl_role{{role=\"leader\"}} {}",
+                u8::from(!r.follower)
+            );
+            let _ = writeln!(
+                out,
+                "annoda_repl_role{{role=\"follower\"}} {}",
+                u8::from(r.follower)
+            );
+            let _ = writeln!(
+                out,
+                "annoda_repl_applied_generation {}",
+                r.applied_generation
+            );
+            let _ = writeln!(out, "annoda_repl_applied_offset {}", r.applied_offset);
+            let _ = writeln!(out, "annoda_repl_leader_offset {}", r.leader_offset);
+            let _ = writeln!(out, "annoda_repl_lag_bytes {}", r.lag_bytes);
+            let _ = writeln!(out, "annoda_repl_lag_records {}", r.lag_records);
+            let _ = writeln!(out, "annoda_repl_lag_us {}", r.lag_us);
+            let _ = writeln!(
+                out,
+                "annoda_repl_snapshot_xfer_bytes_total {}",
+                r.snapshot_xfer_bytes
+            );
+            let _ = writeln!(
+                out,
+                "annoda_repl_batches_applied_total {}",
+                r.batches_applied
+            );
+            let _ = writeln!(
+                out,
+                "annoda_repl_records_applied_total {}",
+                r.records_applied
+            );
+            let _ = writeln!(out, "annoda_repl_resubscribes_total {}", r.resubscribes);
+            let _ = writeln!(
+                out,
+                "annoda_repl_snapshot_xfers_sent_total {}",
+                r.snapshot_xfers_sent
+            );
+            let _ = writeln!(out, "annoda_repl_batches_sent_total {}", r.batches_sent);
+            let _ = writeln!(out, "annoda_repl_shipped_bytes_total {}", r.shipped_bytes);
+        }
         for (source, f) in federation {
             // Breaker state as a one-hot enum gauge, Prometheus style.
             for state in ["closed", "open", "half-open"] {
@@ -407,6 +454,7 @@ impl Metrics {
         persist: Option<PersistStats>,
         snapshot: Option<SnapshotGauges>,
         search: Option<SearchGauges>,
+        repl: Option<ReplStats>,
         federation: &[(String, RemoteStatsSnapshot)],
     ) -> Json {
         let routes = ROUTES
@@ -525,6 +573,34 @@ impl Metrics {
             ]),
             None => Json::Null,
         };
+        let repl_json = match repl {
+            Some(r) => Json::obj([
+                (
+                    "role",
+                    Json::str(if r.follower { "follower" } else { "leader" }),
+                ),
+                ("applied_generation", Json::Int(r.applied_generation as i64)),
+                ("applied_offset", Json::Int(r.applied_offset as i64)),
+                ("leader_offset", Json::Int(r.leader_offset as i64)),
+                ("lag_bytes", Json::Int(r.lag_bytes as i64)),
+                ("lag_records", Json::Int(r.lag_records as i64)),
+                ("lag_us", Json::Int(r.lag_us as i64)),
+                (
+                    "snapshot_xfer_bytes",
+                    Json::Int(r.snapshot_xfer_bytes as i64),
+                ),
+                ("batches_applied", Json::Int(r.batches_applied as i64)),
+                ("records_applied", Json::Int(r.records_applied as i64)),
+                ("resubscribes", Json::Int(r.resubscribes as i64)),
+                (
+                    "snapshot_xfers_sent",
+                    Json::Int(r.snapshot_xfers_sent as i64),
+                ),
+                ("batches_sent", Json::Int(r.batches_sent as i64)),
+                ("shipped_bytes", Json::Int(r.shipped_bytes as i64)),
+            ]),
+            None => Json::Null,
+        };
         let federation_json = Json::Obj(
             federation
                 .iter()
@@ -563,6 +639,7 @@ impl Metrics {
             ("persist", persist_json),
             ("snapshot", snapshot_json),
             ("search", search_json),
+            ("replication", repl_json),
             ("federation", federation_json),
         ])
     }
@@ -661,6 +738,22 @@ mod tests {
                 queries: 17,
                 zero_hits: 2,
             }),
+            Some(ReplStats {
+                follower: true,
+                applied_generation: 3,
+                applied_offset: 1_213,
+                leader_offset: 1_500,
+                lag_bytes: 287,
+                lag_records: 4,
+                lag_us: 950,
+                snapshot_xfer_bytes: 4_096,
+                batches_applied: 8,
+                records_applied: 40,
+                resubscribes: 1,
+                snapshot_xfers_sent: 0,
+                batches_sent: 0,
+                shipped_bytes: 0,
+            }),
             &[(
                 "OMIM".to_string(),
                 RemoteStatsSnapshot {
@@ -734,6 +827,18 @@ mod tests {
         assert!(text.contains("annoda_search_index_epoch 4"));
         assert!(text.contains("annoda_search_queries_total 17"));
         assert!(text.contains("annoda_search_zero_hits_total 2"));
+        assert!(text.contains("annoda_repl_role{role=\"follower\"} 1"));
+        assert!(text.contains("annoda_repl_role{role=\"leader\"} 0"));
+        assert!(text.contains("annoda_repl_applied_generation 3"));
+        assert!(text.contains("annoda_repl_applied_offset 1213"));
+        assert!(text.contains("annoda_repl_leader_offset 1500"));
+        assert!(text.contains("annoda_repl_lag_bytes 287"));
+        assert!(text.contains("annoda_repl_lag_records 4"));
+        assert!(text.contains("annoda_repl_lag_us 950"));
+        assert!(text.contains("annoda_repl_snapshot_xfer_bytes_total 4096"));
+        assert!(text.contains("annoda_repl_batches_applied_total 8"));
+        assert!(text.contains("annoda_repl_records_applied_total 40"));
+        assert!(text.contains("annoda_repl_resubscribes_total 1"));
         assert!(
             text.contains("annoda_federation_breaker_state{source=\"OMIM\",state=\"open\"} 1"),
             "{text}"
@@ -749,7 +854,7 @@ mod tests {
         assert!(text.contains("annoda_federation_last_wall_us{source=\"OMIM\"} 700"));
 
         let json = m
-            .render_json(&gauge, http, None, None, None, None, &[])
+            .render_json(&gauge, http, None, None, None, None, None, &[])
             .to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
@@ -759,6 +864,7 @@ mod tests {
         assert!(json.contains("\"persist\":null"));
         assert!(json.contains("\"snapshot\":null"));
         assert!(json.contains("\"search\":null"));
+        assert!(json.contains("\"replication\":null"));
         assert!(json.contains("\"federation\":{}"));
         assert!(json.contains("\"generation\":9"), "{json}");
         assert!(json.contains("\"not_modified\":2"), "{json}");
@@ -769,6 +875,7 @@ mod tests {
             .render_json(
                 &gauge,
                 HttpGauges::default(),
+                None,
                 None,
                 None,
                 None,

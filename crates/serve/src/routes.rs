@@ -16,8 +16,8 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use annoda::{
-    parse_question_pairs, render_integrated_view, render_object_view, DurableSystem,
-    FusionStrategy, NavigateError, ObjectView,
+    parse_question_pairs, render_integrated_view, render_object_view, AnnodaError, DurableSystem,
+    FusionStrategy, NavigateError, ObjectView, Role,
 };
 use annoda_mediator::fusion::IntegratedGene;
 use annoda_mediator::WebLink;
@@ -108,11 +108,12 @@ pub fn handle(app: &App, req: &Request) -> Response {
         ("GET", "/metrics") => metrics(app, format),
         ("POST", "/admin/refresh") => admin_refresh(app, format),
         ("POST", "/admin/snapshot") => admin_snapshot(app, format),
+        ("POST", "/admin/promote") => admin_promote(app, format),
         ("GET", path) if path.starts_with("/object/") => object(app, path, format),
         (_, "/genes" | "/lorel" | "/search" | "/healthz" | "/metrics") => {
             method_not_allowed(format)
         }
-        (_, "/admin/refresh" | "/admin/snapshot") => method_not_allowed(format),
+        (_, "/admin/refresh" | "/admin/snapshot" | "/admin/promote") => method_not_allowed(format),
         (_, path) if path.starts_with("/object/") => method_not_allowed(format),
         _ => error(404, format, format!("no route for {}", req.path)),
     }
@@ -130,10 +131,109 @@ fn error(status: u16, format: Format, message: String) -> Response {
     }
 }
 
+/// Query parameters consumed by the read-your-writes gate (stripped
+/// before route-specific parameter handling).
+pub const GATE_PARAMS: [&str; 2] = ["min_generation", "min_offset"];
+
+/// How long a gated read stalls for the replica to catch up before
+/// answering `412 Precondition Failed`.
+const GATE_STALL: std::time::Duration = std::time::Duration::from_millis(750);
+
+/// Read-your-writes: a client that wrote through the leader and
+/// learned its `(generation, wal_offset)` position (from the write
+/// response's `/healthz`) can pin a read to at least that position with
+/// `?min_generation=G&min_offset=O`. The handler stalls briefly while
+/// the node catches up; if it does not, `412` tells the client to retry
+/// (or read the leader), which is strictly better than silently
+/// serving stale data.
+fn replication_gate(app: &App, pairs: &[(String, String)], format: Format) -> Result<(), Response> {
+    let mut min_generation = None;
+    let mut min_offset = 0u64;
+    for (key, value) in pairs {
+        let slot = match key.as_str() {
+            "min_generation" => &mut min_generation,
+            "min_offset" => {
+                match value.parse::<u64>() {
+                    Ok(v) => min_offset = v,
+                    Err(_) => {
+                        return Err(error(
+                            400,
+                            format,
+                            format!("min_offset must be a non-negative integer: {value}"),
+                        ))
+                    }
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        match value.parse::<u64>() {
+            Ok(v) => *slot = Some(v),
+            Err(_) => {
+                return Err(error(
+                    400,
+                    format,
+                    format!("min_generation must be a non-negative integer: {value}"),
+                ))
+            }
+        }
+    }
+    let Some(min_generation) = min_generation else {
+        if min_offset > 0 {
+            return Err(error(
+                400,
+                format,
+                "min_offset needs min_generation".to_string(),
+            ));
+        }
+        return Ok(());
+    };
+
+    let deadline = Instant::now() + GATE_STALL;
+    loop {
+        let position = app.system().wal_position();
+        match position {
+            // Positions order lexicographically: promotion bumps the
+            // generation, so any later generation satisfies any offset
+            // of an earlier one.
+            Some((gen, off)) if (gen, off) >= (min_generation, min_offset) => return Ok(()),
+            Some((gen, off)) => {
+                if Instant::now() >= deadline {
+                    return Err(error(
+                        412,
+                        format,
+                        format!(
+                            "replica at generation {gen} offset {off}, \
+                             precondition needs generation {min_generation} \
+                             offset {min_offset}; retry or read the leader"
+                        ),
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            None => {
+                return Err(error(
+                    412,
+                    format,
+                    "this node has no durable position (started without --data-dir)".to_string(),
+                ))
+            }
+        }
+    }
+}
+
 /// `GET /genes` — Figure 5a: clause parameters build a [`GeneQuestion`].
 fn genes(app: &App, req: &Request, format: Format) -> Response {
     let pairs = req.query_pairs();
-    let question = match parse_question_pairs(pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))) {
+    if let Err(stale) = replication_gate(app, &pairs, format) {
+        return stale;
+    }
+    let question = match parse_question_pairs(
+        pairs
+            .iter()
+            .filter(|(k, _)| !GATE_PARAMS.contains(&k.as_str()))
+            .map(|(k, v)| (k.as_str(), v.as_str())),
+    ) {
         Ok(q) => q,
         Err(e) => return error(400, format, e),
     };
@@ -184,6 +284,9 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
 /// answer is materialised in a per-request overlay instead of a
 /// per-request store clone.
 fn lorel(app: &App, req: &Request, format: Format) -> Response {
+    if let Err(stale) = replication_gate(app, &req.query_pairs(), format) {
+        return stale;
+    }
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return error(400, format, "body is not UTF-8".to_string());
     };
@@ -263,11 +366,15 @@ fn lorel(app: &App, req: &Request, format: Format) -> Response {
 /// generation the same URL yields a byte-identical response.
 fn search(app: &App, req: &Request, format: Format) -> Response {
     let pairs = req.query_pairs();
+    if let Err(stale) = replication_gate(app, &pairs, format) {
+        return stale;
+    }
     let mut query = None;
     let mut k = 10usize;
     let mut strategy = FusionStrategy::Weighted;
     for (key, value) in &pairs {
         match key.as_str() {
+            key if GATE_PARAMS.contains(&key) => {} // consumed by the gate
             "q" => query = Some(value.clone()),
             "k" => match value.parse::<usize>() {
                 Ok(n) if n > 0 => k = n,
@@ -412,11 +519,21 @@ fn object(app: &App, path: &str, format: Format) -> Response {
 
 fn healthz(app: &App, format: Format) -> Response {
     let uptime = app.started.elapsed();
+    // The durable position doubles as the write token for
+    // read-your-writes: a client that writes, reads `/healthz` on the
+    // leader, and pins replica reads with `min_generation`/`min_offset`
+    // sees its own write everywhere.
+    let (role, generation, wal_offset) = {
+        let sys = app.system();
+        let (generation, wal_offset) = sys.wal_position().unwrap_or((0, 0));
+        (sys.role(), generation, wal_offset)
+    };
     match format {
         Format::Text => Response::text(
             200,
             format!(
-                "ok\nuptime_s: {}\nrequests: {}\n",
+                "ok\nuptime_s: {}\nrequests: {}\nrole: {role}\ngeneration: {generation}\n\
+                 wal_offset: {wal_offset}\n",
                 uptime.as_secs(),
                 app.metrics.requests_total()
             ),
@@ -427,19 +544,23 @@ fn healthz(app: &App, format: Format) -> Response {
                 ("status", Json::str("ok")),
                 ("uptime_s", Json::Int(uptime.as_secs() as i64)),
                 ("requests", Json::Int(app.metrics.requests_total() as i64)),
+                ("role", Json::str(role.to_string())),
+                ("generation", Json::Int(generation as i64)),
+                ("wal_offset", Json::Int(wal_offset as i64)),
             ]),
         ),
     }
 }
 
 fn metrics(app: &App, format: Format) -> Response {
-    let (cache, persist, snap, search_stats, federation) = {
+    let (cache, persist, snap, search_stats, repl, federation) = {
         let sys = app.system();
         (
             sys.annoda().mediator().cache_stats(),
             sys.persist_stats(),
             sys.snapshot_stats(),
             sys.search_stats(),
+            sys.repl_handle().stats(),
             sys.annoda().federation_stats(),
         )
     };
@@ -474,6 +595,7 @@ fn metrics(app: &App, format: Format) -> Response {
                 persist,
                 snapshot,
                 search,
+                Some(repl),
                 &federation,
             ),
         ),
@@ -486,6 +608,7 @@ fn metrics(app: &App, format: Format) -> Response {
                 persist,
                 snapshot,
                 search,
+                Some(repl),
                 &federation,
             ),
         ),
@@ -519,6 +642,49 @@ fn admin_refresh(app: &App, format: Format) -> Response {
                 ]),
             ),
         },
+        Err(e) => admin_error(e, format),
+    }
+}
+
+/// A failed admin mutation: `403` when the node is a read-only
+/// follower (the body names the leader so the client can redirect its
+/// write), `500` otherwise.
+fn admin_error(e: AnnodaError, format: Format) -> Response {
+    let status = match &e {
+        AnnodaError::Replication(_) => 403,
+        _ => 500,
+    };
+    error(status, format, e.to_string())
+}
+
+/// `POST /admin/promote` — failover: a follower seals its replicated
+/// WAL behind a snapshot, bumps the generation, and starts accepting
+/// writes. `409` on a node that is already the leader.
+fn admin_promote(app: &App, format: Format) -> Response {
+    {
+        let sys = app.system();
+        if sys.role() == Role::Leader {
+            return error(409, format, "this node is already the leader".to_string());
+        }
+    }
+    match app.system_mut().promote() {
+        Ok((generation, wal_offset)) => match format {
+            Format::Text => Response::text(
+                200,
+                format!("role: leader\ngeneration: {generation}\nwal_offset: {wal_offset}\n"),
+            ),
+            Format::Json => Response::json(
+                200,
+                &Json::obj([
+                    ("role", Json::str("leader")),
+                    ("generation", Json::Int(generation as i64)),
+                    ("wal_offset", Json::Int(wal_offset as i64)),
+                ]),
+            ),
+        },
+        // A concurrent promote can win the race between the role check
+        // above and the write lock.
+        Err(e @ AnnodaError::Replication(_)) => error(409, format, e.to_string()),
         Err(e) => error(500, format, e.to_string()),
     }
 }
@@ -549,7 +715,7 @@ fn admin_snapshot(app: &App, format: Format) -> Response {
             format,
             "persistence is disabled (start with --data-dir)".to_string(),
         ),
-        Err(e) => error(500, format, e.to_string()),
+        Err(e) => admin_error(e, format),
     }
 }
 

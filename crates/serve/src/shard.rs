@@ -347,10 +347,14 @@ impl Conn {
 }
 
 /// Whether a request may be served from / stored into the response
-/// cache: `GET` on the snapshot-derived read routes.
+/// cache: `GET` on the snapshot-derived read routes. Reads pinned to a
+/// replication position (`min_generation`) are answered against the
+/// WAL position, not the serving epoch the cache is keyed by, so they
+/// always take the slow path.
 fn cacheable(req: &Request) -> bool {
     req.method == "GET"
         && (req.path == "/genes" || req.path == "/search" || req.path.starts_with("/object/"))
+        && !req.query.contains("min_generation")
 }
 
 /// The cache identity of a request target (path plus raw query).

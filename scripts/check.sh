@@ -40,6 +40,19 @@ cargo run --release --offline -p annoda-bench --bin bench_report -- federation -
 echo "== ranked-search smoke (B13) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- search --smoke
 
+# The B14 smoke spins up a leader plus two WAL-shipping followers,
+# checks aggregate read throughput does not fall as serving nodes are
+# added, and fails if follower lag does not converge to zero after the
+# write load stops.
+echo "== replication smoke (B14) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- replication --smoke
+
+echo "== kill-the-leader failover e2e (leader + 2 followers over TCP) =="
+cargo test -q --offline --test replica_e2e
+
+echo "== replication resume/corruption properties =="
+cargo test -q --offline --test replica_props
+
 echo "== federation e2e (3 source-servers over TCP) =="
 cargo test -q --offline --test federation_e2e
 
