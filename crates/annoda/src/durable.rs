@@ -21,11 +21,12 @@
 //! "no `--data-dir` given".
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use annoda_lorel::{run_query_with, EvalWorkers, FunctionRegistry, PlanExplain, QueryOutcome};
 use annoda_mediator::{Mediator, MediatorError};
+use annoda_oem::shard::ShardRouter;
 use annoda_oem::{OemStore, Snapshot};
 use annoda_persist::{
     sync_root, DurableStore, FsyncPolicy, JournalRecord, PersistStats, RecoveryReport,
@@ -41,6 +42,7 @@ use parking_lot::RwLock;
 use crate::registry::PlugReport;
 use crate::repl::{ReplShared, Role};
 use crate::system::{Annoda, AnnodaError};
+use crate::txn::{CommitError, CommitOutcome, EpochsHandle, ShardGauges, ShardedGml, TxnStats};
 
 /// The name the mediator binds the materialised global model under —
 /// also the root name the journal tracks.
@@ -89,6 +91,13 @@ pub struct GmlSnapshot {
     /// both), so `/search` and `/genes` can never observe different
     /// epochs within one generation.
     pub search: Arc<SearchIndex>,
+    /// Sharded mode only: the per-shard epoch vector this snapshot was
+    /// assembled from. The serve tier stamps cache entries with sums
+    /// over this vector for selective invalidation.
+    pub shard_epochs: Option<Arc<Vec<u64>>>,
+    /// Sharded mode only: the key router, so response handlers can map
+    /// entity keys to the shards they depend on.
+    pub shard_router: Option<ShardRouter>,
 }
 
 /// A point-in-time view of the current snapshot, for `/metrics`.
@@ -143,6 +152,20 @@ pub struct DurableSystem {
     /// Whether the local WAL position is a trusted replication resume
     /// point (follower opened over a marked or fresh directory).
     follower_resume: bool,
+    /// Sharded mode: the transactional shard vector. When set, the
+    /// flat `durable` store is unused (per-shard WAL segments persist
+    /// instead) and refreshes commit per-shard instead of wholesale.
+    sharded: Option<Arc<ShardedGml>>,
+    /// Sharded mode: set when a wholesale invalidation (plug, unplug,
+    /// façade mutation) may have changed the materialised GML; the next
+    /// snapshot build reconciles it through a transaction so only the
+    /// truly-changed shards bump.
+    sharded_dirty: AtomicBool,
+    /// In-memory search-index reuse: `(corpus fingerprint, index)` of
+    /// the last build. A shard commit that did not change any harvested
+    /// text republishes the same index instead of rebuilding — the
+    /// search half of selective invalidation.
+    search_memo: RwLock<Option<(u32, Arc<SearchIndex>)>>,
 }
 
 impl DurableSystem {
@@ -158,7 +181,42 @@ impl DurableSystem {
             generation: Arc::new(AtomicU64::new(1)),
             repl: Arc::new(ReplShared::new(Role::Leader)),
             follower_resume: false,
+            sharded: None,
+            sharded_dirty: AtomicBool::new(false),
+            search_memo: RwLock::new(None),
         }
+    }
+
+    /// Wraps a system over an in-memory **sharded** global model:
+    /// MVCC per-shard epochs and concurrent transactional writers, no
+    /// persistence. The GML is materialised once and partitioned.
+    pub fn new_sharded(system: Annoda, shards: usize) -> Result<Self, AnnodaError> {
+        let (gml, _cost) = system.mediator().materialize_gml()?;
+        let sharded = Arc::new(ShardedGml::new(&gml, GML_ROOT, shards)?);
+        let mut this = Self::new(system);
+        this.sharded = Some(sharded);
+        Ok(this)
+    }
+
+    /// Opens `dir` as a **sharded** durable store: per-shard WAL
+    /// segments and snapshot generations under `dir/shard-NNN/`. A warm
+    /// directory rebuilds the shard vector straight from the recovered
+    /// segments; a cold one materialises the GML once, partitions it,
+    /// and journals every shard.
+    pub fn open_sharded(
+        system: Annoda,
+        dir: &Path,
+        policy: FsyncPolicy,
+        shards: usize,
+    ) -> Result<Self, AnnodaError> {
+        let sharded = ShardedGml::open(dir, policy, shards, GML_ROOT, || {
+            let (gml, _cost) = system.mediator().materialize_gml()?;
+            Ok(gml)
+        })?;
+        let mut this = Self::new(system);
+        this.search_path = Some(dir.join("search.seg"));
+        this.sharded = Some(Arc::new(sharded));
+        Ok(this)
     }
 
     /// Opens `dir` (recovering whatever a previous process left) and
@@ -185,6 +243,9 @@ impl DurableSystem {
             generation: Arc::new(AtomicU64::new(1)),
             repl: Arc::new(ReplShared::new(Role::Leader)),
             follower_resume: false,
+            sharded: None,
+            sharded_dirty: AtomicBool::new(false),
+            search_memo: RwLock::new(None),
         };
         // Make the bootstrap durable regardless of policy: a cold open
         // under OnSnapshot would otherwise hold the whole GML in page
@@ -224,9 +285,10 @@ impl DurableSystem {
         Arc::clone(&self.generation)
     }
 
-    /// Whether a durable store backs this system.
+    /// Whether a durable store backs this system (flat WAL or per-shard
+    /// segments).
     pub fn is_durable(&self) -> bool {
-        self.durable.is_some()
+        self.durable.is_some() || self.sharded.as_ref().is_some_and(|s| s.is_durable())
     }
 
     /// The persisted GML store, when persistence is on and the root has
@@ -286,6 +348,9 @@ impl DurableSystem {
             generation: Arc::new(AtomicU64::new(1)),
             repl,
             follower_resume: resume,
+            sharded: None,
+            sharded_dirty: AtomicBool::new(false),
+            search_memo: RwLock::new(None),
         })
     }
 
@@ -516,6 +581,21 @@ impl DurableSystem {
     pub fn refresh(&mut self) -> Result<RefreshOutcome, AnnodaError> {
         self.require_leader("refresh")?;
         let refreshed_objects = self.system.registry_mut().mediator_mut().refresh_all();
+        if let Some(sharded) = &self.sharded {
+            // Transactional path: commit the re-materialised GML and
+            // bump only the shards it changed. No generation bump —
+            // shard epochs carry the invalidation.
+            let outcome = self.sharded_resync()?;
+            if !outcome.changed.is_empty() {
+                *self.snapshot.write() = None;
+            }
+            sharded.sync()?;
+            return Ok(RefreshOutcome {
+                refreshed_objects,
+                journaled_records: outcome.journaled,
+                persisted: sharded.is_durable(),
+            });
+        }
         self.invalidate_snapshot();
         let mut journaled_records = 0;
         if self.durable.is_some() {
@@ -534,10 +614,115 @@ impl DurableSystem {
 
     /// Drops the serving snapshot; the next query builds (and swaps in)
     /// a fresh epoch. Bumps the serving generation so epoch-keyed
-    /// response caches invalidate wholesale.
+    /// response caches invalidate wholesale. In sharded mode the next
+    /// snapshot build additionally reconciles the shard vector through
+    /// a transaction, so per-shard epochs advance only where the model
+    /// really changed.
     fn invalidate_snapshot(&self) {
         *self.snapshot.write() = None;
+        if self.sharded.is_some() {
+            self.sharded_dirty.store(true, Ordering::Release);
+        }
         self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    // -----------------------------------------------------------------
+    // sharded mode
+
+    /// The sharded transactional model, in sharded mode.
+    pub fn sharded_handle(&self) -> Option<Arc<ShardedGml>> {
+        self.sharded.as_ref().map(Arc::clone)
+    }
+
+    /// Whether this system serves a sharded store.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded.is_some()
+    }
+
+    /// Shared live epoch vector, for the serve tier's cache stamps.
+    pub fn shard_epochs_handle(&self) -> Option<EpochsHandle> {
+        self.sharded.as_ref().map(|s| s.epochs_handle())
+    }
+
+    /// Per-shard gauges for `/metrics`, in sharded mode.
+    pub fn shard_gauges(&self) -> Option<Vec<ShardGauges>> {
+        self.sharded.as_ref().map(|s| s.shard_gauges())
+    }
+
+    /// Transaction counters for `/metrics`, in sharded mode.
+    pub fn txn_stats(&self) -> Option<TxnStats> {
+        self.sharded.as_ref().map(|s| s.txn_stats())
+    }
+
+    /// Materialises the current GML and commits it through a
+    /// transaction, retrying on first-writer-wins conflicts (other
+    /// writers may hold direct [`ShardedGml`] handles). Only the shards
+    /// the new materialisation actually changed bump their epochs.
+    fn sharded_resync(&self) -> Result<CommitOutcome, AnnodaError> {
+        let sharded = self
+            .sharded
+            .as_ref()
+            .expect("sharded_resync requires sharded mode");
+        const RETRIES: usize = 16;
+        let mut last = None;
+        for _ in 0..RETRIES {
+            let (gml, _cost) = self.system.mediator().materialize_gml()?;
+            let mut txn = sharded.begin();
+            txn.stage(&gml)?;
+            match sharded.commit(txn) {
+                Ok(outcome) => return Ok(outcome),
+                Err(CommitError::Conflict { shards }) => {
+                    last = Some(shards);
+                    continue;
+                }
+                Err(CommitError::Annoda(e)) => return Err(e),
+            }
+        }
+        Err(AnnodaError::Txn(format!(
+            "resync lost {RETRIES} consecutive first-writer-wins races (last conflict on \
+             shards {last:?})"
+        )))
+    }
+
+    /// Re-pulls **one** source from its native database and commits the
+    /// delta transactionally. In sharded mode only the shards holding
+    /// that source's changed entities bump — every cached response that
+    /// does not depend on them stays valid. Without sharding this
+    /// degrades to a wholesale refresh of the one wrapper.
+    pub fn refresh_source(&mut self, name: &str) -> Result<RefreshOutcome, AnnodaError> {
+        self.require_leader("refresh")?;
+        let refreshed_objects = self
+            .system
+            .registry_mut()
+            .mediator_mut()
+            .refresh_source(name)
+            .ok_or_else(|| AnnodaError::Mediator(MediatorError::UnknownSource(name.to_string())))?;
+        if let Some(sharded) = &self.sharded {
+            let outcome = self.sharded_resync()?;
+            if !outcome.changed.is_empty() {
+                *self.snapshot.write() = None;
+            }
+            sharded.sync()?;
+            return Ok(RefreshOutcome {
+                refreshed_objects,
+                journaled_records: outcome.journaled,
+                persisted: sharded.is_durable(),
+            });
+        }
+        self.invalidate_snapshot();
+        let mut journaled_records = 0;
+        if self.durable.is_some() {
+            self.journal_event(SourceEventKind::Refresh, name)?;
+            journaled_records = 1 + self.resync()?;
+            if let Some(d) = self.durable.as_mut() {
+                d.sync()?;
+            }
+        }
+        Ok(RefreshOutcome {
+            refreshed_objects,
+            journaled_records,
+            persisted: self.durable.is_some(),
+        })
     }
 
     /// The current serving snapshot, building one if none is live.
@@ -549,6 +734,9 @@ impl DurableSystem {
     /// installed under a write lock. Evaluation never runs under this
     /// lock.
     pub fn query_snapshot(&self) -> Result<Arc<GmlSnapshot>, AnnodaError> {
+        if let Some(sharded) = self.sharded.as_ref() {
+            return self.query_snapshot_sharded(sharded);
+        }
         if let Some(s) = self.snapshot.read().as_ref() {
             return Ok(Arc::clone(s));
         }
@@ -563,7 +751,7 @@ impl DurableSystem {
                 (gml, cost)
             }
         };
-        let search = Arc::new(self.build_search_index());
+        let search = self.build_search_index();
         let mut guard = self.snapshot.write();
         if let Some(s) = guard.as_ref() {
             // A racing builder installed an epoch first; serve that one.
@@ -574,31 +762,88 @@ impl DurableSystem {
             store: Arc::new(store),
             build_cost,
             search,
+            shard_epochs: None,
+            shard_router: None,
+        });
+        *guard = Some(Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// Sharded snapshot path. The cached snapshot is keyed by the epoch
+    /// vector it was assembled from: a commit that bumped any shard
+    /// makes it stale, an untouched vector serves it as-is. The
+    /// assembly itself is shared with [`ShardedGml::assembled`]'s
+    /// per-vector cache, so the *only* per-commit cost is reassembling
+    /// — never a store copy per query.
+    fn query_snapshot_sharded(
+        &self,
+        sharded: &Arc<ShardedGml>,
+    ) -> Result<Arc<GmlSnapshot>, AnnodaError> {
+        // Wholesale invalidations (plug/unplug/façade mutation) must be
+        // reconciled into the shard vector before serving.
+        if self.sharded_dirty.swap(false, Ordering::AcqRel) {
+            self.sharded_resync()?;
+        }
+        let live = sharded.epoch_vector();
+        if let Some(s) = self.snapshot.read().as_ref() {
+            if s.shard_epochs.as_deref() == Some(live.as_ref()) {
+                return Ok(Arc::clone(s));
+            }
+        }
+        let (vector, store) = sharded.assembled();
+        let mut build_cost = Cost::new();
+        build_cost.charge(&LatencyModel::local(), store.len() as u64);
+        let search = self.build_search_index();
+        let mut guard = self.snapshot.write();
+        if let Some(s) = guard.as_ref() {
+            if s.shard_epochs.as_deref() == Some(&vector) {
+                return Ok(Arc::clone(s));
+            }
+        }
+        let snap = Arc::new(GmlSnapshot {
+            epoch: self.epochs.fetch_add(1, Ordering::Relaxed) + 1,
+            store,
+            build_cost,
+            search,
+            shard_epochs: Some(Arc::new(vector)),
+            shard_router: Some(sharded.router()),
         });
         *guard = Some(Arc::clone(&snap));
         Ok(snap)
     }
 
     /// The epoch's search index: harvest the wrappers' text documents,
-    /// then either adopt the persisted segments (when their corpus
-    /// fingerprint matches what was just harvested — crc-framed, any
-    /// torn/corrupt/stale file is silently discarded) or build from
+    /// then — in fingerprint order — reuse the previous epoch's index
+    /// when the harvested corpus is unchanged (selective invalidation:
+    /// a shard commit that touched no searchable text republishes the
+    /// same `Arc`), adopt the persisted segments (crc-framed, any
+    /// torn/corrupt/stale file is silently discarded), or build from
     /// scratch and re-persist. Segments are a pure cache: losing one
     /// costs a rebuild, never a wrong answer.
-    fn build_search_index(&self) -> SearchIndex {
+    fn build_search_index(&self) -> Arc<SearchIndex> {
         let docs = self.system.mediator().harvest_text_docs();
         let fingerprint = docs_fingerprint(&docs);
-        if let Some(path) = &self.search_path {
-            if let Some(index) = load_segments(path, fingerprint) {
-                return index;
+        if let Some((fp, index)) = self.search_memo.read().as_ref() {
+            if *fp == fingerprint {
+                return Arc::clone(index);
             }
         }
-        let index = SearchIndex::build(&docs);
-        if let Some(path) = &self.search_path {
-            // Best effort — the segment file is a startup accelerator,
-            // not a durability obligation.
-            let _ = save_segments(path, &index);
-        }
+        let index = if let Some(index) = self
+            .search_path
+            .as_ref()
+            .and_then(|path| load_segments(path, fingerprint))
+        {
+            Arc::new(index)
+        } else {
+            let index = SearchIndex::build(&docs);
+            if let Some(path) = &self.search_path {
+                // Best effort — the segment file is a startup
+                // accelerator, not a durability obligation.
+                let _ = save_segments(path, &index);
+            }
+            Arc::new(index)
+        };
+        *self.search_memo.write() = Some((fingerprint, Arc::clone(&index)));
         index
     }
 
@@ -1064,6 +1309,108 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&leader_dir);
         let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    /// Rewrites one locus description in the live LocusLink native DB
+    /// (the same mutation the freshness experiment applies).
+    fn mutate_locus(sys: &mut DurableSystem, locus_id: u32, desc: &str) {
+        let w = sys
+            .annoda_mut()
+            .registry_mut()
+            .mediator_mut()
+            .wrapper_mut("LocusLink")
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<annoda_wrap::LocusLinkWrapper>()
+            .unwrap();
+        w.db_mut().by_id_mut(locus_id).unwrap().description = desc.to_string();
+    }
+
+    #[test]
+    fn sharded_mode_answers_identically_to_flat() {
+        let sharded = DurableSystem::new_sharded(system(), 4).unwrap();
+        assert!(sharded.is_sharded());
+        let flat = DurableSystem::new(system());
+        let q = "select count(GML.Gene) from ANNODA-GML GML";
+        assert_eq!(
+            sharded.lorel_shared(q).unwrap().outcome.rows,
+            flat.lorel_shared(q).unwrap().outcome.rows
+        );
+        // Search answers over the assembled model too.
+        let term = live_term(&sharded);
+        assert_eq!(
+            sharded
+                .search_shared(&term, 5, FusionStrategy::Weighted)
+                .unwrap()
+                .len(),
+            flat.search_shared(&term, 5, FusionStrategy::Weighted)
+                .unwrap()
+                .len()
+        );
+    }
+
+    #[test]
+    fn sharded_refresh_source_bumps_only_touched_shards() {
+        let mut sys = DurableSystem::new_sharded(system(), 4).unwrap();
+        let handle = sys.sharded_handle().unwrap();
+        let _ = sys.query_snapshot().unwrap();
+        let g0 = sys.generation();
+        let e0 = handle.epoch_vector();
+
+        // A refresh with an unchanged native DB commits nothing.
+        let out = sys.refresh_source("LocusLink").unwrap();
+        assert_eq!(out.journaled_records, 0);
+        assert_eq!(*handle.epoch_vector(), *e0, "no-op refresh bumps nothing");
+        assert_eq!(sys.generation(), g0, "sharded refresh keeps the generation");
+
+        // Mutate one locus; only the shards its entities live on bump.
+        mutate_locus(&mut sys, 1000, "sharded-refresh rewrites this locus");
+        let g_after_mut = sys.generation();
+        sys.refresh_source("LocusLink").unwrap();
+        let e1 = handle.epoch_vector();
+        let bumped: Vec<usize> = (0..4).filter(|&i| e1[i] != e0[i]).collect();
+        assert!(!bumped.is_empty(), "a real change must bump something");
+        assert!(
+            bumped.len() < 4,
+            "a one-locus change must not bump every shard (bumped {bumped:?})"
+        );
+        assert_eq!(
+            sys.generation(),
+            g_after_mut,
+            "selective commit leaves the generation alone"
+        );
+        // The new description is served.
+        let snap = sys.query_snapshot().unwrap();
+        assert_eq!(snap.shard_epochs.as_deref(), Some(e1.as_ref()));
+        let stats = sys.txn_stats().unwrap();
+        assert!(stats.commits >= 1);
+        assert_eq!(stats.conflicts, 0);
+        let gauges = sys.shard_gauges().unwrap();
+        assert_eq!(gauges.len(), 4);
+        assert!(gauges.iter().all(|g| g.objects > 0 && g.epoch >= 1));
+
+        // Unknown sources are refused.
+        assert!(sys.refresh_source("NOPE").is_err());
+    }
+
+    #[test]
+    fn sharded_durable_roundtrip_serves_after_restart() {
+        let dir = tmp_dir("sharded-durable");
+        let q = "select count(GML.Gene) from ANNODA-GML GML";
+        let rows = {
+            let mut sys =
+                DurableSystem::open_sharded(system(), &dir, FsyncPolicy::Always, 3).unwrap();
+            assert!(sys.is_durable());
+            mutate_locus(&mut sys, 1001, "durable sharded mutation");
+            sys.refresh_source("LocusLink").unwrap();
+            sys.lorel_shared(q).unwrap().outcome.rows
+        };
+        // Warm restart adopts the manifest shard count and recovered
+        // per-shard segments.
+        let warm = DurableSystem::open_sharded(system(), &dir, FsyncPolicy::Always, 0).unwrap();
+        assert_eq!(warm.sharded_handle().unwrap().shard_count(), 3);
+        assert_eq!(warm.lorel_shared(q).unwrap().outcome.rows, rows);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod render;
 pub mod reorganize;
 pub mod repl;
 pub mod system;
+pub mod txn;
 
 pub use durable::{
     DurableSystem, GmlSnapshot, LorelServed, RefreshOutcome, SnapshotInfo, GML_ROOT,
@@ -52,6 +53,9 @@ pub use reorganize::{
 };
 pub use repl::{ReplShared, ReplStats, Role};
 pub use system::{Annoda, AnnodaError};
+pub use txn::{
+    CommitError, CommitOutcome, EpochsHandle, ShardGauges, ShardTxn, ShardedGml, TxnStats,
+};
 
 // Re-exported so the serving and bench layers can speak persistence
 // without depending on `annoda-persist` directly.

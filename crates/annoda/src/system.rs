@@ -31,6 +31,9 @@ pub enum AnnodaError {
     /// follower-only transition on a leader, or a batch that does not
     /// extend the applied position.
     Replication(String),
+    /// A sharded-store transaction could not commit (e.g. first-writer-
+    /// wins conflicts exhausted the retry budget).
+    Txn(String),
 }
 
 impl fmt::Display for AnnodaError {
@@ -40,6 +43,7 @@ impl fmt::Display for AnnodaError {
             AnnodaError::Persist(e) => write!(f, "{e}"),
             AnnodaError::Federation(e) => write!(f, "{e}"),
             AnnodaError::Replication(what) => write!(f, "replication: {what}"),
+            AnnodaError::Txn(what) => write!(f, "transaction: {what}"),
         }
     }
 }

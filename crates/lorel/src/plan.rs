@@ -46,6 +46,16 @@ const DEPENDENT_FANOUT_ESTIMATE: usize = 8;
 /// stay sequential — thread spawn overhead dwarfs the binding work.
 const PARALLEL_MIN_CANDIDATES: usize = 32;
 
+/// Under [`EvalWorkers::Auto`], a **join** plan (more than one range
+/// variable) adds a worker only per this many outer candidates. Each
+/// worker re-enumerates the inner relations into its own private memo,
+/// so splitting a join across workers multiplies that enumeration by
+/// the worker count; B10's `worker_sweep` measured join p50 *regressing*
+/// 1728µs→2306µs going 1→2 workers at 1k loci (and still losing at
+/// 10k). Only outer sets big enough to amortise the duplicated memo per
+/// chunk can win.
+const PARALLEL_MIN_JOIN_CHUNK: usize = 16_384;
+
 /// Worker policy for the outermost from-clause binding loop.
 ///
 /// The outer loop partitions the first bound variable's candidates into
@@ -67,15 +77,27 @@ pub enum EvalWorkers {
 
 impl EvalWorkers {
     /// Effective worker count for an outer loop over `candidates`.
-    fn resolve(self, candidates: usize) -> usize {
+    /// `join` marks plans with more than one range variable, whose
+    /// workers each pay a private inner-relation memo — under `Auto`
+    /// those stay sequential until the per-worker chunk clears
+    /// [`PARALLEL_MIN_JOIN_CHUNK`]. `Fixed` is honoured as given (the
+    /// worker-sweep bench pins it to measure exactly this trade).
+    fn resolve(self, candidates: usize, join: bool) -> usize {
         let want = match self {
             EvalWorkers::Fixed(n) => n.max(1),
             EvalWorkers::Auto if candidates < PARALLEL_MIN_CANDIDATES => 1,
-            EvalWorkers::Auto => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            EvalWorkers::Auto => {
+                let hw = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                if join {
+                    hw.min(candidates / PARALLEL_MIN_JOIN_CHUNK)
+                } else {
+                    hw
+                }
+            }
         };
-        want.min(candidates.max(1))
+        want.min(candidates.max(1)).max(1)
     }
 }
 
@@ -479,7 +501,7 @@ impl Plan<'_> {
         // The depth-0 item is always root-anchored (the greedy order only
         // picks ready items), so its candidates need no environment.
         let top = self.candidates_for(store, query, self.order[0], &[], &mut memo)?;
-        let n_workers = workers.resolve(top.len());
+        let n_workers = workers.resolve(top.len(), self.order.len() > 1);
         explain.workers_used = n_workers;
 
         if n_workers <= 1 {
@@ -717,5 +739,75 @@ impl Plan<'_> {
             .collect();
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         *rows = keyed.into_iter().map(|(_, row)| row).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_rows_workers_with;
+    use crate::parse;
+
+    #[test]
+    fn auto_resolve_keeps_joins_sequential_below_the_chunk_floor() {
+        // Single-binding loops parallelise once past the candidate floor.
+        assert_eq!(
+            EvalWorkers::Auto.resolve(PARALLEL_MIN_CANDIDATES - 1, false),
+            1
+        );
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(EvalWorkers::Auto.resolve(10_000, false), hw.min(10_000));
+        // Joins duplicate the per-worker memo: sequential until the
+        // per-worker chunk clears PARALLEL_MIN_JOIN_CHUNK.
+        assert_eq!(EvalWorkers::Auto.resolve(1_000, true), 1);
+        assert_eq!(EvalWorkers::Auto.resolve(10_000, true), 1);
+        assert_eq!(
+            EvalWorkers::Auto.resolve(2 * PARALLEL_MIN_JOIN_CHUNK, true),
+            hw.min(2)
+        );
+        // Fixed is honoured regardless (the worker-sweep bench pins it).
+        assert_eq!(EvalWorkers::Fixed(2).resolve(1_000, true), 2);
+        assert_eq!(EvalWorkers::Fixed(0).resolve(1_000, true), 1);
+    }
+
+    #[test]
+    fn auto_join_runs_sequential_and_matches_fixed_output() {
+        // A medium store: 200 genes sharing 8 function ids — enough
+        // outer candidates to clear PARALLEL_MIN_CANDIDATES, far below
+        // the join chunk floor. The B10 regression shape in miniature.
+        let mut store = OemStore::new();
+        let root = store.new_complex();
+        store.set_name("R", root).unwrap();
+        for i in 0..200 {
+            let g = store.add_complex_child(root, "Gene").unwrap();
+            store
+                .add_atomic_child(g, "Symbol", format!("G{i}"))
+                .unwrap();
+            store
+                .add_atomic_child(g, "FunctionID", format!("GO:{}", i % 8))
+                .unwrap();
+            let f = store.add_complex_child(root, "Function").unwrap();
+            store
+                .add_atomic_child(f, "FunctionID", format!("GO:{}", i % 8))
+                .unwrap();
+        }
+        let q = parse(
+            "select G.Symbol from R.Gene G, R.Function F \
+             where G.FunctionID = F.FunctionID",
+        )
+        .unwrap();
+        let functions = FunctionRegistry::default();
+        let (auto_rows, auto_explain) =
+            eval_rows_workers_with(&store, &q, &functions, EvalWorkers::Auto).unwrap();
+        assert_eq!(
+            auto_explain.workers_used, 1,
+            "a medium join under Auto must not pay the scatter/join tax"
+        );
+        let (fixed_rows, fixed_explain) =
+            eval_rows_workers_with(&store, &q, &functions, EvalWorkers::Fixed(2)).unwrap();
+        assert_eq!(fixed_explain.workers_used, 2);
+        assert_eq!(auto_rows, fixed_rows, "worker policy never changes rows");
     }
 }

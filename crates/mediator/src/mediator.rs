@@ -435,6 +435,18 @@ impl Mediator {
         self.wrappers.iter_mut().map(|w| w.refresh()).sum()
     }
 
+    /// Re-exports one source's OML from its native database, returning
+    /// the refreshed model's object count — `None` when no such source
+    /// is registered. The subquery cache invalidates like any other
+    /// registration/refresh lifecycle event; with the sharded store the
+    /// downstream commit touches only the shards this source's entities
+    /// actually changed.
+    pub fn refresh_source(&mut self, name: &str) -> Option<usize> {
+        let pos = self.wrappers.iter().position(|w| w.name() == name)?;
+        self.invalidate_cache();
+        Some(self.wrappers[pos].refresh())
+    }
+
     /// Harvests every wrapper's free-text documents — the ranked-search
     /// index input. Sources without indexable text are omitted.
     pub fn harvest_text_docs(&self) -> Vec<(String, Vec<TextDoc>)> {

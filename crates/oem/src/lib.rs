@@ -37,6 +37,7 @@ pub mod object;
 pub mod oid;
 pub mod overlay;
 pub mod path;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod text;
@@ -51,6 +52,7 @@ pub use object::{Edge, Object, ObjectKind};
 pub use oid::Oid;
 pub use overlay::{AnswerOverlay, OemRead, Snapshot};
 pub use path::{PathExpr, PathStep};
+pub use shard::{fragment_key, mask_stamp, shard_mask, ShardRouter, ShardedStore, MAX_SHARDS};
 pub use stats::AttributeStats;
 pub use store::{store_clone_count, OemStore};
 pub use value::{AtomicType, AtomicValue, OemType};

@@ -31,6 +31,7 @@ pub mod delta;
 pub mod durable;
 pub mod error;
 pub mod record;
+pub mod sharded;
 pub mod snapshot;
 pub mod wal;
 
@@ -42,5 +43,6 @@ pub use delta::{delta_records, sync_root};
 pub use durable::{DurableStore, PersistStats, RecoveryReport};
 pub use error::PersistError;
 pub use record::{apply, JournalRecord, SourceEventKind};
+pub use sharded::{ShardedDurableStore, SHARDS_META};
 pub use snapshot::SnapshotMeta;
 pub use wal::{crc32, read_tail, FsyncPolicy, TailRead, WAL_HEADER_LEN};

@@ -19,9 +19,15 @@
 //!   `--leader-http` is given), reads serve the replicated store, and
 //!   `POST /admin/promote` fails it over to leader.
 //!
+//! With `--store-shards N` the materialised store is split into N
+//! hash-routed shards with per-shard MVCC epochs: refreshes commit as
+//! shard transactions, readers pin consistent epoch vectors, and the
+//! HTTP cache invalidates only the shards a refresh actually touched.
+//!
 //! ```text
 //! annoda-serve [--addr HOST:PORT] [--loci N] [--seed N]
 //!              [--shards N] [--workers N] [--queue N]
+//!              [--store-shards N]
 //!              [--data-dir DIR] [--fsync always|batched:N|onsnapshot]
 //!              [--repl-bind HOST:PORT]
 //!              [--follow HOST:PORT] [--leader-http HOST:PORT]
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
     let mut shards = 2usize;
     let mut workers = 4usize;
     let mut queue = 64usize;
+    let mut store_shards: Option<usize> = None;
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Batched(64);
     let mut repl_bind: Option<String> = None;
@@ -85,6 +92,13 @@ fn main() -> ExitCode {
                 Some(v) => queue = v,
                 None => return ExitCode::FAILURE,
             },
+            "--store-shards" => match take("--store-shards").and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => store_shards = Some(v),
+                _ => {
+                    eprintln!("error: --store-shards takes a shard count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--data-dir" => match take("--data-dir") {
                 Some(v) => data_dir = Some(v),
                 None => return ExitCode::FAILURE,
@@ -111,7 +125,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "annoda-serve [--addr HOST:PORT] [--loci N] [--seed N] \
-                     [--shards N] [--workers N] [--queue N] [--data-dir DIR] \
+                     [--shards N] [--workers N] [--queue N] \
+                     [--store-shards N] [--data-dir DIR] \
                      [--fsync always|batched:N|onsnapshot] \
                      [--repl-bind HOST:PORT] [--follow HOST:PORT] \
                      [--leader-http HOST:PORT]"
@@ -130,6 +145,10 @@ fn main() -> ExitCode {
     }
     if repl_bind.is_some() && follow.is_some() {
         eprintln!("error: --repl-bind and --follow are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if store_shards.is_some() && follow.is_some() {
+        eprintln!("error: --store-shards needs a writable store (not --follow)");
         return ExitCode::FAILURE;
     }
 
@@ -155,6 +174,8 @@ fn main() -> ExitCode {
             let dir = std::path::PathBuf::from(dir);
             let opened = if follow.is_some() {
                 DurableSystem::open_follower(system, &dir, fsync)
+            } else if let Some(n) = store_shards {
+                DurableSystem::open_sharded(system, &dir, fsync, n)
             } else {
                 DurableSystem::open(system, &dir, fsync)
             };
@@ -184,8 +205,20 @@ fn main() -> ExitCode {
                 }
             }
         }
-        None => DurableSystem::new(system),
+        None => match store_shards {
+            Some(n) => match DurableSystem::new_sharded(system, n) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: cannot shard the store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => DurableSystem::new(system),
+        },
     };
+    if let Some(n) = store_shards {
+        eprintln!("store sharded {n} ways (MVCC epochs, per-shard WAL)");
+    }
     if let Some(leader) = leader_http.as_deref().or(follow.as_deref()) {
         durable.repl_handle().set_leader_addr(leader);
     }

@@ -3,14 +3,28 @@
 //! with the serving **generation** (see
 //! [`annoda::DurableSystem::generation`]).
 //!
-//! The generation is a strong cache key: it bumps on every refresh,
-//! plug, unplug, and façade mutation, so a stored response is valid
-//! exactly as long as its stamp matches the live counter — an epoch
-//! swap invalidates the whole cache wholesale, for free, with no
-//! per-entry bookkeeping. The same stamp doubles as the strong `ETag`
+//! The generation is a strong cache key: it bumps on every plug,
+//! unplug, and façade mutation, so a stored response is valid exactly
+//! as long as its stamp matches the live counter — an epoch swap
+//! invalidates the whole cache wholesale, for free, with no per-entry
+//! bookkeeping. The same stamp doubles as the strong `ETag`
 //! (`"g<generation>"`), which is what makes `304 Not Modified`
 //! revalidation sound: a matching tag proves the client's copy was
 //! derived from the identical global model.
+//!
+//! **Sharded mode** refines this: a transactional source refresh does
+//! *not* bump the generation — it bumps only the MVCC epochs of the
+//! store shards it changed. Each cached response carries a
+//! [`ShardDeps`]: the bitmask of store shards the answer was derived
+//! from plus the epoch-sum stamp over that mask at compute time. The
+//! entry stays valid exactly while `mask_stamp(live_epochs, mask)`
+//! still equals the recorded stamp — shard epochs only grow, so an
+//! equal sum proves none of the depended-on shards changed. A refresh
+//! that touches one shard therefore invalidates only the entries whose
+//! mask covers it; everything else keeps serving cached bytes. The
+//! `ETag` grows the same proof: `"g<G>.s<stamp>.<mask:hex>"`, which a
+//! reactor shard can revalidate inline against the live epoch vector
+//! without recomputing the response.
 //!
 //! Each reactor shard owns one cache instance outright — lookups and
 //! inserts are plain single-threaded map operations, no locks on the
@@ -21,12 +35,110 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use annoda_oem::mask_stamp;
+
 use crate::http::Response;
 use crate::routes::Format;
+
+/// What a cached response depends on, in sharded-store mode: the store
+/// shards whose fragments the answer surfaced, and the sum of their
+/// MVCC epochs when it was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDeps {
+    /// Bit `i` set ⇔ the response depends on store shard `i`.
+    pub mask: u64,
+    /// `mask_stamp(epochs_at_compute, mask)` — valid while the live
+    /// vector still sums to the same value over `mask`.
+    pub stamp: u64,
+}
+
+impl ShardDeps {
+    /// Deps over `shards` stamped against `epochs`.
+    pub fn over(shards: &[usize], epochs: &[u64]) -> ShardDeps {
+        let mask = annoda_oem::shard_mask(shards);
+        ShardDeps {
+            mask,
+            stamp: mask_stamp(epochs, mask),
+        }
+    }
+
+    /// Deps on *every* shard of an `n`-shard store (set-valued answers
+    /// whose membership any shard could change).
+    pub fn full(n: usize, epochs: &[u64]) -> ShardDeps {
+        let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        ShardDeps {
+            mask,
+            stamp: mask_stamp(epochs, mask),
+        }
+    }
+
+    /// Whether the deps still hold against the live epoch vector.
+    pub fn current(&self, epochs: &[u64]) -> bool {
+        mask_stamp(epochs, self.mask) == self.stamp
+    }
+}
+
+/// Whether an entry's deps are valid against the live epoch vector.
+/// Depless entries are the non-sharded mode; a dep mismatch across
+/// modes never validates.
+fn deps_current(deps: Option<ShardDeps>, epochs: Option<&[u64]>) -> bool {
+    match (deps, epochs) {
+        (None, None) => true,
+        (Some(d), Some(live)) => d.current(live),
+        _ => false,
+    }
+}
 
 /// Mints the strong entity tag for a serving generation.
 pub fn etag_for(generation: u64) -> String {
     format!("\"g{generation}\"")
+}
+
+/// Mints the strong entity tag for a generation plus optional shard
+/// deps: `"gG"` flat, `"gG.s<stamp>.<mask:hex>"` sharded.
+pub fn etag_for_deps(generation: u64, deps: Option<ShardDeps>) -> String {
+    match deps {
+        None => etag_for(generation),
+        Some(d) => format!("\"g{generation}.s{}.{:x}\"", d.stamp, d.mask),
+    }
+}
+
+/// Parses an entity tag minted by [`etag_for_deps`] back into its
+/// generation and optional deps. `None` for foreign tags.
+pub fn parse_etag(tag: &str) -> Option<(u64, Option<ShardDeps>)> {
+    let inner = tag.strip_prefix('"')?.strip_suffix('"')?;
+    let inner = inner.strip_prefix('g')?;
+    let mut parts = inner.split('.');
+    let generation: u64 = parts.next()?.parse().ok()?;
+    let Some(stamp_part) = parts.next() else {
+        return Some((generation, None));
+    };
+    let stamp: u64 = stamp_part.strip_prefix('s')?.parse().ok()?;
+    let mask = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((generation, Some(ShardDeps { mask, stamp })))
+}
+
+/// Inline revalidation: the first `If-None-Match` candidate that still
+/// proves the client's copy matches the live model — same generation
+/// and, for dep-stamped tags, an unchanged epoch sum over its shard
+/// mask. Returns the tag to echo in the `304`. The `*` wildcard
+/// matches any current representation (RFC 9110 §13.1.2).
+pub fn revalidate_etag(header: &str, generation: u64, epochs: Option<&[u64]>) -> Option<String> {
+    for candidate in header.split(',').map(str::trim) {
+        if candidate == "*" {
+            return Some(etag_for(generation));
+        }
+        let Some((tag_generation, deps)) = parse_etag(candidate) else {
+            continue;
+        };
+        if tag_generation == generation && deps_current(deps, epochs) {
+            return Some(candidate.to_string());
+        }
+    }
+    None
 }
 
 /// Whether an `If-None-Match` header value matches `etag` (exact strong
@@ -51,6 +163,9 @@ pub struct CacheGauges {
     pub evictions: AtomicU64,
     /// Wholesale cache clears caused by a generation bump.
     pub epoch_invalidations: AtomicU64,
+    /// Entries dropped selectively because a store-shard epoch their
+    /// mask covers advanced (sharded mode).
+    pub deps_invalidations: AtomicU64,
     /// Entries currently cached (sum over shards).
     pub entries: AtomicU64,
 }
@@ -68,6 +183,8 @@ pub struct CacheSnapshot {
     pub evictions: u64,
     /// Wholesale epoch invalidations.
     pub epoch_invalidations: u64,
+    /// Selective per-entry shard-dep invalidations.
+    pub deps_invalidations: u64,
     /// Live entries across shards.
     pub entries: u64,
 }
@@ -81,6 +198,7 @@ impl CacheGauges {
             not_modified: self.not_modified.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             epoch_invalidations: self.epoch_invalidations.load(Ordering::Relaxed),
+            deps_invalidations: self.deps_invalidations.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
         }
     }
@@ -98,6 +216,9 @@ pub struct CacheKey {
 
 struct Entry {
     generation: u64,
+    /// Sharded mode: the store shards this response was derived from,
+    /// stamped at compute time. `None` in flat (generation-only) mode.
+    deps: Option<ShardDeps>,
     response: Response,
     last_used: u64,
 }
@@ -148,28 +269,58 @@ impl ResponseCache {
         }
     }
 
-    /// Looks up `key` for the given generation, counting a hit or miss.
-    pub fn lookup(&mut self, key: &CacheKey, generation: u64) -> Option<&Response> {
+    /// Looks up `key` for the given generation and (in sharded mode)
+    /// live epoch vector, counting a hit or miss. An entry whose shard
+    /// deps no longer hold is removed on the spot — epochs only grow,
+    /// so it can never become valid again.
+    pub fn lookup(
+        &mut self,
+        key: &CacheKey,
+        generation: u64,
+        epochs: Option<&[u64]>,
+    ) -> Option<&Response> {
         self.observe_generation(generation);
         self.tick += 1;
         let tick = self.tick;
-        match self.map.get_mut(key) {
+        let valid = match self.map.get_mut(key) {
             Some(entry) if entry.generation == generation => {
-                entry.last_used = tick;
-                self.gauges.hits.fetch_add(1, Ordering::Relaxed);
-                Some(&self.map[key].response)
+                if deps_current(entry.deps, epochs) {
+                    entry.last_used = tick;
+                    true
+                } else {
+                    // A depended-on store shard committed: this entry
+                    // is permanently stale. Everything else survives —
+                    // the selective invalidation.
+                    self.map.remove(key);
+                    self.gauges
+                        .deps_invalidations
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.gauges.entries.fetch_sub(1, Ordering::Relaxed);
+                    false
+                }
             }
-            _ => {
-                self.gauges.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            _ => false,
+        };
+        if valid {
+            self.gauges.hits.fetch_add(1, Ordering::Relaxed);
+            Some(&self.map[key].response)
+        } else {
+            self.gauges.misses.fetch_add(1, Ordering::Relaxed);
+            None
         }
     }
 
-    /// Stores a computed response, stamped with the generation it was
-    /// computed under. Ignored when `capacity` is 0 or the stamp is
-    /// already stale. Evicts the least-recently-used entry when full.
-    pub fn insert(&mut self, key: CacheKey, generation: u64, response: Response) {
+    /// Stores a computed response, stamped with the generation (and, in
+    /// sharded mode, the shard deps) it was computed under. Ignored
+    /// when `capacity` is 0 or the stamp is already stale. Evicts the
+    /// least-recently-used entry when full.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        generation: u64,
+        deps: Option<ShardDeps>,
+        response: Response,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -196,6 +347,7 @@ impl ResponseCache {
                 key,
                 Entry {
                     generation,
+                    deps,
                     response,
                     last_used: self.tick,
                 },
@@ -235,9 +387,9 @@ mod tests {
     #[test]
     fn hit_returns_the_stored_bytes() {
         let mut c = cache(8);
-        assert!(c.lookup(&key("/genes"), 1).is_none());
-        c.insert(key("/genes"), 1, Response::text(200, "body"));
-        let hit = c.lookup(&key("/genes"), 1).expect("hit");
+        assert!(c.lookup(&key("/genes"), 1, None).is_none());
+        c.insert(key("/genes"), 1, None, Response::text(200, "body"));
+        let hit = c.lookup(&key("/genes"), 1, None).expect("hit");
         assert_eq!(hit.body, b"body");
         let g = c.gauges().snapshot();
         assert_eq!((g.hits, g.misses, g.entries), (1, 1, 1));
@@ -246,10 +398,10 @@ mod tests {
     #[test]
     fn generation_bump_invalidates_wholesale() {
         let mut c = cache(8);
-        c.insert(key("/a"), 1, Response::text(200, "a"));
-        c.insert(key("/b"), 1, Response::text(200, "b"));
+        c.insert(key("/a"), 1, None, Response::text(200, "a"));
+        c.insert(key("/b"), 1, None, Response::text(200, "b"));
         assert_eq!(c.len(), 2);
-        assert!(c.lookup(&key("/a"), 2).is_none(), "new epoch, no hit");
+        assert!(c.lookup(&key("/a"), 2, None).is_none(), "new epoch, no hit");
         assert!(c.is_empty(), "the whole cache is cleared");
         let g = c.gauges().snapshot();
         assert_eq!(g.epoch_invalidations, 1);
@@ -262,29 +414,32 @@ mod tests {
         c.observe_generation(5);
         // A worker computed this under generation 4; a refresh landed
         // mid-flight. The entry must not be served as generation 5.
-        c.insert(key("/a"), 4, Response::text(200, "stale"));
-        assert!(c.lookup(&key("/a"), 5).is_none());
+        c.insert(key("/a"), 4, None, Response::text(200, "stale"));
+        assert!(c.lookup(&key("/a"), 5, None).is_none());
     }
 
     #[test]
     fn lru_eviction_is_bounded_and_counted() {
         let mut c = cache(2);
-        c.insert(key("/a"), 1, Response::text(200, "a"));
-        c.insert(key("/b"), 1, Response::text(200, "b"));
-        assert!(c.lookup(&key("/a"), 1).is_some()); // /a is now fresher
-        c.insert(key("/c"), 1, Response::text(200, "c"));
+        c.insert(key("/a"), 1, None, Response::text(200, "a"));
+        c.insert(key("/b"), 1, None, Response::text(200, "b"));
+        assert!(c.lookup(&key("/a"), 1, None).is_some()); // /a is now fresher
+        c.insert(key("/c"), 1, None, Response::text(200, "c"));
         assert_eq!(c.len(), 2);
-        assert!(c.lookup(&key("/b"), 1).is_none(), "/b was the LRU victim");
-        assert!(c.lookup(&key("/a"), 1).is_some());
-        assert!(c.lookup(&key("/c"), 1).is_some());
+        assert!(
+            c.lookup(&key("/b"), 1, None).is_none(),
+            "/b was the LRU victim"
+        );
+        assert!(c.lookup(&key("/a"), 1, None).is_some());
+        assert!(c.lookup(&key("/c"), 1, None).is_some());
         assert_eq!(c.gauges().snapshot().evictions, 1);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = cache(0);
-        c.insert(key("/a"), 1, Response::text(200, "a"));
-        assert!(c.lookup(&key("/a"), 1).is_none());
+        c.insert(key("/a"), 1, None, Response::text(200, "a"));
+        assert!(c.lookup(&key("/a"), 1, None).is_none());
     }
 
     #[test]
@@ -295,5 +450,99 @@ mod tests {
         assert!(if_none_match_matches("*", "\"g7\""));
         assert!(!if_none_match_matches("\"g6\"", "\"g7\""));
         assert!(!if_none_match_matches("g7", "\"g7\""));
+    }
+
+    #[test]
+    fn dep_etags_round_trip_and_revalidate() {
+        let epochs = [3u64, 1, 5, 2];
+        let deps = ShardDeps::over(&[0, 2], &epochs);
+        assert_eq!(deps.mask, 0b101);
+        assert_eq!(deps.stamp, 8);
+        let tag = etag_for_deps(9, Some(deps));
+        assert_eq!(tag, "\"g9.s8.5\"");
+        assert_eq!(parse_etag(&tag), Some((9, Some(deps))));
+        assert_eq!(parse_etag("\"g9\""), Some((9, None)));
+        assert_eq!(parse_etag("\"w/123\""), None, "foreign tags don't parse");
+
+        // Same generation + unchanged masked epochs → inline 304.
+        assert_eq!(
+            revalidate_etag(&tag, 9, Some(&epochs)).as_deref(),
+            Some(tag.as_str())
+        );
+        // An untouched-shard bump (shard 1 is outside the mask) still
+        // revalidates; a masked-shard bump does not.
+        let bumped_other = [3u64, 2, 5, 2];
+        assert!(revalidate_etag(&tag, 9, Some(&bumped_other)).is_some());
+        let bumped_masked = [4u64, 1, 5, 2];
+        assert!(revalidate_etag(&tag, 9, Some(&bumped_masked)).is_none());
+        // Generation mismatch or flat/sharded mode mismatch never holds.
+        assert!(revalidate_etag(&tag, 10, Some(&epochs)).is_none());
+        assert!(revalidate_etag(&tag, 9, None).is_none());
+        assert!(revalidate_etag("\"g9\"", 9, Some(&epochs)).is_none());
+        assert!(revalidate_etag("\"g9\"", 9, None).is_some());
+    }
+
+    #[test]
+    fn full_mask_covers_every_shard() {
+        let epochs = [1u64, 2, 3];
+        let deps = ShardDeps::full(3, &epochs);
+        assert_eq!(deps.mask, 0b111);
+        assert!(deps.current(&epochs));
+        assert!(!deps.current(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn shard_dep_invalidation_is_selective() {
+        let mut c = cache(8);
+        let e0 = [1u64, 1];
+        // /a depends on shard 0, /b on shard 1.
+        c.insert(
+            key("/a"),
+            1,
+            Some(ShardDeps::over(&[0], &e0)),
+            Response::text(200, "a"),
+        );
+        c.insert(
+            key("/b"),
+            1,
+            Some(ShardDeps::over(&[1], &e0)),
+            Response::text(200, "b"),
+        );
+        // A commit bumps shard 1 only.
+        let e1 = [1u64, 2];
+        assert!(
+            c.lookup(&key("/a"), 1, Some(&e0)).is_some(),
+            "untouched shard still serves"
+        );
+        assert!(
+            c.lookup(&key("/b"), 1, Some(&e1)).is_none(),
+            "touched shard is dropped"
+        );
+        assert_eq!(c.len(), 1, "only the dependent entry was removed");
+        let g = c.gauges().snapshot();
+        assert_eq!(g.deps_invalidations, 1);
+        assert_eq!(g.epoch_invalidations, 0, "no wholesale clear happened");
+        assert_eq!(g.entries, 1);
+    }
+
+    #[test]
+    fn mode_mismatched_entries_never_validate() {
+        let mut c = cache(8);
+        let epochs = [1u64];
+        c.insert(key("/flat"), 1, None, Response::text(200, "flat"));
+        assert!(
+            c.lookup(&key("/flat"), 1, Some(&epochs)).is_none(),
+            "a depless entry is stale under sharded validation"
+        );
+        c.insert(
+            key("/dep"),
+            1,
+            Some(ShardDeps::over(&[0], &epochs)),
+            Response::text(200, "dep"),
+        );
+        assert!(
+            c.lookup(&key("/dep"), 1, None).is_none(),
+            "a dep-stamped entry is stale under flat validation"
+        );
     }
 }

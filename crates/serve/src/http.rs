@@ -323,6 +323,10 @@ pub struct Response {
     pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Sharded-store mode: which store shards the answer was derived
+    /// from, stamped at compute time. Metadata for the response cache
+    /// and ETag minting — never serialized onto the wire.
+    pub deps: Option<crate::cache::ShardDeps>,
 }
 
 impl Response {
@@ -333,6 +337,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             headers: Vec::new(),
             body: body.into().into_bytes(),
+            deps: None,
         }
     }
 
@@ -343,6 +348,7 @@ impl Response {
             content_type: "application/json",
             headers: Vec::new(),
             body: value.to_text().into_bytes(),
+            deps: None,
         }
     }
 
@@ -354,6 +360,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             headers: vec![("etag", etag.to_string())],
             body: Vec::new(),
+            deps: None,
         }
     }
 

@@ -43,12 +43,15 @@ pub mod routes;
 pub mod server;
 pub mod shard;
 
-pub use cache::{etag_for, CacheGauges, CacheSnapshot, ResponseCache};
+pub use cache::{
+    etag_for, etag_for_deps, parse_etag, revalidate_etag, CacheGauges, CacheSnapshot,
+    ResponseCache, ShardDeps,
+};
 pub use json::Json;
 pub use loadgen::{
     LoadMode, LoadgenConfig, LoadgenStats, MultiStats, StatusBreakdown, TargetSpec, TargetStats,
 };
-pub use metrics::{HttpGauges, Metrics, SnapshotGauges};
+pub use metrics::{HttpGauges, Metrics, SnapshotGauges, StoreGauges};
 pub use pool::{Pool, QueueGauge};
 pub use routes::{handle, negotiate, App, Format};
 pub use server::{ServeConfig, Server, ShutdownReport};

@@ -52,6 +52,12 @@ pub struct LoadgenConfig {
     pub search_path: Option<String>,
     /// Fraction (0..=1) of requests diverted to `search_path`.
     pub search_ratio: f64,
+    /// Optional write target mixed into the stream as an empty-body
+    /// `POST` (e.g. `/admin/refresh?source=LocusLink`) — exercises a
+    /// mixed read+refresh workload against a sharded store.
+    pub refresh_path: Option<String>,
+    /// Fraction (0..=1) of requests diverted to `refresh_path`.
+    pub refresh_ratio: f64,
     /// Closed or open loop.
     pub mode: LoadMode,
 }
@@ -64,6 +70,9 @@ struct RequestMix {
     secondary: Option<Vec<u8>>,
     ratio: f64,
     acc: f64,
+    refresh: Option<Vec<u8>>,
+    refresh_ratio: f64,
+    refresh_acc: f64,
 }
 
 impl RequestMix {
@@ -77,10 +86,27 @@ impl RequestMix {
                 .map(request_bytes),
             ratio: config.search_ratio.clamp(0.0, 1.0),
             acc: 0.0,
+            refresh: config
+                .refresh_path
+                .as_deref()
+                .filter(|_| config.refresh_ratio > 0.0)
+                .map(post_bytes),
+            refresh_ratio: config.refresh_ratio.clamp(0.0, 1.0),
+            refresh_acc: 0.0,
         }
     }
 
     fn next(&mut self) -> &[u8] {
+        // Refresh diversion runs first so writes land at their exact
+        // configured fraction of the whole stream; searches then split
+        // the remaining reads.
+        if let Some(refresh) = &self.refresh {
+            self.refresh_acc += self.refresh_ratio;
+            if self.refresh_acc >= 1.0 {
+                self.refresh_acc -= 1.0;
+                return refresh;
+            }
+        }
         if let Some(secondary) = &self.secondary {
             self.acc += self.ratio;
             if self.acc >= 1.0 {
@@ -323,6 +349,13 @@ fn request_bytes(path: &str) -> Vec<u8> {
     format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nAccept: application/json\r\n\r\n").into_bytes()
 }
 
+fn post_bytes(path: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nAccept: application/json\r\nContent-Length: 0\r\n\r\n"
+    )
+    .into_bytes()
+}
+
 /// One closed-loop keep-alive connection issuing `n` requests; returns
 /// `(breakdown, latencies_us)`.
 fn closed_worker(addr: SocketAddr, mut mix: RequestMix, n: usize) -> (StatusBreakdown, Vec<u64>) {
@@ -490,6 +523,8 @@ mod tests {
             path: "/genes".to_string(),
             search_path: search_path.map(str::to_string),
             search_ratio: ratio,
+            refresh_path: None,
+            refresh_ratio: 0.0,
             mode: LoadMode::Closed,
         }
     }
@@ -530,6 +565,33 @@ mod tests {
             TargetSpec { addr, weight: 0.0 },
         ];
         assert_eq!(assign_targets(&zeroed, 4), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn refresh_mix_posts_at_the_configured_fraction() {
+        let mut cfg = config(Some("/search?q=dna"), 0.25);
+        cfg.refresh_path = Some("/admin/refresh?source=LocusLink".to_string());
+        cfg.refresh_ratio = 0.125;
+        let mut mix = RequestMix::from_config(&cfg);
+        let picks: Vec<Vec<u8>> = (0..16).map(|_| mix.next().to_vec()).collect();
+        let posts = picks
+            .iter()
+            .filter(|r| r.starts_with(b"POST /admin/refresh?source=LocusLink"))
+            .count();
+        assert_eq!(posts, 2, "exactly 12.5% POSTs");
+        let searches = picks
+            .iter()
+            .filter(|r| r.starts_with(b"GET /search"))
+            .count();
+        // The search accumulator only advances on the 14 non-refresh
+        // picks: 14 * 0.25 crosses 1.0 three times.
+        assert_eq!(searches, 3, "searches split the remaining reads");
+        assert!(
+            picks
+                .iter()
+                .any(|r| r.windows(19).any(|w| w == b"Content-Length: 0\r\n")),
+            "POSTs carry an explicit empty body"
+        );
     }
 
     #[test]

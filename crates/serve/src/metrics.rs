@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use annoda::{PersistStats, ReplStats};
+use annoda::{PersistStats, ReplStats, ShardGauges, TxnStats};
 use annoda_federation::RemoteStatsSnapshot;
 use annoda_mediator::CacheStats;
 
@@ -58,6 +58,17 @@ pub struct SnapshotGauges {
     /// Worker threads the parallel evaluator can use
     /// (`available_parallelism`).
     pub eval_workers: usize,
+}
+
+/// Sharded-store gauges sampled at scrape time: one row per store
+/// shard (objects, MVCC epoch, WAL segment size) plus the transaction
+/// counters — commits, first-writer-wins conflicts, aborts.
+#[derive(Debug, Clone, Default)]
+pub struct StoreGauges {
+    /// Per-shard rows, indexed by shard.
+    pub shards: Vec<ShardGauges>,
+    /// Transaction counters.
+    pub txns: TxnStats,
 }
 
 /// HTTP serve-tier gauges sampled at scrape time: the response cache,
@@ -206,6 +217,7 @@ impl Metrics {
         search: Option<SearchGauges>,
         repl: Option<ReplStats>,
         federation: &[(String, RemoteStatsSnapshot)],
+        store: Option<&StoreGauges>,
     ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -231,6 +243,11 @@ impl Metrics {
             out,
             "annoda_http_cache_epoch_invalidations_total {}",
             c.epoch_invalidations
+        );
+        let _ = writeln!(
+            out,
+            "annoda_http_cache_deps_invalidations_total {}",
+            c.deps_invalidations
         );
         let _ = writeln!(out, "annoda_http_cache_entries {}", c.entries);
         let s = http.shed;
@@ -345,6 +362,40 @@ impl Metrics {
             let _ = writeln!(out, "annoda_search_queries_total {}", s.queries);
             let _ = writeln!(out, "annoda_search_zero_hits_total {}", s.zero_hits);
         }
+        if let Some(s) = store {
+            let _ = writeln!(out, "annoda_store_shards {}", s.shards.len());
+            for shard in &s.shards {
+                let i = shard.shard;
+                let _ = writeln!(
+                    out,
+                    "annoda_store_shard_objects{{shard=\"{i}\"}} {}",
+                    shard.objects
+                );
+                let _ = writeln!(
+                    out,
+                    "annoda_store_shard_fragments{{shard=\"{i}\"}} {}",
+                    shard.fragments
+                );
+                let _ = writeln!(
+                    out,
+                    "annoda_store_shard_epoch{{shard=\"{i}\"}} {}",
+                    shard.epoch
+                );
+                let _ = writeln!(
+                    out,
+                    "annoda_store_shard_wal_bytes{{shard=\"{i}\"}} {}",
+                    shard.wal_bytes
+                );
+                let _ = writeln!(
+                    out,
+                    "annoda_store_shard_generation{{shard=\"{i}\"}} {}",
+                    shard.generation
+                );
+            }
+            let _ = writeln!(out, "annoda_txn_commits_total {}", s.txns.commits);
+            let _ = writeln!(out, "annoda_txn_conflicts_total {}", s.txns.conflicts);
+            let _ = writeln!(out, "annoda_txn_aborts_total {}", s.txns.aborts);
+        }
         if let Some(r) = repl {
             // Role as a one-hot enum gauge, Prometheus style.
             let _ = writeln!(
@@ -456,6 +507,7 @@ impl Metrics {
         search: Option<SearchGauges>,
         repl: Option<ReplStats>,
         federation: &[(String, RemoteStatsSnapshot)],
+        store: Option<&StoreGauges>,
     ) -> Json {
         let routes = ROUTES
             .iter()
@@ -504,6 +556,10 @@ impl Metrics {
                     (
                         "epoch_invalidations",
                         Json::Int(http.cache.epoch_invalidations as i64),
+                    ),
+                    (
+                        "deps_invalidations",
+                        Json::Int(http.cache.deps_invalidations as i64),
                     ),
                     ("entries", Json::Int(http.cache.entries as i64)),
                 ]),
@@ -570,6 +626,37 @@ impl Metrics {
                 ("index_epoch", Json::Int(s.index_epoch as i64)),
                 ("queries", Json::Int(s.queries as i64)),
                 ("zero_hits", Json::Int(s.zero_hits as i64)),
+            ]),
+            None => Json::Null,
+        };
+        let store_json = match store {
+            Some(s) => Json::obj([
+                (
+                    "shards",
+                    Json::Arr(
+                        s.shards
+                            .iter()
+                            .map(|shard| {
+                                Json::obj([
+                                    ("shard", Json::Int(shard.shard as i64)),
+                                    ("objects", Json::Int(shard.objects as i64)),
+                                    ("fragments", Json::Int(shard.fragments as i64)),
+                                    ("epoch", Json::Int(shard.epoch as i64)),
+                                    ("wal_bytes", Json::Int(shard.wal_bytes as i64)),
+                                    ("generation", Json::Int(shard.generation as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "txn",
+                    Json::obj([
+                        ("commits", Json::Int(s.txns.commits as i64)),
+                        ("conflicts", Json::Int(s.txns.conflicts as i64)),
+                        ("aborts", Json::Int(s.txns.aborts as i64)),
+                    ]),
+                ),
             ]),
             None => Json::Null,
         };
@@ -641,6 +728,7 @@ impl Metrics {
             ("search", search_json),
             ("replication", repl_json),
             ("federation", federation_json),
+            ("store", store_json),
         ])
     }
 }
@@ -689,6 +777,7 @@ mod tests {
                 not_modified: 2,
                 evictions: 1,
                 epoch_invalidations: 3,
+                deps_invalidations: 7,
                 entries: 5,
             },
             shed: ShedSnapshot {
@@ -768,6 +857,31 @@ mod tests {
                     breaker: annoda_federation::BreakerState::Open,
                 },
             )],
+            Some(&StoreGauges {
+                shards: vec![
+                    ShardGauges {
+                        shard: 0,
+                        objects: 61,
+                        fragments: 20,
+                        epoch: 5,
+                        wal_bytes: 900,
+                        generation: 2,
+                    },
+                    ShardGauges {
+                        shard: 1,
+                        objects: 58,
+                        fragments: 19,
+                        epoch: 3,
+                        wal_bytes: 700,
+                        generation: 1,
+                    },
+                ],
+                txns: TxnStats {
+                    commits: 9,
+                    conflicts: 2,
+                    aborts: 1,
+                },
+            }),
         );
         assert!(
             text.contains("annoda_requests_total{route=\"genes\"} 2"),
@@ -839,6 +953,15 @@ mod tests {
         assert!(text.contains("annoda_repl_batches_applied_total 8"));
         assert!(text.contains("annoda_repl_records_applied_total 40"));
         assert!(text.contains("annoda_repl_resubscribes_total 1"));
+        assert!(text.contains("annoda_http_cache_deps_invalidations_total 7"));
+        assert!(text.contains("annoda_store_shards 2"));
+        assert!(text.contains("annoda_store_shard_objects{shard=\"0\"} 61"));
+        assert!(text.contains("annoda_store_shard_epoch{shard=\"1\"} 3"));
+        assert!(text.contains("annoda_store_shard_wal_bytes{shard=\"0\"} 900"));
+        assert!(text.contains("annoda_store_shard_generation{shard=\"1\"} 1"));
+        assert!(text.contains("annoda_txn_commits_total 9"));
+        assert!(text.contains("annoda_txn_conflicts_total 2"));
+        assert!(text.contains("annoda_txn_aborts_total 1"));
         assert!(
             text.contains("annoda_federation_breaker_state{source=\"OMIM\",state=\"open\"} 1"),
             "{text}"
@@ -854,7 +977,7 @@ mod tests {
         assert!(text.contains("annoda_federation_last_wall_us{source=\"OMIM\"} 700"));
 
         let json = m
-            .render_json(&gauge, http, None, None, None, None, None, &[])
+            .render_json(&gauge, http, None, None, None, None, None, &[], None)
             .to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
@@ -865,6 +988,7 @@ mod tests {
         assert!(json.contains("\"snapshot\":null"));
         assert!(json.contains("\"search\":null"));
         assert!(json.contains("\"replication\":null"));
+        assert!(json.contains("\"store\":null"));
         assert!(json.contains("\"federation\":{}"));
         assert!(json.contains("\"generation\":9"), "{json}");
         assert!(json.contains("\"not_modified\":2"), "{json}");
@@ -881,6 +1005,7 @@ mod tests {
                 None,
                 None,
                 &[("GO".to_string(), RemoteStatsSnapshot::default())],
+                None,
             )
             .to_text();
         assert!(

@@ -17,13 +17,14 @@ use std::time::Instant;
 
 use annoda::{
     parse_question_pairs, render_integrated_view, render_object_view, AnnodaError, DurableSystem,
-    FusionStrategy, NavigateError, ObjectView, Role,
+    EpochsHandle, FusionStrategy, NavigateError, ObjectView, Role,
 };
 use annoda_mediator::fusion::IntegratedGene;
-use annoda_mediator::WebLink;
+use annoda_mediator::{MediatorError, WebLink};
 use annoda_oem::text as oem_text;
+use annoda_oem::ShardRouter;
 
-use crate::cache::CacheGauges;
+use crate::cache::{CacheGauges, ShardDeps};
 use crate::http::{percent_decode, Request, Response};
 use crate::json::Json;
 use crate::metrics::{HttpGauges, Metrics};
@@ -45,6 +46,10 @@ pub struct App {
     pub shed: Arc<ShedGauges>,
     /// The live serving generation (the ETag / cache epoch key).
     pub generation: Arc<AtomicU64>,
+    /// Sharded-store mode: the live per-shard epoch vector. Reactor
+    /// shards validate dep-stamped cache entries and ETags against it
+    /// without taking the system lock. `None` for a flat store.
+    pub epochs: Option<EpochsHandle>,
     /// Server start time (for `/healthz` uptime).
     pub started: Instant,
     /// `/search` queries answered (any outcome with a 200).
@@ -64,6 +69,41 @@ impl App {
     /// Write access to the system (admin routes only).
     pub fn system_mut(&self) -> RwLockWriteGuard<'_, DurableSystem> {
         self.system.write().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Sharding context captured **before** computing an answer: the key
+/// router plus the epoch vector at capture time. Stamping against the
+/// pre-compute vector is the safe direction — a commit landing
+/// mid-compute advances the live vector past the stamp, so the entry
+/// revalidates instead of serving possibly mixed-epoch bytes as fresh.
+struct ShardCtx {
+    router: ShardRouter,
+    epochs: Arc<Vec<u64>>,
+}
+
+/// The sharding context, or `None` when the system serves a flat store.
+fn shard_ctx(app: &App) -> Option<ShardCtx> {
+    let sharded = app.system().sharded_handle()?;
+    Some(ShardCtx {
+        router: sharded.router(),
+        epochs: sharded.epoch_vector(),
+    })
+}
+
+impl ShardCtx {
+    /// Deps over the shards the given entity keys route to — exact
+    /// invalidation for answers whose membership is fixed by its keys.
+    fn deps_for_keys<'a>(&self, keys: impl IntoIterator<Item = &'a str>) -> ShardDeps {
+        let shards: Vec<usize> = keys.into_iter().map(|k| self.router.route(k)).collect();
+        ShardDeps::over(&shards, &self.epochs)
+    }
+
+    /// Deps on every shard — for set-valued answers whose membership
+    /// any shard's commit could change (and for empty answers, which
+    /// surface no keys to route).
+    fn full(&self) -> ShardDeps {
+        ShardDeps::full(self.router.shards(), &self.epochs)
     }
 }
 
@@ -106,7 +146,7 @@ pub fn handle(app: &App, req: &Request) -> Response {
         ("GET", "/search") => search(app, req, format),
         ("GET", "/healthz") => healthz(app, format),
         ("GET", "/metrics") => metrics(app, format),
-        ("POST", "/admin/refresh") => admin_refresh(app, format),
+        ("POST", "/admin/refresh") => admin_refresh(app, req, format),
         ("POST", "/admin/snapshot") => admin_snapshot(app, format),
         ("POST", "/admin/promote") => admin_promote(app, format),
         ("GET", path) if path.starts_with("/object/") => object(app, path, format),
@@ -237,42 +277,67 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
         Ok(q) => q,
         Err(e) => return error(400, format, e),
     };
+    let sharding = shard_ctx(app);
     match app.system().annoda().ask(&question) {
-        Ok(answer) => match format {
-            Format::Text => {
-                let mut body = rewrite_links(&render_integrated_view(&answer.fused.genes));
-                // Degradation travels with the answer: a tripped or
-                // unreachable source is announced, never silently dropped.
-                if !answer.fused.missing_sources.is_empty() {
-                    body.push_str(&format!(
-                        "\nPARTIAL ANSWER — sources unavailable: {}\n",
-                        answer.fused.missing_sources.join(", ")
-                    ));
+        Ok(answer) => {
+            // The answer's shard footprint: every entity key it
+            // surfaces. Empty answers pin the full vector — any shard's
+            // commit could add the first member.
+            let deps = sharding.map(|ctx| {
+                if answer.fused.genes.is_empty() {
+                    ctx.full()
+                } else {
+                    ctx.deps_for_keys(answer.fused.genes.iter().flat_map(gene_keys))
                 }
-                Response::text(200, body)
-            }
-            Format::Json => Response::json(
-                200,
-                &Json::obj([
-                    ("count", Json::Int(answer.fused.genes.len() as i64)),
-                    (
-                        "genes",
-                        Json::Arr(answer.fused.genes.iter().map(gene_json).collect()),
-                    ),
-                    ("cost_requests", Json::Int(answer.cost.requests as i64)),
-                    (
-                        "partial",
-                        Json::Bool(!answer.fused.missing_sources.is_empty()),
-                    ),
-                    (
-                        "missing_sources",
-                        Json::Arr(answer.fused.missing_sources.iter().map(Json::str).collect()),
-                    ),
-                ]),
-            ),
-        },
+            });
+            let mut response = match format {
+                Format::Text => {
+                    let mut body = rewrite_links(&render_integrated_view(&answer.fused.genes));
+                    // Degradation travels with the answer: a tripped or
+                    // unreachable source is announced, never silently dropped.
+                    if !answer.fused.missing_sources.is_empty() {
+                        body.push_str(&format!(
+                            "\nPARTIAL ANSWER — sources unavailable: {}\n",
+                            answer.fused.missing_sources.join(", ")
+                        ));
+                    }
+                    Response::text(200, body)
+                }
+                Format::Json => Response::json(
+                    200,
+                    &Json::obj([
+                        ("count", Json::Int(answer.fused.genes.len() as i64)),
+                        (
+                            "genes",
+                            Json::Arr(answer.fused.genes.iter().map(gene_json).collect()),
+                        ),
+                        ("cost_requests", Json::Int(answer.cost.requests as i64)),
+                        (
+                            "partial",
+                            Json::Bool(!answer.fused.missing_sources.is_empty()),
+                        ),
+                        (
+                            "missing_sources",
+                            Json::Arr(answer.fused.missing_sources.iter().map(Json::str).collect()),
+                        ),
+                    ]),
+                ),
+            };
+            response.deps = deps;
+            response
+        }
         Err(e) => error(500, format, e.to_string()),
     }
+}
+
+/// Every entity key an integrated gene surfaces — the same keys the
+/// store router partitions fragments by, so their routes are exactly
+/// the shards the rendered answer was derived from.
+fn gene_keys(g: &IntegratedGene) -> impl Iterator<Item = &str> {
+    std::iter::once(g.symbol.as_str())
+        .chain(g.functions.iter().map(|f| f.id.as_str()))
+        .chain(g.diseases.iter().map(|d| d.id.as_str()))
+        .chain(g.publications.iter().map(|p| p.id.as_str()))
 }
 
 /// `POST /lorel` — runs the body as a Lorel query over ANNODA-GML.
@@ -402,6 +467,7 @@ fn search(app: &App, req: &Request, format: Format) -> Response {
     let Some(query) = query.filter(|q| !q.trim().is_empty()) else {
         return error(400, format, "missing query parameter q".to_string());
     };
+    let sharding = shard_ctx(app);
     let snap = {
         let sys = app.system();
         match sys.query_snapshot() {
@@ -415,7 +481,10 @@ fn search(app: &App, req: &Request, format: Format) -> Response {
     if answers.is_empty() {
         app.search_zero_hits.fetch_add(1, Ordering::Relaxed);
     }
-    match format {
+    // Ranked search is a whole-corpus selection: any shard's commit can
+    // reorder or re-score, so its deps pin the full vector.
+    let deps = sharding.map(|ctx| ctx.full());
+    let mut response = match format {
         Format::Text => {
             let mut body = String::new();
             use std::fmt::Write as _;
@@ -488,7 +557,9 @@ fn search(app: &App, req: &Request, format: Format) -> Response {
                 ),
             ]),
         ),
-    }
+    };
+    response.deps = deps;
+    response
 }
 
 /// `GET /object/{kind}/{id}` — Figure 5c via the Navigator. An unknown
@@ -507,11 +578,27 @@ fn object(app: &App, path: &str, format: Format) -> Response {
     if key.is_empty() {
         return error(400, format, "empty object id".to_string());
     }
+    let sharding = shard_ctx(app);
     match app.system().annoda().navigator().view(&kind, &key) {
-        Ok(view) => match format {
-            Format::Text => Response::text(200, rewrite_links(&render_object_view(&view))),
-            Format::Json => Response::json(200, &object_json(&view)),
-        },
+        Ok(view) => {
+            // A point read: the viewed object's key plus every internal
+            // link target it renders — exact shard deps.
+            let deps = sharding.map(|ctx| {
+                ctx.deps_for_keys(
+                    std::iter::once(view.key.as_str()).chain(
+                        view.links
+                            .iter()
+                            .filter_map(|l| l.internal_target().map(|(_, k)| k)),
+                    ),
+                )
+            });
+            let mut response = match format {
+                Format::Text => Response::text(200, rewrite_links(&render_object_view(&view))),
+                Format::Json => Response::json(200, &object_json(&view)),
+            };
+            response.deps = deps;
+            response
+        }
         Err(e @ NavigateError::UnknownKind(_)) => error(400, format, e.to_string()),
         Err(e @ NavigateError::NotFound { .. }) => error(404, format, e.to_string()),
     }
@@ -553,7 +640,7 @@ fn healthz(app: &App, format: Format) -> Response {
 }
 
 fn metrics(app: &App, format: Format) -> Response {
-    let (cache, persist, snap, search_stats, repl, federation) = {
+    let (cache, persist, snap, search_stats, repl, federation, store) = {
         let sys = app.system();
         (
             sys.annoda().mediator().cache_stats(),
@@ -562,6 +649,9 @@ fn metrics(app: &App, format: Format) -> Response {
             sys.search_stats(),
             sys.repl_handle().stats(),
             sys.annoda().federation_stats(),
+            sys.shard_gauges()
+                .zip(sys.txn_stats())
+                .map(|(shards, txns)| crate::metrics::StoreGauges { shards, txns }),
         )
     };
     let search = search_stats.map(|s| crate::metrics::SearchGauges {
@@ -597,6 +687,7 @@ fn metrics(app: &App, format: Format) -> Response {
                 search,
                 Some(repl),
                 &federation,
+                store.as_ref(),
             ),
         ),
         Format::Json => Response::json(
@@ -610,15 +701,30 @@ fn metrics(app: &App, format: Format) -> Response {
                 search,
                 Some(repl),
                 &federation,
+                store.as_ref(),
             ),
         ),
     }
 }
 
 /// `POST /admin/refresh` — wrappers re-pull their sources; with a data
-/// directory attached the GML delta is journaled.
-fn admin_refresh(app: &App, format: Format) -> Response {
-    match app.system_mut().refresh() {
+/// directory attached the GML delta is journaled. `?source=NAME`
+/// re-pulls a single source: in sharded-store mode only the store
+/// shards holding that source's changed entities bump their epochs, so
+/// cached responses for everything else keep serving.
+fn admin_refresh(app: &App, req: &Request, format: Format) -> Response {
+    let mut source: Option<String> = None;
+    for (key, value) in req.query_pairs() {
+        match key.as_str() {
+            "source" => source = Some(value),
+            other => return error(400, format, format!("unknown refresh parameter `{other}`")),
+        }
+    }
+    let outcome = match &source {
+        Some(name) => app.system_mut().refresh_source(name),
+        None => app.system_mut().refresh(),
+    };
+    match outcome {
         Ok(outcome) => match format {
             Format::Text => Response::text(
                 200,
@@ -642,6 +748,9 @@ fn admin_refresh(app: &App, format: Format) -> Response {
                 ]),
             ),
         },
+        Err(AnnodaError::Mediator(MediatorError::UnknownSource(name))) => {
+            error(404, format, format!("unknown source `{name}`"))
+        }
         Err(e) => admin_error(e, format),
     }
 }

@@ -136,6 +136,7 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let generation = system.generation_handle();
+        let epochs = system.shard_epochs_handle();
         let pool = Pool::new(config.workers, config.queue_capacity);
         let app = Arc::new(App {
             system: Arc::new(RwLock::new(system)),
@@ -144,6 +145,7 @@ impl Server {
             http_cache: Arc::new(CacheGauges::default()),
             shed: Arc::new(ShedGauges::default()),
             generation: Arc::clone(&generation),
+            epochs,
             started: Instant::now(),
             search_queries: AtomicU64::default(),
             search_zero_hits: AtomicU64::default(),

@@ -40,7 +40,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::cache::{etag_for, if_none_match_matches, CacheGauges, CacheKey, ResponseCache};
+use crate::cache::{
+    etag_for_deps, revalidate_etag, CacheGauges, CacheKey, ResponseCache, ShardDeps,
+};
 use crate::http::{encode_response, try_parse, Limits, Parsed, Request, RequestError, Response};
 use crate::metrics::Metrics;
 use crate::pool::Submitter;
@@ -130,6 +132,9 @@ struct Completion {
     response: Response,
     /// The generation captured at dispatch — the cache stamp.
     generation: u64,
+    /// Sharded mode: the shard deps the handler computed the answer
+    /// under (the selective-invalidation stamp).
+    deps: Option<ShardDeps>,
     /// Where to cache the response (cacheable 200s only).
     cache_key: Option<CacheKey>,
 }
@@ -437,13 +442,24 @@ fn run(
             };
             conn.dispatched = false;
             if let Some(key) = completion.cache_key {
-                cache.insert(key, completion.generation, completion.response.clone());
+                cache.insert(
+                    key,
+                    completion.generation,
+                    completion.deps,
+                    completion.response.clone(),
+                );
             }
             let wants_close = conn.dispatched_wants_close;
             conn.answer(&completion.response, wants_close, stopping, config);
         }
 
         let generation_now = generation.load(Ordering::Acquire);
+        // Sharded-store mode: snapshot the live epoch vector once per
+        // tick — dep-stamped cache entries and ETags validate against
+        // it without touching the system lock.
+        let epochs_now: Option<Arc<Vec<u64>>> =
+            app.epochs.as_ref().map(|handle| Arc::clone(&handle.read()));
+        let live_epochs: Option<&[u64]> = epochs_now.as_deref().map(Vec::as_slice);
         let mut dead: Vec<u64> = Vec::new();
 
         for (&id, conn) in &mut conns {
@@ -484,13 +500,14 @@ fn run(
                 let format = negotiate(req.header("accept"));
                 let mut cache_key: Option<CacheKey> = None;
                 if let (true, Some(format)) = (cacheable(&req), format) {
-                    let etag = etag_for(generation_now);
-                    if req
+                    if let Some(etag) = req
                         .header("if-none-match")
-                        .is_some_and(|h| if_none_match_matches(h, &etag))
+                        .and_then(|h| revalidate_etag(h, generation_now, live_epochs))
                     {
-                        // The client's copy was derived from this exact
-                        // generation — revalidate without computing.
+                        // The client's copy is provably current — same
+                        // generation and (for dep-stamped tags) an
+                        // unchanged epoch sum over its shard mask —
+                        // so revalidate without computing.
                         cache.gauges().not_modified.fetch_add(1, Ordering::Relaxed);
                         app.metrics
                             .record(Metrics::route_index(&req.path), 304, Duration::ZERO);
@@ -502,7 +519,7 @@ fn run(
                         target: request_target(&req),
                         format,
                     };
-                    if let Some(cached) = cache.lookup(&key, generation_now) {
+                    if let Some(cached) = cache.lookup(&key, generation_now, live_epochs) {
                         app.metrics.record(
                             Metrics::route_index(&req.path),
                             cached.status,
@@ -671,19 +688,26 @@ fn slow_path_job(
         let next = if prev == 0 { us } else { (prev * 7 + us) / 8 };
         shed.service_ewma_us.store(next, Ordering::Relaxed);
         // Only successful cacheable answers are cached; they carry the
-        // strong ETag of the generation they were computed under.
-        let cache_key = if response.status == 200 {
-            cache_key
-        } else {
-            None
-        };
+        // strong ETag of the model state they were computed under. In
+        // sharded-store mode an answer without shard deps has no
+        // invalidation story, so it is served but never cached.
+        let cache_key =
+            if response.status == 200 && (app.epochs.is_none() || response.deps.is_some()) {
+                cache_key
+            } else {
+                None
+            };
+        let deps = response.deps;
         if cache_key.is_some() {
-            response.headers.push(("etag", etag_for(generation)));
+            response
+                .headers
+                .push(("etag", etag_for_deps(generation, deps)));
         }
         shared.complete(Completion {
             conn,
             response,
             generation,
+            deps,
             cache_key,
         });
     }

@@ -47,6 +47,16 @@ cargo run --release --offline -p annoda-bench --bin bench_report -- search --smo
 echo "== replication smoke (B14) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- replication --smoke
 
+# The B15 smoke shards the store 1 -> 2 -> 4 ways under 4 concurrent
+# MVCC writers and fails if commit throughput stops growing with the
+# shard count or concurrent readers' pinned-snapshot p99 leaves 2x of
+# the idle baseline; writes BENCH_sharded.json.
+echo "== sharded MVCC store smoke (B15) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- sharded --smoke
+
+echo "== sharded store byte-identity + commit-conflict properties =="
+cargo test -q --offline --test sharded_props
+
 echo "== kill-the-leader failover e2e (leader + 2 followers over TCP) =="
 cargo test -q --offline --test replica_e2e
 

@@ -876,3 +876,176 @@ fn error_responses_carry_date_and_connection_headers() {
     assert_eq!(header_value(&headers, "connection"), Some("close"));
     server.shutdown(Duration::from_secs(5));
 }
+
+// ---------------------------------------------------------------------
+// Sharded-store selective cache invalidation.
+
+/// Over a sharded store, a one-source refresh must invalidate only the
+/// cached responses whose shard dependencies were actually touched:
+/// the rewritten gene's object view recomputes, while object views for
+/// genes on untouched shards keep serving the cached bytes — verified
+/// byte-for-byte — and the old generation-wholesale invalidation path
+/// stays quiet.
+#[test]
+fn sharded_refresh_invalidates_the_cache_selectively() {
+    use annoda::DurableSystem;
+    use annoda_oem::ShardRouter;
+
+    const STORE_SHARDS: usize = 8;
+    let corpus = Corpus::generate(CorpusConfig::tiny(42));
+    let (mut a, _) = Annoda::over_sources(
+        corpus.locuslink.clone(),
+        corpus.go.clone(),
+        corpus.omim.clone(),
+    );
+    a.registry_mut().mediator_mut().enable_cache();
+    let durable = DurableSystem::new_sharded(a, STORE_SHARDS).expect("shard the store");
+    let server = Server::start_durable(
+        durable,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            // One reactor shard so every request shares one response
+            // cache.
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // The victim is the first locus; witnesses are genes routed to
+    // other store shards, so the victim's refresh cannot stamp them.
+    let router = ShardRouter::new(STORE_SHARDS);
+    let victim = corpus.locuslink.scan().next().expect("non-empty corpus");
+    let victim_shard = router.route(&victim.symbol);
+    let witnesses: Vec<String> = corpus
+        .locuslink
+        .scan()
+        .filter(|r| router.route(&r.symbol) != victim_shard)
+        .take(6)
+        .map(|r| r.symbol.clone())
+        .collect();
+    assert!(!witnesses.is_empty(), "tiny corpus spans several shards");
+
+    // Rewrite the victim's native record FIRST: the façade mutation
+    // turns the serving generation once, but the materialised shard
+    // store is untouched until a refresh re-pulls the source.
+    const SENTINEL: &str = "selectively invalidated locus description";
+    {
+        let app = server.app();
+        let mut sys = app.system_mut();
+        let w = sys
+            .annoda_mut()
+            .registry_mut()
+            .mediator_mut()
+            .wrapper_mut("LocusLink")
+            .expect("LocusLink plugged")
+            .as_any_mut()
+            .downcast_mut::<annoda_wrap::LocusLinkWrapper>()
+            .expect("native wrapper type");
+        w.db_mut()
+            .by_id_mut(victim.locus_id)
+            .expect("victim exists")
+            .description = SENTINEL.to_string();
+    }
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    fn fetch(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        symbol: &str,
+        validator: Option<&str>,
+    ) -> (u16, Option<String>, Vec<u8>) {
+        let conditional = validator
+            .map(|v| format!("If-None-Match: {v}\r\n"))
+            .unwrap_or_default();
+        stream
+            .write_all(
+                format!(
+                    "GET /object/gene/{symbol} HTTP/1.1\r\nHost: t\r\n\
+                     Accept: application/json\r\n{conditional}\r\n"
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let (status, headers, body) = read_full(reader);
+        let etag = header_value(&headers, "etag").map(str::to_string);
+        (status, etag, body)
+    }
+
+    // Populate the cache: the victim still serves its pre-rewrite
+    // bytes, stamped with shard-dependency ETags.
+    let (status, victim_etag, victim_before) =
+        fetch(&mut stream, &mut reader, &victim.symbol, None);
+    assert_eq!(status, 200);
+    let victim_etag = victim_etag.expect("object views carry ETags");
+    assert!(
+        victim_etag.contains(".s"),
+        "sharded validators carry a dependency stamp: {victim_etag}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&victim_before).contains(SENTINEL),
+        "the native rewrite must not be visible before the refresh"
+    );
+    let cached: Vec<(String, String, Vec<u8>)> = witnesses
+        .iter()
+        .map(|symbol| {
+            let (status, etag, body) = fetch(&mut stream, &mut reader, symbol, None);
+            assert_eq!(status, 200, "{symbol}");
+            (symbol.clone(), etag.expect("etag"), body)
+        })
+        .collect();
+
+    // Re-pull only LocusLink: the commit bumps the victim's shard
+    // epoch and leaves the serving generation alone.
+    stream
+        .write_all(
+            b"POST /admin/refresh?source=LocusLink HTTP/1.1\r\nHost: t\r\n\
+              Content-Length: 0\r\n\r\n",
+        )
+        .expect("send");
+    let (status, _, body) = read_full(&mut reader);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+
+    // The victim's validator is dead; the recomputed view serves the
+    // rewritten description under a fresh stamp.
+    let (status, new_etag, victim_after) =
+        fetch(&mut stream, &mut reader, &victim.symbol, Some(&victim_etag));
+    assert_eq!(status, 200, "a touched shard must fail revalidation");
+    assert_ne!(new_etag.as_deref(), Some(victim_etag.as_str()));
+    assert!(
+        String::from_utf8_lossy(&victim_after).contains(SENTINEL),
+        "refresh must surface the rewrite"
+    );
+
+    // Witness entries on untouched shards keep validating, and repeat
+    // reads serve the cached response byte-identically.
+    let mut survivors = 0;
+    for (symbol, etag, before) in &cached {
+        let (status, _, _) = fetch(&mut stream, &mut reader, symbol, Some(etag));
+        if status == 304 {
+            survivors += 1;
+            let (status, _, again) = fetch(&mut stream, &mut reader, symbol, None);
+            assert_eq!(status, 200);
+            assert_eq!(
+                &again, before,
+                "surviving cache entry for {symbol} must be byte-identical"
+            );
+        }
+    }
+    assert!(
+        survivors > 0,
+        "a one-locus refresh must keep entries for untouched shards"
+    );
+
+    let cache = server.app().http_cache.snapshot();
+    assert!(
+        cache.deps_invalidations >= 1,
+        "the victim's entry must fall to a shard-dependency stamp"
+    );
+    assert_eq!(
+        cache.epoch_invalidations, 0,
+        "selective invalidation must not fall back to the wholesale path"
+    );
+    server.shutdown(Duration::from_secs(5));
+}
