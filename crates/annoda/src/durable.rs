@@ -89,7 +89,10 @@ pub struct GmlSnapshot {
     /// The ranked-search index over the same epoch's wrapper text —
     /// published atomically with the store (one `RwLock` swap installs
     /// both), so `/search` and `/genes` can never observe different
-    /// epochs within one generation.
+    /// epochs within one generation. In sharded mode the builder also
+    /// re-checks the epoch vector across store assembly and corpus
+    /// harvest, retrying if a commit landed in between, so the pair
+    /// inside one snapshot comes from one committed state.
     pub search: Arc<SearchIndex>,
     /// Sharded mode only: the per-shard epoch vector this snapshot was
     /// assembled from. The serve tier stamps cache entries with sums
@@ -790,10 +793,26 @@ impl DurableSystem {
                 return Ok(Arc::clone(s));
             }
         }
-        let (vector, store) = sharded.assembled();
+        // The store and the search index must describe the *same*
+        // committed state: assemble, harvest, then re-read the live
+        // vector — if a commit landed in between, the harvested corpus
+        // may already reflect it while the assembled store does not, so
+        // retry the pair against the newer vector. (Mediator mutations
+        // reach readers only through a commit, so an unmoved vector
+        // brackets an unchanged corpus.) Bounded: each retry means a
+        // whole commit landed during one snapshot build.
+        const PAIR_RETRIES: usize = 8;
+        let (mut vector, mut store) = sharded.assembled();
+        let mut search = self.build_search_index();
+        for _ in 0..PAIR_RETRIES {
+            if *sharded.epoch_vector() == vector {
+                break;
+            }
+            (vector, store) = sharded.assembled();
+            search = self.build_search_index();
+        }
         let mut build_cost = Cost::new();
         build_cost.charge(&LatencyModel::local(), store.len() as u64);
-        let search = self.build_search_index();
         let mut guard = self.snapshot.write();
         if let Some(s) = guard.as_ref() {
             if s.shard_epochs.as_deref() == Some(&vector) {

@@ -13,9 +13,10 @@
 //!    (this is where the work is);
 //! 3. [`commit`](ShardedGml::commit) validates *first-writer-wins* on
 //!    the touched shard set — every shard the transaction changes must
-//!    still be at its begin epoch — then swaps exactly those shards'
-//!    `Arc`s, bumps their epochs, and journals each one into its own
-//!    WAL segment.
+//!    still be at its begin epoch — then journals each touched shard
+//!    into its own WAL segment and finally swaps exactly those shards'
+//!    `Arc`s, bumping their epochs. Write-ahead order: a journaling
+//!    failure aborts the commit before any reader could observe it.
 //!
 //! Two writers touching disjoint shard sets both commit; overlapping
 //! writers get exactly one [`CommitError::Conflict`] (the later one).
@@ -43,6 +44,20 @@ fn oem_err(e: annoda_oem::OemError) -> AnnodaError {
 /// reads this on every request to stamp and validate cache entries
 /// without touching the system lock.
 pub type EpochsHandle = Arc<RwLock<Arc<Vec<u64>>>>;
+
+/// A random per-boot epoch base for warm reopens, so epoch values (and
+/// the masked sums dep-stamped ETags carry) never collide across
+/// process lifetimes. Keyed from std's per-process SipHash seed — no
+/// extra dependency. Capped at 48 bits, leaving 2^64 − 2^48 commits of
+/// monotone headroom, and floored at 1 so a warm store never reports
+/// epoch 0.
+fn boot_epoch_salt() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let h = std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish();
+    (h & 0xFFFF_FFFF_FFFF) | 1
+}
 
 /// Why a commit did not go through.
 #[derive(Debug)]
@@ -203,7 +218,23 @@ impl ShardedGml {
             let stores: Vec<Arc<OemStore>> = (0..n)
                 .map(|i| Arc::new(durable.shard(i).store().clone()))
                 .collect();
-            ShardedStore::from_shards(root_name, stores, vec![1; n]).map_err(oem_err)?
+            // The ETag/cache proof ("epochs only grow, so an equal
+            // masked sum proves nothing changed") must survive a
+            // restart: a dep-stamped validator minted before
+            // commit+restart may cover data that changed since. The
+            // durable generations are the per-shard monotone floor, but
+            // they advance only on snapshot promotion — WAL-only
+            // commits leave them unchanged — so a per-boot salt is
+            // mixed in as well: any validator stamped by a previous
+            // boot misses with overwhelming probability instead of
+            // falsely revalidating over changed data.
+            let salt = boot_epoch_salt();
+            let epochs = durable
+                .generations()
+                .iter()
+                .map(|g| salt.saturating_add(*g))
+                .collect();
+            ShardedStore::from_shards(root_name, stores, epochs).map_err(oem_err)?
         } else {
             let flat = flat()?;
             let sharded = ShardedStore::partition(&flat, root_name, n).map_err(oem_err)?;
@@ -296,8 +327,12 @@ impl ShardedGml {
             });
         };
         let _serialised = self.commit_lock.lock();
+        // First-writer-wins validation against the live vector. Only
+        // commits mutate `current`, and every commit holds the commit
+        // lock, so a read snapshot of the epochs is stable for the rest
+        // of this function.
         {
-            let mut cur = self.current.write();
+            let cur = self.current.read();
             for &i in &changed {
                 if cur.epochs()[i] != txn.begin.epochs()[i] {
                     drop(cur);
@@ -305,13 +340,17 @@ impl ShardedGml {
                     return Err(CommitError::Conflict { shards: changed });
                 }
             }
-            for &i in &changed {
-                cur.install(i, Arc::clone(staged.shard(i)));
-            }
-            *self.epochs.write() = Arc::new(cur.epochs().to_vec());
         }
-        // Journal outside the shard-vector lock (readers proceed), but
-        // still inside the commit lock (segments see commit order).
+        // Journal *before* publishing (write-ahead): if a segment write
+        // fails here, the commit was never visible — readers keep the
+        // old vector, the epochs never advanced, and the returned Err
+        // is truthful. The WAL may then be ahead of memory (crc framing
+        // drops any torn tail; a fully-journaled shard of a failed
+        // multi-shard commit surfaces on the next open), which is the
+        // safe direction — the reverse order would let readers observe
+        // a state change that a crash then silently loses. Journaling
+        // runs outside the shard-vector lock (readers proceed) but
+        // inside the commit lock (segments see commit order).
         let mut journaled = 0;
         if let Some(d) = self.durable.lock().as_mut() {
             for &i in &changed {
@@ -321,6 +360,13 @@ impl ShardedGml {
                     .expect("partition names shard roots");
                 journaled += d.sync_shard_root(i, &self.root_name, store, root)?;
             }
+        }
+        {
+            let mut cur = self.current.write();
+            for &i in &changed {
+                cur.install(i, Arc::clone(staged.shard(i)));
+            }
+            *self.epochs.write() = Arc::new(cur.epochs().to_vec());
         }
         if !changed.is_empty() {
             self.assembled.lock().take();
@@ -531,6 +577,38 @@ mod tests {
         let (v3, s3) = m.assembled();
         assert_ne!(v1, v3);
         assert!(!Arc::ptr_eq(&s1, &s3), "commit rebuilds the assembly");
+    }
+
+    /// The cross-restart half of the ETag proof: a dep-stamped
+    /// validator minted before a commit+restart must never collide with
+    /// the reopened vector, or a client would get a false `304` over
+    /// changed data. Warm open re-seeds epochs from the durable
+    /// generations plus a per-boot salt, so pre-restart masked sums
+    /// miss (probabilistically, at 2^-48).
+    #[test]
+    fn warm_reopen_never_revalidates_pre_restart_stamps() {
+        let dir = std::env::temp_dir().join(format!("annoda-txn-salt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let before = {
+            let m = ShardedGml::open(&dir, FsyncPolicy::Always, 3, "ANNODA-GML", || Ok(gml(&[])))
+                .unwrap();
+            let mut txn = m.begin();
+            txn.stage(&gml(&[("KRAS", "pre-restart")])).unwrap();
+            m.commit(txn).unwrap();
+            m.epoch_vector().to_vec()
+        };
+        let warm = ShardedGml::open(&dir, FsyncPolicy::Always, 0, "ANNODA-GML", || {
+            panic!("warm open must not re-materialise")
+        })
+        .unwrap();
+        let after = warm.epoch_vector();
+        let full_mask = (1u64 << 3) - 1;
+        assert_ne!(
+            annoda_oem::mask_stamp(&before, full_mask),
+            annoda_oem::mask_stamp(&after, full_mask),
+            "a stamp minted before the restart must not revalidate after it"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -165,7 +165,8 @@ impl ShardedStore {
     /// Rebuilds a sharded store from already-partitioned per-shard
     /// stores (warm recovery): each store must hold a root named
     /// `root_name`. Epochs are supplied by the caller (recovered from
-    /// the per-shard durable generations).
+    /// the per-shard durable generations, salted per boot so epoch
+    /// values minted by a previous process never collide).
     pub fn from_shards(
         root_name: &str,
         shards: Vec<Arc<OemStore>>,

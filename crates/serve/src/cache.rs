@@ -19,7 +19,9 @@
 //! from plus the epoch-sum stamp over that mask at compute time. The
 //! entry stays valid exactly while `mask_stamp(live_epochs, mask)`
 //! still equals the recorded stamp — shard epochs only grow, so an
-//! equal sum proves none of the depended-on shards changed. A refresh
+//! equal sum proves none of the depended-on shards changed (warm
+//! reopens re-seed the epoch vector with a per-boot salt, so a stamp
+//! minted before a restart never falsely revalidates). A refresh
 //! that touches one shard therefore invalidates only the entries whose
 //! mask covers it; everything else keeps serving cached bytes. The
 //! `ETag` grows the same proof: `"g<G>.s<stamp>.<mask:hex>"`, which a

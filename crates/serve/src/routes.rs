@@ -280,16 +280,16 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
     let sharding = shard_ctx(app);
     match app.system().annoda().ask(&question) {
         Ok(answer) => {
-            // The answer's shard footprint: every entity key it
-            // surfaces. Empty answers pin the full vector — any shard's
-            // commit could add the first member.
-            let deps = sharding.map(|ctx| {
-                if answer.fused.genes.is_empty() {
-                    ctx.full()
-                } else {
-                    ctx.deps_for_keys(answer.fused.genes.iter().flat_map(gene_keys))
-                }
-            });
+            // A question is a *selection* (organism, symbol_like,
+            // function/disease clauses): its membership is not fixed by
+            // the keys it happens to surface — any shard's commit could
+            // add the N+1th matching gene (or the first). Stamping only
+            // the surfaced keys' shards would let such a commit land
+            // outside the mask and the cached answer revalidate forever
+            // while silently missing the new member, so selections pin
+            // the full vector; exact per-key deps are reserved for
+            // point reads (`/object`) whose membership the key fixes.
+            let deps = sharding.map(|ctx| ctx.full());
             let mut response = match format {
                 Format::Text => {
                     let mut body = rewrite_links(&render_integrated_view(&answer.fused.genes));
@@ -328,16 +328,6 @@ fn genes(app: &App, req: &Request, format: Format) -> Response {
         }
         Err(e) => error(500, format, e.to_string()),
     }
-}
-
-/// Every entity key an integrated gene surfaces — the same keys the
-/// store router partitions fragments by, so their routes are exactly
-/// the shards the rendered answer was derived from.
-fn gene_keys(g: &IntegratedGene) -> impl Iterator<Item = &str> {
-    std::iter::once(g.symbol.as_str())
-        .chain(g.functions.iter().map(|f| f.id.as_str()))
-        .chain(g.diseases.iter().map(|d| d.id.as_str()))
-        .chain(g.publications.iter().map(|p| p.id.as_str()))
 }
 
 /// `POST /lorel` — runs the body as a Lorel query over ANNODA-GML.

@@ -996,6 +996,39 @@ fn sharded_refresh_invalidates_the_cache_selectively() {
         })
         .collect();
 
+    // A cached *selection* must die with any commit: its membership is
+    // not fixed by the keys it surfaced (a refresh could add the N+1th
+    // matching gene on any shard), so /genes pins the full vector.
+    fn fetch_target(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        target: &str,
+        validator: Option<&str>,
+    ) -> (u16, Option<String>) {
+        let conditional = validator
+            .map(|v| format!("If-None-Match: {v}\r\n"))
+            .unwrap_or_default();
+        stream
+            .write_all(
+                format!(
+                    "GET {target} HTTP/1.1\r\nHost: t\r\n\
+                     Accept: application/json\r\n{conditional}\r\n"
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let (status, headers, _) = read_full(reader);
+        (status, header_value(&headers, "etag").map(str::to_string))
+    }
+    const GENES: &str = "/genes?organism=Homo+sapiens";
+    let (status, genes_etag) = fetch_target(&mut stream, &mut reader, GENES, None);
+    assert_eq!(status, 200);
+    let genes_etag = genes_etag.expect("selections carry ETags");
+    assert!(
+        genes_etag.contains(".s"),
+        "sharded selection validators carry a dependency stamp: {genes_etag}"
+    );
+
     // Re-pull only LocusLink: the commit bumps the victim's shard
     // epoch and leaves the serving generation alone.
     stream
@@ -1016,6 +1049,15 @@ fn sharded_refresh_invalidates_the_cache_selectively() {
     assert!(
         String::from_utf8_lossy(&victim_after).contains(SENTINEL),
         "refresh must surface the rewrite"
+    );
+
+    // The cached selection's full-vector stamp is dead too, even
+    // though every key it surfaced may live on untouched shards.
+    let (status, _) = fetch_target(&mut stream, &mut reader, GENES, Some(&genes_etag));
+    assert_eq!(
+        status, 200,
+        "a selection must never revalidate across a commit — its \
+         membership is not fixed by the keys it surfaced"
     );
 
     // Witness entries on untouched shards keep validating, and repeat
