@@ -27,7 +27,7 @@ use std::sync::Arc;
 use annoda_lorel::{run_query_with, EvalWorkers, FunctionRegistry, PlanExplain, QueryOutcome};
 use annoda_mediator::{Mediator, MediatorError};
 use annoda_oem::shard::ShardRouter;
-use annoda_oem::{OemStore, Snapshot};
+use annoda_oem::{OemStore, Snapshot, TextDoc};
 use annoda_persist::{
     sync_root, DurableStore, FsyncPolicy, JournalRecord, PersistStats, RecoveryReport,
     SnapshotMeta, SourceEventKind, TailRead,
@@ -67,6 +67,14 @@ pub struct RefreshOutcome {
     pub journaled_records: usize,
     /// Whether a durable store backs this system.
     pub persisted: bool,
+    /// Sharded mode: shards whose epoch bumped for this delta — the
+    /// blast radius a cached reader sees. Zero on the flat path (the
+    /// generation bump invalidates wholesale there).
+    pub changed_shards: usize,
+    /// Sharded mode: entity fragments that structurally changed across
+    /// the bumped shards — the record-level grain of the delta. Zero on
+    /// the flat path.
+    pub changed_fragments: usize,
 }
 
 /// One epoch of the served global model: an immutable `Arc<OemStore>`
@@ -584,25 +592,26 @@ impl DurableSystem {
     pub fn refresh(&mut self) -> Result<RefreshOutcome, AnnodaError> {
         self.require_leader("refresh")?;
         let refreshed_objects = self.system.registry_mut().mediator_mut().refresh_all();
-        if let Some(sharded) = &self.sharded {
-            // Transactional path: commit the re-materialised GML and
-            // bump only the shards it changed. No generation bump —
-            // shard epochs carry the invalidation.
-            let outcome = self.sharded_resync()?;
-            if !outcome.changed.is_empty() {
-                *self.snapshot.write() = None;
-            }
-            sharded.sync()?;
-            return Ok(RefreshOutcome {
-                refreshed_objects,
-                journaled_records: outcome.journaled,
-                persisted: sharded.is_durable(),
-            });
+        self.commit_refreshed("all", refreshed_objects)
+    }
+
+    /// The shared tail of every refresh-shaped write: commits the
+    /// re-materialised GML. Sharded mode bumps only the truly-changed
+    /// shards (no generation bump — shard epochs carry the
+    /// invalidation) and reports the blast radius; the flat path
+    /// journals the delta wholesale and invalidates by generation.
+    fn commit_refreshed(
+        &mut self,
+        event_name: &str,
+        refreshed_objects: usize,
+    ) -> Result<RefreshOutcome, AnnodaError> {
+        if self.sharded.is_some() {
+            return self.sharded_commit_refreshed(refreshed_objects);
         }
         self.invalidate_snapshot();
         let mut journaled_records = 0;
         if self.durable.is_some() {
-            self.journal_event(SourceEventKind::Refresh, "all")?;
+            self.journal_event(SourceEventKind::Refresh, event_name)?;
             journaled_records = 1 + self.resync()?;
             if let Some(d) = self.durable.as_mut() {
                 d.sync()?;
@@ -612,6 +621,42 @@ impl DurableSystem {
             refreshed_objects,
             journaled_records,
             persisted: self.durable.is_some(),
+            changed_shards: 0,
+            changed_fragments: 0,
+        })
+    }
+
+    /// The sharded half of [`DurableSystem::commit_refreshed`],
+    /// deliberately `&self`: every step — materialise, stage, the
+    /// first-writer-wins commit, snapshot invalidation — works through
+    /// shared handles, so concurrent readers keep serving the previous
+    /// epoch vector while the commit runs.
+    fn sharded_commit_refreshed(
+        &self,
+        refreshed_objects: usize,
+    ) -> Result<RefreshOutcome, AnnodaError> {
+        let sharded = self
+            .sharded
+            .as_ref()
+            .expect("sharded_commit_refreshed requires sharded mode");
+        let (outcome, changed_fragments) = self.sharded_resync()?;
+        if !outcome.changed.is_empty() {
+            *self.snapshot.write() = None;
+        } else if self.search_is_stale() {
+            // A text-only delta: nothing the GML materialises moved,
+            // so no shard epoch bumped — but the harvested text (and
+            // with it `/search`) drifted. Epoch-stamped caches would
+            // serve the old index forever; invalidate by generation.
+            *self.snapshot.write() = None;
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+        sharded.sync()?;
+        Ok(RefreshOutcome {
+            refreshed_objects,
+            journaled_records: outcome.journaled,
+            persisted: sharded.is_durable(),
+            changed_shards: outcome.changed.len(),
+            changed_fragments,
         })
     }
 
@@ -661,7 +706,7 @@ impl DurableSystem {
     /// transaction, retrying on first-writer-wins conflicts (other
     /// writers may hold direct [`ShardedGml`] handles). Only the shards
     /// the new materialisation actually changed bump their epochs.
-    fn sharded_resync(&self) -> Result<CommitOutcome, AnnodaError> {
+    fn sharded_resync(&self) -> Result<(CommitOutcome, usize), AnnodaError> {
         let sharded = self
             .sharded
             .as_ref()
@@ -672,8 +717,9 @@ impl DurableSystem {
             let (gml, _cost) = self.system.mediator().materialize_gml()?;
             let mut txn = sharded.begin();
             txn.stage(&gml)?;
+            let changed_fragments = txn.changed_fragment_count();
             match sharded.commit(txn) {
-                Ok(outcome) => return Ok(outcome),
+                Ok(outcome) => return Ok((outcome, changed_fragments)),
                 Err(CommitError::Conflict { shards }) => {
                     last = Some(shards);
                     continue;
@@ -700,32 +746,174 @@ impl DurableSystem {
             .mediator_mut()
             .refresh_source(name)
             .ok_or_else(|| AnnodaError::Mediator(MediatorError::UnknownSource(name.to_string())))?;
-        if let Some(sharded) = &self.sharded {
-            let outcome = self.sharded_resync()?;
-            if !outcome.changed.is_empty() {
-                *self.snapshot.write() = None;
-            }
-            sharded.sync()?;
-            return Ok(RefreshOutcome {
-                refreshed_objects,
-                journaled_records: outcome.journaled,
-                persisted: sharded.is_durable(),
-            });
+        self.commit_refreshed(name, refreshed_objects)
+    }
+
+    /// Applies one change-feed batch from `source`'s feed (see
+    /// `annoda_federation::feed`) and commits the resulting delta —
+    /// the push-based sibling of [`DurableSystem::refresh_source`],
+    /// which re-pulls the whole native database instead.
+    ///
+    /// Upserts (`flat: Some`) and deletes (`flat: None`) mutate the
+    /// local wrapper's native database record-by-record; a `bootstrap`
+    /// batch *replaces* it with the feed's full dump. Either way the
+    /// wrapper then re-materialises once per batch, and the commit
+    /// rides the same transactional path as a pull refresh: in sharded
+    /// mode only the shards holding touched entities bump their epochs,
+    /// and only their WAL segments journal the delta. The search index
+    /// is refreshed incrementally — untouched sources keep their
+    /// in-memory postings (see
+    /// [`annoda_search::SearchIndex::with_source_updated`]).
+    ///
+    /// The caller must acknowledge the batch upstream only after this
+    /// returns `Ok` — resuming from the last acked sequence then
+    /// replays exactly the records that were never absorbed.
+    pub fn absorb_delta(
+        &mut self,
+        source: &str,
+        records: &[annoda_federation::ChangeRecord],
+        bootstrap: bool,
+    ) -> Result<RefreshOutcome, AnnodaError> {
+        let refreshed_objects = self.absorb_apply(source, records, bootstrap)?;
+        if self.sharded.is_some() {
+            return self.absorb_commit(source, refreshed_objects);
         }
-        self.invalidate_snapshot();
-        let mut journaled_records = 0;
-        if self.durable.is_some() {
-            self.journal_event(SourceEventKind::Refresh, name)?;
-            journaled_records = 1 + self.resync()?;
-            if let Some(d) = self.durable.as_mut() {
-                d.sync()?;
+        let outcome = self.commit_refreshed(source, refreshed_objects)?;
+        self.refresh_search_incrementally(source);
+        Ok(outcome)
+    }
+
+    /// The exclusive half of [`DurableSystem::absorb_delta`]: applies
+    /// the batch to the local wrapper's native database and re-exports
+    /// that one source's OML. This is record-level work — microseconds
+    /// per record plus one per-batch re-export — so a serve tier can
+    /// hold its writer lock only for this call and run the expensive
+    /// [`DurableSystem::absorb_commit`] under a reader lock, keeping
+    /// queries flowing while the commit materialises and stages.
+    ///
+    /// Returns the refreshed model's object count, which the matching
+    /// `absorb_commit` reports back in its [`RefreshOutcome`].
+    pub fn absorb_apply(
+        &mut self,
+        source: &str,
+        records: &[annoda_federation::ChangeRecord],
+        bootstrap: bool,
+    ) -> Result<usize, AnnodaError> {
+        self.require_leader("absorb")?;
+        let unknown = || AnnodaError::Mediator(MediatorError::UnknownSource(source.to_string()));
+        let wrap_err = |e| AnnodaError::Mediator(MediatorError::Wrap(e));
+        {
+            let wrapper = self
+                .system
+                .registry_mut()
+                .mediator_mut()
+                .wrapper_mut(source)
+                .ok_or_else(unknown)?;
+            if bootstrap {
+                let dump: Vec<(String, String)> = records
+                    .iter()
+                    .filter_map(|r| r.flat.clone().map(|flat| (r.key.clone(), flat)))
+                    .collect();
+                wrapper.apply_bootstrap(&dump).map_err(wrap_err)?;
+            } else {
+                for record in records {
+                    wrapper
+                        .apply_change(&record.key, record.flat.as_deref())
+                        .map_err(wrap_err)?;
+                }
             }
         }
-        Ok(RefreshOutcome {
-            refreshed_objects,
-            journaled_records,
-            persisted: self.durable.is_some(),
-        })
+        self.system
+            .registry_mut()
+            .mediator_mut()
+            .refresh_source(source)
+            .ok_or_else(unknown)
+    }
+
+    /// The shared half of [`DurableSystem::absorb_delta`], sharded mode
+    /// only: materialises the post-apply model, commits it through the
+    /// first-writer-wins transaction path (bumping only the shards the
+    /// delta touched), and refreshes `source`'s slice of the search
+    /// index. `&self` throughout — concurrent readers keep serving the
+    /// previous epoch vector, and a reader racing the commit assembles
+    /// the last *committed* state, never a half-applied one.
+    ///
+    /// A crash between `absorb_apply` and this commit is safe: the
+    /// batch was never acked, so the feed replays it and the
+    /// record-level upserts/deletes re-apply idempotently.
+    pub fn absorb_commit(
+        &self,
+        source: &str,
+        refreshed_objects: usize,
+    ) -> Result<RefreshOutcome, AnnodaError> {
+        if self.sharded.is_none() {
+            return Err(AnnodaError::Txn(
+                "absorb_commit requires sharded mode (use absorb_delta)".to_string(),
+            ));
+        }
+        let outcome = self.sharded_commit_refreshed(refreshed_objects)?;
+        self.refresh_search_incrementally(source);
+        Ok(outcome)
+    }
+
+    /// Whether the published snapshot's search index no longer matches
+    /// what the wrappers harvest to — the text-only-delta case the
+    /// shard-epoch stamps cannot see. `false` when no snapshot is live
+    /// (the next build fingerprints for itself).
+    fn search_is_stale(&self) -> bool {
+        let published = match self.snapshot.read().as_ref() {
+            Some(s) => s.search.fingerprint(),
+            None => return false,
+        };
+        let docs = self.system.mediator().harvest_text_docs();
+        docs_fingerprint(&docs) != published
+    }
+
+    /// Rebuilds only `source`'s slice of the memoised search index
+    /// after a delta, so the next snapshot's
+    /// [`DurableSystem::build_search_index`] is a memo hit instead of a
+    /// full re-tokenise. Falls back to doing nothing — the next
+    /// snapshot then rebuilds from scratch — when no index is memoised
+    /// yet. The incremental build time is measured into the published
+    /// [`SearchStats::build_us`].
+    fn refresh_search_incrementally(&self, source: &str) {
+        let docs = self.system.mediator().harvest_text_docs();
+        let fingerprint = docs_fingerprint(&docs);
+        let mut memo = self.search_memo.write();
+        let Some((fp, index)) = memo.as_ref() else {
+            return;
+        };
+        if *fp == fingerprint {
+            return; // the delta touched no searchable text
+        }
+        // Prove the memo differs from the fresh harvest *only* in
+        // `source`: swap the memoised slice back in and the fingerprint
+        // must return to the memoised one. Anything else — another
+        // source drifted without a snapshot build, a plug/unplug —
+        // falls through to the next full rebuild instead of publishing
+        // stale postings under a fresh fingerprint.
+        let mut check: Vec<(String, Vec<TextDoc>)> = docs
+            .iter()
+            .filter(|(name, _)| name != source)
+            .cloned()
+            .collect();
+        if let Some(s) = index.sources().find(|s| s.source == source) {
+            check.push((source.to_string(), s.text_docs()));
+        }
+        if docs_fingerprint(&check) != *fp {
+            return;
+        }
+        let source_docs = docs
+            .iter()
+            .find(|(name, _)| name == source)
+            .map(|(_, d)| d.as_slice())
+            .unwrap_or(&[]);
+        let updated = Arc::new(index.with_source_updated(source, source_docs, fingerprint));
+        if let Some(path) = &self.search_path {
+            // Best effort, like every segment save.
+            let _ = save_segments(path, &updated);
+        }
+        *memo = Some((fingerprint, updated));
     }
 
     /// The current serving snapshot, building one if none is live.
@@ -1410,6 +1598,111 @@ mod tests {
 
         // Unknown sources are refused.
         assert!(sys.refresh_source("NOPE").is_err());
+    }
+
+    #[test]
+    fn absorb_delta_matches_direct_mutation_and_refresh() {
+        use annoda_federation::ChangeRecord;
+        use annoda_wrap::scripted_mutation;
+        // Control: mutate the wrapper in place, pull-refresh. Streamed:
+        // absorb the emitted (key, flat) pairs as change batches — the
+        // path a feed subscriber drives.
+        let mut control = DurableSystem::new_sharded(system(), 4).unwrap();
+        let mut streamed = DurableSystem::new_sharded(system(), 4).unwrap();
+        let _ = streamed.query_snapshot().unwrap();
+        let emit = |control: &mut DurableSystem, source: &str, step: u64| {
+            let w = control
+                .annoda_mut()
+                .registry_mut()
+                .mediator_mut()
+                .wrapper_mut(source)
+                .unwrap();
+            let (key, flat) =
+                scripted_mutation(&mut **w, 9, step).expect("source supports scripted mutation");
+            control.refresh_source(source).unwrap();
+            vec![ChangeRecord {
+                key,
+                flat: Some(flat),
+            }]
+        };
+        // LocusLink description edits are store-bearing: the GML's Gene
+        // Description changes, so shards bump — but never all of them.
+        for step in 0..5u64 {
+            let batch = emit(&mut control, "LocusLink", step);
+            let out = streamed.absorb_delta("LocusLink", &batch, false).unwrap();
+            assert!(out.changed_shards >= 1, "a description edit bumps a shard");
+            assert!(out.changed_shards < 4, "one record must not bump them all");
+            assert!(out.changed_fragments >= 1);
+        }
+        // OMIM text edits are search-only: the GML carries no Text
+        // attribute, so no shard bumps — yet `/search` must still see
+        // the revision (the generation carries the invalidation).
+        for step in 0..3u64 {
+            let batch = emit(&mut control, "OMIM", step);
+            let out = streamed.absorb_delta("OMIM", &batch, false).unwrap();
+            assert_eq!(out.changed_shards, 0, "text is not materialised");
+        }
+        let a = streamed.query_snapshot().unwrap();
+        let b = control.query_snapshot().unwrap();
+        assert_eq!(
+            encode_store(&a.store),
+            encode_store(&b.store),
+            "incremental absorb assembles the byte-identical store"
+        );
+        // "penetrance" only occurs in the scripted OMIM revision, so a
+        // hit proves both indexes re-published past the text-only delta.
+        for term in [live_term(&control), "penetrance".to_string()] {
+            let hits = DurableSystem::search_on(&a, &term, 5, FusionStrategy::Weighted);
+            assert!(!hits.is_empty(), "term {term} must hit");
+            assert_eq!(
+                hits,
+                DurableSystem::search_on(&b, &term, 5, FusionStrategy::Weighted),
+                "the incrementally-updated index ranks identically"
+            );
+        }
+
+        // Deltas are refused on unknown sources and absorbed as no-ops
+        // when empty.
+        assert!(streamed.absorb_delta("NOPE", &[], false).is_err());
+        let out = streamed.absorb_delta("OMIM", &[], false).unwrap();
+        assert_eq!(out.changed_shards, 0);
+    }
+
+    #[test]
+    fn bootstrap_batch_replaces_the_native_db() {
+        use annoda_federation::ChangeRecord;
+        // Different seeds: the subscriber's local corpus disagrees with
+        // the feed until the bootstrap dump replaces it.
+        let c = Corpus::generate(CorpusConfig::tiny(7));
+        let (a, _) = Annoda::over_sources(c.locuslink.clone(), c.go.clone(), c.omim.clone());
+        let mut upstream = DurableSystem::new(a);
+        let mut sub = DurableSystem::new_sharded(system(), 4).unwrap();
+
+        let dump = upstream
+            .annoda_mut()
+            .registry_mut()
+            .mediator_mut()
+            .wrapper_mut("LocusLink")
+            .unwrap()
+            .change_dump()
+            .unwrap();
+        let records: Vec<ChangeRecord> = dump
+            .iter()
+            .map(|(key, flat)| ChangeRecord {
+                key: key.clone(),
+                flat: Some(flat.clone()),
+            })
+            .collect();
+        sub.absorb_delta("LocusLink", &records, true).unwrap();
+        let sub_dump = sub
+            .annoda_mut()
+            .registry_mut()
+            .mediator_mut()
+            .wrapper_mut("LocusLink")
+            .unwrap()
+            .change_dump()
+            .unwrap();
+        assert_eq!(sub_dump, dump, "bootstrap replaces, record for record");
     }
 
     #[test]

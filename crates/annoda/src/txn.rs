@@ -169,6 +169,18 @@ impl ShardTxn {
             .map(|(_, c)| c.as_slice())
             .unwrap_or(&[])
     }
+
+    /// Entity fragments that are structurally different between the
+    /// pinned and staged stores, counted only across the touched
+    /// shards. Zero before [`stage`](Self::stage). This is the
+    /// record-level grain of a commit — what `/admin/refresh` reports
+    /// so operators can tell a one-locus delta from a wholesale churn.
+    pub fn changed_fragment_count(&self) -> usize {
+        self.staged
+            .as_ref()
+            .map(|(staged, changed)| self.begin.changed_fragments(staged, changed))
+            .unwrap_or(0)
+    }
 }
 
 /// The sharded, transactional global model. See the module docs.

@@ -17,13 +17,14 @@
 //! the accept loop before the handshake.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use annoda_federation::{FaultConfig, ServerConfig, SourceServer};
+use annoda_federation::{ChangeRecord, FaultConfig, ServerConfig, SourceServer};
 use annoda_sources::{Corpus, CorpusConfig};
 use annoda_wrap::{
-    DelayMode, FailureMode, FlakyWrapper, GoWrapper, LocusLinkWrapper, OmimWrapper, PubmedWrapper,
-    Wrapper,
+    scripted_mutation, DelayMode, FailureMode, FlakyWrapper, GoWrapper, LocusLinkWrapper,
+    OmimWrapper, PubmedWrapper, Wrapper,
 };
 
 const USAGE: &str = "usage: source-server --source locuslink|go|omim|pubmed [options]
@@ -32,6 +33,9 @@ const USAGE: &str = "usage: source-server --source locuslink|go|omim|pubmed [opt
   --seed N             corpus seed (default 42)
   --workers N          worker threads (default 4)
   --max-seconds N      exit cleanly after N seconds (default 0 = run forever)
+  --mutate-every MS    apply one scripted native-db mutation every MS
+                       milliseconds, journaling it on the change feed
+                       (locuslink/omim only; deterministic under --seed)
   --flaky MODE         inject failures: always | every:N | panic
   --delay-ms N         stall every subquery N milliseconds
   --delay-jitter B:S:SEED  stall base B..B+S ms, seeded jitter
@@ -45,6 +49,7 @@ struct Args {
     seed: u64,
     workers: usize,
     max_seconds: u64,
+    mutate_every_ms: u64,
     flaky: Option<FailureMode>,
     delay: DelayMode,
     fault: FaultConfig,
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         workers: 4,
         max_seconds: 0,
+        mutate_every_ms: 0,
         flaky: None,
         delay: DelayMode::None,
         fault: FaultConfig::none(),
@@ -73,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")? as usize,
             "--max-seconds" => {
                 args.max_seconds = parse_num(&value("--max-seconds")?, "--max-seconds")?
+            }
+            "--mutate-every" => {
+                args.mutate_every_ms = parse_num(&value("--mutate-every")?, "--mutate-every")?
             }
             "--flaky" => {
                 let mode = value("--flaky")?;
@@ -183,6 +192,28 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {} source={name}", server.addr());
+    if args.mutate_every_ms > 0 {
+        let wrapper = Arc::clone(server.wrapper());
+        let journal = Arc::clone(server.journal());
+        let seed = args.seed;
+        let period = Duration::from_millis(args.mutate_every_ms);
+        // Detached on purpose: the mutator lives as long as the process.
+        std::thread::spawn(move || {
+            let mut step = 0u64;
+            loop {
+                std::thread::sleep(period);
+                let mut w = wrapper.write().expect("wrapper lock");
+                if let Some((key, flat)) = scripted_mutation(&mut **w, seed, step) {
+                    journal.append(ChangeRecord {
+                        key,
+                        flat: Some(flat),
+                    });
+                    w.refresh();
+                }
+                step += 1;
+            }
+        });
+    }
     if args.max_seconds > 0 {
         std::thread::sleep(Duration::from_secs(args.max_seconds));
         server.shutdown();

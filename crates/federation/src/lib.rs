@@ -28,10 +28,12 @@
 
 pub mod breaker;
 pub mod client;
+pub mod feed;
 pub mod proto;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{ClientConfig, RemoteStats, RemoteStatsSnapshot, RemoteWrapper};
-pub use proto::{Message, ProtoError, RefusalKind, RemoteResult};
+pub use feed::{ChangeJournal, FeedWindow, DEFAULT_JOURNAL_CAP};
+pub use proto::{ChangeRecord, Message, ProtoError, RefusalKind, RemoteResult};
 pub use server::{FaultConfig, ServerConfig, ServerStats, SourceServer};

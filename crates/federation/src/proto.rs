@@ -31,8 +31,10 @@ pub const MAGIC: &[u8; 4] = b"AFED";
 /// Protocol version, negotiated (exact-match) during the hello.
 /// v2 added the replication messages ([`Message::Subscribe`],
 /// [`Message::SnapshotXfer`], [`Message::WalBatch`],
-/// [`Message::ReplicaStatus`]).
-pub const VERSION: u8 = 2;
+/// [`Message::ReplicaStatus`]). v3 added the change-feed messages
+/// ([`Message::SubscribeSource`], [`Message::FeedStatus`],
+/// [`Message::ChangeBatch`], [`Message::ChangeAck`]).
+pub const VERSION: u8 = 3;
 /// Hard cap on one frame's payload, so a corrupted length field cannot
 /// ask for a multi-gigabyte allocation (same bound as the WAL).
 pub const MAX_FRAME: usize = 1 << 30;
@@ -176,6 +178,41 @@ impl RemoteResult {
     }
 }
 
+/// One record-level change in a source's native database, shipped over
+/// a change feed. `flat` carries the record's native flat-format
+/// serialization for an upsert; `None` marks a delete. The flat text is
+/// exactly what the source's own export format would contain for that
+/// record, so absorbing a change is a parse-and-upsert against the
+/// subscriber's copy of the native database — no bespoke delta codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeRecord {
+    /// The record's native primary key (e.g. a LocusLink id).
+    pub key: String,
+    /// Upserted record in native flat form, or `None` for a delete.
+    pub flat: Option<String>,
+}
+
+fn write_change_record(buf: &mut Vec<u8>, rec: &ChangeRecord) {
+    write_string(buf, &rec.key);
+    match &rec.flat {
+        Some(flat) => {
+            buf.push(1);
+            write_string(buf, flat);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn read_change_record(r: &mut Reader<'_>) -> Result<ChangeRecord, ProtoError> {
+    let key = r.string()?;
+    let flat = match r.byte()? {
+        0 => None,
+        1 => Some(r.string()?),
+        b => return Err(ProtoError::Frame(format!("unknown change flavor {b}"))),
+    };
+    Ok(ChangeRecord { key, flat })
+}
+
 /// One protocol message. Tags are stable wire constants; unknown tags
 /// are a frame error (a v2 peer must bump [`VERSION`]).
 #[derive(Debug, Clone)]
@@ -259,6 +296,50 @@ pub enum Message {
         /// Bytes of that generation's log the replica has applied.
         applied_offset: u64,
     },
+    /// Subscriber → source-server: start (or restart) the change feed
+    /// for `source` at sequence `from_seq`. A `from_seq` the server's
+    /// journal has compacted past is answered with a bootstrap
+    /// [`Message::ChangeBatch`] (full record dump at the journal head)
+    /// rather than an error, mirroring how a stale replica position is
+    /// answered with a [`Message::SnapshotXfer`].
+    SubscribeSource {
+        /// Name of the source whose feed to tail.
+        source: String,
+        /// First change sequence the subscriber wants (1 = from the
+        /// beginning; `u64::MAX` = head, i.e. tail new changes only).
+        from_seq: u64,
+    },
+    /// Source-server → subscriber: the feed's current window, sent as
+    /// the first reply to a [`Message::SubscribeSource`]. `tail` is the
+    /// oldest sequence still replayable; `head` is the last sequence
+    /// assigned (0 when no change has ever been journaled).
+    FeedStatus {
+        /// Name of the source the feed belongs to.
+        source: String,
+        /// Oldest replayable change sequence (journal compaction floor).
+        tail: u64,
+        /// Newest assigned change sequence.
+        head: u64,
+    },
+    /// Source-server → subscriber: record changes ending at sequence
+    /// `seq`. A bootstrap batch (after compaction outran the
+    /// subscriber) carries the full record dump with `bootstrap = true`;
+    /// the subscriber must replace its copy, not merge.
+    ChangeBatch {
+        /// Sequence of the *last* change in this batch (the position
+        /// the subscriber is at after applying it).
+        seq: u64,
+        /// Whether this batch is a full-state bootstrap dump.
+        bootstrap: bool,
+        /// The record changes, journal order.
+        records: Vec<ChangeRecord>,
+    },
+    /// Subscriber → source-server: the subscriber has durably absorbed
+    /// everything up to `seq`; send the next batch when there is one.
+    ChangeAck {
+        /// Last change sequence the subscriber has absorbed.
+        seq: u64,
+    },
 }
 
 const TAG_DESCRIBE: u8 = 0;
@@ -276,6 +357,10 @@ const TAG_SUBSCRIBE: u8 = 11;
 const TAG_SNAPSHOT_XFER: u8 = 12;
 const TAG_WAL_BATCH: u8 = 13;
 const TAG_REPLICA_STATUS: u8 = 14;
+const TAG_SUBSCRIBE_SOURCE: u8 = 15;
+const TAG_FEED_STATUS: u8 = 16;
+const TAG_CHANGE_BATCH: u8 = 17;
+const TAG_CHANGE_ACK: u8 = 18;
 
 fn write_store(buf: &mut Vec<u8>, store: &OemStore) {
     let bytes = encode_store(store);
@@ -435,6 +520,34 @@ impl Message {
                 write_varint(&mut buf, *generation);
                 write_varint(&mut buf, *applied_offset);
             }
+            Message::SubscribeSource { source, from_seq } => {
+                buf.push(TAG_SUBSCRIBE_SOURCE);
+                write_string(&mut buf, source);
+                write_varint(&mut buf, *from_seq);
+            }
+            Message::FeedStatus { source, tail, head } => {
+                buf.push(TAG_FEED_STATUS);
+                write_string(&mut buf, source);
+                write_varint(&mut buf, *tail);
+                write_varint(&mut buf, *head);
+            }
+            Message::ChangeBatch {
+                seq,
+                bootstrap,
+                records,
+            } => {
+                buf.push(TAG_CHANGE_BATCH);
+                write_varint(&mut buf, *seq);
+                buf.push(u8::from(*bootstrap));
+                write_varint(&mut buf, records.len() as u64);
+                for rec in records {
+                    write_change_record(&mut buf, rec);
+                }
+            }
+            Message::ChangeAck { seq } => {
+                buf.push(TAG_CHANGE_ACK);
+                write_varint(&mut buf, *seq);
+            }
         }
         buf
     }
@@ -522,6 +635,34 @@ impl Message {
                 generation: r.varint()?,
                 applied_offset: r.varint()?,
             },
+            TAG_SUBSCRIBE_SOURCE => Message::SubscribeSource {
+                source: r.string()?,
+                from_seq: r.varint()?,
+            },
+            TAG_FEED_STATUS => Message::FeedStatus {
+                source: r.string()?,
+                tail: r.varint()?,
+                head: r.varint()?,
+            },
+            TAG_CHANGE_BATCH => {
+                let seq = r.varint()?;
+                let bootstrap = match r.byte()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(ProtoError::Frame(format!("unknown bootstrap flag {b}"))),
+                };
+                let count = r.varint()? as usize;
+                let mut records = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    records.push(read_change_record(&mut r)?);
+                }
+                Message::ChangeBatch {
+                    seq,
+                    bootstrap,
+                    records,
+                }
+            }
+            TAG_CHANGE_ACK => Message::ChangeAck { seq: r.varint()? },
             tag => return Err(ProtoError::Frame(format!("unknown message tag {tag}"))),
         };
         if !r.is_empty() {
@@ -764,6 +905,107 @@ mod tests {
         // Every strict prefix must fail to decode (or decode to a
         // different, complete message — impossible here since the tag
         // requires the full body).
+        for cut in 1..payload.len() {
+            assert!(
+                Message::decode(&payload[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn change_feed_messages_round_trip() {
+        let msgs = vec![
+            Message::SubscribeSource {
+                source: "locuslink".into(),
+                from_seq: u64::MAX,
+            },
+            Message::FeedStatus {
+                source: "omim".into(),
+                tail: 7,
+                head: 42,
+            },
+            Message::ChangeBatch {
+                seq: 42,
+                bootstrap: true,
+                records: vec![
+                    ChangeRecord {
+                        key: "1007".into(),
+                        flat: Some(">>1007\nSYMBOL: TP53\n".into()),
+                    },
+                    ChangeRecord {
+                        key: "1008".into(),
+                        flat: None,
+                    },
+                ],
+            },
+            Message::ChangeAck { seq: 42 },
+        ];
+        for msg in msgs {
+            let decoded = Message::decode(&msg.encode()).unwrap();
+            match (&msg, &decoded) {
+                (
+                    Message::SubscribeSource {
+                        source: s1,
+                        from_seq: f1,
+                    },
+                    Message::SubscribeSource {
+                        source: s2,
+                        from_seq: f2,
+                    },
+                ) => assert_eq!((s1, f1), (s2, f2)),
+                (
+                    Message::FeedStatus {
+                        source: s1,
+                        tail: t1,
+                        head: h1,
+                    },
+                    Message::FeedStatus {
+                        source: s2,
+                        tail: t2,
+                        head: h2,
+                    },
+                ) => assert_eq!((s1, t1, h1), (s2, t2, h2)),
+                (
+                    Message::ChangeBatch {
+                        seq: q1,
+                        bootstrap: b1,
+                        records: r1,
+                    },
+                    Message::ChangeBatch {
+                        seq: q2,
+                        bootstrap: b2,
+                        records: r2,
+                    },
+                ) => {
+                    assert_eq!((q1, b1), (q2, b2));
+                    assert_eq!(r1, r2);
+                }
+                (Message::ChangeAck { seq: q1 }, Message::ChangeAck { seq: q2 }) => {
+                    assert_eq!(q1, q2)
+                }
+                other => panic!("wrong shape: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_change_batch_is_a_decode_error_not_garbage() {
+        let msg = Message::ChangeBatch {
+            seq: 9,
+            bootstrap: false,
+            records: vec![
+                ChangeRecord {
+                    key: "1042".into(),
+                    flat: Some(">>1042\nSYMBOL: BRCA2\n".into()),
+                },
+                ChangeRecord {
+                    key: "1043".into(),
+                    flat: None,
+                },
+            ],
+        };
+        let payload = msg.encode();
         for cut in 1..payload.len() {
             assert!(
                 Message::decode(&payload[..cut]).is_err(),

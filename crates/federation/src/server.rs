@@ -30,7 +30,11 @@ use std::time::Duration;
 
 use annoda_wrap::{Cost, WrapError, Wrapper};
 
-use crate::proto::{self, Message, RefusalKind, RemoteResult};
+use crate::feed::{ChangeJournal, DEFAULT_JOURNAL_CAP};
+use crate::proto::{self, ChangeRecord, Message, RefusalKind, RemoteResult};
+
+/// Most change records shipped in one [`Message::ChangeBatch`].
+const FEED_BATCH_MAX: usize = 512;
 
 /// Connection-level fault injection, counted over accepted connections
 /// (1-based).
@@ -101,6 +105,8 @@ pub struct SourceServer {
     name: String,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    wrapper: Arc<RwLock<Box<dyn Wrapper>>>,
+    journal: Arc<ChangeJournal>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -114,13 +120,32 @@ impl SourceServer {
         bind: &str,
         config: ServerConfig,
     ) -> io::Result<SourceServer> {
+        SourceServer::spawn_shared(
+            Arc::new(RwLock::new(wrapper)),
+            Arc::new(ChangeJournal::new(DEFAULT_JOURNAL_CAP)),
+            bind,
+            config,
+        )
+    }
+
+    /// Like [`SourceServer::spawn`], but over externally shared wrapper
+    /// and journal handles. Mutators (e.g. `--mutate-every`) hold the
+    /// wrapper's write lock, apply the change, append it to the journal,
+    /// and refresh the wrapper's exported model; a killed server can be
+    /// respawned over the same handles and every subscriber resumes at
+    /// its acked sequence with nothing lost or duplicated.
+    pub fn spawn_shared(
+        shared: Arc<RwLock<Box<dyn Wrapper>>>,
+        journal: Arc<ChangeJournal>,
+        bind: &str,
+        config: ServerConfig,
+    ) -> io::Result<SourceServer> {
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let name = wrapper.name().to_string();
+        let name = shared.read().expect("wrapper lock").name().to_string();
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let shared: Arc<RwLock<Box<dyn Wrapper>>> = Arc::new(RwLock::new(wrapper));
         let queue: ConnQueue = Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
 
         let mut threads = Vec::with_capacity(config.workers + 1);
@@ -129,8 +154,10 @@ impl SourceServer {
             let stop = Arc::clone(&stop);
             let shared = Arc::clone(&shared);
             let stats = Arc::clone(&stats);
+            let journal = Arc::clone(&journal);
+            let name = name.clone();
             threads.push(std::thread::spawn(move || {
-                worker_loop(&queue, &stop, &shared, &stats, config)
+                worker_loop(&queue, &stop, &shared, &journal, &name, &stats, config)
             }));
         }
         {
@@ -146,6 +173,8 @@ impl SourceServer {
             name,
             stop,
             stats,
+            wrapper: shared,
+            journal,
             threads,
         })
     }
@@ -163,6 +192,16 @@ impl SourceServer {
     /// Lifetime counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The served wrapper, shared with mutators and respawns.
+    pub fn wrapper(&self) -> &Arc<RwLock<Box<dyn Wrapper>>> {
+        &self.wrapper
+    }
+
+    /// The change journal, shared with mutators and respawns.
+    pub fn journal(&self) -> &Arc<ChangeJournal> {
+        &self.journal
     }
 
     /// Stops accepting, drains queued connections, joins every thread.
@@ -225,6 +264,8 @@ fn worker_loop(
     queue: &ConnQueue,
     stop: &AtomicBool,
     shared: &RwLock<Box<dyn Wrapper>>,
+    journal: &ChangeJournal,
+    name: &str,
     stats: &ServerStats,
     config: ServerConfig,
 ) {
@@ -245,7 +286,15 @@ fn worker_loop(
                 pending = next;
             }
         };
-        serve_session(conn, shared, stats, stop, config.read_timeout);
+        serve_session(
+            conn,
+            shared,
+            journal,
+            name,
+            stats,
+            stop,
+            config.read_timeout,
+        );
     }
 }
 
@@ -284,6 +333,8 @@ fn await_request(conn: &TcpStream, stop: &AtomicBool, read_timeout: Duration) ->
 fn serve_session(
     mut conn: TcpStream,
     shared: &RwLock<Box<dyn Wrapper>>,
+    journal: &ChangeJournal,
+    name: &str,
     stats: &ServerStats,
     stop: &AtomicBool,
     read_timeout: Duration,
@@ -366,6 +417,58 @@ fn serve_session(
                 }
             }
             Message::Ping => Message::Pong,
+            Message::SubscribeSource { source, .. } => {
+                // A subscriber naming a source this server does not
+                // serve is a protocol violation; drop the session.
+                if source != name {
+                    return;
+                }
+                let w = journal.window();
+                Message::FeedStatus {
+                    source,
+                    tail: w.tail,
+                    head: w.head,
+                }
+            }
+            // The feed is ack-driven: each ack names the last sequence
+            // the subscriber absorbed, and the reply is the next batch
+            // (empty = caught up; bootstrap = compaction outran the
+            // subscriber and it must replace, not merge).
+            Message::ChangeAck { seq } => {
+                match journal.replay_from(seq.saturating_add(1), FEED_BATCH_MAX) {
+                    Some(entries) => {
+                        let last = entries.last().map_or(seq, |(s, _)| *s);
+                        Message::ChangeBatch {
+                            seq: last,
+                            bootstrap: false,
+                            records: entries.into_iter().map(|(_, rec)| rec).collect(),
+                        }
+                    }
+                    None => {
+                        // Hold the wrapper's read lock across dump + head so
+                        // state and sequence agree (appends hold the write
+                        // lock; see the feed module's locking contract).
+                        let wrapper = shared.read().expect("wrapper lock");
+                        let head = journal.window().head;
+                        match wrapper.change_dump() {
+                            Ok(dump) => Message::ChangeBatch {
+                                seq: head,
+                                bootstrap: true,
+                                records: dump
+                                    .into_iter()
+                                    .map(|(key, flat)| ChangeRecord {
+                                        key,
+                                        flat: Some(flat),
+                                    })
+                                    .collect(),
+                            },
+                            // A source that cannot dump cannot re-seed a
+                            // lapped subscriber; drop the session.
+                            Err(_) => return,
+                        }
+                    }
+                }
+            }
             // Server-to-client tags arriving here are a protocol
             // violation; drop the session.
             _ => return,

@@ -150,6 +150,17 @@ impl SubqueryCache {
         }
     }
 
+    /// Drops only the entries whose key starts with `prefix` — the
+    /// selective-invalidation half of a single-source refresh. Keys are
+    /// `source\x01lorel`, so passing `"LocusLink\x01"` forgets exactly
+    /// that source's shipped results while every other source keeps
+    /// serving from cache.
+    pub fn invalidate_prefix(&self, prefix: &str) {
+        for shard in &self.shards {
+            shard.lock().retain(|k, _| !k.starts_with(prefix));
+        }
+    }
+
     /// Current size and lifetime counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

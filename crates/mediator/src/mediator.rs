@@ -437,13 +437,18 @@ impl Mediator {
 
     /// Re-exports one source's OML from its native database, returning
     /// the refreshed model's object count — `None` when no such source
-    /// is registered. The subquery cache invalidates like any other
-    /// registration/refresh lifecycle event; with the sharded store the
-    /// downstream commit touches only the shards this source's entities
-    /// actually changed.
+    /// is registered. Invalidation is *selective*: only this source's
+    /// cached subquery results are dropped (their keys carry the source
+    /// name), so after a single-source delta every other source keeps
+    /// answering from cache and the next integrated question re-ships
+    /// one source, not all of them. The search index still rebuilds
+    /// wholesale — its postings fuse all sources.
     pub fn refresh_source(&mut self, name: &str) -> Option<usize> {
         let pos = self.wrappers.iter().position(|w| w.name() == name)?;
-        self.invalidate_cache();
+        if let Some(c) = &self.cache {
+            c.invalidate_prefix(&format!("{name}\x01"));
+        }
+        self.search_index = None;
         Some(self.wrappers[pos].refresh())
     }
 
@@ -683,10 +688,27 @@ impl Mediator {
         let mut cost = Cost::new();
         let mut tagged = Vec::new();
         for step in &fetch_all_plan.steps {
-            let wrapper = self
-                .wrapper(&step.query.source)
-                .ok_or_else(|| MediatorError::UnknownSource(step.query.source.clone()))?;
-            let result = wrapper.subquery(&step.query.lorel, &mut cost)?;
+            // The fetch-all subqueries ride the same cache as the
+            // question path: after a single-source delta (whose refresh
+            // invalidates only that source's keys) a re-materialisation
+            // re-ships one source and reads the rest from cache.
+            let key = format!("{}\x01{}", step.query.source, step.query.lorel);
+            let result = match self.cache.as_ref().and_then(|c| c.get(&key)) {
+                Some(hit) => {
+                    cost += Cost::cache_hit();
+                    hit
+                }
+                None => {
+                    let wrapper = self
+                        .wrapper(&step.query.source)
+                        .ok_or_else(|| MediatorError::UnknownSource(step.query.source.clone()))?;
+                    let result = wrapper.subquery(&step.query.lorel, &mut cost)?;
+                    if let Some(cache) = &self.cache {
+                        cache.insert(key, result.clone());
+                    }
+                    result
+                }
+            };
             tagged.push(TaggedResult {
                 source: step.query.source.clone(),
                 purpose: step.query.purpose,

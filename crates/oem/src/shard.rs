@@ -292,6 +292,69 @@ impl ShardedStore {
         changed
     }
 
+    /// Counts the fragments that differ between `self` and `staged`
+    /// within the given shards (typically the
+    /// [`changed_shards`](Self::changed_shards) set): a fragment counts
+    /// when its `(label, key)` pair exists on only one side, or exists
+    /// on both but is structurally unequal. Both sides hold fragments in
+    /// canonical `(label, key)` order, so this is a linear merge-walk.
+    pub fn changed_fragments(&self, staged: &Self, shards: &[usize]) -> usize {
+        let list = |store: &OemStore| -> Vec<(String, String, Oid)> {
+            let Some(root) = store.named(&self.root_name) else {
+                return Vec::new();
+            };
+            store
+                .edges_of(root)
+                .iter()
+                .map(|e| {
+                    let label = store.label_name(e.label).to_string();
+                    let key = fragment_key(store, &label, e.target);
+                    (label, key, e.target)
+                })
+                .collect()
+        };
+        let mut changed = 0usize;
+        for &i in shards {
+            if i >= self.shards.len() || i >= staged.shards.len() {
+                continue;
+            }
+            let (a, b) = (&self.shards[i], &staged.shards[i]);
+            let (la, lb) = (list(a), list(b));
+            let (mut x, mut y) = (0usize, 0usize);
+            loop {
+                match (la.get(x), lb.get(y)) {
+                    (Some(fa), Some(fb)) => match (&fa.0, &fa.1).cmp(&(&fb.0, &fb.1)) {
+                        std::cmp::Ordering::Less => {
+                            changed += 1;
+                            x += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            changed += 1;
+                            y += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            if !structural_eq(a, fa.2, b, fb.2) {
+                                changed += 1;
+                            }
+                            x += 1;
+                            y += 1;
+                        }
+                    },
+                    (Some(_), None) => {
+                        changed += 1;
+                        x += 1;
+                    }
+                    (None, Some(_)) => {
+                        changed += 1;
+                        y += 1;
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        changed
+    }
+
     /// Reassembles the canonical flat store: a single root named
     /// [`root_name`](Self::root_name) whose children are every shard's
     /// fragments, k-way merged back into canonical `(label, key)`
@@ -470,6 +533,42 @@ mod tests {
             let expect = if i == idx { b + 1 } else { b };
             assert_eq!(sharded.epochs()[i], expect);
         }
+    }
+
+    #[test]
+    fn changed_fragments_counts_mutations_inserts_and_removals() {
+        let flat = gml_fixture();
+        let sharded = ShardedStore::partition(&flat, "ANNODA-GML", 4).unwrap();
+        // No change: zero fragments differ anywhere.
+        let same = ShardedStore::partition(&flat, "ANNODA-GML", 4).unwrap();
+        let all: Vec<usize> = (0..4).collect();
+        assert_eq!(sharded.changed_fragments(&same, &all), 0);
+
+        // Mutate one gene, drop another, add a new function.
+        let mut mutated = gml_fixture();
+        let root = mutated.named("ANNODA-GML").unwrap();
+        let tp53 = mutated
+            .edges_of(root)
+            .iter()
+            .find(|e| fragment_key(&mutated, "Gene", e.target) == "TP53")
+            .unwrap()
+            .target;
+        mutated.add_atomic_child(tp53, "Note", "mutated").unwrap();
+        let kras = *mutated
+            .edges_of(root)
+            .iter()
+            .find(|e| fragment_key(&mutated, "Gene", e.target) == "KRAS")
+            .unwrap();
+        let kras_label = mutated.label_name(kras.label).to_string();
+        mutated.remove_edge(root, &kras_label, kras.target).unwrap();
+        let f = mutated.add_complex_child(root, "Function").unwrap();
+        mutated
+            .add_atomic_child(f, "FunctionID", "GO:0099")
+            .unwrap();
+        let staged = ShardedStore::partition(&mutated, "ANNODA-GML", 4).unwrap();
+
+        let changed = sharded.changed_shards(&staged);
+        assert_eq!(sharded.changed_fragments(&staged, &changed), 3);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! and locus aggregation resolves ties toward the earlier document.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use annoda_oem::TextDoc;
@@ -82,6 +83,20 @@ pub struct SourceIndex {
 }
 
 impl SourceIndex {
+    /// The indexed documents, as the [`TextDoc`]s they were built from
+    /// — what an incremental updater needs to prove a memoised index
+    /// still matches a fresh harvest everywhere it was *not* updated.
+    pub fn text_docs(&self) -> Vec<TextDoc> {
+        self.docs
+            .iter()
+            .map(|d| TextDoc {
+                key: d.key.clone(),
+                text: d.text.clone(),
+                loci: d.loci.clone(),
+            })
+            .collect()
+    }
+
     /// Tokenizes and indexes `docs` under source name `source`.
     pub fn build(source: &str, docs: &[TextDoc]) -> SourceIndex {
         let mut indexed = Vec::with_capacity(docs.len());
@@ -222,7 +237,7 @@ pub struct SearchStats {
 /// segments are verified against.
 #[derive(Debug, Clone)]
 pub struct SearchIndex {
-    pub(crate) sources: Vec<SourceIndex>,
+    pub(crate) sources: Vec<Arc<SourceIndex>>,
     pub(crate) stats: SearchStats,
     pub(crate) fingerprint: u32,
 }
@@ -234,10 +249,10 @@ impl SearchIndex {
     pub fn build(sources: &[(String, Vec<TextDoc>)]) -> SearchIndex {
         let start = Instant::now();
         let fingerprint = docs_fingerprint(sources);
-        let mut built: Vec<SourceIndex> = sources
+        let mut built: Vec<Arc<SourceIndex>> = sources
             .iter()
             .filter(|(_, docs)| !docs.is_empty())
-            .map(|(name, docs)| SourceIndex::build(name, docs))
+            .map(|(name, docs)| Arc::new(SourceIndex::build(name, docs)))
             .collect();
         built.sort_by(|a, b| a.source.cmp(&b.source));
         let mut index = SearchIndex {
@@ -249,12 +264,48 @@ impl SearchIndex {
         index
     }
 
+    /// Clones the index with exactly one source's documents replaced:
+    /// the named source is re-tokenized and re-indexed, every other
+    /// [`SourceIndex`] is shared by `Arc` — the incremental path a
+    /// record-level change feed takes, whose cost scales with the
+    /// touched source instead of the whole corpus. `fingerprint` must
+    /// be the fingerprint of the *full* post-update harvest (the memo
+    /// key persisted segments are verified against). Empty `docs`
+    /// drops the source; an unknown name inserts it in name order.
+    pub fn with_source_updated(
+        &self,
+        name: &str,
+        docs: &[TextDoc],
+        fingerprint: u32,
+    ) -> SearchIndex {
+        let start = Instant::now();
+        let mut sources: Vec<Arc<SourceIndex>> = self
+            .sources
+            .iter()
+            .filter(|s| s.source != name)
+            .cloned()
+            .collect();
+        if !docs.is_empty() {
+            let pos = sources
+                .binary_search_by(|s| s.source.as_str().cmp(name))
+                .unwrap_or_else(|i| i);
+            sources.insert(pos, Arc::new(SourceIndex::build(name, docs)));
+        }
+        let mut index = SearchIndex {
+            sources,
+            stats: SearchStats::default(),
+            fingerprint,
+        };
+        index.stats = index.recount(start.elapsed().as_micros() as u64);
+        index
+    }
+
     pub(crate) fn recount(&self, build_us: u64) -> SearchStats {
         SearchStats {
             sources: self.sources.len(),
-            docs: self.sources.iter().map(SourceIndex::doc_count).sum(),
-            terms: self.sources.iter().map(SourceIndex::term_count).sum(),
-            postings: self.sources.iter().map(SourceIndex::posting_count).sum(),
+            docs: self.sources.iter().map(|s| s.doc_count()).sum(),
+            terms: self.sources.iter().map(|s| s.term_count()).sum(),
+            postings: self.sources.iter().map(|s| s.posting_count()).sum(),
             build_us,
         }
     }
@@ -272,7 +323,7 @@ impl SearchIndex {
 
     /// The per-source indexes, name order.
     pub fn sources(&self) -> impl Iterator<Item = &SourceIndex> {
-        self.sources.iter()
+        self.sources.iter().map(Arc::as_ref)
     }
 
     /// Runs a ranked query: tokenizes, BM25-scores each source,
@@ -354,6 +405,50 @@ mod tests {
         let a = idx.search("repair apoptosis", 10, FusionStrategy::Rrf);
         let b = idx.search("repair apoptosis", 10, FusionStrategy::Rrf);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_source_update_matches_full_rebuild() {
+        let idx = tiny_index();
+        let updated_omim = vec![
+            doc("100", "a disorder involving DNA repair", &["BRCA1"]),
+            doc("200", "revised apoptosis phenotype", &["TP53"]),
+        ];
+        let full_sources = vec![
+            (
+                "GO".to_string(),
+                vec![
+                    doc("GO:1", "DNA repair and damage response", &["BRCA1", "TP53"]),
+                    doc("GO:2", "apoptosis regulation", &["TP53"]),
+                    doc("GO:3", "cell cycle checkpoint", &["CDK2"]),
+                ],
+            ),
+            ("OMIM".to_string(), updated_omim.clone()),
+        ];
+        let full = SearchIndex::build(&full_sources);
+        let incr = idx.with_source_updated("OMIM", &updated_omim, full.fingerprint());
+        assert_eq!(incr.fingerprint(), full.fingerprint());
+        for q in ["DNA repair", "apoptosis", "checkpoint"] {
+            assert_eq!(
+                incr.search(q, 10, FusionStrategy::Weighted),
+                full.search(q, 10, FusionStrategy::Weighted),
+                "query {q} must be identical"
+            );
+        }
+        let (a, b) = (incr.stats(), full.stats());
+        assert_eq!(
+            (a.sources, a.docs, a.terms, a.postings),
+            (b.sources, b.docs, b.terms, b.postings)
+        );
+        // The untouched source is shared, not copied.
+        assert!(Arc::ptr_eq(&idx.sources[0], &incr.sources[0]));
+        // Emptying a source drops it; updating an unknown one inserts.
+        let dropped = idx.with_source_updated("OMIM", &[], 0);
+        assert_eq!(dropped.stats().sources, 1);
+        let inserted =
+            idx.with_source_updated("PubMed", &[doc("1", "linkage study", &["CDK2"])], 0);
+        let names: Vec<&str> = inserted.sources().map(|s| s.source.as_str()).collect();
+        assert_eq!(names, vec!["GO", "OMIM", "PubMed"]);
     }
 
     #[test]

@@ -163,7 +163,9 @@ pub fn load_segments(path: &Path, expect_fingerprint: u32) -> Option<SearchIndex
             }
             postings.insert(term, list);
         }
-        sources.push(SourceIndex::from_parts(name, docs, postings));
+        sources.push(std::sync::Arc::new(SourceIndex::from_parts(
+            name, docs, postings,
+        )));
     }
     if !r.is_empty() {
         return None;

@@ -24,6 +24,15 @@
 //! shard transactions, readers pin consistent epoch vectors, and the
 //! HTTP cache invalidates only the shards a refresh actually touched.
 //!
+//! With `--subscribe SOURCE=HOST:PORT` (repeatable) the node tails a
+//! source-server's change feed: record-level deltas are absorbed
+//! through `DurableSystem::absorb_delta` as they are pushed, so the
+//! served view stays fresh without `POST /admin/refresh` round trips.
+//! `/metrics` exposes per-source feed gauges and `/healthz` the feed
+//! positions. A `--follow` node rejects `--subscribe` — a follower's
+//! store must stay a byte-identical replica of its leader's WAL, so
+//! it inherits streamed changes through replication instead.
+//!
 //! ```text
 //! annoda-serve [--addr HOST:PORT] [--loci N] [--seed N]
 //!              [--shards N] [--workers N] [--queue N]
@@ -31,6 +40,7 @@
 //!              [--data-dir DIR] [--fsync always|batched:N|onsnapshot]
 //!              [--repl-bind HOST:PORT]
 //!              [--follow HOST:PORT] [--leader-http HOST:PORT]
+//!              [--subscribe SOURCE=HOST:PORT]...
 //! ```
 
 use std::io::BufRead;
@@ -41,6 +51,7 @@ use annoda::{Annoda, DurableSystem, FsyncPolicy, Role};
 use annoda_replica::{LeaderConfig, LeaderServer, ReplicaClient, ReplicaConfig};
 use annoda_serve::{ServeConfig, Server};
 use annoda_sources::{Corpus, CorpusConfig};
+use annoda_stream::{StreamClient, StreamConfig};
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8642".to_string();
@@ -55,6 +66,7 @@ fn main() -> ExitCode {
     let mut repl_bind: Option<String> = None;
     let mut follow: Option<String> = None;
     let mut leader_http: Option<String> = None;
+    let mut subscriptions: Vec<(String, String)> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -122,6 +134,18 @@ fn main() -> ExitCode {
                 Some(v) => leader_http = Some(v),
                 None => return ExitCode::FAILURE,
             },
+            "--subscribe" => match take("--subscribe") {
+                Some(v) => match v.split_once('=') {
+                    Some((source, addr)) if !source.is_empty() && !addr.is_empty() => {
+                        subscriptions.push((source.to_string(), addr.to_string()));
+                    }
+                    _ => {
+                        eprintln!("error: --subscribe takes SOURCE=HOST:PORT");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => return ExitCode::FAILURE,
+            },
             "--help" | "-h" => {
                 println!(
                     "annoda-serve [--addr HOST:PORT] [--loci N] [--seed N] \
@@ -129,7 +153,8 @@ fn main() -> ExitCode {
                      [--store-shards N] [--data-dir DIR] \
                      [--fsync always|batched:N|onsnapshot] \
                      [--repl-bind HOST:PORT] [--follow HOST:PORT] \
-                     [--leader-http HOST:PORT]"
+                     [--leader-http HOST:PORT] \
+                     [--subscribe SOURCE=HOST:PORT]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -149,6 +174,14 @@ fn main() -> ExitCode {
     }
     if store_shards.is_some() && follow.is_some() {
         eprintln!("error: --store-shards needs a writable store (not --follow)");
+        return ExitCode::FAILURE;
+    }
+    if follow.is_some() && !subscriptions.is_empty() {
+        eprintln!(
+            "error: --subscribe needs a writable store (not --follow): a follower's \
+             store is a byte-identical replica of its leader's WAL, so it receives \
+             streamed changes through replication — subscribe on the leader instead"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -259,8 +292,26 @@ fn main() -> ExitCode {
     };
     let mut replica_client = follow.as_deref().map(|leader| {
         eprintln!("following leader WAL at {leader}");
-        ReplicaClient::spawn(system_handle, leader, ReplicaConfig::default())
+        ReplicaClient::spawn(
+            std::sync::Arc::clone(&system_handle),
+            leader,
+            ReplicaConfig::default(),
+        )
     });
+    let mut stream_clients: Vec<StreamClient> = subscriptions
+        .iter()
+        .map(|(source, feed_addr)| {
+            eprintln!("tailing change feed for {source} at {feed_addr}");
+            let client = StreamClient::spawn(
+                std::sync::Arc::clone(&system_handle),
+                source,
+                feed_addr,
+                StreamConfig::default(),
+            );
+            server.app().register_feed(client.gauges());
+            client
+        })
+        .collect();
 
     println!("annoda-serve listening on http://{bound}");
     println!("routes:");
@@ -285,6 +336,9 @@ fn main() -> ExitCode {
     }
 
     eprintln!("shutting down (draining in-flight requests)...");
+    for client in &mut stream_clients {
+        client.shutdown();
+    }
     if let Some(client) = replica_client.as_mut() {
         client.shutdown();
     }

@@ -58,8 +58,37 @@ pub struct LoadgenConfig {
     pub refresh_path: Option<String>,
     /// Fraction (0..=1) of requests diverted to `refresh_path`.
     pub refresh_ratio: f64,
+    /// Optional status probe mixed into the stream (e.g. `/healthz`,
+    /// which carries the change-feed positions) — lets a run against a
+    /// node under active absorption sample feed lag inline with reads.
+    pub probe_path: Option<String>,
+    /// Fraction (0..=1) of requests diverted to `probe_path`.
+    pub probe_ratio: f64,
     /// Closed or open loop.
     pub mode: LoadMode,
+}
+
+impl LoadgenConfig {
+    /// The canonical mixed read workload for a node under active
+    /// change-feed absorption, shared by experiment B16 and manual
+    /// runs: `/genes` reads with a fraction diverted to ranked search
+    /// and a small fraction probing `/healthz` (where the feed
+    /// positions live) — all through the exact-fraction accumulator,
+    /// so every run offers the identical deterministic mix.
+    pub fn stream_mix(connections: usize, requests_per_conn: usize, mode: LoadMode) -> Self {
+        LoadgenConfig {
+            connections,
+            requests_per_conn,
+            path: "/genes?organism=Homo+sapiens".to_string(),
+            search_path: Some("/search?q=transcription+factor&k=5".to_string()),
+            search_ratio: 0.2,
+            refresh_path: None,
+            refresh_ratio: 0.0,
+            probe_path: Some("/healthz".to_string()),
+            probe_ratio: 0.05,
+            mode,
+        }
+    }
 }
 
 /// Deterministic request interleaver: diverts `ratio` of the stream to
@@ -73,6 +102,9 @@ struct RequestMix {
     refresh: Option<Vec<u8>>,
     refresh_ratio: f64,
     refresh_acc: f64,
+    probe: Option<Vec<u8>>,
+    probe_ratio: f64,
+    probe_acc: f64,
 }
 
 impl RequestMix {
@@ -93,18 +125,32 @@ impl RequestMix {
                 .map(post_bytes),
             refresh_ratio: config.refresh_ratio.clamp(0.0, 1.0),
             refresh_acc: 0.0,
+            probe: config
+                .probe_path
+                .as_deref()
+                .filter(|_| config.probe_ratio > 0.0)
+                .map(request_bytes),
+            probe_ratio: config.probe_ratio.clamp(0.0, 1.0),
+            probe_acc: 0.0,
         }
     }
 
     fn next(&mut self) -> &[u8] {
         // Refresh diversion runs first so writes land at their exact
-        // configured fraction of the whole stream; searches then split
-        // the remaining reads.
+        // configured fraction of the whole stream; probes take the
+        // next cut, and searches then split the remaining reads.
         if let Some(refresh) = &self.refresh {
             self.refresh_acc += self.refresh_ratio;
             if self.refresh_acc >= 1.0 {
                 self.refresh_acc -= 1.0;
                 return refresh;
+            }
+        }
+        if let Some(probe) = &self.probe {
+            self.probe_acc += self.probe_ratio;
+            if self.probe_acc >= 1.0 {
+                self.probe_acc -= 1.0;
+                return probe;
             }
         }
         if let Some(secondary) = &self.secondary {
@@ -525,6 +571,8 @@ mod tests {
             search_ratio: ratio,
             refresh_path: None,
             refresh_ratio: 0.0,
+            probe_path: None,
+            probe_ratio: 0.0,
             mode: LoadMode::Closed,
         }
     }
@@ -592,6 +640,32 @@ mod tests {
                 .any(|r| r.windows(19).any(|w| w == b"Content-Length: 0\r\n")),
             "POSTs carry an explicit empty body"
         );
+    }
+
+    #[test]
+    fn stream_mix_probes_at_the_configured_fraction() {
+        let cfg = LoadgenConfig::stream_mix(2, 0, LoadMode::Closed);
+        let mut mix = RequestMix::from_config(&cfg);
+        let picks: Vec<Vec<u8>> = (0..40).map(|_| mix.next().to_vec()).collect();
+        let probes = picks
+            .iter()
+            .filter(|r| r.starts_with(b"GET /healthz"))
+            .count();
+        assert_eq!(probes, 2, "exactly 5% feed-position probes");
+        let searches = picks
+            .iter()
+            .filter(|r| r.starts_with(b"GET /search"))
+            .count();
+        // The search accumulator advances on the 38 non-probe picks:
+        // 38 * 0.2 crosses 1.0 seven times.
+        assert_eq!(searches, 7, "searches split the remaining reads");
+        assert!(
+            picks.iter().all(|r| !r.starts_with(b"POST")),
+            "the stream mix is read-only"
+        );
+        let mut again = RequestMix::from_config(&cfg);
+        let replay: Vec<Vec<u8>> = (0..40).map(|_| again.next().to_vec()).collect();
+        assert_eq!(picks, replay, "deterministic: B16 and manual runs agree");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::time::Duration;
 use annoda::{PersistStats, ReplStats, ShardGauges, TxnStats};
 use annoda_federation::RemoteStatsSnapshot;
 use annoda_mediator::CacheStats;
+use annoda_stream::FeedSnapshot;
 
 use crate::cache::CacheSnapshot;
 use crate::json::Json;
@@ -217,6 +218,7 @@ impl Metrics {
         search: Option<SearchGauges>,
         repl: Option<ReplStats>,
         federation: &[(String, RemoteStatsSnapshot)],
+        feeds: &[FeedSnapshot],
         store: Option<&StoreGauges>,
     ) -> String {
         use std::fmt::Write as _;
@@ -492,6 +494,54 @@ impl Metrics {
                 f.last_wall_us
             );
         }
+        for f in feeds {
+            let source = &f.source;
+            let _ = writeln!(
+                out,
+                "annoda_feed_applied_seq{{source=\"{source}\"}} {}",
+                f.applied_seq
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_head_seq{{source=\"{source}\"}} {}",
+                f.head_seq
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_lag_records{{source=\"{source}\"}} {}",
+                f.lag_records
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_lag_us{{source=\"{source}\"}} {}",
+                f.lag_us
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_batches_total{{source=\"{source}\"}} {}",
+                f.batches
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_records_total{{source=\"{source}\"}} {}",
+                f.records
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_bootstraps_total{{source=\"{source}\"}} {}",
+                f.bootstraps
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_resubscribes_total{{source=\"{source}\"}} {}",
+                f.resubscribes
+            );
+            let _ = writeln!(
+                out,
+                "annoda_feed_absorb_us_total{{source=\"{source}\"}} {}",
+                f.absorb_us
+            );
+        }
         out
     }
 
@@ -507,6 +557,7 @@ impl Metrics {
         search: Option<SearchGauges>,
         repl: Option<ReplStats>,
         federation: &[(String, RemoteStatsSnapshot)],
+        feeds: &[FeedSnapshot],
         store: Option<&StoreGauges>,
     ) -> Json {
         let routes = ROUTES
@@ -709,6 +760,27 @@ impl Metrics {
                 })
                 .collect(),
         );
+        let feeds_json = Json::Obj(
+            feeds
+                .iter()
+                .map(|f| {
+                    (
+                        f.source.clone(),
+                        Json::obj([
+                            ("applied_seq", Json::Int(f.applied_seq as i64)),
+                            ("head_seq", Json::Int(f.head_seq as i64)),
+                            ("lag_records", Json::Int(f.lag_records as i64)),
+                            ("lag_us", Json::Int(f.lag_us as i64)),
+                            ("batches", Json::Int(f.batches as i64)),
+                            ("records", Json::Int(f.records as i64)),
+                            ("bootstraps", Json::Int(f.bootstraps as i64)),
+                            ("resubscribes", Json::Int(f.resubscribes as i64)),
+                            ("absorb_us", Json::Int(f.absorb_us as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         Json::obj([
             (
                 "connections",
@@ -728,6 +800,7 @@ impl Metrics {
             ("search", search_json),
             ("replication", repl_json),
             ("federation", federation_json),
+            ("feeds", feeds_json),
             ("store", store_json),
         ])
     }
@@ -857,6 +930,18 @@ mod tests {
                     breaker: annoda_federation::BreakerState::Open,
                 },
             )],
+            &[FeedSnapshot {
+                source: "OMIM".to_string(),
+                applied_seq: 42,
+                head_seq: 45,
+                lag_records: 3,
+                lag_us: 1_800,
+                batches: 6,
+                records: 42,
+                bootstraps: 1,
+                resubscribes: 2,
+                absorb_us: 5_400,
+            }],
             Some(&StoreGauges {
                 shards: vec![
                     ShardGauges {
@@ -975,9 +1060,18 @@ mod tests {
         assert!(text.contains("annoda_federation_breaker_opens_total{source=\"OMIM\"} 1"));
         assert!(text.contains("annoda_federation_wall_us_total{source=\"OMIM\"} 9000"));
         assert!(text.contains("annoda_federation_last_wall_us{source=\"OMIM\"} 700"));
+        assert!(text.contains("annoda_feed_applied_seq{source=\"OMIM\"} 42"));
+        assert!(text.contains("annoda_feed_head_seq{source=\"OMIM\"} 45"));
+        assert!(text.contains("annoda_feed_lag_records{source=\"OMIM\"} 3"));
+        assert!(text.contains("annoda_feed_lag_us{source=\"OMIM\"} 1800"));
+        assert!(text.contains("annoda_feed_batches_total{source=\"OMIM\"} 6"));
+        assert!(text.contains("annoda_feed_records_total{source=\"OMIM\"} 42"));
+        assert!(text.contains("annoda_feed_bootstraps_total{source=\"OMIM\"} 1"));
+        assert!(text.contains("annoda_feed_resubscribes_total{source=\"OMIM\"} 2"));
+        assert!(text.contains("annoda_feed_absorb_us_total{source=\"OMIM\"} 5400"));
 
         let json = m
-            .render_json(&gauge, http, None, None, None, None, None, &[], None)
+            .render_json(&gauge, http, None, None, None, None, None, &[], &[], None)
             .to_text();
         assert!(
             json.contains("\"genes\":{\"requests\":2,\"errors\":1"),
@@ -990,6 +1084,7 @@ mod tests {
         assert!(json.contains("\"replication\":null"));
         assert!(json.contains("\"store\":null"));
         assert!(json.contains("\"federation\":{}"));
+        assert!(json.contains("\"feeds\":{}"));
         assert!(json.contains("\"generation\":9"), "{json}");
         assert!(json.contains("\"not_modified\":2"), "{json}");
         assert!(json.contains("\"in_flight_budget\":2"), "{json}");
@@ -1005,11 +1100,27 @@ mod tests {
                 None,
                 None,
                 &[("GO".to_string(), RemoteStatsSnapshot::default())],
+                &[FeedSnapshot {
+                    source: "LocusLink".to_string(),
+                    applied_seq: 9,
+                    head_seq: 9,
+                    lag_records: 0,
+                    lag_us: 0,
+                    batches: 4,
+                    records: 9,
+                    bootstraps: 0,
+                    resubscribes: 1,
+                    absorb_us: 2_100,
+                }],
                 None,
             )
             .to_text();
         assert!(
             json.contains("\"federation\":{\"GO\":{\"breaker\":\"closed\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"feeds\":{\"LocusLink\":{\"applied_seq\":9,\"head_seq\":9"),
             "{json}"
         );
     }

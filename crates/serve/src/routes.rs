@@ -23,6 +23,7 @@ use annoda_mediator::fusion::IntegratedGene;
 use annoda_mediator::{MediatorError, WebLink};
 use annoda_oem::text as oem_text;
 use annoda_oem::ShardRouter;
+use annoda_stream::{FeedGauges, FeedSnapshot};
 
 use crate::cache::{CacheGauges, ShardDeps};
 use crate::http::{percent_decode, Request, Response};
@@ -56,6 +57,10 @@ pub struct App {
     pub search_queries: AtomicU64,
     /// `/search` queries that matched no locus.
     pub search_zero_hits: AtomicU64,
+    /// Change-feed tailer gauges, one per subscribed source. Registered
+    /// after startup (the tailers need the system handle the server
+    /// creates), hence the lock rather than a plain `Vec`.
+    pub feeds: RwLock<Vec<Arc<FeedGauges>>>,
 }
 
 impl App {
@@ -69,6 +74,25 @@ impl App {
     /// Write access to the system (admin routes only).
     pub fn system_mut(&self) -> RwLockWriteGuard<'_, DurableSystem> {
         self.system.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers a change-feed tailer's gauges for `/metrics` and
+    /// `/healthz` exposition.
+    pub fn register_feed(&self, gauges: Arc<FeedGauges>) {
+        self.feeds
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(gauges);
+    }
+
+    /// Point-in-time copies of every registered feed's gauges.
+    pub fn feed_snapshots(&self) -> Vec<FeedSnapshot> {
+        self.feeds
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|g| g.snapshot())
+            .collect()
     }
 }
 
@@ -605,16 +629,26 @@ fn healthz(app: &App, format: Format) -> Response {
         let (generation, wal_offset) = sys.wal_position().unwrap_or((0, 0));
         (sys.role(), generation, wal_offset)
     };
+    let feeds = app.feed_snapshots();
     match format {
-        Format::Text => Response::text(
-            200,
-            format!(
+        Format::Text => {
+            let mut body = format!(
                 "ok\nuptime_s: {}\nrequests: {}\nrole: {role}\ngeneration: {generation}\n\
                  wal_offset: {wal_offset}\n",
                 uptime.as_secs(),
                 app.metrics.requests_total()
-            ),
-        ),
+            );
+            // Feed positions double as the streaming write token: a
+            // client can wait for `applied_seq` to cover a mutation it
+            // knows the source journaled.
+            for f in &feeds {
+                body.push_str(&format!(
+                    "feed {}: applied_seq {} head_seq {} lag_records {}\n",
+                    f.source, f.applied_seq, f.head_seq, f.lag_records
+                ));
+            }
+            Response::text(200, body)
+        }
         Format::Json => Response::json(
             200,
             &Json::obj([
@@ -624,6 +658,24 @@ fn healthz(app: &App, format: Format) -> Response {
                 ("role", Json::str(role.to_string())),
                 ("generation", Json::Int(generation as i64)),
                 ("wal_offset", Json::Int(wal_offset as i64)),
+                (
+                    "feeds",
+                    Json::Obj(
+                        feeds
+                            .iter()
+                            .map(|f| {
+                                (
+                                    f.source.clone(),
+                                    Json::obj([
+                                        ("applied_seq", Json::Int(f.applied_seq as i64)),
+                                        ("head_seq", Json::Int(f.head_seq as i64)),
+                                        ("lag_records", Json::Int(f.lag_records as i64)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     }
@@ -665,6 +717,7 @@ fn metrics(app: &App, format: Format) -> Response {
         shed: app.shed.snapshot(),
         generation: app.generation.load(Ordering::Acquire),
     };
+    let feeds = app.feed_snapshots();
     match format {
         Format::Text => Response::text(
             200,
@@ -677,6 +730,7 @@ fn metrics(app: &App, format: Format) -> Response {
                 search,
                 Some(repl),
                 &federation,
+                &feeds,
                 store.as_ref(),
             ),
         ),
@@ -691,6 +745,7 @@ fn metrics(app: &App, format: Format) -> Response {
                 search,
                 Some(repl),
                 &federation,
+                &feeds,
                 store.as_ref(),
             ),
         ),
@@ -719,8 +774,13 @@ fn admin_refresh(app: &App, req: &Request, format: Format) -> Response {
             Format::Text => Response::text(
                 200,
                 format!(
-                    "refreshed_objects: {}\njournaled_records: {}\npersisted: {}\n",
-                    outcome.refreshed_objects, outcome.journaled_records, outcome.persisted
+                    "refreshed_objects: {}\njournaled_records: {}\npersisted: {}\n\
+                     changed_shards: {}\nchanged_fragments: {}\n",
+                    outcome.refreshed_objects,
+                    outcome.journaled_records,
+                    outcome.persisted,
+                    outcome.changed_shards,
+                    outcome.changed_fragments
                 ),
             ),
             Format::Json => Response::json(
@@ -735,6 +795,11 @@ fn admin_refresh(app: &App, req: &Request, format: Format) -> Response {
                         Json::Int(outcome.journaled_records as i64),
                     ),
                     ("persisted", Json::Bool(outcome.persisted)),
+                    ("changed_shards", Json::Int(outcome.changed_shards as i64)),
+                    (
+                        "changed_fragments",
+                        Json::Int(outcome.changed_fragments as i64),
+                    ),
                 ]),
             ),
         },

@@ -149,6 +149,7 @@ impl Server {
             started: Instant::now(),
             search_queries: AtomicU64::default(),
             search_zero_hits: AtomicU64::default(),
+            feeds: RwLock::new(Vec::new()),
         });
         let stop = Arc::new(AtomicBool::new(false));
 

@@ -121,6 +121,18 @@ impl LocusLinkDb {
         Some(&mut self.records[idx])
     }
 
+    /// Removes the record with this LocusID, preserving the load order
+    /// of the rest (so a dump after a remove matches a reload that
+    /// never saw the record). Returns whether a record was removed.
+    pub fn remove(&mut self, locus_id: u32) -> bool {
+        if !self.by_id.contains_key(&locus_id) {
+            return false;
+        }
+        let records = std::mem::take(&mut self.records);
+        *self = LocusLinkDb::from_records(records.into_iter().filter(|r| r.locus_id != locus_id));
+        true
+    }
+
     // ----- native flat format -------------------------------------------
 
     /// Serialises the database in the `LL_tmpl`-style flat format.

@@ -182,6 +182,17 @@ impl OmimDb {
         self.entries.iter()
     }
 
+    /// Removes the entry with this MIM number, preserving the load
+    /// order of the rest. Returns whether an entry was removed.
+    pub fn remove(&mut self, mim: u32) -> bool {
+        if !self.by_mim.contains_key(&mim) {
+            return false;
+        }
+        let entries = std::mem::take(&mut self.entries);
+        *self = OmimDb::from_entries(entries.into_iter().filter(|e| e.mim_number != mim));
+        true
+    }
+
     /// Phenotype entries only (diseases).
     pub fn diseases(&self) -> impl Iterator<Item = &OmimEntry> {
         self.entries

@@ -21,6 +21,7 @@ pub mod descr;
 pub mod flaky;
 pub mod go;
 pub mod locuslink;
+pub mod mutate;
 pub mod omim;
 pub mod pubmed;
 pub mod wrapper;
@@ -30,7 +31,8 @@ pub use custom::CustomWrapper;
 pub use descr::{Capabilities, SourceDescription};
 pub use flaky::{DelayMode, FailureMode, FlakyWrapper};
 pub use go::GoWrapper;
-pub use locuslink::LocusLinkWrapper;
-pub use omim::OmimWrapper;
+pub use locuslink::{locus_flat, LocusLinkWrapper};
+pub use mutate::scripted_mutation;
+pub use omim::{omim_flat, OmimWrapper};
 pub use pubmed::PubmedWrapper;
 pub use wrapper::{AccessIndexes, SubqueryResult, WrapError, Wrapper};

@@ -1,10 +1,16 @@
 //! The LocusLink wrapper — produces the OML of Figures 2–3.
 
 use annoda_oem::{AtomicValue, OemStore};
-use annoda_sources::LocusLinkDb;
+use annoda_sources::{LocusLinkDb, LocusRecord};
 
 use crate::descr::SourceDescription;
-use crate::wrapper::{AccessIndexes, Wrapper};
+use crate::wrapper::{AccessIndexes, WrapError, Wrapper};
+
+/// A single record's native flat serialization — the change-feed
+/// payload for an upserted locus.
+pub fn locus_flat(rec: &LocusRecord) -> String {
+    LocusLinkDb::from_records([rec.clone()]).to_flat()
+}
 
 /// Wraps a [`LocusLinkDb`] as the `LocusLink` ANNODA-OML local model.
 ///
@@ -91,6 +97,54 @@ impl Wrapper for LocusLinkWrapper {
 
     fn indexes(&self) -> Option<&AccessIndexes> {
         Some(&self.indexes)
+    }
+
+    fn apply_change(&mut self, key: &str, flat: Option<&str>) -> Result<(), WrapError> {
+        match flat {
+            Some(flat) => {
+                let parsed = LocusLinkDb::from_flat(flat).map_err(|e| {
+                    WrapError::Unsupported(format!("bad LocusLink change for `{key}`: {e}"))
+                })?;
+                let mut records: Vec<LocusRecord> = parsed.scan().cloned().collect();
+                let rec = match (records.pop(), records.is_empty()) {
+                    (Some(rec), true) => rec,
+                    _ => {
+                        return Err(WrapError::Unsupported(format!(
+                            "LocusLink change for `{key}` must carry exactly one record"
+                        )))
+                    }
+                };
+                if rec.locus_id.to_string() != key {
+                    return Err(WrapError::Unsupported(format!(
+                        "LocusLink change key `{key}` disagrees with record id {}",
+                        rec.locus_id
+                    )));
+                }
+                self.db.upsert(rec);
+            }
+            None => {
+                let id: u32 = key.parse().map_err(|_| {
+                    WrapError::Unsupported(format!("bad LocusLink delete key `{key}`"))
+                })?;
+                self.db.remove(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn change_dump(&self) -> Result<Vec<(String, String)>, WrapError> {
+        Ok(self
+            .db
+            .scan()
+            .map(|rec| (rec.locus_id.to_string(), locus_flat(rec)))
+            .collect())
+    }
+
+    fn apply_bootstrap(&mut self, records: &[(String, String)]) -> Result<(), WrapError> {
+        let joined: String = records.iter().map(|(_, flat)| flat.as_str()).collect();
+        self.db = LocusLinkDb::from_flat(&joined)
+            .map_err(|e| WrapError::Unsupported(format!("bad LocusLink bootstrap: {e}")))?;
+        Ok(())
     }
 }
 

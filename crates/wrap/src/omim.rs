@@ -1,10 +1,16 @@
 //! The OMIM wrapper.
 
 use annoda_oem::{AtomicValue, DocSpec, HarvestText, OemStore, TextDoc};
-use annoda_sources::{OmimDb, OmimType};
+use annoda_sources::{OmimDb, OmimEntry, OmimType};
 
 use crate::descr::SourceDescription;
-use crate::wrapper::{AccessIndexes, Wrapper};
+use crate::wrapper::{AccessIndexes, WrapError, Wrapper};
+
+/// A single entry's native flat serialization — the change-feed payload
+/// for an upserted OMIM entry.
+pub fn omim_flat(entry: &OmimEntry) -> String {
+    OmimDb::from_entries([entry.clone()]).to_flat()
+}
 
 /// Wraps an [`OmimDb`] as the `OMIM` ANNODA-OML local model.
 ///
@@ -85,6 +91,54 @@ impl Wrapper for OmimWrapper {
 
     fn indexes(&self) -> Option<&AccessIndexes> {
         Some(&self.indexes)
+    }
+
+    fn apply_change(&mut self, key: &str, flat: Option<&str>) -> Result<(), WrapError> {
+        match flat {
+            Some(flat) => {
+                let parsed = OmimDb::from_flat(flat).map_err(|e| {
+                    WrapError::Unsupported(format!("bad OMIM change for `{key}`: {e}"))
+                })?;
+                let mut entries: Vec<OmimEntry> = parsed.scan().cloned().collect();
+                let entry = match (entries.pop(), entries.is_empty()) {
+                    (Some(entry), true) => entry,
+                    _ => {
+                        return Err(WrapError::Unsupported(format!(
+                            "OMIM change for `{key}` must carry exactly one entry"
+                        )))
+                    }
+                };
+                if entry.mim_number.to_string() != key {
+                    return Err(WrapError::Unsupported(format!(
+                        "OMIM change key `{key}` disagrees with MIM number {}",
+                        entry.mim_number
+                    )));
+                }
+                self.db.upsert(entry);
+            }
+            None => {
+                let mim: u32 = key
+                    .parse()
+                    .map_err(|_| WrapError::Unsupported(format!("bad OMIM delete key `{key}`")))?;
+                self.db.remove(mim);
+            }
+        }
+        Ok(())
+    }
+
+    fn change_dump(&self) -> Result<Vec<(String, String)>, WrapError> {
+        Ok(self
+            .db
+            .scan()
+            .map(|entry| (entry.mim_number.to_string(), omim_flat(entry)))
+            .collect())
+    }
+
+    fn apply_bootstrap(&mut self, records: &[(String, String)]) -> Result<(), WrapError> {
+        let joined: String = records.iter().map(|(_, flat)| flat.as_str()).collect();
+        self.db = OmimDb::from_flat(&joined)
+            .map_err(|e| WrapError::Unsupported(format!("bad OMIM bootstrap: {e}")))?;
+        Ok(())
     }
 
     /// One document per entry: MIM number keys the title + disease

@@ -186,6 +186,44 @@ pub trait Wrapper: std::any::Any + Send + Sync {
         Vec::new()
     }
 
+    /// Applies one record-level change to the *native* database: an
+    /// upsert when `flat` carries the record's native flat-format
+    /// serialization, a delete when it is `None`. The exported OML is
+    /// NOT re-derived here — callers apply a whole batch and then call
+    /// [`Wrapper::refresh`] once, amortising the re-export per batch
+    /// instead of per record. Sources without a native flat-record
+    /// format keep the refusing default and cannot be streamed.
+    fn apply_change(&mut self, key: &str, flat: Option<&str>) -> Result<(), WrapError> {
+        let _ = (key, flat);
+        Err(WrapError::Unsupported(format!(
+            "{} does not support record-level changes",
+            self.name()
+        )))
+    }
+
+    /// Dumps the native database as `(key, flat)` records — the
+    /// bootstrap payload a change-feed server ships when journal
+    /// compaction has outrun a subscriber. Must round-trip through
+    /// [`Wrapper::apply_bootstrap`] to an identical native state.
+    fn change_dump(&self) -> Result<Vec<(String, String)>, WrapError> {
+        Err(WrapError::Unsupported(format!(
+            "{} does not support change dumps",
+            self.name()
+        )))
+    }
+
+    /// Replaces the entire native database with the dumped records
+    /// (records absent from the dump are gone afterwards — this is a
+    /// replace, not a merge). Like [`Wrapper::apply_change`], the OML
+    /// is only re-derived by a following [`Wrapper::refresh`].
+    fn apply_bootstrap(&mut self, records: &[(String, String)]) -> Result<(), WrapError> {
+        let _ = records;
+        Err(WrapError::Unsupported(format!(
+            "{} does not support bootstrap replacement",
+            self.name()
+        )))
+    }
+
     /// The label paths present in the OML (depth ≤ 3), extracted from a
     /// DataGuide — the mediator's source-selection input and the
     /// matcher's schema input.

@@ -54,6 +54,13 @@ cargo run --release --offline -p annoda-bench --bin bench_report -- replication 
 echo "== sharded MVCC store smoke (B15) =="
 cargo run --release --offline -p annoda-bench --bin bench_report -- sharded --smoke
 
+# The B16 smoke tails a live change feed into a serving node under a
+# mixed read load and fails if read p99 leaves 2x of the idle baseline
+# at any mutation rate, or if the absorbed state is not byte-identical
+# to a full re-fetch; writes BENCH_stream.json.
+echo "== streaming change-feed smoke (B16) =="
+cargo run --release --offline -p annoda-bench --bin bench_report -- stream --smoke
+
 echo "== sharded store byte-identity + commit-conflict properties =="
 cargo test -q --offline --test sharded_props
 
@@ -62,6 +69,12 @@ cargo test -q --offline --test replica_e2e
 
 echo "== replication resume/corruption properties =="
 cargo test -q --offline --test replica_props
+
+echo "== stream absorb-equivalence + resume properties =="
+cargo test -q --offline --test stream_props
+
+echo "== kill-the-source feed failover e2e (tailer resumes at acked seq) =="
+cargo test -q --offline -p annoda-stream
 
 echo "== federation e2e (3 source-servers over TCP) =="
 cargo test -q --offline --test federation_e2e

@@ -1,0 +1,207 @@
+//! Property tests for the streaming change feed (satellites of the
+//! annoda-stream subsystem):
+//!
+//! 1. Absorbing any sequence of record-level changes — upserts and
+//!    deletes, split into arbitrary batches — leaves the serve node in
+//!    exactly the state a full re-fetch would build: the assembled GML
+//!    is byte-identical and ranked search returns identical answers.
+//!    Incremental absorption is an optimisation, never a divergence.
+//! 2. Every sequence inside the journal's window is a valid resume
+//!    point (the feed has no privileged starting offset — the same
+//!    property the replica tier holds for WAL byte boundaries), a
+//!    compacted sequence is always refused, and a full-state bootstrap
+//!    converges to the same bytes no matter what the subscriber had
+//!    absorbed before.
+
+use proptest::prelude::*;
+
+use annoda::{Annoda, DurableSystem, FusionStrategy};
+use annoda_federation::{ChangeJournal, ChangeRecord};
+use annoda_persist::encode_store;
+use annoda_sources::{Corpus, CorpusConfig};
+use annoda_wrap::{scripted_mutation, LocusLinkWrapper, Wrapper};
+
+const SOURCE: &str = "LocusLink";
+const SEED: u64 = 77;
+
+fn corpus() -> Corpus {
+    Corpus::generate(CorpusConfig::tiny(SEED))
+}
+
+fn system_over(c: &Corpus) -> DurableSystem {
+    let (a, _) = Annoda::over_sources(c.locuslink.clone(), c.go.clone(), c.omim.clone());
+    DurableSystem::new_sharded(a, 3).expect("shard the store")
+}
+
+/// Canonical bytes of the system's assembled GML snapshot.
+fn state_bytes(sys: &DurableSystem) -> Vec<u8> {
+    encode_store(&sys.query_snapshot().expect("snapshot").store)
+}
+
+/// Ranked search answers, rendered for comparison (the stores being
+/// byte-identical makes Debug equality exact, floats included).
+fn search_fingerprint(sys: &DurableSystem) -> String {
+    let snap = sys.query_snapshot().expect("snapshot");
+    format!(
+        "{:?}",
+        DurableSystem::search_on(&snap, "revised annotation", 5, FusionStrategy::Rrf)
+    )
+}
+
+/// Drives the upstream wrapper through `ops`, returning the change
+/// records a source-server would journal: `(pick, true)` deletes the
+/// picked locus, `(pick, false)` runs one scripted upsert.
+fn run_ops(
+    upstream: &mut Box<dyn Wrapper>,
+    ids: &[String],
+    ops: &[(u8, bool)],
+) -> Vec<ChangeRecord> {
+    let mut records = Vec::new();
+    let mut step = 0u64;
+    for (pick, delete) in ops {
+        if *delete {
+            let key = ids[*pick as usize % ids.len()].clone();
+            upstream
+                .apply_change(&key, None)
+                .expect("deletes are idempotent");
+            records.push(ChangeRecord { key, flat: None });
+        } else if let Some((key, flat)) = scripted_mutation(&mut **upstream, SEED, step) {
+            step += 1;
+            records.push(ChangeRecord {
+                key,
+                flat: Some(flat),
+            });
+        }
+    }
+    records
+}
+
+/// The state a non-streaming node reaches: apply every record straight
+/// to the wrapper, then pull-refresh once.
+fn full_refetch(c: &Corpus, records: &[ChangeRecord]) -> DurableSystem {
+    let mut control = system_over(c);
+    {
+        let w = control
+            .annoda_mut()
+            .registry_mut()
+            .mediator_mut()
+            .wrapper_mut(SOURCE)
+            .expect("control wrapper");
+        for rec in records {
+            w.apply_change(&rec.key, rec.flat.as_deref())
+                .expect("replay change");
+        }
+    }
+    control.refresh_source(SOURCE).expect("full re-fetch");
+    control
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Incremental absorption under any batching is indistinguishable
+    /// from a full re-fetch: same assembled bytes, same search answers.
+    #[test]
+    fn absorb_under_any_batching_matches_full_refetch(
+        ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..16),
+        chunk in 1usize..5,
+    ) {
+        let c = corpus();
+        let ids: Vec<String> = c
+            .locuslink
+            .scan()
+            .map(|r| r.locus_id.to_string())
+            .collect();
+        let mut upstream: Box<dyn Wrapper> =
+            Box::new(LocusLinkWrapper::new(c.locuslink.clone()));
+        let records = run_ops(&mut upstream, &ids, &ops);
+
+        let mut streamed = system_over(&c);
+        for batch in records.chunks(chunk) {
+            streamed.absorb_delta(SOURCE, batch, false).expect("absorb batch");
+        }
+
+        let control = full_refetch(&c, &records);
+        prop_assert_eq!(state_bytes(&streamed), state_bytes(&control),
+            "absorbed store assembly must be byte-identical to a full re-fetch");
+        prop_assert_eq!(search_fingerprint(&streamed), search_fingerprint(&control),
+            "ranked search must agree answer-for-answer");
+    }
+
+    /// Every journal sequence is a valid resume point, compacted
+    /// sequences are refused, and a bootstrap converges regardless of
+    /// what came before it.
+    #[test]
+    fn every_feed_seq_resumes_to_the_same_state(
+        picks in proptest::collection::vec(any::<u8>(), 2..9),
+        cap in 4usize..12,
+        batch_max in 1usize..4,
+    ) {
+        let c = corpus();
+        let ids: Vec<String> = c
+            .locuslink
+            .scan()
+            .map(|r| r.locus_id.to_string())
+            .collect();
+        let mut upstream: Box<dyn Wrapper> =
+            Box::new(LocusLinkWrapper::new(c.locuslink.clone()));
+        let ops: Vec<(u8, bool)> = picks.iter().map(|p| (*p, p % 3 == 0)).collect();
+        let records = run_ops(&mut upstream, &ids, &ops);
+
+        let journal = ChangeJournal::new(cap);
+        for rec in &records {
+            journal.append(rec.clone());
+        }
+        let window = journal.window();
+        prop_assert_eq!(window.head, records.len() as u64);
+
+        let reference = {
+            let mut sys = system_over(&c);
+            sys.absorb_delta(SOURCE, &records, false).expect("absorb all");
+            state_bytes(&sys)
+        };
+
+        // A subscriber holding the first `from_seq - 1` records resumes
+        // mid-window and converges — for *every* in-window position
+        // (head + 1 is the caught-up subscriber).
+        for from_seq in window.tail..=window.head + 1 {
+            let mut sys = system_over(&c);
+            let prefix = &records[..(from_seq - 1) as usize];
+            if !prefix.is_empty() {
+                sys.absorb_delta(SOURCE, prefix, false).expect("absorb prefix");
+            }
+            let mut at = from_seq;
+            loop {
+                let batch = journal
+                    .replay_from(at, batch_max)
+                    .expect("in-window seq must replay");
+                let Some((last, _)) = batch.last() else { break };
+                at = last + 1;
+                let recs: Vec<ChangeRecord> =
+                    batch.into_iter().map(|(_, r)| r).collect();
+                sys.absorb_delta(SOURCE, &recs, false).expect("absorb replay");
+            }
+            prop_assert_eq!(&state_bytes(&sys), &reference,
+                "resume from seq {} must converge", from_seq);
+        }
+
+        // Below the window only a bootstrap is possible — and a
+        // bootstrap erases whatever partial state came before it.
+        if window.tail > 1 {
+            prop_assert!(journal.replay_from(window.tail - 1, batch_max).is_none(),
+                "compacted seq must force a bootstrap");
+        }
+        let dump: Vec<ChangeRecord> = upstream
+            .change_dump()
+            .expect("dump upstream")
+            .into_iter()
+            .map(|(key, flat)| ChangeRecord { key, flat: Some(flat) })
+            .collect();
+        let mut sys = system_over(&c);
+        let head = records.len().min(2);
+        sys.absorb_delta(SOURCE, &records[..head], false).expect("absorb prefix");
+        sys.absorb_delta(SOURCE, &dump, true).expect("absorb bootstrap");
+        prop_assert_eq!(&state_bytes(&sys), &reference,
+            "a bootstrap replaces prior state byte-for-byte");
+    }
+}
